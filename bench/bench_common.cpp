@@ -1,0 +1,56 @@
+#include "bench_common.h"
+
+#include <map>
+
+namespace syrbench {
+
+namespace {
+
+std::string config_key(const syrwatch::workload::ScenarioConfig& config) {
+  std::string key = std::to_string(config.seed) + ":" +
+                    std::to_string(config.total_requests) + ":" +
+                    (config.proxy_config.intercept_https ? "mitm" : "plain") +
+                    (config.enable_affinity ? ":aff" : ":noaff") + ":" +
+                    std::to_string(config.proxy_config.observed_admit_prob);
+  for (const auto& [name, boost] : config.share_boosts)
+    key += ";" + name + "=" + std::to_string(boost);
+  return key;
+}
+
+}  // namespace
+
+Study& study_for(const syrwatch::workload::ScenarioConfig& config) {
+  static std::map<std::string, std::unique_ptr<Study>> studies;
+  auto& slot = studies[config_key(config)];
+  if (!slot) {
+    slot = std::make_unique<Study>(config);
+    std::printf("[simulating %s requests over the nine leaked days ...]\n",
+                with_commas(config.total_requests).c_str());
+    std::fflush(stdout);
+    slot->run();
+  }
+  return *slot;
+}
+
+void print_banner(const char* experiment, const char* paper_claim,
+                  bool boosted) {
+  std::printf("================================================================\n");
+  std::printf("Reproduction: %s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  if (boosted) {
+    std::printf("Note: rare-mechanism components boosted; compare shares and\n"
+                "ratios, not absolute counts (see DESIGN.md).\n");
+  }
+  std::printf("================================================================\n\n");
+}
+
+int run_bench_main(int argc, char** argv, void (*print_reproduction)()) {
+  print_reproduction();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace syrbench

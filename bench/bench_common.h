@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared plumbing for the reproduction benches: each binary regenerates
+// the synthetic Summer-2011 deployment once, prints the paper-vs-measured
+// table(s) for its experiment, then runs google-benchmark timings of the
+// underlying pipeline stage.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/study.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace syrbench {
+
+using syrwatch::core::Study;
+using syrwatch::util::percent;
+using syrwatch::util::TextTable;
+using syrwatch::util::with_commas;
+
+/// Default reproduction scale: ~1:600 of the leak's 751M requests.
+inline syrwatch::workload::ScenarioConfig default_config() {
+  syrwatch::workload::ScenarioConfig config;
+  config.total_requests = 1'200'000;
+  config.user_population = 35'000;
+  config.catalog_tail = 25'000;
+  config.torrent_contents = 3'000;
+  return config;
+}
+
+/// Boosted configuration for the rare-mechanism experiments (Tables 7,
+/// 11, 12, 14; Figs 8-10; §7.3/7.4): those phenomena number in the
+/// hundreds out of 751M requests, so their components are amplified and
+/// the measured columns are shares/ratios, which the boost preserves.
+inline syrwatch::workload::ScenarioConfig boosted_config() {
+  auto config = default_config();
+  config.total_requests = 500'000;
+  config.share_boosts = {{"israel", 120.0},     {"direct-ip", 8.0},
+                         {"tor", 50.0},          {"bittorrent", 20.0},
+                         {"redirect-hosts", 40.0}, {"facebook-pages", 40.0},
+                         {"anonymizers", 12.0},  {"google-cache", 200.0}};
+  return config;
+}
+
+/// Builds (once per process) and returns the study for a config.
+Study& study_for(const syrwatch::workload::ScenarioConfig& config);
+
+inline Study& default_study() { return study_for(default_config()); }
+inline Study& boosted_study() { return study_for(boosted_config()); }
+
+/// Prints the experiment banner.
+void print_banner(const char* experiment, const char* paper_claim,
+                  bool boosted = false);
+
+/// Prints a titled table block to stdout.
+inline void print_block(const std::string& title, const TextTable& table) {
+  std::fputs(syrwatch::util::titled_block(title, table).c_str(), stdout);
+}
+
+/// "measured (paper: X)" cell helper.
+inline std::string vs_paper(const std::string& measured,
+                            const std::string& paper) {
+  return measured + "  (paper: " + paper + ")";
+}
+
+/// Standard main: print the reproduction, then run registered benchmarks.
+int run_bench_main(int argc, char** argv, void (*print_reproduction)());
+
+}  // namespace syrbench
+
+#define SYRBENCH_MAIN(print_fn)                                  \
+  int main(int argc, char** argv) {                              \
+    return syrbench::run_bench_main(argc, argv, &(print_fn));    \
+  }

@@ -1,0 +1,70 @@
+// Fig. 9: Rfilter(k) — the inconsistency of SG-44's Tor blocking.
+
+#include <cmath>
+
+#include "analysis/tor_analysis.h"
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/simtime.h"
+#include "workload/diurnal.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+void print_reproduction() {
+  print_banner("Fig. 9 — ratio of (re)censored relay IPs on SG-44",
+               "High variance: periods of aggressive blocking alternate "
+               "with lulls where previously censored relays are allowed "
+               "again — consistent with a scheduled experiment");
+
+  const auto series = analysis::rfilter_series(
+      boosted_study().datasets().full, boosted_study().scenario().relays(),
+      policy::kTorCensorProxy, workload::at(8, 1), workload::at(8, 7), 3600);
+
+  TextTable table{{"Hour", "Rfilter", ""}};
+  for (std::size_t bin = 0; bin < series.rfilter.size(); bin += 3) {
+    if (!series.has_traffic[bin]) continue;
+    char value[16];
+    std::snprintf(value, sizeof value, "%.2f", series.rfilter[bin]);
+    std::string bar(static_cast<std::size_t>(series.rfilter[bin] * 40), '#');
+    table.add_row({util::format_datetime(series.origin +
+                                         static_cast<std::int64_t>(bin) *
+                                             series.bin_seconds)
+                       .substr(5, 8),
+                   value, bar});
+  }
+  print_block("Rfilter(k), hourly bins (every 3rd shown)", table);
+
+  // Variance summary — the paper's "high variance" claim.
+  std::vector<double> values;
+  for (std::size_t bin = 0; bin < series.rfilter.size(); ++bin) {
+    if (series.has_traffic[bin]) values.push_back(series.rfilter[bin]);
+  }
+  TextTable summary{{"Metric", "Measured", "Paper"}};
+  summary.add_row({"Relays ever censored by SG-44",
+                   with_commas(series.censored_relay_count), "(set size)"});
+  summary.add_row({"Mean Rfilter over active bins",
+                   percent(util::mean(values)), "alternating 0..1"});
+  char stddev[16];
+  std::snprintf(stddev, sizeof stddev, "%.3f",
+                std::sqrt(util::variance(values)));
+  summary.add_row({"Std dev of Rfilter", stddev, "high variance"});
+  print_block("Inconsistency summary", summary);
+}
+
+void BM_Rfilter(benchmark::State& state) {
+  const auto& full = boosted_study().datasets().full;
+  const auto& relays = boosted_study().scenario().relays();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::rfilter_series(
+        full, relays, policy::kTorCensorProxy, workload::at(8, 1),
+        workload::at(8, 7), 3600));
+  }
+}
+BENCHMARK(BM_Rfilter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

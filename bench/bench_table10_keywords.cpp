@@ -1,0 +1,60 @@
+// Table 10: the five censored keywords and their traffic split.
+
+#include "analysis/string_discovery.h"
+#include "analysis/traffic_stats.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+constexpr const char* kPaper[][2] = {
+    {"proxy", "53.61%"},        {"hotspotshield", "1.71%"},
+    {"ultrareach", "0.69%"},    {"israel", "0.65%"},
+    {"ultrasurf", "0.43%"},
+};
+
+void print_reproduction() {
+  print_banner("Table 10 — censored keywords",
+               "proxy 53.61% of censored traffic (collateral damage "
+               "included), hotspotshield 1.71%, ultrareach 0.69%, israel "
+               "0.65%, ultrasurf 0.43% — all with 0 allowed requests");
+
+  const auto& full = default_study().datasets().full;
+  const auto stats = analysis::traffic_stats(full);
+  analysis::DiscoveryOptions options;
+  options.min_count = 10;
+  const auto discovery = analysis::discover_censored_strings(full, options);
+
+  TextTable table{{"Measured keyword", "Censored", "% of censored",
+                   "Allowed", "Proxied", "Paper keyword", "Paper %"}};
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i < discovery.keywords.size()) {
+      const auto& kw = discovery.keywords[i];
+      table.add_row(
+          {kw.text, with_commas(kw.censored),
+           percent(double(kw.censored) / double(stats.censored())),
+           "0 (by construction of the NA=0 test)", with_commas(kw.proxied),
+           kPaper[i][0], kPaper[i][1]});
+    } else {
+      table.add_row({"-", "-", "-", "-", "-", kPaper[i][0], kPaper[i][1]});
+    }
+  }
+  print_block("Censored keywords (Table 10)", table);
+}
+
+void BM_KeywordDiscovery(benchmark::State& state) {
+  const auto& full = default_study().datasets().full;
+  analysis::DiscoveryOptions options;
+  options.min_count = 10;
+  for (auto _ : state) {
+    const auto result = analysis::discover_censored_strings(full, options);
+    benchmark::DoNotOptimize(result.keywords.size());
+  }
+}
+BENCHMARK(BM_KeywordDiscovery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

@@ -1,0 +1,59 @@
+// Table 12: the top censored Israeli subnets — two distinct groups,
+// wholesale-blocked vs host-blocked.
+
+#include "analysis/ip_censorship.h"
+#include "bench_common.h"
+#include "geo/world.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+constexpr const char* kPaperRows[][3] = {
+    // censored #req/#IPs, allowed #req/#IPs
+    {"84.229.0.0/16", "574 / 198", "0 / 0"},
+    {"46.120.0.0/15", "571 / 11", "5 / 1"},
+    {"89.138.0.0/15", "487 / 148", "1 / 1"},
+    {"212.235.64.0/19", "474 / 5", "325 / 1"},
+    {"212.150.0.0/16", "471 / 3", "6,366 / 12"},
+};
+
+void print_reproduction() {
+  print_banner("Table 12 — top censored Israeli subnets",
+               "84.229/16, 46.120/15, 89.138/15 censored wholesale; "
+               "212.235.64/19 partially; 212.150/16 mostly allowed with "
+               "3 blocked hosts",
+               /*boosted=*/true);
+
+  const auto& full = boosted_study().datasets().full;
+  const auto result =
+      analysis::subnet_censorship(full, geo::israeli_table12_subnets());
+
+  TextTable table{{"Subnet", "Censored req/IPs", "Allowed req/IPs",
+                   "Proxied req", "Paper censored", "Paper allowed"}};
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const auto& row = result[i];
+    table.add_row({row.subnet.to_string(),
+                   with_commas(row.censored_requests) + " / " +
+                       with_commas(row.censored_ips),
+                   with_commas(row.allowed_requests) + " / " +
+                       with_commas(row.allowed_ips),
+                   with_commas(row.proxied_requests), kPaperRows[i][1],
+                   kPaperRows[i][2]});
+  }
+  print_block("Israeli subnets (Table 12)", table);
+}
+
+void BM_SubnetCensorship(benchmark::State& state) {
+  const auto& full = boosted_study().datasets().full;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::subnet_censorship(full, geo::israeli_table12_subnets()));
+  }
+}
+BENCHMARK(BM_SubnetCensorship)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

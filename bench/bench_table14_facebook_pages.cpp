@@ -1,0 +1,58 @@
+// Table 14: the Facebook pages carried by the "Blocked sites" custom
+// category — narrow, political, and leaky.
+
+#include "analysis/osn.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+void print_reproduction() {
+  print_banner("Table 14 — blocked Facebook pages",
+               "Syrian.Revolution 1,461 censored / 891 allowed; the same "
+               "page slips through with extra query params; sister pages "
+               "never categorized",
+               /*boosted=*/true);
+
+  const auto pages =
+      analysis::blocked_facebook_pages(boosted_study().datasets().full);
+
+  static const std::map<std::string, const char*> kPaper = {
+      {"Syrian.Revolution", "1461 c / 891 a / 16 p"},
+      {"Syrian.revolution", "0 c / 0 a / 25 p"},
+      {"syria.news.F.N.N", "191 c / 165 a / 1 p"},
+      {"ShaamNews", "114 c / 3944 a / 7 p"},
+      {"fffm14", "42 c / 18 a"},
+      {"barada.channel", "25 c / 9 a"},
+      {"DaysOfRage", "19 c / 2 a"},
+      {"Syrian.R.V", "10 c / 6 a"},
+      {"YouthFreeSyria", "6 c / 0 a"},
+      {"sooryoon", "3 c / 0 a"},
+      {"Freedom.Of.Syria", "3 c / 0 a"},
+      {"SyrianDayOfRage", "1 c / 0 a"},
+  };
+
+  TextTable table{{"Facebook page", "Censored", "Allowed", "Proxied",
+                   "Paper"}};
+  for (const auto& page : pages) {
+    const auto paper = kPaper.find(page.page);
+    table.add_row({page.page, with_commas(page.censored),
+                   with_commas(page.allowed), with_commas(page.proxied),
+                   paper == kPaper.end() ? "-" : paper->second});
+  }
+  print_block("Blocked Facebook pages (Table 14)", table);
+}
+
+void BM_BlockedPages(benchmark::State& state) {
+  const auto& full = boosted_study().datasets().full;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::blocked_facebook_pages(full));
+  }
+}
+BENCHMARK(BM_BlockedPages)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

@@ -1,0 +1,57 @@
+// Table 1: dataset sizes and periods (Dfull / Dsample / Duser / Ddenied).
+
+#include "analysis/traffic_stats.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+void print_reproduction() {
+  print_banner("Table 1 — Datasets description",
+               "Full 751,295,830 | Sample 32,310,958 (4%) | "
+               "User 6,374,333 | Denied 47,452,194");
+
+  const auto& bundle = default_study().datasets();
+  const double full = static_cast<double>(bundle.full.size());
+
+  TextTable table{{"Dataset", "# Requests", "% of Dfull", "Paper %"}};
+  table.add_row({"Full", with_commas(bundle.full.size()), "100.00%",
+                 "100.00%"});
+  table.add_row({"Sample (4%)", with_commas(bundle.sample.size()),
+                 percent(bundle.sample.size() / full), "4.30%"});
+  table.add_row({"User", with_commas(bundle.user.size()),
+                 percent(bundle.user.size() / full), "0.85%"});
+  table.add_row({"Denied", with_commas(bundle.denied.size()),
+                 percent(bundle.denied.size() / full), "6.32%"});
+  print_block("Datasets (Table 1) — scale ~1:600", table);
+}
+
+void BM_BuildDatasets(benchmark::State& state) {
+  const auto& bundle = default_study().datasets();
+  for (auto _ : state) {
+    analysis::Dataset copy = bundle.full.filter([](const analysis::Row&) {
+      return true;
+    });
+    benchmark::DoNotOptimize(copy.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bundle.full.size()));
+}
+BENCHMARK(BM_BuildDatasets)->Unit(benchmark::kMillisecond);
+
+void BM_DeriveBundle(benchmark::State& state) {
+  const auto& bundle = default_study().datasets();
+  for (auto _ : state) {
+    auto full = bundle.full.filter([](const analysis::Row&) { return true; });
+    full.finalize();
+    auto derived = analysis::DatasetBundle::derive(std::move(full), 7);
+    benchmark::DoNotOptimize(derived.sample.size());
+  }
+}
+BENCHMARK(BM_DeriveBundle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

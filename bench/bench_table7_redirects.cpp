@@ -1,0 +1,63 @@
+// Table 7: top hosts raising policy_redirect, plus §5.3's no-followup
+// finding.
+
+#include "analysis/redirects.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+constexpr const char* kPaper[][2] = {
+    {"upload.youtube.com", "86.79%"}, {"www.facebook.com", "10.69%"},
+    {"ar-ar.facebook.com", "1.77%"},  {"competition.mbc.net", "0.33%"},
+    {"sharek.aljazeera.net", "0.29%"},
+};
+
+void print_reproduction() {
+  print_banner("Table 7 — top-5 hosts for policy_redirect",
+               "upload.youtube.com 86.79%, www.facebook.com 10.69%, "
+               "ar-ar.facebook.com 1.77%, mbc 0.33%, aljazeera 0.29%",
+               /*boosted=*/true);
+
+  const auto& full = boosted_study().datasets().full;
+  const auto hosts = analysis::redirect_hosts(full, 5);
+  TextTable table{{"#", "Measured host", "Measured %", "Paper host",
+                   "Paper %"}};
+  for (std::size_t i = 0; i < 5; ++i) {
+    table.add_row({std::to_string(i + 1),
+                   i < hosts.size() ? hosts[i].host : "-",
+                   i < hosts.size() ? percent(hosts[i].share) : "-",
+                   kPaper[i][0], kPaper[i][1]});
+  }
+  print_block("policy_redirect hosts (Table 7)", table);
+
+  // §5.3: no secondary request follows a redirect through these proxies.
+  const auto followups =
+      analysis::redirect_followups(boosted_study().datasets().user, 2);
+  TextTable follow{{"Metric", "Measured", "Paper"}};
+  follow.add_row({"Redirects with follow-up within 2s",
+                  with_commas(followups), "0 (none found)"});
+  print_block("Redirect follow-up scan (Sec 5.3)", follow);
+}
+
+void BM_RedirectHosts(benchmark::State& state) {
+  const auto& full = boosted_study().datasets().full;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::redirect_hosts(full, 5));
+  }
+}
+BENCHMARK(BM_RedirectHosts)->Unit(benchmark::kMillisecond);
+
+void BM_RedirectFollowups(benchmark::State& state) {
+  const auto& user = boosted_study().datasets().user;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::redirect_followups(user, 2));
+  }
+}
+BENCHMARK(BM_RedirectFollowups)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

@@ -1,0 +1,26 @@
+// Full audit: run the complete study and render every reproduced
+// table/figure summary in paper order — the one-stop reproduction run.
+//
+// Usage: censorship_audit [total_requests] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/report.h"
+#include "core/study.h"
+
+int main(int argc, char** argv) {
+  syrwatch::workload::ScenarioConfig config;
+  config.total_requests = 800'000;
+  if (argc > 1) config.total_requests = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("syrwatch full audit — %llu requests, seed %llu\n\n",
+              static_cast<unsigned long long>(config.total_requests),
+              static_cast<unsigned long long>(config.seed));
+
+  syrwatch::core::Study study{config};
+  study.run();
+  std::fputs(syrwatch::core::render_full_report(study).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Run the paper's §5.4 iterative censored-string discovery against a
+// freshly generated log and print what it recovers: the keyword blacklist,
+// the suspected-domain list, and how much of the censored traffic they
+// explain.
+//
+// Usage: keyword_discovery [total_requests] [min_count]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/string_discovery.h"
+#include "analysis/traffic_stats.h"
+#include "core/study.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace syrwatch;
+
+  workload::ScenarioConfig config;
+  config.total_requests = 800'000;
+  analysis::DiscoveryOptions options;
+  options.min_count = 10;
+  if (argc > 1) config.total_requests = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) options.min_count = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("Generating %llu requests...\n",
+              static_cast<unsigned long long>(config.total_requests));
+  core::Study study{config};
+  study.run();
+  const auto& full = study.datasets().full;
+  const auto stats = analysis::traffic_stats(full);
+
+  std::printf("Running the iterative string-discovery loop "
+              "(NC floor: %llu)...\n\n",
+              static_cast<unsigned long long>(options.min_count));
+  const auto result = analysis::discover_censored_strings(full, options);
+
+  util::TextTable keywords{{"Keyword", "Censored", "% of censored"}};
+  for (const auto& kw : result.keywords) {
+    keywords.add_row({kw.text, util::with_commas(kw.censored),
+                      util::percent(double(kw.censored) /
+                                    double(stats.censored()))});
+  }
+  std::fputs(util::titled_block("Recovered keywords (paper found 5: proxy, "
+                                "hotspotshield, ultrareach, israel, "
+                                "ultrasurf)",
+                                keywords)
+                 .c_str(),
+             stdout);
+
+  util::TextTable domains{{"Domain", "Censored", "Proxied"}};
+  for (const auto& domain : result.domains) {
+    domains.add_row({domain.text, util::with_commas(domain.censored),
+                     util::with_commas(domain.proxied)});
+  }
+  std::fputs(util::titled_block(
+                 "Recovered suspected domains (paper found 105 at 600x "
+                 "our volume; found " +
+                     std::to_string(result.domains.size()) + " here)",
+                 domains)
+                 .c_str(),
+             stdout);
+
+  std::printf("Censored requests explained: %s of %s (%s)\n",
+              util::with_commas(result.censored_requests_explained).c_str(),
+              util::with_commas(result.censored_requests_total).c_str(),
+              util::percent(double(result.censored_requests_explained) /
+                            double(result.censored_requests_total))
+                  .c_str());
+  return 0;
+}

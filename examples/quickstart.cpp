@@ -1,0 +1,31 @@
+// Quickstart: simulate the Syrian filtering deployment at a small scale,
+// classify the resulting log, and print the headline overview (dataset
+// sizes, traffic classes, top allowed/censored domains).
+//
+// Usage: quickstart [total_requests] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.h"
+#include "core/study.h"
+
+int main(int argc, char** argv) {
+  syrwatch::workload::ScenarioConfig config;
+  config.total_requests = 400'000;
+  if (argc > 1) config.total_requests = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) config.seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("Simulating %llu requests over the nine leaked days "
+              "(seed %llu)...\n\n",
+              static_cast<unsigned long long>(config.total_requests),
+              static_cast<unsigned long long>(config.seed));
+
+  syrwatch::core::Study study{config};
+  study.run();
+
+  const std::string report = syrwatch::core::render_overview(study);
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+#include "analysis/agents.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace syrwatch::analysis {
+
+std::vector<AgentStats> agent_stats(const Dataset& dataset,
+                                    std::uint64_t min_requests) {
+  struct Acc {
+    std::uint64_t requests = 0;
+    std::uint64_t censored = 0;
+  };
+  std::unordered_map<util::StringPool::Id, Acc> by_agent;
+  for (const Row& row : dataset.rows()) {
+    Acc& acc = by_agent[row.agent];
+    ++acc.requests;
+    if (dataset.cls(row) == proxy::TrafficClass::kCensored) ++acc.censored;
+  }
+
+  std::vector<AgentStats> out;
+  out.reserve(by_agent.size());
+  for (const auto& [agent_id, acc] : by_agent) {
+    if (acc.requests < min_requests) continue;
+    out.push_back({std::string(dataset.view(agent_id)), acc.requests,
+                   acc.censored});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AgentStats& a, const AgentStats& b) {
+              if (a.censored != b.censored) return a.censored > b.censored;
+              return a.agent < b.agent;
+            });
+  return out;
+}
+
+}  // namespace syrwatch::analysis

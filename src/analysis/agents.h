@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// §4's user-agent observation: some "users" are software on a retry loop
+/// against a censored endpoint (Skype clients hammering skype.com), which
+/// inflates censored-request counts. This analyzer splits traffic by
+/// cs-user-agent and ranks agents by how censored their traffic is.
+struct AgentStats {
+  std::string agent;
+  std::uint64_t requests = 0;
+  std::uint64_t censored = 0;
+  double censored_share() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(censored) /
+                               static_cast<double>(requests);
+  }
+};
+
+/// Agents ranked by censored count (descending); `min_requests` drops
+/// one-off agents. Software agents (Skype/5.3, GoogleToolbarBB, ...) stand
+/// out with censored shares near 100%.
+std::vector<AgentStats> agent_stats(const Dataset& dataset,
+                                    std::uint64_t min_requests = 10);
+
+}  // namespace syrwatch::analysis

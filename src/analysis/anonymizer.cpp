@@ -1,0 +1,69 @@
+#include "analysis/anonymizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace syrwatch::analysis {
+
+double AnonymizerStats::mostly_allowed_share() const {
+  if (allowed_censored_ratio.empty()) return 0.0;
+  std::uint64_t above = 0;
+  for (double ratio : allowed_censored_ratio) {
+    if (ratio > 1.0) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(allowed_censored_ratio.size());
+}
+
+AnonymizerStats anonymizer_stats(const Dataset& dataset,
+                                 const category::Categorizer& categorizer) {
+  struct PerHost {
+    std::uint64_t allowed = 0;
+    std::uint64_t censored = 0;
+    std::uint64_t other = 0;
+  };
+  std::unordered_map<std::string_view, PerHost> hosts;
+  std::unordered_map<util::StringPool::Id, bool> is_anon_cache;
+  for (const Row& row : dataset.rows()) {
+    auto cached = is_anon_cache.find(row.host);
+    if (cached == is_anon_cache.end()) {
+      cached = is_anon_cache
+                   .emplace(row.host,
+                            categorizer.is_anonymizer(dataset.host(row)))
+                   .first;
+    }
+    if (!cached->second) continue;
+    PerHost& host = hosts[dataset.host(row)];
+    switch (dataset.cls(row)) {
+      case proxy::TrafficClass::kAllowed: ++host.allowed; break;
+      case proxy::TrafficClass::kCensored: ++host.censored; break;
+      default: ++host.other; break;
+    }
+  }
+
+  AnonymizerStats stats;
+  stats.hosts = hosts.size();
+  for (const auto& [name, host] : hosts) {
+    const std::uint64_t total = host.allowed + host.censored + host.other;
+    stats.requests += total;
+    if (host.censored == 0) {
+      ++stats.never_filtered_hosts;
+      stats.never_filtered_requests += total;
+      stats.requests_per_clean_host.push_back(static_cast<double>(total));
+    } else {
+      ++stats.filtered_hosts;
+      stats.allowed_censored_ratio.push_back(
+          host.censored == 0
+              ? 0.0
+              : static_cast<double>(host.allowed) /
+                    static_cast<double>(host.censored));
+    }
+  }
+  std::sort(stats.requests_per_clean_host.begin(),
+            stats.requests_per_clean_host.end());
+  std::sort(stats.allowed_censored_ratio.begin(),
+            stats.allowed_censored_ratio.end());
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "category/categorizer.h"
+#include "util/stats.h"
+
+namespace syrwatch::analysis {
+
+/// §7.2: web proxies and VPN endpoints, identified (as in the paper) by
+/// the external categorizer labelling hosts "Anonymizer".
+struct AnonymizerStats {
+  std::uint64_t hosts = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t never_filtered_hosts = 0;
+  std::uint64_t never_filtered_requests = 0;
+  std::uint64_t filtered_hosts = 0;
+
+  /// Fig. 10a input: requests per never-filtered host.
+  std::vector<double> requests_per_clean_host;
+  /// Fig. 10b input: allowed/censored ratio per filtered host.
+  std::vector<double> allowed_censored_ratio;
+
+  double never_filtered_host_share() const noexcept {
+    return hosts == 0 ? 0.0
+                      : static_cast<double>(never_filtered_hosts) /
+                            static_cast<double>(hosts);
+  }
+  double never_filtered_request_share() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(never_filtered_requests) /
+                               static_cast<double>(requests);
+  }
+  /// Share of filtered hosts whose allowed count exceeds their censored
+  /// count (the paper: >50%).
+  double mostly_allowed_share() const;
+};
+
+AnonymizerStats anonymizer_stats(const Dataset& dataset,
+                                 const category::Categorizer& categorizer);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,92 @@
+#include "analysis/bittorrent.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+namespace {
+
+/// Extracts a query parameter value (plain, not URL-decoded — the
+/// generator emits bare hex/ASCII values as real 2011 trackers accepted).
+std::string_view query_param(std::string_view query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    const auto amp = query.find('&', pos);
+    const auto field =
+        query.substr(pos, amp == std::string_view::npos ? query.size() - pos
+                                                        : amp - pos);
+    const auto eq = field.find('=');
+    if (eq != std::string_view::npos && field.substr(0, eq) == key)
+      return field.substr(eq + 1);
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return {};
+}
+
+struct Tool {
+  const char* label;
+  const char* needle;  // lower-case title substring
+};
+constexpr Tool kTools[] = {
+    {"UltraSurf", "ultrasurf"},
+    {"HideMyAss", "hidemyass"},
+    {"Auto Hide IP", "hide ip"},
+    {"Anonymous browsers", "anonymous"},
+    {"Skype", "skype"},
+    {"MSN Messenger", "msn messenger"},
+    {"Yahoo Messenger", "yahoo messenger"},
+};
+
+}  // namespace
+
+BitTorrentStats bittorrent_stats(const Dataset& dataset,
+                                 const workload::TorrentRegistry& registry) {
+  BitTorrentStats stats;
+  std::unordered_set<std::string_view> peers;
+  std::unordered_set<std::string_view> contents;
+  std::unordered_map<std::string, std::uint64_t> tool_counts;
+
+  for (const Row& row : dataset.rows()) {
+    if (dataset.path(row) != "/announce") continue;
+    const auto query = dataset.query(row);
+    const auto info_hash = query_param(query, "info_hash");
+    if (info_hash.empty()) continue;
+    ++stats.announces;
+    const auto cls = dataset.cls(row);
+    if (cls == proxy::TrafficClass::kCensored) ++stats.censored;
+    else if (cls == proxy::TrafficClass::kAllowed) ++stats.allowed;
+    const auto peer_id = query_param(query, "peer_id");
+    if (!peer_id.empty()) peers.insert(peer_id);
+    contents.insert(info_hash);
+
+    if (const auto title = registry.resolve(info_hash)) {
+      const std::string lowered = util::to_lower(*title);
+      for (const Tool& tool : kTools) {
+        if (lowered.find(tool.needle) != std::string::npos)
+          tool_counts[tool.label] += 1;
+      }
+    }
+  }
+  stats.unique_peers = peers.size();
+  stats.unique_contents = contents.size();
+  for (const auto hash : contents) {
+    if (registry.resolve(hash)) ++stats.resolved_contents;
+  }
+  for (const Tool& tool : kTools) {
+    const auto it = tool_counts.find(tool.label);
+    stats.tool_announces.push_back(
+        {tool.label, it == tool_counts.end() ? 0 : it->second});
+  }
+  std::sort(stats.tool_announces.begin(), stats.tool_announces.end(),
+            [](const auto& a, const auto& b) {
+              return a.announces > b.announces;
+            });
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "workload/torrents.h"
+
+namespace syrwatch::analysis {
+
+/// §7.3: BitTorrent announce traffic. Announces are recognized by their
+/// tracker URL shape (/announce with an info_hash parameter); users are
+/// counted by the 20-byte peer_id, contents by info-hash. Titles are
+/// recovered through the TorrentRegistry's simulated torrentz.eu crawl and
+/// scanned for circumvention/IM software.
+struct BitTorrentStats {
+  std::uint64_t announces = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t censored = 0;
+  std::uint64_t unique_peers = 0;
+  std::uint64_t unique_contents = 0;
+  std::uint64_t resolved_contents = 0;  // titles recovered by the crawl
+  double resolve_rate() const noexcept {
+    return unique_contents == 0
+               ? 0.0
+               : static_cast<double>(resolved_contents) /
+                     static_cast<double>(unique_contents);
+  }
+
+  /// Announce counts for payloads whose recovered title matches a
+  /// circumvention/IM tool, keyed by tool label.
+  struct ToolCount {
+    std::string tool;
+    std::uint64_t announces = 0;
+  };
+  std::vector<ToolCount> tool_announces;
+};
+
+BitTorrentStats bittorrent_stats(const Dataset& dataset,
+                                 const workload::TorrentRegistry& registry);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,77 @@
+#include "analysis/category_dist.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+std::vector<CategoryCount> category_distribution(
+    const Dataset& dataset, const category::Categorizer& categorizer,
+    proxy::TrafficClass cls) {
+  std::array<std::uint64_t, category::kCategoryCount> counts{};
+  std::uint64_t total = 0;
+  // Categorizer lookups lower-case and walk suffixes; cache per host id.
+  std::unordered_map<util::StringPool::Id, category::Category> cache;
+  for (const Row& row : dataset.rows()) {
+    if (dataset.cls(row) != cls) continue;
+    ++total;
+    auto it = cache.find(row.host);
+    if (it == cache.end()) {
+      it = cache.emplace(row.host, categorizer.classify(dataset.host(row)))
+               .first;
+    }
+    ++counts[static_cast<std::size_t>(it->second)];
+  }
+  std::vector<CategoryCount> out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    out.push_back({static_cast<category::Category>(i), counts[i],
+                   total == 0 ? 0.0
+                              : static_cast<double>(counts[i]) /
+                                    static_cast<double>(total)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CategoryCount& a, const CategoryCount& b) {
+              return a.requests > b.requests;
+            });
+  return out;
+}
+
+std::vector<DomainCategoryCount> categorize_domains(
+    const Dataset& dataset, const category::Categorizer& categorizer,
+    std::span<const std::string> domains) {
+  std::array<DomainCategoryCount, category::kCategoryCount> acc{};
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    acc[i].category = static_cast<category::Category>(i);
+
+  // Count censored requests per listed domain, then fold into categories.
+  for (const std::string& domain : domains) {
+    const category::Category cat = categorizer.classify(domain);
+    ++acc[static_cast<std::size_t>(cat)].domains;
+  }
+  for (const Row& row : dataset.rows()) {
+    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
+    const auto host = dataset.host(row);
+    for (const std::string& domain : domains) {
+      if (util::host_matches_domain(host, domain)) {
+        const category::Category cat = categorizer.classify(domain);
+        ++acc[static_cast<std::size_t>(cat)].censored_requests;
+        break;
+      }
+    }
+  }
+
+  std::vector<DomainCategoryCount> out;
+  for (const DomainCategoryCount& entry : acc) {
+    if (entry.domains != 0) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DomainCategoryCount& a, const DomainCategoryCount& b) {
+              return a.censored_requests > b.censored_requests;
+            });
+  return out;
+}
+
+}  // namespace syrwatch::analysis

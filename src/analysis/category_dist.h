@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "category/categorizer.h"
+
+namespace syrwatch::analysis {
+
+/// Fig. 3: censored requests labelled through the external categorizer
+/// (our stand-in for McAfee TrustedSource, which the paper used because
+/// the proxies' own category database was absent).
+struct CategoryCount {
+  category::Category category = category::Category::kUncategorized;
+  std::uint64_t requests = 0;
+  double share = 0.0;  // of the classified class total
+};
+
+/// Per-category request counts for one traffic class, ranked descending.
+std::vector<CategoryCount> category_distribution(
+    const Dataset& dataset, const category::Categorizer& categorizer,
+    proxy::TrafficClass cls);
+
+/// Table 9: the categories of an explicit domain list, with the number of
+/// domains and of censored requests per category.
+struct DomainCategoryCount {
+  category::Category category = category::Category::kUncategorized;
+  std::uint32_t domains = 0;
+  std::uint64_t censored_requests = 0;
+};
+
+std::vector<DomainCategoryCount> categorize_domains(
+    const Dataset& dataset, const category::Categorizer& categorizer,
+    std::span<const std::string> domains);
+
+}  // namespace syrwatch::analysis

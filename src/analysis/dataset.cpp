@@ -1,0 +1,91 @@
+#include "analysis/dataset.h"
+
+#include <algorithm>
+
+#include "net/domain.h"
+#include "util/rng.h"
+#include "util/simtime.h"
+
+namespace syrwatch::analysis {
+
+Dataset::Dataset() : pool_(std::make_shared<util::StringPool>()) {}
+
+Dataset::Dataset(std::shared_ptr<util::StringPool> pool)
+    : pool_(std::move(pool)) {}
+
+void Dataset::add(const proxy::LogRecord& record) {
+  Row row;
+  row.time = record.time;
+  row.user_hash = record.user_hash;
+  row.host = pool_->intern(record.url.host);
+  row.path = pool_->intern(record.url.path);
+  row.query = pool_->intern(record.url.query);
+  row.agent = pool_->intern(record.user_agent);
+  row.categories = pool_->intern(record.categories);
+  row.method = pool_->intern(record.method);
+  if (record.dest_ip) {
+    row.dest_ip = record.dest_ip->value();
+    row.has_dest_ip = true;
+  }
+  row.port = record.url.port;
+  row.status = record.status;
+  row.proxy_index = record.proxy_index;
+  row.scheme = record.url.scheme;
+  row.result = record.filter_result;
+  row.exception = record.exception;
+  rows_.push_back(row);
+}
+
+void Dataset::finalize() {
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [](const Row& a, const Row& b) { return a.time < b.time; });
+}
+
+std::string_view Dataset::domain(const Row& row) const {
+  if (row.host >= domain_cache_.size())
+    domain_cache_.resize(pool_->size(), util::StringPool::kNotFound);
+  util::StringPool::Id& cached = domain_cache_[row.host];
+  if (cached == util::StringPool::kNotFound)
+    cached = pool_->intern(net::registrable_domain(pool_->view(row.host)));
+  return pool_->view(cached);
+}
+
+std::string Dataset::filter_text(const Row& row) const {
+  std::string text{host(row)};
+  text += path(row);
+  const auto q = query(row);
+  if (!q.empty()) {
+    text += '?';
+    text += q;
+  }
+  return text;
+}
+
+Dataset Dataset::filter(
+    const std::function<bool(const Row&)>& predicate) const {
+  Dataset out{pool_};
+  for (const Row& row : rows_) {
+    if (predicate(row)) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+DatasetBundle DatasetBundle::derive(Dataset full, std::uint64_t sample_seed,
+                                    double sample_rate) {
+  DatasetBundle bundle{std::move(full), Dataset{nullptr}, Dataset{nullptr},
+                       Dataset{nullptr}};
+  util::Rng rng{util::mix64(sample_seed ^ 0x5A3D1E)};
+  bundle.sample = bundle.full.filter(
+      [&](const Row&) { return rng.bernoulli(sample_rate); });
+  bundle.user = bundle.full.filter([](const Row& row) {
+    if (row.proxy_index != 0 || row.user_hash == 0) return false;
+    const auto c = util::to_civil(row.time);
+    return c.month == 7 && (c.day == 22 || c.day == 23);
+  });
+  bundle.denied = bundle.full.filter([](const Row& row) {
+    return row.exception != proxy::ExceptionId::kNone;
+  });
+  return bundle;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/url.h"
+#include "proxy/log_record.h"
+#include "util/string_pool.h"
+
+namespace syrwatch::analysis {
+
+/// One log record in columnar/interned form (~56 bytes). Host, path,
+/// query, agent, category and method strings live in the dataset's shared
+/// StringPool, so millions of records fit comfortably in memory.
+struct Row {
+  std::int64_t time = 0;
+  std::uint64_t user_hash = 0;
+  util::StringPool::Id host = util::StringPool::kEmpty;
+  util::StringPool::Id path = util::StringPool::kEmpty;
+  util::StringPool::Id query = util::StringPool::kEmpty;
+  util::StringPool::Id agent = util::StringPool::kEmpty;
+  util::StringPool::Id categories = util::StringPool::kEmpty;
+  util::StringPool::Id method = util::StringPool::kEmpty;
+  std::uint32_t dest_ip = 0;
+  std::uint16_t port = 0;
+  std::uint16_t status = 0;
+  std::uint8_t proxy_index = 0;
+  net::Scheme scheme = net::Scheme::kHttp;
+  proxy::FilterResult result = proxy::FilterResult::kObserved;
+  proxy::ExceptionId exception = proxy::ExceptionId::kNone;
+  bool has_dest_ip = false;
+};
+
+/// An analyzable log collection — the in-memory analogue of one of the
+/// paper's datasets (Table 1). Datasets derived from the same source share
+/// one string pool, so Dsample/Duser/Ddenied cost only their row vectors.
+class Dataset {
+ public:
+  Dataset();
+  explicit Dataset(std::shared_ptr<util::StringPool> pool);
+
+  void add(const proxy::LogRecord& record);
+
+  /// Sorts rows by time. Call once after the last add().
+  void finalize();
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+  const std::shared_ptr<util::StringPool>& pool() const noexcept {
+    return pool_;
+  }
+
+  std::string_view view(util::StringPool::Id id) const {
+    return pool_->view(id);
+  }
+  std::string_view host(const Row& row) const { return view(row.host); }
+  std::string_view path(const Row& row) const { return view(row.path); }
+  std::string_view query(const Row& row) const { return view(row.query); }
+
+  /// Registrable domain of the row's host (cached per host id).
+  std::string_view domain(const Row& row) const;
+
+  /// §3.3 class of the row.
+  proxy::TrafficClass cls(const Row& row) const noexcept {
+    if (row.result == proxy::FilterResult::kProxied)
+      return proxy::TrafficClass::kProxied;
+    return proxy::classify_by_exception(row.result, row.exception);
+  }
+
+  /// host + path + "?query" — the text the keyword filter scanned.
+  std::string filter_text(const Row& row) const;
+
+  /// New dataset (sharing this pool) with the rows matching the predicate.
+  Dataset filter(const std::function<bool(const Row&)>& predicate) const;
+
+ private:
+  std::shared_ptr<util::StringPool> pool_;
+  std::vector<Row> rows_;
+  // host pool id -> registrable-domain pool id, filled lazily.
+  mutable std::vector<util::StringPool::Id> domain_cache_;
+};
+
+/// The paper's four datasets (Table 1), derived from one generated log.
+struct DatasetBundle {
+  Dataset full;    // Dfull: everything the leak contains
+  Dataset sample;  // Dsample: 4% uniform sample of Dfull
+  Dataset user;    // Duser: SG-42, July 22-23, hashed client ids
+  Dataset denied;  // Ddenied: x-exception-id != '-'
+
+  /// Derives sample/user/denied from a finalized `full`.
+  static DatasetBundle derive(Dataset full, std::uint64_t sample_seed,
+                              double sample_rate = 0.04);
+};
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,41 @@
+#include "analysis/domain_dist.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace syrwatch::analysis {
+
+DomainDistribution domain_distribution(const Dataset& dataset,
+                                       proxy::TrafficClass cls) {
+  std::unordered_map<std::string_view, std::uint64_t> per_domain;
+  for (const Row& row : dataset.rows()) {
+    if (dataset.cls(row) != cls) continue;
+    ++per_domain[dataset.domain(row)];
+  }
+
+  std::vector<std::uint64_t> counts;
+  counts.reserve(per_domain.size());
+  DomainDistribution dist;
+  for (const auto& [domain, count] : per_domain) {
+    counts.push_back(count);
+    dist.max_requests = std::max(dist.max_requests, count);
+  }
+  dist.unique_domains = per_domain.size();
+  dist.domains_by_request_count = util::frequency_of_frequencies(counts);
+
+  // Fig. 2 plots #requests (y) against #domains receiving that many (x);
+  // the slope of that relation on log-log axes characterizes the power law.
+  std::vector<double> xs, ys;
+  for (const auto& [request_count, domain_count] :
+       dist.domains_by_request_count) {
+    xs.push_back(static_cast<double>(domain_count));
+    ys.push_back(static_cast<double>(request_count));
+  }
+  dist.loglog_slope = util::loglog_slope(xs, ys);
+  return dist;
+}
+
+}  // namespace syrwatch::analysis

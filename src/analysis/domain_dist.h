@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// Fig. 2: the requests-per-unique-domain distribution for one traffic
+/// class — for each request count c, how many domains received exactly c
+/// requests — plus the log-log regression slope over those points (the
+/// power-law check).
+struct DomainDistribution {
+  std::map<std::uint64_t, std::uint64_t> domains_by_request_count;
+  std::uint64_t unique_domains = 0;
+  std::uint64_t max_requests = 0;
+  double loglog_slope = 0.0;
+};
+
+DomainDistribution domain_distribution(const Dataset& dataset,
+                                       proxy::TrafficClass cls);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,181 @@
+#include "analysis/export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "policy/syria.h"
+#include "util/stats.h"
+#include "workload/diurnal.h"
+
+namespace syrwatch::analysis {
+
+void export_port_distribution(std::ostream& out,
+                              const std::vector<PortCount>& ports) {
+  out << "#port\tallowed\tcensored\n";
+  for (const auto& entry : ports)
+    out << entry.port << '\t' << entry.allowed << '\t' << entry.censored
+        << '\n';
+}
+
+void export_domain_distribution(std::ostream& out,
+                                const DomainDistribution& dist) {
+  out << "#domains_with_count\trequest_count\n";
+  for (const auto& [requests, domains] : dist.domains_by_request_count)
+    out << domains << '\t' << requests << '\n';
+}
+
+void export_user_activity_cdf(std::ostream& out, const UserStats& stats) {
+  out << "#requests\tcdf_censored\tcdf_clean\n";
+  auto share_below = [](const std::vector<double>& sorted, double x) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    return sorted.empty() ? 0.0
+                          : static_cast<double>(it - sorted.begin()) /
+                                static_cast<double>(sorted.size());
+  };
+  // Merged support of both groups, deduplicated.
+  std::vector<double> support = stats.requests_per_censored_user;
+  support.insert(support.end(), stats.requests_per_clean_user.begin(),
+                 stats.requests_per_clean_user.end());
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+  for (const double x : support) {
+    out << x << '\t' << share_below(stats.requests_per_censored_user, x)
+        << '\t' << share_below(stats.requests_per_clean_user, x) << '\n';
+  }
+}
+
+void export_time_series(std::ostream& out, const TrafficTimeSeries& series) {
+  out << "#unix_time\tallowed\tcensored\n";
+  for (std::size_t bin = 0; bin < series.allowed.bin_count(); ++bin) {
+    out << series.allowed.bin_start(bin) << '\t' << series.allowed.at(bin)
+        << '\t' << series.censored.at(bin) << '\n';
+  }
+}
+
+void export_rcv(std::ostream& out, const RcvSeries& series) {
+  out << "#unix_time\trcv\n";
+  for (std::size_t bin = 0; bin < series.rcv.size(); ++bin) {
+    out << series.origin + static_cast<std::int64_t>(bin) * series.bin_seconds
+        << '\t' << series.rcv[bin] << '\n';
+  }
+}
+
+void export_proxy_load(std::ostream& out, const ProxyLoadSeries& series,
+                       bool censored) {
+  out << "#unix_time";
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p)
+    out << '\t' << policy::proxy_name(p);
+  out << '\n';
+  for (std::size_t bin = 0; bin < series.bin_count(); ++bin) {
+    out << series.origin +
+               static_cast<std::int64_t>(bin) * series.bin_seconds;
+    for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+      out << '\t'
+          << (censored ? series.censored_share(p, bin)
+                       : series.total_share(p, bin));
+    }
+    out << '\n';
+  }
+}
+
+void export_hourly(std::ostream& out, const util::BinnedCounter& series) {
+  out << "#unix_time\trequests\n";
+  for (std::size_t bin = 0; bin < series.bin_count(); ++bin)
+    out << series.bin_start(bin) << '\t' << series.at(bin) << '\n';
+}
+
+void export_rfilter(std::ostream& out, const RfilterSeries& series) {
+  out << "#unix_time\trfilter\thas_traffic\n";
+  for (std::size_t bin = 0; bin < series.rfilter.size(); ++bin) {
+    out << series.origin + static_cast<std::int64_t>(bin) * series.bin_seconds
+        << '\t' << series.rfilter[bin] << '\t'
+        << (series.has_traffic[bin] ? 1 : 0) << '\n';
+  }
+}
+
+void export_cdf(std::ostream& out, std::vector<double> samples) {
+  out << "#x\tcdf\n";
+  for (const auto& point : util::empirical_cdf(std::move(samples)))
+    out << point.x << '\t' << point.y << '\n';
+}
+
+std::size_t export_all_figures(const std::string& directory,
+                               const Dataset& full, const Dataset& user,
+                               const category::Categorizer& categorizer,
+                               const tor::RelayDirectory& relays) {
+  std::size_t written = 0;
+  auto open = [&](const char* name) {
+    return std::ofstream{directory + "/" + name};
+  };
+  auto count_if_good = [&](std::ofstream& out) {
+    if (out.good()) ++written;
+  };
+
+  {
+    auto out = open("fig1_ports.tsv");
+    export_port_distribution(out, port_distribution(full));
+    count_if_good(out);
+  }
+  for (const auto& [name, cls] :
+       {std::pair{"fig2_allowed.tsv", proxy::TrafficClass::kAllowed},
+        std::pair{"fig2_censored.tsv", proxy::TrafficClass::kCensored},
+        std::pair{"fig2_denied.tsv", proxy::TrafficClass::kError}}) {
+    auto out = open(name);
+    export_domain_distribution(out, domain_distribution(full, cls));
+    count_if_good(out);
+  }
+  {
+    auto out = open("fig4b_user_activity.tsv");
+    export_user_activity_cdf(out, user_stats(user));
+    count_if_good(out);
+  }
+  {
+    auto out = open("fig5_timeseries.tsv");
+    export_time_series(
+        out, traffic_time_series(full, workload::at(8, 1), workload::at(8, 7),
+                                 300));
+    count_if_good(out);
+  }
+  {
+    auto out = open("fig6_rcv.tsv");
+    export_rcv(out, rcv_series(full, workload::at(8, 3), workload::at(8, 4),
+                               300));
+    count_if_good(out);
+  }
+  {
+    const auto load = proxy_load_series(full, workload::at(8, 3),
+                                        workload::at(8, 5), 3600);
+    auto out_total = open("fig7_load_total.tsv");
+    export_proxy_load(out_total, load, /*censored=*/false);
+    count_if_good(out_total);
+    auto out_censored = open("fig7_load_censored.tsv");
+    export_proxy_load(out_censored, load, /*censored=*/true);
+    count_if_good(out_censored);
+  }
+  {
+    auto out = open("fig8a_tor_hourly.tsv");
+    export_hourly(out, tor_hourly_series(full, relays, workload::at(8, 1),
+                                         workload::at(8, 7)));
+    count_if_good(out);
+  }
+  {
+    auto out = open("fig9_rfilter.tsv");
+    export_rfilter(out, rfilter_series(full, relays, policy::kTorCensorProxy,
+                                       workload::at(8, 1), workload::at(8, 7),
+                                       3600));
+    count_if_good(out);
+  }
+  {
+    const auto anon = anonymizer_stats(full, categorizer);
+    auto out_a = open("fig10a_clean_host_requests.tsv");
+    export_cdf(out_a, anon.requests_per_clean_host);
+    count_if_good(out_a);
+    auto out_b = open("fig10b_allowed_censored_ratio.tsv");
+    export_cdf(out_b, anon.allowed_censored_ratio);
+    count_if_good(out_b);
+  }
+  return written;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/anonymizer.h"
+#include "analysis/domain_dist.h"
+#include "analysis/port_dist.h"
+#include "analysis/proxy_compare.h"
+#include "analysis/temporal.h"
+#include "analysis/tor_analysis.h"
+#include "analysis/user_stats.h"
+#include "category/categorizer.h"
+#include "tor/relay_directory.h"
+
+namespace syrwatch::analysis {
+
+/// Plot-ready TSV writers for the paper's figures: one '#'-prefixed header
+/// line, then tab-separated rows — ready for gnuplot or matplotlib. Each
+/// writer mirrors one figure's axes.
+
+/// Fig. 1: port \t allowed \t censored.
+void export_port_distribution(std::ostream& out,
+                              const std::vector<PortCount>& ports);
+
+/// Fig. 2: domains_with_count (x) \t request_count (y).
+void export_domain_distribution(std::ostream& out,
+                                const DomainDistribution& dist);
+
+/// Fig. 4b: requests \t cdf_censored \t cdf_clean (merged support).
+void export_user_activity_cdf(std::ostream& out, const UserStats& stats);
+
+/// Fig. 5a: unix_time \t allowed \t censored.
+void export_time_series(std::ostream& out, const TrafficTimeSeries& series);
+
+/// Fig. 6: unix_time \t rcv.
+void export_rcv(std::ostream& out, const RcvSeries& series);
+
+/// Fig. 7: unix_time \t share_sg42 .. share_sg48 (total or censored).
+void export_proxy_load(std::ostream& out, const ProxyLoadSeries& series,
+                       bool censored);
+
+/// Fig. 8a: unix_time \t requests.
+void export_hourly(std::ostream& out, const util::BinnedCounter& series);
+
+/// Fig. 9: unix_time \t rfilter \t has_traffic.
+void export_rfilter(std::ostream& out, const RfilterSeries& series);
+
+/// Figs. 10a/10b: x \t cdf over arbitrary samples.
+void export_cdf(std::ostream& out, std::vector<double> samples);
+
+/// Writes every figure's data file (fig1.tsv, fig2_allowed.tsv, ...,
+/// fig10b.tsv) into `directory` (created by the caller). Returns the
+/// number of files written. Time windows follow the paper (Aug 1-6 for
+/// the series figures, Aug 3 for RCV).
+std::size_t export_all_figures(const std::string& directory,
+                               const Dataset& full, const Dataset& user,
+                               const category::Categorizer& categorizer,
+                               const tor::RelayDirectory& relays);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,59 @@
+#include "analysis/google_cache.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+namespace {
+
+/// Pulls the cached target host out of "q=cache:<token>:<host>/<path>".
+std::string_view cached_target(std::string_view query) {
+  const auto cache_pos = query.find("cache:");
+  if (cache_pos == std::string_view::npos) return {};
+  auto rest = query.substr(cache_pos + 6);
+  const auto colon = rest.find(':');
+  if (colon != std::string_view::npos) rest = rest.substr(colon + 1);
+  const auto end = rest.find_first_of("/&");
+  return end == std::string_view::npos ? rest : rest.substr(0, end);
+}
+
+}  // namespace
+
+GoogleCacheStats google_cache_stats(
+    const Dataset& dataset,
+    std::span<const std::string> censored_site_suffixes) {
+  GoogleCacheStats stats;
+  std::map<std::string, std::uint64_t> served;
+  for (const Row& row : dataset.rows()) {
+    if (dataset.host(row) != "webcache.googleusercontent.com") continue;
+    ++stats.requests;
+    const auto cls = dataset.cls(row);
+    if (cls == proxy::TrafficClass::kCensored) {
+      ++stats.censored;
+      continue;
+    }
+    if (cls != proxy::TrafficClass::kAllowed) continue;
+    ++stats.allowed;
+    const auto target = cached_target(dataset.query(row));
+    if (target.empty()) continue;
+    for (const std::string& suffix : censored_site_suffixes) {
+      if (util::host_matches_domain(target, suffix)) {
+        ++served[std::string(target)];
+        break;
+      }
+    }
+  }
+  for (auto& [site, count] : served)
+    stats.censored_sites_served.push_back({site, count});
+  std::sort(stats.censored_sites_served.begin(),
+            stats.censored_sites_served.end(),
+            [](const auto& a, const auto& b) {
+              return a.allowed_fetches > b.allowed_fetches;
+            });
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

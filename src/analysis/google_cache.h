@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// §7.4: Google cache as an accidental circumvention channel. Cache
+/// fetches go to webcache.googleusercontent.com; the cached page's own URL
+/// sits in the query, invisible to domain/IP rules — only keyword rules
+/// can fire. The analysis extracts cached-target sites and checks which
+/// otherwise-censored sites were successfully read through the cache.
+struct GoogleCacheStats {
+  std::uint64_t requests = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t censored = 0;
+  /// Allowed cache fetches of sites that the proxies censor directly.
+  struct CachedSite {
+    std::string site;
+    std::uint64_t allowed_fetches = 0;
+  };
+  std::vector<CachedSite> censored_sites_served;
+};
+
+/// `censored_site_suffixes`: host suffixes known to be censored directly
+/// (e.g. from string discovery) to check against cached targets.
+GoogleCacheStats google_cache_stats(
+    const Dataset& dataset,
+    std::span<const std::string> censored_site_suffixes);
+
+}  // namespace syrwatch::analysis

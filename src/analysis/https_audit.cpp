@@ -1,0 +1,22 @@
+#include "analysis/https_audit.h"
+
+#include "net/ipv4.h"
+
+namespace syrwatch::analysis {
+
+HttpsStats https_stats(const Dataset& dataset) {
+  HttpsStats stats;
+  stats.all_records = dataset.size();
+  for (const Row& row : dataset.rows()) {
+    if (row.scheme != net::Scheme::kHttps) continue;
+    ++stats.total;
+    if (!dataset.path(row).empty() || !dataset.query(row).empty())
+      ++stats.with_uri_fields;
+    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
+    ++stats.censored;
+    if (net::looks_like_ipv4(dataset.host(row))) ++stats.censored_ip_dest;
+  }
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

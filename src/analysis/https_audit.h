@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// §4's HTTPS paragraph, as an analyzer: how much HTTPS there is, how much
+/// of it is censored, whether censorship keys on IP destinations, and
+/// whether the logs show any evidence of TLS interception (the paper's
+/// test: cs-uri-path/-query would be present under a MITM — they are not).
+struct HttpsStats {
+  std::uint64_t total = 0;            // HTTPS (CONNECT/ssl) records
+  std::uint64_t censored = 0;
+  std::uint64_t censored_ip_dest = 0; // censored with an IP-literal host
+  std::uint64_t with_uri_fields = 0;  // records exposing path or query
+  std::uint64_t all_records = 0;      // dataset size, for the share
+
+  double share_of_traffic() const noexcept {
+    return all_records == 0 ? 0.0
+                            : static_cast<double>(total) /
+                                  static_cast<double>(all_records);
+  }
+  double censored_share() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(censored) /
+                            static_cast<double>(total);
+  }
+  double censored_ip_share() const noexcept {
+    return censored == 0 ? 0.0
+                         : static_cast<double>(censored_ip_dest) /
+                               static_cast<double>(censored);
+  }
+  /// True when any HTTPS record carries URI fields — the MITM signature.
+  bool interception_evidence() const noexcept { return with_uri_fields > 0; }
+};
+
+HttpsStats https_stats(const Dataset& dataset);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,69 @@
+#include "analysis/impact.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/ipv4.h"
+
+namespace syrwatch::analysis {
+
+PolicyImpact policy_impact(const Dataset& dataset,
+                           const policy::PolicyEngine& engine,
+                           const policy::CustomCategoryList& custom_categories,
+                           std::size_t top_k) {
+  PolicyImpact impact;
+  util::Rng rng{0x1A7AC7 ^ 0x5EED};
+  std::unordered_map<std::string_view, std::uint64_t> newly_censored;
+
+  for (const Row& row : dataset.rows()) {
+    const auto cls = dataset.cls(row);
+    if (cls != proxy::TrafficClass::kAllowed &&
+        cls != proxy::TrafficClass::kCensored)
+      continue;
+    ++impact.evaluated;
+    const bool was_censored = cls == proxy::TrafficClass::kCensored;
+    if (was_censored) ++impact.censored_observed;
+
+    net::Url url;
+    url.scheme = row.scheme;
+    url.host = std::string(dataset.host(row));
+    url.port = row.port;
+    url.path = std::string(dataset.path(row));
+    url.query = std::string(dataset.query(row));
+
+    policy::FilterRequest request;
+    request.url = &url;
+    request.time = row.time;
+    if (row.has_dest_ip) request.dest_ip = net::Ipv4Addr{row.dest_ip};
+    request.custom_category = custom_categories.classify(url);
+
+    const bool now_censored = engine.evaluate(request, rng).censored();
+    if (now_censored) ++impact.censored_hypothetical;
+    if (now_censored && !was_censored) {
+      ++impact.newly_censored;
+      ++newly_censored[dataset.domain(row)];
+    } else if (!now_censored && was_censored) {
+      ++impact.newly_allowed;
+    }
+  }
+
+  std::vector<DomainCount> ranked;
+  ranked.reserve(newly_censored.size());
+  for (const auto& [domain, count] : newly_censored) {
+    ranked.push_back({std::string(domain), count,
+                      impact.newly_censored == 0
+                          ? 0.0
+                          : static_cast<double>(count) /
+                                static_cast<double>(impact.newly_censored)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DomainCount& a, const DomainCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.domain < b.domain;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  impact.top_newly_censored = std::move(ranked);
+  return impact;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/top_domains.h"
+#include "policy/custom_category.h"
+#include "policy/engine.h"
+
+namespace syrwatch::analysis {
+
+/// What-if re-screening: replay every logged URL through a *hypothetical*
+/// policy and compare its decisions against the observed ones — the tool
+/// behind §8's cost/benefit discussion (how much more or less would a
+/// different ruleset block, and whom).
+struct PolicyImpact {
+  std::uint64_t evaluated = 0;
+  std::uint64_t censored_observed = 0;      // censored in the log
+  std::uint64_t censored_hypothetical = 0;  // censored by the new policy
+  std::uint64_t newly_censored = 0;         // allowed -> censored
+  std::uint64_t newly_allowed = 0;          // censored -> allowed
+  /// Domains with the most newly censored requests — the collateral the
+  /// hypothetical policy would create.
+  std::vector<DomainCount> top_newly_censored;
+
+  double observed_rate() const noexcept {
+    return evaluated == 0 ? 0.0
+                          : static_cast<double>(censored_observed) /
+                                static_cast<double>(evaluated);
+  }
+  double hypothetical_rate() const noexcept {
+    return evaluated == 0 ? 0.0
+                          : static_cast<double>(censored_hypothetical) /
+                                static_cast<double>(evaluated);
+  }
+};
+
+/// Re-screens the dataset's allowed/censored rows (errors and proxied rows
+/// are skipped: their outcomes were not policy decisions). Scheduled rules
+/// evaluate at each row's own timestamp with a fixed-seed generator, so
+/// the result is deterministic.
+PolicyImpact policy_impact(const Dataset& dataset,
+                           const policy::PolicyEngine& engine,
+                           const policy::CustomCategoryList& custom_categories,
+                           std::size_t top_k = 10);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,94 @@
+#include "analysis/ip_censorship.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "net/ipv4.h"
+
+namespace syrwatch::analysis {
+
+namespace {
+
+std::optional<net::Ipv4Addr> row_ip(const Dataset& dataset, const Row& row) {
+  // DIPv4 keys on the cs-host field being an IP literal.
+  return net::Ipv4Addr::parse(dataset.host(row));
+}
+
+}  // namespace
+
+std::vector<CountryCensorship> country_censorship(const Dataset& dataset,
+                                                  const geo::GeoIpDb& geoip) {
+  std::map<std::string, CountryCensorship> by_country;
+  for (const Row& row : dataset.rows()) {
+    const auto ip = row_ip(dataset, row);
+    if (!ip) continue;
+    const auto country = geoip.lookup(*ip);
+    if (!country) continue;
+    const auto cls = dataset.cls(row);
+    if (cls != proxy::TrafficClass::kCensored &&
+        cls != proxy::TrafficClass::kAllowed)
+      continue;
+    CountryCensorship& entry = by_country[std::string(*country)];
+    entry.country = *country;
+    if (cls == proxy::TrafficClass::kCensored) ++entry.censored;
+    else ++entry.allowed;
+  }
+  std::vector<CountryCensorship> out;
+  out.reserve(by_country.size());
+  for (auto& [name, entry] : by_country) out.push_back(std::move(entry));
+  std::sort(out.begin(), out.end(),
+            [](const CountryCensorship& a, const CountryCensorship& b) {
+              return a.ratio() > b.ratio();
+            });
+  return out;
+}
+
+std::vector<SubnetCensorship> subnet_censorship(
+    const Dataset& dataset, std::span<const net::Ipv4Subnet> subnets) {
+  std::vector<SubnetCensorship> out;
+  out.reserve(subnets.size());
+  std::vector<std::unordered_set<std::uint32_t>> censored_ips(subnets.size()),
+      allowed_ips(subnets.size()), proxied_ips(subnets.size());
+  for (const auto& subnet : subnets) out.push_back({subnet});
+
+  for (const Row& row : dataset.rows()) {
+    const auto ip = row_ip(dataset, row);
+    if (!ip) continue;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (!out[i].subnet.contains(*ip)) continue;
+      switch (dataset.cls(row)) {
+        case proxy::TrafficClass::kCensored:
+          ++out[i].censored_requests;
+          censored_ips[i].insert(ip->value());
+          break;
+        case proxy::TrafficClass::kAllowed:
+          ++out[i].allowed_requests;
+          allowed_ips[i].insert(ip->value());
+          break;
+        case proxy::TrafficClass::kProxied:
+          ++out[i].proxied_requests;
+          proxied_ips[i].insert(ip->value());
+          break;
+        case proxy::TrafficClass::kError:
+          break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].censored_ips = censored_ips[i].size();
+    out[i].allowed_ips = allowed_ips[i].size();
+    out[i].proxied_ips = proxied_ips[i].size();
+  }
+  return out;
+}
+
+std::uint64_t direct_ip_requests(const Dataset& dataset) {
+  std::uint64_t count = 0;
+  for (const Row& row : dataset.rows()) {
+    if (row_ip(dataset, row)) ++count;
+  }
+  return count;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "geo/geoip.h"
+#include "net/subnet.h"
+
+namespace syrwatch::analysis {
+
+/// §5.4's IP-based censorship analysis over DIPv4 — the subset of requests
+/// whose cs-host is an IPv4 literal.
+
+/// Table 11: per-country censored/allowed counts and censorship ratio.
+struct CountryCensorship {
+  std::string country;
+  std::uint64_t censored = 0;
+  std::uint64_t allowed = 0;
+  double ratio() const noexcept {
+    const double total = static_cast<double>(censored + allowed);
+    return total == 0.0 ? 0.0 : static_cast<double>(censored) / total;
+  }
+};
+
+/// Countries ranked by censorship ratio (descending). Unlocatable IPs are
+/// dropped, as with the paper's GeoIP lookups.
+std::vector<CountryCensorship> country_censorship(const Dataset& dataset,
+                                                  const geo::GeoIpDb& geoip);
+
+/// Table 12: per-subnet request and distinct-IP counts by traffic class.
+struct SubnetCensorship {
+  net::Ipv4Subnet subnet;
+  std::uint64_t censored_requests = 0;
+  std::uint64_t allowed_requests = 0;
+  std::uint64_t proxied_requests = 0;
+  std::uint64_t censored_ips = 0;
+  std::uint64_t allowed_ips = 0;
+  std::uint64_t proxied_ips = 0;
+};
+
+std::vector<SubnetCensorship> subnet_censorship(
+    const Dataset& dataset, std::span<const net::Ipv4Subnet> subnets);
+
+/// Number of direct-IP requests (the DIPv4 dataset size).
+std::uint64_t direct_ip_requests(const Dataset& dataset);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,69 @@
+#include "analysis/osn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+const std::vector<std::string>& studied_social_networks() {
+  // Top networks by 2013 Alexa rank plus the three Arabic-region ones the
+  // paper adds (§6).
+  static const std::vector<std::string> networks = {
+      "facebook.com", "twitter.com",  "linkedin.com", "badoo.com",
+      "netlog.com",   "hi5.com",      "skyrock.com",  "flickr.com",
+      "ning.com",     "meetup.com",   "myspace.com",  "tumblr.com",
+      "last.fm",      "salamworld.com", "muslimup.com",
+  };
+  return networks;
+}
+
+std::vector<DomainClassCounts> osn_censorship(const Dataset& dataset) {
+  auto counts = domain_class_counts(dataset, studied_social_networks());
+  std::sort(counts.begin(), counts.end(),
+            [](const DomainClassCounts& a, const DomainClassCounts& b) {
+              return a.censored > b.censored;
+            });
+  return counts;
+}
+
+std::vector<FacebookPage> blocked_facebook_pages(const Dataset& dataset) {
+  // First pass: paths that ever carried the custom category label.
+  std::map<std::string, FacebookPage> pages;
+  for (const Row& row : dataset.rows()) {
+    if (!util::host_matches_domain(dataset.host(row), "facebook.com"))
+      continue;
+    if (!util::contains(dataset.view(row.categories), "Blocked sites"))
+      continue;
+    const auto path = dataset.path(row);
+    if (path.size() < 2 || path[0] != '/') continue;
+    pages[std::string(path.substr(1))].page = std::string(path.substr(1));
+  }
+  // Second pass: class counts for every request to those paths.
+  for (const Row& row : dataset.rows()) {
+    if (!util::host_matches_domain(dataset.host(row), "facebook.com"))
+      continue;
+    const auto path = dataset.path(row);
+    if (path.size() < 2) continue;
+    const auto it = pages.find(std::string(path.substr(1)));
+    if (it == pages.end()) continue;
+    switch (dataset.cls(row)) {
+      case proxy::TrafficClass::kCensored: ++it->second.censored; break;
+      case proxy::TrafficClass::kAllowed: ++it->second.allowed; break;
+      case proxy::TrafficClass::kProxied: ++it->second.proxied; break;
+      case proxy::TrafficClass::kError: break;
+    }
+  }
+  std::vector<FacebookPage> out;
+  out.reserve(pages.size());
+  for (auto& [name, page] : pages) out.push_back(std::move(page));
+  std::sort(out.begin(), out.end(),
+            [](const FacebookPage& a, const FacebookPage& b) {
+              if (a.censored != b.censored) return a.censored > b.censored;
+              return a.page < b.page;
+            });
+  return out;
+}
+
+}  // namespace syrwatch::analysis

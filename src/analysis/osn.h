@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/top_domains.h"
+
+namespace syrwatch::analysis {
+
+/// §6's social-media study.
+
+/// The representative OSN set the paper examines (top networks plus three
+/// popular in Arabic-speaking countries).
+const std::vector<std::string>& studied_social_networks();
+
+/// Table 13: per-OSN censored/allowed/proxied counts, ranked by censored.
+std::vector<DomainClassCounts> osn_censorship(const Dataset& dataset);
+
+/// Table 14: Facebook pages touched by the "Blocked sites" custom
+/// category, with per-page censored/allowed/proxied counts. A page is
+/// "blocked" when at least one request to it carries the custom category
+/// label; pages whose requests are all default-categorized never appear —
+/// the paper's narrow-targeting finding.
+struct FacebookPage {
+  std::string page;  // path without the leading '/'
+  std::uint64_t censored = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t proxied = 0;
+};
+
+std::vector<FacebookPage> blocked_facebook_pages(const Dataset& dataset);
+
+}  // namespace syrwatch::analysis

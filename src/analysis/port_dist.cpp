@@ -1,0 +1,32 @@
+#include "analysis/port_dist.h"
+
+#include <algorithm>
+#include <map>
+
+namespace syrwatch::analysis {
+
+std::vector<PortCount> port_distribution(const Dataset& dataset,
+                                         std::size_t k) {
+  std::map<std::uint16_t, PortCount> by_port;
+  for (const Row& row : dataset.rows()) {
+    const auto cls = dataset.cls(row);
+    if (cls != proxy::TrafficClass::kAllowed &&
+        cls != proxy::TrafficClass::kCensored)
+      continue;
+    PortCount& entry = by_port[row.port];
+    entry.port = row.port;
+    if (cls == proxy::TrafficClass::kAllowed) ++entry.allowed;
+    else ++entry.censored;
+  }
+  std::vector<PortCount> out;
+  out.reserve(by_port.size());
+  for (const auto& [port, entry] : by_port) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const PortCount& a, const PortCount& b) {
+    if (a.censored != b.censored) return a.censored > b.censored;
+    return a.port < b.port;
+  });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace syrwatch::analysis

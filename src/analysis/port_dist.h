@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// Fig. 1: requests per destination port, split into allowed and censored.
+struct PortCount {
+  std::uint16_t port = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t censored = 0;
+};
+
+/// Ports ranked by censored count (descending), ties by port number.
+/// `k` bounds the result; pass 0 for all ports.
+std::vector<PortCount> port_distribution(const Dataset& dataset,
+                                         std::size_t k = 0);
+
+}  // namespace syrwatch::analysis

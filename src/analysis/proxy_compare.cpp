@@ -1,0 +1,101 @@
+#include "analysis/proxy_compare.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace syrwatch::analysis {
+
+double ProxyLoadSeries::total_share(std::size_t proxy,
+                                    std::size_t bin) const {
+  std::uint64_t sum = 0;
+  for (const auto& series : total) sum += series.at(bin);
+  return sum == 0 ? 0.0
+                  : static_cast<double>(total[proxy][bin]) /
+                        static_cast<double>(sum);
+}
+
+double ProxyLoadSeries::censored_share(std::size_t proxy,
+                                       std::size_t bin) const {
+  std::uint64_t sum = 0;
+  for (const auto& series : censored) sum += series.at(bin);
+  return sum == 0 ? 0.0
+                  : static_cast<double>(censored[proxy][bin]) /
+                        static_cast<double>(sum);
+}
+
+ProxyLoadSeries proxy_load_series(const Dataset& dataset, std::int64_t start,
+                                  std::int64_t end,
+                                  std::int64_t bin_seconds) {
+  if (end <= start || bin_seconds <= 0)
+    throw std::invalid_argument("proxy_load_series: bad window");
+  const auto bins = static_cast<std::size_t>(
+      (end - start + bin_seconds - 1) / bin_seconds);
+  ProxyLoadSeries series;
+  series.origin = start;
+  series.bin_seconds = bin_seconds;
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+    series.total[p].assign(bins, 0);
+    series.censored[p].assign(bins, 0);
+  }
+  for (const Row& row : dataset.rows()) {
+    if (row.time < start || row.time >= end) continue;
+    const auto bin =
+        static_cast<std::size_t>((row.time - start) / bin_seconds);
+    ++series.total[row.proxy_index][bin];
+    if (dataset.cls(row) == proxy::TrafficClass::kCensored)
+      ++series.censored[row.proxy_index][bin];
+  }
+  return series;
+}
+
+ProxySimilarity censored_domain_similarity(const Dataset& dataset,
+                                           std::int64_t start,
+                                           std::int64_t end) {
+  // Per-proxy censored-request counts over a shared domain index.
+  std::unordered_map<std::string_view, std::size_t> domain_index;
+  std::array<std::vector<double>, policy::kProxyCount> vectors;
+  for (const Row& row : dataset.rows()) {
+    if (row.time < start || row.time >= end) continue;
+    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
+    const auto domain = dataset.domain(row);
+    const auto [it, inserted] =
+        domain_index.emplace(domain, domain_index.size());
+    const std::size_t idx = it->second;
+    for (auto& vec : vectors) {
+      if (vec.size() <= idx) vec.resize(domain_index.size(), 0.0);
+    }
+    vectors[row.proxy_index][idx] += 1.0;
+  }
+  for (auto& vec : vectors) vec.resize(domain_index.size(), 0.0);
+
+  ProxySimilarity similarity;
+  for (std::size_t a = 0; a < policy::kProxyCount; ++a) {
+    for (std::size_t b = 0; b < policy::kProxyCount; ++b) {
+      similarity.matrix[a][b] =
+          a == b ? 1.0 : util::cosine_similarity(vectors[a], vectors[b]);
+    }
+  }
+  return similarity;
+}
+
+ProxyCategoryLabels proxy_category_labels(const Dataset& dataset) {
+  std::array<std::unordered_map<std::string_view, std::uint64_t>,
+             policy::kProxyCount>
+      counts;
+  for (const Row& row : dataset.rows())
+    ++counts[row.proxy_index][dataset.view(row.categories)];
+
+  ProxyCategoryLabels labels;
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+    for (const auto& [label, count] : counts[p])
+      labels.labels[p].push_back({std::string(label), count});
+    std::sort(labels.labels[p].begin(), labels.labels[p].end(),
+              [](const auto& a, const auto& b) { return a.count > b.count; });
+  }
+  return labels;
+}
+
+}  // namespace syrwatch::analysis

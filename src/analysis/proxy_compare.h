@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "policy/syria.h"
+#include "util/histogram.h"
+
+namespace syrwatch::analysis {
+
+/// Fig. 7: per-proxy traffic shares over time (all traffic and censored
+/// traffic separately).
+struct ProxyLoadSeries {
+  std::int64_t origin = 0;
+  std::int64_t bin_seconds = 0;
+  /// [proxy][bin] request counts.
+  std::array<std::vector<std::uint64_t>, policy::kProxyCount> total;
+  std::array<std::vector<std::uint64_t>, policy::kProxyCount> censored;
+
+  /// Share of proxy p in the bin's total (0 when the bin is empty).
+  double total_share(std::size_t proxy, std::size_t bin) const;
+  double censored_share(std::size_t proxy, std::size_t bin) const;
+  std::size_t bin_count() const noexcept { return total[0].size(); }
+};
+
+ProxyLoadSeries proxy_load_series(const Dataset& dataset, std::int64_t start,
+                                  std::int64_t end,
+                                  std::int64_t bin_seconds = 3600);
+
+/// Table 6: cosine similarity of the per-domain censored-request vectors
+/// of each proxy pair, restricted to a time window (the paper uses
+/// 2011-08-03).
+struct ProxySimilarity {
+  std::array<std::array<double, policy::kProxyCount>, policy::kProxyCount>
+      matrix{};
+};
+
+ProxySimilarity censored_domain_similarity(const Dataset& dataset,
+                                           std::int64_t start,
+                                           std::int64_t end);
+
+/// §5.2's category-label observation: which cs-categories strings each
+/// proxy logs, and how often ("none" appears only on SG-43/SG-48).
+struct ProxyCategoryLabels {
+  struct LabelCount {
+    std::string label;
+    std::uint64_t count = 0;
+  };
+  std::array<std::vector<LabelCount>, policy::kProxyCount> labels;
+};
+
+ProxyCategoryLabels proxy_category_labels(const Dataset& dataset);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,54 @@
+#include "analysis/redirects.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace syrwatch::analysis {
+
+std::vector<RedirectHost> redirect_hosts(const Dataset& dataset,
+                                         std::size_t k) {
+  std::unordered_map<std::string_view, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const Row& row : dataset.rows()) {
+    if (row.exception != proxy::ExceptionId::kPolicyRedirect) continue;
+    ++total;
+    ++counts[dataset.host(row)];
+  }
+  std::vector<RedirectHost> out;
+  out.reserve(counts.size());
+  for (const auto& [host, count] : counts)
+    out.push_back({std::string(host), count,
+                   total == 0 ? 0.0
+                              : static_cast<double>(count) /
+                                    static_cast<double>(total)});
+  std::sort(out.begin(), out.end(),
+            [](const RedirectHost& a, const RedirectHost& b) {
+              if (a.requests != b.requests) return a.requests > b.requests;
+              return a.host < b.host;
+            });
+  if (k != 0 && out.size() > k) out.resize(k);
+  return out;
+}
+
+std::uint64_t redirect_followups(const Dataset& dataset,
+                                 std::int64_t window_seconds) {
+  // Rows are time-sorted after finalize(); scan forward from each redirect
+  // looking for any same-user request inside the window.
+  const auto& rows = dataset.rows();
+  std::uint64_t followups = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (row.exception != proxy::ExceptionId::kPolicyRedirect) continue;
+    if (row.user_hash == 0) continue;  // unattributable
+    for (std::size_t j = i + 1; j < rows.size(); ++j) {
+      if (rows[j].time > row.time + window_seconds) break;
+      if (rows[j].user_hash == row.user_hash && rows[j].host != row.host) {
+        ++followups;
+        break;
+      }
+    }
+  }
+  return followups;
+}
+
+}  // namespace syrwatch::analysis

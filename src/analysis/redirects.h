@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// Table 7: hosts (full hostnames, not registrable domains — the paper
+/// lists www.facebook.com and ar-ar.facebook.com separately) raising
+/// policy_redirect, ranked by request count. PROXIED replays of redirect
+/// decisions count too, as they do in the leak.
+struct RedirectHost {
+  std::string host;
+  std::uint64_t requests = 0;
+  double share = 0.0;
+};
+
+std::vector<RedirectHost> redirect_hosts(const Dataset& dataset,
+                                         std::size_t k = 0);
+
+/// §5.3's negative finding: redirected clients never re-appear with a
+/// follow-up request within `window_seconds`, implying the redirect target
+/// bypasses the logged proxies. Returns the number of redirects for which
+/// a same-user request to a *different* host follows within the window.
+std::uint64_t redirect_followups(const Dataset& dataset,
+                                 std::int64_t window_seconds = 2);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,45 @@
+#include "analysis/sampling.h"
+
+#include "analysis/traffic_stats.h"
+
+namespace syrwatch::analysis {
+
+std::vector<SamplingCheck> sampling_audit(const Dataset& full,
+                                          const Dataset& sample,
+                                          double alpha) {
+  const TrafficStats full_stats = traffic_stats(full);
+  const TrafficStats sample_stats = traffic_stats(sample);
+
+  struct Metric {
+    const char* name;
+    std::uint64_t full_count;
+    std::uint64_t sample_count;
+  };
+  const Metric metrics[] = {
+      {"allowed", full_stats.observed, sample_stats.observed},
+      {"proxied", full_stats.proxied, sample_stats.proxied},
+      {"denied", full_stats.denied, sample_stats.denied},
+      {"censored", full_stats.censored(), sample_stats.censored()},
+      {"errors", full_stats.errors(), sample_stats.errors()},
+  };
+
+  std::vector<SamplingCheck> checks;
+  checks.reserve(std::size(metrics));
+  for (const Metric& metric : metrics) {
+    SamplingCheck check;
+    check.metric = metric.name;
+    check.full_proportion = full_stats.share(metric.full_count);
+    check.sample_proportion = sample_stats.share(metric.sample_count);
+    // Wilson rather than the plain normal approximation: the rare classes
+    // (proxied, censored) can have 0 sampled successes, where the normal
+    // interval degenerates to a point.
+    check.interval = util::wilson_confidence(metric.sample_count,
+                                             sample_stats.total, alpha);
+    check.covered = check.full_proportion >= check.interval.lo &&
+                    check.full_proportion <= check.interval.hi;
+    checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace syrwatch::analysis

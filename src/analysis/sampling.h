@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "util/stats.h"
+
+namespace syrwatch::analysis {
+
+/// §3.3's sampling argument, verified empirically: for each traffic-class
+/// proportion, does the confidence interval computed from Dsample cover
+/// the true value measured on Dfull?
+struct SamplingCheck {
+  std::string metric;
+  double full_proportion = 0.0;
+  double sample_proportion = 0.0;
+  util::ProportionInterval interval;  // around the sample proportion
+  bool covered = false;               // full value inside the interval
+};
+
+/// Checks the allowed / proxied / denied / censored / error proportions at
+/// confidence 1 - alpha (the paper uses alpha = 0.05).
+std::vector<SamplingCheck> sampling_audit(const Dataset& full,
+                                          const Dataset& sample,
+                                          double alpha = 0.05);
+
+}  // namespace syrwatch::analysis

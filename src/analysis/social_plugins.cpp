@@ -1,0 +1,60 @@
+#include "analysis/social_plugins.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+const std::vector<std::string>& social_plugin_paths() {
+  static const std::vector<std::string> paths = {
+      "/plugins/like.php",        "/extern/login_status.php",
+      "/plugins/likebox.php",     "/plugins/send.php",
+      "/plugins/comments.php",    "/fbml/fbjs_ajax_proxy.php",
+      "/connect/canvas_proxy.php", "/ajax/proxy.php",
+      "/platform/page_proxy.php", "/plugins/facepile.php",
+  };
+  return paths;
+}
+
+SocialPluginStats social_plugin_stats(const Dataset& dataset) {
+  SocialPluginStats stats;
+  const auto& paths = social_plugin_paths();
+  stats.elements.reserve(paths.size());
+  for (const std::string& path : paths) stats.elements.push_back({path});
+
+  for (const Row& row : dataset.rows()) {
+    if (!util::host_matches_domain(dataset.host(row), "facebook.com"))
+      continue;
+    const auto cls = dataset.cls(row);
+    if (cls == proxy::TrafficClass::kCensored) ++stats.facebook_censored;
+    const auto path = dataset.path(row);
+    for (auto& element : stats.elements) {
+      if (path != element.path) continue;
+      switch (cls) {
+        case proxy::TrafficClass::kCensored:
+          ++element.censored;
+          ++stats.plugin_censored;
+          break;
+        case proxy::TrafficClass::kAllowed: ++element.allowed; break;
+        case proxy::TrafficClass::kProxied: ++element.proxied; break;
+        case proxy::TrafficClass::kError: break;
+      }
+      break;
+    }
+  }
+  for (auto& element : stats.elements) {
+    element.censored_share =
+        stats.facebook_censored == 0
+            ? 0.0
+            : static_cast<double>(element.censored) /
+                  static_cast<double>(stats.facebook_censored);
+  }
+  std::sort(stats.elements.begin(), stats.elements.end(),
+            [](const auto& a, const auto& b) {
+              return a.censored > b.censored;
+            });
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// Table 15: Facebook social-plugin endpoints by traffic class, plus each
+/// endpoint's share of the censored facebook.com traffic — the evidence
+/// that facebook's censored volume is keyword collateral, not political
+/// filtering.
+struct SocialPluginStats {
+  struct Element {
+    std::string path;
+    std::uint64_t censored = 0;
+    std::uint64_t allowed = 0;
+    std::uint64_t proxied = 0;
+    double censored_share = 0.0;  // of censored facebook.com requests
+  };
+  std::vector<Element> elements;          // ranked by censored count
+  std::uint64_t facebook_censored = 0;    // all censored facebook.com rows
+  std::uint64_t plugin_censored = 0;      // censored rows on listed paths
+};
+
+/// The plugin endpoints of Table 15.
+const std::vector<std::string>& social_plugin_paths();
+
+SocialPluginStats social_plugin_stats(const Dataset& dataset);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,293 @@
+#include "analysis/string_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/domain.h"
+#include "net/ipv4.h"
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+namespace {
+
+constexpr std::size_t kMinTokenLength = 5;
+
+bool all_digits(std::string_view s) noexcept {
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return !s.empty();
+}
+
+/// Splits a URL-ish text into lower-case alphanumeric tokens.
+template <typename Fn>
+void for_each_token(std::string_view text, Fn&& fn) {
+  std::size_t start = 0;
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9');
+  };
+  while (start < text.size()) {
+    while (start < text.size() && !is_word(text[start])) ++start;
+    std::size_t end = start;
+    while (end < text.size() && is_word(text[end])) ++end;
+    if (end > start) fn(text.substr(start, end - start));
+    start = end;
+  }
+}
+
+struct CensoredRow {
+  std::string filter_text;   // lower-cased host+path?query
+  std::string host;          // lower-cased
+  std::string domain;        // registrable
+  std::string path_query;    // lower-cased path + query (token eligibility)
+  bool anchor = false;       // bare-domain request (paper's §5.4 rule)
+  bool alive = true;
+};
+
+}  // namespace
+
+std::vector<std::string> DiscoveryResult::domain_names() const {
+  std::vector<std::string> names;
+  names.reserve(domains.size());
+  for (const auto& d : domains) names.push_back(d.text);
+  return names;
+}
+
+DiscoveryResult discover_censored_strings(const Dataset& dataset,
+                                          const DiscoveryOptions& options) {
+  DiscoveryResult result;
+
+  // ---- Materialize the censored set C and the allowed reference A -------
+  std::vector<CensoredRow> censored;
+  std::unordered_set<std::string> allowed_domains;
+  std::unordered_set<std::string> allowed_hosts;
+  std::unordered_set<std::string> allowed_tokens;
+  std::string allowed_corpus;  // '\n'-joined, for exact substring checks
+  std::vector<std::string> proxied_texts;
+
+  for (const Row& row : dataset.rows()) {
+    const auto cls = dataset.cls(row);
+    if (cls == proxy::TrafficClass::kCensored) {
+      CensoredRow cr;
+      cr.host = util::to_lower(dataset.host(row));
+      if (net::looks_like_ipv4(cr.host)) continue;  // IP filtering: §5.4's
+                                                    // separate analysis
+      cr.domain = net::registrable_domain(cr.host);
+      const std::string path = util::to_lower(dataset.path(row));
+      const std::string query = util::to_lower(dataset.query(row));
+      cr.path_query = path + (query.empty() ? "" : "?" + query);
+      cr.filter_text = cr.host + cr.path_query;
+      cr.anchor = query.empty() && (path.empty() || path == "/");
+      censored.push_back(std::move(cr));
+    } else if (cls == proxy::TrafficClass::kAllowed) {
+      const std::string text = util::to_lower(dataset.filter_text(row));
+      const std::string host = util::to_lower(dataset.host(row));
+      allowed_hosts.insert(host);
+      allowed_domains.insert(net::registrable_domain(host));
+      for_each_token(text, [&](std::string_view token) {
+        if (token.size() >= kMinTokenLength && !all_digits(token))
+          allowed_tokens.emplace(token);
+      });
+      allowed_corpus += text;
+      allowed_corpus += '\n';
+    } else if (cls == proxy::TrafficClass::kProxied) {
+      proxied_texts.push_back(util::to_lower(dataset.filter_text(row)));
+    }
+  }
+
+  result.censored_requests_total = censored.size();
+  const std::uint64_t threshold = std::max<std::uint64_t>(
+      options.min_count,
+      static_cast<std::uint64_t>(options.min_support *
+                                 static_cast<double>(censored.size())));
+
+  auto never_allowed_domain = [&](const std::string& domain) {
+    return allowed_domains.count(domain) == 0;
+  };
+  auto never_allowed_host = [&](const std::string& host) {
+    return allowed_hosts.count(host) == 0;
+  };
+  auto in_allowed = [&](const std::string& needle) {
+    // Token-set prefilter, then the authoritative substring scan.
+    if (allowed_tokens.count(needle) != 0) return true;
+    return allowed_corpus.find(needle) != std::string::npos;
+  };
+  auto count_proxied = [&](const std::string& text, bool is_domain) {
+    std::uint64_t count = 0;
+    for (const std::string& pt : proxied_texts) {
+      if (is_domain) {
+        const auto slash = pt.find('/');
+        const std::string_view host =
+            slash == std::string::npos ? std::string_view{pt}
+                                       : std::string_view{pt}.substr(0, slash);
+        if (util::host_matches_domain(host, text)) ++count;
+      } else if (pt.find(text) != std::string::npos) {
+        ++count;
+      }
+    }
+    return count;
+  };
+
+  std::unordered_set<std::string> rejected_tokens;
+  std::unordered_set<std::string> rejected_domains;
+
+  // ---- The iterative loop of §5.4 ---------------------------------------
+  while (result.keywords.size() + result.domains.size() <
+         options.max_strings) {
+    // Candidate generation over the live rows.
+    std::unordered_map<std::string, std::uint64_t> anchor_domains;
+    std::unordered_map<std::string, std::uint64_t> token_counts;
+    std::unordered_map<std::string, std::uint64_t> token_pathquery_counts;
+    for (const CensoredRow& row : censored) {
+      if (!row.alive) continue;
+      if (row.anchor && rejected_domains.count(row.domain) == 0)
+        ++anchor_domains[row.domain];
+      std::unordered_set<std::string_view> seen;  // count once per request
+      for_each_token(row.filter_text, [&](std::string_view token) {
+        if (token.size() < kMinTokenLength || all_digits(token)) return;
+        if (!seen.insert(token).second) return;
+        const std::string key{token};
+        if (rejected_tokens.count(key) != 0) return;
+        ++token_counts[key];
+        if (row.path_query.find(token) != std::string::npos)
+          ++token_pathquery_counts[key];
+      });
+    }
+
+    // Anchor-domain support = total live rows on the domain (the anchor
+    // only disambiguates, as in the paper; the count is the domain's).
+    std::unordered_map<std::string, std::uint64_t> domain_counts;
+    for (const CensoredRow& row : censored) {
+      if (!row.alive) continue;
+      if (anchor_domains.count(row.domain) != 0) ++domain_counts[row.domain];
+    }
+
+    // Pick the globally most frequent candidate.
+    std::string best;
+    std::uint64_t best_count = 0;
+    bool best_is_domain = false;
+    for (const auto& [domain, count] : domain_counts) {
+      if (count > best_count) {
+        best = domain;
+        best_count = count;
+        best_is_domain = true;
+      }
+    }
+    for (const auto& [token, count] : token_counts) {
+      // Tokens must occur in paths/queries, not only inside hostnames —
+      // host-only strings are the domain generator's business.
+      const auto pq = token_pathquery_counts.find(token);
+      if (pq == token_pathquery_counts.end() || pq->second < 3) continue;
+      if (count > best_count) {
+        best = token;
+        best_count = count;
+        best_is_domain = false;
+      }
+    }
+    if (best_count < threshold) break;
+
+    auto remove_by_domain = [&](const std::string& domain) {
+      std::uint64_t removed = 0;
+      for (CensoredRow& row : censored) {
+        if (row.alive && util::host_matches_domain(row.host, domain)) {
+          row.alive = false;
+          ++removed;
+        }
+      }
+      return removed;
+    };
+    auto remove_by_keyword = [&](const std::string& keyword) {
+      std::uint64_t removed = 0;
+      for (CensoredRow& row : censored) {
+        if (row.alive &&
+            row.filter_text.find(keyword) != std::string::npos) {
+          row.alive = false;
+          ++removed;
+        }
+      }
+      return removed;
+    };
+
+    if (best_is_domain) {
+      if (!never_allowed_domain(best)) {
+        rejected_domains.insert(best);
+        continue;
+      }
+      const std::uint64_t removed = remove_by_domain(best);
+      result.domains.push_back(
+          {best, true, removed, count_proxied(best, true)});
+      result.censored_requests_explained += removed;
+      continue;
+    }
+
+    // Token candidate: the NA = 0 test against the allowed set.
+    if (in_allowed(best)) {
+      rejected_tokens.insert(best);
+      continue;
+    }
+    // Attribution: a token confined to a single never-allowed domain (or
+    // host) is really URL filtering of that site, not keyword filtering.
+    std::unordered_set<std::string> live_domains;
+    std::unordered_set<std::string> live_hosts;
+    for (const CensoredRow& row : censored) {
+      if (row.alive && row.filter_text.find(best) != std::string::npos) {
+        live_domains.insert(row.domain);
+        live_hosts.insert(row.host);
+      }
+    }
+    if (live_domains.size() == 1) {
+      const std::string domain = *live_domains.begin();
+      std::string accepted;
+      if (never_allowed_domain(domain)) accepted = domain;
+      else if (live_hosts.size() == 1 &&
+               never_allowed_host(*live_hosts.begin()))
+        accepted = *live_hosts.begin();
+      if (!accepted.empty()) {
+        const std::uint64_t removed = remove_by_domain(accepted);
+        result.domains.push_back(
+            {accepted, true, removed, count_proxied(accepted, true)});
+        result.censored_requests_explained += removed;
+        rejected_tokens.insert(best);  // covered by the domain entry
+        continue;
+      }
+    }
+    const std::uint64_t removed = remove_by_keyword(best);
+    result.keywords.push_back(
+        {best, false, removed, count_proxied(best, false)});
+    result.censored_requests_explained += removed;
+  }
+
+  // ---- Collapse .il domains into the TLD entry (Table 8's ".il") --------
+  std::vector<DiscoveredString> il_entries;
+  auto it = std::stable_partition(
+      result.domains.begin(), result.domains.end(),
+      [](const DiscoveredString& d) { return !util::ends_with(d.text, ".il"); });
+  il_entries.assign(it, result.domains.end());
+  result.domains.erase(it, result.domains.end());
+  if (il_entries.size() >= options.min_tld_domains) {
+    DiscoveredString il{".il", true, 0, 0};
+    for (const auto& entry : il_entries) {
+      il.censored += entry.censored;
+      il.proxied += entry.proxied;
+    }
+    result.domains.push_back(il);
+  } else {
+    result.domains.insert(result.domains.end(), il_entries.begin(),
+                          il_entries.end());
+  }
+
+  std::sort(result.domains.begin(), result.domains.end(),
+            [](const DiscoveredString& a, const DiscoveredString& b) {
+              return a.censored > b.censored;
+            });
+  std::sort(result.keywords.begin(), result.keywords.end(),
+            [](const DiscoveredString& a, const DiscoveredString& b) {
+              return a.censored > b.censored;
+            });
+  return result;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,92 @@
+#include "analysis/temporal.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace syrwatch::analysis {
+
+namespace {
+
+std::vector<double> normalize(const util::BinnedCounter& counter) {
+  const double total = static_cast<double>(counter.total());
+  std::vector<double> out(counter.bin_count());
+  if (total <= 0.0) return out;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<double>(counter.at(i)) / total;
+  return out;
+}
+
+std::size_t bin_count_for(std::int64_t start, std::int64_t end,
+                          std::int64_t bin_seconds) {
+  if (end <= start || bin_seconds <= 0)
+    throw std::invalid_argument("temporal: bad window");
+  return static_cast<std::size_t>((end - start + bin_seconds - 1) /
+                                  bin_seconds);
+}
+
+}  // namespace
+
+std::vector<double> TrafficTimeSeries::normalized_censored() const {
+  return normalize(censored);
+}
+
+std::vector<double> TrafficTimeSeries::normalized_allowed() const {
+  return normalize(allowed);
+}
+
+TrafficTimeSeries traffic_time_series(const Dataset& dataset,
+                                      std::int64_t start, std::int64_t end,
+                                      std::int64_t bin_seconds) {
+  const std::size_t bins = bin_count_for(start, end, bin_seconds);
+  TrafficTimeSeries series{
+      util::BinnedCounter{start, bin_seconds, bins},
+      util::BinnedCounter{start, bin_seconds, bins},
+  };
+  for (const Row& row : dataset.rows()) {
+    const auto cls = dataset.cls(row);
+    if (cls == proxy::TrafficClass::kCensored)
+      series.censored.add(row.time);
+    else if (cls == proxy::TrafficClass::kAllowed)
+      series.allowed.add(row.time);
+  }
+  return series;
+}
+
+std::size_t RcvSeries::peak_bin() const {
+  if (rcv.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(rcv.begin(), rcv.end()) - rcv.begin());
+}
+
+RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
+                     std::int64_t end, std::int64_t bin_seconds) {
+  const std::size_t bins = bin_count_for(start, end, bin_seconds);
+  util::BinnedCounter censored{start, bin_seconds, bins};
+  util::BinnedCounter total{start, bin_seconds, bins};
+  for (const Row& row : dataset.rows()) {
+    total.add(row.time);
+    if (dataset.cls(row) == proxy::TrafficClass::kCensored)
+      censored.add(row.time);
+  }
+  RcvSeries series{start, bin_seconds, std::vector<double>(bins, 0.0)};
+  for (std::size_t i = 0; i < bins; ++i) {
+    if (total.at(i) != 0)
+      series.rcv[i] = static_cast<double>(censored.at(i)) /
+                      static_cast<double>(total.at(i));
+  }
+  return series;
+}
+
+std::vector<WindowedTopDomains> windowed_top_censored(
+    const Dataset& dataset, std::span<const TimeWindow> windows,
+    std::size_t k) {
+  std::vector<WindowedTopDomains> out;
+  out.reserve(windows.size());
+  for (const TimeWindow& window : windows) {
+    out.push_back({window, top_domains(dataset, proxy::TrafficClass::kCensored,
+                                       k, window)});
+  }
+  return out;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "analysis/top_domains.h"
+#include "util/histogram.h"
+
+namespace syrwatch::analysis {
+
+/// Fig. 5: censored and allowed request time series over a window, at the
+/// given bin width (the paper uses 5 minutes).
+struct TrafficTimeSeries {
+  util::BinnedCounter censored;
+  util::BinnedCounter allowed;
+
+  /// Fig. 5b: per-bin counts normalized by each series' own total.
+  std::vector<double> normalized_censored() const;
+  std::vector<double> normalized_allowed() const;
+};
+
+TrafficTimeSeries traffic_time_series(const Dataset& dataset,
+                                      std::int64_t start, std::int64_t end,
+                                      std::int64_t bin_seconds = 300);
+
+/// Fig. 6: Relative Censored traffic Volume — per time bin, the censored
+/// fraction of all requests in that bin. Bins with no traffic report 0.
+struct RcvSeries {
+  std::int64_t origin = 0;
+  std::int64_t bin_seconds = 0;
+  std::vector<double> rcv;
+
+  /// Highest-RCV bin (index into rcv).
+  std::size_t peak_bin() const;
+};
+
+RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
+                     std::int64_t end, std::int64_t bin_seconds = 300);
+
+/// Table 5: top censored domains inside adjacent windows of one day.
+struct WindowedTopDomains {
+  TimeWindow window;
+  std::vector<DomainCount> top;
+};
+
+std::vector<WindowedTopDomains> windowed_top_censored(
+    const Dataset& dataset, std::span<const TimeWindow> windows,
+    std::size_t k);
+
+}  // namespace syrwatch::analysis

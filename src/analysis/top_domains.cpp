@@ -1,0 +1,59 @@
+#include "analysis/top_domains.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+std::vector<DomainCount> top_domains(const Dataset& dataset,
+                                     proxy::TrafficClass cls, std::size_t k,
+                                     std::optional<TimeWindow> window) {
+  std::unordered_map<std::string_view, std::uint64_t> counts;
+  std::uint64_t class_total = 0;
+  for (const Row& row : dataset.rows()) {
+    if (window && !window->contains(row.time)) continue;
+    if (dataset.cls(row) != cls) continue;
+    ++class_total;
+    ++counts[dataset.domain(row)];
+  }
+  std::vector<DomainCount> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [domain, count] : counts)
+    ranked.push_back({std::string(domain), count,
+                      class_total == 0
+                          ? 0.0
+                          : static_cast<double>(count) /
+                                static_cast<double>(class_total)});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DomainCount& a, const DomainCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.domain < b.domain;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::vector<DomainClassCounts> domain_class_counts(
+    const Dataset& dataset, std::span<const std::string> domains) {
+  std::vector<DomainClassCounts> out;
+  out.reserve(domains.size());
+  for (const std::string& domain : domains) out.push_back({domain, 0, 0, 0});
+
+  for (const Row& row : dataset.rows()) {
+    const auto host = dataset.host(row);
+    for (DomainClassCounts& entry : out) {
+      if (!util::host_matches_domain(host, entry.domain)) continue;
+      switch (dataset.cls(row)) {
+        case proxy::TrafficClass::kCensored: ++entry.censored; break;
+        case proxy::TrafficClass::kAllowed: ++entry.allowed; break;
+        case proxy::TrafficClass::kProxied: ++entry.proxied; break;
+        case proxy::TrafficClass::kError: break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace syrwatch::analysis

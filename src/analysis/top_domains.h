@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// A ranked domain with its request count and share of the ranked class.
+struct DomainCount {
+  std::string domain;
+  std::uint64_t count = 0;
+  double share = 0.0;
+};
+
+/// Optional half-open time window restriction.
+struct TimeWindow {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  bool contains(std::int64_t t) const noexcept {
+    return t >= start && t < end;
+  }
+};
+
+/// Top-k registrable domains among records of the given class — Table 4
+/// (allowed/censored) and, with a window, Table 5's peak analysis.
+std::vector<DomainCount> top_domains(
+    const Dataset& dataset, proxy::TrafficClass cls, std::size_t k,
+    std::optional<TimeWindow> window = std::nullopt);
+
+/// Per-domain counts split into the three classes the paper tabulates
+/// next to each other (Tables 8/10/13).
+struct DomainClassCounts {
+  std::string domain;
+  std::uint64_t censored = 0;
+  std::uint64_t allowed = 0;
+  std::uint64_t proxied = 0;
+};
+
+/// Counts for an explicit list of domains (suffix matching, so ".il"
+/// aggregates the whole TLD). Order of the result follows the input.
+std::vector<DomainClassCounts> domain_class_counts(
+    const Dataset& dataset, std::span<const std::string> domains);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,150 @@
+#include "analysis/tor_analysis.h"
+
+#include <unordered_set>
+
+#include "net/ipv4.h"
+#include "tor/relay_directory.h"
+
+namespace syrwatch::analysis {
+
+namespace {
+
+/// A row is Tor traffic when its destination <IP, port> is a known relay
+/// endpoint. The IP comes from the host literal (the proxies log tunnelled
+/// connections by address).
+std::optional<net::Ipv4Addr> tor_endpoint(const Dataset& dataset,
+                                          const Row& row,
+                                          const tor::RelayDirectory& relays) {
+  const auto ip = net::Ipv4Addr::parse(dataset.host(row));
+  if (!ip || !relays.contains(*ip, row.port)) return std::nullopt;
+  return ip;
+}
+
+bool is_torhttp(const Dataset& dataset, const Row& row) {
+  return tor::is_directory_path(dataset.path(row));
+}
+
+}  // namespace
+
+TorStats tor_stats(const Dataset& dataset,
+                   const tor::RelayDirectory& relays) {
+  TorStats stats;
+  std::unordered_set<std::uint32_t> relay_ips;
+  for (const Row& row : dataset.rows()) {
+    const auto ip = tor_endpoint(dataset, row, relays);
+    if (!ip) continue;
+    ++stats.requests;
+    ++stats.requests_by_proxy[row.proxy_index];
+    relay_ips.insert(ip->value());
+    const bool http = is_torhttp(dataset, row);
+    if (http) ++stats.http_requests;
+    else ++stats.onion_requests;
+    if (dataset.cls(row) == proxy::TrafficClass::kCensored) {
+      ++stats.censored;
+      ++stats.censored_by_proxy[row.proxy_index];
+      if (http) ++stats.censored_http;
+      else ++stats.censored_onion;
+    }
+    if (row.exception == proxy::ExceptionId::kTcpError) ++stats.tcp_errors;
+  }
+  stats.unique_relays = relay_ips.size();
+  return stats;
+}
+
+util::BinnedCounter tor_hourly_series(const Dataset& dataset,
+                                      const tor::RelayDirectory& relays,
+                                      std::int64_t start, std::int64_t end) {
+  const auto bins =
+      static_cast<std::size_t>((end - start + 3599) / 3600);
+  util::BinnedCounter series{start, 3600, bins};
+  for (const Row& row : dataset.rows()) {
+    if (tor_endpoint(dataset, row, relays)) series.add(row.time);
+  }
+  return series;
+}
+
+ProxyCensoredSeries proxy_censored_series(const Dataset& dataset,
+                                          const tor::RelayDirectory& relays,
+                                          std::size_t proxy_index,
+                                          std::int64_t start,
+                                          std::int64_t end,
+                                          std::int64_t bin_seconds) {
+  const auto bins = static_cast<std::size_t>(
+      (end - start + bin_seconds - 1) / bin_seconds);
+  std::vector<std::uint64_t> censored_all(bins, 0), censored_here(bins, 0);
+  ProxyCensoredSeries series;
+  series.origin = start;
+  series.bin_seconds = bin_seconds;
+  series.censored_share.assign(bins, 0.0);
+  series.tor_censored.assign(bins, 0);
+
+  for (const Row& row : dataset.rows()) {
+    if (row.time < start || row.time >= end) continue;
+    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
+    const auto bin =
+        static_cast<std::size_t>((row.time - start) / bin_seconds);
+    ++censored_all[bin];
+    if (row.proxy_index != proxy_index) continue;
+    ++censored_here[bin];
+    if (tor_endpoint(dataset, row, relays)) ++series.tor_censored[bin];
+  }
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    if (censored_all[bin] != 0) {
+      series.censored_share[bin] =
+          static_cast<double>(censored_here[bin]) /
+          static_cast<double>(censored_all[bin]);
+    }
+  }
+  return series;
+}
+
+RfilterSeries rfilter_series(const Dataset& dataset,
+                             const tor::RelayDirectory& relays,
+                             std::size_t proxy_index, std::int64_t start,
+                             std::int64_t end, std::int64_t bin_seconds) {
+  const auto bins = static_cast<std::size_t>(
+      (end - start + bin_seconds - 1) / bin_seconds);
+
+  // Pass 1: the set of relay IPs the proxy ever censored.
+  std::unordered_set<std::uint32_t> censored_ips;
+  for (const Row& row : dataset.rows()) {
+    if (row.proxy_index != proxy_index) continue;
+    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
+    const auto ip = tor_endpoint(dataset, row, relays);
+    if (ip) censored_ips.insert(ip->value());
+  }
+
+  // Pass 2: per-bin allowed relay IPs on the proxy.
+  std::vector<std::unordered_set<std::uint32_t>> allowed_per_bin(bins);
+  std::vector<bool> has_traffic(bins, false);
+  for (const Row& row : dataset.rows()) {
+    if (row.proxy_index != proxy_index) continue;
+    if (row.time < start || row.time >= end) continue;
+    const auto ip = tor_endpoint(dataset, row, relays);
+    if (!ip) continue;
+    const auto bin =
+        static_cast<std::size_t>((row.time - start) / bin_seconds);
+    has_traffic[bin] = true;
+    if (dataset.cls(row) == proxy::TrafficClass::kAllowed)
+      allowed_per_bin[bin].insert(ip->value());
+  }
+
+  RfilterSeries series;
+  series.origin = start;
+  series.bin_seconds = bin_seconds;
+  series.rfilter.assign(bins, 0.0);
+  series.has_traffic = std::move(has_traffic);
+  series.censored_relay_count = censored_ips.size();
+  if (censored_ips.empty()) return series;
+  for (std::size_t k = 0; k < bins; ++k) {
+    std::size_t overlap = 0;
+    for (const std::uint32_t ip : allowed_per_bin[k]) {
+      if (censored_ips.count(ip) != 0) ++overlap;
+    }
+    series.rfilter[k] = 1.0 - static_cast<double>(overlap) /
+                                  static_cast<double>(censored_ips.size());
+  }
+  return series;
+}
+
+}  // namespace syrwatch::analysis

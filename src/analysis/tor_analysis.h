@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "policy/syria.h"
+#include "tor/relay_directory.h"
+#include "util/histogram.h"
+
+namespace syrwatch::analysis {
+
+/// §7.1: Tor traffic identified by matching <IP, port> against the relay
+/// directory — the same triplet-matching the paper performs against the
+/// Tor metrics archives.
+struct TorStats {
+  std::uint64_t requests = 0;
+  std::uint64_t http_requests = 0;   // Torhttp: directory fetches
+  std::uint64_t onion_requests = 0;  // Toronion: circuit traffic
+  std::uint64_t unique_relays = 0;
+  std::uint64_t censored = 0;
+  std::uint64_t tcp_errors = 0;
+  std::uint64_t censored_http = 0;
+  std::uint64_t censored_onion = 0;
+  /// Censored Tor requests per proxy (the SG-44 specialization).
+  std::array<std::uint64_t, policy::kProxyCount> censored_by_proxy{};
+  std::array<std::uint64_t, policy::kProxyCount> requests_by_proxy{};
+};
+
+TorStats tor_stats(const Dataset& dataset, const tor::RelayDirectory& relays);
+
+/// Fig. 8a: Tor requests per hour over a window.
+util::BinnedCounter tor_hourly_series(const Dataset& dataset,
+                                      const tor::RelayDirectory& relays,
+                                      std::int64_t start, std::int64_t end);
+
+/// Fig. 9: Rfilter(k) — per time bin, 1 - |Censored ∩ Allowed(k)| /
+/// |Censored|, where Censored is the set of relay IPs ever censored by the
+/// proxy and Allowed(k) the relay IPs allowed in bin k. 1 means every
+/// previously-censored relay stayed blocked in that bin; 0 means all were
+/// re-allowed (or the bin saw none of them).
+struct RfilterSeries {
+  std::int64_t origin = 0;
+  std::int64_t bin_seconds = 0;
+  std::vector<double> rfilter;
+  std::vector<bool> has_traffic;  // bins with any Tor traffic on the proxy
+  std::uint64_t censored_relay_count = 0;
+};
+
+RfilterSeries rfilter_series(const Dataset& dataset,
+                             const tor::RelayDirectory& relays,
+                             std::size_t proxy_index, std::int64_t start,
+                             std::int64_t end,
+                             std::int64_t bin_seconds = 3600);
+
+/// Fig. 8b: one proxy's share of *all* censored traffic per bin, next to
+/// its censored-Tor request count — the view showing SG-44's Tor blocking
+/// varying more than its overall censorship.
+struct ProxyCensoredSeries {
+  std::int64_t origin = 0;
+  std::int64_t bin_seconds = 0;
+  std::vector<double> censored_share;        // of all censored traffic
+  std::vector<std::uint64_t> tor_censored;   // censored Tor requests
+};
+
+ProxyCensoredSeries proxy_censored_series(const Dataset& dataset,
+                                          const tor::RelayDirectory& relays,
+                                          std::size_t proxy_index,
+                                          std::int64_t start,
+                                          std::int64_t end,
+                                          std::int64_t bin_seconds = 3600);
+
+}  // namespace syrwatch::analysis

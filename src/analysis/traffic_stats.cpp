@@ -1,0 +1,25 @@
+#include "analysis/traffic_stats.h"
+
+namespace syrwatch::analysis {
+
+TrafficStats traffic_stats(const Dataset& dataset) {
+  TrafficStats stats;
+  stats.total = dataset.size();
+  for (const Row& row : dataset.rows()) {
+    switch (row.result) {
+      case proxy::FilterResult::kObserved:
+        ++stats.observed;
+        break;
+      case proxy::FilterResult::kProxied:
+        ++stats.proxied;
+        break;
+      case proxy::FilterResult::kDenied:
+        ++stats.denied;
+        ++stats.denied_by_exception[static_cast<std::size_t>(row.exception)];
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

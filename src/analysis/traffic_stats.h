@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// The Table 3 breakdown: filter results and per-exception denial counts
+/// for one dataset.
+struct TrafficStats {
+  std::uint64_t total = 0;
+  std::uint64_t observed = 0;   // sc-filter-result OBSERVED
+  std::uint64_t proxied = 0;    // PROXIED
+  std::uint64_t denied = 0;     // DENIED
+  /// DENIED requests by exception id (indexed by ExceptionId).
+  std::array<std::uint64_t, proxy::kExceptionCount> denied_by_exception{};
+
+  std::uint64_t censored() const noexcept {
+    return at(proxy::ExceptionId::kPolicyDenied) +
+           at(proxy::ExceptionId::kPolicyRedirect);
+  }
+  std::uint64_t errors() const noexcept { return denied - censored(); }
+  std::uint64_t at(proxy::ExceptionId id) const noexcept {
+    return denied_by_exception[static_cast<std::size_t>(id)];
+  }
+  double share(std::uint64_t count) const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(count) / static_cast<double>(total);
+  }
+};
+
+/// Computes the Table 3 column for a dataset.
+TrafficStats traffic_stats(const Dataset& dataset);
+
+}  // namespace syrwatch::analysis

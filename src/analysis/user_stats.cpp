@@ -1,0 +1,64 @@
+#include "analysis/user_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace syrwatch::analysis {
+
+namespace {
+
+double share_above(const std::vector<double>& sorted, double threshold) {
+  if (sorted.empty()) return 0.0;
+  const auto it =
+      std::upper_bound(sorted.begin(), sorted.end(), threshold);
+  return static_cast<double>(sorted.end() - it) /
+         static_cast<double>(sorted.size());
+}
+
+}  // namespace
+
+double UserStats::active_share_censored(double threshold) const {
+  return share_above(requests_per_censored_user, threshold);
+}
+
+double UserStats::active_share_clean(double threshold) const {
+  return share_above(requests_per_clean_user, threshold);
+}
+
+UserStats user_stats(const Dataset& duser) {
+  struct PerUser {
+    std::uint64_t requests = 0;
+    std::uint64_t censored = 0;
+  };
+  // The paper's user key is (c-ip, cs-user-agent).
+  std::unordered_map<std::uint64_t, PerUser> users;
+  for (const Row& row : duser.rows()) {
+    if (row.user_hash == 0) continue;  // suppressed ids can't be attributed
+    const std::uint64_t key =
+        row.user_hash ^ (0x9E3779B97F4A7C15ULL * (row.agent + 1));
+    PerUser& user = users[key];
+    ++user.requests;
+    if (duser.cls(row) == proxy::TrafficClass::kCensored) ++user.censored;
+  }
+
+  UserStats stats;
+  stats.total_users = users.size();
+  for (const auto& [key, user] : users) {
+    if (user.censored > 0) {
+      ++stats.censored_users;
+      ++stats.users_by_censored_count[user.censored];
+      stats.requests_per_censored_user.push_back(
+          static_cast<double>(user.requests));
+    } else {
+      stats.requests_per_clean_user.push_back(
+          static_cast<double>(user.requests));
+    }
+  }
+  std::sort(stats.requests_per_censored_user.begin(),
+            stats.requests_per_censored_user.end());
+  std::sort(stats.requests_per_clean_user.begin(),
+            stats.requests_per_clean_user.end());
+  return stats;
+}
+
+}  // namespace syrwatch::analysis

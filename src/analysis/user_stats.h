@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// §4's user-based analysis over Duser (Fig. 4). A "user" is the paper's
+/// approximation: a unique (c-ip hash, cs-user-agent) pair; a censored
+/// user issued at least one policy-censored request.
+struct UserStats {
+  std::uint64_t total_users = 0;
+  std::uint64_t censored_users = 0;
+
+  /// Fig. 4a: #users by number of censored requests (1, 2, ...).
+  std::map<std::uint64_t, std::uint64_t> users_by_censored_count;
+
+  /// Fig. 4b inputs: overall request counts per user, split by whether the
+  /// user was censored. Sorted ascending (ready for CDF rendering).
+  std::vector<double> requests_per_censored_user;
+  std::vector<double> requests_per_clean_user;
+
+  /// Share of each group with more than `threshold` total requests — the
+  /// paper's headline: ~50% of censored vs ~5% of non-censored users
+  /// exceed 100 requests.
+  double active_share_censored(double threshold) const;
+  double active_share_clean(double threshold) const;
+};
+
+UserStats user_stats(const Dataset& duser);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,66 @@
+#include "analysis/weather.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace syrwatch::analysis {
+
+double KeywordWeather::intensity(std::size_t bin) const {
+  if (bin >= matched.size() || matched[bin] == 0) return 0.0;
+  return static_cast<double>(censored[bin]) /
+         static_cast<double>(matched[bin]);
+}
+
+std::size_t KeywordWeather::active_bins() const {
+  std::size_t count = 0;
+  for (const auto m : matched) count += m != 0;
+  return count;
+}
+
+std::size_t KeywordWeather::fully_enforced_bins() const {
+  std::size_t count = 0;
+  for (std::size_t bin = 0; bin < matched.size(); ++bin)
+    count += matched[bin] != 0 && censored[bin] == matched[bin];
+  return count;
+}
+
+std::vector<KeywordWeather> keyword_weather(
+    const Dataset& dataset, std::span<const std::string> keywords,
+    std::int64_t start, std::int64_t end, std::int64_t bin_seconds) {
+  if (end <= start || bin_seconds <= 0)
+    throw std::invalid_argument("keyword_weather: bad window");
+  const auto bins = static_cast<std::size_t>(
+      (end - start + bin_seconds - 1) / bin_seconds);
+
+  std::vector<KeywordWeather> reports;
+  reports.reserve(keywords.size());
+  for (const auto& keyword : keywords) {
+    KeywordWeather report;
+    report.keyword = util::to_lower(keyword);
+    report.origin = start;
+    report.bin_seconds = bin_seconds;
+    report.censored.assign(bins, 0);
+    report.matched.assign(bins, 0);
+    reports.push_back(std::move(report));
+  }
+
+  for (const Row& row : dataset.rows()) {
+    if (row.time < start || row.time >= end) continue;
+    const auto cls = dataset.cls(row);
+    if (cls != proxy::TrafficClass::kCensored &&
+        cls != proxy::TrafficClass::kAllowed)
+      continue;
+    const std::string text = util::to_lower(dataset.filter_text(row));
+    const auto bin =
+        static_cast<std::size_t>((row.time - start) / bin_seconds);
+    for (auto& report : reports) {
+      if (text.find(report.keyword) == std::string::npos) continue;
+      ++report.matched[bin];
+      if (cls == proxy::TrafficClass::kCensored) ++report.censored[bin];
+    }
+  }
+  return reports;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.h"
+
+namespace syrwatch::analysis {
+
+/// A ConceptDoppler-style "censorship weather report" (the related work
+/// [7] the paper cites): per-keyword censorship tracked over time windows,
+/// answering *when* each filter was active and how aggressively — the
+/// longitudinal view a one-off table cannot give.
+struct KeywordWeather {
+  std::string keyword;
+  std::int64_t origin = 0;
+  std::int64_t bin_seconds = 0;
+  /// Per-bin counts of censored requests whose URL contains the keyword,
+  /// and of all requests containing it (censored + allowed), so a bin's
+  /// censorship intensity = censored / matched.
+  std::vector<std::uint64_t> censored;
+  std::vector<std::uint64_t> matched;
+
+  /// Censored/matched for one bin; 0 for empty bins.
+  double intensity(std::size_t bin) const;
+  /// Bins where the keyword was matched at all.
+  std::size_t active_bins() const;
+  /// Bins where every matched request was censored (a "fully enforced"
+  /// window, the expected state for a static blacklist).
+  std::size_t fully_enforced_bins() const;
+};
+
+/// Tracks each keyword over [start, end) with the given bin width.
+/// Matching is case-insensitive substring over host+path+query, like the
+/// filter itself.
+std::vector<KeywordWeather> keyword_weather(
+    const Dataset& dataset, std::span<const std::string> keywords,
+    std::int64_t start, std::int64_t end, std::int64_t bin_seconds = 3600);
+
+}  // namespace syrwatch::analysis

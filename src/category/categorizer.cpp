@@ -1,0 +1,53 @@
+#include "category/categorizer.h"
+
+#include "util/strings.h"
+
+namespace syrwatch::category {
+
+std::string_view to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kUncategorized: return "NA";
+    case Category::kContentServer: return "Content Server";
+    case Category::kStreamingMedia: return "Streaming Media";
+    case Category::kInstantMessaging: return "Instant Messaging";
+    case Category::kPortalSites: return "Portal Sites";
+    case Category::kGeneralNews: return "General News";
+    case Category::kSocialNetworking: return "Social Networking";
+    case Category::kGames: return "Games";
+    case Category::kEducationReference: return "Education/Reference";
+    case Category::kOnlineShopping: return "Online Shopping";
+    case Category::kInternetServices: return "Internet Services";
+    case Category::kEntertainment: return "Entertainment";
+    case Category::kForums: return "Forum/Bulletin Boards";
+    case Category::kAnonymizer: return "Anonymizer";
+    case Category::kSearchEngines: return "Search Engines";
+    case Category::kSoftwareHardware: return "Software/Hardware";
+    case Category::kPornography: return "Pornography";
+    case Category::kAdsMarketing: return "Ads/Marketing";
+    case Category::kFileSharing: return "File Sharing";
+    case Category::kGovernment: return "Government";
+    case Category::kTravel: return "Travel";
+    case Category::kReligion: return "Religion";
+    case Category::kCount: break;
+  }
+  return "NA";
+}
+
+void Categorizer::add(std::string_view domain, Category category) {
+  by_domain_[util::to_lower(domain)] = category;
+}
+
+Category Categorizer::classify(std::string_view host) const {
+  const std::string lowered = util::to_lower(host);
+  std::string_view probe{lowered};
+  while (!probe.empty()) {
+    const auto it = by_domain_.find(std::string{probe});
+    if (it != by_domain_.end()) return it->second;
+    const auto dot = probe.find('.');
+    if (dot == std::string_view::npos) break;
+    probe.remove_prefix(dot + 1);
+  }
+  return Category::kUncategorized;
+}
+
+}  // namespace syrwatch::category

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace syrwatch::category {
+
+/// Website content categories. The paper could not use Blue Coat's own
+/// database (the Syrian proxies had no access to it) and fell back on
+/// McAfee TrustedSource to label censored hosts; this enum covers every
+/// category named in Fig. 3, Table 9 and §7.2.
+enum class Category : std::uint8_t {
+  kUncategorized = 0,
+  kContentServer,       // CDNs: cloudfront.net, googleusercontent.com, ...
+  kStreamingMedia,
+  kInstantMessaging,
+  kPortalSites,
+  kGeneralNews,
+  kSocialNetworking,
+  kGames,
+  kEducationReference,
+  kOnlineShopping,
+  kInternetServices,
+  kEntertainment,
+  kForums,
+  kAnonymizer,          // web proxies / VPN endpoints (§7.2)
+  kSearchEngines,
+  kSoftwareHardware,
+  kPornography,
+  kAdsMarketing,
+  kFileSharing,         // BitTorrent trackers etc. (§7.3)
+  kGovernment,
+  kTravel,
+  kReligion,
+  kCount,               // sentinel; keep last
+};
+
+inline constexpr std::size_t kCategoryCount =
+    static_cast<std::size_t>(Category::kCount);
+
+/// Human-readable label matching the paper's terminology
+/// ("Instant Messaging", "Streaming Media", ...).
+std::string_view to_string(Category c) noexcept;
+
+/// Suffix-matching domain categorizer — our stand-in for McAfee
+/// TrustedSource. Exact hosts win over parent-domain entries
+/// ("upload.youtube.com" may differ from "youtube.com"); unknown hosts
+/// report kUncategorized, which analyses render as "NA" as the paper does.
+class Categorizer {
+ public:
+  /// Registers a domain (and implicitly its subdomains).
+  void add(std::string_view domain, Category category);
+
+  /// Longest-suffix lookup: exact host, then each parent domain.
+  Category classify(std::string_view host) const;
+
+  /// True when the host classifies as kAnonymizer.
+  bool is_anonymizer(std::string_view host) const {
+    return classify(host) == Category::kAnonymizer;
+  }
+
+  std::size_t size() const noexcept { return by_domain_.size(); }
+
+ private:
+  std::unordered_map<std::string, Category> by_domain_;
+};
+
+}  // namespace syrwatch::category

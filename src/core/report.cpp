@@ -1,0 +1,231 @@
+#include "core/report.h"
+
+#include "analysis/anonymizer.h"
+#include "analysis/bittorrent.h"
+#include "analysis/category_dist.h"
+#include "analysis/domain_dist.h"
+#include "analysis/google_cache.h"
+#include "analysis/https_audit.h"
+#include "analysis/sampling.h"
+#include "analysis/ip_censorship.h"
+#include "analysis/osn.h"
+#include "analysis/port_dist.h"
+#include "analysis/redirects.h"
+#include "analysis/social_plugins.h"
+#include "analysis/string_discovery.h"
+#include "analysis/tor_analysis.h"
+#include "analysis/traffic_stats.h"
+#include "analysis/user_stats.h"
+#include "geo/world.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace syrwatch::core {
+
+namespace {
+
+using util::percent;
+using util::TextTable;
+using util::titled_block;
+using util::with_commas;
+
+std::string dataset_sizes(const analysis::DatasetBundle& bundle) {
+  TextTable table{{"Dataset", "# Requests"}};
+  table.add_row({"Full", with_commas(bundle.full.size())});
+  table.add_row({"Sample (4%)", with_commas(bundle.sample.size())});
+  table.add_row({"User", with_commas(bundle.user.size())});
+  table.add_row({"Denied", with_commas(bundle.denied.size())});
+  return titled_block("Datasets (Table 1)", table);
+}
+
+std::string traffic_breakdown(const analysis::DatasetBundle& bundle) {
+  const auto stats = analysis::traffic_stats(bundle.full);
+  TextTable table{{"Class", "# Requests", "%"}};
+  table.add_row({"Allowed (OBSERVED)", with_commas(stats.observed),
+                 percent(stats.share(stats.observed))});
+  table.add_row({"Proxied", with_commas(stats.proxied),
+                 percent(stats.share(stats.proxied))});
+  table.add_row({"Denied", with_commas(stats.denied),
+                 percent(stats.share(stats.denied))});
+  for (std::size_t i = 1; i < proxy::kExceptionCount; ++i) {
+    const auto id = static_cast<proxy::ExceptionId>(i);
+    table.add_row({"  " + std::string(proxy::to_string(id)),
+                   with_commas(stats.at(id)), percent(stats.share(stats.at(id)))});
+  }
+  table.add_row({"Censored (policy)", with_commas(stats.censored()),
+                 percent(stats.share(stats.censored()))});
+  return titled_block("Traffic classes (Table 3, Dfull)", table);
+}
+
+std::string top_domain_tables(const analysis::DatasetBundle& bundle) {
+  std::string out;
+  for (const auto cls :
+       {proxy::TrafficClass::kAllowed, proxy::TrafficClass::kCensored}) {
+    const auto top = analysis::top_domains(bundle.full, cls, 10);
+    TextTable table{{"Domain", "# Requests", "%"}};
+    for (const auto& entry : top)
+      table.add_row({entry.domain, with_commas(entry.count),
+                     percent(entry.share)});
+    out += titled_block(std::string("Top-10 ") +
+                            std::string(proxy::to_string(cls)) +
+                            " domains (Table 4)",
+                        table);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_overview(const Study& study) {
+  const auto& bundle = study.datasets();
+  std::string out;
+  out += dataset_sizes(bundle);
+  out += traffic_breakdown(bundle);
+  out += top_domain_tables(bundle);
+  return out;
+}
+
+std::string render_full_report(const Study& study) {
+  const auto& bundle = study.datasets();
+  std::string out = render_overview(study);
+
+  // Ports (Fig. 1).
+  {
+    const auto ports = analysis::port_distribution(bundle.full, 8);
+    TextTable table{{"Port", "Allowed", "Censored"}};
+    for (const auto& entry : ports)
+      table.add_row({std::to_string(entry.port), with_commas(entry.allowed),
+                     with_commas(entry.censored)});
+    out += titled_block("Destination ports (Fig. 1)", table);
+  }
+
+  // String discovery (Tables 8/10).
+  const auto discovery = analysis::discover_censored_strings(bundle.full);
+  {
+    TextTable table{{"Keyword", "Censored", "Proxied"}};
+    for (const auto& kw : discovery.keywords)
+      table.add_row({kw.text, with_commas(kw.censored),
+                     with_commas(kw.proxied)});
+    out += titled_block("Censored keywords (Table 10)", table);
+
+    TextTable domains{{"Domain", "Censored", "Proxied"}};
+    for (std::size_t i = 0; i < discovery.domains.size() && i < 10; ++i)
+      domains.add_row({discovery.domains[i].text,
+                       with_commas(discovery.domains[i].censored),
+                       with_commas(discovery.domains[i].proxied)});
+    out += titled_block("Top suspected domains (Table 8, of " +
+                            std::to_string(discovery.domains.size()) +
+                            " discovered)",
+                        domains);
+  }
+
+  // Country censorship (Table 11).
+  {
+    const auto countries =
+        analysis::country_censorship(bundle.full, study.scenario().geoip());
+    TextTable table{{"Country", "Ratio (%)", "# Censored", "# Allowed"}};
+    for (const auto& entry : countries)
+      table.add_row({entry.country, percent(entry.ratio()),
+                     with_commas(entry.censored), with_commas(entry.allowed)});
+    out += titled_block("Censorship ratio by country (Table 11)", table);
+  }
+
+  // OSNs (Table 13) and Facebook pages (Table 14).
+  {
+    const auto osns = analysis::osn_censorship(bundle.full);
+    TextTable table{{"OSN", "Censored", "Allowed", "Proxied"}};
+    for (std::size_t i = 0; i < osns.size() && i < 10; ++i)
+      table.add_row({osns[i].domain, with_commas(osns[i].censored),
+                     with_commas(osns[i].allowed),
+                     with_commas(osns[i].proxied)});
+    out += titled_block("Social networks (Table 13)", table);
+
+    const auto pages = analysis::blocked_facebook_pages(bundle.full);
+    TextTable pages_table{{"Facebook page", "Censored", "Allowed", "Proxied"}};
+    for (const auto& page : pages)
+      pages_table.add_row({page.page, with_commas(page.censored),
+                           with_commas(page.allowed),
+                           with_commas(page.proxied)});
+    out += titled_block("Blocked Facebook pages (Table 14)", pages_table);
+  }
+
+  // Tor (§7.1).
+  {
+    const auto tor = analysis::tor_stats(bundle.full, study.scenario().relays());
+    TextTable table{{"Metric", "Value"}};
+    table.add_row({"Tor requests", with_commas(tor.requests)});
+    table.add_row({"Unique relays", with_commas(tor.unique_relays)});
+    table.add_row({"Torhttp share",
+                   percent(tor.requests == 0
+                               ? 0.0
+                               : static_cast<double>(tor.http_requests) /
+                                     static_cast<double>(tor.requests))});
+    table.add_row({"Censored",
+                   percent(tor.requests == 0
+                               ? 0.0
+                               : static_cast<double>(tor.censored) /
+                                     static_cast<double>(tor.requests))});
+    table.add_row({"TCP errors",
+                   percent(tor.requests == 0
+                               ? 0.0
+                               : static_cast<double>(tor.tcp_errors) /
+                                     static_cast<double>(tor.requests))});
+    out += titled_block("Tor traffic (Sec. 7.1)", table);
+  }
+
+  // BitTorrent (§7.3) and Google cache (§7.4).
+  {
+    const auto bt =
+        analysis::bittorrent_stats(bundle.full, study.scenario().torrents());
+    TextTable table{{"Metric", "Value"}};
+    table.add_row({"Announces", with_commas(bt.announces)});
+    table.add_row({"Unique peers", with_commas(bt.unique_peers)});
+    table.add_row({"Unique contents", with_commas(bt.unique_contents)});
+    table.add_row({"Allowed share",
+                   percent(bt.announces == 0
+                               ? 0.0
+                               : static_cast<double>(bt.allowed) /
+                                     static_cast<double>(bt.announces))});
+    out += titled_block("BitTorrent (Sec. 7.3)", table);
+
+    const auto cache = analysis::google_cache_stats(
+        bundle.full, discovery.domain_names());
+    TextTable cache_table{{"Metric", "Value"}};
+    cache_table.add_row({"Cache requests", with_commas(cache.requests)});
+    cache_table.add_row({"Censored", with_commas(cache.censored)});
+    cache_table.add_row(
+        {"Censored sites served via cache",
+         std::to_string(cache.censored_sites_served.size())});
+    out += titled_block("Google cache (Sec. 7.4)", cache_table);
+  }
+
+  // HTTPS (§4).
+  {
+    const auto https = analysis::https_stats(bundle.full);
+    TextTable table{{"Metric", "Value"}};
+    table.add_row({"HTTPS share of traffic",
+                   percent(https.share_of_traffic())});
+    table.add_row({"Censored HTTPS", percent(https.censored_share())});
+    table.add_row({"Censored HTTPS with IP destination",
+                   percent(https.censored_ip_share())});
+    table.add_row({"TLS interception evidence",
+                   https.interception_evidence() ? "YES" : "none"});
+    out += titled_block("HTTPS traffic (Sec. 4)", table);
+  }
+
+  // Sampling accuracy (§3.3).
+  {
+    const auto checks = analysis::sampling_audit(bundle.full, bundle.sample);
+    TextTable table{{"Metric", "Dfull", "Dsample", "95% CI covers Dfull"}};
+    for (const auto& check : checks) {
+      table.add_row({check.metric, percent(check.full_proportion),
+                     percent(check.sample_proportion),
+                     check.covered ? "yes" : "NO"});
+    }
+    out += titled_block("Dsample accuracy audit (Sec. 3.3)", table);
+  }
+
+  return out;
+}
+
+}  // namespace syrwatch::core

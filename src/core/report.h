@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "core/study.h"
+
+namespace syrwatch::core {
+
+/// Renders the headline statistical overview (dataset sizes, Table 3
+/// breakdown, top domains, keyword table) as monospace text — the
+/// quick-look report used by the audit example.
+std::string render_overview(const Study& study);
+
+/// Renders every reproduced table/figure summary in paper order. Heavier
+/// than render_overview (runs string discovery, Tor matching, etc.).
+std::string render_full_report(const Study& study);
+
+}  // namespace syrwatch::core

@@ -1,0 +1,27 @@
+#include "core/study.h"
+
+#include <stdexcept>
+
+namespace syrwatch::core {
+
+Study::Study(workload::ScenarioConfig config)
+    : config_(config),
+      scenario_(std::make_unique<workload::SyriaScenario>(config)) {}
+
+void Study::run() {
+  // Rebuild the scenario so repeated runs start from identical generator
+  // state (the farm's caches and PRNGs advance during a run).
+  scenario_ = std::make_unique<workload::SyriaScenario>(config_);
+  analysis::Dataset full;
+  scenario_->run([&](const proxy::LogRecord& record) { full.add(record); });
+  full.finalize();
+  datasets_ = std::make_unique<analysis::DatasetBundle>(
+      analysis::DatasetBundle::derive(std::move(full), config_.seed));
+}
+
+const analysis::DatasetBundle& Study::datasets() const {
+  if (!datasets_) throw std::logic_error("Study::datasets: run() first");
+  return *datasets_;
+}
+
+}  // namespace syrwatch::core

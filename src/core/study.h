@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/dataset.h"
+#include "workload/scenario.h"
+
+namespace syrwatch::core {
+
+/// End-to-end study driver: simulate the censorship ecosystem, capture the
+/// "leaked" log, and derive the paper's four datasets. Analyses are the
+/// free functions of syrwatch::analysis; `report.h` renders the complete
+/// paper-style report.
+class Study {
+ public:
+  explicit Study(workload::ScenarioConfig config = {});
+
+  /// Generates the log and builds the datasets. Idempotent: re-running
+  /// rebuilds the scenario and regenerates from scratch with the same
+  /// seed, yielding the identical bundle.
+  void run();
+
+  bool has_run() const noexcept { return datasets_ != nullptr; }
+  const workload::SyriaScenario& scenario() const noexcept {
+    return *scenario_;
+  }
+  workload::SyriaScenario& scenario() noexcept { return *scenario_; }
+  const analysis::DatasetBundle& datasets() const;
+
+ private:
+  workload::ScenarioConfig config_;
+  std::unique_ptr<workload::SyriaScenario> scenario_;
+  std::unique_ptr<analysis::DatasetBundle> datasets_;
+};
+
+}  // namespace syrwatch::core

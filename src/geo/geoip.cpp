@@ -1,0 +1,34 @@
+#include "geo/geoip.h"
+
+namespace syrwatch::geo {
+
+void GeoIpDb::add(net::Ipv4Subnet subnet, std::string country) {
+  by_prefix_[subnet.prefix_len()][subnet.network().value()] = country;
+  blocks_.emplace_back(subnet, std::move(country));
+}
+
+std::optional<std::string_view> GeoIpDb::lookup(
+    net::Ipv4Addr addr) const noexcept {
+  for (int len = 32; len >= 0; --len) {
+    const auto level = by_prefix_.find(len);
+    if (level == by_prefix_.end()) continue;
+    const std::uint32_t mask =
+        len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+    const auto hit = level->second.find(addr.value() & mask);
+    if (hit != level->second.end()) return std::string_view{hit->second};
+  }
+  return std::nullopt;
+}
+
+std::vector<net::Ipv4Subnet> GeoIpDb::blocks_of(
+    std::string_view country) const {
+  std::vector<net::Ipv4Subnet> out;
+  for (const auto& [subnet, name] : blocks_) {
+    if (name == country) out.push_back(subnet);
+  }
+  return out;
+}
+
+std::size_t GeoIpDb::block_count() const noexcept { return blocks_.size(); }
+
+}  // namespace syrwatch::geo

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/subnet.h"
+
+namespace syrwatch::geo {
+
+/// Offline IP-geolocation database (our stand-in for MaxMind GeoIP, which
+/// the paper uses to geo-localize direct-IP requests in §5.4).
+///
+/// Lookup is longest-prefix match over registered CIDR blocks, implemented
+/// as one hash map per populated prefix length probed from /32 down — at
+/// most 33 probes, in practice 3–4 for our synthetic registry.
+class GeoIpDb {
+ public:
+  /// Registers a block. Later registrations of the same exact block
+  /// overwrite earlier ones; overlapping blocks resolve by longest prefix.
+  void add(net::Ipv4Subnet subnet, std::string country);
+
+  /// Country of the longest matching block, or nullopt when unregistered.
+  std::optional<std::string_view> lookup(net::Ipv4Addr addr) const noexcept;
+
+  /// All blocks registered for a country (order of registration).
+  std::vector<net::Ipv4Subnet> blocks_of(std::string_view country) const;
+
+  std::size_t block_count() const noexcept;
+
+ private:
+  // prefix length -> (masked network value -> country)
+  std::unordered_map<int, std::unordered_map<std::uint32_t, std::string>>
+      by_prefix_;
+  std::vector<std::pair<net::Ipv4Subnet, std::string>> blocks_;
+};
+
+}  // namespace syrwatch::geo

@@ -1,0 +1,61 @@
+#include "geo/world.h"
+
+#include <stdexcept>
+
+namespace syrwatch::geo {
+
+namespace {
+
+net::Ipv4Subnet subnet(const char* text) {
+  const auto parsed = net::Ipv4Subnet::parse(text);
+  if (!parsed) throw std::logic_error(std::string("bad subnet literal: ") + text);
+  return *parsed;
+}
+
+}  // namespace
+
+const std::vector<net::Ipv4Subnet>& israeli_table12_subnets() {
+  static const std::vector<net::Ipv4Subnet> subnets = {
+      subnet("84.229.0.0/16"),   subnet("46.120.0.0/15"),
+      subnet("89.138.0.0/15"),   subnet("212.235.64.0/19"),
+      subnet("212.150.0.0/16"),
+  };
+  return subnets;
+}
+
+const std::vector<net::Ipv4Subnet>& israeli_extra_subnets() {
+  static const std::vector<net::Ipv4Subnet> subnets = {
+      subnet("80.179.0.0/16"),
+      subnet("62.219.0.0/16"),
+      subnet("192.114.0.0/15"),
+  };
+  return subnets;
+}
+
+GeoIpDb build_world_geoip() {
+  GeoIpDb db;
+  for (const auto& s : israeli_table12_subnets()) db.add(s, kIsrael);
+  for (const auto& s : israeli_extra_subnets()) db.add(s, kIsrael);
+
+  // Representative blocks for the remaining countries of Table 11 plus
+  // filler hosting space. The precise ranges are synthetic; the analysis
+  // only needs a stable subnet -> country mapping.
+  db.add(subnet("168.187.0.0/16"), kKuwait);
+  db.add(subnet("77.88.0.0/18"), kRussia);
+  db.add(subnet("95.163.32.0/19"), kRussia);
+  db.add(subnet("212.58.224.0/19"), kUnitedKingdom);
+  db.add(subnet("94.75.192.0/18"), kNetherlands);
+  db.add(subnet("31.204.128.0/17"), kNetherlands);
+  db.add(subnet("103.10.60.0/22"), kSingapore);
+  db.add(subnet("78.128.0.0/17"), kBulgaria);
+  db.add(subnet("8.8.0.0/16"), kUnitedStates);
+  db.add(subnet("64.4.0.0/16"), kUnitedStates);
+  db.add(subnet("199.59.148.0/22"), kUnitedStates);
+  db.add(subnet("217.160.0.0/16"), kGermany);
+  db.add(subnet("88.190.0.0/16"), kFrance);
+  db.add(subnet("31.9.0.0/16"), kSyria);
+  db.add(subnet("82.137.192.0/18"), kSyria);  // STE backbone incl. the proxies
+  return db;
+}
+
+}  // namespace syrwatch::geo

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geoip.h"
+
+namespace syrwatch::geo {
+
+/// Country names used across the library (kept as plain strings to mirror
+/// the GeoIP database the paper uses).
+inline constexpr const char* kIsrael = "Israel";
+inline constexpr const char* kSyria = "Syria";
+inline constexpr const char* kKuwait = "Kuwait";
+inline constexpr const char* kRussia = "Russian Federation";
+inline constexpr const char* kUnitedKingdom = "United Kingdom";
+inline constexpr const char* kNetherlands = "Netherlands";
+inline constexpr const char* kSingapore = "Singapore";
+inline constexpr const char* kBulgaria = "Bulgaria";
+inline constexpr const char* kUnitedStates = "United States";
+inline constexpr const char* kGermany = "Germany";
+inline constexpr const char* kFrance = "France";
+
+/// The five Israeli subnets of the paper's Table 12, in table order.
+const std::vector<net::Ipv4Subnet>& israeli_table12_subnets();
+
+/// Additional Israeli blocks (beyond Table 12) used so that allowed Israeli
+/// traffic exists — Table 11 records 72,416 *allowed* Israeli requests.
+const std::vector<net::Ipv4Subnet>& israeli_extra_subnets();
+
+/// Builds the synthetic world registry: Israeli blocks (Table 12 + extras)
+/// and representative blocks for every country of Table 11 plus common
+/// hosting countries. This is the database both the policy (to pick Israeli
+/// targets) and the analysis (to compute censorship ratios) consult — the
+/// same role MaxMind plays in the paper.
+GeoIpDb build_world_geoip();
+
+}  // namespace syrwatch::geo

@@ -1,0 +1,47 @@
+#include "net/domain.h"
+
+#include <array>
+
+#include "net/ipv4.h"
+#include "util/strings.h"
+
+namespace syrwatch::net {
+
+namespace {
+
+// Second-level labels that act as public suffixes under country TLDs.
+constexpr std::array<std::string_view, 6> kSecondLevelSuffixes = {
+    "co", "com", "net", "org", "gov", "ac"};
+
+bool is_second_level_suffix(std::string_view label) noexcept {
+  for (const auto s : kSecondLevelSuffixes) {
+    if (label == s) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string registrable_domain(std::string_view host) {
+  if (looks_like_ipv4(host)) return std::string(host);
+  const std::string lowered = util::to_lower(host);
+  const auto labels = util::split(lowered, '.');
+  if (labels.size() <= 2) return lowered;
+
+  const std::string_view tld = labels[labels.size() - 1];
+  const std::string_view second = labels[labels.size() - 2];
+  // ccTLDs are two letters; "co.uk"-style suffixes take three labels.
+  const bool two_level_suffix =
+      tld.size() == 2 && is_second_level_suffix(second);
+  const std::size_t keep = two_level_suffix ? 3 : 2;
+  if (labels.size() <= keep) return lowered;
+
+  std::string out;
+  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
+    if (!out.empty()) out.push_back('.');
+    out += labels[i];
+  }
+  return out;
+}
+
+}  // namespace syrwatch::net

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace syrwatch::net {
+
+/// Registrable domain ("eTLD+1") of a host, with a small built-in list of
+/// two-level public suffixes covering the TLDs in this study (.co.uk,
+/// .com.sy, .co.il, ...). IP literals and single-label hosts are returned
+/// unchanged. This is what the paper means by "domain" in its top-domain
+/// tables: www.facebook.com and ar-ar.facebook.com both count as
+/// facebook.com.
+std::string registrable_domain(std::string_view host);
+
+}  // namespace syrwatch::net

@@ -1,0 +1,43 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+namespace syrwatch::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t i = 0;
+  while (octets < 4) {
+    if (i >= text.size() || text[i] < '0' || text[i] > '9')
+      return std::nullopt;
+    std::uint32_t octet = 0;
+    std::size_t digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      if (octet > 255 || ++digits > 3) return std::nullopt;
+      ++i;
+    }
+    value = (value << 8) | octet;
+    ++octets;
+    if (octets < 4) {
+      if (i >= text.size() || text[i] != '.') return std::nullopt;
+      ++i;
+    }
+  }
+  if (i != text.size()) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+bool looks_like_ipv4(std::string_view text) noexcept {
+  return Ipv4Addr::parse(text).has_value();
+}
+
+}  // namespace syrwatch::net

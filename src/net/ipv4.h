@@ -1,0 +1,47 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace syrwatch::net {
+
+/// An IPv4 address as a host-order 32-bit value with dotted-quad parsing
+/// and rendering. A value type with no invariant beyond the representation,
+/// so members are public per the Core Guidelines' struct rule.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// "82.137.200.42" rendering.
+  std::string to_string() const;
+
+  /// Strict dotted-quad parse; rejects out-of-range octets, empty labels
+  /// and trailing garbage.
+  static std::optional<Ipv4Addr> parse(std::string_view text) noexcept;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// True when `text` parses as a dotted-quad IPv4 literal — used to decide
+/// whether a cs-host value is a hostname or a direct-IP request (the
+/// paper's DIPv4 dataset).
+bool looks_like_ipv4(std::string_view text) noexcept;
+
+}  // namespace syrwatch::net

@@ -1,0 +1,51 @@
+#include "net/subnet.h"
+
+#include <stdexcept>
+
+namespace syrwatch::net {
+
+Ipv4Subnet::Ipv4Subnet(Ipv4Addr network, int prefix_len)
+    : prefix_len_(prefix_len) {
+  if (prefix_len < 0 || prefix_len > 32)
+    throw std::invalid_argument("Ipv4Subnet: prefix length outside [0,32]");
+  network_ = Ipv4Addr{network.value() & mask()};
+}
+
+std::uint32_t Ipv4Subnet::mask() const noexcept {
+  return prefix_len_ == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_len_);
+}
+
+std::uint64_t Ipv4Subnet::size() const noexcept {
+  return std::uint64_t{1} << (32 - prefix_len_);
+}
+
+bool Ipv4Subnet::contains(Ipv4Addr addr) const noexcept {
+  return (addr.value() & mask()) == network_.value();
+}
+
+Ipv4Addr Ipv4Subnet::sample(util::Rng& rng) const noexcept {
+  const std::uint64_t offset = rng.uniform(size());
+  return Ipv4Addr{network_.value() | static_cast<std::uint32_t>(offset)};
+}
+
+std::string Ipv4Subnet::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+std::optional<Ipv4Subnet> Ipv4Subnet::parse(std::string_view text) noexcept {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const auto len_text = text.substr(slash + 1);
+  if (len_text.empty() || len_text.size() > 2) return std::nullopt;
+  int len = 0;
+  for (char c : len_text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Ipv4Subnet{*addr, len};
+}
+
+}  // namespace syrwatch::net

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace syrwatch::net {
+
+/// A CIDR IPv4 subnet (network address + prefix length).
+///
+/// Invariant: the host bits of `network()` are zero — enforced at
+/// construction by masking, so 84.229.12.7/16 normalizes to 84.229.0.0/16.
+class Ipv4Subnet {
+ public:
+  constexpr Ipv4Subnet() noexcept = default;
+  Ipv4Subnet(Ipv4Addr network, int prefix_len);
+
+  Ipv4Addr network() const noexcept { return network_; }
+  int prefix_len() const noexcept { return prefix_len_; }
+  std::uint32_t mask() const noexcept;
+
+  /// Number of addresses covered (2^(32-prefix)); capped for /0 handling.
+  std::uint64_t size() const noexcept;
+
+  bool contains(Ipv4Addr addr) const noexcept;
+
+  /// Uniformly random address inside the subnet.
+  Ipv4Addr sample(util::Rng& rng) const noexcept;
+
+  /// "84.229.0.0/16" rendering.
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d/len"; rejects invalid prefixes.
+  static std::optional<Ipv4Subnet> parse(std::string_view text) noexcept;
+
+  friend bool operator==(const Ipv4Subnet&, const Ipv4Subnet&) = default;
+
+ private:
+  Ipv4Addr network_{};
+  int prefix_len_ = 32;
+};
+
+}  // namespace syrwatch::net

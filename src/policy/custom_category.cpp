@@ -1,0 +1,45 @@
+#include "policy/custom_category.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace syrwatch::policy {
+
+void CustomCategoryList::add_host(std::string_view host,
+                                  std::string_view category) {
+  hosts_[util::to_lower(host)] = std::string(category);
+}
+
+void CustomCategoryList::add_page(std::string_view host, std::string_view path,
+                                  std::vector<std::string> queries,
+                                  std::string_view category) {
+  PageEntry entry{std::move(queries), std::string(category)};
+  pages_[util::to_lower(host)][std::string(path)] = std::move(entry);
+}
+
+std::string_view CustomCategoryList::classify(
+    const net::Url& url) const noexcept {
+  const auto host_it = hosts_.find(url.host);
+  if (host_it != hosts_.end()) return host_it->second;
+
+  const auto site_it = pages_.find(url.host);
+  if (site_it == pages_.end()) return {};
+  const auto page_it = site_it->second.find(url.path);
+  if (page_it == site_it->second.end()) return {};
+  const PageEntry& entry = page_it->second;
+  if (entry.queries.empty())
+    return url.query.empty() ? std::string_view{entry.category}
+                             : std::string_view{};
+  const bool hit = std::find(entry.queries.begin(), entry.queries.end(),
+                             url.query) != entry.queries.end();
+  return hit ? std::string_view{entry.category} : std::string_view{};
+}
+
+std::size_t CustomCategoryList::entry_count() const noexcept {
+  std::size_t n = hosts_.size();
+  for (const auto& [host, paths] : pages_) n += paths.size();
+  return n;
+}
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/url.h"
+
+namespace syrwatch::policy {
+
+/// Blue Coat local custom-category list.
+///
+/// The Syrian proxies had no access to Blue Coat's category database; the
+/// only category at work was a locally configured one ("Blocked sites")
+/// that targeted a *narrow* set of URLs — specific Facebook pages under
+/// specific path+query combinations, plus a few whole hosts
+/// (upload.youtube.com, competition.mbc.net, sharek.aljazeera.net). The
+/// paper shows the same page slipping through when extra query parameters
+/// are appended (§6), which is why entries here match path and query
+/// *exactly* rather than by prefix.
+class CustomCategoryList {
+ public:
+  /// Categorizes every URL on `host` (any path/query).
+  void add_host(std::string_view host, std::string_view category);
+
+  /// Categorizes exact (host, path, query) combinations. An empty query
+  /// list means "path with empty query only".
+  void add_page(std::string_view host, std::string_view path,
+                std::vector<std::string> queries, std::string_view category);
+
+  /// The category label for a URL, or empty when uncategorized.
+  std::string_view classify(const net::Url& url) const noexcept;
+
+  std::size_t entry_count() const noexcept;
+
+ private:
+  std::unordered_map<std::string, std::string> hosts_;
+  // host -> path -> exact query strings -> category
+  struct PageEntry {
+    std::vector<std::string> queries;
+    std::string category;
+  };
+  std::unordered_map<std::string, std::unordered_map<std::string, PageEntry>>
+      pages_;
+};
+
+}  // namespace syrwatch::policy

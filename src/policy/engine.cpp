@@ -1,0 +1,77 @@
+#include "policy/engine.h"
+
+#include "util/strings.h"
+
+namespace syrwatch::policy {
+
+std::string_view to_string(PolicyAction action) noexcept {
+  switch (action) {
+    case PolicyAction::kAllow: return "allow";
+    case PolicyAction::kDeny: return "deny";
+    case PolicyAction::kRedirect: return "redirect";
+  }
+  return "allow";
+}
+
+namespace {
+
+/// Visitor deciding whether one matcher fires for a request.
+struct MatchVisitor {
+  const FilterRequest& request;
+  util::Rng& rng;
+
+  bool operator()(const KeywordRule& r) const {
+    return util::icontains(request.url->filter_text(), r.keyword);
+  }
+  bool operator()(const DomainRule& r) const {
+    return util::host_matches_domain(request.url->host, r.domain);
+  }
+  bool operator()(const SubnetRule& r) const {
+    return request.dest_ip && r.subnet.contains(*request.dest_ip);
+  }
+  bool operator()(const IpRule& r) const {
+    return request.dest_ip && *request.dest_ip == r.address;
+  }
+  bool operator()(const CategoryRule& r) const {
+    return !request.custom_category.empty() &&
+           request.custom_category == r.category;
+  }
+  bool operator()(const PortRule& r) const {
+    return request.url->port == r.port;
+  }
+  bool operator()(const EndpointSetRule& r) const {
+    if (!request.dest_ip || !r.endpoints) return false;
+    if (!r.endpoints->contains(
+            EndpointSetRule::key(*request.dest_ip, request.url->port)))
+      return false;
+    const double p = r.schedule.intensity(request.time);
+    return p >= 1.0 || rng.bernoulli(p);
+  }
+};
+
+}  // namespace
+
+PolicyEngine::PolicyEngine(std::vector<Rule> rules)
+    : rules_(std::move(rules)) {}
+
+std::uint32_t PolicyEngine::add(Rule rule) {
+  rules_.push_back(std::move(rule));
+  return static_cast<std::uint32_t>(rules_.size() - 1);
+}
+
+PolicyDecision PolicyEngine::evaluate(const FilterRequest& request,
+                                      util::Rng& rng) const noexcept {
+  for (std::uint32_t i = 0; i < rules_.size(); ++i) {
+    if (std::visit(MatchVisitor{request, rng}, rules_[i].matcher))
+      return {rules_[i].action, i};
+  }
+  return {};
+}
+
+bool PolicyEngine::rule_matches(std::uint32_t index,
+                                const FilterRequest& request,
+                                util::Rng& rng) const {
+  return std::visit(MatchVisitor{request, rng}, rules_.at(index).matcher);
+}
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "policy/rule.h"
+#include "util/rng.h"
+
+namespace syrwatch::policy {
+
+/// The outcome of evaluating a request against the policy.
+struct PolicyDecision {
+  PolicyAction action = PolicyAction::kAllow;
+  /// Index of the matched rule in the engine, or kNoRule when allowed by
+  /// default.
+  static constexpr std::uint32_t kNoRule = ~std::uint32_t{0};
+  std::uint32_t rule_index = kNoRule;
+
+  bool censored() const noexcept { return action != PolicyAction::kAllow; }
+};
+
+/// First-match policy evaluator (Blue Coat layer semantics): rules are
+/// checked in insertion order and the first matching rule decides the
+/// request. The Rng parameter feeds scheduled (probabilistic) rules only;
+/// deterministic rules never consume randomness, so a policy without
+/// scheduled rules is a pure function of the request.
+class PolicyEngine {
+ public:
+  PolicyEngine() = default;
+  explicit PolicyEngine(std::vector<Rule> rules);
+
+  /// Appends a rule; returns its index.
+  std::uint32_t add(Rule rule);
+
+  const std::vector<Rule>& rules() const noexcept { return rules_; }
+  const Rule& rule(std::uint32_t index) const { return rules_.at(index); }
+
+  PolicyDecision evaluate(const FilterRequest& request,
+                          util::Rng& rng) const noexcept;
+
+  /// True when any single rule (evaluated in isolation) matches — used by
+  /// tests and the rule-order ablation.
+  bool rule_matches(std::uint32_t index, const FilterRequest& request,
+                    util::Rng& rng) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <variant>
+
+#include "net/ipv4.h"
+#include "net/subnet.h"
+#include "net/url.h"
+#include "policy/schedule.h"
+
+namespace syrwatch::policy {
+
+/// What a matched rule does with the request. Maps one-to-one onto the
+/// policy exceptions in the logs: kDeny raises policy_denied, kRedirect
+/// raises policy_redirect (the "Blocked sites" Facebook-page mechanism).
+enum class PolicyAction : std::uint8_t { kAllow, kDeny, kRedirect };
+
+std::string_view to_string(PolicyAction action) noexcept;
+
+/// The request view a rule can match against: the decomposed URL, the
+/// resolved (or literal) destination IP when available, the wall-clock
+/// time, and the custom category the proxy assigned before filtering.
+struct FilterRequest {
+  const net::Url* url = nullptr;
+  std::optional<net::Ipv4Addr> dest_ip;
+  std::int64_t time = 0;
+  std::string_view custom_category;  // empty, or e.g. "Blocked sites"
+};
+
+/// Substring keyword match over host+path+query (case-insensitive) — the
+/// mechanism behind the paper's Table 10 and its collateral damage.
+struct KeywordRule {
+  std::string keyword;
+};
+
+/// Domain (or, with a leading dot, TLD) suffix match on cs-host:
+/// "skype.com" blocks skype.com and every subdomain; ".il" blocks the
+/// whole Israeli TLD.
+struct DomainRule {
+  std::string domain;
+};
+
+/// Destination-IP CIDR match — the subnet blocking of Table 12.
+struct SubnetRule {
+  net::Ipv4Subnet subnet;
+};
+
+/// Exact destination-IP match, for the handful of individually blocked
+/// hosts inside otherwise-allowed subnets (e.g. 212.150.0.0/16).
+struct IpRule {
+  net::Ipv4Addr address;
+};
+
+/// Matches the custom category assigned by the proxy's local URL list.
+struct CategoryRule {
+  std::string category;
+};
+
+/// Destination port match (e.g. an experiment blocking 9001 outright).
+struct PortRule {
+  std::uint16_t port = 0;
+};
+
+/// Matches <dest IP, port> endpoints from a fixed set, gated by a
+/// time-varying intensity schedule. This models SG-44's inconsistent Tor
+/// blocking (§7.1, Fig. 9): even when the endpoint matches, the rule only
+/// fires with the schedule's current probability, reproducing relays that
+/// alternate between blocked and allowed.
+struct EndpointSetRule {
+  std::shared_ptr<const std::unordered_set<std::uint64_t>> endpoints;
+  OnOffSchedule schedule;
+
+  static std::uint64_t key(net::Ipv4Addr ip, std::uint16_t port) noexcept {
+    return (std::uint64_t{ip.value()} << 16) | port;
+  }
+};
+
+using RuleMatcher = std::variant<KeywordRule, DomainRule, SubnetRule, IpRule,
+                                 CategoryRule, PortRule, EndpointSetRule>;
+
+/// A named policy rule: matcher + action. Rules are evaluated in list
+/// order, first match wins (Blue Coat layer semantics).
+struct Rule {
+  RuleMatcher matcher;
+  PolicyAction action = PolicyAction::kDeny;
+  std::string name;
+};
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,46 @@
+#include "policy/schedule.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace syrwatch::policy {
+
+OnOffSchedule::OnOffSchedule(std::uint64_t seed, std::int64_t window_seconds,
+                             double on_fraction, double min_intensity,
+                             double max_intensity)
+    : seed_(seed),
+      window_(window_seconds),
+      on_fraction_(on_fraction),
+      min_intensity_(min_intensity),
+      max_intensity_(max_intensity),
+      constant_(false) {
+  if (window_seconds <= 0)
+    throw std::invalid_argument("OnOffSchedule: window must be positive");
+  if (on_fraction < 0.0 || on_fraction > 1.0)
+    throw std::invalid_argument("OnOffSchedule: on_fraction outside [0,1]");
+  if (min_intensity > max_intensity)
+    throw std::invalid_argument("OnOffSchedule: min > max intensity");
+}
+
+OnOffSchedule OnOffSchedule::constant(double intensity) {
+  OnOffSchedule s;
+  s.min_intensity_ = s.max_intensity_ = intensity;
+  s.constant_ = true;
+  return s;
+}
+
+double OnOffSchedule::intensity(std::int64_t time) const noexcept {
+  if (constant_) return max_intensity_;
+  const auto window_index =
+      static_cast<std::uint64_t>(time / window_) ;
+  const std::uint64_t h = util::mix64(seed_ ^ util::mix64(window_index));
+  const double on_draw =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  if (on_draw >= on_fraction_) return 0.0;
+  const std::uint64_t h2 = util::mix64(h);
+  const double level = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  return min_intensity_ + level * (max_intensity_ - min_intensity_);
+}
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+namespace syrwatch::policy {
+
+/// Deterministic on/off intensity schedule.
+///
+/// Divides time into fixed windows; each window is independently "on" with
+/// probability `on_fraction` (decided by hashing the window index with the
+/// seed), and an on-window applies a hash-derived intensity in
+/// [min_intensity, max_intensity]. Off-windows have intensity 0. This is
+/// the minimal machinery that reproduces the paper's Fig. 9: a rule whose
+/// enforcement alternates between aggressive, mild, and absent over hours.
+class OnOffSchedule {
+ public:
+  OnOffSchedule() = default;
+  OnOffSchedule(std::uint64_t seed, std::int64_t window_seconds,
+                double on_fraction, double min_intensity,
+                double max_intensity);
+
+  /// Always-on schedule with fixed intensity.
+  static OnOffSchedule constant(double intensity);
+
+  /// Enforcement probability in [0, 1] at the given time.
+  double intensity(std::int64_t time) const noexcept;
+
+  std::int64_t window_seconds() const noexcept { return window_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::int64_t window_ = 3600;
+  double on_fraction_ = 1.0;
+  double min_intensity_ = 1.0;
+  double max_intensity_ = 1.0;
+  bool constant_ = true;
+};
+
+}  // namespace syrwatch::policy

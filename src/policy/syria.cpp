@@ -1,0 +1,236 @@
+#include "policy/syria.h"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace syrwatch::policy {
+
+namespace {
+
+using category::Category;
+
+net::Ipv4Subnet subnet(const char* text) {
+  const auto parsed = net::Ipv4Subnet::parse(text);
+  if (!parsed) throw std::logic_error("bad subnet literal");
+  return *parsed;
+}
+
+net::Ipv4Addr addr(const char* text) {
+  const auto parsed = net::Ipv4Addr::parse(text);
+  if (!parsed) throw std::logic_error("bad address literal");
+  return *parsed;
+}
+
+}  // namespace
+
+std::string proxy_name(std::size_t proxy_index) {
+  if (proxy_index >= kProxyCount)
+    throw std::out_of_range("proxy_name: index out of range");
+  return "SG-" + std::to_string(42 + proxy_index);
+}
+
+const std::vector<std::string>& censored_keywords() {
+  static const std::vector<std::string> keywords = {
+      "proxy", "hotspotshield", "ultrareach", "israel", "ultrasurf"};
+  return keywords;
+}
+
+const std::vector<SuspectedDomain>& suspected_domains() {
+  // The paper recovers 105 domains for which *no* request is ever allowed
+  // (§5.4, Tables 8 and 9). Every domain the paper names is pinned below;
+  // the remainder are synthetic stand-ins distributed so the per-category
+  // counts follow Table 9's shape (General News and uncategorized hosts
+  // dominate the list even though IM/Streaming dominate request volume).
+  static const std::vector<SuspectedDomain> domains = [] {
+    std::vector<SuspectedDomain> d;
+    // --- Named in the paper -------------------------------------------
+    d.push_back({"metacafe.com", Category::kStreamingMedia});
+    d.push_back({"skype.com", Category::kInstantMessaging});
+    d.push_back({"messenger.live.com", Category::kInstantMessaging});
+    d.push_back({"wikimedia.org", Category::kEducationReference});
+    d.push_back({"amazon.com", Category::kOnlineShopping});
+    d.push_back({"aawsat.com", Category::kGeneralNews});
+    d.push_back({"jumblo.com", Category::kInternetServices});
+    d.push_back({"jeddahbikers.com", Category::kForums});
+    d.push_back({"badoo.com", Category::kSocialNetworking});
+    d.push_back({"islamway.com", Category::kReligion});
+    d.push_back({"netlog.com", Category::kSocialNetworking});
+    d.push_back({"all4syria.info", Category::kGeneralNews});
+    d.push_back({"new-syria.com", Category::kGeneralNews});
+    d.push_back({"islammemo.cc", Category::kGeneralNews});
+    d.push_back({"alquds.co.uk", Category::kGeneralNews});
+    d.push_back({"free-syria.com", Category::kGeneralNews});
+    d.push_back({"hotsptshld.com", Category::kInternetServices});
+    d.push_back({"ceipmsn.com", Category::kInternetServices});
+    d.push_back({"conduitapps.com", Category::kInternetServices});
+    d.push_back({"trafficholder.com", Category::kEntertainment});
+    d.push_back({"dailymotion.com", Category::kStreamingMedia});
+    d.push_back({"mtn.com.sy", Category::kInternetServices});
+    d.push_back({"news.bbc.co.uk", Category::kGeneralNews});
+    // --- Synthetic fillers, Table 9 shape -----------------------------
+    auto fill = [&d](const char* stem, const char* tld, int count,
+                     Category c) {
+      for (int i = 1; i <= count; ++i) {
+        d.push_back({std::string(stem) + std::to_string(i) + tld, c});
+      }
+    };
+    fill("syrnews", ".net", 34, Category::kGeneralNews);        // news: 40
+    fill("site", ".info", 25, Category::kUncategorized);        // NA: 25
+    fill("shamtube", ".tv", 4, Category::kStreamingMedia);      // stream: 6
+    fill("arabrefs", ".org", 3, Category::kEducationReference); // edu: 4
+    fill("souq-mashreq", ".com", 1, Category::kOnlineShopping); // shop: 2
+    fill("voipdamas", ".net", 1, Category::kInternetServices);  // svc: 6
+    fill("shambook", ".net", 4, Category::kSocialNetworking);   // osn: 6
+    fill("funsham", ".com", 3, Category::kEntertainment);       // fun: 4
+    fill("majlis", ".net", 7, Category::kForums);               // forum: 8
+    return d;
+  }();
+  return domains;
+}
+
+const std::vector<BlockedPage>& facebook_blocked_pages() {
+  // Table 14, verbatim.
+  static const std::vector<BlockedPage> pages = {
+      {"Syrian.Revolution", 1461, 891, 16},
+      {"Syrian.revolution", 0, 0, 25},
+      {"syria.news.F.N.N", 191, 165, 1},
+      {"ShaamNews", 114, 3944, 7},
+      {"fffm14", 42, 18, 0},
+      {"barada.channel", 25, 9, 0},
+      {"DaysOfRage", 19, 2, 0},
+      {"Syrian.R.V", 10, 6, 0},
+      {"YouthFreeSyria", 6, 0, 0},
+      {"sooryoon", 3, 0, 0},
+      {"Freedom.Of.Syria", 3, 0, 0},
+      {"SyrianDayOfRage", 1, 0, 0},
+  };
+  return pages;
+}
+
+const std::vector<std::string>& redirected_hosts() {
+  static const std::vector<std::string> hosts = {
+      "upload.youtube.com", "competition.mbc.net", "sharek.aljazeera.net"};
+  return hosts;
+}
+
+const std::vector<net::Ipv4Addr>& anonymizer_endpoint_ips() {
+  static const std::vector<net::Ipv4Addr> ips = {
+      addr("68.68.96.12"),   addr("74.115.0.40"),  addr("199.59.148.21"),
+      addr("64.4.17.88"),    addr("94.75.200.14"), addr("31.204.150.77"),
+      addr("77.88.21.30"),   addr("8.8.130.5"),
+  };
+  return ips;
+}
+
+namespace {
+
+std::vector<Rule> base_rules() {
+  std::vector<Rule> rules;
+  rules.push_back({CategoryRule{kBlockedSitesLabel}, PolicyAction::kRedirect,
+                   "category:blocked-sites"});
+  for (const auto& kw : censored_keywords())
+    rules.push_back({KeywordRule{kw}, PolicyAction::kDeny, "keyword:" + kw});
+  for (const auto& sd : suspected_domains())
+    rules.push_back(
+        {DomainRule{sd.domain}, PolicyAction::kDeny, "domain:" + sd.domain});
+  rules.push_back({DomainRule{".il"}, PolicyAction::kDeny, "tld:.il"});
+  // Israeli subnets (Table 12). The first three blocks are blacklisted
+  // wholesale; 212.235.64.0/19 is blocked only in its lower /20 (the paper
+  // observes one allowed host inside the /19); in 212.150.0.0/16 only three
+  // individual hosts are blocked, which reproduces the censored-but-mostly-
+  // allowed second group.
+  // Table 12 lists only the *top* censored subnets; the long tail of
+  // smaller blocked Israeli blocks (the paper's 5,191 censored direct-IP
+  // requests exceed the table's sum) is represented by 62.219.128.0/17.
+  for (const char* s : {"84.229.0.0/16", "46.120.0.0/15", "89.138.0.0/15",
+                        "212.235.64.0/20", "62.219.128.0/17"})
+    rules.push_back({SubnetRule{subnet(s)}, PolicyAction::kDeny,
+                     std::string("subnet:") + s});
+  for (const char* ip : {"212.150.1.10", "212.150.7.33", "212.150.100.2"})
+    rules.push_back(
+        {IpRule{addr(ip)}, PolicyAction::kDeny, std::string("ip:") + ip});
+  // Anonymizer service endpoints blocked by destination address (§4):
+  // these catch HTTPS CONNECTs whose URL exposes only an IP.
+  for (const net::Ipv4Addr ip : anonymizer_endpoint_ips())
+    rules.push_back({IpRule{ip}, PolicyAction::kDeny,
+                     "ip:anonymizer:" + ip.to_string()});
+  return rules;
+}
+
+std::shared_ptr<const std::unordered_set<std::uint64_t>> or_endpoints(
+    const tor::RelayDirectory& relays) {
+  auto set = std::make_shared<std::unordered_set<std::uint64_t>>();
+  for (const auto& relay : relays.relays())
+    set->insert(EndpointSetRule::key(relay.address, relay.or_port));
+  return set;
+}
+
+std::shared_ptr<const std::unordered_set<std::uint64_t>> all_endpoints(
+    const tor::RelayDirectory& relays) {
+  auto set = std::make_shared<std::unordered_set<std::uint64_t>>();
+  for (const auto& relay : relays.relays()) {
+    set->insert(EndpointSetRule::key(relay.address, relay.or_port));
+    if (relay.dir_port != 0)
+      set->insert(EndpointSetRule::key(relay.address, relay.dir_port));
+  }
+  return set;
+}
+
+}  // namespace
+
+SyriaPolicy build_syria_policy(const tor::RelayDirectory& relays,
+                               std::uint64_t seed) {
+  SyriaPolicy policy;
+
+  for (const auto& host : redirected_hosts())
+    policy.custom_categories.add_host(host, kBlockedSitesLabel);
+  for (const auto& page : facebook_blocked_pages()) {
+    for (const char* host : {"www.facebook.com", "ar-ar.facebook.com"}) {
+      policy.custom_categories.add_page(host, "/" + page.page, {"ref=ts"},
+                                        kBlockedSitesLabel);
+    }
+  }
+
+  const auto onion = or_endpoints(relays);
+  for (std::size_t i = 0; i < kProxyCount; ++i) {
+    ProxyPolicy& pp = policy.proxies[i];
+    // SG-43 (index 1) and SG-48 (index 6) run the "none"-style naming.
+    const bool none_style = (i == 1 || i == 6);
+    pp.default_category_label = none_style ? "none" : "unavailable";
+    pp.blocked_category_label =
+        none_style ? "Blocked sites" : "Blocked sites; unavailable";
+
+    PolicyEngine engine{base_rules()};
+    if (i == kTorCensorProxy) {
+      // SG-44's scheduled Tor experiment: hour-scale windows alternating
+      // between absent, mild, and aggressive enforcement (Fig. 9).
+      engine.add({EndpointSetRule{onion,
+                                  OnOffSchedule{seed ^ 0x44, 2 * 3600, 0.55,
+                                                0.20, 1.0}},
+                  PolicyAction::kDeny, "tor:sg44-experiment"});
+    }
+    if (i == kTorTraceProxy) {
+      engine.add({EndpointSetRule{onion, OnOffSchedule::constant(0.0015)},
+                  PolicyAction::kDeny, "tor:sg48-trace"});
+    }
+    pp.engine = std::move(engine);
+  }
+  return policy;
+}
+
+std::size_t apply_december_2012_update(SyriaPolicy& policy,
+                                       const tor::RelayDirectory& relays) {
+  const auto endpoints = all_endpoints(relays);
+  std::size_t added = 0;
+  for (auto& pp : policy.proxies) {
+    pp.engine.add({EndpointSetRule{endpoints, OnOffSchedule::constant(1.0)},
+                   PolicyAction::kDeny, "tor:dec2012-relays"});
+    pp.engine.add(
+        {PortRule{9001}, PolicyAction::kDeny, "tor:dec2012-orport"});
+    added += 2;
+  }
+  return added;
+}
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "category/categorizer.h"
+#include "policy/custom_category.h"
+#include "policy/engine.h"
+#include "tor/relay_directory.h"
+
+namespace syrwatch::policy {
+
+/// Number of leaked proxies (SG-42 ... SG-48) and their display names.
+inline constexpr std::size_t kProxyCount = 7;
+std::string proxy_name(std::size_t proxy_index);  // 0 -> "SG-42"
+
+/// The five blacklisted keywords recovered in §5.4 (Table 10).
+const std::vector<std::string>& censored_keywords();
+
+/// A domain on the URL-filter blacklist, labelled with the TrustedSource
+/// category the paper assigns in Table 9.
+struct SuspectedDomain {
+  std::string domain;
+  category::Category category = category::Category::kUncategorized;
+};
+
+/// The 105-entry suspected-domain blacklist of §5.4: every domain the paper
+/// names, padded with synthetic domains so the per-category counts track
+/// Table 9's distribution (General News and uncategorized hosts dominate).
+const std::vector<SuspectedDomain>& suspected_domains();
+
+/// A Facebook page targeted by the "Blocked sites" custom category
+/// (Table 14), with the observed redirect/allowed/proxied request counts
+/// that the workload model uses as mixture weights.
+struct BlockedPage {
+  std::string page;             // path component, e.g. "Syrian.Revolution"
+  std::uint32_t censored = 0;   // requests hitting the categorized form
+  std::uint32_t allowed = 0;    // requests with uncategorized query variants
+  std::uint32_t proxied = 0;
+};
+const std::vector<BlockedPage>& facebook_blocked_pages();
+
+/// Whole hosts carried by the same custom category (Table 7):
+/// upload.youtube.com, competition.mbc.net, sharek.aljazeera.net.
+const std::vector<std::string>& redirected_hosts();
+
+/// Anonymizer-service endpoints blocked by destination address — §4 finds
+/// that 82% of censored HTTPS requests address IPs belonging to an Israeli
+/// AS or an Anonymizer service. Shared with the HTTPS workload component.
+const std::vector<net::Ipv4Addr>& anonymizer_endpoint_ips();
+
+/// Canonical label the policy matches on; proxies render it with their own
+/// configured naming (see ProxyPolicy).
+inline constexpr const char* kBlockedSitesLabel = "Blocked sites";
+
+/// One proxy's filtering configuration. The leak shows two configuration
+/// families: SG-43/SG-48 name the default category "none" and the custom
+/// one "Blocked sites"; the other five use "unavailable" and
+/// "Blocked sites; unavailable" (§4, §5.2).
+struct ProxyPolicy {
+  PolicyEngine engine;
+  std::string default_category_label;
+  std::string blocked_category_label;
+};
+
+/// The full inferred Summer-2011 deployment: a shared custom-category URL
+/// list plus seven per-proxy engines. All proxies share the base rules
+/// (custom category -> redirect; 5 keywords; 105 domains; .il; Israeli
+/// subnets/IPs); SG-44 additionally carries the scheduled Tor-relay
+/// endpoint rule (99.9% of censored Tor traffic, Fig. 8/9) and SG-48 a
+/// trace-level one (the remaining 0.1%).
+struct SyriaPolicy {
+  CustomCategoryList custom_categories;
+  std::array<ProxyPolicy, kProxyCount> proxies;
+};
+
+SyriaPolicy build_syria_policy(const tor::RelayDirectory& relays,
+                               std::uint64_t seed);
+
+/// The December 2012 escalation (paper's Remarks: "Starting December 2012,
+/// Tor relays and bridges have reportedly been blocked"): every proxy gets
+/// an always-on rule denying all known relay endpoints (OR *and* directory
+/// ports, killing Torhttp too) plus a blanket rule for the default OR port
+/// — the behaviour the Tor censorship wiki records. Returns the number of
+/// rules added.
+std::size_t apply_december_2012_update(SyriaPolicy& policy,
+                                       const tor::RelayDirectory& relays);
+
+/// Indices of the proxies carrying Tor rules, for tests and analyses.
+inline constexpr std::size_t kTorCensorProxy = 2;   // SG-44
+inline constexpr std::size_t kTorTraceProxy = 6;    // SG-48
+/// Proxy receiving domain-affinity redirected traffic (metacafe, skype
+/// surges) — SG-48, per §5.2.
+inline constexpr std::size_t kAffinityProxy = 6;
+
+}  // namespace syrwatch::policy

@@ -1,0 +1,51 @@
+#include "proxy/cache.h"
+
+#include <stdexcept>
+
+namespace syrwatch::proxy {
+
+ResponseCache::ResponseCache(std::size_t capacity, std::int64_t ttl_seconds)
+    : capacity_(capacity), ttl_(ttl_seconds) {
+  if (capacity == 0)
+    throw std::invalid_argument("ResponseCache: capacity must be positive");
+  if (ttl_seconds < 0)
+    throw std::invalid_argument("ResponseCache: negative ttl");
+}
+
+const ResponseCache::Entry* ResponseCache::find(const std::string& url_key,
+                                                std::int64_t now) noexcept {
+  const auto it = map_.find(url_key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  const Entry& entry = it->second->entry;
+  if (entry.expires_at != 0 && now >= entry.expires_at) {
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->entry;
+}
+
+void ResponseCache::admit(const std::string& url_key, Entry entry,
+                          std::int64_t now) {
+  if (ttl_ != 0 && entry.expires_at == 0) entry.expires_at = now + ttl_;
+  const auto it = map_.find(url_key);
+  if (it != map_.end()) {
+    it->second->entry = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front(Node{url_key, entry});
+  map_.emplace(lru_.front().key, lru_.begin());
+}
+
+}  // namespace syrwatch::proxy

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "proxy/exception.h"
+
+namespace syrwatch::proxy {
+
+/// LRU + TTL response cache ("bandwidth gain profile", §3.2).
+///
+/// Entries remember the decision taken when the URL was first processed.
+/// A hit is logged as PROXIED and replays the stored exception — which is
+/// how the leak ends up with PROXIED records for censored domains
+/// (Tables 8/10/13 all report small proxied counts next to fully censored
+/// domains). Bounded LRU plus entry expiry keep the hit rate at the
+/// log's sub-percent level even for very hot URLs.
+class ResponseCache {
+ public:
+  /// ttl_seconds == 0 disables expiry.
+  ResponseCache(std::size_t capacity, std::int64_t ttl_seconds = 0);
+
+  struct Entry {
+    ExceptionId exception = ExceptionId::kNone;
+    std::uint16_t status = 200;
+    std::int64_t expires_at = 0;  // 0 = never
+  };
+
+  /// Lookup at simulation time `now`; a live hit refreshes recency,
+  /// an expired entry is dropped and reported as a miss.
+  const Entry* find(const std::string& url_key, std::int64_t now) noexcept;
+
+  /// Inserts or refreshes an entry, stamping expiry from `now`, evicting
+  /// the least recently used entry when full.
+  void admit(const std::string& url_key, Entry entry, std::int64_t now);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Node {
+    std::string key;
+    Entry entry;
+  };
+  std::size_t capacity_;
+  std::int64_t ttl_;
+  std::list<Node> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Node>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace syrwatch::proxy

@@ -1,0 +1,56 @@
+#include "proxy/error_model.h"
+
+#include <stdexcept>
+
+namespace syrwatch::proxy {
+
+ErrorModel::ErrorModel(ErrorRates rates) : rates_(rates) {
+  if (rates.total() >= 1.0)
+    throw std::invalid_argument("ErrorModel: rates sum to >= 1");
+  double acc = 0.0;
+  auto set = [&](ExceptionId id, double p) {
+    acc += p;
+    cumulative_[static_cast<std::size_t>(id)] = acc;
+  };
+  set(ExceptionId::kTcpError, rates.tcp_error);
+  set(ExceptionId::kInternalError, rates.internal_error);
+  set(ExceptionId::kInvalidRequest, rates.invalid_request);
+  set(ExceptionId::kUnsupportedProtocol, rates.unsupported_protocol);
+  set(ExceptionId::kDnsUnresolvedHostname, rates.dns_unresolved_hostname);
+  set(ExceptionId::kDnsServerFailure, rates.dns_server_failure);
+  set(ExceptionId::kUnsupportedEncoding, rates.unsupported_encoding);
+  set(ExceptionId::kInvalidResponse, rates.invalid_response);
+}
+
+ExceptionId ErrorModel::sample(util::Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  if (u >= rates_.total()) return ExceptionId::kNone;
+  for (const ExceptionId id :
+       {ExceptionId::kTcpError, ExceptionId::kInternalError,
+        ExceptionId::kInvalidRequest, ExceptionId::kUnsupportedProtocol,
+        ExceptionId::kDnsUnresolvedHostname, ExceptionId::kDnsServerFailure,
+        ExceptionId::kUnsupportedEncoding, ExceptionId::kInvalidResponse}) {
+    if (u < cumulative_[static_cast<std::size_t>(id)]) return id;
+  }
+  return ExceptionId::kNone;
+}
+
+std::uint16_t ErrorModel::status_for(ExceptionId id) noexcept {
+  switch (id) {
+    case ExceptionId::kTcpError: return 503;
+    case ExceptionId::kInternalError: return 500;
+    case ExceptionId::kInvalidRequest: return 400;
+    case ExceptionId::kUnsupportedProtocol: return 501;
+    case ExceptionId::kDnsUnresolvedHostname: return 503;
+    case ExceptionId::kDnsServerFailure: return 503;
+    case ExceptionId::kUnsupportedEncoding: return 415;
+    case ExceptionId::kInvalidResponse: return 502;
+    case ExceptionId::kPolicyDenied: return 403;
+    case ExceptionId::kPolicyRedirect: return 302;
+    case ExceptionId::kNone: return 200;
+    case ExceptionId::kCount: break;
+  }
+  return 200;
+}
+
+}  // namespace syrwatch::proxy

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "proxy/exception.h"
+#include "util/rng.h"
+
+namespace syrwatch::proxy {
+
+/// Stochastic network-failure model for requests the policy allowed.
+///
+/// Rates default to Table 3's Dfull column re-normalized onto the
+/// fetch-attempt population (requests that were neither censored nor served
+/// from cache): tcp_error dominates (~45% of all denials), internal_error
+/// next (~31%), then invalid_request, unsupported_protocol and DNS
+/// failures. All rates are per-attempt probabilities and can be overridden
+/// for ablations.
+struct ErrorRates {
+  double tcp_error = 0.0291;
+  double internal_error = 0.0199;
+  double invalid_request = 0.00366;
+  double unsupported_protocol = 0.00097;
+  double dns_unresolved_hostname = 0.000192;
+  double dns_server_failure = 0.0000792;
+  double unsupported_encoding = 0.00000036;
+  double invalid_response = 0.00000001;
+
+  double total() const noexcept {
+    return tcp_error + internal_error + invalid_request +
+           unsupported_protocol + dns_unresolved_hostname +
+           dns_server_failure + unsupported_encoding + invalid_response;
+  }
+};
+
+class ErrorModel {
+ public:
+  explicit ErrorModel(ErrorRates rates = {});
+
+  /// Samples the outcome of a fetch attempt: kNone on success, otherwise
+  /// the failing exception.
+  ExceptionId sample(util::Rng& rng) const noexcept;
+
+  const ErrorRates& rates() const noexcept { return rates_; }
+
+  /// HTTP status the proxy reports for a failure class.
+  static std::uint16_t status_for(ExceptionId id) noexcept;
+
+ private:
+  ErrorRates rates_;
+  std::array<double, kExceptionCount> cumulative_{};  // CDF by ExceptionId
+};
+
+}  // namespace syrwatch::proxy

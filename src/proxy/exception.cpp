@@ -1,0 +1,57 @@
+#include "proxy/exception.h"
+
+namespace syrwatch::proxy {
+
+std::string_view to_string(FilterResult result) noexcept {
+  switch (result) {
+    case FilterResult::kObserved: return "OBSERVED";
+    case FilterResult::kProxied: return "PROXIED";
+    case FilterResult::kDenied: return "DENIED";
+  }
+  return "OBSERVED";
+}
+
+std::optional<FilterResult> parse_filter_result(
+    std::string_view text) noexcept {
+  if (text == "OBSERVED") return FilterResult::kObserved;
+  if (text == "PROXIED") return FilterResult::kProxied;
+  if (text == "DENIED") return FilterResult::kDenied;
+  return std::nullopt;
+}
+
+std::string_view to_string(ExceptionId id) noexcept {
+  switch (id) {
+    case ExceptionId::kNone: return "-";
+    case ExceptionId::kPolicyDenied: return "policy_denied";
+    case ExceptionId::kPolicyRedirect: return "policy_redirect";
+    case ExceptionId::kTcpError: return "tcp_error";
+    case ExceptionId::kInternalError: return "internal_error";
+    case ExceptionId::kInvalidRequest: return "invalid_request";
+    case ExceptionId::kUnsupportedProtocol: return "unsupported_protocol";
+    case ExceptionId::kDnsUnresolvedHostname:
+      return "dns_unresolved_hostname";
+    case ExceptionId::kDnsServerFailure: return "dns_server_failure";
+    case ExceptionId::kUnsupportedEncoding: return "unsupported_encoding";
+    case ExceptionId::kInvalidResponse: return "invalid_response";
+    case ExceptionId::kCount: break;
+  }
+  return "-";
+}
+
+std::optional<ExceptionId> parse_exception(std::string_view text) noexcept {
+  for (std::size_t i = 0; i < kExceptionCount; ++i) {
+    const auto id = static_cast<ExceptionId>(i);
+    if (text == to_string(id)) return id;
+  }
+  return std::nullopt;
+}
+
+bool is_policy_exception(ExceptionId id) noexcept {
+  return id == ExceptionId::kPolicyDenied || id == ExceptionId::kPolicyRedirect;
+}
+
+bool is_error_exception(ExceptionId id) noexcept {
+  return id != ExceptionId::kNone && !is_policy_exception(id);
+}
+
+}  // namespace syrwatch::proxy

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace syrwatch::proxy {
+
+/// sc-filter-result values (§3.2): the action the proxy took, not the
+/// outcome of filtering.
+enum class FilterResult : std::uint8_t { kObserved, kProxied, kDenied };
+
+std::string_view to_string(FilterResult result) noexcept;
+std::optional<FilterResult> parse_filter_result(std::string_view text) noexcept;
+
+/// x-exception-id values observed in the leak (Table 3). kNone is logged
+/// as '-'.
+enum class ExceptionId : std::uint8_t {
+  kNone = 0,
+  kPolicyDenied,
+  kPolicyRedirect,
+  kTcpError,
+  kInternalError,
+  kInvalidRequest,
+  kUnsupportedProtocol,
+  kDnsUnresolvedHostname,
+  kDnsServerFailure,
+  kUnsupportedEncoding,
+  kInvalidResponse,
+  kCount,  // sentinel; keep last
+};
+
+inline constexpr std::size_t kExceptionCount =
+    static_cast<std::size_t>(ExceptionId::kCount);
+
+std::string_view to_string(ExceptionId id) noexcept;
+std::optional<ExceptionId> parse_exception(std::string_view text) noexcept;
+
+/// §3.3 request classes: censored = policy exceptions; error = any other
+/// exception; allowed = none.
+bool is_policy_exception(ExceptionId id) noexcept;
+bool is_error_exception(ExceptionId id) noexcept;
+
+}  // namespace syrwatch::proxy

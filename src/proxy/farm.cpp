@@ -1,0 +1,55 @@
+#include "proxy/farm.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace syrwatch::proxy {
+
+ProxyFarm::ProxyFarm(const policy::SyriaPolicy* policy,
+                     const SgProxyConfig& config, std::uint64_t seed)
+    : rng_(util::mix64(seed ^ 0xFA53)) {
+  if (policy == nullptr) throw std::invalid_argument("ProxyFarm: null policy");
+  proxies_.reserve(policy::kProxyCount);
+  for (std::size_t i = 0; i < policy::kProxyCount; ++i) {
+    proxies_.emplace_back(static_cast<std::uint8_t>(i), &policy->proxies[i],
+                          &policy->custom_categories, config,
+                          util::Rng{util::mix64(seed + i)});
+  }
+}
+
+void ProxyFarm::add_affinity(std::string domain, std::size_t proxy_index,
+                             double fraction) {
+  if (proxy_index >= proxies_.size())
+    throw std::out_of_range("ProxyFarm::add_affinity: bad proxy index");
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("ProxyFarm::add_affinity: bad fraction");
+  affinities_[util::to_lower(domain)].push_back({proxy_index, fraction});
+}
+
+std::size_t ProxyFarm::route(const Request& request) {
+  // Walk the host's domain suffixes looking for an affinity entry.
+  std::string_view probe{request.url.host};
+  while (!probe.empty()) {
+    const auto it = affinities_.find(std::string{probe});
+    if (it != affinities_.end()) {
+      double u = rng_.uniform01();
+      for (const AffinityTarget& target : it->second) {
+        if (u < target.fraction) return target.proxy_index;
+        u -= target.fraction;
+      }
+      break;  // leftover share falls through to home routing
+    }
+    const auto dot = probe.find('.');
+    if (dot == std::string_view::npos) break;
+    probe.remove_prefix(dot + 1);
+  }
+  return static_cast<std::size_t>(util::mix64(request.user_id) %
+                                  proxies_.size());
+}
+
+LogRecord ProxyFarm::process(const Request& request) {
+  return proxies_[route(request)].process(request);
+}
+
+}  // namespace syrwatch::proxy

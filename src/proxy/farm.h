@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/syria.h"
+#include "proxy/sg_proxy.h"
+
+namespace syrwatch::proxy {
+
+/// Load-balancing front of the seven-proxy deployment.
+///
+/// Baseline routing hashes the client onto a home proxy, which spreads
+/// load evenly (Fig. 7a) and keeps each user's traffic on one appliance
+/// (the premise of the Duser analysis — a per-proxy log contains whole
+/// users). On top of that, *domain affinity* redirects traffic for
+/// configured domains to designated proxies, reproducing §5.2's finding
+/// that >95% of metacafe.com requests land on SG-48 and that proxies
+/// specialize in censoring particular content.
+class ProxyFarm {
+ public:
+  ProxyFarm(const policy::SyriaPolicy* policy, const SgProxyConfig& config,
+            std::uint64_t seed);
+
+  /// Routes `fraction` of traffic for `domain` (and subdomains) to the
+  /// proxy; leftovers fall back to the client's home proxy. Multiple
+  /// entries per domain stack (fractions should sum to <= 1).
+  void add_affinity(std::string domain, std::size_t proxy_index,
+                    double fraction);
+
+  /// The proxy that would handle this request (exposed for tests).
+  std::size_t route(const Request& request);
+
+  /// Routes and filters.
+  LogRecord process(const Request& request);
+
+  SgProxy& proxy(std::size_t index) { return proxies_.at(index); }
+  const SgProxy& proxy(std::size_t index) const { return proxies_.at(index); }
+  std::size_t proxy_count() const noexcept { return proxies_.size(); }
+
+ private:
+  struct AffinityTarget {
+    std::size_t proxy_index;
+    double fraction;
+  };
+
+  std::vector<SgProxy> proxies_;
+  std::unordered_map<std::string, std::vector<AffinityTarget>> affinities_;
+  util::Rng rng_;
+};
+
+}  // namespace syrwatch::proxy

@@ -1,0 +1,167 @@
+#include "proxy/log_io.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/simtime.h"
+#include "util/strings.h"
+
+namespace syrwatch::proxy {
+
+namespace {
+
+constexpr int kColumnCount = 17;
+
+std::string field_or_dash(std::string_view value) {
+  return value.empty() ? "-" : std::string(value);
+}
+
+std::string dash_to_empty(std::string value) {
+  return value == "-" ? std::string{} : value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text, int base = 10) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string log_csv_header() {
+  return "date,time,s-ip,c-ip,cs-method,cs-uri-scheme,cs-host,cs-uri-port,"
+         "cs-uri-path,cs-uri-query,cs-uri-ext,cs-user-agent,cs-categories,"
+         "sc-status,sc-filter-result,x-exception-id,r-ip";
+}
+
+std::string to_csv(const LogRecord& record) {
+  const util::CivilDateTime c = util::to_civil(record.time);
+  char date[16], clock[16], chash[24];
+  std::snprintf(date, sizeof date, "%04d-%02d-%02d", c.year, c.month, c.day);
+  std::snprintf(clock, sizeof clock, "%02d:%02d:%02d", c.hour, c.minute,
+                c.second);
+  if (record.user_hash == 0) {
+    std::snprintf(chash, sizeof chash, "0.0.0.0");
+  } else {
+    std::snprintf(chash, sizeof chash, "%016llx",
+                  static_cast<unsigned long long>(record.user_hash));
+  }
+  const std::vector<std::string> fields = {
+      date,
+      clock,
+      record.proxy_address().to_string(),
+      chash,
+      record.method,
+      std::string(net::to_string(record.url.scheme)),
+      record.url.host,
+      std::to_string(record.url.port),
+      field_or_dash(record.url.path),
+      field_or_dash(record.url.query),
+      field_or_dash(record.url.extension()),
+      field_or_dash(record.user_agent),
+      field_or_dash(record.categories),
+      std::to_string(record.status),
+      std::string(to_string(record.filter_result)),
+      std::string(to_string(record.exception)),
+      record.dest_ip ? record.dest_ip->to_string() : "-",
+  };
+  return util::csv_join(fields);
+}
+
+std::optional<LogRecord> from_csv(const std::string& line) {
+  std::vector<std::string> f;
+  try {
+    f = util::csv_parse(line);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  if (f.size() != kColumnCount) return std::nullopt;
+
+  LogRecord record;
+
+  // date + time
+  const auto date_parts = util::split(f[0], '-');
+  const auto time_parts = util::split(f[1], ':');
+  if (date_parts.size() != 3 || time_parts.size() != 3) return std::nullopt;
+  util::CivilDateTime c;
+  try {
+    c.year = std::stoi(date_parts[0]);
+    c.month = std::stoi(date_parts[1]);
+    c.day = std::stoi(date_parts[2]);
+    c.hour = std::stoi(time_parts[0]);
+    c.minute = std::stoi(time_parts[1]);
+    c.second = std::stoi(time_parts[2]);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  record.time = util::to_unix_seconds(c);
+
+  const auto s_ip = net::Ipv4Addr::parse(f[2]);
+  if (!s_ip || s_ip->octet(3) < 42 || s_ip->octet(3) > 48)
+    return std::nullopt;
+  record.proxy_index = static_cast<std::uint8_t>(s_ip->octet(3) - 42);
+
+  if (f[3] == "0.0.0.0") {
+    record.user_hash = 0;
+  } else {
+    const auto hash = parse_u64(f[3], 16);
+    if (!hash) return std::nullopt;
+    record.user_hash = *hash;
+  }
+
+  record.method = f[4];
+  const auto scheme = net::parse_scheme(f[5]);
+  if (!scheme) return std::nullopt;
+  record.url.scheme = *scheme;
+  record.url.host = f[6];
+  const auto port = parse_u64(f[7]);
+  if (!port || *port > 65535) return std::nullopt;
+  record.url.port = static_cast<std::uint16_t>(*port);
+  record.url.path = dash_to_empty(f[8]);
+  record.url.query = dash_to_empty(f[9]);
+  // f[10] (cs-uri-ext) is derived from the path; ignored on read.
+  record.user_agent = dash_to_empty(f[11]);
+  record.categories = dash_to_empty(f[12]);
+  const auto status = parse_u64(f[13]);
+  if (!status || *status > 999) return std::nullopt;
+  record.status = static_cast<std::uint16_t>(*status);
+  const auto result = parse_filter_result(f[14]);
+  if (!result) return std::nullopt;
+  record.filter_result = *result;
+  const auto exception = parse_exception(f[15]);
+  if (!exception) return std::nullopt;
+  record.exception = *exception;
+  if (f[16] != "-") {
+    const auto dest = net::Ipv4Addr::parse(f[16]);
+    if (!dest) return std::nullopt;
+    record.dest_ip = *dest;
+  }
+  return record;
+}
+
+void write_log(std::ostream& out, const std::vector<LogRecord>& records) {
+  out << log_csv_header() << '\n';
+  for (const LogRecord& record : records) out << to_csv(record) << '\n';
+}
+
+std::vector<LogRecord> read_log(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != log_csv_header())
+    throw std::runtime_error("read_log: missing or unexpected header");
+  std::vector<LogRecord> records;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto record = from_csv(line);
+    if (!record) throw std::runtime_error("read_log: malformed row: " + line);
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+}  // namespace syrwatch::proxy

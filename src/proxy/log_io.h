@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proxy/log_record.h"
+
+namespace syrwatch::proxy {
+
+/// CSV serialization of log records in the leak's style: one line per
+/// request, comma-separated, '-' for empty fields. The column set is the
+/// analysis-relevant subset of the 26 Blue Coat fields (Table 2), in a
+/// fixed order given by `log_csv_header()`.
+
+/// "date,time,s-ip,c-ip,cs-method,cs-host,..." header line.
+std::string log_csv_header();
+
+/// Renders one record as a CSV line (no trailing newline).
+std::string to_csv(const LogRecord& record);
+
+/// Parses a line produced by to_csv. Returns nullopt on malformed input
+/// (wrong column count, bad enums, bad timestamp).
+std::optional<LogRecord> from_csv(const std::string& line);
+
+/// Writes header + all records.
+void write_log(std::ostream& out, const std::vector<LogRecord>& records);
+
+/// Reads a stream written by write_log. Throws std::runtime_error on a
+/// malformed header or row.
+std::vector<LogRecord> read_log(std::istream& in);
+
+}  // namespace syrwatch::proxy

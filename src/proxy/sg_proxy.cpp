@@ -1,0 +1,101 @@
+#include "proxy/sg_proxy.h"
+
+#include <stdexcept>
+
+namespace syrwatch::proxy {
+
+SgProxy::SgProxy(std::uint8_t index, const policy::ProxyPolicy* policy,
+                 const policy::CustomCategoryList* custom_categories,
+                 const SgProxyConfig& config, util::Rng rng)
+    : index_(index),
+      policy_(policy),
+      custom_categories_(custom_categories),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_ttl_seconds),
+      errors_(config.error_rates),
+      rng_(rng) {
+  if (policy == nullptr || custom_categories == nullptr)
+    throw std::invalid_argument("SgProxy: null policy configuration");
+}
+
+LogRecord SgProxy::process(const Request& request) {
+  ++processed_;
+
+  LogRecord record;
+  record.time = request.time;
+  record.proxy_index = index_;
+  record.user_hash = util::mix64(request.user_id);
+  record.user_agent = request.user_agent;
+  record.method = request.method;
+  record.url = request.url;
+  record.dest_ip = request.dest_ip;
+
+  // TLS interception: the tunnelled request becomes visible. Without it,
+  // HTTPS records carry only host/IP and port, exactly as in the leak.
+  if (config_.intercept_https &&
+      request.url.scheme == net::Scheme::kHttps) {
+    record.url.path = request.inner_path;
+    record.url.query = request.inner_query;
+  }
+
+  const std::string_view custom =
+      custom_categories_->classify(record.url);
+  record.categories = custom.empty() ? policy_->default_category_label
+                                     : policy_->blocked_category_label;
+
+  // 1. Cache: a hit short-circuits filtering and replays the stored
+  //    outcome, logged as PROXIED.
+  const std::string url_key = record.url.to_string();
+  if (const ResponseCache::Entry* hit = cache_.find(url_key, request.time)) {
+    record.filter_result = FilterResult::kProxied;
+    record.exception = hit->exception;
+    record.status = hit->status;
+    return record;
+  }
+
+  // 2. Policy — evaluated against the effective (possibly intercepted) URL.
+  const policy::FilterRequest filter_request{
+      &record.url, request.dest_ip, request.time, custom};
+  const policy::PolicyDecision decision =
+      policy_->engine.evaluate(filter_request, rng_);
+  if (decision.action != policy::PolicyAction::kAllow) {
+    record.filter_result = FilterResult::kDenied;
+    record.exception = decision.action == policy::PolicyAction::kRedirect
+                           ? ExceptionId::kPolicyRedirect
+                           : ExceptionId::kPolicyDenied;
+    record.status = ErrorModel::status_for(record.exception);
+    if (rng_.bernoulli(config_.policy_admit_prob))
+      cache_.admit(url_key, {record.exception, record.status, 0},
+                   request.time);
+    return record;
+  }
+
+  // 3. Fetch attempt. Destination-specific unreachability (e.g. churned
+  //    Tor relays) surfaces as tcp_error ahead of the base error model.
+  if (request.dest_unreachable_prob > 0.0 &&
+      rng_.bernoulli(request.dest_unreachable_prob)) {
+    record.filter_result = FilterResult::kDenied;
+    record.exception = ExceptionId::kTcpError;
+    record.status = ErrorModel::status_for(ExceptionId::kTcpError);
+    return record;
+  }
+  const ExceptionId failure = errors_.sample(rng_);
+  if (failure != ExceptionId::kNone) {
+    record.filter_result = FilterResult::kDenied;
+    record.exception = failure;
+    record.status = ErrorModel::status_for(failure);
+    return record;
+  }
+
+  // 4. Served.
+  record.filter_result = FilterResult::kObserved;
+  record.exception = ExceptionId::kNone;
+  record.status =
+      request.cacheable && rng_.bernoulli(config_.not_modified_prob) ? 304
+                                                                     : 200;
+  if (request.cacheable && rng_.bernoulli(config_.observed_admit_prob))
+    cache_.admit(url_key, {ExceptionId::kNone, 200, 0}, request.time);
+  return record;
+}
+
+}  // namespace syrwatch::proxy

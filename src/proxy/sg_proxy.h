@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "policy/syria.h"
+#include "proxy/cache.h"
+#include "proxy/error_model.h"
+#include "proxy/log_record.h"
+#include "util/rng.h"
+
+namespace syrwatch::proxy {
+
+/// Tunables for one SG-9000 instance.
+struct SgProxyConfig {
+  std::size_t cache_capacity = 60'000;
+  /// Seconds a cached response stays servable (0 = forever). The short
+  /// default keeps the PROXIED share near the leak's 0.47% even for very
+  /// hot URLs.
+  std::int64_t cache_ttl_seconds = 7200;
+  /// Admission probability for successfully observed *cacheable* (static)
+  /// responses; dynamic content is never admitted.
+  double observed_admit_prob = 0.5;
+  /// Admission probability for policy decisions (censored URLs do show up
+  /// as PROXIED in the leak, at ~0.03–0.3% of their censored volume).
+  double policy_admit_prob = 0.002;
+  /// Share of cacheable hits reported 304 instead of 200.
+  double not_modified_prob = 0.08;
+  /// TLS interception (Blue Coat supports it; the leak shows it was OFF —
+  /// §4 finds no cs-uri-path/-query in HTTPS records). When enabled, the
+  /// tunnelled request's path/query become visible to the policy and the
+  /// log, enabling page-level censorship of HTTPS.
+  bool intercept_https = false;
+  ErrorRates error_rates{};
+};
+
+/// One Blue Coat SG-9000: transparent application-level interception.
+///
+/// Pipeline per request (§3.2): response-cache lookup (hit -> PROXIED,
+/// replaying the stored outcome), local custom-category assignment, policy
+/// evaluation (deny/redirect -> DENIED with the policy exception), then the
+/// fetch attempt with stochastic network failures, and finally OBSERVED.
+class SgProxy {
+ public:
+  SgProxy(std::uint8_t index, const policy::ProxyPolicy* policy,
+          const policy::CustomCategoryList* custom_categories,
+          const SgProxyConfig& config, util::Rng rng);
+
+  SgProxy(SgProxy&&) = default;
+
+  std::uint8_t index() const noexcept { return index_; }
+  std::string name() const { return policy::proxy_name(index_); }
+
+  /// Filters one request and returns the resulting log line.
+  LogRecord process(const Request& request);
+
+  std::uint64_t processed() const noexcept { return processed_; }
+  const ResponseCache& cache() const noexcept { return cache_; }
+
+ private:
+  std::uint8_t index_;
+  const policy::ProxyPolicy* policy_;
+  const policy::CustomCategoryList* custom_categories_;
+  SgProxyConfig config_;
+  ResponseCache cache_;
+  ErrorModel errors_;
+  util::Rng rng_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace syrwatch::proxy

@@ -1,0 +1,80 @@
+#include "tor/relay_directory.h"
+
+#include "util/strings.h"
+
+namespace syrwatch::tor {
+
+RelayDirectory RelayDirectory::synthesize(std::size_t relay_count,
+                                          std::uint64_t seed) {
+  RelayDirectory dir;
+  util::Rng rng{seed};
+  std::unordered_set<std::uint32_t> used_ips;
+  dir.relays_.reserve(relay_count);
+  for (std::size_t i = 0; i < relay_count; ++i) {
+    Relay relay;
+    // Relays live in "western" unicast space, disjoint from the workload's
+    // other address pools; retry on collision so endpoints stay unique.
+    do {
+      const auto a = static_cast<std::uint8_t>(rng.uniform_range(5, 95));
+      const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+      const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+      const auto d = static_cast<std::uint8_t>(rng.uniform_range(1, 254));
+      relay.address = net::Ipv4Addr{a, b, c, d};
+    } while (!used_ips.insert(relay.address.value()).second);
+
+    const double port_pick = rng.uniform01();
+    if (port_pick < 0.80) relay.or_port = 9001;
+    else if (port_pick < 0.90) relay.or_port = 443;
+    else if (port_pick < 0.95) relay.or_port = 9002;
+    else relay.or_port = static_cast<std::uint16_t>(rng.uniform_range(9003, 9099));
+
+    relay.dir_port = rng.bernoulli(0.70)
+                         ? (rng.bernoulli(0.8) ? std::uint16_t{9030}
+                                               : std::uint16_t{80})
+                         : std::uint16_t{0};
+    relay.is_authority = i < 10;
+    if (relay.is_authority && relay.dir_port == 0) relay.dir_port = 9030;
+
+    const auto idx = static_cast<std::uint32_t>(dir.relays_.size());
+    dir.by_endpoint_.emplace(endpoint_key(relay.address, relay.or_port), idx);
+    if (relay.dir_port != 0)
+      dir.by_endpoint_.emplace(endpoint_key(relay.address, relay.dir_port),
+                               idx);
+    dir.relays_.push_back(relay);
+  }
+  return dir;
+}
+
+bool RelayDirectory::contains(net::Ipv4Addr ip,
+                              std::uint16_t port) const noexcept {
+  return by_endpoint_.count(endpoint_key(ip, port)) != 0;
+}
+
+std::optional<Relay> RelayDirectory::find(net::Ipv4Addr ip,
+                                          std::uint16_t port) const {
+  const auto it = by_endpoint_.find(endpoint_key(ip, port));
+  if (it == by_endpoint_.end()) return std::nullopt;
+  return relays_[it->second];
+}
+
+const Relay& RelayDirectory::sample(util::Rng& rng) const noexcept {
+  return relays_[rng.uniform(relays_.size())];
+}
+
+std::string directory_path(util::Rng& rng) {
+  static const char* kPaths[] = {
+      "/tor/server/authority.z",
+      "/tor/server/all.z",
+      "/tor/status-vote/current/consensus.z",
+      "/tor/keys/all.z",
+      "/tor/keys/authority.z",
+      "/tor/server/fp/0123456789abcdef.z",
+  };
+  return kPaths[rng.uniform(std::size(kPaths))];
+}
+
+bool is_directory_path(std::string_view path) noexcept {
+  return util::starts_with(path, "/tor/");
+}
+
+}  // namespace syrwatch::tor

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace syrwatch::tor {
+
+/// One Tor relay as described by the network-status documents the paper
+/// matches against (§7.1): IP, OR port for circuit traffic, optional
+/// directory port for unencrypted HTTP signaling.
+struct Relay {
+  net::Ipv4Addr address;
+  std::uint16_t or_port = 9001;
+  std::uint16_t dir_port = 9030;  // 0 when the relay serves no directory
+  bool is_authority = false;
+};
+
+/// Synthetic equivalent of the Tor metrics server descriptors / consensus
+/// archives: a dated registry of <IP, port> endpoints. The paper extracts
+/// <node IP, port, date> triplets from those archives and matches them
+/// against the logs to label Tor traffic; `contains()` provides exactly
+/// that predicate. Dates are omitted from the synthetic registry because
+/// the simulated window (9 days) is far shorter than relay churn.
+class RelayDirectory {
+ public:
+  /// Builds `relay_count` relays deterministically from the seed.
+  /// OR ports follow the real-world mixture (mostly 9001, some 443/9002),
+  /// ~70% of relays publish a directory port, and the first ten relays are
+  /// marked as directory authorities.
+  static RelayDirectory synthesize(std::size_t relay_count,
+                                   std::uint64_t seed);
+
+  const std::vector<Relay>& relays() const noexcept { return relays_; }
+  std::size_t size() const noexcept { return relays_.size(); }
+
+  /// True when <ip, port> is a known relay endpoint (OR or directory port).
+  bool contains(net::Ipv4Addr ip, std::uint16_t port) const noexcept;
+
+  /// The relay behind an endpoint, if any.
+  std::optional<Relay> find(net::Ipv4Addr ip, std::uint16_t port) const;
+
+  /// Uniformly random relay.
+  const Relay& sample(util::Rng& rng) const noexcept;
+
+ private:
+  std::vector<Relay> relays_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_endpoint_;
+
+  static std::uint64_t endpoint_key(net::Ipv4Addr ip,
+                                    std::uint16_t port) noexcept {
+    return (std::uint64_t{ip.value()} << 16) | port;
+  }
+};
+
+/// Directory-request path grammar (Torhttp). These are the URL prefixes the
+/// paper greps for ("/tor/server/...", "/tor/keys").
+std::string directory_path(util::Rng& rng);
+bool is_directory_path(std::string_view path) noexcept;
+
+}  // namespace syrwatch::tor

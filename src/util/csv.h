@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syrwatch::util {
+
+/// RFC-4180-style CSV encoding used by the log writer/reader. The leaked
+/// Blue Coat logs were comma-separated; fields containing commas, quotes or
+/// newlines are quoted, quotes are doubled.
+
+/// Escapes a single field if needed.
+std::string csv_escape(std::string_view field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string csv_join(const std::vector<std::string>& fields);
+
+/// Parses one CSV line into fields. Handles quoted fields with embedded
+/// commas and doubled quotes. Throws std::invalid_argument on an unbalanced
+/// quote.
+std::vector<std::string> csv_parse(std::string_view line);
+
+}  // namespace syrwatch::util

@@ -1,0 +1,45 @@
+#include "util/histogram.h"
+
+#include <stdexcept>
+
+namespace syrwatch::util {
+
+BinnedCounter::BinnedCounter(std::int64_t origin, std::int64_t bin_width,
+                             std::size_t bin_count)
+    : origin_(origin), width_(bin_width) {
+  if (bin_width <= 0)
+    throw std::invalid_argument("BinnedCounter: bin_width must be positive");
+  if (bin_count == 0)
+    throw std::invalid_argument("BinnedCounter: bin_count must be positive");
+  counts_.assign(bin_count, 0);
+}
+
+void BinnedCounter::add(std::int64_t value, std::uint64_t count) noexcept {
+  if (value < origin_) {
+    overflow_ += count;
+    return;
+  }
+  const auto bin = static_cast<std::uint64_t>((value - origin_) / width_);
+  if (bin >= counts_.size()) {
+    overflow_ += count;
+    return;
+  }
+  counts_[bin] += count;
+}
+
+std::uint64_t BinnedCounter::total() const noexcept {
+  std::uint64_t acc = 0;
+  for (auto c : counts_) acc += c;
+  return acc;
+}
+
+std::map<std::uint64_t, std::uint64_t> frequency_of_frequencies(
+    const std::vector<std::uint64_t>& per_key_counts) {
+  std::map<std::uint64_t, std::uint64_t> result;
+  for (auto c : per_key_counts) {
+    if (c > 0) ++result[c];
+  }
+  return result;
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace syrwatch::util {
+
+/// Fixed-width time/count histogram over [origin, origin + bins * width).
+///
+/// Used for the paper's temporal figures (5-minute and hourly bins). Values
+/// outside the range are dropped and counted in `overflow`.
+class BinnedCounter {
+ public:
+  BinnedCounter(std::int64_t origin, std::int64_t bin_width,
+                std::size_t bin_count);
+
+  void add(std::int64_t value, std::uint64_t count = 1) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::int64_t bin_width() const noexcept { return width_; }
+  std::int64_t origin() const noexcept { return origin_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t at(std::size_t bin) const { return counts_.at(bin); }
+  std::int64_t bin_start(std::size_t bin) const noexcept {
+    return origin_ + static_cast<std::int64_t>(bin) * width_;
+  }
+  std::uint64_t total() const noexcept;
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+
+ private:
+  std::int64_t origin_;
+  std::int64_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Sparse frequency-of-frequencies view: given per-key counts, returns the
+/// map {request-count -> number of keys with that count}. This is exactly the
+/// transformation behind the paper's Fig. 2 (requests per unique domain).
+std::map<std::uint64_t, std::uint64_t> frequency_of_frequencies(
+    const std::vector<std::uint64_t>& per_key_counts);
+
+}  // namespace syrwatch::util

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace syrwatch::util {
+
+/// splitmix64 step: the canonical 64-bit mixer, used for seeding and for
+/// cheap stateless hashing of identifiers into streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless hash of a 64-bit value (one splitmix64 round on a copy).
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// Deterministic pseudo-random generator (xoshiro256++).
+///
+/// All stochastic behaviour in the library flows through instances of this
+/// class; a fixed seed therefore reproduces every table bit-for-bit. The
+/// class satisfies the UniformRandomBitGenerator requirements, but we expose
+/// the distribution helpers we actually need rather than <random>'s
+/// implementation-defined distributions, so results are portable across
+/// standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through splitmix64 so that nearby seeds
+  /// produce unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x5EED0F5EED0F5EEDULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Derives an independent child generator; `stream_id` selects the stream.
+  /// Children of the same parent with distinct ids are uncorrelated.
+  Rng split(std::uint64_t stream_id) const noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// nearly-divisionless method.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed double with the given rate (> 0).
+  double exponential(double rate) noexcept;
+
+  /// Poisson-distributed count with the given mean (>= 0). Uses inversion
+  /// for small means and a normal approximation above 64 (adequate for
+  /// workload arrival counts).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Standard normal variate (Box–Muller without caching).
+  double normal() noexcept;
+
+  /// Index sampled proportionally to the non-negative weights. Requires a
+  /// non-empty span with a positive total. O(n); use util::AliasSampler for
+  /// repeated draws.
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace syrwatch::util

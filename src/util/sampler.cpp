@@ -1,0 +1,54 @@
+#include "util/sampler.h"
+
+#include <stdexcept>
+
+namespace syrwatch::util {
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasSampler: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasSampler: zero total");
+
+  pmf_.resize(n);
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Standard small/large worklist construction.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] = weights[i] / total;
+    scaled[i] = pmf_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const noexcept {
+  const std::size_t bucket = rng.uniform(prob_.size());
+  return rng.uniform01() < prob_[bucket]
+             ? bucket
+             : static_cast<std::size_t>(alias_[bucket]);
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace syrwatch::util {
+
+/// Walker alias-method sampler over a fixed discrete distribution.
+///
+/// Construction is O(n); each draw is O(1) with exactly one uniform draw and
+/// one table probe. The workload generators draw from the same category /
+/// domain mixtures millions of times per run, so constant-time sampling is
+/// what keeps the benches fast.
+class AliasSampler {
+ public:
+  /// Builds the tables from non-negative weights (at least one positive).
+  explicit AliasSampler(std::span<const double> weights);
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Probability mass of outcome i, as normalized at construction.
+  double pmf(std::size_t i) const { return pmf_.at(i); }
+
+  /// Draws an index in [0, size()).
+  std::size_t sample(Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> prob_;        // acceptance threshold per bucket
+  std::vector<std::uint32_t> alias_;  // fallback outcome per bucket
+  std::vector<double> pmf_;         // normalized input, kept for inspection
+};
+
+}  // namespace syrwatch::util

@@ -1,0 +1,89 @@
+#include "util/simtime.h"
+
+#include <cstdio>
+
+namespace syrwatch::util {
+
+std::int64_t days_from_civil(int year, int month, int day) noexcept {
+  // Howard Hinnant's algorithm, valid across the proleptic Gregorian range.
+  year -= month <= 2;
+  const std::int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 +
+                            day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+std::int64_t to_unix_seconds(const CivilDateTime& c) noexcept {
+  return days_from_civil(c.year, c.month, c.day) * kSecondsPerDay +
+         c.hour * kSecondsPerHour + c.minute * kSecondsPerMinute + c.second;
+}
+
+CivilDateTime to_civil(std::int64_t unix_seconds) noexcept {
+  std::int64_t days = unix_seconds / kSecondsPerDay;
+  std::int64_t rem = unix_seconds % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  // Inverse of days_from_civil.
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+
+  CivilDateTime c;
+  c.year = static_cast<int>(y + (m <= 2));
+  c.month = static_cast<int>(m);
+  c.day = static_cast<int>(d);
+  c.hour = static_cast<int>(rem / kSecondsPerHour);
+  c.minute = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  c.second = static_cast<int>(rem % kSecondsPerMinute);
+  return c;
+}
+
+int day_of_week(std::int64_t unix_seconds) noexcept {
+  std::int64_t days = unix_seconds / kSecondsPerDay;
+  if (unix_seconds % kSecondsPerDay < 0) --days;
+  // 1970-01-01 was a Thursday (4).
+  const std::int64_t dow = (days + 4) % 7;
+  return static_cast<int>(dow < 0 ? dow + 7 : dow);
+}
+
+std::string format_date(std::int64_t unix_seconds) {
+  const CivilDateTime c = to_civil(unix_seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string format_datetime(std::int64_t unix_seconds) {
+  const CivilDateTime c = to_civil(unix_seconds);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::string format_clock(std::int64_t unix_seconds) {
+  const CivilDateTime c = to_civil(unix_seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d:%02d", c.hour, c.minute);
+  return buf;
+}
+
+double hour_of_day(std::int64_t unix_seconds) noexcept {
+  std::int64_t rem = unix_seconds % kSecondsPerDay;
+  if (rem < 0) rem += kSecondsPerDay;
+  return static_cast<double>(rem) / static_cast<double>(kSecondsPerHour);
+}
+
+}  // namespace syrwatch::util

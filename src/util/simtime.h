@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace syrwatch::util {
+
+/// Simulation time is plain Unix seconds (UTC). The leaked logs cover
+/// July 22–23, July 31 and August 1–6, 2011; these helpers convert between
+/// Unix seconds and civil dates without touching the process time zone.
+
+struct CivilDateTime {
+  int year = 1970;
+  int month = 1;   // 1..12
+  int day = 1;     // 1..31
+  int hour = 0;    // 0..23
+  int minute = 0;  // 0..59
+  int second = 0;  // 0..59
+};
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+std::int64_t days_from_civil(int year, int month, int day) noexcept;
+
+/// Unix seconds for a civil date-time (UTC).
+std::int64_t to_unix_seconds(const CivilDateTime& c) noexcept;
+
+/// Inverse of to_unix_seconds.
+CivilDateTime to_civil(std::int64_t unix_seconds) noexcept;
+
+/// 0 = Sunday ... 6 = Saturday. (Aug 5, 2011 — the paper's protest Friday —
+/// returns 5.)
+int day_of_week(std::int64_t unix_seconds) noexcept;
+
+/// "2011-08-03" / "2011-08-03 08:15:00" renderings.
+std::string format_date(std::int64_t unix_seconds);
+std::string format_datetime(std::int64_t unix_seconds);
+/// "08:15" clock rendering.
+std::string format_clock(std::int64_t unix_seconds);
+
+/// Fractional hour-of-day in [0, 24).
+double hour_of_day(std::int64_t unix_seconds) noexcept;
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+
+}  // namespace syrwatch::util

@@ -1,0 +1,155 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace syrwatch::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double percentile_sorted(std::span<const double> sorted, double p) noexcept {
+  if (sorted.empty()) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(idx);
+  return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+namespace {
+
+// Inverse standard-normal CDF (Acklam's rational approximation), accurate to
+// ~1e-9 — far beyond what interval reporting needs.
+double inverse_normal_cdf(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p <= 0.0 || p >= 1.0)
+    throw std::domain_error("inverse_normal_cdf: p outside (0,1)");
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+ProportionInterval proportion_confidence(std::uint64_t successes,
+                                         std::uint64_t trials, double alpha) {
+  if (trials == 0)
+    throw std::invalid_argument("proportion_confidence: trials == 0");
+  if (successes > trials)
+    throw std::invalid_argument("proportion_confidence: successes > trials");
+  if (alpha <= 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("proportion_confidence: alpha outside (0,1)");
+  const double p =
+      static_cast<double>(successes) / static_cast<double>(trials);
+  const double z = inverse_normal_cdf(1.0 - alpha / 2.0);
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / static_cast<double>(trials));
+  return {std::max(0.0, p - half), std::min(1.0, p + half), half};
+}
+
+ProportionInterval wilson_confidence(std::uint64_t successes,
+                                     std::uint64_t trials, double alpha) {
+  if (trials == 0)
+    throw std::invalid_argument("wilson_confidence: trials == 0");
+  if (successes > trials)
+    throw std::invalid_argument("wilson_confidence: successes > trials");
+  if (alpha <= 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("wilson_confidence: alpha outside (0,1)");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = inverse_normal_cdf(1.0 - alpha / 2.0);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half), half};
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> points;
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Collapse runs of equal values into the final (x, count<=x/n) point.
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) continue;
+    points.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return points;
+}
+
+double loglog_slope(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) continue;
+    const double lx = std::log10(xs[i]);
+    const double ly = std::log10(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++used;
+  }
+  if (used < 2) return 0.0;
+  const double denom = static_cast<double>(used) * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (static_cast<double>(used) * sxy - sx * sy) / denom;
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace syrwatch::util {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance; 0 when fewer than two elements.
+double variance(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation percentile of a *sorted* span, p in [0, 100].
+double percentile_sorted(std::span<const double> sorted, double p) noexcept;
+
+/// Cosine similarity between two equally sized non-negative vectors, the
+/// proxy-specialization metric of the paper's Table 6. Returns 0 when either
+/// vector is all-zero.
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b) noexcept;
+
+/// Two-sided normal-approximation confidence interval around an observed
+/// proportion (the paper's §3.3 sampling-accuracy argument, Jain Eq. 13.9.2).
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+};
+
+/// `successes` out of `trials` at confidence (1 - alpha); alpha = 0.05 gives
+/// the 95% interval used in the paper. Requires trials > 0.
+ProportionInterval proportion_confidence(std::uint64_t successes,
+                                         std::uint64_t trials, double alpha);
+
+/// Wilson score interval — well-behaved at 0 or n successes (the normal
+/// approximation degenerates to a point there), which matters when auditing
+/// rare classes like PROXIED on small samples. Same contract as
+/// proportion_confidence.
+ProportionInterval wilson_confidence(std::uint64_t successes,
+                                     std::uint64_t trials, double alpha);
+
+/// Empirical CDF point set over arbitrary sample values: x values sorted
+/// ascending, y the fraction of samples <= x.
+struct CdfPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
+
+/// Least-squares slope of log10(y) against log10(x) over positive pairs,
+/// used to validate the Fig. 2 power law. Returns 0 with fewer than two
+/// usable pairs.
+double loglog_slope(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace syrwatch::util

@@ -1,0 +1,31 @@
+#include "util/string_pool.h"
+
+#include <stdexcept>
+
+namespace syrwatch::util {
+
+StringPool::StringPool() {
+  strings_.emplace_back();  // id 0: empty string
+  index_.emplace(std::string_view{strings_.front()}, kEmpty);
+}
+
+StringPool::Id StringPool::intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const Id id = static_cast<Id>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view{strings_.back()}, id);
+  return id;
+}
+
+StringPool::Id StringPool::lookup(std::string_view s) const noexcept {
+  const auto it = index_.find(s);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::string_view StringPool::view(Id id) const {
+  if (id >= strings_.size()) throw std::out_of_range("StringPool::view");
+  return strings_[id];
+}
+
+}  // namespace syrwatch::util

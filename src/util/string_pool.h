@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace syrwatch::util {
+
+/// Interning pool mapping strings to dense 32-bit ids.
+///
+/// The analysis datasets hold millions of log records whose host / path /
+/// query / user-agent fields repeat heavily; interning turns each record
+/// into a handful of integers. Id 0 is reserved for the empty string, so a
+/// default-constructed id renders as "" (the logs' '-' placeholder).
+class StringPool {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kEmpty = 0;
+
+  StringPool();
+
+  /// Returns the id for `s`, interning it on first sight.
+  Id intern(std::string_view s);
+
+  /// Returns the id if present, kEmpty's sentinel semantics do not apply —
+  /// absent strings yield std::nullopt-like kNotFound.
+  static constexpr Id kNotFound = ~Id{0};
+  Id lookup(std::string_view s) const noexcept;
+
+  /// The interned string; views stay valid for the pool's lifetime.
+  std::string_view view(Id id) const;
+
+  std::size_t size() const noexcept { return strings_.size(); }
+
+ private:
+  // deque keeps string objects stable so string_view keys into the map
+  // remain valid as the pool grows.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, Id> index_;
+};
+
+}  // namespace syrwatch::util

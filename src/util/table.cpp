@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace syrwatch::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) line += " | ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing padding on the last column.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i != 0) rule += "-+-";
+    rule.append(widths[i], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string titled_block(std::string_view title, const TextTable& table) {
+  std::string out;
+  out.append(title);
+  out.push_back('\n');
+  out.append(title.size(), '=');
+  out.push_back('\n');
+  out += table.render();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syrwatch::util {
+
+/// Minimal monospace table renderer used by the benches and examples to
+/// print paper-versus-measured rows. Columns auto-size to content; numeric
+/// alignment is the caller's concern (cells are plain strings).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   Domain         | Requests | %
+  ///   ---------------+----------+------
+  ///   facebook.com   | 1.62M    | 21.91%
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: renders a titled section (title, underline, table, blank
+/// line) — the uniform block format of every bench binary's output.
+std::string titled_block(std::string_view title, const TextTable& table);
+
+}  // namespace syrwatch::util

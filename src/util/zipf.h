@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace syrwatch::util {
+
+/// Zipf(s, n) sampler over ranks {0, ..., n-1} where rank r is drawn with
+/// probability proportional to 1/(r+1)^s.
+///
+/// Domain popularity in web traffic is famously Zipf-like (the paper's
+/// Fig. 2 shows the resulting power law in requests-per-domain); this class
+/// drives the tail of the synthetic domain catalog. Sampling uses the
+/// precomputed-CDF + binary-search method, which is exact and fast for the
+/// catalog sizes we use (up to a few hundred thousand ranks).
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return s_; }
+
+  /// Probability mass of the given rank.
+  double pmf(std::size_t rank) const;
+
+  /// Draws a rank in [0, n).
+  std::size_t sample(Rng& rng) const noexcept;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // normalized inclusive prefix sums
+};
+
+}  // namespace syrwatch::util

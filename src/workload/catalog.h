@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "category/categorizer.h"
+#include "util/rng.h"
+#include "util/sampler.h"
+
+namespace syrwatch::workload {
+
+/// How a site's URLs look; drives synthetic path/query generation and
+/// cacheability.
+enum class PathStyle : std::uint8_t {
+  kPage,    // HTML pages, some static assets
+  kMedia,   // CDN-style static objects (cacheable)
+  kSearch,  // query-heavy front pages
+  kApi,     // ajax/tracking endpoints
+  kVideo,   // watch pages + media fragments
+};
+
+/// A synthesized URL tail.
+struct PathSpec {
+  std::string path;
+  std::string query;
+  bool cacheable = false;
+};
+
+/// Generates a path/query for a style. Tokens are lowercase base-36, so
+/// accidental keyword collisions are negligible (and harmless: real
+/// traffic has them too).
+PathSpec make_path(PathStyle style, util::Rng& rng);
+
+/// One browsable site.
+struct CatalogEntry {
+  std::string host;
+  category::Category category = category::Category::kUncategorized;
+  PathStyle style = PathStyle::kPage;
+  double weight = 0.0;  // share of browsing traffic (unnormalized)
+};
+
+/// The allowed-web universe: a pinned head calibrated to the paper's
+/// Table 4 (google.com and friends, with their observed shares of allowed
+/// traffic) and a Zipf tail of minor sites producing the Fig. 2 power law.
+/// Suspected/censored domains are deliberately absent — they are generated
+/// by their own traffic components.
+class DomainCatalog {
+ public:
+  DomainCatalog(std::size_t tail_size, double tail_weight_share,
+                std::uint64_t seed);
+
+  const CatalogEntry& sample(util::Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<CatalogEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Registers every catalog host with the categorizer.
+  void register_categories(category::Categorizer& categorizer) const;
+
+ private:
+  std::vector<CatalogEntry> entries_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,39 @@
+#include "workload/components.h"
+
+#include <stdexcept>
+
+namespace syrwatch::workload {
+
+Component::Component(double share, const UserModel* users)
+    : share_(share), users_(users) {
+  if (share < 0.0 || share > 1.0)
+    throw std::invalid_argument("Component: share outside [0,1]");
+  if (users == nullptr)
+    throw std::invalid_argument("Component: null user model");
+}
+
+double Component::july_damp(std::int64_t t) noexcept {
+  return sg42_only_day(t) ? 0.33 : 1.0;
+}
+
+proxy::Request Component::base_request(std::int64_t t,
+                                       util::Rng& rng) const {
+  proxy::Request request;
+  request.time = t;
+  request.user_id = users_->sample_user(rng);
+  request.user_agent = std::string(users_->agent_of(request.user_id));
+  return request;
+}
+
+void HostMix::finalize() {
+  std::vector<double> weights;
+  weights.reserve(entries.size());
+  for (const Entry& entry : entries) weights.push_back(entry.weight);
+  sampler = std::make_unique<util::AliasSampler>(weights);
+}
+
+const HostMix::Entry& HostMix::sample(util::Rng& rng) const noexcept {
+  return entries[sampler->sample(rng)];
+}
+
+}  // namespace syrwatch::workload

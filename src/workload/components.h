@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "category/categorizer.h"
+#include "geo/geoip.h"
+#include "policy/syria.h"
+#include "proxy/log_record.h"
+#include "tor/relay_directory.h"
+#include "util/rng.h"
+#include "util/sampler.h"
+#include "workload/catalog.h"
+#include "workload/diurnal.h"
+#include "workload/users.h"
+
+namespace syrwatch::workload {
+
+/// One source of traffic with a fixed base share of total request volume
+/// and an optional time-varying modulation (surges, bursts). The scenario
+/// composes components: per 5-minute slot, each contributes
+/// Poisson(total * share * diurnal(t)/norm * modulation(t)) requests.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+  double share() const noexcept { return share_; }
+
+  /// Extra rate multiplier at time t on top of the scenario diurnal curve.
+  virtual double modulation(std::int64_t t) const noexcept {
+    (void)t;
+    return 1.0;
+  }
+
+  /// Produces one request at time t.
+  virtual proxy::Request generate(std::int64_t t, util::Rng& rng) = 0;
+
+ protected:
+  Component(double share, const UserModel* users);
+
+  /// Fills time/user/agent with an activity-weighted browser user.
+  proxy::Request base_request(std::int64_t t, util::Rng& rng) const;
+  const UserModel& users() const noexcept { return *users_; }
+
+  /// Dampening factor for the July days. The leak shows July censorship
+  /// (Duser: 0.24% policy_denied) far below August's (0.98%): demand for
+  /// the blocked services surged with the protests. Censored-heavy
+  /// components multiply their modulation by this.
+  static double july_damp(std::int64_t t) noexcept;
+
+ private:
+  double share_;
+  const UserModel* users_;
+};
+
+/// A weighted (host, path-maker) mixture shared by several components:
+/// each entry names a host, its censorship-relevant URL form, and a weight.
+struct HostMix {
+  struct Entry {
+    std::string host;
+    double weight = 1.0;
+  };
+  std::vector<Entry> entries;
+  std::unique_ptr<util::AliasSampler> sampler;
+
+  void finalize();
+  const Entry& sample(util::Rng& rng) const noexcept;
+};
+
+// ---------------------------------------------------------------------------
+// Factory functions. Each returns a ready component and registers its hosts
+// with the categorizer so the analysis side can label traffic the way the
+// paper labels it with McAfee TrustedSource.
+// ---------------------------------------------------------------------------
+
+/// Bulk allowed browsing over the domain catalog (~93% of all traffic).
+std::unique_ptr<Component> make_browsing(double share, const UserModel* users,
+                                         const DomainCatalog* catalog);
+
+/// Google toolbar beacons: /tbproxy/af/query on google.com — always
+/// censored by the `proxy` keyword (§5.4's collateral-damage example).
+std::unique_ptr<Component> make_google_toolbar(double share,
+                                               const UserModel* users);
+
+/// Zynga canvas apps, Yahoo APIs and fbcdn connect endpoints whose URLs
+/// embed `proxy` — the non-Facebook collateral of Table 4's censored side.
+std::unique_ptr<Component> make_collateral_apps(
+    double share, const UserModel* users, category::Categorizer* categorizer);
+
+/// Google cache fetches (§7.4): webcache.googleusercontent.com, almost all
+/// allowed even when the cached page itself is censored.
+std::unique_ptr<Component> make_google_cache(double share,
+                                             const UserModel* users);
+
+/// Ad-delivery networks and CDN-hosted widgets whose request URLs embed
+/// `proxy` — the intro's "a few ads delivery networks are blocked as they
+/// generate requests containing the word proxy", and the bulk of the
+/// "Content Server" slice of Fig. 3.
+std::unique_ptr<Component> make_ads_cdn(double share, const UserModel* users,
+                                        category::Categorizer* categorizer);
+
+/// Facebook social plugins (Table 15): like.php and friends, every request
+/// carrying `proxy` in path or query.
+std::unique_ptr<Component> make_facebook_plugins(double share,
+                                                 const UserModel* users);
+
+/// Facebook political pages (Table 14) plus their uncensored sister pages.
+std::unique_ptr<Component> make_facebook_pages(double share,
+                                               const UserModel* users);
+
+/// Whole hosts on the redirect list (Table 7): upload.youtube.com et al.
+std::unique_ptr<Component> make_redirect_hosts(double share,
+                                               const UserModel* users);
+
+/// OSN browsing with per-network keyword-collateral rates (Table 13).
+std::unique_ptr<Component> make_osn_browsing(double share,
+                                             const UserModel* users,
+                                             category::Categorizer* categorizer);
+
+/// Instant-messaging endpoints (skype.com, messenger.live.com,
+/// ceipmsn.com) — fully censored, with the Aug-3 surge windows that drive
+/// the paper's censorship peaks (Fig. 6, Table 5).
+std::unique_ptr<Component> make_im(double share, const UserModel* users,
+                                   category::Categorizer* categorizer);
+
+/// Streaming/video sites on the blacklist (metacafe.com, dailymotion.com,
+/// trafficholder.com with its early-morning bursts).
+std::unique_ptr<Component> make_streaming(double share, const UserModel* users,
+                                          category::Categorizer* categorizer);
+
+/// The remainder of the 105 suspected domains (news, wikimedia, amazon,
+/// forums, ...), weighted per Tables 8–9.
+std::unique_ptr<Component> make_suspected_misc(
+    double share, const UserModel* users, category::Categorizer* categorizer);
+
+/// Israel-directed traffic: .il hosts, `israel`-keyword requests and
+/// direct-IP requests into the Table 12 subnets (censored and allowed
+/// groups alike).
+std::unique_ptr<Component> make_israel(double share, const UserModel* users,
+                                       const geo::GeoIpDb* geoip,
+                                       category::Categorizer* categorizer,
+                                       std::uint64_t seed);
+
+/// Direct-IP traffic to the non-Israel countries of Table 11; censorship
+/// is keyword collateral in the path.
+std::unique_ptr<Component> make_direct_ip(double share, const UserModel* users,
+                                          const geo::GeoIpDb* geoip,
+                                          std::uint64_t seed);
+
+/// Anonymizer ecosystem of §7.2: 821 hosts, a filtered head and a long
+/// unfiltered tail, per-host allowed/censored mixing ratios (Fig. 10).
+std::unique_ptr<Component> make_anonymizers(double share,
+                                            const UserModel* users,
+                                            category::Categorizer* categorizer,
+                                            std::uint64_t seed);
+
+/// HTTPS CONNECT traffic (§4): mostly allowed; censored connects are
+/// IP-based (Israeli or anonymizer endpoints, see
+/// policy::anonymizer_endpoint_ips) or hostname-based (skype).
+std::unique_ptr<Component> make_https_connect(double share,
+                                              const UserModel* users,
+                                              const geo::GeoIpDb* geoip,
+                                              std::uint64_t seed);
+
+/// Tor traffic (§7.1): 73% directory fetches over HTTP, 27% onion
+/// CONNECTs, with relay unreachability pushing tcp_error to ~16%.
+std::unique_ptr<Component> make_tor(double share, const UserModel* users,
+                                    const tor::RelayDirectory* relays);
+
+/// BitTorrent announces (§7.3) over a synthetic torrent-content registry.
+class TorrentRegistry;
+std::unique_ptr<Component> make_bittorrent(double share,
+                                           const UserModel* users,
+                                           const TorrentRegistry* torrents,
+                                           category::Categorizer* categorizer);
+
+}  // namespace syrwatch::workload

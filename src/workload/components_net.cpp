@@ -1,0 +1,280 @@
+#include <algorithm>
+#include <cmath>
+
+#include "geo/world.h"
+#include "workload/components.h"
+#include "workload/textgen.h"
+
+namespace syrwatch::workload {
+
+namespace {
+
+using category::Category;
+
+/// Direct-IP traffic to the non-Israel countries of Table 11. Most of it
+/// is allowed; the censored residue is keyword collateral in the path
+/// (e.g. hosting boxes serving /proxy/ endpoints), which is why countries
+/// like the Netherlands show a small but non-zero censorship ratio.
+class DirectIpComponent final : public Component {
+ public:
+  DirectIpComponent(double share, const UserModel* users,
+                    const geo::GeoIpDb* geoip, std::uint64_t seed)
+      : Component(share, users) {
+    util::Rng pool_rng{util::mix64(seed ^ 0xD1F0)};
+    struct CountrySpec {
+      const char* name;
+      double censored;  // Table 11 counts
+      double allowed;
+    };
+    static constexpr CountrySpec kCountries[] = {
+        {geo::kKuwait, 16.0, 776.0},
+        {geo::kRussia, 959.0, 149161.0},
+        {geo::kUnitedKingdom, 2490.0, 942387.0},
+        {geo::kNetherlands, 12206.0, 7077371.0},
+        {geo::kSingapore, 19.0, 14768.0},
+        {geo::kBulgaria, 14.0, 14786.0},
+        {geo::kUnitedStates, 40.0, 2400000.0},
+        {geo::kGermany, 5.0, 610000.0},
+        {geo::kFrance, 3.0, 380000.0},
+    };
+    std::vector<double> weights;
+    for (const CountrySpec& spec : kCountries) {
+      Country country;
+      country.keyword_rate = spec.censored / (spec.censored + spec.allowed);
+      const auto blocks = geoip->blocks_of(spec.name);
+      // A modest fixed pool of server IPs per country.
+      const std::size_t pool_size =
+          std::max<std::size_t>(8, static_cast<std::size_t>(
+                                       std::sqrt(spec.allowed + 1.0)));
+      for (std::size_t i = 0; i < pool_size && !blocks.empty(); ++i) {
+        const auto& block = blocks[pool_rng.uniform(blocks.size())];
+        country.ips.push_back(block.sample(pool_rng));
+      }
+      if (country.ips.empty()) continue;
+      countries_.push_back(std::move(country));
+      weights.push_back(spec.censored + spec.allowed);
+    }
+    sampler_ = std::make_unique<util::AliasSampler>(weights);
+  }
+
+  std::string_view name() const noexcept override { return "direct-ip"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const Country& country = countries_[sampler_->sample(rng)];
+    const net::Ipv4Addr ip = country.ips[rng.uniform(country.ips.size())];
+    request.url.host = ip.to_string();
+    request.dest_ip = ip;
+    if (rng.bernoulli(country.keyword_rate)) {
+      request.url.path = "/proxy/" + token(rng, 6) + ".php";
+    } else if (rng.bernoulli(0.6)) {
+      request.url.path = "/" + token(rng, 8);
+    }
+    return request;
+  }
+
+ private:
+  struct Country {
+    std::vector<net::Ipv4Addr> ips;
+    double keyword_rate = 0.0;
+  };
+  std::vector<Country> countries_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+/// The anonymizer ecosystem of §7.2: 821 hosts. A filtered head of ~60
+/// popular services carries ~75% of requests; whether a given request is
+/// censored depends on blacklisted keywords in the URL, with a per-host
+/// allowed/censored ratio spread over four decades (Fig. 10b). The long
+/// tail of small web proxies / VPN endpoints is never filtered.
+class AnonymizerComponent final : public Component {
+ public:
+  static constexpr std::size_t kHostCount = 821;
+  static constexpr std::size_t kFilteredCount = 60;
+
+  AnonymizerComponent(double share, const UserModel* users,
+                      category::Categorizer* categorizer, std::uint64_t seed)
+      : Component(share, users) {
+    util::Rng build_rng{util::mix64(seed ^ 0xA407)};
+    hosts_.reserve(kHostCount);
+
+    // Filtered head. A handful of real services are pinned; the keyword
+    // content of their URLs decides censorship. Hosts whose *name* carries
+    // a keyword are always censored.
+    auto add = [this](std::string host, double weight, double keyword_rate) {
+      hosts_.push_back({std::move(host), keyword_rate});
+      weights_.push_back(weight);
+    };
+    add("hotspotshield.com", 470.0, 1.0);   // keyword in host
+    add("www.ultrasurf.us", 110.0, 1.0);
+    add("ultrareach.com", 210.0, 1.0);
+    add("kproxy.com", 600.0, 1.0);
+    add("proxy.org", 450.0, 1.0);
+    add("vtunnel.com", 950.0, 0.35);
+    add("anonymouse.org", 900.0, 0.20);
+    add("hidemyass.com", 820.0, 0.30);
+    for (std::size_t i = hosts_.size(); i < kFilteredCount; ++i) {
+      // Per-host allowed/censored ratio log-uniform in [1e-3, 1e3]
+      // (Fig. 10b's x-range); keyword_rate = censored share.
+      const double log_ratio = -3.0 + 6.0 * build_rng.uniform01();
+      const double ratio = std::pow(10.0, log_ratio);
+      add("www.surf" + std::to_string(i) + "-unblock.net",
+          260.0 / std::pow(static_cast<double>(i + 1), 0.6),
+          1.0 / (1.0 + ratio));
+    }
+    // Unfiltered tail: 92.7% of hosts, ~25% of requests.
+    const std::size_t tail = kHostCount - kFilteredCount;
+    double head_weight = 0.0;
+    for (double w : weights_) head_weight += w;
+    for (std::size_t i = 0; i < tail; ++i) {
+      add("vpn" + std::to_string(i) + ".tunnelgate.net",
+          head_weight / 3.0 / static_cast<double>(tail) *
+              (0.2 + 1.6 * build_rng.uniform01()),
+          0.0);
+    }
+    for (const Host& host : hosts_)
+      categorizer->add(host.name, Category::kAnonymizer);
+    sampler_ = std::make_unique<util::AliasSampler>(weights_);
+  }
+
+  std::string_view name() const noexcept override { return "anonymizers"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    if (rng.bernoulli(0.10)) {
+      // Download-mirror fetches of circumvention tools from otherwise
+      // benign software portals: the tool name in the path is what trips
+      // the keyword filter (hotspotshield/ultrasurf/ultrareach, Table 10),
+      // while the same portals' ordinary pages stay allowed.
+      request.url.host = rng.bernoulli(0.5) ? "www.soft4arab.net"
+                                            : "www.arabdownloadz.com";
+      if (rng.bernoulli(0.35)) {
+        static constexpr const char* kTools[] = {
+            "hotspotshield_launch", "hotspotshield_setup", "ultrasurf_u1017",
+            "ultrareach_green", "hotspotshield-elite"};
+        static constexpr double kToolWeights[] = {0.28, 0.24, 0.22, 0.22,
+                                                  0.04};
+        request.url.path = std::string("/download/") +
+                           kTools[rng.weighted_index(kToolWeights)] + ".exe";
+      } else {
+        request.url.path = "/soft/" + token(rng, 7) + ".html";
+      }
+      return request;
+    }
+    const std::size_t idx = sampler_->sample(rng);
+    const Host& host = hosts_[idx];
+    request.url.host = host.name;
+    if (host.keyword_rate >= 1.0) {
+      // The host *name* carries the keyword (hotspotshield.com, kproxy.com,
+      // ...): every request is censored regardless of path.
+      request.url.path = rng.bernoulli(0.5) ? "/" : "/download.html";
+    } else if (rng.bernoulli(host.keyword_rate)) {
+      // CGI-proxy style fetch whose own URL carries a keyword.
+      request.url.path = "/cgi-bin/nph-proxy.cgi";
+      request.url.query = "url=http%3A%2F%2F" + token(rng, 8) + ".com%2F";
+    } else {
+      request.url.path = "/";
+      if (rng.bernoulli(0.4))
+        request.url.query = "lang=ar&r=" + token(rng, 5);
+    }
+    return request;
+  }
+
+ private:
+  struct Host {
+    std::string name;
+    double keyword_rate;
+  };
+  std::vector<Host> hosts_;
+  std::vector<double> weights_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+/// HTTPS CONNECT traffic (§4). Mostly hostname CONNECTs to big sites
+/// (allowed — the proxies do not intercept TLS in the leak); the censored
+/// slice is dominated by bare-IP CONNECTs to Israeli space or anonymizer
+/// endpoints (82% of censored HTTPS), plus hostname CONNECTs to skype.com.
+class HttpsConnectComponent final : public Component {
+ public:
+  HttpsConnectComponent(double share, const UserModel* users,
+                        const geo::GeoIpDb* geoip, std::uint64_t seed)
+      : Component(share, users), israeli_pool_rng_(util::mix64(seed ^ 0x7152)) {
+    (void)geoip;
+    for (const auto& subnet : geo::israeli_table12_subnets())
+      if (subnet.prefix_len() <= 16)
+        israeli_ips_.push_back(subnet.sample(israeli_pool_rng_));
+  }
+
+  std::string_view name() const noexcept override { return "https-connect"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    request.method = "CONNECT";
+    request.url.scheme = net::Scheme::kHttps;
+    request.url.port = 443;
+    // The censored slice of ssl-scheme traffic is 0.82%, of which 82%
+    // addresses an IP (Israeli space or anonymizer endpoints) and the rest
+    // a blacklisted hostname (§4).
+    const double pick = rng.uniform01();
+    if (pick < 0.9918) {
+      static constexpr const char* kHosts[] = {
+          "www.facebook.com", "mail.google.com", "login.yahoo.com",
+          "www.bankaudisyria.com", "www.paypal.com", "twitter.com",
+          "mail.live.com", "accounts.google.com"};
+      request.url.host = kHosts[rng.uniform(std::size(kHosts))];
+      // The tunnelled request an intercepting proxy would see. In the
+      // default (non-intercepting) deployment these never reach the log —
+      // the §4 what-if. Facebook tunnels occasionally carry the targeted
+      // political pages, which only page-level HTTPS censorship can catch.
+      if (request.url.host == "www.facebook.com" && rng.bernoulli(0.02)) {
+        const auto& pages = policy::facebook_blocked_pages();
+        request.inner_path = "/" + pages[rng.uniform(pages.size())].page;
+        request.inner_query = "ref=ts";
+      } else {
+        request.inner_path = "/" + token(rng, 7);
+        request.inner_query = "sid=" + token(rng, 10);
+      }
+    } else if (pick < 0.9933) {
+      request.url.host = "conn.skype.com";  // hostname-based censorship
+    } else if (pick < 0.9970) {
+      const auto& ips = policy::anonymizer_endpoint_ips();
+      const net::Ipv4Addr ip = ips[rng.uniform(ips.size())];
+      request.url.host = ip.to_string();
+      request.dest_ip = ip;
+    } else {
+      const net::Ipv4Addr ip =
+          israeli_ips_[rng.uniform(israeli_ips_.size())];
+      request.url.host = ip.to_string();
+      request.dest_ip = ip;
+    }
+    return request;
+  }
+
+ private:
+  util::Rng israeli_pool_rng_;
+  std::vector<net::Ipv4Addr> israeli_ips_;
+};
+
+}  // namespace
+
+std::unique_ptr<Component> make_direct_ip(double share, const UserModel* users,
+                                          const geo::GeoIpDb* geoip,
+                                          std::uint64_t seed) {
+  return std::make_unique<DirectIpComponent>(share, users, geoip, seed);
+}
+
+std::unique_ptr<Component> make_anonymizers(
+    double share, const UserModel* users, category::Categorizer* categorizer,
+    std::uint64_t seed) {
+  return std::make_unique<AnonymizerComponent>(share, users, categorizer,
+                                               seed);
+}
+
+std::unique_ptr<Component> make_https_connect(double share,
+                                              const UserModel* users,
+                                              const geo::GeoIpDb* geoip,
+                                              std::uint64_t seed) {
+  return std::make_unique<HttpsConnectComponent>(share, users, geoip, seed);
+}
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,359 @@
+#include <algorithm>
+#include <cmath>
+
+#include "util/simtime.h"
+#include "workload/components.h"
+#include "workload/textgen.h"
+
+namespace syrwatch::workload {
+
+namespace {
+
+using category::Category;
+
+/// Instant-messaging endpoints — the most heavily censored service class.
+/// All three hosts are on the domain blacklist; the Aug-3 surge windows
+/// (client retries during the protests) create the paper's censorship
+/// peaks (Fig. 6: RCV doubling from 8:00 to 9:30, Table 5's skype-heavy
+/// morning windows).
+class ImComponent final : public Component {
+ public:
+  ImComponent(double share, const UserModel* users,
+              category::Categorizer* categorizer)
+      : Component(share, users) {
+    categorizer->add("skype.com", Category::kInstantMessaging);
+    categorizer->add("live.com", Category::kPortalSites);
+    categorizer->add("messenger.live.com", Category::kInstantMessaging);
+    categorizer->add("ceipmsn.com", Category::kInternetServices);
+    mix_.entries = {{"skype.com", 560000.0},
+                    {"messenger.live.com", 465000.0},
+                    {"ceipmsn.com", 140000.0}};
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override { return "im"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    double m = july_damp(t);
+    // August 3 surges: early morning, the big 8:00–9:30 spike, and a late
+    // evening bump — §5.1's RCV peaks.
+    if (t >= at(8, 3, 5, 0) && t < at(8, 3, 5, 40)) m *= 3.5;
+    if (t >= at(8, 3, 8, 0) && t < at(8, 3, 9, 30)) m *= 7.0;
+    if (t >= at(8, 3, 22, 0) && t < at(8, 3, 22, 40)) m *= 3.0;
+    return m;
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    if (entry.host == "skype.com") {
+      if (rng.bernoulli(0.09)) {
+        // Windows client update attempts — all denied (§5.1).
+        request.user_agent = std::string(UserModel::skype_agent());
+        request.url.host = "download.skype.com";
+        request.url.path = "/windows/SkypeSetup.exe";
+      } else if (rng.bernoulli(0.3)) {
+        // Client CONNECT tunnels to port 443. The proxies log these as raw
+        // tunnels, not ssl-scheme requests — which is why skype's censored
+        // volume dwarfs the ssl-scheme traffic of §4.
+        request.method = "CONNECT";
+        request.url.scheme = net::Scheme::kTcp;
+        request.url.host = "conn.skype.com";
+        request.url.port = 443;
+      } else if (rng.bernoulli(0.2)) {
+        // Homepage visits — the bare-domain anchors §5.4's discovery
+        // algorithm keys on.
+        request.url.host = "www.skype.com";
+        request.url.path = "/";
+      } else {
+        request.url.host = "ui.skype.com";
+        request.url.path = "/ui/2/status";
+        request.url.query = "u=" + token(rng, 8);
+      }
+    } else if (entry.host == "messenger.live.com") {
+      request.url.host = "messenger.live.com";
+      request.url.path = "/gateway/gateway.dll";
+      request.url.query = "Action=poll&SessionID=" + token(rng, 10);
+    } else {
+      request.url.host = "www.ceipmsn.com";
+      request.url.path = "/census.asmx/r";
+      request.url.query = "c=" + token(rng, 12);
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+};
+
+/// Blacklisted video/streaming sites. metacafe dominates; trafficholder's
+/// early-morning bursts reproduce Table 5's 6–8am window.
+class StreamingComponent final : public Component {
+ public:
+  StreamingComponent(double share, const UserModel* users,
+                     category::Categorizer* categorizer)
+      : Component(share, users) {
+    categorizer->add("metacafe.com", Category::kStreamingMedia);
+    categorizer->add("dailymotion.com", Category::kStreamingMedia);
+    categorizer->add("trafficholder.com", Category::kEntertainment);
+    categorizer->add("upload.youtube.com", Category::kStreamingMedia);
+    mix_.entries = {{"metacafe.com", 1430000.0},
+                    {"dailymotion.com", 110000.0},
+                    {"trafficholder.com", 122000.0}};
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override { return "streaming"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    // Adult-traffic-broker redirects burst in the early morning.
+    const double hour = util::hour_of_day(t);
+    return july_damp(t) * ((hour >= 5.5 && hour < 8.0) ? 1.9 : 1.0);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    request.url.host = "www." + entry.host;
+    if (entry.host == "trafficholder.com") {
+      request.url.path = "/in.php";
+      request.url.query = "id=" + token(rng, 6);
+    } else if (rng.bernoulli(0.22)) {
+      request.url.path = "/";  // homepage anchors for §5.4 discovery
+    } else {
+      request.url.path = "/watch/" + token(rng, 7) + "/" + token(rng, 10) + "/";
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+};
+
+/// The rest of the 105-entry URL blacklist: reference, shopping, news,
+/// forums, and the synthetic fillers. Weights follow the censored-request
+/// counts of Tables 4/8 for the named domains and a gentle power law for
+/// the fillers, so Table 8's ranking and Table 9's category mix both
+/// reproduce.
+class SuspectedMiscComponent final : public Component {
+ public:
+  SuspectedMiscComponent(double share, const UserModel* users,
+                         category::Categorizer* categorizer)
+      : Component(share, users) {
+    struct Named {
+      const char* domain;
+      double weight;
+    };
+    static constexpr Named kNamed[] = {
+        {"wikimedia.org", 306994.0}, {"amazon.com", 62759.0},
+        {"aawsat.com", 51518.0},     {"jumblo.com", 23214.0},
+        {"jeddahbikers.com", 21274.0}, {"badoo.com", 14502.0},
+        {"islamway.com", 14408.0},   {"netlog.com", 9252.0},
+        {"all4syria.info", 9000.0},  {"islammemo.cc", 7200.0},
+        {"alquds.co.uk", 6200.0},    {"free-syria.com", 5100.0},
+        {"new-syria.com", 4300.0},   {"hotsptshld.com", 7400.0},
+        {"conduitapps.com", 9100.0}, {"mtn.com.sy", 6800.0},
+        {"news.bbc.co.uk", 5600.0},
+    };
+    std::vector<std::string> named;
+    for (const Named& n : kNamed) {
+      mix_.entries.push_back({n.domain, n.weight});
+      named.emplace_back(n.domain);
+    }
+    // Synthetic fillers from the shared blacklist, skipping domains owned
+    // by other components (IM, streaming).
+    int filler_rank = 0;
+    for (const auto& sd : policy::suspected_domains()) {
+      if (sd.domain == "metacafe.com" || sd.domain == "skype.com" ||
+          sd.domain == "messenger.live.com" || sd.domain == "ceipmsn.com" ||
+          sd.domain == "dailymotion.com" || sd.domain == "trafficholder.com")
+        continue;
+      if (std::find(named.begin(), named.end(), sd.domain) != named.end())
+        continue;
+      ++filler_rank;
+      mix_.entries.push_back(
+          {sd.domain, 3600.0 / std::pow(static_cast<double>(filler_rank), 0.8)});
+    }
+    mix_.finalize();
+    for (const auto& sd : policy::suspected_domains())
+      categorizer->add(sd.domain, sd.category);
+  }
+
+  std::string_view name() const noexcept override { return "suspected-misc"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    request.url.host = entry.host;
+    // §5.4's discovery algorithm anchors on bare-domain requests with empty
+    // path and query; keep a healthy share of those.
+    if (rng.bernoulli(0.35)) {
+      request.url.path = "/";
+    } else {
+      PathSpec spec = make_path(PathStyle::kPage, rng);
+      request.url.path = std::move(spec.path);
+      request.url.query = std::move(spec.query);
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+};
+
+/// Israel-directed traffic: .il hostnames, `israel`-keyword URLs, and
+/// direct-IP requests into Israeli address space (Table 12's two groups:
+/// wholesale-blocked subnets vs subnets with a few blocked hosts).
+class IsraelComponent final : public Component {
+ public:
+  IsraelComponent(double share, const UserModel* users,
+                  const geo::GeoIpDb* geoip,
+                  category::Categorizer* categorizer, std::uint64_t seed)
+      : Component(share, users), rng_pool_(util::mix64(seed ^ 0x15AE)) {
+    (void)geoip;
+    categorizer->add("panet.co.il", Category::kGeneralNews);
+    categorizer->add("walla.co.il", Category::kPortalSites);
+    categorizer->add("ynet.co.il", Category::kGeneralNews);
+
+    // Fixed host pools per subnet, sized per Table 12's "# IPs" columns.
+    auto pool = [this](const char* cidr, std::size_t n) {
+      const auto s = net::Ipv4Subnet::parse(cidr);
+      std::vector<net::Ipv4Addr> ips;
+      ips.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) ips.push_back(s->sample(rng_pool_));
+      return ips;
+    };
+    t84_ = pool("84.229.0.0/16", 198);
+    t46_ = pool("46.120.0.0/15", 11);
+    t89_ = pool("89.138.0.0/15", 148);
+    t235_blocked_ = pool("212.235.64.0/20", 5);   // inside the blocked /20
+    t235_allowed_ = pool("212.235.80.0/20", 1);   // the allowed upper half
+    t150_blocked_ = {net::Ipv4Addr{212, 150, 1, 10},
+                     net::Ipv4Addr{212, 150, 7, 33},
+                     net::Ipv4Addr{212, 150, 100, 2}};
+    t150_allowed_ = pool("212.150.128.0/17", 12);
+    extra_allowed_ = pool("80.179.0.0/16", 260);
+    tail_blocked_ = pool("62.219.128.0/17", 90);
+
+    // Sub-source weights: observed request counts (Tables 11/12). The
+    // "tail blocked" source carries the censored volume beyond Table 12's
+    // top-5 (5,191 total censored vs the table's 2,577).
+    static constexpr double kWeights[] = {
+        112369.0,  // .il hostnames (censored by TLD rule)
+        48119.0,   // `israel` keyword URLs
+        65725.0,   // direct-IP, allowed extra subnets
+        6366.0,    // direct-IP, 212.150/16 allowed hosts
+        471.0,     // direct-IP, 212.150/16 blocked hosts
+        325.0,     // direct-IP, 212.235.80/20 allowed host
+        474.0,     // direct-IP, 212.235.64/20 blocked
+        574.0,     // direct-IP, 84.229/16
+        571.0,     // direct-IP, 46.120/15
+        487.0,     // direct-IP, 89.138/15
+        2614.0,    // direct-IP, smaller blocked blocks (62.219.128/17)
+    };
+    sampler_ = std::make_unique<util::AliasSampler>(kWeights);
+  }
+
+  std::string_view name() const noexcept override { return "israel"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const std::size_t source = sampler_->sample(rng);
+    switch (source) {
+      case 0: {  // .il hostnames
+        // panet (Arabic-language portal) dominates .il traffic from Syria;
+        // a few other portals follow with enough volume each that the
+        // discovery algorithm can establish them as never-allowed.
+        static constexpr const char* kIlHosts[] = {
+            "www.panet.co.il", "www.walla.co.il", "www.ynet.co.il",
+            "www.haaretz.co.il", "www.mako.co.il"};
+        static constexpr double kIlWeights[] = {0.56, 0.20, 0.14, 0.06,
+                                                0.04};
+        request.url.host = kIlHosts[rng.weighted_index(kIlWeights)];
+        PathSpec spec = make_path(PathStyle::kPage, rng);
+        request.url.path = std::move(spec.path);
+        request.url.query = std::move(spec.query);
+        break;
+      }
+      case 1: {  // keyword collateral
+        const double pick = rng.uniform01();
+        if (pick < 0.20) {
+          request.url.host = "www.israelnationalnews.com";
+          request.url.path = "/news/" + token(rng, 6) + ".html";
+        } else if (pick < 0.82) {
+          request.url.host = "news.search-portal.net";
+          request.url.path = "/results";
+          request.url.query = "q=israel+" + token(rng, 5);
+        } else {
+          // Searches on the same portal for other topics sail through —
+          // keeping the portal itself off the suspected-domain list.
+          request.url.host = "news.search-portal.net";
+          request.url.path = "/results";
+          request.url.query = "q=" + token(rng, 7);
+        }
+        break;
+      }
+      default: {  // direct-IP
+        const std::vector<net::Ipv4Addr>* pool = nullptr;
+        switch (source) {
+          case 2: pool = &extra_allowed_; break;
+          case 3: pool = &t150_allowed_; break;
+          case 4: pool = &t150_blocked_; break;
+          case 5: pool = &t235_allowed_; break;
+          case 6: pool = &t235_blocked_; break;
+          case 7: pool = &t84_; break;
+          case 8: pool = &t46_; break;
+          case 9: pool = &t89_; break;
+          default: pool = &tail_blocked_; break;
+        }
+        const net::Ipv4Addr ip = (*pool)[rng.uniform(pool->size())];
+        request.url.host = ip.to_string();
+        request.dest_ip = ip;
+        // Bare-IP URLs: §5.4 notes the censored requests carry no path or
+        // query information at all.
+        request.url.path = rng.bernoulli(0.7) ? "" : "/";
+        break;
+      }
+    }
+    return request;
+  }
+
+ private:
+  util::Rng rng_pool_;
+  std::vector<net::Ipv4Addr> t84_, t46_, t89_, t235_blocked_, t235_allowed_,
+      t150_blocked_, t150_allowed_, extra_allowed_, tail_blocked_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+}  // namespace
+
+std::unique_ptr<Component> make_im(double share, const UserModel* users,
+                                   category::Categorizer* categorizer) {
+  return std::make_unique<ImComponent>(share, users, categorizer);
+}
+
+std::unique_ptr<Component> make_streaming(
+    double share, const UserModel* users,
+    category::Categorizer* categorizer) {
+  return std::make_unique<StreamingComponent>(share, users, categorizer);
+}
+
+std::unique_ptr<Component> make_suspected_misc(
+    double share, const UserModel* users,
+    category::Categorizer* categorizer) {
+  return std::make_unique<SuspectedMiscComponent>(share, users, categorizer);
+}
+
+std::unique_ptr<Component> make_israel(double share, const UserModel* users,
+                                       const geo::GeoIpDb* geoip,
+                                       category::Categorizer* categorizer,
+                                       std::uint64_t seed) {
+  return std::make_unique<IsraelComponent>(share, users, geoip, categorizer,
+                                           seed);
+}
+
+}  // namespace syrwatch::workload

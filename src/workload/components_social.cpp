@@ -1,0 +1,239 @@
+#include "workload/components.h"
+#include "workload/textgen.h"
+
+namespace syrwatch::workload {
+
+namespace {
+
+using category::Category;
+
+/// Facebook social plugins (Table 15). Every request embeds `proxy` in the
+/// path or in the cross-domain channel parameter of the query, so the whole
+/// component is keyword collateral.
+class FacebookPluginsComponent final : public Component {
+ public:
+  FacebookPluginsComponent(double share, const UserModel* users)
+      : Component(share, users) {
+    // {path, weight (Table 15 request counts), proxy-in-path}
+    mix_.entries = {
+        {"/plugins/like.php", 694788.0},
+        {"/extern/login_status.php", 629495.0},
+        {"/plugins/likebox.php", 77244.0},
+        {"/plugins/send.php", 70146.0},
+        {"/plugins/comments.php", 54265.0},
+        {"/fbml/fbjs_ajax_proxy.php", 42649.0},
+        {"/connect/canvas_proxy.php", 40516.0},
+        {"/ajax/proxy.php", 1544.0},
+        {"/platform/page_proxy.php", 1519.0},
+        {"/plugins/facepile.php", 669.0},
+    };
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override {
+    return "facebook-plugins";
+  }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    request.url.host = "www.facebook.com";
+    request.url.path = entry.host;  // HostMix reused for paths here
+    if (entry.host.find("proxy") == std::string::npos) {
+      // Plugins without `proxy` in the path carry it in the cross-domain
+      // channel URL (xd_proxy), which is how like.php & co. get censored.
+      request.url.query =
+          "href=http%3A%2F%2F" + token(rng, 9) +
+          ".com%2F&channel=http%3A%2F%2Fstatic.ak.fbcdn.net%2Fconnect%2F"
+          "xd_proxy.php%23cb%3D" +
+          token(rng, 8);
+    } else {
+      request.url.query = "v=3&cb=" + token(rng, 8);
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;  // entries' host field holds the plugin path
+};
+
+/// Facebook political pages (Table 14). Requests to the exact categorized
+/// form ("?ref=ts") hit the "Blocked sites" custom category and are
+/// redirected; ajax/quickling variants of the same page slip through, and
+/// sister pages are never categorized at all — the paper's evidence that
+/// the categorization targeted a very narrow URL range.
+class FacebookPagesComponent final : public Component {
+ public:
+  FacebookPagesComponent(double share, const UserModel* users)
+      : Component(share, users) {
+    for (const auto& page : policy::facebook_blocked_pages()) {
+      const double total = page.censored + page.allowed + page.proxied;
+      if (total <= 0.0) continue;
+      pages_.push_back(
+          {page.page,
+           (page.censored + page.proxied) / total});  // categorized share
+      weights_.push_back(total);
+    }
+    // Sister pages the censors missed (§6).
+    for (const char* page :
+         {"Syrian.Revolution.Army", "Syrian.Revolution.Assad",
+          "Syrian.Revolution.Caricature", "ShaamNewsNetwork"}) {
+      pages_.push_back({page, -1.0});  // never categorized
+      weights_.push_back(350.0);
+    }
+    sampler_ = std::make_unique<util::AliasSampler>(weights_);
+  }
+
+  std::string_view name() const noexcept override { return "facebook-pages"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& page = pages_[sampler_->sample(rng)];
+    request.url.host =
+        rng.bernoulli(0.88) ? "www.facebook.com" : "ar-ar.facebook.com";
+    request.url.path = "/" + page.name;
+    if (page.categorized_share >= 0.0 &&
+        rng.bernoulli(page.categorized_share)) {
+      request.url.query = "ref=ts";  // the exact categorized form
+    } else if (rng.bernoulli(0.5)) {
+      request.url.query = "ref=ts&__a=11&ajaxpipe=1&quickling[version]=" +
+                          token(rng, 6) + "%3B0";
+    } else {
+      request.url.query = "sk=wall&ref=" + token(rng, 4);
+    }
+    return request;
+  }
+
+ private:
+  struct Page {
+    std::string name;
+    double categorized_share;  // < 0 => never categorized
+  };
+  std::vector<Page> pages_;
+  std::vector<double> weights_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+/// Whole hosts carried by the redirect category (Table 7).
+class RedirectHostsComponent final : public Component {
+ public:
+  RedirectHostsComponent(double share, const UserModel* users)
+      : Component(share, users) {
+    mix_.entries = {{"upload.youtube.com", 12978.0},
+                    {"competition.mbc.net", 50.0},
+                    {"sharek.aljazeera.net", 44.0}};
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override { return "redirect-hosts"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    request.url.host = entry.host;
+    if (entry.host == "upload.youtube.com") {
+      request.url.path = "/my_videos_upload";
+      request.url.query = "next_url=" + token(rng, 10);
+    } else {
+      request.url.path = "/" + token(rng, 7) + ".html";
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+};
+
+/// Browsing of the other social networks (Table 13): per-OSN volume and a
+/// per-OSN probability that a request's URL drags in a blacklisted keyword
+/// (ad/API collateral), which is the paper's explanation for the censored
+/// residue on twitter/linkedin/hi5/skyrock/flickr.
+class OsnBrowsingComponent final : public Component {
+ public:
+  OsnBrowsingComponent(double share, const UserModel* users,
+                       category::Categorizer* categorizer)
+      : Component(share, users) {
+    struct Osn {
+      const char* host;
+      double volume;        // total requests (Table 13 allowed + censored)
+      double keyword_rate;  // censored / total
+    };
+    static constexpr Osn kOsns[] = {
+        {"twitter.com", 2830163.0, 0.0000576},
+        {"linkedin.com", 193241.0, 0.0372},
+        {"hi5.com", 213406.0, 0.0140},
+        {"skyrock.com", 10871.0, 0.3042},
+        {"flickr.com", 383214.0, 0.0000052},
+        {"ning.com", 41999.0, 0.000143},
+        {"meetup.com", 111.0, 0.0270},
+        {"salamworld.com", 9000.0, 0.0},
+        {"muslimup.com", 14000.0, 0.0},
+    };
+    for (const Osn& osn : kOsns) {
+      categorizer->add(osn.host, Category::kSocialNetworking);
+      mix_.entries.push_back({osn.host, osn.volume});
+      keyword_rates_.push_back(osn.keyword_rate);
+    }
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override { return "osn-browsing"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    // Re-sample index so keyword rate lines up with the chosen host.
+    const std::size_t idx = mix_.sampler->sample(rng);
+    request.url.host = "www." + mix_.entries[idx].host;
+    if (rng.bernoulli(keyword_rates_[idx])) {
+      request.url.path = "/api/ads/proxy";
+      request.url.query = "slot=" + token(rng, 6);
+    } else {
+      PathSpec spec = make_path(PathStyle::kPage, rng);
+      request.url.path = std::move(spec.path);
+      request.url.query = std::move(spec.query);
+      request.cacheable = spec.cacheable;
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+  std::vector<double> keyword_rates_;
+};
+
+}  // namespace
+
+std::unique_ptr<Component> make_facebook_plugins(double share,
+                                                 const UserModel* users) {
+  return std::make_unique<FacebookPluginsComponent>(share, users);
+}
+
+std::unique_ptr<Component> make_facebook_pages(double share,
+                                               const UserModel* users) {
+  return std::make_unique<FacebookPagesComponent>(share, users);
+}
+
+std::unique_ptr<Component> make_redirect_hosts(double share,
+                                               const UserModel* users) {
+  return std::make_unique<RedirectHostsComponent>(share, users);
+}
+
+std::unique_ptr<Component> make_osn_browsing(
+    double share, const UserModel* users,
+    category::Categorizer* categorizer) {
+  return std::make_unique<OsnBrowsingComponent>(share, users, categorizer);
+}
+
+}  // namespace syrwatch::workload

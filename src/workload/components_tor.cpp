@@ -1,0 +1,206 @@
+#include <cmath>
+
+#include "workload/components.h"
+#include "workload/textgen.h"
+#include "workload/torrents.h"
+
+namespace syrwatch::workload {
+
+// ---------------------------------------------------------------------------
+// TorrentRegistry
+// ---------------------------------------------------------------------------
+
+TorrentRegistry::TorrentRegistry(std::size_t content_count,
+                                 std::uint64_t seed) {
+  util::Rng rng{util::mix64(seed ^ 0xB177)};
+
+  struct Pinned {
+    const char* title;
+    double weight;  // announce counts from §7.3
+  };
+  // The paper's named payloads; UltraSurf's 2,703 requests span versions.
+  static constexpr Pinned kPinned[] = {
+      {"UltraSurf 10.17 Anti Censorship", 1500.0},
+      {"UltraSurf 9.97 portable", 1203.0},
+      {"Auto Hide IP 5.1.8.2 + crack", 532.0},
+      {"Anonymous Browser Toolkit 2011", 393.0},
+      {"HideMyAss VPN client", 176.0},
+      {"Skype 5.3 offline installer", 940.0},
+      {"MSN Messenger 2011 setup", 710.0},
+      {"Yahoo Messenger 11 installer", 430.0},
+  };
+
+  contents_.reserve(content_count);
+  std::vector<double> weights;
+  weights.reserve(content_count);
+  for (const Pinned& p : kPinned) {
+    contents_.push_back({hex_token(rng, 40), p.title, p.weight, true});
+    weights.push_back(p.weight);
+  }
+
+  static constexpr const char* kStems[] = {
+      "Desert Storm", "Sham Nights",   "Ramadan Series", "Aleppo Streets",
+      "Old Damascus", "Levant Beats",  "Arabic Pop Hits", "Coast Road",
+      "The Caravan",  "Orient Express"};
+  static constexpr const char* kSuffix[] = {"DVDRip", "x264", "CAM", "mp3 320k",
+                                            "S01 complete", "PC game"};
+  for (std::size_t i = contents_.size(); i < content_count; ++i) {
+    Content content;
+    content.info_hash = hex_token(rng, 40);
+    content.title = std::string(kStems[rng.uniform(std::size(kStems))]) + " " +
+                    std::to_string(2005 + rng.uniform(7)) + " " +
+                    kSuffix[rng.uniform(std::size(kSuffix))];
+    // Zipf-ish popularity over the bulk catalog. The constant keeps the
+    // pinned circumvention payloads at ~1.5% of announce volume, matching
+    // §7.3 (2,703 UltraSurf announces of 338K total).
+    content.weight = 20000.0 /
+                     std::pow(static_cast<double>(i - std::size(kPinned) + 1),
+                              0.85);
+    weights.push_back(content.weight);
+    contents_.push_back(std::move(content));
+  }
+  for (std::size_t i = 0; i < contents_.size(); ++i)
+    by_hash_.emplace(std::string_view{contents_[i].info_hash}, i);
+  sampler_ = std::make_unique<util::AliasSampler>(weights);
+}
+
+const TorrentRegistry::Content& TorrentRegistry::sample(
+    util::Rng& rng) const noexcept {
+  return contents_[sampler_->sample(rng)];
+}
+
+std::optional<std::string_view> TorrentRegistry::resolve(
+    std::string_view info_hash) const {
+  const auto it = by_hash_.find(info_hash);
+  if (it == by_hash_.end()) return std::nullopt;
+  // Deterministic crawl success: ~77.4% of hashes resolve. The widely
+  // shared circumvention/IM payloads always do — they are exactly the
+  // kind of well-announced content public indexers carry (the paper
+  // identified all of them by name).
+  if (contents_[it->second].circumvention)
+    return std::string_view{contents_[it->second].title};
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the hash text
+  for (char c : info_hash) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  if (util::mix64(h) % 1000 >= 774) return std::nullopt;
+  return std::string_view{contents_[it->second].title};
+}
+
+namespace {
+
+/// Tor traffic (§7.1): directory fetches (Torhttp, 73%) and onion-circuit
+/// CONNECTs (Toronion, 27%). Relay unreachability pushes tcp_error toward
+/// the observed 16.2%. Censorship comes entirely from the per-proxy
+/// endpoint rules in the policy (SG-44's scheduled experiment).
+class TorComponent final : public Component {
+ public:
+  TorComponent(double share, const UserModel* users,
+               const tor::RelayDirectory* relays)
+      : Component(share, users), relays_(relays) {
+    // Guard-weighted relay popularity.
+    std::vector<double> weights(relays->size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+    sampler_ = std::make_unique<util::AliasSampler>(weights);
+  }
+
+  std::string_view name() const noexcept override { return "tor"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    // Fig. 8a: pronounced daytime peaks on August 3.
+    if (t >= at(8, 3, 7, 0) && t < at(8, 3, 21, 0)) return 2.4;
+    if (t >= at(8, 1, 0, 0) && t < at(8, 2, 0, 0)) return 0.8;
+    return 1.0;
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const tor::Relay* relay =
+        &relays_->relays()[sampler_->sample(rng)];
+    if (rng.bernoulli(0.73)) {
+      // Torhttp: plain directory fetch.
+      while (relay->dir_port == 0)
+        relay = &relays_->relays()[sampler_->sample(rng)];
+      request.url.host = relay->address.to_string();
+      request.url.port = relay->dir_port;
+      request.url.path = tor::directory_path(rng);
+      request.dest_ip = relay->address;
+    } else {
+      // Toronion: tunnelled circuit establishment.
+      request.method = "CONNECT";
+      request.url.scheme = net::Scheme::kTcp;
+      request.url.host = relay->address.to_string();
+      request.url.port = relay->or_port;
+      request.dest_ip = relay->address;
+    }
+    request.dest_unreachable_prob = 0.135;
+    return request;
+  }
+
+ private:
+  const tor::RelayDirectory* relays_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+/// BitTorrent announces (§7.3). Tracker URLs carry the info-hash and a
+/// stable per-user peer id; one tracker (tracker-proxy.furk.net) trips the
+/// `proxy` keyword, everything else is allowed — P2P sails under the
+/// filter even when the payload is circumvention software.
+class BitTorrentComponent final : public Component {
+ public:
+  BitTorrentComponent(double share, const UserModel* users,
+                      const TorrentRegistry* torrents,
+                      category::Categorizer* categorizer)
+      : Component(share, users), torrents_(torrents) {
+    trackers_.entries = {{"tracker.openbittorrent.com", 0.46},
+                         {"tracker.publicbt.com", 0.28},
+                         {"tracker.thepiratebay.org", 0.23},
+                         {"tracker-proxy.furk.net", 0.03}};
+    trackers_.finalize();
+    for (const auto& entry : trackers_.entries)
+      categorizer->add(entry.host, category::Category::kFileSharing);
+  }
+
+  std::string_view name() const noexcept override { return "bittorrent"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    request.user_agent = std::string(UserModel::bittorrent_agent());
+    const auto& content = torrents_->sample(rng);
+    const auto& tracker = trackers_.sample(rng);
+    request.url.host = tracker.host;
+    request.url.path = "/announce";
+    char peer[32];
+    std::snprintf(peer, sizeof peer, "-UT2210-%012llx",
+                  static_cast<unsigned long long>(
+                      util::mix64(request.user_id) & 0xFFFFFFFFFFFFULL));
+    request.url.query = "info_hash=" + content.info_hash +
+                        "&peer_id=" + peer + "&port=6881&uploaded=0" +
+                        "&downloaded=0&left=" +
+                        std::to_string(rng.uniform(4'000'000'000ULL)) +
+                        "&compact=1";
+    return request;
+  }
+
+ private:
+  const TorrentRegistry* torrents_;
+  HostMix trackers_;
+};
+
+}  // namespace
+
+std::unique_ptr<Component> make_tor(double share, const UserModel* users,
+                                    const tor::RelayDirectory* relays) {
+  return std::make_unique<TorComponent>(share, users, relays);
+}
+
+std::unique_ptr<Component> make_bittorrent(
+    double share, const UserModel* users, const TorrentRegistry* torrents,
+    category::Categorizer* categorizer) {
+  return std::make_unique<BitTorrentComponent>(share, users, torrents,
+                                               categorizer);
+}
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,224 @@
+#include "workload/components.h"
+#include "workload/textgen.h"
+
+namespace syrwatch::workload {
+
+namespace {
+
+using category::Category;
+
+class BrowsingComponent final : public Component {
+ public:
+  BrowsingComponent(double share, const UserModel* users,
+                    const DomainCatalog* catalog)
+      : Component(share, users), catalog_(catalog) {}
+
+  std::string_view name() const noexcept override { return "browsing"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const CatalogEntry& site = catalog_->sample(rng);
+    PathSpec spec = make_path(site.style, rng);
+    request.url.host = site.host;
+    // A share of page traffic goes to the www. subdomain, which exercises
+    // suffix matching in the policy and categorizer.
+    if (site.style == PathStyle::kPage && rng.bernoulli(0.5))
+      request.url.host = "www." + request.url.host;
+    request.url.path = std::move(spec.path);
+    request.url.query = std::move(spec.query);
+    request.cacheable = spec.cacheable;
+    return request;
+  }
+
+ private:
+  const DomainCatalog* catalog_;
+};
+
+class GoogleToolbarComponent final : public Component {
+ public:
+  GoogleToolbarComponent(double share, const UserModel* users)
+      : Component(share, users) {}
+
+  std::string_view name() const noexcept override { return "google-toolbar"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    request.user_agent = std::string(UserModel::toolbar_agent());
+    request.url.host = "www.google.com";
+    // The Google toolbar API call the paper singles out: /tbproxy/af/query
+    // accounts for 4.85% of censored requests despite being unrelated to
+    // circumvention.
+    request.url.path = "/tbproxy/af/query";
+    request.url.query = "q=" + token(rng, 8) + "&client=navclient-auto";
+    return request;
+  }
+};
+
+class CollateralAppsComponent final : public Component {
+ public:
+  CollateralAppsComponent(double share, const UserModel* users,
+                          category::Categorizer* categorizer)
+      : Component(share, users) {
+    categorizer->add("zynga.com", Category::kGames);
+    // yahoo.com / fbcdn.net categories registered by the catalog.
+    mix_.entries = {{"zynga.com", 379170.0},
+                    {"yahoo.com", 369948.0},
+                    {"fbcdn.net", 264512.0}};
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override { return "collateral-apps"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    request.url.host = entry.host;
+    if (entry.host == "zynga.com") {
+      // Facebook-canvas games fetched through an app proxy endpoint.
+      request.url.host = "facebook." + entry.host;
+      request.url.path = "/poker/fb_proxy.php";
+      request.url.query = "user=" + token(rng, 10) + "&ts=" + token(rng, 6);
+    } else if (entry.host == "yahoo.com") {
+      request.url.host = "api.yahoo.com";
+      request.url.path = "/v1/yql/proxy";
+      request.url.query = "q=" + token(rng, 12);
+    } else {  // fbcdn.net
+      request.url.host = "static.ak.fbcdn.net";
+      request.url.path = "/connect/xd_proxy.php";
+      request.url.query = "version=3&cb=" + token(rng, 8);
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+};
+
+class GoogleCacheComponent final : public Component {
+ public:
+  GoogleCacheComponent(double share, const UserModel* users)
+      : Component(share, users) {}
+
+  std::string_view name() const noexcept override { return "google-cache"; }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    request.url.host = "webcache.googleusercontent.com";
+    request.url.path = "/search";
+    // Cached copies of censored sites: the blocked-ness of the *cached*
+    // page lives in the query, where only keyword rules can see it. The
+    // occasional cached URL containing a blacklisted keyword is denied
+    // (12 of 4,860 requests in the paper).
+    static constexpr const char* kTargets[] = {
+        "www.panet.co.il/online",      "aawsat.com/details.asp",
+        "www.free-syria.com/news",     "all4syria.info/web",
+        "www.facebook.com/Syrian.Revolution",
+        "en.wikipedia.org/wiki",       "www.alarabiya.net/articles",
+        "www.bbc.co.uk/arabic",
+    };
+    std::string target = kTargets[rng.uniform(std::size(kTargets))];
+    if (rng.bernoulli(0.0025)) {
+      // Cached page about circumvention -> collateral keyword hit.
+      target = "www.webproxylist.net/proxy/" + token(rng, 5);
+    }
+    request.url.query =
+        "q=cache:" + token(rng, 12) + ":" + target + "/" + token(rng, 6);
+    return request;
+  }
+};
+
+class AdsCdnComponent final : public Component {
+ public:
+  AdsCdnComponent(double share, const UserModel* users,
+                  category::Categorizer* categorizer)
+      : Component(share, users) {
+    static constexpr const char* kAdStems[] = {
+        "adserve",  "bannerflow", "clickmedia", "admax",   "adgate",
+        "popadnet", "trackpix",   "admesh",     "syndico", "reklamo"};
+    static constexpr const char* kCdnStems[] = {
+        "cdn-cache", "edgecast", "fastassets", "staticweb", "mediastore"};
+    // ~40 distinct domains so the collateral spreads thin across Table 4's
+    // censored list instead of minting a single dominant domain.
+    for (std::size_t i = 0; i < 25; ++i) {
+      const std::string host = std::string(kAdStems[i % std::size(kAdStems)]) +
+                               std::to_string(i) + ".com";
+      categorizer->add(host, category::Category::kAdsMarketing);
+      mix_.entries.push_back({host, 1.0 / static_cast<double>(i + 2)});
+    }
+    for (std::size_t i = 0; i < 15; ++i) {
+      const std::string host =
+          std::string(kCdnStems[i % std::size(kCdnStems)]) +
+          std::to_string(i) + ".net";
+      categorizer->add(host, category::Category::kContentServer);
+      mix_.entries.push_back({host, 1.4 / static_cast<double>(i + 2)});
+    }
+    // The big shared CDNs of Fig. 3's caption host widgets too.
+    categorizer->add("cloudfront.net", category::Category::kContentServer);
+    mix_.entries.push_back({"d2x1abc.cloudfront.net", 0.55});
+    mix_.entries.push_back({"widgets.googleusercontent.com", 0.45});
+    mix_.finalize();
+  }
+
+  std::string_view name() const noexcept override { return "ads-cdn"; }
+
+  double modulation(std::int64_t t) const noexcept override {
+    return july_damp(t);
+  }
+
+  proxy::Request generate(std::int64_t t, util::Rng& rng) override {
+    proxy::Request request = base_request(t, rng);
+    const auto& entry = mix_.sample(rng);
+    request.url.host = entry.host;
+    if (rng.bernoulli(0.5)) {
+      request.url.path = "/adproxy/serve.js";
+      request.url.query = "zone=" + token(rng, 5);
+    } else {
+      request.url.path = "/w/" + token(rng, 6) + ".js";
+      request.url.query = "cb=" + token(rng, 6) +
+                          "&xd=http%3A%2F%2Fstatic." + token(rng, 5) +
+                          ".com%2Fproxy.html";
+    }
+    return request;
+  }
+
+ private:
+  HostMix mix_;
+};
+
+}  // namespace
+
+std::unique_ptr<Component> make_browsing(double share, const UserModel* users,
+                                         const DomainCatalog* catalog) {
+  return std::make_unique<BrowsingComponent>(share, users, catalog);
+}
+
+std::unique_ptr<Component> make_google_toolbar(double share,
+                                               const UserModel* users) {
+  return std::make_unique<GoogleToolbarComponent>(share, users);
+}
+
+std::unique_ptr<Component> make_collateral_apps(
+    double share, const UserModel* users,
+    category::Categorizer* categorizer) {
+  return std::make_unique<CollateralAppsComponent>(share, users, categorizer);
+}
+
+std::unique_ptr<Component> make_google_cache(double share,
+                                             const UserModel* users) {
+  return std::make_unique<GoogleCacheComponent>(share, users);
+}
+
+std::unique_ptr<Component> make_ads_cdn(double share, const UserModel* users,
+                                        category::Categorizer* categorizer) {
+  return std::make_unique<AdsCdnComponent>(share, users, categorizer);
+}
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,89 @@
+#include "workload/diurnal.h"
+
+#include "util/simtime.h"
+
+namespace syrwatch::workload {
+
+namespace {
+
+// Hour-of-day anchors (local time); linearly interpolated.
+constexpr double kHourAnchor[24] = {
+    0.45, 0.35, 0.30, 0.28, 0.30, 0.40, 0.60, 0.85,  // 00–07: trough + ramp
+    1.05, 1.25, 1.35, 1.40, 1.35, 1.25, 1.10, 1.00,  // 08–15: morning peak
+    0.95, 1.00, 1.05, 1.10, 1.15, 1.05, 0.85, 0.60,  // 16–23: evening
+};
+
+std::int64_t day_index(std::int64_t t) noexcept {
+  return t / util::kSecondsPerDay;
+}
+
+}  // namespace
+
+std::int64_t at(int month, int day, int hour, int minute) {
+  return util::to_unix_seconds({2011, month, day, hour, minute, 0});
+}
+
+const std::vector<std::int64_t>& observation_days() {
+  static const std::vector<std::int64_t> days = {
+      at(7, 22), at(7, 23), at(7, 31), at(8, 1), at(8, 2),
+      at(8, 3),  at(8, 4),  at(8, 5),  at(8, 6),
+  };
+  return days;
+}
+
+bool sg42_only_day(std::int64_t t) noexcept {
+  const auto c = util::to_civil(t);
+  return c.month == 7;
+}
+
+bool user_hash_day(std::int64_t t) noexcept {
+  const auto c = util::to_civil(t);
+  return c.month == 7 && (c.day == 22 || c.day == 23);
+}
+
+DiurnalModel::DiurnalModel() {
+  // Friday slowdowns (Jul 22 and Aug 5 were Fridays in 2011) — §5.1 cites
+  // press reports of connections slowed "when the big weekly protests are
+  // staged"; the Thursday-afternoon-to-Friday dip of Fig. 5a.
+  set_day_factor(at(7, 22), 0.70);
+  set_day_factor(at(8, 5), 0.62);
+  set_day_factor(at(8, 6), 0.90);
+  // Thursday Aug 4 afternoon taper.
+  add_event({at(8, 4, 14), at(8, 5), 0.75});
+  // The two sudden drops on Aug 3 (protest-correlated).
+  add_event({at(8, 3, 13, 0), at(8, 3, 13, 25), 0.15});
+  add_event({at(8, 3, 17, 10), at(8, 3, 17, 35), 0.15});
+}
+
+void DiurnalModel::add_event(RateEvent event) {
+  events_.push_back(event);
+}
+
+void DiurnalModel::set_day_factor(std::int64_t time_in_day, double factor) {
+  day_factors_.emplace_back(day_index(time_in_day), factor);
+}
+
+double DiurnalModel::hour_curve(double hour) const noexcept {
+  const int h0 = static_cast<int>(hour) % 24;
+  const int h1 = (h0 + 1) % 24;
+  const double frac = hour - static_cast<int>(hour);
+  return kHourAnchor[h0] * (1.0 - frac) + kHourAnchor[h1] * frac;
+}
+
+double DiurnalModel::day_factor(std::int64_t t) const noexcept {
+  const std::int64_t idx = day_index(t);
+  for (const auto& [day, factor] : day_factors_) {
+    if (day == idx) return factor;
+  }
+  return 1.0;
+}
+
+double DiurnalModel::intensity(std::int64_t t) const noexcept {
+  double value = hour_curve(util::hour_of_day(t)) * day_factor(t);
+  for (const RateEvent& event : events_) {
+    if (t >= event.start && t < event.end) value *= event.multiplier;
+  }
+  return value;
+}
+
+}  // namespace syrwatch::workload

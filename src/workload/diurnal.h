@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace syrwatch::workload {
+
+/// A time window with a rate multiplier, for protest-related drops,
+/// IM surges and other localized events.
+struct RateEvent {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  double multiplier = 1.0;
+};
+
+/// Temporal intensity model for the observation window.
+///
+/// Combines (1) a 24-hour base curve (night trough, morning ramp, midday
+/// peak, afternoon/evening taper — the Fig. 5a shape), (2) per-day factors
+/// (reduced volume on the protest Fridays, §5.1), and (3) event windows:
+/// the two sudden Aug-3 drops and whatever the caller adds. The output is
+/// an *unnormalized* multiplier; the scenario normalizes over the whole
+/// observation period to hit its request-count target.
+class DiurnalModel {
+ public:
+  DiurnalModel();
+
+  /// Multiplies the base rate within [start, end).
+  void add_event(RateEvent event);
+
+  /// Overrides the factor of the day containing `day_start` (unix seconds
+  /// at any point of that civil day).
+  void set_day_factor(std::int64_t time_in_day, double factor);
+
+  /// Intensity at time t (>= 0).
+  double intensity(std::int64_t t) const noexcept;
+
+ private:
+  double hour_curve(double hour) const noexcept;
+  double day_factor(std::int64_t t) const noexcept;
+
+  std::vector<RateEvent> events_;
+  std::vector<std::pair<std::int64_t, double>> day_factors_;  // day idx, f
+};
+
+/// The leaked-log observation days: July 22, 23, 31 and August 1–6, 2011,
+/// as unix midnights, in chronological order.
+const std::vector<std::int64_t>& observation_days();
+
+/// Convenience: unix seconds of 2011-MM-DD hh:mm.
+std::int64_t at(int month, int day, int hour = 0, int minute = 0);
+
+/// True for the July days, where the leak retains only SG-42's log.
+bool sg42_only_day(std::int64_t t) noexcept;
+
+/// True for July 22–23, where the leak retains hashed client IPs (Duser).
+bool user_hash_day(std::int64_t t) noexcept;
+
+}  // namespace syrwatch::workload

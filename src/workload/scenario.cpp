@@ -1,0 +1,149 @@
+#include "workload/scenario.h"
+
+#include "util/simtime.h"
+
+namespace syrwatch::workload {
+
+namespace {
+
+// Base volume shares, calibrated so the global Table 3 split (93.25%
+// allowed / 0.98% censored) and the per-domain censored shares of Table 4
+// come out of the simulation rather than being asserted. See DESIGN.md.
+constexpr double kToolbarShare = 0.00060;
+constexpr double kCollateralShare = 0.00142;
+constexpr double kAdsCdnShare = 0.00070;
+constexpr double kGoogleCacheShare = 0.0000065;
+constexpr double kFbPluginsShare = 0.00215;
+constexpr double kFbPagesShare = 0.0000115;
+constexpr double kRedirectHostsShare = 0.0000174;
+constexpr double kOsnShare = 0.0049;
+constexpr double kImShare = 0.00150;
+constexpr double kStreamingShare = 0.00215;
+constexpr double kSuspectedShare = 0.000855;
+constexpr double kIsraelShare = 0.000314;
+constexpr double kDirectIpShare = 0.01545;
+constexpr double kAnonymizerShare = 0.00240;
+constexpr double kHttpsShare = 0.0008;
+constexpr double kTorShare = 0.000126;
+constexpr double kBitTorrentShare = 0.00045;
+
+constexpr double kSpecialsTotal =
+    kToolbarShare + kCollateralShare + kAdsCdnShare + kGoogleCacheShare +
+    kFbPluginsShare + kFbPagesShare + kRedirectHostsShare + kOsnShare +
+    kImShare + kStreamingShare + kSuspectedShare + kIsraelShare +
+    kDirectIpShare + kAnonymizerShare + kHttpsShare + kTorShare +
+    kBitTorrentShare;
+
+}  // namespace
+
+SyriaScenario::SyriaScenario(ScenarioConfig config)
+    : config_(config),
+      users_(config.user_population, config.seed),
+      catalog_(config.catalog_tail, config.catalog_tail_weight, config.seed),
+      relays_(tor::RelayDirectory::synthesize(config.relay_count,
+                                              config.seed ^ 0x7042)),
+      torrents_(config.torrent_contents, config.seed),
+      geoip_(geo::build_world_geoip()),
+      policy_(policy::build_syria_policy(relays_, config.seed)),
+      farm_(&policy_, config.proxy_config, config.seed),
+      rng_(util::mix64(config.seed ^ 0x5C3A)) {
+  catalog_.register_categories(categorizer_);
+
+  // Domain affinity (§5.2): >95% of metacafe on SG-48; IM and the other
+  // specialized domains split between SG-48 and SG-45 (the proxy pair with
+  // the 0.67 cosine similarity of Table 6); wikimedia pinned to SG-47,
+  // which makes SG-47 dissimilar from everyone.
+  if (config_.enable_affinity) {
+  farm_.add_affinity("metacafe.com", policy::kAffinityProxy, 0.955);
+  farm_.add_affinity("metacafe.com", 3, 0.045);
+  farm_.add_affinity("skype.com", policy::kAffinityProxy, 0.50);
+  farm_.add_affinity("skype.com", 3, 0.42);                // SG-45
+  farm_.add_affinity("messenger.live.com", policy::kAffinityProxy, 0.45);
+  farm_.add_affinity("messenger.live.com", 3, 0.45);
+  farm_.add_affinity("ceipmsn.com", 3, 0.60);
+  farm_.add_affinity("ceipmsn.com", policy::kAffinityProxy, 0.35);
+  farm_.add_affinity("trafficholder.com", policy::kAffinityProxy, 0.50);
+  farm_.add_affinity("trafficholder.com", 3, 0.40);
+  farm_.add_affinity("wikimedia.org", 5, 0.85);            // SG-47
+  farm_.add_affinity("dailymotion.com", 5, 0.55);
+  }
+
+  components_.push_back(
+      make_browsing(1.0 - kSpecialsTotal, &users_, &catalog_));
+  components_.push_back(make_google_toolbar(kToolbarShare, &users_));
+  components_.push_back(
+      make_collateral_apps(kCollateralShare, &users_, &categorizer_));
+  components_.push_back(make_ads_cdn(kAdsCdnShare, &users_, &categorizer_));
+  components_.push_back(make_google_cache(kGoogleCacheShare, &users_));
+  components_.push_back(make_facebook_plugins(kFbPluginsShare, &users_));
+  components_.push_back(make_facebook_pages(kFbPagesShare, &users_));
+  components_.push_back(make_redirect_hosts(kRedirectHostsShare, &users_));
+  components_.push_back(
+      make_osn_browsing(kOsnShare, &users_, &categorizer_));
+  components_.push_back(make_im(kImShare, &users_, &categorizer_));
+  components_.push_back(make_streaming(kStreamingShare, &users_,
+                                       &categorizer_));
+  components_.push_back(
+      make_suspected_misc(kSuspectedShare, &users_, &categorizer_));
+  components_.push_back(make_israel(kIsraelShare, &users_, &geoip_,
+                                    &categorizer_, config_.seed));
+  components_.push_back(
+      make_direct_ip(kDirectIpShare, &users_, &geoip_, config_.seed));
+  components_.push_back(make_anonymizers(kAnonymizerShare, &users_,
+                                         &categorizer_, config_.seed));
+  components_.push_back(
+      make_https_connect(kHttpsShare, &users_, &geoip_, config_.seed));
+  components_.push_back(make_tor(kTorShare, &users_, &relays_));
+  components_.push_back(make_bittorrent(kBitTorrentShare, &users_,
+                                        &torrents_, &categorizer_));
+}
+
+void SyriaScenario::run(const LogCallback& sink) {
+  const auto& days = observation_days();
+  const std::int64_t slot = config_.slot_seconds;
+  const auto slots_per_day =
+      static_cast<std::size_t>(util::kSecondsPerDay / slot);
+
+  // Normalize the diurnal curve over the whole window so the base shares
+  // integrate to the configured total.
+  double norm = 0.0;
+  for (const std::int64_t day : days) {
+    for (std::size_t s = 0; s < slots_per_day; ++s)
+      norm += diurnal_.intensity(day + static_cast<std::int64_t>(s) * slot +
+                                 slot / 2);
+  }
+
+  const double total = static_cast<double>(config_.total_requests);
+  for (const std::int64_t day : days) {
+    const bool filtered_day =
+        config_.apply_leak_filter && sg42_only_day(day);
+    const bool keep_hashes =
+        !config_.apply_leak_filter || user_hash_day(day);
+    for (std::size_t s = 0; s < slots_per_day; ++s) {
+      const std::int64_t start = day + static_cast<std::int64_t>(s) * slot;
+      const std::int64_t mid = start + slot / 2;
+      const double base = total * diurnal_.intensity(mid) / norm;
+      for (const auto& component : components_) {
+        double boost = 1.0;
+        const auto boost_it =
+            config_.share_boosts.find(std::string(component->name()));
+        if (boost_it != config_.share_boosts.end()) boost = boost_it->second;
+        const double mean =
+            base * component->share() * boost * component->modulation(mid);
+        const std::uint64_t count = rng_.poisson(mean);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::int64_t t =
+              start + static_cast<std::int64_t>(rng_.uniform(
+                          static_cast<std::uint64_t>(slot)));
+          const proxy::Request request = component->generate(t, rng_);
+          proxy::LogRecord record = farm_.process(request);
+          if (filtered_day && record.proxy_index != 0) continue;
+          if (!keep_hashes) record.user_hash = 0;
+          sink(record);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace syrwatch::workload {
+
+/// Lowercase base-36 token of the given length — the building block for
+/// synthetic path/query/id material.
+inline std::string token(util::Rng& rng, int length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) out.push_back(kAlphabet[rng.uniform(36)]);
+  return out;
+}
+
+/// Lowercase hex string of the given length (BitTorrent info-hashes etc.).
+inline std::string hex_token(util::Rng& rng, int length) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) out.push_back(kHex[rng.uniform(16)]);
+  return out;
+}
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sampler.h"
+
+namespace syrwatch::workload {
+
+/// Synthetic BitTorrent content universe (§7.3's substrate).
+///
+/// Stands in for the real swarm the paper observed: 35K unique info-hashes,
+/// most of them ordinary media, plus pinned circumvention/IM payloads
+/// (UltraSurf, HideMyAss, Auto Hide IP, anonymous browsers, Skype/MSN/Yahoo
+/// installers) with the request volumes the paper reports. `resolve()`
+/// simulates the torrentz.eu/torrentproject crawl, succeeding for a
+/// deterministic ~77.4% of hashes.
+class TorrentRegistry {
+ public:
+  struct Content {
+    std::string info_hash;  // 40 hex chars
+    std::string title;
+    double weight = 1.0;        // announce-volume weight
+    bool circumvention = false; // anti-censorship or IM payload
+  };
+
+  TorrentRegistry(std::size_t content_count, std::uint64_t seed);
+
+  std::size_t size() const noexcept { return contents_.size(); }
+  const std::vector<Content>& contents() const noexcept { return contents_; }
+
+  /// Announce-volume-weighted draw.
+  const Content& sample(util::Rng& rng) const noexcept;
+
+  /// Title lookup via the simulated crawl; fails for ~22.6% of hashes.
+  std::optional<std::string_view> resolve(std::string_view info_hash) const;
+
+  /// Crawl success rate used by resolve().
+  static constexpr double kResolveRate = 0.774;
+
+ private:
+  std::vector<Content> contents_;
+  std::unordered_map<std::string_view, std::size_t> by_hash_;
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+}  // namespace syrwatch::workload

@@ -1,0 +1,71 @@
+#include "workload/users.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace syrwatch::workload {
+
+namespace {
+
+// 2011-era browser mix (IE-heavy, Firefox, Chrome, Opera, mobile).
+constexpr std::string_view kBrowserAgents[] = {
+    "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 5.1)",
+    "Mozilla/4.0 (compatible; MSIE 7.0; Windows NT 5.1)",
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1; SV1)",
+    "Mozilla/5.0 (Windows NT 5.1; rv:5.0) Gecko/20100101 Firefox/5.0",
+    "Mozilla/5.0 (Windows NT 6.1; rv:5.0) Gecko/20100101 Firefox/5.0",
+    "Mozilla/5.0 (Windows NT 5.1) AppleWebKit/534.30 Chrome/12.0.742.122",
+    "Opera/9.80 (Windows NT 5.1; U; en) Presto/2.8.131 Version/11.11",
+    "Mozilla/5.0 (iPhone; U; CPU iPhone OS 4_3 like Mac OS X)",
+    "Mozilla/5.0 (Linux; U; Android 2.2; en-us; Nexus One)",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_6_8) AppleWebKit/534.30",
+};
+constexpr double kAgentWeights[] = {0.28, 0.14, 0.06, 0.16, 0.08,
+                                    0.12, 0.05, 0.05, 0.03, 0.03};
+
+}  // namespace
+
+UserModel::UserModel(std::size_t population, std::uint64_t seed) {
+  if (population == 0)
+    throw std::invalid_argument("UserModel: population must be positive");
+  util::Rng rng{util::mix64(seed ^ 0x05E9)};
+  weights_.resize(population);
+  agents_.resize(population);
+  util::AliasSampler agent_sampler{kAgentWeights};
+  for (std::size_t i = 0; i < population; ++i) {
+    // Log-normal activity: sigma 1.6 gives the needed spread — a long tail
+    // of users with hundreds of requests over a median of a handful.
+    weights_[i] = std::exp(1.6 * rng.normal());
+    agents_[i] = static_cast<std::uint8_t>(agent_sampler.sample(rng));
+  }
+  sampler_ = std::make_unique<util::AliasSampler>(weights_);
+}
+
+std::uint64_t UserModel::sample_user(util::Rng& rng) const noexcept {
+  return static_cast<std::uint64_t>(sampler_->sample(rng)) + 1;
+}
+
+std::string_view UserModel::agent_of(std::uint64_t user_id) const {
+  if (user_id == 0 || user_id > agents_.size())
+    throw std::out_of_range("UserModel::agent_of");
+  return kBrowserAgents[agents_[user_id - 1]];
+}
+
+double UserModel::weight_of(std::uint64_t user_id) const {
+  if (user_id == 0 || user_id > weights_.size())
+    throw std::out_of_range("UserModel::weight_of");
+  return weights_[user_id - 1];
+}
+
+std::string_view UserModel::skype_agent() noexcept { return "Skype/5.3"; }
+std::string_view UserModel::windows_update_agent() noexcept {
+  return "Windows-Update-Agent";
+}
+std::string_view UserModel::bittorrent_agent() noexcept {
+  return "uTorrent/2.2.1";
+}
+std::string_view UserModel::toolbar_agent() noexcept {
+  return "GoogleToolbarBB";
+}
+
+}  // namespace syrwatch::workload

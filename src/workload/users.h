@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sampler.h"
+
+namespace syrwatch::workload {
+
+/// Synthetic client population.
+///
+/// Each user has a stable id, a heavy-tailed activity weight (log-normal,
+/// so a small fraction of users generates most requests — the precondition
+/// for the paper's Fig. 4b, where active users are far more likely to trip
+/// keyword censorship at least once), and a browser user-agent drawn from
+/// a 2011-era mix. The paper identifies users by the (c-ip, cs-user-agent)
+/// pair; we keep that approximation meaningful by giving each user one
+/// fixed agent.
+class UserModel {
+ public:
+  UserModel(std::size_t population, std::uint64_t seed);
+
+  std::size_t population() const noexcept { return weights_.size(); }
+
+  /// Activity-weighted draw; returns a user id in [1, population].
+  std::uint64_t sample_user(util::Rng& rng) const noexcept;
+
+  /// The browser agent string of a user.
+  std::string_view agent_of(std::uint64_t user_id) const;
+
+  /// Activity weight (for tests; normalized to mean ~1).
+  double weight_of(std::uint64_t user_id) const;
+
+  /// Non-browser agents for software-driven requests (Skype updater,
+  /// Windows Update, BitTorrent clients, toolbar) — §4 notes software
+  /// retrying censored pages inflates user activity.
+  static std::string_view skype_agent() noexcept;
+  static std::string_view windows_update_agent() noexcept;
+  static std::string_view bittorrent_agent() noexcept;
+  static std::string_view toolbar_agent() noexcept;
+
+ private:
+  std::vector<double> weights_;       // index = user_id - 1
+  std::vector<std::uint8_t> agents_;  // index into kBrowserAgents
+  std::unique_ptr<util::AliasSampler> sampler_;
+};
+
+}  // namespace syrwatch::workload

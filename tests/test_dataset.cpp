@@ -1,0 +1,170 @@
+// Dataset store: interning, classification, filtering, bundle derivation.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dataset.h"
+#include "util/simtime.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::analysis;
+
+proxy::LogRecord make_record(const char* url_text, std::int64_t time,
+                             proxy::FilterResult result,
+                             proxy::ExceptionId exception,
+                             std::uint8_t proxy_index = 0,
+                             std::uint64_t user_hash = 7) {
+  proxy::LogRecord record;
+  record.time = time;
+  record.proxy_index = proxy_index;
+  record.user_hash = user_hash;
+  record.method = "GET";
+  record.url = *net::Url::parse(url_text);
+  record.filter_result = result;
+  record.exception = exception;
+  return record;
+}
+
+std::int64_t at(int month, int day, int hour = 12) {
+  return util::to_unix_seconds({2011, month, day, hour, 0, 0});
+}
+
+TEST(Dataset, InternsRepeatedStrings) {
+  Dataset dataset;
+  for (int i = 0; i < 100; ++i) {
+    dataset.add(make_record("http://www.facebook.com/home.php", at(8, 1),
+                            proxy::FilterResult::kObserved,
+                            proxy::ExceptionId::kNone));
+  }
+  EXPECT_EQ(dataset.size(), 100u);
+  const Row& first = dataset.rows().front();
+  const Row& last = dataset.rows().back();
+  EXPECT_EQ(first.host, last.host);
+  EXPECT_EQ(dataset.host(first), "www.facebook.com");
+  EXPECT_EQ(dataset.path(first), "/home.php");
+}
+
+TEST(Dataset, FinalizeSortsByTime) {
+  Dataset dataset;
+  dataset.add(make_record("http://b.com/", at(8, 3),
+                          proxy::FilterResult::kObserved,
+                          proxy::ExceptionId::kNone));
+  dataset.add(make_record("http://a.com/", at(8, 1),
+                          proxy::FilterResult::kObserved,
+                          proxy::ExceptionId::kNone));
+  dataset.finalize();
+  EXPECT_EQ(dataset.host(dataset.rows()[0]), "a.com");
+  EXPECT_EQ(dataset.host(dataset.rows()[1]), "b.com");
+}
+
+TEST(Dataset, DomainCached) {
+  Dataset dataset;
+  dataset.add(make_record("http://ar-ar.facebook.com/x", at(8, 1),
+                          proxy::FilterResult::kObserved,
+                          proxy::ExceptionId::kNone));
+  const Row& row = dataset.rows().front();
+  EXPECT_EQ(dataset.domain(row), "facebook.com");
+  EXPECT_EQ(dataset.domain(row), "facebook.com");  // cached path
+}
+
+TEST(Dataset, FilterTextIncludesQuery) {
+  Dataset dataset;
+  dataset.add(make_record("http://g.com/tbproxy/af/query?q=1", at(8, 1),
+                          proxy::FilterResult::kObserved,
+                          proxy::ExceptionId::kNone));
+  EXPECT_EQ(dataset.filter_text(dataset.rows().front()),
+            "g.com/tbproxy/af/query?q=1");
+}
+
+TEST(Dataset, ClassMatchesSection33) {
+  Dataset dataset;
+  dataset.add(make_record("http://a.com/", at(8, 1),
+                          proxy::FilterResult::kObserved,
+                          proxy::ExceptionId::kNone));
+  dataset.add(make_record("http://b.com/", at(8, 1),
+                          proxy::FilterResult::kDenied,
+                          proxy::ExceptionId::kPolicyDenied));
+  dataset.add(make_record("http://c.com/", at(8, 1),
+                          proxy::FilterResult::kDenied,
+                          proxy::ExceptionId::kTcpError));
+  dataset.add(make_record("http://d.com/", at(8, 1),
+                          proxy::FilterResult::kProxied,
+                          proxy::ExceptionId::kNone));
+  EXPECT_EQ(dataset.cls(dataset.rows()[0]), proxy::TrafficClass::kAllowed);
+  EXPECT_EQ(dataset.cls(dataset.rows()[1]), proxy::TrafficClass::kCensored);
+  EXPECT_EQ(dataset.cls(dataset.rows()[2]), proxy::TrafficClass::kError);
+  EXPECT_EQ(dataset.cls(dataset.rows()[3]), proxy::TrafficClass::kProxied);
+}
+
+TEST(Dataset, FilterSharesPool) {
+  Dataset dataset;
+  dataset.add(make_record("http://a.com/", at(8, 1),
+                          proxy::FilterResult::kObserved,
+                          proxy::ExceptionId::kNone));
+  dataset.add(make_record("http://b.com/", at(8, 1),
+                          proxy::FilterResult::kDenied,
+                          proxy::ExceptionId::kPolicyDenied));
+  const Dataset censored = dataset.filter([&](const Row& row) {
+    return dataset.cls(row) == proxy::TrafficClass::kCensored;
+  });
+  ASSERT_EQ(censored.size(), 1u);
+  EXPECT_EQ(censored.pool().get(), dataset.pool().get());
+  EXPECT_EQ(censored.host(censored.rows().front()), "b.com");
+}
+
+TEST(DatasetBundle, DeriveSplitsCorrectly) {
+  Dataset full;
+  // SG-42 on July 22 with hash (Duser material).
+  full.add(make_record("http://a.com/", at(7, 22),
+                       proxy::FilterResult::kObserved,
+                       proxy::ExceptionId::kNone, 0, 11));
+  // SG-42 on July 22 but hash suppressed: excluded from Duser.
+  full.add(make_record("http://a2.com/", at(7, 22),
+                       proxy::FilterResult::kObserved,
+                       proxy::ExceptionId::kNone, 0, 0));
+  // SG-44 in August: not Duser.
+  full.add(make_record("http://b.com/", at(8, 3),
+                       proxy::FilterResult::kDenied,
+                       proxy::ExceptionId::kPolicyDenied, 2, 0));
+  // Error: lands in Ddenied.
+  full.add(make_record("http://c.com/", at(8, 4),
+                       proxy::FilterResult::kDenied,
+                       proxy::ExceptionId::kTcpError, 3, 0));
+  full.finalize();
+
+  const auto bundle = DatasetBundle::derive(std::move(full), 1);
+  EXPECT_EQ(bundle.full.size(), 4u);
+  EXPECT_EQ(bundle.user.size(), 1u);
+  EXPECT_EQ(bundle.user.host(bundle.user.rows().front()), "a.com");
+  EXPECT_EQ(bundle.denied.size(), 2u);
+  EXPECT_LE(bundle.sample.size(), bundle.full.size());
+}
+
+TEST(DatasetBundle, SampleRateApproximatelyHonored) {
+  Dataset full;
+  for (int i = 0; i < 50'000; ++i) {
+    full.add(make_record("http://a.com/", at(8, 1) + i,
+                         proxy::FilterResult::kObserved,
+                         proxy::ExceptionId::kNone));
+  }
+  full.finalize();
+  const auto bundle = DatasetBundle::derive(std::move(full), 3);
+  EXPECT_NEAR(bundle.sample.size() / 50'000.0, 0.04, 0.005);
+}
+
+TEST(DatasetBundle, SampleIsDeterministic) {
+  auto build = [] {
+    Dataset full;
+    for (int i = 0; i < 5000; ++i) {
+      full.add(make_record("http://a.com/", at(8, 1) + i,
+                           proxy::FilterResult::kObserved,
+                           proxy::ExceptionId::kNone));
+    }
+    full.finalize();
+    return DatasetBundle::derive(std::move(full), 77);
+  };
+  EXPECT_EQ(build().sample.size(), build().sample.size());
+}
+
+}  // namespace

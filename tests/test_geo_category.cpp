@@ -1,0 +1,134 @@
+// GeoIP longest-prefix matching, the synthetic world registry, and the
+// TrustedSource-style categorizer.
+
+#include <gtest/gtest.h>
+
+#include "category/categorizer.h"
+#include "geo/geoip.h"
+#include "geo/world.h"
+
+namespace {
+
+using namespace syrwatch;
+using geo::GeoIpDb;
+
+net::Ipv4Addr ip(const char* text) { return *net::Ipv4Addr::parse(text); }
+net::Ipv4Subnet subnet(const char* text) {
+  return *net::Ipv4Subnet::parse(text);
+}
+
+TEST(GeoIp, BasicLookup) {
+  GeoIpDb db;
+  db.add(subnet("84.229.0.0/16"), "Israel");
+  EXPECT_EQ(db.lookup(ip("84.229.1.2")).value_or("?"), "Israel");
+  EXPECT_FALSE(db.lookup(ip("84.230.0.1")).has_value());
+}
+
+TEST(GeoIp, LongestPrefixWins) {
+  GeoIpDb db;
+  db.add(subnet("212.0.0.0/8"), "Broad");
+  db.add(subnet("212.150.0.0/16"), "Israel");
+  db.add(subnet("212.150.7.0/24"), "Narrow");
+  EXPECT_EQ(db.lookup(ip("212.150.7.33")).value_or("?"), "Narrow");
+  EXPECT_EQ(db.lookup(ip("212.150.1.10")).value_or("?"), "Israel");
+  EXPECT_EQ(db.lookup(ip("212.9.9.9")).value_or("?"), "Broad");
+}
+
+TEST(GeoIp, DefaultRouteViaPrefixZero) {
+  GeoIpDb db;
+  db.add(net::Ipv4Subnet{net::Ipv4Addr{}, 0}, "Everywhere");
+  db.add(subnet("10.0.0.0/8"), "Private");
+  EXPECT_EQ(db.lookup(ip("8.8.8.8")).value_or("?"), "Everywhere");
+  EXPECT_EQ(db.lookup(ip("10.1.2.3")).value_or("?"), "Private");
+}
+
+TEST(GeoIp, BlocksOfCountry) {
+  GeoIpDb db;
+  db.add(subnet("1.0.0.0/24"), "A");
+  db.add(subnet("2.0.0.0/24"), "B");
+  db.add(subnet("3.0.0.0/24"), "A");
+  EXPECT_EQ(db.blocks_of("A").size(), 2u);
+  EXPECT_EQ(db.blocks_of("B").size(), 1u);
+  EXPECT_TRUE(db.blocks_of("C").empty());
+  EXPECT_EQ(db.block_count(), 3u);
+}
+
+TEST(World, Table12SubnetsAreIsraeli) {
+  const GeoIpDb db = geo::build_world_geoip();
+  for (const auto& s : geo::israeli_table12_subnets()) {
+    syrwatch::util::Rng rng{s.network().value()};
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(db.lookup(s.sample(rng)).value_or("?"), geo::kIsrael)
+          << s.to_string();
+    }
+  }
+}
+
+TEST(World, Table12MatchesPaperList) {
+  const auto& subnets = geo::israeli_table12_subnets();
+  ASSERT_EQ(subnets.size(), 5u);
+  EXPECT_EQ(subnets[0].to_string(), "84.229.0.0/16");
+  EXPECT_EQ(subnets[1].to_string(), "46.120.0.0/15");
+  EXPECT_EQ(subnets[2].to_string(), "89.138.0.0/15");
+  EXPECT_EQ(subnets[3].to_string(), "212.235.64.0/19");
+  EXPECT_EQ(subnets[4].to_string(), "212.150.0.0/16");
+}
+
+TEST(World, CoversTable11Countries) {
+  const GeoIpDb db = geo::build_world_geoip();
+  for (const char* country :
+       {geo::kIsrael, geo::kKuwait, geo::kRussia, geo::kUnitedKingdom,
+        geo::kNetherlands, geo::kSingapore, geo::kBulgaria}) {
+    EXPECT_FALSE(db.blocks_of(country).empty()) << country;
+  }
+}
+
+// --- Categorizer -----------------------------------------------------------
+
+using category::Categorizer;
+using category::Category;
+
+TEST(Categorizer, ExactAndSubdomain) {
+  Categorizer cat;
+  cat.add("facebook.com", Category::kSocialNetworking);
+  EXPECT_EQ(cat.classify("facebook.com"), Category::kSocialNetworking);
+  EXPECT_EQ(cat.classify("www.facebook.com"), Category::kSocialNetworking);
+  EXPECT_EQ(cat.classify("ar-ar.facebook.com"),
+            Category::kSocialNetworking);
+  EXPECT_EQ(cat.classify("notfacebook.com"), Category::kUncategorized);
+}
+
+TEST(Categorizer, MostSpecificEntryWins) {
+  Categorizer cat;
+  cat.add("youtube.com", Category::kStreamingMedia);
+  cat.add("upload.youtube.com", Category::kContentServer);
+  EXPECT_EQ(cat.classify("upload.youtube.com"), Category::kContentServer);
+  EXPECT_EQ(cat.classify("www.youtube.com"), Category::kStreamingMedia);
+}
+
+TEST(Categorizer, CaseInsensitive) {
+  Categorizer cat;
+  cat.add("Skype.COM", Category::kInstantMessaging);
+  EXPECT_EQ(cat.classify("WWW.SKYPE.COM"), Category::kInstantMessaging);
+}
+
+TEST(Categorizer, AnonymizerHelper) {
+  Categorizer cat;
+  cat.add("hidemyass.com", Category::kAnonymizer);
+  EXPECT_TRUE(cat.is_anonymizer("www.hidemyass.com"));
+  EXPECT_FALSE(cat.is_anonymizer("facebook.com"));
+}
+
+TEST(Categorizer, EveryCategoryHasLabel) {
+  for (std::size_t i = 0; i < category::kCategoryCount; ++i) {
+    const auto label = category::to_string(static_cast<Category>(i));
+    EXPECT_FALSE(label.empty());
+  }
+  // Labels the paper uses verbatim.
+  EXPECT_EQ(category::to_string(Category::kInstantMessaging),
+            "Instant Messaging");
+  EXPECT_EQ(category::to_string(Category::kContentServer), "Content Server");
+  EXPECT_EQ(category::to_string(Category::kUncategorized), "NA");
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// CSV log serialization: header, rendering, parsing, round-trips, and
+// rejection of malformed rows.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "proxy/log_io.h"
+#include "util/simtime.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::proxy;
+
+LogRecord sample_record() {
+  LogRecord record;
+  record.time = util::to_unix_seconds({2011, 8, 3, 8, 15, 30});
+  record.proxy_index = 2;  // SG-44
+  record.user_hash = 0xDEADBEEF12345678ULL;
+  record.user_agent = "Mozilla/4.0 (compatible; MSIE 8.0)";
+  record.method = "GET";
+  record.url = *net::Url::parse(
+      "http://www.facebook.com/plugins/like.php?href=x&channel=xd_proxy");
+  record.categories = "unavailable";
+  record.filter_result = FilterResult::kDenied;
+  record.exception = ExceptionId::kPolicyDenied;
+  record.status = 403;
+  return record;
+}
+
+TEST(LogIo, HeaderListsPaperFields) {
+  const auto header = log_csv_header();
+  for (const char* field :
+       {"cs-host", "cs-uri-path", "cs-uri-query", "cs-uri-ext",
+        "cs-user-agent", "cs-categories", "sc-filter-result",
+        "x-exception-id", "s-ip", "c-ip"}) {
+    EXPECT_NE(header.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(LogIo, RendersKnownRecord) {
+  const auto line = to_csv(sample_record());
+  EXPECT_NE(line.find("2011-08-03"), std::string::npos);
+  EXPECT_NE(line.find("08:15:30"), std::string::npos);
+  EXPECT_NE(line.find("82.137.200.44"), std::string::npos);
+  EXPECT_NE(line.find("www.facebook.com"), std::string::npos);
+  EXPECT_NE(line.find("policy_denied"), std::string::npos);
+  EXPECT_NE(line.find("DENIED"), std::string::npos);
+  EXPECT_NE(line.find("php"), std::string::npos);  // cs-uri-ext derived
+}
+
+TEST(LogIo, RoundTrip) {
+  const auto record = sample_record();
+  const auto parsed = from_csv(to_csv(record));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->time, record.time);
+  EXPECT_EQ(parsed->proxy_index, record.proxy_index);
+  EXPECT_EQ(parsed->user_hash, record.user_hash);
+  EXPECT_EQ(parsed->user_agent, record.user_agent);
+  EXPECT_EQ(parsed->url, record.url);
+  EXPECT_EQ(parsed->categories, record.categories);
+  EXPECT_EQ(parsed->filter_result, record.filter_result);
+  EXPECT_EQ(parsed->exception, record.exception);
+  EXPECT_EQ(parsed->status, record.status);
+  EXPECT_FALSE(parsed->dest_ip.has_value());
+}
+
+TEST(LogIo, SuppressedUserRendersAsZeros) {
+  LogRecord record = sample_record();
+  record.user_hash = 0;
+  const auto line = to_csv(record);
+  EXPECT_NE(line.find("0.0.0.0"), std::string::npos);
+  const auto parsed = from_csv(line);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->user_hash, 0u);
+}
+
+TEST(LogIo, DestIpRoundTrip) {
+  LogRecord record = sample_record();
+  record.url = *net::Url::parse("http://84.229.1.2/");
+  record.dest_ip = net::Ipv4Addr{84, 229, 1, 2};
+  const auto parsed = from_csv(to_csv(record));
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->dest_ip);
+  EXPECT_EQ(parsed->dest_ip->to_string(), "84.229.1.2");
+}
+
+TEST(LogIo, RejectsMalformedRows) {
+  EXPECT_FALSE(from_csv(""));
+  EXPECT_FALSE(from_csv("a,b,c"));
+  auto line = to_csv(sample_record());
+  // Corrupt the s-ip into a non-proxy address.
+  auto corrupted = line;
+  const auto pos = corrupted.find("82.137.200.44");
+  corrupted.replace(pos, 13, "82.137.200.99");
+  EXPECT_FALSE(from_csv(corrupted));
+}
+
+TEST(LogIo, StreamRoundTrip) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    LogRecord record = sample_record();
+    record.time += i * 60;
+    record.proxy_index = static_cast<std::uint8_t>(i % 7);
+    records.push_back(record);
+  }
+  std::stringstream stream;
+  write_log(stream, records);
+  const auto parsed = read_log(stream);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].time, records[i].time);
+    EXPECT_EQ(parsed[i].proxy_index, records[i].proxy_index);
+  }
+}
+
+TEST(LogIo, ReadRejectsBadHeader) {
+  std::stringstream stream;
+  stream << "wrong,header\n";
+  EXPECT_THROW(read_log(stream), std::runtime_error);
+}
+
+TEST(LogIo, ReadRejectsBadRow) {
+  std::stringstream stream;
+  stream << log_csv_header() << "\n" << "not,a,valid,row\n";
+  EXPECT_THROW(read_log(stream), std::runtime_error);
+}
+
+TEST(LogIo, QueryWithCommasSurvives) {
+  LogRecord record = sample_record();
+  record.url.query = "a=1,2,3&b=\"quoted\"";
+  const auto parsed = from_csv(to_csv(record));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->url.query, record.url.query);
+}
+
+}  // namespace

@@ -1,0 +1,435 @@
+// Policy layer: rule matchers, first-match engine semantics, custom
+// category list narrowness (§6), schedules, and the inferred Syria
+// ruleset.
+
+#include <gtest/gtest.h>
+
+#include "policy/custom_category.h"
+#include "policy/engine.h"
+#include "policy/schedule.h"
+#include "policy/syria.h"
+#include "tor/relay_directory.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::policy;
+
+net::Url url_of(const char* text) { return *net::Url::parse(text); }
+
+FilterRequest request_for(const net::Url& url,
+                          std::optional<net::Ipv4Addr> dest = std::nullopt,
+                          std::string_view category = {}) {
+  FilterRequest request;
+  request.url = &url;
+  request.dest_ip = dest;
+  request.custom_category = category;
+  return request;
+}
+
+// --- Individual rules --------------------------------------------------------
+
+TEST(KeywordRule, MatchesAnyUrlPart) {
+  PolicyEngine engine;
+  engine.add({KeywordRule{"proxy"}, PolicyAction::kDeny, "kw"});
+  util::Rng rng{1};
+
+  const auto host_hit = url_of("http://kproxy.com/");
+  EXPECT_TRUE(engine.evaluate(request_for(host_hit), rng).censored());
+  const auto path_hit = url_of("http://google.com/tbproxy/af/query");
+  EXPECT_TRUE(engine.evaluate(request_for(path_hit), rng).censored());
+  const auto query_hit = url_of("http://fb.com/like?channel=xd_proxy.php");
+  EXPECT_TRUE(engine.evaluate(request_for(query_hit), rng).censored());
+  const auto miss = url_of("http://google.com/search?q=news");
+  EXPECT_FALSE(engine.evaluate(request_for(miss), rng).censored());
+}
+
+TEST(KeywordRule, CaseInsensitive) {
+  PolicyEngine engine;
+  engine.add({KeywordRule{"israel"}, PolicyAction::kDeny, "kw"});
+  util::Rng rng{1};
+  const auto upper = url_of("http://news.net/search?q=ISRAEL+today");
+  EXPECT_TRUE(engine.evaluate(request_for(upper), rng).censored());
+}
+
+TEST(DomainRule, SuffixSemantics) {
+  PolicyEngine engine;
+  engine.add({DomainRule{"skype.com"}, PolicyAction::kDeny, "d"});
+  engine.add({DomainRule{".il"}, PolicyAction::kDeny, "tld"});
+  util::Rng rng{1};
+
+  for (const char* host :
+       {"http://skype.com/", "http://download.skype.com/x",
+        "http://www.panet.co.il/"}) {
+    const auto url = url_of(host);
+    EXPECT_TRUE(engine.evaluate(request_for(url), rng).censored()) << host;
+  }
+  const auto miss = url_of("http://notskype.com/");
+  EXPECT_FALSE(engine.evaluate(request_for(miss), rng).censored());
+}
+
+TEST(SubnetAndIpRules, RequireDestIp) {
+  PolicyEngine engine;
+  engine.add({SubnetRule{*net::Ipv4Subnet::parse("84.229.0.0/16")},
+              PolicyAction::kDeny, "subnet"});
+  engine.add({IpRule{*net::Ipv4Addr::parse("212.150.1.10")},
+              PolicyAction::kDeny, "ip"});
+  util::Rng rng{1};
+
+  const auto in_subnet = url_of("http://84.229.3.4/");
+  EXPECT_TRUE(engine
+                  .evaluate(request_for(in_subnet,
+                                        net::Ipv4Addr::parse("84.229.3.4")),
+                            rng)
+                  .censored());
+  // Same URL with no resolved destination: subnet rules can't fire.
+  EXPECT_FALSE(engine.evaluate(request_for(in_subnet), rng).censored());
+
+  const auto exact = url_of("http://212.150.1.10/");
+  EXPECT_TRUE(engine
+                  .evaluate(request_for(exact,
+                                        net::Ipv4Addr::parse("212.150.1.10")),
+                            rng)
+                  .censored());
+  const auto neighbour = url_of("http://212.150.1.11/");
+  EXPECT_FALSE(engine
+                   .evaluate(request_for(neighbour,
+                                         net::Ipv4Addr::parse("212.150.1.11")),
+                             rng)
+                   .censored());
+}
+
+TEST(CategoryRule, MatchesAssignedCategory) {
+  PolicyEngine engine;
+  engine.add({CategoryRule{"Blocked sites"}, PolicyAction::kRedirect, "cat"});
+  util::Rng rng{1};
+  const auto url = url_of("http://www.facebook.com/Syrian.Revolution?ref=ts");
+  const auto hit = engine.evaluate(request_for(url, {}, "Blocked sites"), rng);
+  EXPECT_EQ(hit.action, PolicyAction::kRedirect);
+  const auto miss = engine.evaluate(request_for(url, {}, ""), rng);
+  EXPECT_EQ(miss.action, PolicyAction::kAllow);
+}
+
+TEST(PortRule, MatchesPort) {
+  PolicyEngine engine;
+  engine.add({PortRule{9001}, PolicyAction::kDeny, "p"});
+  util::Rng rng{1};
+  const auto tor = url_of("tcp://5.6.7.8:9001");
+  EXPECT_TRUE(engine.evaluate(request_for(tor), rng).censored());
+  const auto web = url_of("http://5.6.7.8/");
+  EXPECT_FALSE(engine.evaluate(request_for(web), rng).censored());
+}
+
+TEST(EndpointSetRule, GatedBySchedule) {
+  auto endpoints = std::make_shared<std::unordered_set<std::uint64_t>>();
+  const auto relay_ip = *net::Ipv4Addr::parse("5.6.7.8");
+  endpoints->insert(EndpointSetRule::key(relay_ip, 9001));
+
+  PolicyEngine always;
+  always.add({EndpointSetRule{endpoints, OnOffSchedule::constant(1.0)},
+              PolicyAction::kDeny, "tor"});
+  PolicyEngine never;
+  never.add({EndpointSetRule{endpoints, OnOffSchedule::constant(0.0)},
+             PolicyAction::kDeny, "tor"});
+  util::Rng rng{1};
+
+  const auto hit = url_of("tcp://5.6.7.8:9001");
+  EXPECT_TRUE(always.evaluate(request_for(hit, relay_ip), rng).censored());
+  EXPECT_FALSE(never.evaluate(request_for(hit, relay_ip), rng).censored());
+  // Wrong port: not in the endpoint set at all.
+  const auto other_port = url_of("tcp://5.6.7.8:9030");
+  EXPECT_FALSE(
+      always.evaluate(request_for(other_port, relay_ip), rng).censored());
+}
+
+// --- Engine semantics ----------------------------------------------------------
+
+TEST(PolicyEngine, FirstMatchWins) {
+  PolicyEngine engine;
+  const auto redirect_idx = engine.add(
+      {CategoryRule{"Blocked sites"}, PolicyAction::kRedirect, "cat"});
+  const auto keyword_idx =
+      engine.add({KeywordRule{"proxy"}, PolicyAction::kDeny, "kw"});
+  util::Rng rng{1};
+
+  // URL that matches both: the category rule sits first and decides.
+  const auto url = url_of("http://www.facebook.com/page_proxy.php?ref=ts");
+  const auto decision =
+      engine.evaluate(request_for(url, {}, "Blocked sites"), rng);
+  EXPECT_EQ(decision.action, PolicyAction::kRedirect);
+  EXPECT_EQ(decision.rule_index, redirect_idx);
+
+  // Without the category, the keyword fires.
+  const auto fallback = engine.evaluate(request_for(url), rng);
+  EXPECT_EQ(fallback.action, PolicyAction::kDeny);
+  EXPECT_EQ(fallback.rule_index, keyword_idx);
+}
+
+TEST(PolicyEngine, RuleMatchesInspectsSingleRules) {
+  PolicyEngine engine;
+  const auto kw = engine.add({KeywordRule{"proxy"}, PolicyAction::kDeny, "k"});
+  const auto dom =
+      engine.add({DomainRule{"skype.com"}, PolicyAction::kDeny, "d"});
+  util::Rng rng{1};
+  const auto url = url_of("http://skype.com/download/proxy-helper");
+  const auto request = request_for(url);
+  EXPECT_TRUE(engine.rule_matches(kw, request, rng));
+  EXPECT_TRUE(engine.rule_matches(dom, request, rng));
+  const auto clean = url_of("http://example.com/");
+  const auto clean_request = request_for(clean);
+  EXPECT_FALSE(engine.rule_matches(kw, clean_request, rng));
+  EXPECT_FALSE(engine.rule_matches(dom, clean_request, rng));
+  EXPECT_THROW(engine.rule_matches(99, clean_request, rng),
+               std::out_of_range);
+}
+
+TEST(PolicyEngine, DefaultAllow) {
+  PolicyEngine engine;
+  util::Rng rng{1};
+  const auto url = url_of("http://example.com/");
+  const auto decision = engine.evaluate(request_for(url), rng);
+  EXPECT_EQ(decision.action, PolicyAction::kAllow);
+  EXPECT_EQ(decision.rule_index, PolicyDecision::kNoRule);
+}
+
+// --- CustomCategoryList --------------------------------------------------------
+
+TEST(CustomCategory, WholeHostEntries) {
+  CustomCategoryList list;
+  list.add_host("upload.youtube.com", "Blocked sites");
+  EXPECT_EQ(list.classify(url_of("http://upload.youtube.com/any?x=1")),
+            "Blocked sites");
+  EXPECT_EQ(list.classify(url_of("http://www.youtube.com/any")), "");
+}
+
+TEST(CustomCategory, NarrowQueryMatching) {
+  // §6: Syrian.Revolution?ref=ts is categorized, the ajaxpipe variant of
+  // the *same page* is not.
+  CustomCategoryList list;
+  list.add_page("www.facebook.com", "/Syrian.Revolution", {"ref=ts"},
+                "Blocked sites");
+  EXPECT_EQ(
+      list.classify(url_of("http://www.facebook.com/Syrian.Revolution?ref=ts")),
+      "Blocked sites");
+  EXPECT_EQ(list.classify(url_of(
+                "http://www.facebook.com/Syrian.Revolution?ref=ts&__a=11&"
+                "ajaxpipe=1")),
+            "");
+  EXPECT_EQ(list.classify(url_of("http://www.facebook.com/Syrian.Revolution")),
+            "");
+  // Case matters in paths: Syrian.revolution is a different page.
+  EXPECT_EQ(
+      list.classify(url_of("http://www.facebook.com/Syrian.revolution?ref=ts")),
+      "");
+}
+
+TEST(CustomCategory, EmptyQueryListMeansBarePage) {
+  CustomCategoryList list;
+  list.add_page("www.facebook.com", "/DaysOfRage", {}, "Blocked sites");
+  EXPECT_EQ(list.classify(url_of("http://www.facebook.com/DaysOfRage")),
+            "Blocked sites");
+  EXPECT_EQ(list.classify(url_of("http://www.facebook.com/DaysOfRage?x=1")),
+            "");
+}
+
+// --- OnOffSchedule -------------------------------------------------------------
+
+TEST(Schedule, ConstantIsFlat) {
+  const auto schedule = OnOffSchedule::constant(0.4);
+  EXPECT_EQ(schedule.intensity(0), 0.4);
+  EXPECT_EQ(schedule.intensity(1'000'000), 0.4);
+}
+
+TEST(Schedule, DeterministicPerWindow) {
+  const OnOffSchedule schedule{123, 3600, 0.5, 0.2, 0.9};
+  EXPECT_EQ(schedule.intensity(100), schedule.intensity(3599));
+  // Same params, same seed => same function.
+  const OnOffSchedule again{123, 3600, 0.5, 0.2, 0.9};
+  for (std::int64_t t = 0; t < 48 * 3600; t += 3600)
+    EXPECT_EQ(schedule.intensity(t), again.intensity(t));
+}
+
+TEST(Schedule, OnFractionApproximatelyRespected) {
+  const OnOffSchedule schedule{77, 3600, 0.3, 0.5, 1.0};
+  int on = 0;
+  constexpr int kWindows = 5000;
+  for (int w = 0; w < kWindows; ++w) {
+    const double i = schedule.intensity(static_cast<std::int64_t>(w) * 3600);
+    if (i > 0.0) {
+      ++on;
+      EXPECT_GE(i, 0.5);
+      EXPECT_LE(i, 1.0);
+    }
+  }
+  EXPECT_NEAR(on / double(kWindows), 0.3, 0.03);
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW(OnOffSchedule(1, 0, 0.5, 0.1, 0.9), std::invalid_argument);
+  EXPECT_THROW(OnOffSchedule(1, 60, 1.5, 0.1, 0.9), std::invalid_argument);
+  EXPECT_THROW(OnOffSchedule(1, 60, 0.5, 0.9, 0.1), std::invalid_argument);
+}
+
+// --- The inferred Syria deployment ----------------------------------------------
+
+class SyriaPolicyTest : public ::testing::Test {
+ protected:
+  SyriaPolicyTest()
+      : relays_(tor::RelayDirectory::synthesize(200, 1)),
+        policy_(build_syria_policy(relays_, 2011)) {}
+
+  tor::RelayDirectory relays_;
+  SyriaPolicy policy_;
+  util::Rng rng_{3};
+};
+
+TEST_F(SyriaPolicyTest, FiveKeywords) {
+  const auto& keywords = censored_keywords();
+  ASSERT_EQ(keywords.size(), 5u);
+  EXPECT_EQ(keywords[0], "proxy");
+  EXPECT_EQ(keywords[3], "israel");
+}
+
+TEST_F(SyriaPolicyTest, SuspectedListHas105Domains) {
+  EXPECT_EQ(suspected_domains().size(), 105u);
+}
+
+TEST_F(SyriaPolicyTest, EveryProxyDeniesSuspectedDomains) {
+  for (std::size_t p = 0; p < kProxyCount; ++p) {
+    for (const char* text :
+         {"http://www.metacafe.com/watch/x/y/", "http://skype.com/",
+          "http://wikimedia.org/wiki/Syria", "http://www.panet.co.il/"}) {
+      const auto url = url_of(text);
+      const auto decision =
+          policy_.proxies[p].engine.evaluate(request_for(url), rng_);
+      EXPECT_EQ(decision.action, PolicyAction::kDeny)
+          << proxy_name(p) << " " << text;
+    }
+  }
+}
+
+TEST_F(SyriaPolicyTest, CategoryNamingFollowsLeak) {
+  // SG-43 and SG-48 use the "none"-style labels (§4, §5.2).
+  EXPECT_EQ(policy_.proxies[1].default_category_label, "none");
+  EXPECT_EQ(policy_.proxies[6].default_category_label, "none");
+  EXPECT_EQ(policy_.proxies[0].default_category_label, "unavailable");
+  EXPECT_EQ(policy_.proxies[6].blocked_category_label, "Blocked sites");
+  EXPECT_EQ(policy_.proxies[0].blocked_category_label,
+            "Blocked sites; unavailable");
+}
+
+TEST_F(SyriaPolicyTest, OnlySg44CensorsTorAggressively) {
+  const auto& relay = relays_.relays().front();
+  net::Url onion;
+  onion.scheme = net::Scheme::kTcp;
+  onion.host = relay.address.to_string();
+  onion.port = relay.or_port;
+
+  // Count censored onion connects per proxy over many evaluations and
+  // schedule windows.
+  std::array<int, kProxyCount> censored{};
+  for (int window = 0; window < 200; ++window) {
+    FilterRequest request = request_for(onion, relay.address);
+    request.time = static_cast<std::int64_t>(window) * 7200 + 100;
+    for (std::size_t p = 0; p < kProxyCount; ++p) {
+      if (policy_.proxies[p].engine.evaluate(request, rng_).censored())
+        ++censored[p];
+    }
+  }
+  EXPECT_GT(censored[kTorCensorProxy], 20);
+  for (std::size_t p = 0; p < kProxyCount; ++p) {
+    if (p == kTorCensorProxy) continue;
+    EXPECT_LE(censored[p], 3) << proxy_name(p);
+  }
+}
+
+TEST_F(SyriaPolicyTest, TorhttpNeverCensored) {
+  // Directory fetches hit the dir port, which is not in the endpoint set.
+  for (const auto& relay : relays_.relays()) {
+    if (relay.dir_port == 0) continue;
+    net::Url dir_url;
+    dir_url.host = relay.address.to_string();
+    dir_url.port = relay.dir_port;
+    dir_url.path = "/tor/server/authority.z";
+    FilterRequest request = request_for(dir_url, relay.address);
+    request.time = 1000;
+    EXPECT_FALSE(policy_.proxies[kTorCensorProxy]
+                     .engine.evaluate(request, rng_)
+                     .censored());
+  }
+}
+
+TEST_F(SyriaPolicyTest, FacebookPageRedirectedOnlyInCategorizedForm) {
+  const auto& custom = policy_.custom_categories;
+  const auto categorized =
+      url_of("http://www.facebook.com/Syrian.Revolution?ref=ts");
+  const auto variant = url_of(
+      "http://www.facebook.com/Syrian.Revolution?ref=ts&__a=11&ajaxpipe=1");
+  EXPECT_EQ(custom.classify(categorized), kBlockedSitesLabel);
+  EXPECT_EQ(custom.classify(variant), "");
+
+  const auto& engine = policy_.proxies[0].engine;
+  const auto redirected = engine.evaluate(
+      request_for(categorized, {}, custom.classify(categorized)), rng_);
+  EXPECT_EQ(redirected.action, PolicyAction::kRedirect);
+  const auto allowed =
+      engine.evaluate(request_for(variant, {}, custom.classify(variant)),
+                      rng_);
+  EXPECT_EQ(allowed.action, PolicyAction::kAllow);
+}
+
+TEST_F(SyriaPolicyTest, IsraeliSubnetGroupsDiffer) {
+  const auto& engine = policy_.proxies[2].engine;
+  // Wholesale-blocked subnet.
+  const auto blocked = url_of("http://84.229.55.66/");
+  EXPECT_TRUE(engine
+                  .evaluate(request_for(blocked,
+                                        net::Ipv4Addr::parse("84.229.55.66")),
+                            rng_)
+                  .censored());
+  // 212.150/16: only three hosts blocked.
+  const auto host_blocked = url_of("http://212.150.7.33/");
+  EXPECT_TRUE(
+      engine
+          .evaluate(request_for(host_blocked,
+                                net::Ipv4Addr::parse("212.150.7.33")),
+                    rng_)
+          .censored());
+  const auto host_ok = url_of("http://212.150.200.1/");
+  EXPECT_FALSE(
+      engine
+          .evaluate(request_for(host_ok,
+                                net::Ipv4Addr::parse("212.150.200.1")),
+                    rng_)
+          .censored());
+  // 212.235.64/19: lower /20 blocked, upper half allowed.
+  const auto lower = url_of("http://212.235.70.1/");
+  EXPECT_TRUE(engine
+                  .evaluate(request_for(lower,
+                                        net::Ipv4Addr::parse("212.235.70.1")),
+                            rng_)
+                  .censored());
+  const auto upper = url_of("http://212.235.85.1/");
+  EXPECT_FALSE(engine
+                   .evaluate(request_for(upper,
+                                         net::Ipv4Addr::parse("212.235.85.1")),
+                             rng_)
+                   .censored());
+}
+
+TEST_F(SyriaPolicyTest, Table14PagesAreAllRegistered) {
+  for (const auto& page : facebook_blocked_pages()) {
+    const auto url =
+        url_of(("http://www.facebook.com/" + page.page + "?ref=ts").c_str());
+    EXPECT_EQ(policy_.custom_categories.classify(url), kBlockedSitesLabel)
+        << page.page;
+  }
+}
+
+TEST(ProxyName, Formatting) {
+  EXPECT_EQ(proxy_name(0), "SG-42");
+  EXPECT_EQ(proxy_name(6), "SG-48");
+  EXPECT_THROW(proxy_name(7), std::out_of_range);
+}
+
+}  // namespace

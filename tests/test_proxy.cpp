@@ -1,0 +1,360 @@
+// Proxy layer: exception taxonomy, classification, response cache,
+// error model, the SgProxy pipeline and the farm's routing.
+
+#include <gtest/gtest.h>
+
+#include "policy/syria.h"
+#include "proxy/cache.h"
+#include "proxy/error_model.h"
+#include "proxy/farm.h"
+#include "proxy/sg_proxy.h"
+#include "tor/relay_directory.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::proxy;
+
+// --- Exceptions / classification ---------------------------------------------
+
+TEST(Exceptions, RoundTripStrings) {
+  for (std::size_t i = 0; i < kExceptionCount; ++i) {
+    const auto id = static_cast<ExceptionId>(i);
+    const auto text = to_string(id);
+    const auto parsed = parse_exception(text);
+    ASSERT_TRUE(parsed) << text;
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(parse_exception("no_such_exception"));
+}
+
+TEST(Exceptions, PolicyVsError) {
+  EXPECT_TRUE(is_policy_exception(ExceptionId::kPolicyDenied));
+  EXPECT_TRUE(is_policy_exception(ExceptionId::kPolicyRedirect));
+  EXPECT_FALSE(is_policy_exception(ExceptionId::kNone));
+  EXPECT_FALSE(is_policy_exception(ExceptionId::kTcpError));
+  EXPECT_TRUE(is_error_exception(ExceptionId::kTcpError));
+  EXPECT_TRUE(is_error_exception(ExceptionId::kDnsServerFailure));
+  EXPECT_FALSE(is_error_exception(ExceptionId::kNone));
+  EXPECT_FALSE(is_error_exception(ExceptionId::kPolicyDenied));
+}
+
+TEST(FilterResults, RoundTripStrings) {
+  for (const auto result : {FilterResult::kObserved, FilterResult::kProxied,
+                            FilterResult::kDenied}) {
+    EXPECT_EQ(parse_filter_result(to_string(result)), result);
+  }
+  EXPECT_FALSE(parse_filter_result("MAYBE"));
+}
+
+TEST(Classification, Section33Semantics) {
+  LogRecord record;
+  record.filter_result = FilterResult::kObserved;
+  record.exception = ExceptionId::kNone;
+  EXPECT_EQ(classify(record), TrafficClass::kAllowed);
+
+  record.filter_result = FilterResult::kDenied;
+  record.exception = ExceptionId::kPolicyDenied;
+  EXPECT_EQ(classify(record), TrafficClass::kCensored);
+
+  record.exception = ExceptionId::kInternalError;
+  EXPECT_EQ(classify(record), TrafficClass::kError);
+
+  // PROXIED is its own class regardless of the stored exception.
+  record.filter_result = FilterResult::kProxied;
+  record.exception = ExceptionId::kPolicyDenied;
+  EXPECT_EQ(classify(record), TrafficClass::kProxied);
+  EXPECT_EQ(classify_by_exception(record.filter_result, record.exception),
+            TrafficClass::kCensored);
+}
+
+// --- ResponseCache -------------------------------------------------------------
+
+TEST(Cache, RejectsZeroCapacity) {
+  EXPECT_THROW(ResponseCache(0), std::invalid_argument);
+  EXPECT_THROW(ResponseCache(1, -5), std::invalid_argument);
+}
+
+TEST(Cache, HitReplaysStoredEntry) {
+  ResponseCache cache{10};
+  cache.admit("http://a/", {ExceptionId::kPolicyDenied, 403, 0}, 100);
+  const auto* hit = cache.find("http://a/", 101);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->exception, ExceptionId::kPolicyDenied);
+  EXPECT_EQ(hit->status, 403);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.find("http://b/", 101), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, TtlExpiry) {
+  ResponseCache cache{10, 60};
+  cache.admit("u", {ExceptionId::kNone, 200, 0}, 1000);
+  EXPECT_NE(cache.find("u", 1059), nullptr);
+  EXPECT_EQ(cache.find("u", 1060), nullptr);  // expired
+  EXPECT_EQ(cache.size(), 0u);                // dropped on expiry
+}
+
+TEST(Cache, LruEviction) {
+  ResponseCache cache{2};
+  cache.admit("a", {}, 0);
+  cache.admit("b", {}, 0);
+  ASSERT_NE(cache.find("a", 1), nullptr);  // refresh a
+  cache.admit("c", {}, 0);                 // evicts b (least recent)
+  EXPECT_NE(cache.find("a", 2), nullptr);
+  EXPECT_EQ(cache.find("b", 2), nullptr);
+  EXPECT_NE(cache.find("c", 2), nullptr);
+}
+
+TEST(Cache, ReadmitRefreshes) {
+  ResponseCache cache{2, 100};
+  cache.admit("a", {ExceptionId::kNone, 200, 0}, 0);
+  cache.admit("a", {ExceptionId::kNone, 304, 0}, 50);  // refresh, new expiry
+  const auto* hit = cache.find("a", 120);               // 0+100 passed, 50+100 not
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->status, 304);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- ErrorModel ----------------------------------------------------------------
+
+TEST(ErrorModel, RatesMatchSampling) {
+  const ErrorModel model{};
+  util::Rng rng{5};
+  std::array<std::uint64_t, kExceptionCount> counts{};
+  constexpr int kN = 2'000'000;
+  for (int i = 0; i < kN; ++i)
+    ++counts[static_cast<std::size_t>(model.sample(rng))];
+  const double ok =
+      counts[static_cast<std::size_t>(ExceptionId::kNone)] / double(kN);
+  EXPECT_NEAR(ok, 1.0 - model.rates().total(), 0.001);
+  const double tcp =
+      counts[static_cast<std::size_t>(ExceptionId::kTcpError)] / double(kN);
+  EXPECT_NEAR(tcp, model.rates().tcp_error, 0.001);
+  const double internal =
+      counts[static_cast<std::size_t>(ExceptionId::kInternalError)] /
+      double(kN);
+  EXPECT_NEAR(internal, model.rates().internal_error, 0.001);
+  // Policy exceptions never come out of the error model.
+  EXPECT_EQ(counts[static_cast<std::size_t>(ExceptionId::kPolicyDenied)], 0u);
+}
+
+TEST(ErrorModel, RejectsSaturatedRates) {
+  ErrorRates rates;
+  rates.tcp_error = 0.9;
+  rates.internal_error = 0.2;
+  EXPECT_THROW(ErrorModel{rates}, std::invalid_argument);
+}
+
+TEST(ErrorModel, StatusMapping) {
+  EXPECT_EQ(ErrorModel::status_for(ExceptionId::kPolicyDenied), 403);
+  EXPECT_EQ(ErrorModel::status_for(ExceptionId::kPolicyRedirect), 302);
+  EXPECT_EQ(ErrorModel::status_for(ExceptionId::kTcpError), 503);
+  EXPECT_EQ(ErrorModel::status_for(ExceptionId::kNone), 200);
+}
+
+// --- SgProxy ---------------------------------------------------------------------
+
+class SgProxyTest : public ::testing::Test {
+ protected:
+  SgProxyTest()
+      : relays_(tor::RelayDirectory::synthesize(50, 2)),
+        policy_(policy::build_syria_policy(relays_, 7)) {}
+
+  SgProxy make_proxy(std::uint8_t index = 0, SgProxyConfig config = {}) {
+    return SgProxy{index, &policy_.proxies[index],
+                   &policy_.custom_categories, config, util::Rng{99}};
+  }
+
+  static Request simple_request(const char* url_text) {
+    Request request;
+    request.time = 1312329600;  // 2011-08-03
+    request.user_id = 42;
+    request.user_agent = "test-agent";
+    request.url = *net::Url::parse(url_text);
+    return request;
+  }
+
+  tor::RelayDirectory relays_;
+  policy::SyriaPolicy policy_;
+};
+
+TEST_F(SgProxyTest, RejectsNullPolicy) {
+  SgProxyConfig config;
+  EXPECT_THROW(SgProxy(0, nullptr, &policy_.custom_categories, config,
+                       util::Rng{1}),
+               std::invalid_argument);
+}
+
+TEST_F(SgProxyTest, CensorsBlacklistedDomain) {
+  auto proxy = make_proxy();
+  const auto record = proxy.process(simple_request("http://skype.com/"));
+  EXPECT_EQ(record.filter_result, FilterResult::kDenied);
+  EXPECT_EQ(record.exception, ExceptionId::kPolicyDenied);
+  EXPECT_EQ(record.status, 403);
+  EXPECT_EQ(record.categories, "unavailable");
+}
+
+TEST_F(SgProxyTest, RedirectsCategorizedPage) {
+  auto proxy = make_proxy();
+  const auto record = proxy.process(
+      simple_request("http://www.facebook.com/Syrian.Revolution?ref=ts"));
+  EXPECT_EQ(record.exception, ExceptionId::kPolicyRedirect);
+  EXPECT_EQ(record.status, 302);
+  EXPECT_EQ(record.categories, "Blocked sites; unavailable");
+}
+
+TEST_F(SgProxyTest, CategoriesLabelFollowsProxyStyle) {
+  auto sg43 = make_proxy(1);
+  const auto record = sg43.process(
+      simple_request("http://www.facebook.com/Syrian.Revolution?ref=ts"));
+  EXPECT_EQ(record.categories, "Blocked sites");
+  const auto benign = sg43.process(simple_request("http://example.com/"));
+  EXPECT_EQ(benign.categories, "none");
+}
+
+TEST_F(SgProxyTest, AllowsBenignTraffic) {
+  SgProxyConfig config;
+  config.error_rates = ErrorRates{0, 0, 0, 0, 0, 0, 0, 0};  // no noise
+  auto proxy = make_proxy(0, config);
+  const auto record = proxy.process(simple_request("http://example.com/x"));
+  EXPECT_EQ(record.filter_result, FilterResult::kObserved);
+  EXPECT_EQ(record.exception, ExceptionId::kNone);
+  EXPECT_EQ(record.status, 200);
+}
+
+TEST_F(SgProxyTest, DestUnreachableForcesTcpError) {
+  SgProxyConfig config;
+  config.error_rates = ErrorRates{0, 0, 0, 0, 0, 0, 0, 0};
+  auto proxy = make_proxy(0, config);
+  Request request = simple_request("http://example.com/");
+  request.dest_unreachable_prob = 1.0;
+  const auto record = proxy.process(request);
+  EXPECT_EQ(record.exception, ExceptionId::kTcpError);
+}
+
+TEST_F(SgProxyTest, CacheReplaysAsProxied) {
+  SgProxyConfig config;
+  config.error_rates = ErrorRates{0, 0, 0, 0, 0, 0, 0, 0};
+  config.observed_admit_prob = 1.0;
+  config.not_modified_prob = 0.0;
+  auto proxy = make_proxy(0, config);
+  Request request = simple_request("http://example.com/logo.png");
+  request.cacheable = true;
+  const auto first = proxy.process(request);
+  EXPECT_EQ(first.filter_result, FilterResult::kObserved);
+  request.time += 10;
+  const auto second = proxy.process(request);
+  EXPECT_EQ(second.filter_result, FilterResult::kProxied);
+  EXPECT_EQ(second.exception, ExceptionId::kNone);
+  // After TTL expiry it is fetched again.
+  request.time += config.cache_ttl_seconds + 1;
+  const auto third = proxy.process(request);
+  EXPECT_EQ(third.filter_result, FilterResult::kObserved);
+}
+
+TEST_F(SgProxyTest, CensoredDecisionCanBeCachedAndReplayed) {
+  SgProxyConfig config;
+  config.policy_admit_prob = 1.0;
+  auto proxy = make_proxy(0, config);
+  Request request = simple_request("http://www.metacafe.com/");
+  const auto first = proxy.process(request);
+  EXPECT_EQ(first.filter_result, FilterResult::kDenied);
+  request.time += 5;
+  const auto second = proxy.process(request);
+  EXPECT_EQ(second.filter_result, FilterResult::kProxied);
+  EXPECT_EQ(second.exception, ExceptionId::kPolicyDenied);
+}
+
+TEST_F(SgProxyTest, UserHashStableAndNonZero) {
+  auto proxy = make_proxy();
+  const auto a = proxy.process(simple_request("http://example.com/"));
+  const auto b = proxy.process(simple_request("http://example.com/2"));
+  EXPECT_EQ(a.user_hash, b.user_hash);
+  EXPECT_NE(a.user_hash, 0u);
+}
+
+TEST_F(SgProxyTest, ProxyAddressMatchesLeakRange) {
+  auto sg48 = make_proxy(6);
+  const auto record = sg48.process(simple_request("http://example.com/"));
+  EXPECT_EQ(record.proxy_address().to_string(), "82.137.200.48");
+}
+
+// --- ProxyFarm -----------------------------------------------------------------
+
+class FarmTest : public ::testing::Test {
+ protected:
+  FarmTest()
+      : relays_(tor::RelayDirectory::synthesize(50, 2)),
+        policy_(policy::build_syria_policy(relays_, 7)),
+        farm_(&policy_, SgProxyConfig{}, 2011) {}
+
+  static Request request_from_user(std::uint64_t user, const char* url_text) {
+    Request request;
+    request.time = 1312329600;
+    request.user_id = user;
+    request.url = *net::Url::parse(url_text);
+    return request;
+  }
+
+  tor::RelayDirectory relays_;
+  policy::SyriaPolicy policy_;
+  ProxyFarm farm_;
+};
+
+TEST_F(FarmTest, SevenProxies) { EXPECT_EQ(farm_.proxy_count(), 7u); }
+
+TEST_F(FarmTest, HomeRoutingIsPerUserStable) {
+  for (std::uint64_t user = 1; user <= 50; ++user) {
+    const auto first =
+        farm_.route(request_from_user(user, "http://example.com/"));
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(farm_.route(request_from_user(user, "http://example.com/")),
+                first);
+    }
+  }
+}
+
+TEST_F(FarmTest, LoadSpreadsAcrossProxies) {
+  std::array<int, 7> counts{};
+  for (std::uint64_t user = 1; user <= 7000; ++user)
+    ++counts[farm_.route(request_from_user(user, "http://example.com/"))];
+  for (const int count : counts) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST_F(FarmTest, AffinityPinsDomain) {
+  farm_.add_affinity("metacafe.com", 6, 1.0);
+  for (std::uint64_t user = 1; user <= 100; ++user) {
+    EXPECT_EQ(
+        farm_.route(request_from_user(user, "http://www.metacafe.com/x")),
+        6u);
+  }
+}
+
+TEST_F(FarmTest, PartialAffinitySplitsTraffic) {
+  farm_.add_affinity("skype.com", 6, 0.5);
+  farm_.add_affinity("skype.com", 3, 0.4);
+  std::array<int, 7> counts{};
+  for (std::uint64_t user = 1; user <= 10000; ++user)
+    ++counts[farm_.route(request_from_user(user, "http://skype.com/"))];
+  EXPECT_NEAR(counts[6] / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(counts[3] / 10000.0, 0.4 + 0.1 / 7.0, 0.03);
+}
+
+TEST_F(FarmTest, AffinityValidation) {
+  EXPECT_THROW(farm_.add_affinity("x.com", 7, 0.5), std::out_of_range);
+  EXPECT_THROW(farm_.add_affinity("x.com", 0, 1.5), std::invalid_argument);
+}
+
+TEST_F(FarmTest, ProcessStampsProxyIndex) {
+  farm_.add_affinity("metacafe.com", 6, 1.0);
+  const auto record =
+      farm_.process(request_from_user(9, "http://www.metacafe.com/"));
+  EXPECT_EQ(record.proxy_index, 6);
+  EXPECT_EQ(record.exception, ExceptionId::kPolicyDenied);
+}
+
+}  // namespace

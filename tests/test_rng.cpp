@@ -1,0 +1,209 @@
+// PRNG tests: determinism, stream independence, distribution sanity, and
+// parameterized sweeps over seeds and bounds.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+
+namespace {
+
+using syrwatch::util::mix64;
+using syrwatch::util::Rng;
+using syrwatch::util::splitmix64;
+
+TEST(Splitmix, AdvancesStateDeterministically) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  // Consecutive outputs of one stream differ.
+  std::uint64_t s = 42;
+  const auto first = splitmix64(s);
+  const auto second = splitmix64(s);
+  EXPECT_NE(first, second);
+}
+
+TEST(Mix64, IsStateless) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{7}, b{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{7}, b{8};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent{99};
+  Rng child0 = parent.split(0);
+  Rng child1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (child0() == child1()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+  // Splitting twice with the same id yields the same stream.
+  Rng again = parent.split(0);
+  Rng child0b = parent.split(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(again(), child0b());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{1};
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanAndVariance) {
+  Rng rng{2};
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform01();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{4};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{5};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{6};
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{8};
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / double(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / double(kN), 0.7, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{9};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, copy);
+}
+
+// ---- Parameterized sweeps -------------------------------------------------
+
+class UniformBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformBoundSweep, StaysBelowBoundAndCoversRange) {
+  const std::uint64_t bound = GetParam();
+  Rng rng{bound ^ 0xABCD};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.uniform(bound);
+    ASSERT_LT(v, bound);
+    if (bound <= 16) seen.insert(v);
+  }
+  if (bound <= 16) EXPECT_EQ(seen.size(), bound);  // all values reachable
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformBoundSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 12345,
+                                           1'000'000'007ULL,
+                                           ~std::uint64_t{0} / 2));
+
+class PoissonMeanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanSweep, MeanAndVarianceMatch) {
+  const double mean = GetParam();
+  Rng rng{static_cast<std::uint64_t>(mean * 1000) + 1};
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = static_cast<double>(rng.poisson(mean));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double m = sum / kN;
+  const double v = sumsq / kN - m * m;
+  EXPECT_NEAR(m, mean, std::max(0.05, mean * 0.03));
+  EXPECT_NEAR(v, mean, std::max(0.1, mean * 0.08));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 4.0, 20.0, 63.0,
+                                           80.0, 500.0));
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, Uniform01MeanStable) {
+  Rng rng{GetParam()};
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 2011,
+                                           0xDEADBEEFULL,
+                                           ~std::uint64_t{0}));
+
+}  // namespace

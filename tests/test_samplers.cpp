@@ -1,0 +1,130 @@
+// Zipf and alias-method sampler tests: exactness of pmf, empirical
+// agreement, and error handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/sampler.h"
+#include "util/zipf.h"
+
+namespace {
+
+using syrwatch::util::AliasSampler;
+using syrwatch::util::Rng;
+using syrwatch::util::ZipfSampler;
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf{1000, 1.2};
+  double sum = 0.0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) sum += zipf.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  const ZipfSampler zipf{500, 0.9};
+  for (std::size_t r = 1; r < zipf.size(); ++r)
+    EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1) + 1e-12);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf{100, 0.0};
+  for (std::size_t r = 0; r < zipf.size(); ++r)
+    EXPECT_NEAR(zipf.pmf(r), 0.01, 1e-9);
+}
+
+TEST(Zipf, PmfOutOfRangeThrows) {
+  const ZipfSampler zipf{10, 1.0};
+  EXPECT_THROW(zipf.pmf(10), std::out_of_range);
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, EmpiricalMatchesPmf) {
+  const double s = GetParam();
+  const ZipfSampler zipf{50, s};
+  Rng rng{static_cast<std::uint64_t>(s * 100) + 3};
+  std::vector<int> counts(zipf.size(), 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r] / double(kN), zipf.pmf(r),
+                5.0 * std::sqrt(zipf.pmf(r) / kN) + 0.001)
+        << "rank " << r << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(Alias, RejectsBadWeights) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasSampler{empty}, std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(AliasSampler{negative}, std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(AliasSampler{zeros}, std::invalid_argument);
+}
+
+TEST(Alias, SingleOutcome) {
+  const std::vector<double> one{5.0};
+  AliasSampler sampler{one};
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(Alias, PmfNormalized) {
+  const std::vector<double> weights{2.0, 3.0, 5.0};
+  AliasSampler sampler{weights};
+  EXPECT_NEAR(sampler.pmf(0), 0.2, 1e-12);
+  EXPECT_NEAR(sampler.pmf(1), 0.3, 1e-12);
+  EXPECT_NEAR(sampler.pmf(2), 0.5, 1e-12);
+}
+
+TEST(Alias, ZeroWeightOutcomeNeverDrawn) {
+  const std::vector<double> weights{1.0, 0.0, 1.0};
+  AliasSampler sampler{weights};
+  Rng rng{12};
+  for (int i = 0; i < 50000; ++i) ASSERT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(Alias, EmpiricalAgreement) {
+  // Heavily skewed mixture, like the domain catalogs.
+  std::vector<double> weights(200);
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  AliasSampler sampler{weights};
+  Rng rng{13};
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kN = 400000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(counts[i] / double(kN), sampler.pmf(i),
+                5.0 * std::sqrt(sampler.pmf(i) / kN) + 5e-4);
+  }
+}
+
+TEST(Alias, LargeUniform) {
+  std::vector<double> weights(10000, 1.0);
+  AliasSampler sampler{weights};
+  Rng rng{14};
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < 1000000; ++i) ++counts[sampler.sample(rng)];
+  int max_count = 0, min_count = 1 << 30;
+  for (int c : counts) {
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  EXPECT_GT(min_count, 40);
+  EXPECT_LT(max_count, 220);
+}
+
+}  // namespace

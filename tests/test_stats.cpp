@@ -1,0 +1,169 @@
+// Descriptive statistics: means, percentiles, cosine similarity (the
+// Table 6 metric), proportion confidence intervals (the paper's §3.3
+// sampling argument), CDFs and the log-log slope of Fig. 2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace {
+
+using namespace syrwatch::util;
+
+TEST(Mean, EmptyAndBasic) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_NEAR(mean(xs), 2.0, 1e-12);
+}
+
+TEST(Variance, KnownValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 4.571428571, 1e-6);
+  const std::vector<double> single{3.0};
+  EXPECT_EQ(variance(single), 0.0);
+}
+
+TEST(Percentile, SortedInterpolation) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(percentile_sorted(xs, 0), 10.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(xs, 100), 40.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(xs, 50), 25.0, 1e-12);
+  EXPECT_NEAR(percentile_sorted(xs, 25), 17.5, 1e-12);
+  EXPECT_EQ(percentile_sorted({}, 50), 0.0);
+}
+
+TEST(Cosine, IdenticalVectorsGiveOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(Cosine, OrthogonalVectorsGiveZero) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(Cosine, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(Cosine, ZeroVectorGivesZero) {
+  const std::vector<double> a{0.0, 0.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Cosine, KnownValue) {
+  const std::vector<double> a{1.0, 1.0, 0.0};
+  const std::vector<double> b{1.0, 0.0, 0.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(ProportionCi, PaperSamplingClaim) {
+  // §3.3: with n = 32M, the 95% interval around any observed proportion is
+  // within +/- 0.0001.
+  const auto interval =
+      proportion_confidence(16'000'000, 32'000'000, 0.05);  // worst case p=0.5
+  EXPECT_LT(interval.half_width, 0.0002);
+  EXPECT_GT(interval.half_width, 0.00005);
+}
+
+TEST(ProportionCi, BoundsClamped) {
+  const auto low = proportion_confidence(0, 100, 0.05);
+  EXPECT_EQ(low.lo, 0.0);
+  const auto high = proportion_confidence(100, 100, 0.05);
+  EXPECT_EQ(high.hi, 1.0);
+}
+
+TEST(ProportionCi, RejectsBadInput) {
+  EXPECT_THROW(proportion_confidence(1, 0, 0.05), std::invalid_argument);
+  EXPECT_THROW(proportion_confidence(5, 3, 0.05), std::invalid_argument);
+  EXPECT_THROW(proportion_confidence(1, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(proportion_confidence(1, 10, 1.0), std::invalid_argument);
+}
+
+class CiWidthSweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(CiWidthSweep, WidthShrinksAsSqrtN) {
+  const auto [n, alpha] = GetParam();
+  const auto interval = proportion_confidence(n / 2, n, alpha);
+  const auto interval4 = proportion_confidence(2 * n, 4 * n, alpha);
+  EXPECT_NEAR(interval.half_width / interval4.half_width, 2.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CiWidthSweep,
+    ::testing::Values(std::make_pair(std::uint64_t{100}, 0.05),
+                      std::make_pair(std::uint64_t{10000}, 0.05),
+                      std::make_pair(std::uint64_t{100}, 0.01),
+                      std::make_pair(std::uint64_t{1000000}, 0.1)));
+
+TEST(WilsonCi, HandlesZeroAndAllSuccesses) {
+  const auto none = wilson_confidence(0, 100, 0.05);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);   // unlike the degenerate normal interval
+  EXPECT_LT(none.hi, 0.06);  // ~z^2/(n+z^2)
+  const auto all = wilson_confidence(100, 100, 0.05);
+  EXPECT_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(WilsonCi, AgreesWithNormalAwayFromEdges) {
+  const auto wilson = wilson_confidence(500, 1000, 0.05);
+  const auto normal = proportion_confidence(500, 1000, 0.05);
+  EXPECT_NEAR(wilson.lo, normal.lo, 0.002);
+  EXPECT_NEAR(wilson.hi, normal.hi, 0.002);
+}
+
+TEST(WilsonCi, RejectsBadInput) {
+  EXPECT_THROW(wilson_confidence(1, 0, 0.05), std::invalid_argument);
+  EXPECT_THROW(wilson_confidence(5, 3, 0.05), std::invalid_argument);
+  EXPECT_THROW(wilson_confidence(1, 10, 1.5), std::invalid_argument);
+}
+
+TEST(Cdf, CollapsesDuplicates) {
+  const auto points = empirical_cdf({1.0, 1.0, 2.0, 3.0});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].x, 1.0);
+  EXPECT_NEAR(points[0].y, 0.5, 1e-12);
+  EXPECT_NEAR(points[2].y, 1.0, 1e-12);
+}
+
+TEST(Cdf, MonotoneNonDecreasing) {
+  const auto points = empirical_cdf({5.0, 1.0, 3.0, 3.0, 9.0, 2.0});
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].x, points[i - 1].x);
+    EXPECT_GE(points[i].y, points[i - 1].y);
+  }
+  EXPECT_NEAR(points.back().y, 1.0, 1e-12);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  // y = 100 * x^-2 exactly.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(100.0 * std::pow(i, -2.0));
+  }
+  EXPECT_NEAR(loglog_slope(xs, ys), -2.0, 1e-9);
+}
+
+TEST(LogLogSlope, IgnoresNonPositivePairs) {
+  const std::vector<double> xs{1.0, 0.0, 10.0, -3.0, 100.0};
+  const std::vector<double> ys{1.0, 5.0, 0.1, 7.0, 0.01};
+  EXPECT_NEAR(loglog_slope(xs, ys), -1.0, 1e-9);
+}
+
+TEST(LogLogSlope, DegenerateInputs) {
+  EXPECT_EQ(loglog_slope({}, {}), 0.0);
+  const std::vector<double> one{2.0};
+  EXPECT_EQ(loglog_slope(one, one), 0.0);
+}
+
+}  // namespace

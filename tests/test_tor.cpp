@@ -1,0 +1,98 @@
+// Tor relay directory substrate: synthesis invariants, endpoint lookup,
+// directory-path grammar.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tor/relay_directory.h"
+#include "util/rng.h"
+
+namespace {
+
+using syrwatch::tor::directory_path;
+using syrwatch::tor::is_directory_path;
+using syrwatch::tor::RelayDirectory;
+
+TEST(RelayDirectory, SynthesizesRequestedCount) {
+  const auto dir = RelayDirectory::synthesize(1111, 42);
+  EXPECT_EQ(dir.size(), 1111u);
+}
+
+TEST(RelayDirectory, DeterministicInSeed) {
+  const auto a = RelayDirectory::synthesize(100, 7);
+  const auto b = RelayDirectory::synthesize(100, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.relays()[i].address, b.relays()[i].address);
+    EXPECT_EQ(a.relays()[i].or_port, b.relays()[i].or_port);
+    EXPECT_EQ(a.relays()[i].dir_port, b.relays()[i].dir_port);
+  }
+}
+
+TEST(RelayDirectory, UniqueAddresses) {
+  const auto dir = RelayDirectory::synthesize(2000, 9);
+  std::set<std::uint32_t> ips;
+  for (const auto& relay : dir.relays()) ips.insert(relay.address.value());
+  EXPECT_EQ(ips.size(), dir.size());
+}
+
+TEST(RelayDirectory, EndpointLookup) {
+  const auto dir = RelayDirectory::synthesize(50, 5);
+  for (const auto& relay : dir.relays()) {
+    EXPECT_TRUE(dir.contains(relay.address, relay.or_port));
+    if (relay.dir_port != 0)
+      EXPECT_TRUE(dir.contains(relay.address, relay.dir_port));
+    EXPECT_FALSE(dir.contains(relay.address, 1));  // port 1 never assigned
+    const auto found = dir.find(relay.address, relay.or_port);
+    ASSERT_TRUE(found);
+    EXPECT_EQ(found->address, relay.address);
+  }
+}
+
+TEST(RelayDirectory, PortMixRealistic) {
+  const auto dir = RelayDirectory::synthesize(2000, 3);
+  std::size_t port_9001 = 0, with_dir = 0;
+  for (const auto& relay : dir.relays()) {
+    if (relay.or_port == 9001) ++port_9001;
+    if (relay.dir_port != 0) ++with_dir;
+  }
+  // ~80% OR port 9001 (the paper's Fig. 1 shows 9001 as the third most
+  // blocked port), ~70% publish a directory port.
+  EXPECT_NEAR(port_9001 / double(dir.size()), 0.80, 0.05);
+  EXPECT_GT(with_dir / double(dir.size()), 0.65);
+}
+
+TEST(RelayDirectory, AuthoritiesServeDirectories) {
+  const auto dir = RelayDirectory::synthesize(100, 21);
+  std::size_t authorities = 0;
+  for (const auto& relay : dir.relays()) {
+    if (relay.is_authority) {
+      ++authorities;
+      EXPECT_NE(relay.dir_port, 0);
+    }
+  }
+  EXPECT_EQ(authorities, 10u);
+}
+
+TEST(RelayDirectory, SampleReturnsMember) {
+  const auto dir = RelayDirectory::synthesize(64, 11);
+  syrwatch::util::Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    const auto& relay = dir.sample(rng);
+    EXPECT_TRUE(dir.contains(relay.address, relay.or_port));
+  }
+}
+
+TEST(DirectoryPath, GrammarMatchesPaper) {
+  syrwatch::util::Rng rng{2};
+  for (int i = 0; i < 50; ++i) {
+    const auto path = directory_path(rng);
+    EXPECT_TRUE(is_directory_path(path)) << path;
+  }
+  EXPECT_TRUE(is_directory_path("/tor/server/authority.z"));
+  EXPECT_TRUE(is_directory_path("/tor/keys/all.z"));
+  EXPECT_FALSE(is_directory_path("/watch?v=x"));
+  EXPECT_FALSE(is_directory_path("tor/keys"));
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Histogram, simulation time, CSV codec, string pool and table renderer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/simtime.h"
+#include "util/string_pool.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace syrwatch::util;
+
+// --- BinnedCounter ---------------------------------------------------------
+
+TEST(BinnedCounter, RejectsBadArguments) {
+  EXPECT_THROW(BinnedCounter(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(BinnedCounter(0, 60, 0), std::invalid_argument);
+}
+
+TEST(BinnedCounter, BinsAndOverflow) {
+  BinnedCounter counter{100, 10, 3};  // [100,110) [110,120) [120,130)
+  counter.add(100);
+  counter.add(109);
+  counter.add(110);
+  counter.add(129);
+  counter.add(130);  // overflow high
+  counter.add(99);   // overflow low
+  EXPECT_EQ(counter.at(0), 2u);
+  EXPECT_EQ(counter.at(1), 1u);
+  EXPECT_EQ(counter.at(2), 1u);
+  EXPECT_EQ(counter.overflow(), 2u);
+  EXPECT_EQ(counter.total(), 4u);
+  EXPECT_EQ(counter.bin_start(1), 110);
+}
+
+TEST(FrequencyOfFrequencies, Fig2Transform) {
+  // 3 domains with 1 request, 1 domain with 5.
+  const auto fof = frequency_of_frequencies({1, 1, 5, 1, 0});
+  EXPECT_EQ(fof.at(1), 3u);
+  EXPECT_EQ(fof.at(5), 1u);
+  EXPECT_EQ(fof.count(0), 0u);  // zero counts dropped
+}
+
+// --- Simulation time -------------------------------------------------------
+
+TEST(SimTime, KnownEpochs) {
+  EXPECT_EQ(to_unix_seconds({1970, 1, 1, 0, 0, 0}), 0);
+  EXPECT_EQ(to_unix_seconds({2011, 8, 3, 0, 0, 0}), 1312329600);
+  EXPECT_EQ(to_unix_seconds({2011, 7, 22, 12, 30, 15}),
+            1311337815);
+}
+
+TEST(SimTime, RoundTrip) {
+  for (const std::int64_t t : {0L, 1312329600L, 1311337815L, 1312588799L}) {
+    const auto c = to_civil(t);
+    EXPECT_EQ(to_unix_seconds(c), t);
+  }
+}
+
+TEST(SimTime, DayOfWeek) {
+  // 2011-08-05 was a Friday (the protest Friday of §5.1).
+  EXPECT_EQ(day_of_week(to_unix_seconds({2011, 8, 5, 12, 0, 0})), 5);
+  // 2011-07-22 was also a Friday.
+  EXPECT_EQ(day_of_week(to_unix_seconds({2011, 7, 22, 0, 0, 0})), 5);
+  // 1970-01-01 was a Thursday.
+  EXPECT_EQ(day_of_week(0), 4);
+}
+
+TEST(SimTime, Formatting) {
+  const std::int64_t t = to_unix_seconds({2011, 8, 3, 8, 5, 9});
+  EXPECT_EQ(format_date(t), "2011-08-03");
+  EXPECT_EQ(format_datetime(t), "2011-08-03 08:05:09");
+  EXPECT_EQ(format_clock(t), "08:05");
+}
+
+TEST(SimTime, HourOfDay) {
+  const std::int64_t t = to_unix_seconds({2011, 8, 3, 6, 30, 0});
+  EXPECT_NEAR(hour_of_day(t), 6.5, 1e-9);
+}
+
+// --- CSV --------------------------------------------------------------------
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, JoinParseRoundTrip) {
+  const std::vector<std::string> fields{"a", "b,c", "d\"e", "", "f"};
+  const auto line = csv_join(fields);
+  EXPECT_EQ(csv_parse(line), fields);
+}
+
+TEST(Csv, ParsePlain) {
+  const auto fields = csv_parse("x,y,,z");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(Csv, UnbalancedQuoteThrows) {
+  EXPECT_THROW(csv_parse("\"oops"), std::invalid_argument);
+}
+
+// --- StringPool --------------------------------------------------------------
+
+TEST(StringPool, EmptyIsIdZero) {
+  StringPool pool;
+  EXPECT_EQ(pool.intern(""), StringPool::kEmpty);
+  EXPECT_EQ(pool.view(StringPool::kEmpty), "");
+}
+
+TEST(StringPool, InternIsIdempotent) {
+  StringPool pool;
+  const auto a = pool.intern("facebook.com");
+  const auto b = pool.intern("facebook.com");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(pool.view(a), "facebook.com");
+  EXPECT_EQ(pool.size(), 2u);  // empty + one
+}
+
+TEST(StringPool, ViewsStableAcrossGrowth) {
+  StringPool pool;
+  const auto id = pool.intern("stable");
+  const auto view = pool.view(id);
+  for (int i = 0; i < 10000; ++i) pool.intern("filler" + std::to_string(i));
+  EXPECT_EQ(view, "stable");
+  EXPECT_EQ(pool.view(id).data(), view.data());
+}
+
+TEST(StringPool, LookupWithoutIntern) {
+  StringPool pool;
+  EXPECT_EQ(pool.lookup("missing"), StringPool::kNotFound);
+  pool.intern("present");
+  EXPECT_NE(pool.lookup("present"), StringPool::kNotFound);
+}
+
+TEST(StringPool, ViewOutOfRangeThrows) {
+  StringPool pool;
+  EXPECT_THROW(pool.view(42), std::out_of_range);
+}
+
+// --- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table{{"Domain", "Requests"}};
+  table.add_row({"facebook.com", "1,620,000"});
+  table.add_row({"x.com", "7"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Domain       | Requests"), std::string::npos);
+  EXPECT_NE(out.find("facebook.com | 1,620,000"), std::string::npos);
+  EXPECT_NE(out.find("x.com        | 7"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table{{"A", "B", "C"}};
+  table.add_row({"only one"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.render().find("only one"), std::string::npos);
+}
+
+TEST(TitledBlock, IncludesUnderline) {
+  TextTable table{{"X"}};
+  const std::string out = titled_block("Title", table);
+  EXPECT_NE(out.find("Title\n====="), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,313 @@
+// Workload substrates: user population, diurnal model, domain catalog,
+// torrent registry, and individual traffic components.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geo/world.h"
+#include "util/strings.h"
+#include "util/simtime.h"
+#include "workload/catalog.h"
+#include "workload/components.h"
+#include "workload/diurnal.h"
+#include "workload/torrents.h"
+#include "workload/users.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::workload;
+
+// --- UserModel -----------------------------------------------------------------
+
+TEST(Users, PopulationAndIds) {
+  const UserModel users{1000, 1};
+  EXPECT_EQ(users.population(), 1000u);
+  util::Rng rng{2};
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = users.sample_user(rng);
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, 1000u);
+  }
+  EXPECT_THROW(UserModel(0, 1), std::invalid_argument);
+}
+
+TEST(Users, AgentsStablePerUser) {
+  const UserModel users{100, 3};
+  for (std::uint64_t id = 1; id <= 100; ++id)
+    EXPECT_EQ(users.agent_of(id), users.agent_of(id));
+  EXPECT_THROW(users.agent_of(0), std::out_of_range);
+  EXPECT_THROW(users.agent_of(101), std::out_of_range);
+}
+
+TEST(Users, ActivityIsHeavyTailed) {
+  const UserModel users{20000, 4};
+  util::Rng rng{5};
+  std::unordered_map<std::uint64_t, int> counts;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[users.sample_user(rng)];
+  // The most active user should take far more than the uniform share.
+  int max_count = 0;
+  for (const auto& [id, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 15 * kN / 20000);
+  // But a sizable fraction of the population never appears.
+  EXPECT_LT(counts.size(), 18000u);
+}
+
+TEST(Users, SoftwareAgentsDistinct) {
+  const std::set<std::string_view> agents{
+      UserModel::skype_agent(), UserModel::windows_update_agent(),
+      UserModel::bittorrent_agent(), UserModel::toolbar_agent()};
+  EXPECT_EQ(agents.size(), 4u);
+}
+
+// --- DiurnalModel ----------------------------------------------------------------
+
+TEST(Diurnal, ObservationDaysMatchLeak) {
+  const auto& days = observation_days();
+  ASSERT_EQ(days.size(), 9u);
+  EXPECT_EQ(util::format_date(days[0]), "2011-07-22");
+  EXPECT_EQ(util::format_date(days[2]), "2011-07-31");
+  EXPECT_EQ(util::format_date(days.back()), "2011-08-06");
+}
+
+TEST(Diurnal, LeakFilterPredicates) {
+  EXPECT_TRUE(sg42_only_day(at(7, 22, 10)));
+  EXPECT_TRUE(sg42_only_day(at(7, 31, 10)));
+  EXPECT_FALSE(sg42_only_day(at(8, 1, 10)));
+  EXPECT_TRUE(user_hash_day(at(7, 22, 5)));
+  EXPECT_TRUE(user_hash_day(at(7, 23, 5)));
+  EXPECT_FALSE(user_hash_day(at(7, 31, 5)));
+  EXPECT_FALSE(user_hash_day(at(8, 3, 5)));
+}
+
+TEST(Diurnal, MorningAboveNight) {
+  const DiurnalModel model;
+  EXPECT_GT(model.intensity(at(8, 2, 10)), model.intensity(at(8, 2, 3)) * 2);
+}
+
+TEST(Diurnal, FridayBelowWednesday) {
+  const DiurnalModel model;
+  EXPECT_LT(model.intensity(at(8, 5, 11)), model.intensity(at(8, 3, 11)));
+}
+
+TEST(Diurnal, Aug3DropsApplied) {
+  const DiurnalModel model;
+  EXPECT_LT(model.intensity(at(8, 3, 13, 10)),
+            model.intensity(at(8, 3, 12, 30)) * 0.3);
+  EXPECT_LT(model.intensity(at(8, 3, 17, 20)),
+            model.intensity(at(8, 3, 16, 30)) * 0.3);
+}
+
+TEST(Diurnal, CustomEventsStack) {
+  DiurnalModel model;
+  const double before = model.intensity(at(8, 2, 12));
+  model.add_event({at(8, 2, 11), at(8, 2, 13), 0.5});
+  EXPECT_NEAR(model.intensity(at(8, 2, 12)), before * 0.5, 1e-9);
+}
+
+// --- DomainCatalog ---------------------------------------------------------------
+
+TEST(Catalog, PinnedHeadPresent) {
+  const DomainCatalog catalog{1000, 0.3, 1};
+  std::set<std::string> hosts;
+  for (const auto& entry : catalog.entries()) hosts.insert(entry.host);
+  for (const char* host : {"google.com", "xvideos.com", "gstatic.com",
+                           "facebook.com", "fbcdn.net", "msn.com"}) {
+    EXPECT_TRUE(hosts.count(host)) << host;
+  }
+}
+
+TEST(Catalog, NoSuspectedDomainsInCatalog) {
+  const DomainCatalog catalog{5000, 0.3, 2};
+  std::set<std::string> hosts;
+  for (const auto& entry : catalog.entries()) hosts.insert(entry.host);
+  for (const char* banned : {"metacafe.com", "skype.com", "amazon.com",
+                             "badoo.com", "netlog.com", "wikimedia.org"}) {
+    EXPECT_FALSE(hosts.count(banned)) << banned;
+  }
+}
+
+TEST(Catalog, GoogleDominates) {
+  const DomainCatalog catalog{10000, 0.28, 3};
+  util::Rng rng{4};
+  std::unordered_map<std::string_view, int> counts;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[catalog.sample(rng).host];
+  int google = counts["google.com"];
+  for (const auto& [host, count] : counts) {
+    if (host != "google.com") EXPECT_GE(google, count) << host;
+  }
+  EXPECT_NEAR(google / double(kN), 0.144, 0.02);
+}
+
+TEST(Catalog, PathStylesProduceValidUrls) {
+  util::Rng rng{5};
+  for (const auto style : {PathStyle::kPage, PathStyle::kMedia,
+                           PathStyle::kSearch, PathStyle::kApi,
+                           PathStyle::kVideo}) {
+    for (int i = 0; i < 200; ++i) {
+      const auto spec = make_path(style, rng);
+      if (!spec.path.empty()) EXPECT_EQ(spec.path.front(), '/');
+      EXPECT_EQ(spec.path.find(' '), std::string::npos);
+    }
+  }
+}
+
+TEST(Catalog, RegistersCategories) {
+  const DomainCatalog catalog{100, 0.3, 6};
+  category::Categorizer categorizer;
+  catalog.register_categories(categorizer);
+  EXPECT_EQ(categorizer.classify("www.google.com"),
+            category::Category::kSearchEngines);
+  EXPECT_EQ(categorizer.classify("gstatic.com"),
+            category::Category::kContentServer);
+}
+
+// --- TorrentRegistry ---------------------------------------------------------------
+
+TEST(Torrents, PinnedCircumventionPayloads) {
+  const TorrentRegistry registry{500, 7};
+  EXPECT_EQ(registry.size(), 500u);
+  int circumvention = 0;
+  for (const auto& content : registry.contents()) {
+    if (content.circumvention) ++circumvention;
+    EXPECT_EQ(content.info_hash.size(), 40u);
+  }
+  EXPECT_EQ(circumvention, 8);
+}
+
+TEST(Torrents, UniqueHashes) {
+  const TorrentRegistry registry{2000, 8};
+  std::set<std::string> hashes;
+  for (const auto& content : registry.contents())
+    hashes.insert(content.info_hash);
+  EXPECT_EQ(hashes.size(), registry.size());
+}
+
+TEST(Torrents, ResolveRateNearCrawlRate) {
+  const TorrentRegistry registry{3000, 9};
+  int resolved = 0;
+  for (const auto& content : registry.contents()) {
+    const auto title = registry.resolve(content.info_hash);
+    if (title) {
+      EXPECT_EQ(*title, content.title);
+      ++resolved;
+    }
+  }
+  EXPECT_NEAR(resolved / double(registry.size()),
+              TorrentRegistry::kResolveRate, 0.03);
+  EXPECT_FALSE(registry.resolve("not-a-real-hash"));
+}
+
+// --- Components ----------------------------------------------------------------------
+
+class ComponentTest : public ::testing::Test {
+ protected:
+  UserModel users_{500, 10};
+  category::Categorizer categorizer_;
+  util::Rng rng_{11};
+  std::int64_t t_ = at(8, 2, 12);
+};
+
+TEST_F(ComponentTest, ToolbarAlwaysKeywordBearing) {
+  auto component = make_google_toolbar(0.001, &users_);
+  for (int i = 0; i < 100; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_EQ(request.url.host, "www.google.com");
+    EXPECT_NE(request.url.filter_text().find("proxy"), std::string::npos);
+  }
+}
+
+TEST_F(ComponentTest, FacebookPluginsCarryProxy) {
+  auto component = make_facebook_plugins(0.002, &users_);
+  for (int i = 0; i < 300; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_NE(request.url.filter_text().find("proxy"), std::string::npos)
+        << request.url.to_string();
+    EXPECT_EQ(request.url.host, "www.facebook.com");
+  }
+}
+
+TEST_F(ComponentTest, ImSurgesOnAugustThird) {
+  auto component = make_im(0.001, &users_, &categorizer_);
+  EXPECT_GT(component->modulation(at(8, 3, 8, 30)), 5.0);
+  EXPECT_EQ(component->modulation(at(8, 2, 8, 30)), 1.0);
+}
+
+TEST_F(ComponentTest, ImHostsRegistered) {
+  auto component = make_im(0.001, &users_, &categorizer_);
+  EXPECT_EQ(categorizer_.classify("skype.com"),
+            category::Category::kInstantMessaging);
+  EXPECT_EQ(categorizer_.classify("www.ceipmsn.com"),
+            category::Category::kInternetServices);
+}
+
+TEST_F(ComponentTest, TorRequestsTargetRelays) {
+  const auto relays = tor::RelayDirectory::synthesize(100, 12);
+  auto component = make_tor(0.0001, &users_, &relays);
+  int http = 0, onion = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    ASSERT_TRUE(request.dest_ip);
+    EXPECT_TRUE(relays.contains(*request.dest_ip, request.url.port))
+        << request.url.to_string();
+    if (request.method == "CONNECT") ++onion;
+    else {
+      ++http;
+      EXPECT_TRUE(tor::is_directory_path(request.url.path));
+    }
+    EXPECT_GT(request.dest_unreachable_prob, 0.1);
+  }
+  EXPECT_NEAR(http / 1000.0, 0.73, 0.05);
+  EXPECT_NEAR(onion / 1000.0, 0.27, 0.05);
+}
+
+TEST_F(ComponentTest, BitTorrentAnnounceShape) {
+  const TorrentRegistry registry{300, 13};
+  auto component = make_bittorrent(0.0005, &users_, &registry, &categorizer_);
+  for (int i = 0; i < 200; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_EQ(request.url.path, "/announce");
+    EXPECT_NE(request.url.query.find("info_hash="), std::string::npos);
+    EXPECT_NE(request.url.query.find("peer_id=-UT2210-"), std::string::npos);
+  }
+}
+
+TEST_F(ComponentTest, IsraelComponentMixesHostAndIp) {
+  const auto geoip = geo::build_world_geoip();
+  auto component =
+      make_israel(0.0003, &users_, &geoip, &categorizer_, 99);
+  int il_hosts = 0, ips = 0, keyword = 0, clean_search = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    if (request.dest_ip) {
+      ++ips;
+      EXPECT_TRUE(net::looks_like_ipv4(request.url.host));
+    } else if (util::ends_with(request.url.host, ".il")) {
+      ++il_hosts;
+    } else if (util::icontains(request.url.filter_text(), "israel")) {
+      ++keyword;
+    } else {
+      // The allowed search-portal queries that keep the portal itself off
+      // the blacklist.
+      ++clean_search;
+      EXPECT_EQ(request.url.host, "news.search-portal.net");
+    }
+  }
+  EXPECT_GT(il_hosts, 500);
+  EXPECT_GT(ips, 400);
+  EXPECT_GT(keyword, 200);
+  EXPECT_GT(clean_search, 20);
+}
+
+TEST_F(ComponentTest, InvalidShareRejected) {
+  EXPECT_THROW(make_google_toolbar(-0.1, &users_), std::invalid_argument);
+  EXPECT_THROW(make_google_toolbar(1.5, &users_), std::invalid_argument);
+  EXPECT_THROW(make_google_toolbar(0.5, nullptr), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Second tranche of workload-component tests: the collateral-damage
+// generators, redirect hosts, OSN mix, anonymizers, direct-IP, HTTPS
+// tunnels, facebook pages, and suspected-misc.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "geo/world.h"
+#include "net/domain.h"
+#include "util/simtime.h"
+#include "util/strings.h"
+#include "workload/components.h"
+#include "workload/diurnal.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::workload;
+
+class Components2Test : public ::testing::Test {
+ protected:
+  UserModel users_{800, 20};
+  category::Categorizer categorizer_;
+  geo::GeoIpDb geoip_ = geo::build_world_geoip();
+  util::Rng rng_{21};
+  std::int64_t t_ = at(8, 2, 11);
+};
+
+TEST_F(Components2Test, CollateralAppsAlwaysCarryProxy) {
+  auto component = make_collateral_apps(0.001, &users_, &categorizer_);
+  std::set<std::string> domains;
+  for (int i = 0; i < 500; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_TRUE(util::icontains(request.url.filter_text(), "proxy"))
+        << request.url.to_string();
+    domains.insert(net::registrable_domain(request.url.host));
+  }
+  // zynga + yahoo + fbcdn, per Table 4's censored side.
+  EXPECT_TRUE(domains.count("zynga.com"));
+  EXPECT_TRUE(domains.count("yahoo.com"));
+  EXPECT_TRUE(domains.count("fbcdn.net"));
+}
+
+TEST_F(Components2Test, AdsCdnSpreadsAcrossManyDomains) {
+  auto component = make_ads_cdn(0.001, &users_, &categorizer_);
+  std::map<std::string, int> per_domain;
+  for (int i = 0; i < 2000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_TRUE(util::icontains(request.url.filter_text(), "proxy"));
+    ++per_domain[net::registrable_domain(request.url.host)];
+  }
+  // Spread thin: >20 distinct domains, none dominating.
+  EXPECT_GT(per_domain.size(), 20u);
+  for (const auto& [domain, count] : per_domain)
+    EXPECT_LT(count, 500) << domain;
+  // Categorized for the Fig. 3 labelling.
+  EXPECT_EQ(categorizer_.classify("cloudfront.net"),
+            category::Category::kContentServer);
+}
+
+TEST_F(Components2Test, GoogleCacheMostlyBenign) {
+  auto component = make_google_cache(0.0001, &users_);
+  int keyword_bearing = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_EQ(request.url.host, "webcache.googleusercontent.com");
+    EXPECT_NE(request.url.query.find("cache:"), std::string::npos);
+    if (util::icontains(request.url.filter_text(), "proxy"))
+      ++keyword_bearing;
+  }
+  // The paper saw 12 censored of 4,860 (~0.25%).
+  EXPECT_GT(keyword_bearing, 0);
+  EXPECT_LT(keyword_bearing, 30);
+}
+
+TEST_F(Components2Test, RedirectHostsMixMatchesTable7) {
+  auto component = make_redirect_hosts(0.0001, &users_);
+  std::map<std::string, int> hosts;
+  for (int i = 0; i < 3000; ++i)
+    ++hosts[component->generate(t_, rng_).url.host];
+  EXPECT_GT(hosts["upload.youtube.com"], 2700);  // ~99% of this component
+  EXPECT_GT(hosts["competition.mbc.net"], 0);
+  EXPECT_GT(hosts["sharek.aljazeera.net"], 0);
+}
+
+TEST_F(Components2Test, FacebookPagesProduceCategorizedAndVariantForms) {
+  auto component = make_facebook_pages(0.0001, &users_);
+  int categorized = 0, variants = 0, sisters = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_TRUE(util::host_matches_domain(request.url.host, "facebook.com"));
+    if (request.url.path.find("Syrian.Revolution.") == 1 ||
+        request.url.path == "/ShaamNewsNetwork") {
+      ++sisters;
+    } else if (request.url.query == "ref=ts") {
+      ++categorized;
+    } else {
+      ++variants;
+    }
+  }
+  EXPECT_GT(categorized, 100);
+  EXPECT_GT(variants, 100);
+  EXPECT_GT(sisters, 100);
+}
+
+TEST_F(Components2Test, OsnTrafficDominatedByTwitter) {
+  auto component = make_osn_browsing(0.005, &users_, &categorizer_);
+  std::map<std::string, int> domains;
+  for (int i = 0; i < 4000; ++i) {
+    ++domains[net::registrable_domain(
+        component->generate(t_, rng_).url.host)];
+  }
+  EXPECT_GT(domains["twitter.com"], 2500);  // 2.83M of the ~3.7M mix
+  EXPECT_GT(domains["hi5.com"], 50);
+  EXPECT_GT(domains["flickr.com"], 100);
+}
+
+TEST_F(Components2Test, AnonymizersHaveHeadAndTail) {
+  auto component = make_anonymizers(0.002, &users_, &categorizer_, 5);
+  std::map<std::string, int> hosts;
+  int keyword_hosts = 0;
+  for (int i = 0; i < 6000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    ++hosts[request.url.host];
+    if (util::icontains(request.url.host, "proxy") ||
+        util::icontains(request.url.host, "hotspotshield") ||
+        util::icontains(request.url.host, "ultra"))
+      ++keyword_hosts;
+  }
+  EXPECT_GT(hosts.size(), 150u);     // the long tail exists
+  EXPECT_GT(keyword_hosts, 100);     // keyword-named services get traffic
+  EXPECT_TRUE(categorizer_.is_anonymizer("hidemyass.com"));
+  EXPECT_TRUE(categorizer_.is_anonymizer("vpn3.tunnelgate.net"));
+}
+
+TEST_F(Components2Test, DirectIpTrafficIsGeolocatable) {
+  auto component = make_direct_ip(0.01, &users_, &geoip_, 6);
+  std::map<std::string, int> countries;
+  for (int i = 0; i < 3000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    ASSERT_TRUE(request.dest_ip);
+    const auto country = geoip_.lookup(*request.dest_ip);
+    ASSERT_TRUE(country) << request.url.host;
+    ++countries[std::string(*country)];
+  }
+  // The Netherlands dominates Table 11's volume column.
+  EXPECT_GT(countries[geo::kNetherlands], 1200);
+  EXPECT_GT(countries[geo::kUnitedKingdom], 100);
+  EXPECT_EQ(countries.count(geo::kIsrael), 0u);  // Israel has its own comp.
+}
+
+TEST_F(Components2Test, HttpsConnectShape) {
+  auto component = make_https_connect(0.001, &users_, &geoip_, 7);
+  int hostname = 0, ip_dest = 0, with_inner = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    EXPECT_EQ(request.method, "CONNECT");
+    EXPECT_EQ(request.url.scheme, net::Scheme::kHttps);
+    EXPECT_EQ(request.url.port, 443);
+    EXPECT_TRUE(request.url.path.empty());  // tunnels expose no path
+    if (request.dest_ip) ++ip_dest;
+    else ++hostname;
+    if (!request.inner_path.empty()) ++with_inner;
+  }
+  EXPECT_GT(hostname, 3800);  // censored slice is ~0.8%
+  EXPECT_GT(ip_dest, 5);
+  EXPECT_GT(with_inner, 3500);  // inner requests exist, just invisible
+}
+
+TEST_F(Components2Test, StreamingMorningModulation) {
+  auto component = make_streaming(0.002, &users_, &categorizer_);
+  EXPECT_GT(component->modulation(at(8, 2, 6, 30)), 1.5);
+  EXPECT_EQ(component->modulation(at(8, 2, 14, 0)), 1.0);
+}
+
+TEST_F(Components2Test, SuspectedMiscCoversTheBlacklist) {
+  auto component = make_suspected_misc(0.001, &users_, &categorizer_);
+  std::set<std::string> domains;
+  int anchors = 0, total = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const auto request = component->generate(t_, rng_);
+    domains.insert(net::registrable_domain(request.url.host));
+    ++total;
+    if (request.url.path == "/" && request.url.query.empty()) ++anchors;
+  }
+  EXPECT_GT(domains.size(), 30u);
+  EXPECT_TRUE(domains.count("wikimedia.org"));
+  EXPECT_TRUE(domains.count("amazon.com"));
+  EXPECT_TRUE(domains.count("mtn.com.sy"));
+  // Anchor share feeds the §5.4 discovery loop.
+  EXPECT_NEAR(anchors / double(total), 0.35 + 0.65 * 0.3, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,308 @@
+// syrwatchctl — command-line front end for the syrwatch library.
+//
+//   syrwatchctl generate --out leak.csv [--requests N] [--seed S]
+//                        [--no-leak-filter]
+//       Simulate the deployment and write the log in Blue Coat csv form.
+//
+//   syrwatchctl stats <log.csv>
+//       Table 3-style traffic breakdown.
+//
+//   syrwatchctl top <log.csv> [--class censored|allowed|error] [--k N]
+//       Top domains per traffic class (Table 4/5 style).
+//
+//   syrwatchctl discover <log.csv> [--min-count N]
+//       Run the §5.4 iterative censored-string discovery.
+//
+//   syrwatchctl users <log.csv>
+//       User-based analysis (Fig. 4 style; needs hashed client ids).
+//
+//   syrwatchctl redirects <log.csv>
+//       policy_redirect hosts (Table 7 style).
+//
+// All analysis subcommands accept any csv produced by `generate` (or by
+// proxy::write_log), so pipelines can be scripted without recompiling.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/redirects.h"
+#include "analysis/string_discovery.h"
+#include "analysis/top_domains.h"
+#include "analysis/traffic_stats.h"
+#include "analysis/user_stats.h"
+#include "analysis/weather.h"
+#include "proxy/log_io.h"
+#include "util/simtime.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace syrwatch;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  syrwatchctl generate --out FILE [--requests N] [--seed S]"
+      " [--no-leak-filter]\n"
+      "  syrwatchctl stats FILE\n"
+      "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]\n"
+      "  syrwatchctl discover FILE [--min-count N]\n"
+      "  syrwatchctl users FILE\n"
+      "  syrwatchctl redirects FILE\n"
+      "  syrwatchctl weather FILE --keyword WORD [--bin-hours H]\n");
+  return 2;
+}
+
+/// Minimal flag scanner: returns the value after `name`, or nullptr.
+const char* flag_value(int argc, char** argv, const char* name) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+analysis::Dataset load(const char* path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  analysis::Dataset dataset;
+  for (const auto& record : proxy::read_log(in)) dataset.add(record);
+  dataset.finalize();
+  return dataset;
+}
+
+int cmd_generate(int argc, char** argv) {
+  const char* out_path = flag_value(argc, argv, "--out");
+  if (out_path == nullptr) return usage();
+
+  workload::ScenarioConfig config;
+  config.total_requests = 500'000;
+  if (const char* requests = flag_value(argc, argv, "--requests"))
+    config.total_requests = std::strtoull(requests, nullptr, 10);
+  if (const char* seed = flag_value(argc, argv, "--seed"))
+    config.seed = std::strtoull(seed, nullptr, 10);
+  if (has_flag(argc, argv, "--no-leak-filter"))
+    config.apply_leak_filter = false;
+
+  std::ofstream out{out_path};
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  out << proxy::log_csv_header() << '\n';
+  std::uint64_t written = 0;
+  workload::SyriaScenario scenario{config};
+  scenario.run([&](const proxy::LogRecord& record) {
+    out << proxy::to_csv(record) << '\n';
+    ++written;
+  });
+  std::printf("wrote %s records to %s (seed %llu)\n",
+              util::with_commas(written).c_str(), out_path,
+              static_cast<unsigned long long>(config.seed));
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load(argv[2]);
+  const auto stats = analysis::traffic_stats(dataset);
+  util::TextTable table{{"Class", "# Requests", "%"}};
+  table.add_row({"allowed", util::with_commas(stats.observed),
+                 util::percent(stats.share(stats.observed))});
+  table.add_row({"proxied", util::with_commas(stats.proxied),
+                 util::percent(stats.share(stats.proxied))});
+  table.add_row({"denied", util::with_commas(stats.denied),
+                 util::percent(stats.share(stats.denied))});
+  table.add_row({"  censored", util::with_commas(stats.censored()),
+                 util::percent(stats.share(stats.censored()))});
+  table.add_row({"  errors", util::with_commas(stats.errors()),
+                 util::percent(stats.share(stats.errors()))});
+  for (std::size_t i = 1; i < proxy::kExceptionCount; ++i) {
+    const auto id = static_cast<proxy::ExceptionId>(i);
+    if (stats.at(id) == 0) continue;
+    table.add_row({"    " + std::string(proxy::to_string(id)),
+                   util::with_commas(stats.at(id)),
+                   util::percent(stats.share(stats.at(id)))});
+  }
+  std::fputs(util::titled_block(std::string("Traffic breakdown — ") +
+                                    argv[2] + " (" +
+                                    util::with_commas(stats.total) +
+                                    " records)",
+                                table)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_top(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load(argv[2]);
+  proxy::TrafficClass cls = proxy::TrafficClass::kCensored;
+  if (const char* klass = flag_value(argc, argv, "--class")) {
+    if (std::strcmp(klass, "allowed") == 0)
+      cls = proxy::TrafficClass::kAllowed;
+    else if (std::strcmp(klass, "error") == 0)
+      cls = proxy::TrafficClass::kError;
+    else if (std::strcmp(klass, "censored") != 0)
+      return usage();
+  }
+  std::size_t k = 10;
+  if (const char* k_text = flag_value(argc, argv, "--k"))
+    k = std::strtoull(k_text, nullptr, 10);
+
+  const auto top = analysis::top_domains(dataset, cls, k);
+  util::TextTable table{{"#", "Domain", "# Requests", "%"}};
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    table.add_row({std::to_string(i + 1), top[i].domain,
+                   util::with_commas(top[i].count),
+                   util::percent(top[i].share)});
+  }
+  std::fputs(util::titled_block(std::string("Top ") +
+                                    std::string(proxy::to_string(cls)) +
+                                    " domains",
+                                table)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_discover(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load(argv[2]);
+  analysis::DiscoveryOptions options;
+  if (const char* min_count = flag_value(argc, argv, "--min-count"))
+    options.min_count = std::strtoull(min_count, nullptr, 10);
+
+  const auto result = analysis::discover_censored_strings(dataset, options);
+  util::TextTable keywords{{"Keyword", "Censored", "Proxied"}};
+  for (const auto& kw : result.keywords) {
+    keywords.add_row({kw.text, util::with_commas(kw.censored),
+                      util::with_commas(kw.proxied)});
+  }
+  std::fputs(util::titled_block("Censored keywords", keywords).c_str(),
+             stdout);
+  util::TextTable domains{{"Domain", "Censored", "Proxied"}};
+  for (const auto& domain : result.domains) {
+    domains.add_row({domain.text, util::with_commas(domain.censored),
+                     util::with_commas(domain.proxied)});
+  }
+  std::fputs(util::titled_block("Suspected domains", domains).c_str(),
+             stdout);
+  std::printf("explained %s of %s censored requests\n",
+              util::with_commas(result.censored_requests_explained).c_str(),
+              util::with_commas(result.censored_requests_total).c_str());
+  return 0;
+}
+
+int cmd_users(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load(argv[2]);
+  const auto stats = analysis::user_stats(dataset);
+  if (stats.total_users == 0) {
+    std::printf("no attributable users (client hashes suppressed in this "
+                "log slice; Duser covers July 22-23 only)\n");
+    return 0;
+  }
+  util::TextTable table{{"Metric", "Value"}};
+  table.add_row({"users", util::with_commas(stats.total_users)});
+  table.add_row({"censored users", util::with_commas(stats.censored_users)});
+  table.add_row({"censored-user share",
+                 util::percent(double(stats.censored_users) /
+                               double(stats.total_users))});
+  table.add_row({"censored users with >100 requests",
+                 util::percent(stats.active_share_censored(100.0))});
+  table.add_row({"clean users with >100 requests",
+                 util::percent(stats.active_share_clean(100.0))});
+  std::fputs(util::titled_block("User analysis", table).c_str(), stdout);
+  return 0;
+}
+
+int cmd_redirects(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load(argv[2]);
+  const auto hosts = analysis::redirect_hosts(dataset);
+  util::TextTable table{{"Host", "# Redirects", "%"}};
+  for (const auto& host : hosts) {
+    table.add_row({host.host, util::with_commas(host.requests),
+                   util::percent(host.share)});
+  }
+  std::fputs(util::titled_block("policy_redirect hosts", table).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_weather(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const char* keyword = flag_value(argc, argv, "--keyword");
+  if (keyword == nullptr) return usage();
+  std::int64_t bin = 3600;
+  if (const char* hours = flag_value(argc, argv, "--bin-hours"))
+    bin = 3600 * std::strtoll(hours, nullptr, 10);
+
+  const auto dataset = load(argv[2]);
+  if (dataset.size() == 0) {
+    std::printf("empty log\n");
+    return 0;
+  }
+  const std::int64_t start = dataset.rows().front().time;
+  const std::int64_t end = dataset.rows().back().time + 1;
+  const std::vector<std::string> keywords{keyword};
+  const auto reports =
+      analysis::keyword_weather(dataset, keywords, start, end, bin);
+  const auto& report = reports.front();
+
+  util::TextTable table{{"Window start", "Matched", "Censored", "Intensity"}};
+  for (std::size_t b = 0; b < report.matched.size(); ++b) {
+    if (report.matched[b] == 0) continue;
+    table.add_row({util::format_datetime(
+                       report.origin + static_cast<std::int64_t>(b) * bin),
+                   util::with_commas(report.matched[b]),
+                   util::with_commas(report.censored[b]),
+                   util::percent(report.intensity(b))});
+  }
+  std::fputs(util::titled_block(std::string("Censorship weather — \"") +
+                                    keyword + "\" (" +
+                                    std::to_string(report.active_bins()) +
+                                    " active windows, " +
+                                    std::to_string(
+                                        report.fully_enforced_bins()) +
+                                    " fully enforced)",
+                                table)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
+    if (std::strcmp(argv[1], "top") == 0) return cmd_top(argc, argv);
+    if (std::strcmp(argv[1], "discover") == 0)
+      return cmd_discover(argc, argv);
+    if (std::strcmp(argv[1], "users") == 0) return cmd_users(argc, argv);
+    if (std::strcmp(argv[1], "redirects") == 0)
+      return cmd_redirects(argc, argv);
+    if (std::strcmp(argv[1], "weather") == 0) return cmd_weather(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "syrwatchctl: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
