@@ -1,0 +1,91 @@
+// Parallel study pipeline: wall-clock scaling of the sharded
+// generate→route→process→merge pipeline and the analysis fan-out across
+// thread counts, plus a determinism cross-check (the thread-count
+// invariance contract of DESIGN.md §4.5). Not a paper experiment — this
+// bench tracks the scaling refactor every future growth PR builds on.
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+workload::ScenarioConfig scaling_config(std::size_t threads) {
+  auto config = default_config();
+  config.total_requests = 600'000;
+  config.threads = threads;
+  return config;
+}
+
+std::uint64_t log_fingerprint(const workload::ScenarioConfig& config) {
+  workload::SyriaScenario scenario{config};
+  std::uint64_t hash = 0;
+  std::uint64_t count = 0;
+  scenario.run([&](const proxy::LogRecord& record) {
+    ++count;
+    hash = util::mix64(hash ^ static_cast<std::uint64_t>(record.time) ^
+                       record.user_hash ^ record.url.host.size() ^
+                       static_cast<std::uint64_t>(record.exception));
+  });
+  return util::mix64(hash ^ count);
+}
+
+void print_reproduction() {
+  print_banner("Parallel pipeline — determinism across thread counts",
+               "identical seed => identical tables (DESIGN.md §4.5), now "
+               "additionally invariant to ScenarioConfig::threads");
+  const std::size_t hw = util::resolve_threads(0);
+  TextTable table{{"Threads", "Log fingerprint", "Matches threads=1"}};
+  const std::uint64_t reference = log_fingerprint(scaling_config(1));
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(reference));
+  table.add_row({"1", buffer, "-"});
+  for (const std::size_t threads : {std::size_t{4}, hw}) {
+    const std::uint64_t fingerprint = log_fingerprint(scaling_config(threads));
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    table.add_row({std::to_string(threads), buffer,
+                   fingerprint == reference ? "yes" : "NO"});
+  }
+  print_block("Determinism cross-check (600k requests)", table);
+  std::printf("hardware threads on this machine: %zu\n\n", hw);
+}
+
+// End-to-end study (generate + derive datasets) at a given thread count.
+void BM_StudyPipeline(benchmark::State& state) {
+  const auto config = scaling_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::Study study{config};
+    study.run();
+    benchmark::DoNotOptimize(study.datasets().full.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_requests));
+}
+BENCHMARK(BM_StudyPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The analysis fan-out alone (full paper-style report over a prebuilt
+// study); the study is built once and shared, so this isolates the
+// analyzer thread-pool scaling.
+void BM_FullReport(benchmark::State& state) {
+  auto config = scaling_config(static_cast<std::size_t>(state.range(0)));
+  core::Study& study = study_for(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::render_full_report(study).size());
+  }
+}
+BENCHMARK(BM_FullReport)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

@@ -1,8 +1,10 @@
 #include "analysis/dataset.h"
 
 #include <algorithm>
+#include <array>
 
 #include "net/domain.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/simtime.h"
 
@@ -50,6 +52,10 @@ std::string_view Dataset::domain(const Row& row) const {
   return pool_->view(cached);
 }
 
+void Dataset::warm_domain_cache() const {
+  for (const Row& row : rows_) (void)domain(row);
+}
+
 std::string Dataset::filter_text(const Row& row) const {
   std::string text{host(row)};
   text += path(row);
@@ -71,20 +77,36 @@ Dataset Dataset::filter(
 }
 
 DatasetBundle DatasetBundle::derive(Dataset full, std::uint64_t sample_seed,
-                                    double sample_rate) {
+                                    double sample_rate, std::size_t threads) {
   DatasetBundle bundle{std::move(full), Dataset{nullptr}, Dataset{nullptr},
                        Dataset{nullptr}};
-  util::Rng rng{util::mix64(sample_seed ^ 0x5A3D1E)};
-  bundle.sample = bundle.full.filter(
-      [&](const Row&) { return rng.bernoulli(sample_rate); });
-  bundle.user = bundle.full.filter([](const Row& row) {
-    if (row.proxy_index != 0 || row.user_hash == 0) return false;
-    const auto c = util::to_civil(row.time);
-    return c.month == 7 && (c.day == 22 || c.day == 23);
-  });
-  bundle.denied = bundle.full.filter([](const Row& row) {
-    return row.exception != proxy::ExceptionId::kNone;
-  });
+  // Warm the full dataset first and alone: this interns every registrable
+  // domain into the shared pool, so the derived datasets' warms below are
+  // pure lookups and safe to run concurrently.
+  bundle.full.warm_domain_cache();
+  const auto derivations = std::array<std::function<void()>, 3>{
+      [&] {
+        util::Rng rng{util::mix64(sample_seed ^ 0x5A3D1E)};
+        bundle.sample = bundle.full.filter(
+            [&](const Row&) { return rng.bernoulli(sample_rate); });
+        bundle.sample.warm_domain_cache();
+      },
+      [&] {
+        bundle.user = bundle.full.filter([](const Row& row) {
+          if (row.proxy_index != 0 || row.user_hash == 0) return false;
+          const auto c = util::to_civil(row.time);
+          return c.month == 7 && (c.day == 22 || c.day == 23);
+        });
+        bundle.user.warm_domain_cache();
+      },
+      [&] {
+        bundle.denied = bundle.full.filter([](const Row& row) {
+          return row.exception != proxy::ExceptionId::kNone;
+        });
+        bundle.denied.warm_domain_cache();
+      }};
+  util::parallel_for(derivations.size(), threads,
+                     [&](std::size_t i) { derivations[i](); });
   return bundle;
 }
 

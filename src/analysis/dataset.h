@@ -62,8 +62,16 @@ class Dataset {
   std::string_view path(const Row& row) const { return view(row.path); }
   std::string_view query(const Row& row) const { return view(row.query); }
 
-  /// Registrable domain of the row's host (cached per host id).
+  /// Registrable domain of the row's host (cached per host id). The cache
+  /// fills lazily, so the *first* call for a host mutates shared state:
+  /// call warm_domain_cache() before handing the dataset to concurrent
+  /// readers (DatasetBundle::derive does this for all four datasets).
   std::string_view domain(const Row& row) const;
+
+  /// Pre-resolves the registrable domain of every row so that subsequent
+  /// domain() calls are pure reads, making the dataset safe to share
+  /// across analyzer threads.
+  void warm_domain_cache() const;
 
   /// §3.3 class of the row.
   proxy::TrafficClass cls(const Row& row) const noexcept {
@@ -92,9 +100,13 @@ struct DatasetBundle {
   Dataset user;    // Duser: SG-42, July 22-23, hashed client ids
   Dataset denied;  // Ddenied: x-exception-id != '-'
 
-  /// Derives sample/user/denied from a finalized `full`.
+  /// Derives sample/user/denied from a finalized `full` and warms every
+  /// dataset's domain cache so the bundle is safe for concurrent
+  /// analyzers. `threads` parallelizes the three derivations (the result
+  /// is identical for any value).
   static DatasetBundle derive(Dataset full, std::uint64_t sample_seed,
-                              double sample_rate = 0.04);
+                              double sample_rate = 0.04,
+                              std::size_t threads = 1);
 };
 
 }  // namespace syrwatch::analysis

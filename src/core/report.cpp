@@ -1,5 +1,8 @@
 #include "core/report.h"
 
+#include <array>
+#include <functional>
+
 #include "analysis/anonymizer.h"
 #include "analysis/bittorrent.h"
 #include "analysis/category_dist.h"
@@ -17,6 +20,7 @@
 #include "analysis/traffic_stats.h"
 #include "analysis/user_stats.h"
 #include "geo/world.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -74,157 +78,192 @@ std::string top_domain_tables(const analysis::DatasetBundle& bundle) {
   return out;
 }
 
+std::string ports_block(const analysis::DatasetBundle& bundle) {
+  const auto ports = analysis::port_distribution(bundle.full, 8);
+  TextTable table{{"Port", "Allowed", "Censored"}};
+  for (const auto& entry : ports)
+    table.add_row({std::to_string(entry.port), with_commas(entry.allowed),
+                   with_commas(entry.censored)});
+  return titled_block("Destination ports (Fig. 1)", table);
+}
+
+std::string discovery_block(const analysis::DiscoveryResult& discovery) {
+  TextTable table{{"Keyword", "Censored", "Proxied"}};
+  for (const auto& kw : discovery.keywords)
+    table.add_row({kw.text, with_commas(kw.censored),
+                   with_commas(kw.proxied)});
+  std::string out = titled_block("Censored keywords (Table 10)", table);
+
+  TextTable domains{{"Domain", "Censored", "Proxied"}};
+  for (std::size_t i = 0; i < discovery.domains.size() && i < 10; ++i)
+    domains.add_row({discovery.domains[i].text,
+                     with_commas(discovery.domains[i].censored),
+                     with_commas(discovery.domains[i].proxied)});
+  out += titled_block("Top suspected domains (Table 8, of " +
+                          std::to_string(discovery.domains.size()) +
+                          " discovered)",
+                      domains);
+  return out;
+}
+
+std::string countries_block(const Study& study,
+                            const analysis::DatasetBundle& bundle) {
+  const auto countries =
+      analysis::country_censorship(bundle.full, study.scenario().geoip());
+  TextTable table{{"Country", "Ratio (%)", "# Censored", "# Allowed"}};
+  for (const auto& entry : countries)
+    table.add_row({entry.country, percent(entry.ratio()),
+                   with_commas(entry.censored), with_commas(entry.allowed)});
+  return titled_block("Censorship ratio by country (Table 11)", table);
+}
+
+std::string osn_block(const analysis::DatasetBundle& bundle) {
+  const auto osns = analysis::osn_censorship(bundle.full);
+  TextTable table{{"OSN", "Censored", "Allowed", "Proxied"}};
+  for (std::size_t i = 0; i < osns.size() && i < 10; ++i)
+    table.add_row({osns[i].domain, with_commas(osns[i].censored),
+                   with_commas(osns[i].allowed),
+                   with_commas(osns[i].proxied)});
+  std::string out = titled_block("Social networks (Table 13)", table);
+
+  const auto pages = analysis::blocked_facebook_pages(bundle.full);
+  TextTable pages_table{{"Facebook page", "Censored", "Allowed", "Proxied"}};
+  for (const auto& page : pages)
+    pages_table.add_row({page.page, with_commas(page.censored),
+                         with_commas(page.allowed),
+                         with_commas(page.proxied)});
+  out += titled_block("Blocked Facebook pages (Table 14)", pages_table);
+  return out;
+}
+
+std::string tor_block(const Study& study,
+                      const analysis::DatasetBundle& bundle) {
+  const auto tor = analysis::tor_stats(bundle.full, study.scenario().relays());
+  TextTable table{{"Metric", "Value"}};
+  table.add_row({"Tor requests", with_commas(tor.requests)});
+  table.add_row({"Unique relays", with_commas(tor.unique_relays)});
+  table.add_row({"Torhttp share",
+                 percent(tor.requests == 0
+                             ? 0.0
+                             : static_cast<double>(tor.http_requests) /
+                                   static_cast<double>(tor.requests))});
+  table.add_row({"Censored",
+                 percent(tor.requests == 0
+                             ? 0.0
+                             : static_cast<double>(tor.censored) /
+                                   static_cast<double>(tor.requests))});
+  table.add_row({"TCP errors",
+                 percent(tor.requests == 0
+                             ? 0.0
+                             : static_cast<double>(tor.tcp_errors) /
+                                   static_cast<double>(tor.requests))});
+  return titled_block("Tor traffic (Sec. 7.1)", table);
+}
+
+std::string bittorrent_block(const Study& study,
+                             const analysis::DatasetBundle& bundle) {
+  const auto bt =
+      analysis::bittorrent_stats(bundle.full, study.scenario().torrents());
+  TextTable table{{"Metric", "Value"}};
+  table.add_row({"Announces", with_commas(bt.announces)});
+  table.add_row({"Unique peers", with_commas(bt.unique_peers)});
+  table.add_row({"Unique contents", with_commas(bt.unique_contents)});
+  table.add_row({"Allowed share",
+                 percent(bt.announces == 0
+                             ? 0.0
+                             : static_cast<double>(bt.allowed) /
+                                   static_cast<double>(bt.announces))});
+  return titled_block("BitTorrent (Sec. 7.3)", table);
+}
+
+std::string google_cache_block(const analysis::DatasetBundle& bundle,
+                               const analysis::DiscoveryResult& discovery) {
+  const auto cache =
+      analysis::google_cache_stats(bundle.full, discovery.domain_names());
+  TextTable table{{"Metric", "Value"}};
+  table.add_row({"Cache requests", with_commas(cache.requests)});
+  table.add_row({"Censored", with_commas(cache.censored)});
+  table.add_row({"Censored sites served via cache",
+                 std::to_string(cache.censored_sites_served.size())});
+  return titled_block("Google cache (Sec. 7.4)", table);
+}
+
+std::string https_block(const analysis::DatasetBundle& bundle) {
+  const auto https = analysis::https_stats(bundle.full);
+  TextTable table{{"Metric", "Value"}};
+  table.add_row({"HTTPS share of traffic",
+                 percent(https.share_of_traffic())});
+  table.add_row({"Censored HTTPS", percent(https.censored_share())});
+  table.add_row({"Censored HTTPS with IP destination",
+                 percent(https.censored_ip_share())});
+  table.add_row({"TLS interception evidence",
+                 https.interception_evidence() ? "YES" : "none"});
+  return titled_block("HTTPS traffic (Sec. 4)", table);
+}
+
+std::string sampling_block(const analysis::DatasetBundle& bundle) {
+  const auto checks = analysis::sampling_audit(bundle.full, bundle.sample);
+  TextTable table{{"Metric", "Dfull", "Dsample", "95% CI covers Dfull"}};
+  for (const auto& check : checks) {
+    table.add_row({check.metric, percent(check.full_proportion),
+                   percent(check.sample_proportion),
+                   check.covered ? "yes" : "NO"});
+  }
+  return titled_block("Dsample accuracy audit (Sec. 3.3)", table);
+}
+
 }  // namespace
 
 std::string render_overview(const Study& study) {
   const auto& bundle = study.datasets();
+  const std::size_t threads =
+      util::resolve_threads(study.scenario().config().threads);
+  std::array<std::string, 3> blocks;
+  const std::array<std::function<std::string()>, 3> tasks{
+      [&] { return dataset_sizes(bundle); },
+      [&] { return traffic_breakdown(bundle); },
+      [&] { return top_domain_tables(bundle); }};
+  util::parallel_for(tasks.size(), threads,
+                     [&](std::size_t i) { blocks[i] = tasks[i](); });
   std::string out;
-  out += dataset_sizes(bundle);
-  out += traffic_breakdown(bundle);
-  out += top_domain_tables(bundle);
+  for (const std::string& block : blocks) out += block;
   return out;
 }
 
 std::string render_full_report(const Study& study) {
   const auto& bundle = study.datasets();
-  std::string out = render_overview(study);
+  const std::size_t threads =
+      util::resolve_threads(study.scenario().config().threads);
 
-  // Ports (Fig. 1).
-  {
-    const auto ports = analysis::port_distribution(bundle.full, 8);
-    TextTable table{{"Port", "Allowed", "Censored"}};
-    for (const auto& entry : ports)
-      table.add_row({std::to_string(entry.port), with_commas(entry.allowed),
-                     with_commas(entry.censored)});
-    out += titled_block("Destination ports (Fig. 1)", table);
-  }
+  // Every analyzer below only reads the (pre-warmed) bundle, so they fan
+  // out on the pool; the one data dependency — Google cache consumes the
+  // discovered-domain list — runs after the fan-out. Output order stays
+  // the paper's order regardless of completion order.
+  analysis::DiscoveryResult discovery;
+  std::array<std::string, 11> blocks;
+  const std::array<std::function<std::string()>, 11> tasks{
+      [&] { return dataset_sizes(bundle); },
+      [&] { return traffic_breakdown(bundle); },
+      [&] { return top_domain_tables(bundle); },
+      [&] { return ports_block(bundle); },
+      [&] {
+        discovery = analysis::discover_censored_strings(bundle.full);
+        return discovery_block(discovery);
+      },
+      [&] { return countries_block(study, bundle); },
+      [&] { return osn_block(bundle); },
+      [&] { return tor_block(study, bundle); },
+      [&] { return bittorrent_block(study, bundle); },
+      [&] { return https_block(bundle); },
+      [&] { return sampling_block(bundle); }};
+  util::parallel_for(tasks.size(), threads,
+                     [&](std::size_t i) { blocks[i] = tasks[i](); });
 
-  // String discovery (Tables 8/10).
-  const auto discovery = analysis::discover_censored_strings(bundle.full);
-  {
-    TextTable table{{"Keyword", "Censored", "Proxied"}};
-    for (const auto& kw : discovery.keywords)
-      table.add_row({kw.text, with_commas(kw.censored),
-                     with_commas(kw.proxied)});
-    out += titled_block("Censored keywords (Table 10)", table);
-
-    TextTable domains{{"Domain", "Censored", "Proxied"}};
-    for (std::size_t i = 0; i < discovery.domains.size() && i < 10; ++i)
-      domains.add_row({discovery.domains[i].text,
-                       with_commas(discovery.domains[i].censored),
-                       with_commas(discovery.domains[i].proxied)});
-    out += titled_block("Top suspected domains (Table 8, of " +
-                            std::to_string(discovery.domains.size()) +
-                            " discovered)",
-                        domains);
-  }
-
-  // Country censorship (Table 11).
-  {
-    const auto countries =
-        analysis::country_censorship(bundle.full, study.scenario().geoip());
-    TextTable table{{"Country", "Ratio (%)", "# Censored", "# Allowed"}};
-    for (const auto& entry : countries)
-      table.add_row({entry.country, percent(entry.ratio()),
-                     with_commas(entry.censored), with_commas(entry.allowed)});
-    out += titled_block("Censorship ratio by country (Table 11)", table);
-  }
-
-  // OSNs (Table 13) and Facebook pages (Table 14).
-  {
-    const auto osns = analysis::osn_censorship(bundle.full);
-    TextTable table{{"OSN", "Censored", "Allowed", "Proxied"}};
-    for (std::size_t i = 0; i < osns.size() && i < 10; ++i)
-      table.add_row({osns[i].domain, with_commas(osns[i].censored),
-                     with_commas(osns[i].allowed),
-                     with_commas(osns[i].proxied)});
-    out += titled_block("Social networks (Table 13)", table);
-
-    const auto pages = analysis::blocked_facebook_pages(bundle.full);
-    TextTable pages_table{{"Facebook page", "Censored", "Allowed", "Proxied"}};
-    for (const auto& page : pages)
-      pages_table.add_row({page.page, with_commas(page.censored),
-                           with_commas(page.allowed),
-                           with_commas(page.proxied)});
-    out += titled_block("Blocked Facebook pages (Table 14)", pages_table);
-  }
-
-  // Tor (§7.1).
-  {
-    const auto tor = analysis::tor_stats(bundle.full, study.scenario().relays());
-    TextTable table{{"Metric", "Value"}};
-    table.add_row({"Tor requests", with_commas(tor.requests)});
-    table.add_row({"Unique relays", with_commas(tor.unique_relays)});
-    table.add_row({"Torhttp share",
-                   percent(tor.requests == 0
-                               ? 0.0
-                               : static_cast<double>(tor.http_requests) /
-                                     static_cast<double>(tor.requests))});
-    table.add_row({"Censored",
-                   percent(tor.requests == 0
-                               ? 0.0
-                               : static_cast<double>(tor.censored) /
-                                     static_cast<double>(tor.requests))});
-    table.add_row({"TCP errors",
-                   percent(tor.requests == 0
-                               ? 0.0
-                               : static_cast<double>(tor.tcp_errors) /
-                                     static_cast<double>(tor.requests))});
-    out += titled_block("Tor traffic (Sec. 7.1)", table);
-  }
-
-  // BitTorrent (§7.3) and Google cache (§7.4).
-  {
-    const auto bt =
-        analysis::bittorrent_stats(bundle.full, study.scenario().torrents());
-    TextTable table{{"Metric", "Value"}};
-    table.add_row({"Announces", with_commas(bt.announces)});
-    table.add_row({"Unique peers", with_commas(bt.unique_peers)});
-    table.add_row({"Unique contents", with_commas(bt.unique_contents)});
-    table.add_row({"Allowed share",
-                   percent(bt.announces == 0
-                               ? 0.0
-                               : static_cast<double>(bt.allowed) /
-                                     static_cast<double>(bt.announces))});
-    out += titled_block("BitTorrent (Sec. 7.3)", table);
-
-    const auto cache = analysis::google_cache_stats(
-        bundle.full, discovery.domain_names());
-    TextTable cache_table{{"Metric", "Value"}};
-    cache_table.add_row({"Cache requests", with_commas(cache.requests)});
-    cache_table.add_row({"Censored", with_commas(cache.censored)});
-    cache_table.add_row(
-        {"Censored sites served via cache",
-         std::to_string(cache.censored_sites_served.size())});
-    out += titled_block("Google cache (Sec. 7.4)", cache_table);
-  }
-
-  // HTTPS (§4).
-  {
-    const auto https = analysis::https_stats(bundle.full);
-    TextTable table{{"Metric", "Value"}};
-    table.add_row({"HTTPS share of traffic",
-                   percent(https.share_of_traffic())});
-    table.add_row({"Censored HTTPS", percent(https.censored_share())});
-    table.add_row({"Censored HTTPS with IP destination",
-                   percent(https.censored_ip_share())});
-    table.add_row({"TLS interception evidence",
-                   https.interception_evidence() ? "YES" : "none"});
-    out += titled_block("HTTPS traffic (Sec. 4)", table);
-  }
-
-  // Sampling accuracy (§3.3).
-  {
-    const auto checks = analysis::sampling_audit(bundle.full, bundle.sample);
-    TextTable table{{"Metric", "Dfull", "Dsample", "95% CI covers Dfull"}};
-    for (const auto& check : checks) {
-      table.add_row({check.metric, percent(check.full_proportion),
-                     percent(check.sample_proportion),
-                     check.covered ? "yes" : "NO"});
-    }
-    out += titled_block("Dsample accuracy audit (Sec. 3.3)", table);
-  }
-
+  std::string out;
+  for (std::size_t i = 0; i < 9; ++i) out += blocks[i];
+  out += google_cache_block(bundle, discovery);
+  out += blocks[9];   // HTTPS (§4)
+  out += blocks[10];  // sampling audit (§3.3)
   return out;
 }
 

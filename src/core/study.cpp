@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace syrwatch::core {
 
 Study::Study(workload::ScenarioConfig config)
@@ -16,7 +18,8 @@ void Study::run() {
   scenario_->run([&](const proxy::LogRecord& record) { full.add(record); });
   full.finalize();
   datasets_ = std::make_unique<analysis::DatasetBundle>(
-      analysis::DatasetBundle::derive(std::move(full), config_.seed));
+      analysis::DatasetBundle::derive(std::move(full), config_.seed, 0.04,
+                                      util::resolve_threads(config_.threads)));
 }
 
 const analysis::DatasetBundle& Study::datasets() const {

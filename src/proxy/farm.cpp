@@ -6,9 +6,29 @@
 
 namespace syrwatch::proxy {
 
+namespace {
+
+// FNV-1a: a fixed, libstdc++-independent string hash, so routing (like
+// every other stochastic choice) is reproducible across toolchains.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::size_t ProxyFarm::TransparentStringHash::operator()(
+    std::string_view text) const noexcept {
+  return static_cast<std::size_t>(fnv1a(text));
+}
+
 ProxyFarm::ProxyFarm(const policy::SyriaPolicy* policy,
                      const SgProxyConfig& config, std::uint64_t seed)
-    : rng_(util::mix64(seed ^ 0xFA53)) {
+    : route_salt_(util::mix64(seed ^ 0xFA53)) {
   if (policy == nullptr) throw std::invalid_argument("ProxyFarm: null policy");
   proxies_.reserve(policy::kProxyCount);
   for (std::size_t i = 0; i < policy::kProxyCount; ++i) {
@@ -27,13 +47,23 @@ void ProxyFarm::add_affinity(std::string domain, std::size_t proxy_index,
   affinities_[util::to_lower(domain)].push_back({proxy_index, fraction});
 }
 
-std::size_t ProxyFarm::route(const Request& request) {
+std::size_t ProxyFarm::route(const Request& request) const noexcept {
   // Walk the host's domain suffixes looking for an affinity entry.
   std::string_view probe{request.url.host};
   while (!probe.empty()) {
-    const auto it = affinities_.find(std::string{probe});
+    const auto it = affinities_.find(probe);
     if (it != affinities_.end()) {
-      double u = rng_.uniform01();
+      // Per-request uniform draw in [0, 1): stateless, keyed by the farm
+      // seed and the request identity, so the decision does not depend on
+      // the order requests reach the farm — the property the parallel
+      // pipeline's thread-count invariance rests on.
+      double u = static_cast<double>(
+                     util::mix64(route_salt_ ^ util::mix64(request.user_id) ^
+                                 util::mix64(static_cast<std::uint64_t>(
+                                     request.time)) ^
+                                 fnv1a(request.url.host)) >>
+                     11) *
+                 0x1.0p-53;
       for (const AffinityTarget& target : it->second) {
         if (u < target.fraction) return target.proxy_index;
         u -= target.fraction;

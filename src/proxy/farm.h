@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -26,14 +27,23 @@ class ProxyFarm {
 
   /// Routes `fraction` of traffic for `domain` (and subdomains) to the
   /// proxy; leftovers fall back to the client's home proxy. Multiple
-  /// entries per domain stack (fractions should sum to <= 1).
+  /// entries per domain stack (fractions should sum to <= 1). Not safe to
+  /// call concurrently with route()/process(): configure affinities before
+  /// traffic starts.
   void add_affinity(std::string domain, std::size_t proxy_index,
                     double fraction);
 
-  /// The proxy that would handle this request (exposed for tests).
-  std::size_t route(const Request& request);
+  /// The proxy that would handle this request. A pure function of the
+  /// request and the farm seed: the affinity draw comes from a stateless
+  /// seed-keyed hash of (user, time, host) rather than a shared sequential
+  /// RNG, so routing is const, allocation-free on the domain-suffix walk
+  /// (heterogeneous string_view lookup), and safe to call from concurrent
+  /// generation shards without affecting the determinism contract.
+  std::size_t route(const Request& request) const noexcept;
 
-  /// Routes and filters.
+  /// Routes and filters. Unlike route(), this advances the chosen proxy's
+  /// cache and RNG, so concurrent callers must partition requests by
+  /// proxy index (see SyriaScenario::run's per-proxy phase).
   LogRecord process(const Request& request);
 
   SgProxy& proxy(std::size_t index) { return proxies_.at(index); }
@@ -46,9 +56,18 @@ class ProxyFarm {
     double fraction;
   };
 
+  /// Heterogeneous hashing so route() can probe with each string_view
+  /// suffix of the host without materializing a std::string per probe.
+  struct TransparentStringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const noexcept;
+  };
+
   std::vector<SgProxy> proxies_;
-  std::unordered_map<std::string, std::vector<AffinityTarget>> affinities_;
-  util::Rng rng_;
+  std::unordered_map<std::string, std::vector<AffinityTarget>,
+                     TransparentStringHash, std::equal_to<>>
+      affinities_;
+  std::uint64_t route_salt_;
 };
 
 }  // namespace syrwatch::proxy

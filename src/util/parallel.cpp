@@ -1,0 +1,56 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace syrwatch::util {
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const auto worker = [&]() noexcept {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!error) error = std::current_exception();
+        }
+        // Park the cursor past the end so siblings stop claiming items.
+        cursor.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(std::min(threads, count) - 1);
+  for (std::size_t i = 1; i < std::min(threads, count); ++i)
+    pool.emplace_back(worker);
+  worker();
+  for (std::thread& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace syrwatch::util {
+
+/// Resolves a thread-count knob: 0 selects the hardware concurrency (never
+/// less than 1); any other value is returned unchanged.
+std::size_t resolve_threads(std::size_t requested) noexcept;
+
+/// Runs fn(0) .. fn(count - 1) across up to `threads` workers (the calling
+/// thread counts as one of them). Items are claimed through an atomic
+/// cursor, so the mapping of items to threads — and the completion order —
+/// is unspecified: fn(i) must be independent of execution order, and any
+/// state it writes must be its own (the usual pattern is fn(i) owning slot
+/// i of a pre-sized buffer). The first exception thrown by any fn stops
+/// further claims and is rethrown on the caller once every worker drains.
+/// With threads <= 1 or count <= 1 everything runs inline on the calling
+/// thread, which is the reference execution the parallel runs must match.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace syrwatch::util

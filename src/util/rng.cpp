@@ -115,9 +115,20 @@ double Rng::normal() noexcept {
 }
 
 std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+  // Guard the contract violations explicitly: an empty span used to return
+  // weights.size() - 1 == SIZE_MAX, and a non-positive total silently fell
+  // through to the last index.
+  if (weights.empty()) return 0;
   double total = 0.0;
   for (double w : weights) total += w;
-  double target = uniform01() * total;
+  const double u = uniform01();
+  if (!(total > 0.0)) {
+    // Degenerate weights (all zero, or negative sums): fall back to a
+    // uniform choice over the span instead of biasing to the last index.
+    // One draw is consumed either way, keeping the stream aligned.
+    return static_cast<std::size_t>(u * static_cast<double>(weights.size()));
+  }
+  double target = u * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];
     if (target < 0.0) return i;

@@ -63,9 +63,12 @@ class Rng {
   /// Standard normal variate (Box–Muller without caching).
   double normal() noexcept;
 
-  /// Index sampled proportionally to the non-negative weights. Requires a
-  /// non-empty span with a positive total. O(n); use util::AliasSampler for
-  /// repeated draws.
+  /// Index sampled proportionally to the non-negative weights. The result
+  /// is always < max(weights.size(), 1): an empty span returns 0 (callers
+  /// must not index with it), and a non-positive total degrades to a
+  /// uniform choice over the span rather than biasing to the last index.
+  /// Exactly one draw is consumed for any non-empty span. O(n); use
+  /// util::AliasSampler for repeated draws.
   std::size_t weighted_index(std::span<const double> weights) noexcept;
 
   /// In-place Fisher–Yates shuffle.

@@ -1,5 +1,8 @@
 #include "workload/scenario.h"
 
+#include <algorithm>
+
+#include "util/parallel.h"
 #include "util/simtime.h"
 
 namespace syrwatch::workload {
@@ -46,7 +49,7 @@ SyriaScenario::SyriaScenario(ScenarioConfig config)
       geoip_(geo::build_world_geoip()),
       policy_(policy::build_syria_policy(relays_, config.seed)),
       farm_(&policy_, config.proxy_config, config.seed),
-      rng_(util::mix64(config.seed ^ 0x5C3A)) {
+      stream_root_(util::mix64(config.seed ^ 0x5C3A)) {
   catalog_.register_categories(categorizer_);
 
   // Domain affinity (§5.2): >95% of metacafe on SG-48; IM and the other
@@ -98,6 +101,32 @@ SyriaScenario::SyriaScenario(ScenarioConfig config)
                                         &torrents_, &categorizer_));
 }
 
+namespace {
+
+/// One (day, slot) unit of work for the generation phase.
+struct SlotPlan {
+  std::int64_t start = 0;
+  double base = 0.0;        // expected requests for an all-components share 1
+  bool filtered_day = false;  // leak keeps only SG-42 on this day
+  bool keep_hashes = true;    // client hashes survive only on July 22–23
+};
+
+/// Generated, routed traffic of one slot, before proxy processing.
+struct Shard {
+  std::vector<proxy::Request> requests;  // generation order
+  std::vector<std::uint8_t> proxy_of;    // routing decision per request
+};
+
+/// A filtered log line tagged with its deterministic merge key:
+/// (shard ordinal << 32) | sequence-within-shard. Keys are unique because
+/// each (shard, sequence) pair lands on exactly one proxy.
+struct Processed {
+  std::uint64_t key = 0;
+  proxy::LogRecord record;
+};
+
+}  // namespace
+
 void SyriaScenario::run(const LogCallback& sink) {
   const auto& days = observation_days();
   const std::int64_t slot = config_.slot_seconds;
@@ -113,35 +142,121 @@ void SyriaScenario::run(const LogCallback& sink) {
                                  slot / 2);
   }
 
+  // Resolve each component's share boost once: probing the map with a
+  // freshly allocated std::string key inside the slot loop was one heap
+  // allocation per component per slot per day.
+  std::vector<double> boosts(components_.size(), 1.0);
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    const auto it =
+        config_.share_boosts.find(std::string(components_[c]->name()));
+    if (it != config_.share_boosts.end()) boosts[c] = it->second;
+  }
+
+  // Slot plan, day-major: the position in this vector is the shard
+  // ordinal, which seeds the per-shard RNG streams and forms the high
+  // half of the merge key. Everything downstream is a pure function of
+  // it, so the emitted log is invariant to the thread count.
+  std::vector<SlotPlan> plan;
+  plan.reserve(days.size() * slots_per_day);
   const double total = static_cast<double>(config_.total_requests);
   for (const std::int64_t day : days) {
-    const bool filtered_day =
-        config_.apply_leak_filter && sg42_only_day(day);
-    const bool keep_hashes =
-        !config_.apply_leak_filter || user_hash_day(day);
+    const bool filtered_day = config_.apply_leak_filter && sg42_only_day(day);
+    const bool keep_hashes = !config_.apply_leak_filter || user_hash_day(day);
     for (std::size_t s = 0; s < slots_per_day; ++s) {
       const std::int64_t start = day + static_cast<std::int64_t>(s) * slot;
-      const std::int64_t mid = start + slot / 2;
-      const double base = total * diurnal_.intensity(mid) / norm;
-      for (const auto& component : components_) {
-        double boost = 1.0;
-        const auto boost_it =
-            config_.share_boosts.find(std::string(component->name()));
-        if (boost_it != config_.share_boosts.end()) boost = boost_it->second;
-        const double mean =
-            base * component->share() * boost * component->modulation(mid);
-        const std::uint64_t count = rng_.poisson(mean);
-        for (std::uint64_t i = 0; i < count; ++i) {
+      const double base =
+          total * diurnal_.intensity(start + slot / 2) / norm;
+      plan.push_back({start, base, filtered_day, keep_hashes});
+    }
+  }
+
+  const std::size_t threads = util::resolve_threads(config_.threads);
+  const std::size_t n_components = components_.size();
+  const std::size_t n_proxies = farm_.proxy_count();
+
+  // Shards are produced and consumed in fixed-size batches so peak memory
+  // stays bounded by the batch, not the whole observation window. Batch
+  // boundaries cannot affect results: RNG streams derive from the shard
+  // ordinal and per-proxy processing order follows the merge key.
+  constexpr std::size_t kBatchShards = 128;
+  std::vector<Shard> batch(std::min(kBatchShards, plan.size()));
+  std::vector<std::vector<Processed>> per_proxy(n_proxies);
+
+  for (std::size_t batch_start = 0; batch_start < plan.size();
+       batch_start += kBatchShards) {
+    const std::size_t n_shards =
+        std::min(kBatchShards, plan.size() - batch_start);
+
+    // Phase 1 — generate + route, one shard per work item. Each
+    // (shard, component) pair owns an independent child RNG, so shards
+    // never contend and the draw sequence is execution-order-free.
+    util::parallel_for(n_shards, threads, [&](std::size_t i) {
+      const std::size_t ordinal = batch_start + i;
+      const SlotPlan& sp = plan[ordinal];
+      Shard& shard = batch[i];
+      shard.requests.clear();
+      shard.proxy_of.clear();
+      const std::int64_t mid = sp.start + slot / 2;
+      for (std::size_t c = 0; c < n_components; ++c) {
+        util::Rng rng = stream_root_.split(
+            static_cast<std::uint64_t>(ordinal) * n_components + c);
+        const double mean = sp.base * components_[c]->share() * boosts[c] *
+                            components_[c]->modulation(mid);
+        const std::uint64_t count = rng.poisson(mean);
+        for (std::uint64_t k = 0; k < count; ++k) {
           const std::int64_t t =
-              start + static_cast<std::int64_t>(rng_.uniform(
-                          static_cast<std::uint64_t>(slot)));
-          const proxy::Request request = component->generate(t, rng_);
-          proxy::LogRecord record = farm_.process(request);
-          if (filtered_day && record.proxy_index != 0) continue;
-          if (!keep_hashes) record.user_hash = 0;
-          sink(record);
+              sp.start + static_cast<std::int64_t>(rng.uniform(
+                             static_cast<std::uint64_t>(slot)));
+          proxy::Request request = components_[c]->generate(t, rng);
+          shard.proxy_of.push_back(
+              static_cast<std::uint8_t>(farm_.route(request)));
+          shard.requests.push_back(std::move(request));
         }
       }
+    });
+
+    // Phase 2 — per-proxy processing. Each SgProxy owns an LRU cache and
+    // an RNG that must advance sequentially, so each proxy walks its own
+    // time-ordered queue (shard-major, generation-order minor) on its own
+    // worker. Requests on filtered days still pass through the proxy —
+    // the leak drops the *records*, not the traffic that warmed caches.
+    util::parallel_for(n_proxies, threads, [&](std::size_t p) {
+      std::vector<Processed>& out = per_proxy[p];
+      out.clear();
+      proxy::SgProxy& appliance = farm_.proxy(p);
+      for (std::size_t i = 0; i < n_shards; ++i) {
+        const Shard& shard = batch[i];
+        const SlotPlan& sp = plan[batch_start + i];
+        const std::uint64_t hi = static_cast<std::uint64_t>(batch_start + i)
+                                 << 32;
+        for (std::size_t k = 0; k < shard.requests.size(); ++k) {
+          if (shard.proxy_of[k] != p) continue;
+          proxy::LogRecord record = appliance.process(shard.requests[k]);
+          if (sp.filtered_day && p != 0) continue;
+          if (!sp.keep_hashes) record.user_hash = 0;
+          out.push_back({hi | k, std::move(record)});
+        }
+      }
+    });
+
+    // Phase 3 — deterministic merge: each per-proxy buffer is already
+    // sorted by key, so a k-way merge restores global generation order
+    // (day, slot, component, sequence) — exactly the order the old
+    // single-threaded loop emitted — before the records reach the sink.
+    std::vector<std::size_t> head(n_proxies, 0);
+    for (;;) {
+      std::size_t best = n_proxies;
+      std::uint64_t best_key = ~std::uint64_t{0};
+      for (std::size_t p = 0; p < n_proxies; ++p) {
+        if (head[p] < per_proxy[p].size() &&
+            per_proxy[p][head[p]].key <= best_key) {
+          best = p;
+          best_key = per_proxy[p][head[p]].key;
+        }
+      }
+      if (best == n_proxies) break;
+      sink(per_proxy[best][head[best]].record);
+      ++head[best];
     }
   }
 }

@@ -55,6 +55,14 @@ struct ScenarioConfig {
   /// perturbs the global Table 3 proportions, so headline-statistics runs
   /// should leave this empty.
   std::map<std::string, double> share_boosts;
+  /// Worker threads for the generate→route→process pipeline (also reused
+  /// by core::Study and the report renderers for the analysis fan-out).
+  /// 0 = one per hardware thread. The emitted log is bit-identical for
+  /// every value (DESIGN.md §4.5): request generation is sharded by
+  /// (day, slot) with per-(day, slot, component) child RNG streams, each
+  /// proxy consumes its own queue in a fixed global order, and shard
+  /// buffers merge back into generation order before reaching the sink.
+  std::size_t threads = 0;
 };
 
 using LogCallback = std::function<void(const proxy::LogRecord&)>;
@@ -67,7 +75,10 @@ class SyriaScenario {
  public:
   explicit SyriaScenario(ScenarioConfig config = {});
 
-  /// Generates the whole observation window.
+  /// Generates the whole observation window. Uses config().threads
+  /// workers; the sink is always invoked from the calling thread, in
+  /// deterministic (day, slot, component, sequence) order, regardless of
+  /// the thread count.
   void run(const LogCallback& sink);
 
   const ScenarioConfig& config() const noexcept { return config_; }
@@ -98,7 +109,10 @@ class SyriaScenario {
   proxy::ProxyFarm farm_;
   DiurnalModel diurnal_;
   std::vector<std::unique_ptr<Component>> components_;
-  util::Rng rng_;
+  /// Root of the per-(day, slot, component) RNG streams. Never advanced:
+  /// run() only derives children via Rng::split, so generation shards are
+  /// independent of each other and of execution order.
+  util::Rng stream_root_;
 };
 
 }  // namespace syrwatch::workload

@@ -1,0 +1,173 @@
+// Parallel pipeline: parallel_for semantics, thread-count invariance of
+// the generated log and the rendered report (the DESIGN.md §4.5 contract),
+// and regression tests for the hot-path fixes that rode along with the
+// parallelization (share-boost resolution, affinity routing).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "proxy/log_io.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrwatch::workload;
+
+// --- parallel_for ----------------------------------------------------------
+
+TEST(ParallelFor, ResolveThreads) {
+  EXPECT_GE(util::resolve_threads(0), 1u);
+  EXPECT_EQ(util::resolve_threads(1), 1u);
+  EXPECT_EQ(util::resolve_threads(12), 12u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::atomic<int>> visits(1000);
+    util::parallel_for(visits.size(), threads,
+                       [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const auto& count : visits) ASSERT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleItem) {
+  int calls = 0;
+  util::parallel_for(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  util::parallel_for(1, 8, [&](std::size_t i) { calls += i == 0 ? 1 : 100; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_THROW(
+        util::parallel_for(100, threads,
+                           [&](std::size_t i) {
+                             if (i == 17) throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+  }
+}
+
+// --- thread-count invariance ----------------------------------------------
+
+ScenarioConfig small_config(std::uint64_t total, std::size_t threads) {
+  ScenarioConfig config;
+  config.total_requests = total;
+  config.user_population = 4'000;
+  config.catalog_tail = 3'000;
+  config.torrent_contents = 500;
+  config.threads = threads;
+  return config;
+}
+
+std::vector<std::string> run_to_csv(const ScenarioConfig& config) {
+  SyriaScenario scenario{config};
+  std::vector<std::string> lines;
+  scenario.run([&](const proxy::LogRecord& record) {
+    lines.push_back(proxy::to_csv(record));
+  });
+  return lines;
+}
+
+TEST(ThreadInvariance, LogStreamIsBitIdenticalAcrossThreadCounts) {
+  const auto reference = run_to_csv(small_config(60'000, 1));
+  ASSERT_GT(reference.size(), 20'000u);
+  for (const std::size_t threads : {std::size_t{3}, std::size_t{8}}) {
+    const auto lines = run_to_csv(small_config(60'000, threads));
+    ASSERT_EQ(lines.size(), reference.size()) << threads << " threads";
+    EXPECT_EQ(lines, reference) << threads << " threads";
+  }
+}
+
+TEST(ThreadInvariance, FullReportIsBitIdenticalAcrossThreadCounts) {
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    core::Study study{small_config(50'000, threads)};
+    study.run();
+    const auto report = core::render_full_report(study);
+    ASSERT_FALSE(report.empty());
+    if (reference.empty()) {
+      reference = report;
+    } else {
+      EXPECT_EQ(report, reference);
+    }
+  }
+}
+
+TEST(ThreadInvariance, DatasetBundleMatchesAcrossThreadCounts) {
+  std::vector<std::size_t> sizes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{6}}) {
+    core::Study study{small_config(40'000, threads)};
+    study.run();
+    const auto& bundle = study.datasets();
+    if (sizes.empty()) {
+      sizes = {bundle.full.size(), bundle.sample.size(), bundle.user.size(),
+               bundle.denied.size()};
+    } else {
+      EXPECT_EQ(bundle.full.size(), sizes[0]);
+      EXPECT_EQ(bundle.sample.size(), sizes[1]);
+      EXPECT_EQ(bundle.user.size(), sizes[2]);
+      EXPECT_EQ(bundle.denied.size(), sizes[3]);
+    }
+  }
+}
+
+// --- share-boost regression (boosts now resolved once, outside hot loop) --
+
+TEST(ShareBoosts, BoostScalesComponentVolume) {
+  auto count_im = [](const ScenarioConfig& config) {
+    SyriaScenario scenario{config};
+    std::uint64_t im = 0, total = 0;
+    scenario.run([&](const proxy::LogRecord& record) {
+      ++total;
+      for (const char* host :
+           {"skype.com", "messenger.live.com", "ceipmsn.com"}) {
+        if (util::host_matches_domain(record.url.host, host)) {
+          ++im;
+          break;
+        }
+      }
+    });
+    EXPECT_GT(total, 0u);
+    return im;
+  };
+
+  auto base_config = small_config(150'000, 2);
+  const auto base = count_im(base_config);
+  ASSERT_GT(base, 50u);
+
+  auto boosted_config = base_config;
+  boosted_config.share_boosts = {{"im", 8.0}, {"no-such-component", 3.0}};
+  const auto boosted = count_im(boosted_config);
+  EXPECT_NEAR(static_cast<double>(boosted) / static_cast<double>(base), 8.0,
+              2.0);
+}
+
+// --- affinity routing stays calibrated under stateless draws --------------
+
+TEST(AffinityRouting, MetacafeShareSurvivesParallelRouting) {
+  auto config = small_config(120'000, 4);
+  SyriaScenario scenario{config};
+  std::uint64_t on_sg48 = 0, total = 0;
+  scenario.run([&](const proxy::LogRecord& record) {
+    if (sg42_only_day(record.time)) return;
+    if (!util::host_matches_domain(record.url.host, "metacafe.com")) return;
+    ++total;
+    if (record.proxy_index == 6) ++on_sg48;
+  });
+  ASSERT_GT(total, 50u);
+  EXPECT_NEAR(static_cast<double>(on_sg48) / static_cast<double>(total),
+              0.955, 0.04);
+}
+
+}  // namespace

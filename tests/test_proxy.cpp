@@ -349,6 +349,22 @@ TEST_F(FarmTest, AffinityValidation) {
   EXPECT_THROW(farm_.add_affinity("x.com", 0, 1.5), std::invalid_argument);
 }
 
+TEST_F(FarmTest, RouteIsConstAndMatchesDeepSubdomainSuffixes) {
+  // route() walks the host's suffixes through the heterogeneous
+  // string_view lookup; it is const and a pure function of the request.
+  farm_.add_affinity("metacafe.com", 6, 1.0);
+  const ProxyFarm& farm = farm_;
+  const auto request =
+      request_from_user(3, "http://cdn.videos.www.metacafe.com/clip/1");
+  EXPECT_EQ(farm.route(request), 6u);
+  EXPECT_EQ(farm.route(request), farm.route(request));
+  // An unrelated host whose *label* merely ends in the domain must not
+  // match (the suffix walk is dot-delimited): it falls through to the
+  // user's home proxy, like any unpinned host.
+  EXPECT_EQ(farm.route(request_from_user(3, "http://notmetacafe.com/")),
+            farm.route(request_from_user(3, "http://example.com/")));
+}
+
 TEST_F(FarmTest, ProcessStampsProxyIndex) {
   farm_.add_affinity("metacafe.com", 6, 1.0);
   const auto record =

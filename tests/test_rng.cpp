@@ -139,6 +139,45 @@ TEST(Rng, WeightedIndexRespectsWeights) {
   EXPECT_NEAR(counts[2] / double(kN), 0.7, 0.01);
 }
 
+TEST(Rng, WeightedIndexGuardsEmptySpan) {
+  // Regression: an empty span used to return weights.size() - 1 ==
+  // SIZE_MAX — an out-of-range index for every caller.
+  Rng rng{8};
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+}
+
+TEST(Rng, WeightedIndexDegenerateWeightsFallBackToUniform) {
+  // Regression: an all-zero span silently returned the last index. The
+  // guarded contract degrades to a uniform in-range choice instead.
+  Rng rng{8};
+  const std::array<double, 3> zeros{0.0, 0.0, 0.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 3000; ++i) {
+    const auto index = rng.weighted_index(zeros);
+    ASSERT_LT(index, zeros.size());
+    ++counts[index];
+  }
+  for (const int count : counts) EXPECT_GT(count, 700);
+}
+
+TEST(Rng, SplitShardEncodedStreamsAreDistinct) {
+  // The scenario derives one stream per (day, slot, component) via
+  // split(ordinal * n_components + c): consecutive ids must still yield
+  // unrelated streams.
+  Rng root{2011};
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t id = 0; id < 2000; ++id) firsts.insert(root.split(id)());
+  EXPECT_EQ(firsts.size(), 2000u);
+  int equal = 0;
+  for (std::uint64_t id = 0; id + 1 < 512; ++id) {
+    Rng a = root.split(id), b = root.split(id + 1);
+    for (int i = 0; i < 64; ++i) {
+      if (a() == b()) ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(Rng, ShufflePreservesElements) {
   Rng rng{9};
   std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};

@@ -50,7 +50,7 @@ int usage() {
       stderr,
       "usage:\n"
       "  syrwatchctl generate --out FILE [--requests N] [--seed S]"
-      " [--no-leak-filter]\n"
+      " [--threads T] [--no-leak-filter]\n"
       "  syrwatchctl stats FILE\n"
       "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]\n"
       "  syrwatchctl discover FILE [--min-count N]\n"
@@ -94,6 +94,10 @@ int cmd_generate(int argc, char** argv) {
     config.total_requests = std::strtoull(requests, nullptr, 10);
   if (const char* seed = flag_value(argc, argv, "--seed"))
     config.seed = std::strtoull(seed, nullptr, 10);
+  // Worker count for the pipeline; the emitted log is identical for any
+  // value (0 = one per hardware thread).
+  if (const char* threads = flag_value(argc, argv, "--threads"))
+    config.threads = std::strtoull(threads, nullptr, 10);
   if (has_flag(argc, argv, "--no-leak-filter"))
     config.apply_leak_filter = false;
 
