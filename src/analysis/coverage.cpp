@@ -1,0 +1,86 @@
+#include "analysis/coverage.h"
+
+#include <algorithm>
+
+#include "util/simtime.h"
+
+namespace syrwatch::analysis {
+
+CoverageReport request_coverage(const Dataset& dataset,
+                                std::int64_t bin_seconds,
+                                std::uint64_t min_farm_bin_requests) {
+  CoverageReport report;
+  report.bin_seconds = bin_seconds;
+  if (dataset.size() == 0) return report;
+
+  // Rows are time-sorted (Dataset::finalize), so the observation window is
+  // the first/last row. Bins are anchored at the first row's midnight so
+  // bin and day boundaries line up.
+  const std::int64_t origin =
+      dataset.rows().front().time -
+      (dataset.rows().front().time % util::kSecondsPerDay);
+  const std::int64_t last = dataset.rows().back().time;
+  const auto bin_count = static_cast<std::size_t>(
+      (last - origin) / bin_seconds + 1);
+
+  // (bin, proxy) counts in one pass; per-day counts fold whole days.
+  std::vector<std::array<std::uint64_t, policy::kProxyCount>> bins(
+      bin_count, std::array<std::uint64_t, policy::kProxyCount>{});
+  std::vector<DayCoverage> days;
+  for (const Row& row : dataset.rows()) {
+    const auto bin = static_cast<std::size_t>((row.time - origin) /
+                                              bin_seconds);
+    ++bins[bin][row.proxy_index];
+    const std::int64_t day_start =
+        row.time - (row.time % util::kSecondsPerDay);
+    if (days.empty() || days.back().day_start != day_start) {
+      // Rows are time-sorted, so new days only ever append.
+      days.push_back({day_start, {}});
+    }
+    ++days.back().requests[row.proxy_index];
+    ++report.totals[row.proxy_index];
+    ++report.total_requests;
+  }
+  report.days = std::move(days);
+
+  // Gap scan: per proxy, merge consecutive farm-active bins it missed.
+  std::array<bool, policy::kProxyCount> in_gap{};
+  std::array<CoverageGap, policy::kProxyCount> open{};
+  for (std::size_t b = 0; b < bin_count; ++b) {
+    std::uint64_t farm_total = 0;
+    for (const std::uint64_t count : bins[b]) farm_total += count;
+    const bool active = farm_total >= min_farm_bin_requests;
+    if (active) ++report.active_bins;
+    const std::int64_t bin_start =
+        origin + static_cast<std::int64_t>(b) * bin_seconds;
+    for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+      if (active && bins[b][p] > 0) ++report.covered_bins[p];
+      const bool hole = active && bins[b][p] == 0;
+      if (hole) {
+        if (!in_gap[p]) {
+          in_gap[p] = true;
+          open[p] = {static_cast<std::uint8_t>(p), bin_start, 0, 0};
+        }
+        open[p].end = bin_start + bin_seconds;
+        open[p].farm_requests += farm_total;
+      } else if (in_gap[p] && active) {
+        // Only a bin the proxy demonstrably served closes its gap;
+        // inactive bins (nothing to miss) leave the gap open.
+        in_gap[p] = false;
+        report.gaps.push_back(open[p]);
+      }
+    }
+  }
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+    if (in_gap[p]) report.gaps.push_back(open[p]);
+  }
+  std::sort(report.gaps.begin(), report.gaps.end(),
+            [](const CoverageGap& a, const CoverageGap& b) {
+              if (a.proxy_index != b.proxy_index)
+                return a.proxy_index < b.proxy_index;
+              return a.start < b.start;
+            });
+  return report;
+}
+
+}  // namespace syrwatch::analysis

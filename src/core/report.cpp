@@ -6,6 +6,7 @@
 #include "analysis/anonymizer.h"
 #include "analysis/bittorrent.h"
 #include "analysis/category_dist.h"
+#include "analysis/coverage.h"
 #include "analysis/domain_dist.h"
 #include "analysis/google_cache.h"
 #include "analysis/https_audit.h"
@@ -21,6 +22,7 @@
 #include "analysis/user_stats.h"
 #include "geo/world.h"
 #include "util/parallel.h"
+#include "util/simtime.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -33,16 +35,24 @@ using util::TextTable;
 using util::titled_block;
 using util::with_commas;
 
-std::string dataset_sizes(const analysis::DatasetBundle& bundle) {
+/// Suffix appended to the titles of tables computed from a log the fault
+/// layer degraded; empty (no output change at all) for healthy runs.
+std::string degraded_mark(bool degraded) {
+  return degraded ? " [DEGRADED DATA — see coverage]" : "";
+}
+
+std::string dataset_sizes(const analysis::DatasetBundle& bundle,
+                          bool degraded = false) {
   TextTable table{{"Dataset", "# Requests"}};
   table.add_row({"Full", with_commas(bundle.full.size())});
   table.add_row({"Sample (4%)", with_commas(bundle.sample.size())});
   table.add_row({"User", with_commas(bundle.user.size())});
   table.add_row({"Denied", with_commas(bundle.denied.size())});
-  return titled_block("Datasets (Table 1)", table);
+  return titled_block("Datasets (Table 1)" + degraded_mark(degraded), table);
 }
 
-std::string traffic_breakdown(const analysis::DatasetBundle& bundle) {
+std::string traffic_breakdown(const analysis::DatasetBundle& bundle,
+                              bool degraded = false) {
   const auto stats = analysis::traffic_stats(bundle.full);
   TextTable table{{"Class", "# Requests", "%"}};
   table.add_row({"Allowed (OBSERVED)", with_commas(stats.observed),
@@ -58,10 +68,13 @@ std::string traffic_breakdown(const analysis::DatasetBundle& bundle) {
   }
   table.add_row({"Censored (policy)", with_commas(stats.censored()),
                  percent(stats.share(stats.censored()))});
-  return titled_block("Traffic classes (Table 3, Dfull)", table);
+  return titled_block("Traffic classes (Table 3, Dfull)" +
+                          degraded_mark(degraded),
+                      table);
 }
 
-std::string top_domain_tables(const analysis::DatasetBundle& bundle) {
+std::string top_domain_tables(const analysis::DatasetBundle& bundle,
+                              bool degraded = false) {
   std::string out;
   for (const auto cls :
        {proxy::TrafficClass::kAllowed, proxy::TrafficClass::kCensored}) {
@@ -72,8 +85,52 @@ std::string top_domain_tables(const analysis::DatasetBundle& bundle) {
                      percent(entry.share)});
     out += titled_block(std::string("Top-10 ") +
                             std::string(proxy::to_string(cls)) +
-                            " domains (Table 4)",
+                            " domains (Table 4)" + degraded_mark(degraded),
                         table);
+  }
+  return out;
+}
+
+/// Coverage table + gap/failover warnings, rendered only for studies whose
+/// scenario carries a non-empty fault schedule: healthy runs keep their
+/// pre-fault-layer report bytes.
+std::string coverage_block(const Study& study,
+                           const analysis::CoverageReport& coverage) {
+  std::vector<std::string> header{"Day"};
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p)
+    header.push_back(policy::proxy_name(p));
+  TextTable table{header};
+  for (const auto& day : coverage.days) {
+    std::vector<std::string> row{util::format_date(day.day_start)};
+    for (const std::uint64_t count : day.requests)
+      row.push_back(with_commas(count));
+    table.add_row(row);
+  }
+  std::string out =
+      titled_block("Per-proxy/per-day coverage (fault injection)", table);
+
+  TextTable gaps{{"Proxy", "Gap start", "Gap end", "Farm reqs in gap"}};
+  for (const auto& gap : coverage.gaps) {
+    gaps.add_row({policy::proxy_name(gap.proxy_index),
+                  util::format_datetime(gap.start),
+                  util::format_datetime(gap.end),
+                  with_commas(gap.farm_requests)});
+  }
+  if (!coverage.gaps.empty())
+    out += titled_block("DEGRADED DATA — coverage gaps", gaps);
+
+  const auto& farm = study.scenario().farm();
+  if (farm.failover_total() > 0) {
+    TextTable failovers{{"Failover target", "# Redirected requests"}};
+    for (std::size_t p = 0; p < farm.proxy_count(); ++p) {
+      if (farm.failovers_to(p) == 0) continue;
+      failovers.add_row(
+          {policy::proxy_name(p), with_commas(farm.failovers_to(p))});
+    }
+    out += titled_block("Failover routing (" +
+                            with_commas(farm.failover_total()) +
+                            " requests diverted)",
+                        failovers);
   }
   return out;
 }
@@ -218,15 +275,20 @@ std::string render_overview(const Study& study) {
   const auto& bundle = study.datasets();
   const std::size_t threads =
       util::resolve_threads(study.scenario().config().threads);
+  const bool faulted = !study.scenario().faults().empty();
+  analysis::CoverageReport coverage;
+  if (faulted) coverage = analysis::request_coverage(bundle.full);
+  const bool degraded = faulted && coverage.degraded();
   std::array<std::string, 3> blocks;
   const std::array<std::function<std::string()>, 3> tasks{
-      [&] { return dataset_sizes(bundle); },
-      [&] { return traffic_breakdown(bundle); },
-      [&] { return top_domain_tables(bundle); }};
+      [&] { return dataset_sizes(bundle, degraded); },
+      [&] { return traffic_breakdown(bundle, degraded); },
+      [&] { return top_domain_tables(bundle, degraded); }};
   util::parallel_for(tasks.size(), threads,
                      [&](std::size_t i) { blocks[i] = tasks[i](); });
   std::string out;
   for (const std::string& block : blocks) out += block;
+  if (faulted) out += coverage_block(study, coverage);
   return out;
 }
 
@@ -239,12 +301,17 @@ std::string render_full_report(const Study& study) {
   // out on the pool; the one data dependency — Google cache consumes the
   // discovered-domain list — runs after the fan-out. Output order stays
   // the paper's order regardless of completion order.
+  const bool faulted = !study.scenario().faults().empty();
+  analysis::CoverageReport coverage;
+  if (faulted) coverage = analysis::request_coverage(bundle.full);
+  const bool degraded = faulted && coverage.degraded();
+
   analysis::DiscoveryResult discovery;
   std::array<std::string, 11> blocks;
   const std::array<std::function<std::string()>, 11> tasks{
-      [&] { return dataset_sizes(bundle); },
-      [&] { return traffic_breakdown(bundle); },
-      [&] { return top_domain_tables(bundle); },
+      [&] { return dataset_sizes(bundle, degraded); },
+      [&] { return traffic_breakdown(bundle, degraded); },
+      [&] { return top_domain_tables(bundle, degraded); },
       [&] { return ports_block(bundle); },
       [&] {
         discovery = analysis::discover_censored_strings(bundle.full);
@@ -260,6 +327,7 @@ std::string render_full_report(const Study& study) {
                      [&](std::size_t i) { blocks[i] = tasks[i](); });
 
   std::string out;
+  if (faulted) out += coverage_block(study, coverage);
   for (std::size_t i = 0; i < 9; ++i) out += blocks[i];
   out += google_cache_block(bundle, discovery);
   out += blocks[9];   // HTTPS (§4)

@@ -1,0 +1,63 @@
+#include "fault/corruptor.h"
+
+namespace syrwatch::fault {
+
+LogCorruptor::LogCorruptor(CorruptionConfig config)
+    : config_(std::move(config)), root_(util::mix64(config_.seed ^ 0xC0BB)) {}
+
+std::optional<std::string> LogCorruptor::corrupt(std::string_view line) {
+  ++stats_.lines;
+  util::Rng rng = root_.split(ordinal_++);
+
+  for (const std::string& prefix : config_.drop_day_prefixes) {
+    if (line.substr(0, prefix.size()) == prefix) {
+      ++stats_.dropped_days;
+      return std::nullopt;
+    }
+  }
+  if (rng.bernoulli(config_.drop_prob)) {
+    ++stats_.dropped;
+    return std::nullopt;
+  }
+  if (!line.empty() && rng.bernoulli(config_.truncate_prob)) {
+    ++stats_.truncated;
+    return std::string(line.substr(0, rng.uniform(line.size())));
+  }
+  if (!line.empty() && rng.bernoulli(config_.garble_prob)) {
+    ++stats_.garbled;
+    std::string damaged(line);
+    const std::uint64_t bytes = 1 + rng.uniform(4);
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+      // Any byte but '\n', which would silently split the line in two.
+      char byte;
+      do {
+        byte = static_cast<char>(rng.uniform(256));
+      } while (byte == '\n');
+      damaged[rng.uniform(damaged.size())] = byte;
+    }
+    return damaged;
+  }
+  return std::string(line);
+}
+
+std::string LogCorruptor::corrupt_log(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t newline = text.find('\n', pos);
+    const std::size_t end = newline == std::string_view::npos ? text.size()
+                                                              : newline;
+    if (end > pos || newline != std::string_view::npos) {
+      if (const auto line = corrupt(text.substr(pos, end - pos))) {
+        out += *line;
+        out += '\n';
+      }
+    }
+    if (newline == std::string_view::npos) break;
+    pos = newline + 1;
+  }
+  return out;
+}
+
+}  // namespace syrwatch::fault

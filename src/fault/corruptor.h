@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace syrwatch::fault {
+
+/// Damage model for an on-disk log, mimicking what the Telecomix leak
+/// actually looks like: a degraded system's output, copied under pressure.
+struct CorruptionConfig {
+  std::uint64_t seed = 0;
+  /// Probability a line is cut short at a random byte (torn write).
+  double truncate_prob = 0.0;
+  /// Probability a line has 1-4 random bytes overwritten (media damage).
+  double garble_prob = 0.0;
+  /// Probability a line vanishes entirely.
+  double drop_prob = 0.0;
+  /// Civil-date prefixes ("2011-08-03") whose lines vanish wholesale — the
+  /// leak's missing day-files (Table 1 lists uneven per-day coverage).
+  std::vector<std::string> drop_day_prefixes;
+};
+
+struct CorruptionStats {
+  std::uint64_t lines = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t garbled = 0;
+  std::uint64_t dropped = 0;       // by drop_prob
+  std::uint64_t dropped_days = 0;  // by drop_day_prefixes
+  std::uint64_t intact() const noexcept {
+    return lines - truncated - garbled - dropped - dropped_days;
+  }
+};
+
+/// Applies CorruptionConfig to a line stream, deterministically: each line's
+/// fate is drawn from a child RNG split off the seed by line ordinal, so the
+/// same (config, line sequence) always damages the same lines the same way —
+/// corruption tests are exactly reproducible.
+class LogCorruptor {
+ public:
+  explicit LogCorruptor(CorruptionConfig config);
+
+  /// Damages the next line. Returns std::nullopt when the line is dropped.
+  /// At most one damage kind applies per line (drop-day, drop, truncate,
+  /// garble — checked in that order).
+  std::optional<std::string> corrupt(std::string_view line);
+
+  /// Convenience: damages every line of a whole log text (lines split on
+  /// '\n'); dropped lines disappear from the output.
+  std::string corrupt_log(std::string_view text);
+
+  const CorruptionStats& stats() const noexcept { return stats_; }
+
+ private:
+  CorruptionConfig config_;
+  util::Rng root_;
+  std::uint64_t ordinal_ = 0;
+  CorruptionStats stats_;
+};
+
+}  // namespace syrwatch::fault

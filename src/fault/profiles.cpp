@@ -1,0 +1,79 @@
+#include "fault/profiles.h"
+
+#include <stdexcept>
+
+#include "policy/syria.h"
+#include "util/rng.h"
+#include "util/simtime.h"
+
+namespace syrwatch::fault {
+
+namespace {
+
+// Proxy indices by appliance name (s-ip 82.137.200.(42+index)).
+constexpr std::size_t kSg44 = 2;
+constexpr std::size_t kSg47 = 5;
+
+std::int64_t at(int month, int day, int hour = 0, int minute = 0) {
+  return util::to_unix_seconds({2011, month, day, hour, minute, 0});
+}
+
+FaultSchedule sg47_outage(util::Rng root) {
+  FaultSchedule schedule;
+  // Degradation precedes death: error rates climb through the morning of
+  // Aug 2 (multiplier drawn from a split stream), the appliance goes dark
+  // at noon for ~36h, then serves with elevated errors while recovering.
+  util::Rng pre = root.split(0);
+  schedule.add_brownout(kSg47, at(8, 2, 6), at(8, 2, 12),
+                        3.0 + 2.0 * pre.uniform01());
+  schedule.add_outage(kSg47, at(8, 2, 12), at(8, 4, 0));
+  util::Rng post = root.split(1);
+  schedule.add_brownout(kSg47, at(8, 4, 0), at(8, 4, 6),
+                        1.5 + post.uniform01());
+  return schedule;
+}
+
+FaultSchedule rolling_brownout(util::Rng root) {
+  FaultSchedule schedule;
+  // One proxy per day across the seven contiguous August-window days
+  // (Jul 31 .. Aug 6), working hours only, each with its own multiplier
+  // stream so schedules for different proxies are uncorrelated.
+  const int days[][2] = {{7, 31}, {8, 1}, {8, 2}, {8, 3},
+                         {8, 4},  {8, 5}, {8, 6}};
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+    util::Rng stream = root.split(p);
+    schedule.add_brownout(p, at(days[p][0], days[p][1], 8),
+                          at(days[p][0], days[p][1], 20),
+                          2.5 + 3.5 * stream.uniform01());
+  }
+  return schedule;
+}
+
+FaultSchedule sg44_flapping(util::Rng root) {
+  FaultSchedule schedule;
+  util::Rng stream = root.split(0);
+  schedule.add_flapping(kSg44, at(8, 3), at(8, 6), 1800, 0.65, stream());
+  return schedule;
+}
+
+}  // namespace
+
+FaultSchedule make_profile(std::string_view name, std::uint64_t seed) {
+  // Root of the profile's RNG streams, decorrelated from the scenario's
+  // generation streams by a fixed tag.
+  const util::Rng root{util::mix64(seed ^ 0xFA17'5EEDULL)};
+  if (name == "none") return FaultSchedule{};
+  if (name == "sg47-outage") return sg47_outage(root);
+  if (name == "rolling-brownout") return rolling_brownout(root);
+  if (name == "sg44-flapping") return sg44_flapping(root);
+  throw std::invalid_argument("fault::make_profile: unknown profile '" +
+                              std::string(name) + "'");
+}
+
+const std::vector<std::string>& profile_names() {
+  static const std::vector<std::string> names = {
+      "none", "sg47-outage", "rolling-brownout", "sg44-flapping"};
+  return names;
+}
+
+}  // namespace syrwatch::fault

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/schedule.h"
+
+namespace syrwatch::fault {
+
+/// Builds the named fault profile for the Summer-2011 observation window.
+///
+/// Profiles are the ScenarioConfig-facing entry point of the fault layer:
+/// every stochastic choice (brownout multipliers, flap seeds) comes from
+/// split RNG streams keyed on `seed`, so a (name, seed) pair always yields
+/// the same schedule — and therefore the same log — for any thread count.
+///
+///   none             healthy farm; the schedule is empty and the whole
+///                    fault layer stays inert (bit-identical to pre-fault
+///                    behaviour)
+///   sg47-outage      SG-47 browns out the morning of Aug 2, dies at noon,
+///                    and returns degraded the morning of Aug 4 — a
+///                    two-day hole in the proxy that owns the wikimedia
+///                    affinity
+///   rolling-brownout one proxy per day (Jul 31 .. Aug 6, proxy 0..6)
+///                    runs a 08:00-20:00 brownout with a hash-drawn error
+///                    multiplier
+///   sg44-flapping    SG-44 (the Tor-censoring appliance) flaps on a
+///                    30-minute duty cycle over Aug 3-5
+///
+/// Throws std::invalid_argument for an unknown name.
+FaultSchedule make_profile(std::string_view name, std::uint64_t seed);
+
+/// Names accepted by make_profile, in presentation order.
+const std::vector<std::string>& profile_names();
+
+}  // namespace syrwatch::fault

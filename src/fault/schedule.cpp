@@ -1,0 +1,119 @@
+#include "fault/schedule.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/simtime.h"
+
+namespace syrwatch::fault {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kBrownout: return "brownout";
+    case FaultKind::kFlapping: return "flapping";
+  }
+  return "?";
+}
+
+void FaultSchedule::check_window(std::int64_t start, std::int64_t end) const {
+  if (end <= start)
+    throw std::invalid_argument("FaultSchedule: window end must be > start");
+}
+
+void FaultSchedule::add_outage(std::size_t proxy_index, std::int64_t start,
+                               std::int64_t end) {
+  check_window(start, end);
+  FaultWindow window;
+  window.proxy_index = proxy_index;
+  window.start = start;
+  window.end = end;
+  window.kind = FaultKind::kOutage;
+  windows_.push_back(std::move(window));
+}
+
+void FaultSchedule::add_brownout(std::size_t proxy_index, std::int64_t start,
+                                 std::int64_t end, double error_multiplier) {
+  check_window(start, end);
+  if (error_multiplier <= 0.0)
+    throw std::invalid_argument("FaultSchedule: multiplier must be > 0");
+  FaultWindow window;
+  window.proxy_index = proxy_index;
+  window.start = start;
+  window.end = end;
+  window.kind = FaultKind::kBrownout;
+  window.error_multiplier = error_multiplier;
+  windows_.push_back(std::move(window));
+}
+
+void FaultSchedule::add_flapping(std::size_t proxy_index, std::int64_t start,
+                                 std::int64_t end,
+                                 std::int64_t period_seconds,
+                                 double up_fraction, std::uint64_t seed) {
+  check_window(start, end);
+  FaultWindow window;
+  window.proxy_index = proxy_index;
+  window.start = start;
+  window.end = end;
+  window.kind = FaultKind::kFlapping;
+  // Off-windows of the schedule are the proxy's down-periods; intensity is
+  // irrelevant, only on/off matters.
+  window.flap =
+      policy::OnOffSchedule{seed, period_seconds, up_fraction, 1.0, 1.0};
+  windows_.push_back(std::move(window));
+}
+
+bool FaultSchedule::is_down(std::size_t proxy_index,
+                            std::int64_t time) const noexcept {
+  for (const FaultWindow& window : windows_) {
+    if (window.proxy_index != proxy_index) continue;
+    if (time < window.start || time >= window.end) continue;
+    if (window.kind == FaultKind::kOutage) return true;
+    if (window.kind == FaultKind::kFlapping && !window.flap.on(time))
+      return true;
+  }
+  return false;
+}
+
+double FaultSchedule::error_multiplier(std::size_t proxy_index,
+                                       std::int64_t time) const noexcept {
+  double multiplier = 1.0;
+  for (const FaultWindow& window : windows_) {
+    if (window.proxy_index != proxy_index ||
+        window.kind != FaultKind::kBrownout)
+      continue;
+    if (time >= window.start && time < window.end)
+      multiplier *= window.error_multiplier;
+  }
+  return multiplier;
+}
+
+bool FaultSchedule::affects(std::size_t proxy_index) const noexcept {
+  for (const FaultWindow& window : windows_) {
+    if (window.proxy_index == proxy_index) return true;
+  }
+  return false;
+}
+
+std::string FaultSchedule::describe() const {
+  if (windows_.empty()) return "no faults scheduled\n";
+  std::string out;
+  for (const FaultWindow& window : windows_) {
+    out += "proxy " + std::to_string(window.proxy_index) + ": " +
+           std::string(to_string(window.kind)) + " " +
+           util::format_datetime(window.start) + " .. " +
+           util::format_datetime(window.end);
+    if (window.kind == FaultKind::kBrownout) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, " (errors x%.2f)",
+                    window.error_multiplier);
+      out += buffer;
+    } else if (window.kind == FaultKind::kFlapping) {
+      out += " (period " + std::to_string(window.flap.window_seconds()) + "s)";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace syrwatch::fault

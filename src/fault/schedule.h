@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/schedule.h"
+
+namespace syrwatch::fault {
+
+/// What a fault window does to its proxy.
+enum class FaultKind : std::uint8_t {
+  kOutage,    // proxy completely down: routes nothing, logs nothing
+  kBrownout,  // proxy up but degraded: network-error rates multiplied
+  kFlapping,  // proxy alternates up/down on a hash-derived duty cycle
+};
+
+std::string_view to_string(FaultKind kind) noexcept;
+
+/// One contiguous [start, end) fault on one proxy. Flapping windows carry a
+/// policy::OnOffSchedule whose off-periods are the down-periods, so the
+/// up/down pattern is a pure function of (seed, time) — never of execution
+/// order.
+struct FaultWindow {
+  std::size_t proxy_index = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  FaultKind kind = FaultKind::kOutage;
+  /// Brownouts: factor applied to the proxy's ErrorRates (>= 1 degrades).
+  double error_multiplier = 1.0;
+  /// Flapping: up/down pattern inside [start, end).
+  policy::OnOffSchedule flap = policy::OnOffSchedule::constant(1.0);
+};
+
+/// Deterministic per-proxy fault timeline for a whole observation window.
+///
+/// The schedule is immutable once traffic starts and every query is a pure
+/// function of (proxy, time), so it is safe to consult from concurrent
+/// generation shards and cannot perturb the pipeline's thread-count
+/// invariance (DESIGN.md §4.6). An empty schedule answers "healthy" to
+/// every query — the strictly-opt-in contract the `none` profile relies on.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Proxy is hard-down throughout [start, end).
+  void add_outage(std::size_t proxy_index, std::int64_t start,
+                  std::int64_t end);
+
+  /// Proxy stays up over [start, end) but its network-error rates are
+  /// multiplied by `error_multiplier` (> 0; values > 1 degrade).
+  void add_brownout(std::size_t proxy_index, std::int64_t start,
+                    std::int64_t end, double error_multiplier);
+
+  /// Proxy alternates up/down over [start, end): time is cut into
+  /// `period_seconds` windows and each is independently up with probability
+  /// `up_fraction`, decided by hashing the window index with `seed`.
+  void add_flapping(std::size_t proxy_index, std::int64_t start,
+                    std::int64_t end, std::int64_t period_seconds,
+                    double up_fraction, std::uint64_t seed);
+
+  bool empty() const noexcept { return windows_.empty(); }
+
+  /// True when the proxy routes no traffic at `time`.
+  bool is_down(std::size_t proxy_index, std::int64_t time) const noexcept;
+
+  /// Product of the brownout multipliers covering (proxy, time); 1.0 when
+  /// healthy. Only meaningful while the proxy is up.
+  double error_multiplier(std::size_t proxy_index,
+                          std::int64_t time) const noexcept;
+
+  /// True if any window (of any kind) ever touches the proxy.
+  bool affects(std::size_t proxy_index) const noexcept;
+
+  const std::vector<FaultWindow>& windows() const noexcept { return windows_; }
+
+  /// One line per window, for reports and the CLI.
+  std::string describe() const;
+
+ private:
+  void check_window(std::int64_t start, std::int64_t end) const;
+
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace syrwatch::fault

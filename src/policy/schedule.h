@@ -25,6 +25,12 @@ class OnOffSchedule {
   /// Enforcement probability in [0, 1] at the given time.
   double intensity(std::int64_t time) const noexcept;
 
+  /// Whether the window covering `time` is an on-window. Rules read the
+  /// graded intensity(); consumers that only need the binary state — e.g.
+  /// fault::FaultSchedule's flapping windows, where off means the proxy is
+  /// down — use this.
+  bool on(std::int64_t time) const noexcept { return intensity(time) > 0.0; }
+
   std::int64_t window_seconds() const noexcept { return window_; }
 
  private:

@@ -22,15 +22,16 @@ ErrorModel::ErrorModel(ErrorRates rates) : rates_(rates) {
   set(ExceptionId::kInvalidResponse, rates.invalid_response);
 }
 
-ExceptionId ErrorModel::sample(util::Rng& rng) const noexcept {
+ExceptionId ErrorModel::sample(util::Rng& rng,
+                               double multiplier) const noexcept {
   const double u = rng.uniform01();
-  if (u >= rates_.total()) return ExceptionId::kNone;
+  if (u >= rates_.total() * multiplier) return ExceptionId::kNone;
   for (const ExceptionId id :
        {ExceptionId::kTcpError, ExceptionId::kInternalError,
         ExceptionId::kInvalidRequest, ExceptionId::kUnsupportedProtocol,
         ExceptionId::kDnsUnresolvedHostname, ExceptionId::kDnsServerFailure,
         ExceptionId::kUnsupportedEncoding, ExceptionId::kInvalidResponse}) {
-    if (u < cumulative_[static_cast<std::size_t>(id)]) return id;
+    if (u < cumulative_[static_cast<std::size_t>(id)] * multiplier) return id;
   }
   return ExceptionId::kNone;
 }

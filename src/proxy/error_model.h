@@ -38,8 +38,11 @@ class ErrorModel {
   explicit ErrorModel(ErrorRates rates = {});
 
   /// Samples the outcome of a fetch attempt: kNone on success, otherwise
-  /// the failing exception.
-  ExceptionId sample(util::Rng& rng) const noexcept;
+  /// the failing exception. `multiplier` scales every rate uniformly — the
+  /// fault layer's brownout knob (1.0 = the configured rates, bit-identical
+  /// to the unscaled path). Exactly one draw is consumed either way, so a
+  /// time-varying multiplier cannot desynchronize the proxy's RNG stream.
+  ExceptionId sample(util::Rng& rng, double multiplier = 1.0) const noexcept;
 
   const ErrorRates& rates() const noexcept { return rates_; }
 

@@ -28,7 +28,8 @@ std::size_t ProxyFarm::TransparentStringHash::operator()(
 
 ProxyFarm::ProxyFarm(const policy::SyriaPolicy* policy,
                      const SgProxyConfig& config, std::uint64_t seed)
-    : route_salt_(util::mix64(seed ^ 0xFA53)) {
+    : route_salt_(util::mix64(seed ^ 0xFA53)),
+      failovers_to_(policy::kProxyCount) {
   if (policy == nullptr) throw std::invalid_argument("ProxyFarm: null policy");
   proxies_.reserve(policy::kProxyCount);
   for (std::size_t i = 0; i < policy::kProxyCount; ++i) {
@@ -47,7 +48,38 @@ void ProxyFarm::add_affinity(std::string domain, std::size_t proxy_index,
   affinities_[util::to_lower(domain)].push_back({proxy_index, fraction});
 }
 
+void ProxyFarm::set_fault_schedule(const fault::FaultSchedule* faults) {
+  // An empty schedule is stored as "no fault layer" so route()'s hot path
+  // pays nothing and stays bit-identical under the `none` profile.
+  faults_ = (faults != nullptr && !faults->empty()) ? faults : nullptr;
+  for (SgProxy& appliance : proxies_) appliance.set_fault_schedule(faults_);
+}
+
+std::size_t ProxyFarm::failover_target(const Request& request,
+                                       std::size_t home) const noexcept {
+  // Rendezvous (highest-random-weight) hash keyed on (salt, user, proxy):
+  // every up proxy scores the user and the top score wins. Taking a proxy
+  // down only remaps the users it was serving; everyone else keeps their
+  // assignment, and a user's diverted traffic all lands on one survivor.
+  std::size_t best = home;
+  std::uint64_t best_score = 0;
+  bool found = false;
+  for (std::size_t p = 0; p < proxies_.size(); ++p) {
+    if (faults_->is_down(p, request.time)) continue;
+    const std::uint64_t score =
+        util::mix64(route_salt_ ^ 0x9E3779B97F4A7C15ULL ^
+                    util::mix64(request.user_id) ^ util::mix64(0xF417 + p));
+    if (!found || score > best_score) {
+      found = true;
+      best_score = score;
+      best = p;
+    }
+  }
+  return best;
+}
+
 std::size_t ProxyFarm::route(const Request& request) const noexcept {
+  std::size_t target = proxies_.size();
   // Walk the host's domain suffixes looking for an affinity entry.
   std::string_view probe{request.url.host};
   while (!probe.empty()) {
@@ -64,9 +96,12 @@ std::size_t ProxyFarm::route(const Request& request) const noexcept {
                                  fnv1a(request.url.host)) >>
                      11) *
                  0x1.0p-53;
-      for (const AffinityTarget& target : it->second) {
-        if (u < target.fraction) return target.proxy_index;
-        u -= target.fraction;
+      for (const AffinityTarget& affinity : it->second) {
+        if (u < affinity.fraction) {
+          target = affinity.proxy_index;
+          break;
+        }
+        u -= affinity.fraction;
       }
       break;  // leftover share falls through to home routing
     }
@@ -74,8 +109,19 @@ std::size_t ProxyFarm::route(const Request& request) const noexcept {
     if (dot == std::string_view::npos) break;
     probe.remove_prefix(dot + 1);
   }
-  return static_cast<std::size_t>(util::mix64(request.user_id) %
-                                  proxies_.size());
+  if (target == proxies_.size())
+    target = static_cast<std::size_t>(util::mix64(request.user_id) %
+                                      proxies_.size());
+
+  if (faults_ != nullptr && faults_->is_down(target, request.time)) {
+    const std::size_t survivor = failover_target(request, target);
+    if (survivor != target) {
+      failover_total_.fetch_add(1, std::memory_order_relaxed);
+      failovers_to_[survivor].fetch_add(1, std::memory_order_relaxed);
+    }
+    return survivor;
+  }
+  return target;
 }
 
 LogRecord ProxyFarm::process(const Request& request) {

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "fault/schedule.h"
 #include "policy/syria.h"
 #include "proxy/sg_proxy.h"
 
@@ -20,6 +22,14 @@ namespace syrwatch::proxy {
 /// configured domains to designated proxies, reproducing §5.2's finding
 /// that >95% of metacafe.com requests land on SG-48 and that proxies
 /// specialize in censoring particular content.
+///
+/// With a fault schedule attached, routing becomes health-aware: a request
+/// whose home (or affinity) proxy is down at request time fails over to a
+/// surviving proxy via rendezvous hashing keyed on (farm seed, user,
+/// candidate proxy). The choice is stateless and time-free, so one user's
+/// outage traffic sticks to one survivor (Duser's locality premise holds
+/// piecewise), healthy-period routing is untouched, and the decision stays
+/// a pure function of the request — the thread-count-invariance contract.
 class ProxyFarm {
  public:
   ProxyFarm(const policy::SyriaPolicy* policy, const SgProxyConfig& config,
@@ -33,12 +43,20 @@ class ProxyFarm {
   void add_affinity(std::string domain, std::size_t proxy_index,
                     double fraction);
 
+  /// Attaches the fault layer. An empty (or null) schedule keeps routing
+  /// bit-identical to the fault-free build; a non-empty one enables
+  /// failover and per-proxy brownouts. Configure before traffic starts;
+  /// the schedule must outlive the farm.
+  void set_fault_schedule(const fault::FaultSchedule* faults);
+
   /// The proxy that would handle this request. A pure function of the
   /// request and the farm seed: the affinity draw comes from a stateless
   /// seed-keyed hash of (user, time, host) rather than a shared sequential
   /// RNG, so routing is const, allocation-free on the domain-suffix walk
   /// (heterogeneous string_view lookup), and safe to call from concurrent
-  /// generation shards without affecting the determinism contract.
+  /// generation shards without affecting the determinism contract. The
+  /// failover counters it bumps are relaxed atomics — statistics, not
+  /// routing state.
   std::size_t route(const Request& request) const noexcept;
 
   /// Routes and filters. Unlike route(), this advances the chosen proxy's
@@ -49,6 +67,16 @@ class ProxyFarm {
   SgProxy& proxy(std::size_t index) { return proxies_.at(index); }
   const SgProxy& proxy(std::size_t index) const { return proxies_.at(index); }
   std::size_t proxy_count() const noexcept { return proxies_.size(); }
+
+  /// Requests route() diverted away from a down proxy since construction.
+  std::uint64_t failover_total() const noexcept {
+    return failover_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Diverted requests that landed on `index` as the failover target.
+  std::uint64_t failovers_to(std::size_t index) const {
+    return failovers_to_.at(index).load(std::memory_order_relaxed);
+  }
 
  private:
   struct AffinityTarget {
@@ -63,11 +91,20 @@ class ProxyFarm {
     std::size_t operator()(std::string_view text) const noexcept;
   };
 
+  /// Rendezvous hash over the proxies that are up at request time. Falls
+  /// back to `home` when the whole farm is down (the traffic has nowhere
+  /// else to go; the coverage analyzer will show the resulting blackout).
+  std::size_t failover_target(const Request& request,
+                              std::size_t home) const noexcept;
+
   std::vector<SgProxy> proxies_;
   std::unordered_map<std::string, std::vector<AffinityTarget>,
                      TransparentStringHash, std::equal_to<>>
       affinities_;
   std::uint64_t route_salt_;
+  const fault::FaultSchedule* faults_ = nullptr;
+  mutable std::atomic<std::uint64_t> failover_total_{0};
+  mutable std::vector<std::atomic<std::uint64_t>> failovers_to_;
 };
 
 }  // namespace syrwatch::proxy

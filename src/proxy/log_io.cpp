@@ -32,7 +32,143 @@ std::optional<std::uint64_t> parse_u64(std::string_view text, int base = 10) {
   return value;
 }
 
+/// Bounded civil-field parser: from_chars (no exceptions, no locale), full
+/// consumption, and an inclusive range check. Rejects the out-of-range
+/// values ("2011-13-01", hour 25, negative day) that the exception-driven
+/// stoi path used to accept silently.
+std::optional<int> parse_civil_field(std::string_view text, int lo, int hi) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    return std::nullopt;
+  if (value < lo || value > hi) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_timestamp(const std::string& date,
+                                            const std::string& clock) {
+  const auto date_parts = util::split(date, '-');
+  const auto time_parts = util::split(clock, ':');
+  if (date_parts.size() != 3 || time_parts.size() != 3) return std::nullopt;
+  util::CivilDateTime c;
+  const auto year = parse_civil_field(date_parts[0], 1970, 9999);
+  const auto month = parse_civil_field(date_parts[1], 1, 12);
+  const auto day = parse_civil_field(date_parts[2], 1, 31);
+  const auto hour = parse_civil_field(time_parts[0], 0, 23);
+  const auto minute = parse_civil_field(time_parts[1], 0, 59);
+  const auto second = parse_civil_field(time_parts[2], 0, 59);
+  if (!year || !month || !day || !hour || !minute || !second)
+    return std::nullopt;
+  c.year = *year;
+  c.month = *month;
+  c.day = *day;
+  c.hour = *hour;
+  c.minute = *minute;
+  c.second = *second;
+  const std::int64_t t = util::to_unix_seconds(c);
+  // Round-trip check catches dates the per-field ranges cannot (Feb 30,
+  // Apr 31): a date that does not exist normalizes to a different one.
+  const util::CivilDateTime back = util::to_civil(t);
+  if (back.year != c.year || back.month != c.month || back.day != c.day)
+    return std::nullopt;
+  return t;
+}
+
+std::optional<LogRecord> from_csv_impl(const std::string& line,
+                                       ParseDiagnosis& diagnosis) {
+  diagnosis = {};
+  std::vector<std::string> f;
+  try {
+    f = util::csv_parse(line);
+  } catch (const std::invalid_argument&) {
+    diagnosis.error = ParseError::kUnbalancedQuote;
+    return std::nullopt;
+  }
+  diagnosis.columns = f.size();
+  if (f.size() != kColumnCount) {
+    diagnosis.error = ParseError::kColumnCount;
+    return std::nullopt;
+  }
+
+  LogRecord record;
+
+  const auto time = parse_timestamp(f[0], f[1]);
+  if (!time) {
+    diagnosis.error = ParseError::kBadTimestamp;
+    return std::nullopt;
+  }
+  record.time = *time;
+
+  const auto s_ip = net::Ipv4Addr::parse(f[2]);
+  if (!s_ip || s_ip->octet(3) < 42 || s_ip->octet(3) > 48) {
+    diagnosis.error = ParseError::kBadAddress;
+    return std::nullopt;
+  }
+  record.proxy_index = static_cast<std::uint8_t>(s_ip->octet(3) - 42);
+
+  diagnosis.error = ParseError::kBadField;  // any failure below
+  if (f[3] == "0.0.0.0") {
+    record.user_hash = 0;
+  } else {
+    const auto hash = parse_u64(f[3], 16);
+    if (!hash) return std::nullopt;
+    record.user_hash = *hash;
+  }
+
+  record.method = f[4];
+  const auto scheme = net::parse_scheme(f[5]);
+  if (!scheme) return std::nullopt;
+  record.url.scheme = *scheme;
+  record.url.host = f[6];
+  const auto port = parse_u64(f[7]);
+  if (!port || *port > 65535) return std::nullopt;
+  record.url.port = static_cast<std::uint16_t>(*port);
+  record.url.path = dash_to_empty(f[8]);
+  record.url.query = dash_to_empty(f[9]);
+  // f[10] (cs-uri-ext) is derived from the path; ignored on read.
+  record.user_agent = dash_to_empty(f[11]);
+  record.categories = dash_to_empty(f[12]);
+  const auto status = parse_u64(f[13]);
+  if (!status || *status > 999) return std::nullopt;
+  record.status = static_cast<std::uint16_t>(*status);
+  const auto result = parse_filter_result(f[14]);
+  if (!result) return std::nullopt;
+  record.filter_result = *result;
+  const auto exception = parse_exception(f[15]);
+  if (!exception) return std::nullopt;
+  record.exception = *exception;
+  if (f[16] != "-") {
+    const auto dest = net::Ipv4Addr::parse(f[16]);
+    if (!dest) return std::nullopt;
+    record.dest_ip = *dest;
+  }
+  diagnosis.error = ParseError::kNone;
+  return record;
+}
+
+/// "wrong column count (got 4, expected 17)"-style reason for messages.
+std::string describe_failure(const ParseDiagnosis& diagnosis) {
+  if (diagnosis.error == ParseError::kColumnCount) {
+    return "wrong column count (got " + std::to_string(diagnosis.columns) +
+           ", expected " + std::to_string(kColumnCount) + ")";
+  }
+  return std::string(to_string(diagnosis.error));
+}
+
 }  // namespace
+
+std::string_view to_string(ParseError error) noexcept {
+  switch (error) {
+    case ParseError::kNone: return "ok";
+    case ParseError::kUnbalancedQuote: return "unbalanced quote";
+    case ParseError::kColumnCount: return "wrong column count";
+    case ParseError::kBadTimestamp: return "bad timestamp";
+    case ParseError::kBadAddress: return "bad proxy address";
+    case ParseError::kBadField: return "bad field";
+  }
+  return "?";
+}
 
 std::string log_csv_header() {
   return "date,time,s-ip,c-ip,cs-method,cs-uri-scheme,cs-host,cs-uri-port,"
@@ -74,75 +210,10 @@ std::string to_csv(const LogRecord& record) {
   return util::csv_join(fields);
 }
 
-std::optional<LogRecord> from_csv(const std::string& line) {
-  std::vector<std::string> f;
-  try {
-    f = util::csv_parse(line);
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;
-  }
-  if (f.size() != kColumnCount) return std::nullopt;
-
-  LogRecord record;
-
-  // date + time
-  const auto date_parts = util::split(f[0], '-');
-  const auto time_parts = util::split(f[1], ':');
-  if (date_parts.size() != 3 || time_parts.size() != 3) return std::nullopt;
-  util::CivilDateTime c;
-  try {
-    c.year = std::stoi(date_parts[0]);
-    c.month = std::stoi(date_parts[1]);
-    c.day = std::stoi(date_parts[2]);
-    c.hour = std::stoi(time_parts[0]);
-    c.minute = std::stoi(time_parts[1]);
-    c.second = std::stoi(time_parts[2]);
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-  record.time = util::to_unix_seconds(c);
-
-  const auto s_ip = net::Ipv4Addr::parse(f[2]);
-  if (!s_ip || s_ip->octet(3) < 42 || s_ip->octet(3) > 48)
-    return std::nullopt;
-  record.proxy_index = static_cast<std::uint8_t>(s_ip->octet(3) - 42);
-
-  if (f[3] == "0.0.0.0") {
-    record.user_hash = 0;
-  } else {
-    const auto hash = parse_u64(f[3], 16);
-    if (!hash) return std::nullopt;
-    record.user_hash = *hash;
-  }
-
-  record.method = f[4];
-  const auto scheme = net::parse_scheme(f[5]);
-  if (!scheme) return std::nullopt;
-  record.url.scheme = *scheme;
-  record.url.host = f[6];
-  const auto port = parse_u64(f[7]);
-  if (!port || *port > 65535) return std::nullopt;
-  record.url.port = static_cast<std::uint16_t>(*port);
-  record.url.path = dash_to_empty(f[8]);
-  record.url.query = dash_to_empty(f[9]);
-  // f[10] (cs-uri-ext) is derived from the path; ignored on read.
-  record.user_agent = dash_to_empty(f[11]);
-  record.categories = dash_to_empty(f[12]);
-  const auto status = parse_u64(f[13]);
-  if (!status || *status > 999) return std::nullopt;
-  record.status = static_cast<std::uint16_t>(*status);
-  const auto result = parse_filter_result(f[14]);
-  if (!result) return std::nullopt;
-  record.filter_result = *result;
-  const auto exception = parse_exception(f[15]);
-  if (!exception) return std::nullopt;
-  record.exception = *exception;
-  if (f[16] != "-") {
-    const auto dest = net::Ipv4Addr::parse(f[16]);
-    if (!dest) return std::nullopt;
-    record.dest_ip = *dest;
-  }
-  return record;
+std::optional<LogRecord> from_csv(const std::string& line,
+                                  ParseDiagnosis* diagnosis) {
+  ParseDiagnosis local;
+  return from_csv_impl(line, diagnosis != nullptr ? *diagnosis : local);
 }
 
 void write_log(std::ostream& out, const std::vector<LogRecord>& records) {
@@ -155,13 +226,79 @@ std::vector<LogRecord> read_log(std::istream& in) {
   if (!std::getline(in, line) || line != log_csv_header())
     throw std::runtime_error("read_log: missing or unexpected header");
   std::vector<LogRecord> records;
+  std::uint64_t line_number = 1;  // header was line 1
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
-    auto record = from_csv(line);
-    if (!record) throw std::runtime_error("read_log: malformed row: " + line);
+    ParseDiagnosis diagnosis;
+    auto record = from_csv(line, &diagnosis);
+    if (!record) {
+      throw std::runtime_error(
+          "read_log: line " + std::to_string(line_number) + ": " +
+          describe_failure(diagnosis) + ": " + line);
+    }
     records.push_back(std::move(*record));
   }
   return records;
+}
+
+std::uint64_t LogReadStats::skipped_total() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : skipped) total += count;
+  return total;
+}
+
+std::string LogReadStats::summary() const {
+  std::string out;
+  out += "lines: " + std::to_string(lines) +
+         " (header: " + (header_present ? "present" : "MISSING") +
+         ", empty: " + std::to_string(empty_lines) + ")\n";
+  out += "records recovered: " + std::to_string(recovered) + " / " +
+         std::to_string(data_lines) + " data lines\n";
+  for (std::size_t i = 1; i < kParseErrorCount; ++i) {
+    if (skipped[i] == 0) continue;
+    out += "skipped (" + std::string(to_string(static_cast<ParseError>(i))) +
+           "): " + std::to_string(skipped[i]) + ", first at line " +
+           std::to_string(first_error_line[i]) + "\n";
+  }
+  return out;
+}
+
+LenientLog read_log_lenient(std::istream& in) {
+  LenientLog result;
+  LogReadStats& stats = result.stats;
+  const std::string header = log_csv_header();
+
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    ++stats.lines;
+    if (first) {
+      first = false;
+      if (line == header) {
+        stats.header_present = true;
+        continue;
+      }
+      // Headerless (or header-damaged) log: fall through and try the line
+      // as data — a truncated header will be tallied as a skipped line.
+    }
+    if (line.empty()) {
+      ++stats.empty_lines;
+      continue;
+    }
+    ++stats.data_lines;
+    ParseDiagnosis diagnosis;
+    if (auto record = from_csv(line, &diagnosis)) {
+      ++stats.recovered;
+      result.records.push_back(std::move(*record));
+    } else {
+      const auto reason = static_cast<std::size_t>(diagnosis.error);
+      ++stats.skipped[reason];
+      if (stats.first_error_line[reason] == 0)
+        stats.first_error_line[reason] = stats.lines;
+    }
+  }
+  return result;
 }
 
 }  // namespace syrwatch::proxy

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -20,15 +22,73 @@ std::string log_csv_header();
 /// Renders one record as a CSV line (no trailing newline).
 std::string to_csv(const LogRecord& record);
 
+/// Why a line failed to parse. kNone means it parsed.
+enum class ParseError : std::uint8_t {
+  kNone = 0,
+  kUnbalancedQuote,  // CSV-level damage: quote never closed
+  kColumnCount,      // wrong number of fields
+  kBadTimestamp,     // date/time malformed or out of civil range
+  kBadAddress,       // s-ip not one of the seven proxy addresses
+  kBadField,         // any other field failed validation
+};
+
+inline constexpr std::size_t kParseErrorCount = 6;
+
+std::string_view to_string(ParseError error) noexcept;
+
+/// Per-field detail of a parse failure, for error messages and LogReadStats.
+struct ParseDiagnosis {
+  ParseError error = ParseError::kNone;
+  /// Actual column count when the line at least split into fields
+  /// (meaningful for kColumnCount and later stages); 0 otherwise.
+  std::size_t columns = 0;
+};
+
 /// Parses a line produced by to_csv. Returns nullopt on malformed input
-/// (wrong column count, bad enums, bad timestamp).
-std::optional<LogRecord> from_csv(const std::string& line);
+/// (wrong column count, bad enums, bad timestamp, out-of-range civil date
+/// fields), filling `diagnosis` (when given) with the reason.
+std::optional<LogRecord> from_csv(const std::string& line,
+                                  ParseDiagnosis* diagnosis = nullptr);
 
 /// Writes header + all records.
 void write_log(std::ostream& out, const std::vector<LogRecord>& records);
 
 /// Reads a stream written by write_log. Throws std::runtime_error on a
-/// malformed header or row.
+/// malformed header or row; the message names the 1-based line number, the
+/// failure reason, and (for column-count mismatches) the actual count.
 std::vector<LogRecord> read_log(std::istream& in);
+
+/// What read_log_lenient saw: every skipped line accounted for by reason,
+/// with the first offending line number per reason for fast triage.
+struct LogReadStats {
+  std::uint64_t lines = 0;       // lines read, including header and blanks
+  std::uint64_t data_lines = 0;  // non-empty candidate record lines
+  std::uint64_t recovered = 0;   // data lines that parsed
+  std::uint64_t empty_lines = 0;
+  bool header_present = false;  // first line matched log_csv_header()
+  /// Skip counts indexed by ParseError (slot 0, kNone, stays zero).
+  std::array<std::uint64_t, kParseErrorCount> skipped{};
+  /// 1-based stream line number of the first skip per reason; 0 = never.
+  std::array<std::uint64_t, kParseErrorCount> first_error_line{};
+
+  std::uint64_t skipped_total() const noexcept;
+  /// Every data line is either recovered or skipped for exactly one reason.
+  bool consistent() const noexcept {
+    return recovered + skipped_total() == data_lines;
+  }
+  /// Human-readable multi-line rendering (the `inspect` subcommand's view).
+  std::string summary() const;
+};
+
+struct LenientLog {
+  std::vector<LogRecord> records;
+  LogReadStats stats;
+};
+
+/// Damage-tolerant reader for leak-grade logs: never throws on malformed
+/// input. A wrong or missing header is recorded (not fatal) and the first
+/// line is then re-tried as data; every malformed row is skipped and
+/// tallied by reason in `stats`. Intact rows always survive.
+LenientLog read_log_lenient(std::istream& in);
 
 }  // namespace syrwatch::proxy

@@ -79,7 +79,10 @@ LogRecord SgProxy::process(const Request& request) {
     record.status = ErrorModel::status_for(ExceptionId::kTcpError);
     return record;
   }
-  const ExceptionId failure = errors_.sample(rng_);
+  const double fault_multiplier =
+      faults_ == nullptr ? 1.0
+                         : faults_->error_multiplier(index_, request.time);
+  const ExceptionId failure = errors_.sample(rng_, fault_multiplier);
   if (failure != ExceptionId::kNone) {
     record.filter_result = FilterResult::kDenied;
     record.exception = failure;

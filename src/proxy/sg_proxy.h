@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/schedule.h"
 #include "policy/syria.h"
 #include "proxy/cache.h"
 #include "proxy/error_model.h"
@@ -54,6 +55,14 @@ class SgProxy {
   /// Filters one request and returns the resulting log line.
   LogRecord process(const Request& request);
 
+  /// Wires the fault layer in: brownout windows covering this proxy scale
+  /// its network-error rates per request. nullptr (the default) keeps the
+  /// appliance permanently healthy. Configure before traffic starts; the
+  /// schedule must outlive the proxy.
+  void set_fault_schedule(const fault::FaultSchedule* faults) noexcept {
+    faults_ = faults;
+  }
+
   std::uint64_t processed() const noexcept { return processed_; }
   const ResponseCache& cache() const noexcept { return cache_; }
 
@@ -64,6 +73,7 @@ class SgProxy {
   SgProxyConfig config_;
   ResponseCache cache_;
   ErrorModel errors_;
+  const fault::FaultSchedule* faults_ = nullptr;
   util::Rng rng_;
   std::uint64_t processed_ = 0;
 };

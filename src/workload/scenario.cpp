@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/profiles.h"
 #include "util/parallel.h"
 #include "util/simtime.h"
 
@@ -49,8 +50,14 @@ SyriaScenario::SyriaScenario(ScenarioConfig config)
       geoip_(geo::build_world_geoip()),
       policy_(policy::build_syria_policy(relays_, config.seed)),
       farm_(&policy_, config.proxy_config, config.seed),
+      faults_(fault::make_profile(config.fault_profile, config.seed)),
       stream_root_(util::mix64(config.seed ^ 0x5C3A)) {
   catalog_.register_categories(categorizer_);
+
+  // Fault layer: the farm ignores an empty schedule entirely, so the
+  // default "none" profile emits a log bit-identical to a fault-free
+  // build.
+  farm_.set_fault_schedule(&faults_);
 
   // Domain affinity (§5.2): >95% of metacafe on SG-48; IM and the other
   // specialized domains split between SG-48 and SG-45 (the proxy pair with

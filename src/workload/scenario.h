@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "category/categorizer.h"
+#include "fault/schedule.h"
 #include "geo/geoip.h"
 #include "geo/world.h"
 #include "policy/syria.h"
@@ -63,6 +64,12 @@ struct ScenarioConfig {
   /// proxy consumes its own queue in a fixed global order, and shard
   /// buffers merge back into generation order before reaching the sink.
   std::size_t threads = 0;
+  /// Named fault profile (fault::make_profile) injected into the farm:
+  /// proxy outages with deterministic failover, brownouts, flapping.
+  /// "none" (the default) keeps the fault layer inert and the log
+  /// bit-identical to a fault-free build; any profile preserves the
+  /// thread-count-invariance contract (DESIGN.md §4.6).
+  std::string fault_profile = "none";
 };
 
 using LogCallback = std::function<void(const proxy::LogRecord&)>;
@@ -92,6 +99,9 @@ class SyriaScenario {
   }
   const policy::SyriaPolicy& policy() const noexcept { return policy_; }
   proxy::ProxyFarm& farm() noexcept { return farm_; }
+  const proxy::ProxyFarm& farm() const noexcept { return farm_; }
+  /// The injected fault timeline (empty for the "none" profile).
+  const fault::FaultSchedule& faults() const noexcept { return faults_; }
   const DiurnalModel& diurnal() const noexcept { return diurnal_; }
   const std::vector<std::unique_ptr<Component>>& components() const noexcept {
     return components_;
@@ -107,6 +117,9 @@ class SyriaScenario {
   category::Categorizer categorizer_;
   policy::SyriaPolicy policy_;
   proxy::ProxyFarm farm_;
+  /// Owned by the scenario so farm/proxy pointers into it stay valid for
+  /// the scenario's lifetime. Built before traffic starts; immutable after.
+  fault::FaultSchedule faults_;
   DiurnalModel diurnal_;
   std::vector<std::unique_ptr<Component>> components_;
   /// Root of the per-(day, slot, component) RNG streams. Never advanced:

@@ -135,4 +135,99 @@ TEST(LogIo, QueryWithCommasSurvives) {
   EXPECT_EQ(parsed->url.query, record.url.query);
 }
 
+TEST(LogIo, ReadErrorNamesLineNumber) {
+  std::stringstream stream;
+  stream << log_csv_header() << "\n"
+         << to_csv(sample_record()) << "\n"
+         << "not,a,valid,row\n";
+  try {
+    read_log(stream);
+    FAIL() << "expected read_log to throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    // Header is line 1, the good record line 2, the bad row line 3.
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 17"), std::string::npos) << what;
+  }
+}
+
+TEST(LogIo, DiagnosisReportsColumnCount) {
+  ParseDiagnosis diagnosis;
+  EXPECT_FALSE(from_csv("a,b,c", &diagnosis));
+  EXPECT_EQ(diagnosis.error, ParseError::kColumnCount);
+  EXPECT_EQ(diagnosis.columns, 3u);
+}
+
+TEST(LogIo, DiagnosisClearsOnSuccess) {
+  ParseDiagnosis diagnosis;
+  diagnosis.error = ParseError::kColumnCount;
+  EXPECT_TRUE(from_csv(to_csv(sample_record()), &diagnosis));
+  EXPECT_EQ(diagnosis.error, ParseError::kNone);
+}
+
+// Timestamp fields must be in civil range *and* denote a real date;
+// std::from_chars-based parsing also rejects signs and trailing junk.
+TEST(LogIo, RejectsOutOfRangeCivilFields) {
+  const auto line = to_csv(sample_record());
+  const std::string date = "2011-08-03";
+  const std::string time = "08:15:30";
+  const auto expect_rejected = [&](const std::string& needle,
+                                   const std::string& replacement) {
+    auto corrupted = line;
+    const auto pos = corrupted.find(needle);
+    ASSERT_NE(pos, std::string::npos) << needle;
+    corrupted.replace(pos, needle.size(), replacement);
+    ParseDiagnosis diagnosis;
+    EXPECT_FALSE(from_csv(corrupted, &diagnosis)) << replacement;
+    EXPECT_EQ(diagnosis.error, ParseError::kBadTimestamp) << replacement;
+  };
+  expect_rejected(date, "2011-13-03");  // month 13
+  expect_rejected(date, "2011-00-03");  // month 0
+  expect_rejected(date, "2011-08-32");  // day 32
+  expect_rejected(date, "2011-08--3");  // negative day
+  expect_rejected(date, "2011-02-30");  // no Feb 30
+  expect_rejected(date, "2011-8x-03");  // trailing junk in a field
+  expect_rejected(time, "25:15:30");    // hour 25
+  expect_rejected(time, "08:61:30");    // minute 61
+  expect_rejected(time, "08:15:77");    // second 77
+}
+
+TEST(LogIo, AcceptsCivilEdgeValues) {
+  auto record = sample_record();
+  record.time = util::to_unix_seconds({2011, 12, 31, 23, 59, 59});
+  const auto parsed = from_csv(to_csv(record));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->time, record.time);
+}
+
+TEST(LogIo, LenientReaderRecoversAroundDamage) {
+  std::stringstream stream;
+  stream << log_csv_header() << "\n";
+  for (int i = 0; i < 10; ++i) {
+    LogRecord record = sample_record();
+    record.time += i * 60;
+    stream << to_csv(record) << "\n";
+  }
+  stream << "garbage line\n";
+  stream << "\n";
+  stream << to_csv(sample_record()).substr(0, 25) << "\n";  // truncated
+  const auto log = read_log_lenient(stream);
+  EXPECT_EQ(log.records.size(), 10u);
+  EXPECT_TRUE(log.stats.header_present);
+  EXPECT_EQ(log.stats.empty_lines, 1u);
+  EXPECT_EQ(log.stats.recovered, 10u);
+  EXPECT_EQ(log.stats.skipped_total(), 2u);
+  EXPECT_TRUE(log.stats.consistent());
+}
+
+TEST(LogIo, LenientReaderWithoutHeaderStillParses) {
+  std::stringstream stream;
+  stream << to_csv(sample_record()) << "\n";
+  const auto log = read_log_lenient(stream);
+  EXPECT_FALSE(log.stats.header_present);
+  EXPECT_EQ(log.records.size(), 1u);
+  EXPECT_TRUE(log.stats.consistent());
+}
+
 }  // namespace

@@ -89,6 +89,28 @@ TEST(ThreadInvariance, LogStreamIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The fault layer must not weaken the §4.5 contract: outage failover and
+// brownout error draws are pure functions of (proxy, time, user), so the
+// emitted log stays bit-identical for any worker count even while a proxy
+// is down or degraded.
+TEST(ThreadInvariance, FaultedLogIsBitIdenticalAcrossThreadCounts) {
+  for (const char* profile : {"sg47-outage", "rolling-brownout"}) {
+    auto reference_config = small_config(60'000, 1);
+    reference_config.fault_profile = profile;
+    const auto reference = run_to_csv(reference_config);
+    ASSERT_GT(reference.size(), 20'000u) << profile;
+    for (const std::size_t threads : {std::size_t{3}, std::size_t{8}}) {
+      auto config = small_config(60'000, threads);
+      config.fault_profile = profile;
+      const auto lines = run_to_csv(config);
+      ASSERT_EQ(lines.size(), reference.size())
+          << profile << " @ " << threads << " threads";
+      EXPECT_EQ(lines, reference) << profile << " @ " << threads
+                                  << " threads";
+    }
+  }
+}
+
 TEST(ThreadInvariance, FullReportIsBitIdenticalAcrossThreadCounts) {
   std::string reference;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# ci-sanitize.sh — build and test syrwatch under both sanitizer
+# configurations the project supports:
+#
+#   1. SYRWATCH_SANITIZE=thread             (TSan: parallel pipeline races)
+#   2. SYRWATCH_SANITIZE=address,undefined  (ASan+UBSan: memory / UB bugs,
+#                                            incl. the fault-injection and
+#                                            corrupted-log parsing paths)
+#
+# Usage:
+#   tools/ci-sanitize.sh [ctest -R filter]
+#
+# With no argument the full ctest suite runs in each configuration. Pass a
+# regex to narrow it, e.g. the fault-injection and log-parsing tests only:
+#
+#   tools/ci-sanitize.sh 'fault|log_io|parallel'
+#
+# Build trees live in build-tsan/ and build-asan/ next to the source tree,
+# so a regular build/ directory is left untouched.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+filter="${1:-}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local build_dir="${repo_root}/build-${name}"
+  echo "==> [${name}] configure (SYRWATCH_SANITIZE=${sanitize})"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+        -DSYRWATCH_SANITIZE="${sanitize}" >/dev/null
+  echo "==> [${name}] build"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==> [${name}] ctest"
+  if [[ -n "${filter}" ]]; then
+    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" -R "${filter}")
+  else
+    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  fi
+}
+
+run_config tsan thread
+run_config asan address,undefined
+
+echo "==> all sanitizer configurations green"

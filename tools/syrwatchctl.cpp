@@ -1,8 +1,15 @@
 // syrwatchctl — command-line front end for the syrwatch library.
 //
 //   syrwatchctl generate --out leak.csv [--requests N] [--seed S]
-//                        [--no-leak-filter]
+//                        [--no-leak-filter] [--fault-profile NAME]
 //       Simulate the deployment and write the log in Blue Coat csv form.
+//       --fault-profile injects proxy outages/brownouts/flapping (see
+//       fault::make_profile for the named profiles).
+//
+//   syrwatchctl inspect <log.csv> [--bin-hours H]
+//       Damage-tolerant triage of an on-disk log: parse statistics
+//       (lines recovered/skipped by reason) plus the per-proxy/per-day
+//       coverage table and gap windows.
 //
 //   syrwatchctl stats <log.csv>
 //       Table 3-style traffic breakdown.
@@ -29,12 +36,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/coverage.h"
 #include "analysis/redirects.h"
 #include "analysis/string_discovery.h"
 #include "analysis/top_domains.h"
 #include "analysis/traffic_stats.h"
 #include "analysis/user_stats.h"
 #include "analysis/weather.h"
+#include "fault/profiles.h"
+#include "policy/syria.h"
 #include "proxy/log_io.h"
 #include "util/simtime.h"
 #include "util/strings.h"
@@ -50,7 +60,8 @@ int usage() {
       stderr,
       "usage:\n"
       "  syrwatchctl generate --out FILE [--requests N] [--seed S]"
-      " [--threads T] [--no-leak-filter]\n"
+      " [--threads T] [--no-leak-filter] [--fault-profile NAME]\n"
+      "  syrwatchctl inspect FILE [--bin-hours H]\n"
       "  syrwatchctl stats FILE\n"
       "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]\n"
       "  syrwatchctl discover FILE [--min-count N]\n"
@@ -100,6 +111,8 @@ int cmd_generate(int argc, char** argv) {
     config.threads = std::strtoull(threads, nullptr, 10);
   if (has_flag(argc, argv, "--no-leak-filter"))
     config.apply_leak_filter = false;
+  if (const char* profile = flag_value(argc, argv, "--fault-profile"))
+    config.fault_profile = profile;  // make_profile rejects unknown names
 
   std::ofstream out{out_path};
   if (!out) {
@@ -116,6 +129,74 @@ int cmd_generate(int argc, char** argv) {
   std::printf("wrote %s records to %s (seed %llu)\n",
               util::with_commas(written).c_str(), out_path,
               static_cast<unsigned long long>(config.seed));
+  if (!scenario.faults().empty()) {
+    std::printf("fault profile %s: %s\n", config.fault_profile.c_str(),
+                scenario.faults().describe().c_str());
+    std::printf("failovers: %s requests diverted off their home proxy\n",
+                util::with_commas(scenario.farm().failover_total()).c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::int64_t bin = 3600;
+  if (const char* hours = flag_value(argc, argv, "--bin-hours"))
+    bin = 3600 * std::strtoll(hours, nullptr, 10);
+
+  std::ifstream in{argv[2]};
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  const auto log = proxy::read_log_lenient(in);
+  std::fputs(log.stats.summary().c_str(), stdout);
+
+  analysis::Dataset dataset;
+  for (const auto& record : log.records) dataset.add(record);
+  dataset.finalize();
+  if (dataset.size() == 0) {
+    std::printf("no usable records — nothing to inspect\n");
+    return log.stats.skipped_total() > 0 ? 1 : 0;
+  }
+
+  const auto coverage = analysis::request_coverage(dataset, bin);
+  util::TextTable days{[&] {
+    std::vector<std::string> header{"Day"};
+    for (std::size_t p = 0; p < policy::kProxyCount; ++p)
+      header.emplace_back(policy::proxy_name(p));
+    header.emplace_back("Total");
+    return header;
+  }()};
+  for (const auto& day : coverage.days) {
+    std::vector<std::string> cells{util::format_date(day.day_start)};
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : day.requests) {
+      cells.push_back(count == 0 ? "-" : util::with_commas(count));
+      total += count;
+    }
+    cells.push_back(util::with_commas(total));
+    days.add_row(cells);
+  }
+  std::fputs(util::titled_block("Per-proxy daily coverage", days).c_str(),
+             stdout);
+
+  if (coverage.degraded()) {
+    util::TextTable gaps{{"Proxy", "Gap start", "Gap end", "Farm reqs"}};
+    for (const auto& gap : coverage.gaps) {
+      gaps.add_row({std::string(policy::proxy_name(gap.proxy_index)),
+                    util::format_datetime(gap.start),
+                    util::format_datetime(gap.end),
+                    util::with_commas(gap.farm_requests)});
+    }
+    std::fputs(util::titled_block("Coverage gaps (farm active, proxy silent)",
+                                  gaps)
+                   .c_str(),
+               stdout);
+  } else {
+    std::printf("no coverage gaps at %lld-second bins\n",
+                static_cast<long long>(bin));
+  }
   return 0;
 }
 
@@ -296,6 +377,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
     if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+    if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argc, argv);
     if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
     if (std::strcmp(argv[1], "top") == 0) return cmd_top(argc, argv);
     if (std::strcmp(argv[1], "discover") == 0)
