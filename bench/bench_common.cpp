@@ -1,10 +1,27 @@
 #include "bench_common.h"
 
 #include <map>
+#include <stdexcept>
+
+#include "obs/context.h"
 
 namespace syrbench {
 
 namespace {
+
+/// A cached study and the registry/context pair it runs under. The
+/// registry lives beside the study so its instrument addresses stay valid
+/// for the process lifetime (benches snapshot it after timings).
+struct StudySlot {
+  syrwatch::obs::MetricsRegistry registry;
+  syrwatch::obs::Context context{&registry};
+  std::unique_ptr<Study> study;
+};
+
+std::map<std::string, StudySlot>& slots() {
+  static std::map<std::string, StudySlot> instance;
+  return instance;
+}
 
 std::string config_key(const syrwatch::workload::ScenarioConfig& config) {
   std::string key = std::to_string(config.seed) + ":" +
@@ -20,16 +37,23 @@ std::string config_key(const syrwatch::workload::ScenarioConfig& config) {
 }  // namespace
 
 Study& study_for(const syrwatch::workload::ScenarioConfig& config) {
-  static std::map<std::string, std::unique_ptr<Study>> studies;
-  auto& slot = studies[config_key(config)];
-  if (!slot) {
-    slot = std::make_unique<Study>(config);
+  auto& slot = slots()[config_key(config)];
+  if (!slot.study) {
+    slot.study = std::make_unique<Study>(config);
+    slot.study->set_obs(&slot.context);
     std::printf("[simulating %s requests over the nine leaked days ...]\n",
                 with_commas(config.total_requests).c_str());
     std::fflush(stdout);
-    slot->run();
+    slot.study->run();
   }
-  return *slot;
+  return *slot.study;
+}
+
+syrwatch::obs::MetricsRegistry& registry_for(const Study& study) {
+  for (auto& [key, slot] : slots()) {
+    if (slot.study.get() == &study) return slot.registry;
+  }
+  throw std::logic_error("registry_for: study was not built by study_for");
 }
 
 void print_banner(const char* experiment, const char* paper_claim,

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/study.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -46,8 +47,13 @@ inline syrwatch::workload::ScenarioConfig boosted_config() {
   return config;
 }
 
-/// Builds (once per process) and returns the study for a config.
+/// Builds (once per process) and returns the study for a config. Each
+/// cached study runs with its own metrics registry attached (see
+/// registry_for), so benches can report pipeline counters for free.
 Study& study_for(const syrwatch::workload::ScenarioConfig& config);
+
+/// The metrics registry attached to a study returned by study_for().
+syrwatch::obs::MetricsRegistry& registry_for(const Study& study);
 
 inline Study& default_study() { return study_for(default_config()); }
 inline Study& boosted_study() { return study_for(boosted_config()); }

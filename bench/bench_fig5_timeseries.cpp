@@ -18,8 +18,9 @@ void print_reproduction() {
                "3; censored roughly tracks allowed");
 
   const auto series = analysis::traffic_time_series(
-      default_study().datasets().full, workload::at(8, 1),
-      workload::at(8, 7), 3600);
+      default_study().datasets().full,
+      analysis::TrafficSeriesOptions{{workload::at(8, 1), workload::at(8, 7)},
+                                     {3600}});
 
   TextTable table{{"Hour (UTC)", "Allowed", "Censored", "Censored/Allowed"}};
   for (std::size_t bin = 0; bin < series.allowed.bin_count(); bin += 4) {
@@ -52,7 +53,8 @@ void BM_TimeSeries(benchmark::State& state) {
   const auto& full = default_study().datasets().full;
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::traffic_time_series(
-        full, workload::at(8, 1), workload::at(8, 7), 300));
+        full, analysis::TrafficSeriesOptions{
+                  {workload::at(8, 1), workload::at(8, 7)}, {300}}));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(full.size()));

@@ -15,9 +15,9 @@ void print_reproduction() {
                "decaying by 9:30; smaller peaks ~5am and ~10pm (IM-surge "
                "driven)");
 
-  const auto series =
-      analysis::rcv_series(default_study().datasets().full,
-                           workload::at(8, 3), workload::at(8, 4), 1800);
+  const auto series = analysis::rcv_series(
+      default_study().datasets().full,
+      analysis::RcvOptions{{workload::at(8, 3), workload::at(8, 4)}, {1800}});
 
   TextTable table{{"Time of day", "RCV"}};
   for (std::size_t bin = 0; bin < series.rcv.size(); ++bin) {
@@ -42,7 +42,8 @@ void BM_Rcv(benchmark::State& state) {
   const auto& full = default_study().datasets().full;
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::rcv_series(
-        full, workload::at(8, 3), workload::at(8, 4), 300));
+        full, analysis::RcvOptions{{workload::at(8, 3), workload::at(8, 4)},
+                                   {300}}));
   }
 }
 BENCHMARK(BM_Rcv)->Unit(benchmark::kMillisecond);

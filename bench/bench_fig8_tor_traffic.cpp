@@ -57,7 +57,8 @@ void print_reproduction() {
 
   // Fig. 8a: requests per hour, Aug 1-6 (every 6 hours shown).
   const auto hourly = analysis::tor_hourly_series(
-      full, relays, workload::at(8, 1), workload::at(8, 7));
+      full, relays,
+      analysis::TorHourlyOptions{{workload::at(8, 1), workload::at(8, 7)}});
   TextTable series{{"Hour", "Tor requests"}};
   for (std::size_t bin = 0; bin < hourly.bin_count(); bin += 6) {
     std::string bar(hourly.at(bin) / 2, '#');

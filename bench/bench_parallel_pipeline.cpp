@@ -4,8 +4,13 @@
 // invariance contract of DESIGN.md §4.5). Not a paper experiment — this
 // bench tracks the scaling refactor every future growth PR builds on.
 
+#include <string_view>
+
 #include "bench_common.h"
 #include "core/report.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "policy/rule.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -54,6 +59,39 @@ void print_reproduction() {
   }
   print_block("Determinism cross-check (600k requests)", table);
   std::printf("hardware threads on this machine: %zu\n\n", hw);
+
+  // Pipeline event counters from an instrumented study — the registry
+  // rides along with the cached study, so this costs one snapshot.
+  core::Study& study = study_for(scaling_config(hw));
+  const auto snapshot = registry_for(study).snapshot();
+  const auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& entry : snapshot.counters) {
+      if (entry.name == name) return entry.value;
+    }
+    return 0;
+  };
+  const std::uint64_t hits = counter("proxy.cache.hit");
+  const std::uint64_t misses = counter("proxy.cache.miss");
+  TextTable events{{"Pipeline event", "Count"}};
+  events.add_row({"requests processed",
+                  with_commas(counter("proxy.requests"))});
+  events.add_row({"cache hits", with_commas(hits)});
+  events.add_row({"cache misses", with_commas(misses)});
+  events.add_row({"cache hit rate",
+                  percent(hits + misses == 0
+                              ? 0.0
+                              : static_cast<double>(hits) /
+                                    static_cast<double>(hits + misses))});
+  events.add_row({"affinity-routed requests",
+                  with_commas(counter("farm.route.affinity"))});
+  events.add_row({"failover diversions",
+                  with_commas(counter("farm.route.failover"))});
+  for (const std::string_view kind : policy::kRuleKindNames) {
+    events.add_row({"rule hits: " + std::string(kind),
+                    with_commas(counter("policy.rule_hit." +
+                                        std::string(kind)))});
+  }
+  print_block("Instrumented pipeline counters (600k-request study)", events);
 }
 
 // End-to-end study (generate + derive datasets) at a given thread count.
@@ -71,6 +109,29 @@ BENCHMARK(BM_StudyPipeline)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Same pipeline with a metrics registry attached — compare against
+// BM_StudyPipeline at the same Arg for the observability overhead (the
+// obs-layer budget is <2%; counters are relaxed atomics, timers are
+// per-shard, so the delta should sit in the noise).
+void BM_StudyPipelineMetrics(benchmark::State& state) {
+  const auto config = scaling_config(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    obs::MetricsRegistry registry;
+    obs::Context context{&registry};
+    core::Study study{config};
+    study.set_obs(&context);
+    study.run();
+    benchmark::DoNotOptimize(study.datasets().full.size());
+    benchmark::DoNotOptimize(registry.snapshot().counters.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_requests));
+}
+BENCHMARK(BM_StudyPipelineMetrics)
+    ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 

@@ -25,8 +25,8 @@ constexpr const char* kPaperCensored[][2] = {
 
 void print_side(const char* name, proxy::TrafficClass cls,
                 const char* const (*paper)[2]) {
-  const auto top =
-      analysis::top_domains(default_study().datasets().full, cls, 10);
+  const auto top = analysis::top_domains(default_study().datasets().full,
+                                         analysis::TopDomainsOptions{cls});
   TextTable table{{"#", "Measured domain", "Measured %", "Paper domain",
                    "Paper %"}};
   for (std::size_t i = 0; i < 10; ++i) {
@@ -50,8 +50,8 @@ void print_reproduction() {
 void BM_TopDomains(benchmark::State& state) {
   const auto& full = default_study().datasets().full;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        analysis::top_domains(full, proxy::TrafficClass::kAllowed, 10));
+    benchmark::DoNotOptimize(analysis::top_domains(
+        full, analysis::TopDomainsOptions{proxy::TrafficClass::kAllowed}));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(full.size()));

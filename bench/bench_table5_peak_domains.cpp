@@ -15,13 +15,15 @@ void print_reproduction() {
                "6-8am: metacafe 20.4%/trafficholder 16.9%; 8-10am: skype "
                "29.2%/facebook 19.5%; 10-12: facebook 22.5%/metacafe 18.6%");
 
-  const std::vector<analysis::TimeWindow> windows{
-      {workload::at(8, 3, 6), workload::at(8, 3, 8)},
-      {workload::at(8, 3, 8), workload::at(8, 3, 10)},
-      {workload::at(8, 3, 10), workload::at(8, 3, 12)},
-  };
+  const analysis::WindowedTopOptions options{
+      {
+          {workload::at(8, 3, 6), workload::at(8, 3, 8)},
+          {workload::at(8, 3, 8), workload::at(8, 3, 10)},
+          {workload::at(8, 3, 10), workload::at(8, 3, 12)},
+      },
+      8};
   const auto result = analysis::windowed_top_censored(
-      default_study().datasets().full, windows, 8);
+      default_study().datasets().full, options);
 
   static constexpr const char* kNames[] = {"6am-8am", "8am-10am", "10am-12pm"};
   for (std::size_t w = 0; w < result.size(); ++w) {
@@ -34,11 +36,10 @@ void print_reproduction() {
 
 void BM_WindowedTop(benchmark::State& state) {
   const auto& full = default_study().datasets().full;
-  const std::vector<analysis::TimeWindow> windows{
-      {workload::at(8, 3, 6), workload::at(8, 3, 12)}};
+  const analysis::WindowedTopOptions options{
+      {{workload::at(8, 3, 6), workload::at(8, 3, 12)}}, 10};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        analysis::windowed_top_censored(full, windows, 10));
+    benchmark::DoNotOptimize(analysis::windowed_top_censored(full, options));
   }
 }
 BENCHMARK(BM_WindowedTop)->Unit(benchmark::kMillisecond);

@@ -133,14 +133,17 @@ std::size_t export_all_figures(const std::string& directory,
   {
     auto out = open("fig5_timeseries.tsv");
     export_time_series(
-        out, traffic_time_series(full, workload::at(8, 1), workload::at(8, 7),
-                                 300));
+        out, traffic_time_series(
+                 full, TrafficSeriesOptions{
+                           {workload::at(8, 1), workload::at(8, 7)}, {300}}));
     count_if_good(out);
   }
   {
     auto out = open("fig6_rcv.tsv");
-    export_rcv(out, rcv_series(full, workload::at(8, 3), workload::at(8, 4),
-                               300));
+    export_rcv(out,
+               rcv_series(full, RcvOptions{
+                                    {workload::at(8, 3), workload::at(8, 4)},
+                                    {300}}));
     count_if_good(out);
   }
   {
@@ -155,8 +158,10 @@ std::size_t export_all_figures(const std::string& directory,
   }
   {
     auto out = open("fig8a_tor_hourly.tsv");
-    export_hourly(out, tor_hourly_series(full, relays, workload::at(8, 1),
-                                         workload::at(8, 7)));
+    export_hourly(
+        out, tor_hourly_series(full, relays,
+                               TorHourlyOptions{
+                                   {workload::at(8, 1), workload::at(8, 7)}}));
     count_if_good(out);
   }
   {

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace syrwatch::analysis {
+
+/// Half-open [start, end) time range shared by every windowed analyzer.
+/// Replaces the per-header window/start/end conventions; TimeWindow is an
+/// alias for source compatibility.
+struct TimeRange {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+
+  bool contains(std::int64_t t) const noexcept {
+    return t >= start && t < end;
+  }
+  std::int64_t span_seconds() const noexcept { return end - start; }
+};
+
+/// Bin width of a time-series analyzer. Each analyzer's Options struct
+/// carries its paper default (5 minutes for Figs. 5/6, an hour for Fig. 8).
+struct BinSpec {
+  std::int64_t seconds = 300;
+
+  /// Bins needed to cover `range`, counting the partial tail bin. Throws
+  /// std::invalid_argument for an empty/backwards range or non-positive
+  /// width — the shared validation every series analyzer relies on.
+  std::size_t bins_over(const TimeRange& range) const {
+    if (range.end <= range.start || seconds <= 0)
+      throw std::invalid_argument("analysis: bad time range or bin width");
+    return static_cast<std::size_t>(
+        (range.end - range.start + seconds - 1) / seconds);
+  }
+};
+
+}  // namespace syrwatch::analysis

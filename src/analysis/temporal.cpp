@@ -16,14 +16,6 @@ std::vector<double> normalize(const util::BinnedCounter& counter) {
   return out;
 }
 
-std::size_t bin_count_for(std::int64_t start, std::int64_t end,
-                          std::int64_t bin_seconds) {
-  if (end <= start || bin_seconds <= 0)
-    throw std::invalid_argument("temporal: bad window");
-  return static_cast<std::size_t>((end - start + bin_seconds - 1) /
-                                  bin_seconds);
-}
-
 }  // namespace
 
 std::vector<double> TrafficTimeSeries::normalized_censored() const {
@@ -35,12 +27,11 @@ std::vector<double> TrafficTimeSeries::normalized_allowed() const {
 }
 
 TrafficTimeSeries traffic_time_series(const Dataset& dataset,
-                                      std::int64_t start, std::int64_t end,
-                                      std::int64_t bin_seconds) {
-  const std::size_t bins = bin_count_for(start, end, bin_seconds);
+                                      const TrafficSeriesOptions& options) {
+  const std::size_t bins = options.bin.bins_over(options.range);
   TrafficTimeSeries series{
-      util::BinnedCounter{start, bin_seconds, bins},
-      util::BinnedCounter{start, bin_seconds, bins},
+      util::BinnedCounter{options.range.start, options.bin.seconds, bins},
+      util::BinnedCounter{options.range.start, options.bin.seconds, bins},
   };
   for (const Row& row : dataset.rows()) {
     const auto cls = dataset.cls(row);
@@ -58,17 +49,17 @@ std::size_t RcvSeries::peak_bin() const {
       std::max_element(rcv.begin(), rcv.end()) - rcv.begin());
 }
 
-RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
-                     std::int64_t end, std::int64_t bin_seconds) {
-  const std::size_t bins = bin_count_for(start, end, bin_seconds);
-  util::BinnedCounter censored{start, bin_seconds, bins};
-  util::BinnedCounter total{start, bin_seconds, bins};
+RcvSeries rcv_series(const Dataset& dataset, const RcvOptions& options) {
+  const std::size_t bins = options.bin.bins_over(options.range);
+  util::BinnedCounter censored{options.range.start, options.bin.seconds, bins};
+  util::BinnedCounter total{options.range.start, options.bin.seconds, bins};
   for (const Row& row : dataset.rows()) {
     total.add(row.time);
     if (dataset.cls(row) == proxy::TrafficClass::kCensored)
       censored.add(row.time);
   }
-  RcvSeries series{start, bin_seconds, std::vector<double>(bins, 0.0)};
+  RcvSeries series{options.range.start, options.bin.seconds,
+                   std::vector<double>(bins, 0.0)};
   for (std::size_t i = 0; i < bins; ++i) {
     if (total.at(i) != 0)
       series.rcv[i] = static_cast<double>(censored.at(i)) /
@@ -78,13 +69,15 @@ RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
 }
 
 std::vector<WindowedTopDomains> windowed_top_censored(
-    const Dataset& dataset, std::span<const TimeWindow> windows,
-    std::size_t k) {
+    const Dataset& dataset, const WindowedTopOptions& options) {
   std::vector<WindowedTopDomains> out;
-  out.reserve(windows.size());
-  for (const TimeWindow& window : windows) {
-    out.push_back({window, top_domains(dataset, proxy::TrafficClass::kCensored,
-                                       k, window)});
+  out.reserve(options.windows.size());
+  for (const TimeRange& window : options.windows) {
+    out.push_back(
+        {window,
+         top_domains(dataset, TopDomainsOptions{
+                                  proxy::TrafficClass::kCensored, options.k,
+                                  window})});
   }
   return out;
 }

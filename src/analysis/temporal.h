@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analysis/dataset.h"
+#include "analysis/options.h"
 #include "analysis/top_domains.h"
 #include "util/histogram.h"
 
@@ -20,9 +21,22 @@ struct TrafficTimeSeries {
   std::vector<double> normalized_allowed() const;
 };
 
+struct TrafficSeriesOptions {
+  TimeRange range;
+  BinSpec bin{300};
+};
+
 TrafficTimeSeries traffic_time_series(const Dataset& dataset,
-                                      std::int64_t start, std::int64_t end,
-                                      std::int64_t bin_seconds = 300);
+                                      const TrafficSeriesOptions& options);
+
+[[deprecated("use traffic_time_series(dataset, TrafficSeriesOptions{...})")]]
+inline TrafficTimeSeries traffic_time_series(const Dataset& dataset,
+                                             std::int64_t start,
+                                             std::int64_t end,
+                                             std::int64_t bin_seconds = 300) {
+  return traffic_time_series(
+      dataset, TrafficSeriesOptions{{start, end}, {bin_seconds}});
+}
 
 /// Fig. 6: Relative Censored traffic Volume — per time bin, the censored
 /// fraction of all requests in that bin. Bins with no traffic report 0.
@@ -35,8 +49,18 @@ struct RcvSeries {
   std::size_t peak_bin() const;
 };
 
-RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
-                     std::int64_t end, std::int64_t bin_seconds = 300);
+struct RcvOptions {
+  TimeRange range;
+  BinSpec bin{300};
+};
+
+RcvSeries rcv_series(const Dataset& dataset, const RcvOptions& options);
+
+[[deprecated("use rcv_series(dataset, RcvOptions{...})")]]
+inline RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
+                            std::int64_t end, std::int64_t bin_seconds = 300) {
+  return rcv_series(dataset, RcvOptions{{start, end}, {bin_seconds}});
+}
 
 /// Table 5: top censored domains inside adjacent windows of one day.
 struct WindowedTopDomains {
@@ -44,8 +68,21 @@ struct WindowedTopDomains {
   std::vector<DomainCount> top;
 };
 
+struct WindowedTopOptions {
+  std::vector<TimeRange> windows;
+  std::size_t k = 10;
+};
+
 std::vector<WindowedTopDomains> windowed_top_censored(
+    const Dataset& dataset, const WindowedTopOptions& options);
+
+[[deprecated(
+    "use windowed_top_censored(dataset, WindowedTopOptions{...})")]]
+inline std::vector<WindowedTopDomains> windowed_top_censored(
     const Dataset& dataset, std::span<const TimeWindow> windows,
-    std::size_t k);
+    std::size_t k) {
+  return windowed_top_censored(
+      dataset, WindowedTopOptions{{windows.begin(), windows.end()}, k});
+}
 
 }  // namespace syrwatch::analysis

@@ -8,13 +8,13 @@
 namespace syrwatch::analysis {
 
 std::vector<DomainCount> top_domains(const Dataset& dataset,
-                                     proxy::TrafficClass cls, std::size_t k,
-                                     std::optional<TimeWindow> window) {
+                                     const TopDomainsOptions& options) {
+  const auto& window = options.window;
   std::unordered_map<std::string_view, std::uint64_t> counts;
   std::uint64_t class_total = 0;
   for (const Row& row : dataset.rows()) {
     if (window && !window->contains(row.time)) continue;
-    if (dataset.cls(row) != cls) continue;
+    if (dataset.cls(row) != options.cls) continue;
     ++class_total;
     ++counts[dataset.domain(row)];
   }
@@ -31,7 +31,7 @@ std::vector<DomainCount> top_domains(const Dataset& dataset,
               if (a.count != b.count) return a.count > b.count;
               return a.domain < b.domain;
             });
-  if (ranked.size() > k) ranked.resize(k);
+  if (ranked.size() > options.k) ranked.resize(options.k);
   return ranked;
 }
 

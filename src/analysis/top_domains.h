@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/dataset.h"
+#include "analysis/options.h"
 
 namespace syrwatch::analysis {
 
@@ -17,20 +18,29 @@ struct DomainCount {
   double share = 0.0;
 };
 
-/// Optional half-open time window restriction.
-struct TimeWindow {
-  std::int64_t start = 0;
-  std::int64_t end = 0;
-  bool contains(std::int64_t t) const noexcept {
-    return t >= start && t < end;
-  }
+/// Pre-options name for the shared half-open range; kept so existing code
+/// (and the windowed analyzers that tabulate one) keeps compiling.
+using TimeWindow = TimeRange;
+
+/// What to rank: the traffic class, the cut-off, and an optional time
+/// restriction (Table 5 ranks inside one-hour windows of a peak day).
+struct TopDomainsOptions {
+  proxy::TrafficClass cls = proxy::TrafficClass::kAllowed;
+  std::size_t k = 10;
+  std::optional<TimeRange> window;
 };
 
-/// Top-k registrable domains among records of the given class — Table 4
+/// Top-k registrable domains among records of the selected class — Table 4
 /// (allowed/censored) and, with a window, Table 5's peak analysis.
-std::vector<DomainCount> top_domains(
+std::vector<DomainCount> top_domains(const Dataset& dataset,
+                                     const TopDomainsOptions& options);
+
+[[deprecated("use top_domains(dataset, TopDomainsOptions{...})")]]
+inline std::vector<DomainCount> top_domains(
     const Dataset& dataset, proxy::TrafficClass cls, std::size_t k,
-    std::optional<TimeWindow> window = std::nullopt);
+    std::optional<TimeWindow> window = std::nullopt) {
+  return top_domains(dataset, TopDomainsOptions{cls, k, window});
+}
 
 /// Per-domain counts split into the three classes the paper tabulates
 /// next to each other (Tables 8/10/13).

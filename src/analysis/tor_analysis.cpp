@@ -53,10 +53,9 @@ TorStats tor_stats(const Dataset& dataset,
 
 util::BinnedCounter tor_hourly_series(const Dataset& dataset,
                                       const tor::RelayDirectory& relays,
-                                      std::int64_t start, std::int64_t end) {
-  const auto bins =
-      static_cast<std::size_t>((end - start + 3599) / 3600);
-  util::BinnedCounter series{start, 3600, bins};
+                                      const TorHourlyOptions& options) {
+  const std::size_t bins = options.bin.bins_over(options.range);
+  util::BinnedCounter series{options.range.start, options.bin.seconds, bins};
   for (const Row& row : dataset.rows()) {
     if (tor_endpoint(dataset, row, relays)) series.add(row.time);
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/dataset.h"
+#include "analysis/options.h"
 #include "policy/syria.h"
 #include "tor/relay_directory.h"
 #include "util/histogram.h"
@@ -30,10 +31,26 @@ struct TorStats {
 
 TorStats tor_stats(const Dataset& dataset, const tor::RelayDirectory& relays);
 
-/// Fig. 8a: Tor requests per hour over a window.
+/// Fig. 8a's binning: hourly by default, adjustable for finer views.
+struct TorHourlyOptions {
+  TimeRange range;
+  BinSpec bin{3600};
+};
+
+/// Fig. 8a: Tor requests per bin over a window.
 util::BinnedCounter tor_hourly_series(const Dataset& dataset,
                                       const tor::RelayDirectory& relays,
-                                      std::int64_t start, std::int64_t end);
+                                      const TorHourlyOptions& options);
+
+[[deprecated(
+    "use tor_hourly_series(dataset, relays, TorHourlyOptions{...})")]]
+inline util::BinnedCounter tor_hourly_series(const Dataset& dataset,
+                                             const tor::RelayDirectory& relays,
+                                             std::int64_t start,
+                                             std::int64_t end) {
+  return tor_hourly_series(dataset, relays,
+                           TorHourlyOptions{{start, end}, {3600}});
+}
 
 /// Fig. 9: Rfilter(k) — per time bin, 1 - |Censored ∩ Allowed(k)| /
 /// |Censored|, where Censored is the set of relay IPs ever censored by the

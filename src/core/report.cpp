@@ -2,6 +2,7 @@
 
 #include <array>
 #include <functional>
+#include <string_view>
 
 #include "analysis/anonymizer.h"
 #include "analysis/bittorrent.h"
@@ -21,6 +22,7 @@
 #include "analysis/traffic_stats.h"
 #include "analysis/user_stats.h"
 #include "geo/world.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/simtime.h"
 #include "util/strings.h"
@@ -78,7 +80,8 @@ std::string top_domain_tables(const analysis::DatasetBundle& bundle,
   std::string out;
   for (const auto cls :
        {proxy::TrafficClass::kAllowed, proxy::TrafficClass::kCensored}) {
-    const auto top = analysis::top_domains(bundle.full, cls, 10);
+    const auto top =
+        analysis::top_domains(bundle.full, analysis::TopDomainsOptions{cls});
     TextTable table{{"Domain", "# Requests", "%"}};
     for (const auto& entry : top)
       table.add_row({entry.domain, with_commas(entry.count),
@@ -269,23 +272,40 @@ std::string sampling_block(const analysis::DatasetBundle& bundle) {
   return titled_block("Dsample accuracy audit (Sec. 3.3)", table);
 }
 
+/// One report block with the stage name its wall time is recorded under
+/// (when the study carries an obs::Context).
+struct NamedBlock {
+  std::string_view stage;
+  std::function<std::string()> render;
+};
+
 }  // namespace
 
 std::string render_overview(const Study& study) {
   const auto& bundle = study.datasets();
+  obs::Context* ctx = study.obs_context();
   const std::size_t threads =
       util::resolve_threads(study.scenario().config().threads);
   const bool faulted = !study.scenario().faults().empty();
   analysis::CoverageReport coverage;
-  if (faulted) coverage = analysis::request_coverage(bundle.full);
+  if (faulted) {
+    const obs::Span span{ctx, "analysis.coverage"};
+    coverage = analysis::request_coverage(bundle.full);
+  }
   const bool degraded = faulted && coverage.degraded();
   std::array<std::string, 3> blocks;
-  const std::array<std::function<std::string()>, 3> tasks{
-      [&] { return dataset_sizes(bundle, degraded); },
-      [&] { return traffic_breakdown(bundle, degraded); },
-      [&] { return top_domain_tables(bundle, degraded); }};
-  util::parallel_for(tasks.size(), threads,
-                     [&](std::size_t i) { blocks[i] = tasks[i](); });
+  const std::array<NamedBlock, 3> tasks{{
+      {"analysis.dataset_sizes",
+       [&] { return dataset_sizes(bundle, degraded); }},
+      {"analysis.traffic_stats",
+       [&] { return traffic_breakdown(bundle, degraded); }},
+      {"analysis.top_domains",
+       [&] { return top_domain_tables(bundle, degraded); }},
+  }};
+  util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    const obs::Span span{ctx, tasks[i].stage};
+    blocks[i] = tasks[i].render();
+  });
   std::string out;
   for (const std::string& block : blocks) out += block;
   if (faulted) out += coverage_block(study, coverage);
@@ -294,6 +314,7 @@ std::string render_overview(const Study& study) {
 
 std::string render_full_report(const Study& study) {
   const auto& bundle = study.datasets();
+  obs::Context* ctx = study.obs_context();
   const std::size_t threads =
       util::resolve_threads(study.scenario().config().threads);
 
@@ -303,33 +324,46 @@ std::string render_full_report(const Study& study) {
   // the paper's order regardless of completion order.
   const bool faulted = !study.scenario().faults().empty();
   analysis::CoverageReport coverage;
-  if (faulted) coverage = analysis::request_coverage(bundle.full);
+  if (faulted) {
+    const obs::Span span{ctx, "analysis.coverage"};
+    coverage = analysis::request_coverage(bundle.full);
+  }
   const bool degraded = faulted && coverage.degraded();
 
   analysis::DiscoveryResult discovery;
   std::array<std::string, 11> blocks;
-  const std::array<std::function<std::string()>, 11> tasks{
-      [&] { return dataset_sizes(bundle, degraded); },
-      [&] { return traffic_breakdown(bundle, degraded); },
-      [&] { return top_domain_tables(bundle, degraded); },
-      [&] { return ports_block(bundle); },
-      [&] {
-        discovery = analysis::discover_censored_strings(bundle.full);
-        return discovery_block(discovery);
-      },
-      [&] { return countries_block(study, bundle); },
-      [&] { return osn_block(bundle); },
-      [&] { return tor_block(study, bundle); },
-      [&] { return bittorrent_block(study, bundle); },
-      [&] { return https_block(bundle); },
-      [&] { return sampling_block(bundle); }};
-  util::parallel_for(tasks.size(), threads,
-                     [&](std::size_t i) { blocks[i] = tasks[i](); });
+  const std::array<NamedBlock, 11> tasks{{
+      {"analysis.dataset_sizes",
+       [&] { return dataset_sizes(bundle, degraded); }},
+      {"analysis.traffic_stats",
+       [&] { return traffic_breakdown(bundle, degraded); }},
+      {"analysis.top_domains",
+       [&] { return top_domain_tables(bundle, degraded); }},
+      {"analysis.ports", [&] { return ports_block(bundle); }},
+      {"analysis.string_discovery",
+       [&] {
+         discovery = analysis::discover_censored_strings(bundle.full);
+         return discovery_block(discovery);
+       }},
+      {"analysis.countries", [&] { return countries_block(study, bundle); }},
+      {"analysis.osn", [&] { return osn_block(bundle); }},
+      {"analysis.tor", [&] { return tor_block(study, bundle); }},
+      {"analysis.bittorrent", [&] { return bittorrent_block(study, bundle); }},
+      {"analysis.https", [&] { return https_block(bundle); }},
+      {"analysis.sampling_audit", [&] { return sampling_block(bundle); }},
+  }};
+  util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
+    const obs::Span span{ctx, tasks[i].stage};
+    blocks[i] = tasks[i].render();
+  });
 
   std::string out;
   if (faulted) out += coverage_block(study, coverage);
   for (std::size_t i = 0; i < 9; ++i) out += blocks[i];
-  out += google_cache_block(bundle, discovery);
+  {
+    const obs::Span span{ctx, "analysis.google_cache"};
+    out += google_cache_block(bundle, discovery);
+  }
   out += blocks[9];   // HTTPS (§4)
   out += blocks[10];  // sampling audit (§3.3)
   return out;

@@ -1,25 +1,69 @@
 #include "core/study.h"
 
 #include <stdexcept>
+#include <utility>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace syrwatch::core {
+
+double RunMetrics::total_seconds() const noexcept {
+  double total = 0.0;
+  for (const obs::PhaseTiming& phase : phases) total += phase.seconds;
+  return total;
+}
 
 Study::Study(workload::ScenarioConfig config)
     : config_(config),
       scenario_(std::make_unique<workload::SyriaScenario>(config)) {}
 
-void Study::run() {
-  // Rebuild the scenario so repeated runs start from identical generator
-  // state (the farm's caches and PRNGs advance during a run).
+void Study::set_obs(obs::Context* ctx) {
+  obs_ = ctx;
+  if (scenario_) scenario_->set_obs(ctx);
+}
+
+void Study::simulate() {
   scenario_ = std::make_unique<workload::SyriaScenario>(config_);
-  analysis::Dataset full;
-  scenario_->run([&](const proxy::LogRecord& record) { full.add(record); });
-  full.finalize();
-  datasets_ = std::make_unique<analysis::DatasetBundle>(
-      analysis::DatasetBundle::derive(std::move(full), config_.seed, 0.04,
-                                      util::resolve_threads(config_.threads)));
+  scenario_->set_obs(obs_);
+  metrics_ = RunMetrics{};
+  datasets_.reset();
+
+  auto full = std::make_unique<analysis::Dataset>();
+  const std::uint64_t start = obs::monotonic_nanos();
+  scenario_->run(
+      [&full](const proxy::LogRecord& record) { full->add(record); });
+  full->finalize();
+  const double seconds =
+      static_cast<double>(obs::monotonic_nanos() - start) * 1e-9;
+  metrics_.log_records = full->size();
+  metrics_.phases.push_back({"simulate", seconds, metrics_.log_records});
+  pending_ = std::move(full);
+}
+
+StudyResult Study::build_datasets() {
+  if (!pending_)
+    throw std::logic_error("Study::build_datasets: simulate() first");
+  const std::uint64_t start = obs::monotonic_nanos();
+  {
+    const obs::Span span{obs_, "study.build_datasets"};
+    datasets_ = std::make_unique<analysis::DatasetBundle>(
+        analysis::DatasetBundle::derive(
+            std::move(*pending_), config_.seed, 0.04,
+            util::resolve_threads(config_.threads)));
+  }
+  pending_.reset();
+  const double seconds =
+      static_cast<double>(obs::monotonic_nanos() - start) * 1e-9;
+  metrics_.phases.push_back(
+      {"build_datasets", seconds,
+       static_cast<std::uint64_t>(datasets_->full.size())});
+  return StudyResult{*datasets_, metrics_};
+}
+
+StudyResult Study::run() {
+  simulate();
+  return build_datasets();
 }
 
 const analysis::DatasetBundle& Study::datasets() const {

@@ -2,24 +2,68 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "analysis/dataset.h"
+#include "obs/context.h"
+#include "obs/export.h"
 #include "workload/scenario.h"
 
 namespace syrwatch::core {
+
+/// Wall-clock accounting for one study run: one PhaseTiming per completed
+/// phase ("simulate", "build_datasets"), in execution order. Purely
+/// observational — nothing here feeds back into the simulation.
+struct RunMetrics {
+  std::vector<obs::PhaseTiming> phases;
+  /// Records the scenario emitted into the pending log (post leak filter).
+  std::uint64_t log_records = 0;
+
+  double total_seconds() const noexcept;
+};
+
+/// What a completed run hands back: the derived datasets (owned by the
+/// Study, valid until the next simulate()/run()) plus the run's metrics.
+struct StudyResult {
+  const analysis::DatasetBundle& datasets;
+  RunMetrics metrics;
+};
 
 /// End-to-end study driver: simulate the censorship ecosystem, capture the
 /// "leaked" log, and derive the paper's four datasets. Analyses are the
 /// free functions of syrwatch::analysis; `report.h` renders the complete
 /// paper-style report.
+///
+/// The run is structured as two explicit phases — simulate() generates the
+/// log, build_datasets() derives the Table 1 bundle — with run() as the
+/// do-both convenience. Each phase records a PhaseTiming into metrics();
+/// attach an obs::Context beforehand for stage-level detail underneath.
 class Study {
  public:
   explicit Study(workload::ScenarioConfig config = {});
 
-  /// Generates the log and builds the datasets. Idempotent: re-running
-  /// rebuilds the scenario and regenerates from scratch with the same
-  /// seed, yielding the identical bundle.
-  void run();
+  /// Attaches the observability layer: the scenario, farm, and proxies
+  /// resolve their instruments against the context's registry, and the
+  /// phase methods keep recording timings either way. A null context (the
+  /// default) keeps everything on the pre-obs code path; the generated log
+  /// is byte-identical attached or detached (DESIGN.md §4.7). The context
+  /// must outlive the study.
+  void set_obs(obs::Context* ctx);
+  obs::Context* obs_context() const noexcept { return obs_; }
+
+  /// Phase 1: rebuilds the scenario (so repeated runs start from identical
+  /// generator state — the farm's caches and PRNGs advance during a run)
+  /// and streams the "leaked" log into a pending dataset. Invalidates any
+  /// previously derived bundle.
+  void simulate();
+
+  /// Phase 2: derives the four datasets from the pending log. Throws
+  /// std::logic_error unless simulate() ran since the last derivation.
+  StudyResult build_datasets();
+
+  /// Both phases back to back. Idempotent: re-running regenerates from
+  /// scratch with the same seed, yielding the identical bundle.
+  StudyResult run();
 
   bool has_run() const noexcept { return datasets_ != nullptr; }
   const workload::SyriaScenario& scenario() const noexcept {
@@ -27,11 +71,18 @@ class Study {
   }
   workload::SyriaScenario& scenario() noexcept { return *scenario_; }
   const analysis::DatasetBundle& datasets() const;
+  /// Phase timings of the most recent simulate()/build_datasets() pair.
+  const RunMetrics& metrics() const noexcept { return metrics_; }
 
  private:
   workload::ScenarioConfig config_;
   std::unique_ptr<workload::SyriaScenario> scenario_;
+  /// The finalized log awaiting derivation; set by simulate(), consumed
+  /// by build_datasets().
+  std::unique_ptr<analysis::Dataset> pending_;
   std::unique_ptr<analysis::DatasetBundle> datasets_;
+  RunMetrics metrics_;
+  obs::Context* obs_ = nullptr;
 };
 
 }  // namespace syrwatch::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace syrwatch::obs {
+
+/// The nullable handle the pipeline threads instrumentation through. Every
+/// instrumented subsystem accepts an `obs::Context*` that defaults to
+/// nullptr; a null context keeps each instrumentation site a single
+/// pointer test on a cold branch, so the un-observed pipeline is
+/// byte-identical to a build that predates the obs layer (verified by
+/// tests/test_obs.cpp). The context never owns the registry — attach one
+/// registry to as many contexts/subsystems as the run spans.
+class Context {
+ public:
+  explicit Context(MetricsRegistry* registry) noexcept
+      : registry_(registry) {}
+
+  MetricsRegistry& registry() const noexcept { return *registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+/// Null-safe instrument resolution: hot paths call these once at attach
+/// time, cache the returned pointer, and afterwards pay one branch plus
+/// one relaxed atomic per event — or nothing at all when detached.
+inline Counter* counter(Context* ctx, std::string_view name) {
+  return ctx == nullptr ? nullptr : &ctx->registry().counter(name);
+}
+
+inline Gauge* gauge(Context* ctx, std::string_view name) {
+  return ctx == nullptr ? nullptr : &ctx->registry().gauge(name);
+}
+
+inline StageStats* stage(Context* ctx, std::string_view name) {
+  return ctx == nullptr ? nullptr : &ctx->registry().stage(name);
+}
+
+/// Null-safe counter bump.
+inline void add(Counter* counter, std::uint64_t n = 1) noexcept {
+  if (counter != nullptr) counter->add(n);
+}
+
+}  // namespace syrwatch::obs

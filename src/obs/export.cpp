@@ -1,0 +1,165 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace syrwatch::obs {
+
+namespace {
+
+/// JSON string escaping for the metric names we emit (ASCII identifiers in
+/// practice, but correct for anything).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+std::string json_number(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  return buffer;
+}
+
+double seconds_of(std::uint64_t nanos) {
+  return static_cast<double>(nanos) * 1e-9;
+}
+
+std::string millis_text(std::uint64_t nanos) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f",
+                static_cast<double>(nanos) * 1e-6);
+  return buffer;
+}
+
+std::string seconds_text(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot, std::string_view command,
+                    std::span<const PhaseTiming> phases,
+                    double total_seconds) {
+  std::string out = "{\n  \"schema\": \"syrwatch.metrics.v1\",\n";
+  out += "  \"command\": \"" + json_escape(command) + "\",\n";
+
+  out += "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n    \"" + json_escape(snapshot.counters[i].name) +
+           "\": " + json_number(snapshot.counters[i].value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n    \"" + json_escape(snapshot.gauges[i].name) +
+           "\": " + json_number(snapshot.gauges[i].value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"stages\": {";
+  for (std::size_t i = 0; i < snapshot.stages.size(); ++i) {
+    const auto& stage = snapshot.stages[i];
+    if (i != 0) out += ',';
+    out += "\n    \"" + json_escape(stage.name) + "\": {\"count\": " +
+           json_number(stage.count) +
+           ", \"total_seconds\": " + json_number(seconds_of(stage.total_nanos)) +
+           ", \"min_seconds\": " + json_number(seconds_of(stage.min_nanos)) +
+           ", \"max_seconds\": " + json_number(seconds_of(stage.max_nanos)) +
+           "}";
+  }
+  out += snapshot.stages.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "\n    {\"name\": \"" + json_escape(phases[i].name) +
+           "\", \"seconds\": " + json_number(phases[i].seconds) +
+           ", \"items\": " + json_number(phases[i].items) + "}";
+  }
+  out += phases.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"total_seconds\": " + json_number(total_seconds) + "\n}\n";
+  return out;
+}
+
+std::string render_text(const MetricsSnapshot& snapshot,
+                        std::span<const PhaseTiming> phases,
+                        double total_seconds) {
+  std::string out;
+
+  if (!phases.empty()) {
+    util::TextTable table{{"Phase", "Wall (s)", "Share", "Items"}};
+    for (const PhaseTiming& phase : phases) {
+      table.add_row({phase.name, seconds_text(phase.seconds),
+                     total_seconds > 0.0
+                         ? util::percent(phase.seconds / total_seconds)
+                         : "-",
+                     util::with_commas(phase.items)});
+    }
+    table.add_row({"total", seconds_text(total_seconds), "-", "-"});
+    out += util::titled_block("Run phases", table);
+  }
+
+  if (!snapshot.stages.empty()) {
+    util::TextTable table{
+        {"Stage", "Calls", "Total (ms)", "Mean (ms)", "Min (ms)", "Max (ms)"}};
+    for (const auto& stage : snapshot.stages) {
+      const std::uint64_t mean =
+          stage.count == 0 ? 0 : stage.total_nanos / stage.count;
+      table.add_row({stage.name, util::with_commas(stage.count),
+                     millis_text(stage.total_nanos), millis_text(mean),
+                     millis_text(stage.min_nanos),
+                     millis_text(stage.max_nanos)});
+    }
+    out += util::titled_block("Stage wall-time breakdown", table);
+  }
+
+  if (!snapshot.counters.empty() || !snapshot.gauges.empty()) {
+    util::TextTable table{{"Metric", "Value"}};
+    for (const auto& counter : snapshot.counters)
+      table.add_row({counter.name, util::with_commas(counter.value)});
+    for (const auto& gauge : snapshot.gauges) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof buffer, "%.4g", gauge.value);
+      table.add_row({gauge.name, buffer});
+    }
+    out += util::titled_block("Counters", table);
+  }
+
+  return out;
+}
+
+}  // namespace syrwatch::obs

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace syrwatch::obs {
+
+/// One coarse run phase (e.g. Study's simulate / build_datasets) with its
+/// wall time and the number of items it handled. Phases are the top level
+/// of the metrics JSON; stages are the fine-grained breakdown beneath.
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t items = 0;
+};
+
+/// Renders the `syrwatch.metrics.v1` JSON document:
+///
+///   {
+///     "schema": "syrwatch.metrics.v1",
+///     "command": "<command>",
+///     "counters": {"name": 123, ...},
+///     "gauges": {"name": 1.5, ...},
+///     "stages": {"name": {"count": N, "total_seconds": s,
+///                          "min_seconds": s, "max_seconds": s}, ...},
+///     "phases": [{"name": "...", "seconds": s, "items": N}, ...],
+///     "total_seconds": s
+///   }
+///
+/// `total_seconds` is the caller-measured wall time of the whole run; the
+/// phase list should cover it (tools/ci-metrics-smoke.sh checks that the
+/// phase sum approximates the total). Keys are emitted in sorted order, so
+/// the document layout is deterministic for a given snapshot.
+std::string to_json(const MetricsSnapshot& snapshot, std::string_view command,
+                    std::span<const PhaseTiming> phases,
+                    double total_seconds);
+
+/// Renders the snapshot in the repo's `util::table` text format: a phase
+/// table (when any), a stage wall-time breakdown, and a counter/gauge
+/// table — the body of `syrwatchctl profile` and the bench metric blocks.
+std::string render_text(const MetricsSnapshot& snapshot,
+                        std::span<const PhaseTiming> phases,
+                        double total_seconds);
+
+}  // namespace syrwatch::obs

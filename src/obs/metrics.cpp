@@ -1,0 +1,63 @@
+#include "obs/metrics.h"
+
+namespace syrwatch::obs {
+
+void StageStats::record(std::uint64_t nanos) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  std::uint64_t seen = min_nanos_.load(std::memory_order_relaxed);
+  while (nanos < seen &&
+         !min_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+  seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t StageStats::min_nanos() const noexcept {
+  const std::uint64_t value = min_nanos_.load(std::memory_order_relaxed);
+  return value == ~std::uint64_t{0} ? 0 : value;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+StageStats& MetricsRegistry::stage(std::string_view name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = stages_.find(name);
+  if (it != stages_.end()) return it->second;
+  return stages_.try_emplace(std::string(name)).first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    snap.counters.push_back({name, counter.value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.push_back({name, gauge.value()});
+  snap.stages.reserve(stages_.size());
+  for (const auto& [name, stage] : stages_) {
+    snap.stages.push_back({name, stage.count(), stage.total_nanos(),
+                           stage.min_nanos(), stage.max_nanos()});
+  }
+  return snap;
+}
+
+}  // namespace syrwatch::obs

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syrwatch::obs {
+
+/// Monotonic event counter. add() is a single relaxed atomic RMW, so
+/// generation shards and per-proxy workers bump shared counters without
+/// synchronizing — counters are statistics, never control flow, and they
+/// must not perturb any RNG stream (the determinism contract of
+/// DESIGN.md §4.7).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. a configured thread count or a hit rate
+/// computed at the end of a phase).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Accumulated wall-time of one named pipeline stage: call count, total,
+/// and min/max per call. record() is lock-free (relaxed adds plus CAS
+/// loops for the extrema) so concurrent workers can time their own slice
+/// of a stage; totals are exact, extrema race-free.
+class StageStats {
+ public:
+  void record(std::uint64_t nanos) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_nanos() const noexcept {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  /// 0 when nothing was recorded.
+  std::uint64_t min_nanos() const noexcept;
+  std::uint64_t max_nanos() const noexcept {
+    return max_nanos_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const noexcept {
+    return static_cast<double>(total_nanos()) * 1e-9;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_nanos_{0};
+  std::atomic<std::uint64_t> min_nanos_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+/// Point-in-time copy of a registry, ordered by name (std::map iteration),
+/// so two snapshots of identical state render identically.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct StageValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_nanos = 0;
+    std::uint64_t min_nanos = 0;
+    std::uint64_t max_nanos = 0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<StageValue> stages;
+};
+
+/// Thread-safe home of every named metric. Registration (the first lookup
+/// of a name) takes a mutex; the returned references are stable for the
+/// registry's lifetime (node-based storage), so hot paths resolve their
+/// instruments once at attach time and afterwards touch only the atomics.
+/// Nothing in the registry consumes randomness or orders work, so an
+/// attached registry can never change simulated output — only observe it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  StageStats& stage(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::less<> enables string_view lookup without materializing a key.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, StageStats, std::less<>> stages_;
+};
+
+}  // namespace syrwatch::obs

@@ -1,0 +1,14 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace syrwatch::obs {
+
+std::uint64_t monotonic_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace syrwatch::obs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/context.h"
+#include "obs/metrics.h"
+
+namespace syrwatch::obs {
+
+/// Monotonic wall-clock in nanoseconds (steady_clock). Timing is the one
+/// observable that legitimately varies between runs; everything else a
+/// registry records is deterministic in the seed.
+std::uint64_t monotonic_nanos() noexcept;
+
+/// RAII stage timer: records the elapsed wall time into a StageStats on
+/// destruction (or at an explicit stop()). A null target makes both the
+/// constructor and destructor no-ops, so timers can sit unconditionally in
+/// the pipeline. Safe to construct on worker threads — StageStats
+/// accumulation is lock-free.
+class StageTimer {
+ public:
+  explicit StageTimer(StageStats* stats) noexcept : stats_(stats) {
+    if (stats_ != nullptr) start_ = monotonic_nanos();
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  ~StageTimer() { stop(); }
+
+  /// Records once; further calls (and the destructor) do nothing.
+  void stop() noexcept {
+    if (stats_ == nullptr) return;
+    stats_->record(monotonic_nanos() - start_);
+    stats_ = nullptr;
+  }
+
+ private:
+  StageStats* stats_;
+  std::uint64_t start_ = 0;
+};
+
+/// Named convenience over StageTimer: resolves the stage from a (nullable)
+/// Context at construction. Use for per-phase / per-analyzer scopes; hot
+/// per-request sites should resolve their StageStats once and reuse it.
+class Span {
+ public:
+  Span(Context* ctx, std::string_view name) : timer_(stage(ctx, name)) {}
+
+  void stop() noexcept { timer_.stop(); }
+
+ private:
+  StageTimer timer_;
+};
+
+}  // namespace syrwatch::obs

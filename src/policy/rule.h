@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -83,12 +84,24 @@ struct EndpointSetRule {
 using RuleMatcher = std::variant<KeywordRule, DomainRule, SubnetRule, IpRule,
                                  CategoryRule, PortRule, EndpointSetRule>;
 
+/// Rule-kind labels indexed by RuleMatcher::index() — the taxonomy the
+/// observability layer's per-rule-kind hit counters report under
+/// (`policy.rule_hit.<kind>`).
+inline constexpr std::size_t kRuleKindCount =
+    std::variant_size_v<RuleMatcher>;
+inline constexpr std::array<std::string_view, kRuleKindCount> kRuleKindNames{
+    "keyword", "domain", "subnet", "ip", "category", "port", "endpoint_set"};
+
 /// A named policy rule: matcher + action. Rules are evaluated in list
 /// order, first match wins (Blue Coat layer semantics).
 struct Rule {
   RuleMatcher matcher;
   PolicyAction action = PolicyAction::kDeny;
   std::string name;
+
+  std::string_view kind() const noexcept {
+    return kRuleKindNames[matcher.index()];
+  }
 };
 
 }  // namespace syrwatch::policy

@@ -48,6 +48,13 @@ void ProxyFarm::add_affinity(std::string domain, std::size_t proxy_index,
   affinities_[util::to_lower(domain)].push_back({proxy_index, fraction});
 }
 
+void ProxyFarm::set_obs(obs::Context* ctx) {
+  obs_route_calls_ = obs::counter(ctx, "farm.route.calls");
+  obs_affinity_routed_ = obs::counter(ctx, "farm.route.affinity");
+  obs_failovers_ = obs::counter(ctx, "farm.route.failover");
+  for (SgProxy& appliance : proxies_) appliance.set_obs(ctx);
+}
+
 void ProxyFarm::set_fault_schedule(const fault::FaultSchedule* faults) {
   // An empty schedule is stored as "no fault layer" so route()'s hot path
   // pays nothing and stays bit-identical under the `none` profile.
@@ -79,6 +86,7 @@ std::size_t ProxyFarm::failover_target(const Request& request,
 }
 
 std::size_t ProxyFarm::route(const Request& request) const noexcept {
+  obs::add(obs_route_calls_);
   std::size_t target = proxies_.size();
   // Walk the host's domain suffixes looking for an affinity entry.
   std::string_view probe{request.url.host};
@@ -109,15 +117,19 @@ std::size_t ProxyFarm::route(const Request& request) const noexcept {
     if (dot == std::string_view::npos) break;
     probe.remove_prefix(dot + 1);
   }
-  if (target == proxies_.size())
+  if (target == proxies_.size()) {
     target = static_cast<std::size_t>(util::mix64(request.user_id) %
                                       proxies_.size());
+  } else {
+    obs::add(obs_affinity_routed_);
+  }
 
   if (faults_ != nullptr && faults_->is_down(target, request.time)) {
     const std::size_t survivor = failover_target(request, target);
     if (survivor != target) {
       failover_total_.fetch_add(1, std::memory_order_relaxed);
       failovers_to_[survivor].fetch_add(1, std::memory_order_relaxed);
+      obs::add(obs_failovers_);
     }
     return survivor;
   }

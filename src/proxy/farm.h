@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fault/schedule.h"
+#include "obs/context.h"
 #include "policy/syria.h"
 #include "proxy/sg_proxy.h"
 
@@ -48,6 +49,13 @@ class ProxyFarm {
   /// failover and per-proxy brownouts. Configure before traffic starts;
   /// the schedule must outlive the farm.
   void set_fault_schedule(const fault::FaultSchedule* faults);
+
+  /// Attaches the observability layer to the farm and every proxy.
+  /// Routing counters (route calls, affinity redirects, failovers) resolve
+  /// here once; route() stays const, allocation-free, and — since counters
+  /// are relaxed atomics that feed no decision — a pure function of the
+  /// request. nullptr detaches. Configure before traffic starts.
+  void set_obs(obs::Context* ctx);
 
   /// The proxy that would handle this request. A pure function of the
   /// request and the farm seed: the affinity draw comes from a stateless
@@ -105,6 +113,11 @@ class ProxyFarm {
   const fault::FaultSchedule* faults_ = nullptr;
   mutable std::atomic<std::uint64_t> failover_total_{0};
   mutable std::vector<std::atomic<std::uint64_t>> failovers_to_;
+  // Observability instruments (nullptr when detached); mutable because
+  // route() is logically const — counters observe, they never steer.
+  mutable obs::Counter* obs_route_calls_ = nullptr;
+  mutable obs::Counter* obs_affinity_routed_ = nullptr;
+  mutable obs::Counter* obs_failovers_ = nullptr;
 };
 
 }  // namespace syrwatch::proxy

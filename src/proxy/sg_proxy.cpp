@@ -18,8 +18,28 @@ SgProxy::SgProxy(std::uint8_t index, const policy::ProxyPolicy* policy,
     throw std::invalid_argument("SgProxy: null policy configuration");
 }
 
+void SgProxy::set_obs(obs::Context* ctx) {
+  obs_ = Instruments{};
+  if (ctx == nullptr) return;
+  obs_.requests = obs::counter(ctx, "proxy.requests");
+  obs_.cache_hits = obs::counter(ctx, "proxy.cache.hit");
+  obs_.cache_misses = obs::counter(ctx, "proxy.cache.miss");
+  obs_.policy_denied = obs::counter(ctx, "proxy.policy.denied");
+  obs_.policy_redirect = obs::counter(ctx, "proxy.policy.redirect");
+  obs_.error_draws = obs::counter(ctx, "proxy.error.draws");
+  obs_.error_failures = obs::counter(ctx, "proxy.error.failures");
+  obs_.dest_unreachable = obs::counter(ctx, "proxy.error.dest_unreachable");
+  obs_.served = obs::counter(ctx, "proxy.served");
+  for (std::size_t kind = 0; kind < policy::kRuleKindCount; ++kind) {
+    obs_.rule_hits[kind] = obs::counter(
+        ctx,
+        "policy.rule_hit." + std::string(policy::kRuleKindNames[kind]));
+  }
+}
+
 LogRecord SgProxy::process(const Request& request) {
   ++processed_;
+  obs::add(obs_.requests);
 
   LogRecord record;
   record.time = request.time;
@@ -47,11 +67,13 @@ LogRecord SgProxy::process(const Request& request) {
   //    outcome, logged as PROXIED.
   const std::string url_key = record.url.to_string();
   if (const ResponseCache::Entry* hit = cache_.find(url_key, request.time)) {
+    obs::add(obs_.cache_hits);
     record.filter_result = FilterResult::kProxied;
     record.exception = hit->exception;
     record.status = hit->status;
     return record;
   }
+  obs::add(obs_.cache_misses);
 
   // 2. Policy — evaluated against the effective (possibly intercepted) URL.
   const policy::FilterRequest filter_request{
@@ -59,6 +81,13 @@ LogRecord SgProxy::process(const Request& request) {
   const policy::PolicyDecision decision =
       policy_->engine.evaluate(filter_request, rng_);
   if (decision.action != policy::PolicyAction::kAllow) {
+    obs::add(decision.action == policy::PolicyAction::kRedirect
+                 ? obs_.policy_redirect
+                 : obs_.policy_denied);
+    if (decision.rule_index != policy::PolicyDecision::kNoRule) {
+      obs::add(obs_.rule_hits[policy_->engine.rule(decision.rule_index)
+                                  .matcher.index()]);
+    }
     record.filter_result = FilterResult::kDenied;
     record.exception = decision.action == policy::PolicyAction::kRedirect
                            ? ExceptionId::kPolicyRedirect
@@ -74,6 +103,7 @@ LogRecord SgProxy::process(const Request& request) {
   //    Tor relays) surfaces as tcp_error ahead of the base error model.
   if (request.dest_unreachable_prob > 0.0 &&
       rng_.bernoulli(request.dest_unreachable_prob)) {
+    obs::add(obs_.dest_unreachable);
     record.filter_result = FilterResult::kDenied;
     record.exception = ExceptionId::kTcpError;
     record.status = ErrorModel::status_for(ExceptionId::kTcpError);
@@ -82,8 +112,10 @@ LogRecord SgProxy::process(const Request& request) {
   const double fault_multiplier =
       faults_ == nullptr ? 1.0
                          : faults_->error_multiplier(index_, request.time);
+  obs::add(obs_.error_draws);
   const ExceptionId failure = errors_.sample(rng_, fault_multiplier);
   if (failure != ExceptionId::kNone) {
+    obs::add(obs_.error_failures);
     record.filter_result = FilterResult::kDenied;
     record.exception = failure;
     record.status = ErrorModel::status_for(failure);
@@ -91,6 +123,7 @@ LogRecord SgProxy::process(const Request& request) {
   }
 
   // 4. Served.
+  obs::add(obs_.served);
   record.filter_result = FilterResult::kObserved;
   record.exception = ExceptionId::kNone;
   record.status =

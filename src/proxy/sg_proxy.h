@@ -1,9 +1,12 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "fault/schedule.h"
+#include "obs/context.h"
+#include "policy/rule.h"
 #include "policy/syria.h"
 #include "proxy/cache.h"
 #include "proxy/error_model.h"
@@ -63,10 +66,34 @@ class SgProxy {
     faults_ = faults;
   }
 
+  /// Attaches the observability layer: farm-wide event counters (cache
+  /// hit/miss, policy decisions by rule kind, error-model draws) are
+  /// resolved once here, so process() pays one pointer test per event —
+  /// and literally nothing when detached (the default). Counters never
+  /// touch the proxy's RNG or caches, so attaching a registry cannot
+  /// change the emitted log (DESIGN.md §4.7). nullptr detaches.
+  void set_obs(obs::Context* ctx);
+
   std::uint64_t processed() const noexcept { return processed_; }
   const ResponseCache& cache() const noexcept { return cache_; }
 
  private:
+  /// Pre-resolved instruments, all nullptr when detached. Shared across
+  /// the farm's proxies (same registry names), bumped with relaxed atomics
+  /// from concurrent per-proxy workers.
+  struct Instruments {
+    obs::Counter* requests = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* policy_denied = nullptr;
+    obs::Counter* policy_redirect = nullptr;
+    obs::Counter* error_draws = nullptr;
+    obs::Counter* error_failures = nullptr;
+    obs::Counter* dest_unreachable = nullptr;
+    obs::Counter* served = nullptr;
+    std::array<obs::Counter*, policy::kRuleKindCount> rule_hits{};
+  };
+
   std::uint8_t index_;
   const policy::ProxyPolicy* policy_;
   const policy::CustomCategoryList* custom_categories_;
@@ -76,6 +103,7 @@ class SgProxy {
   const fault::FaultSchedule* faults_ = nullptr;
   util::Rng rng_;
   std::uint64_t processed_ = 0;
+  Instruments obs_;
 };
 
 }  // namespace syrwatch::proxy

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/profiles.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/simtime.h"
 
@@ -181,6 +182,22 @@ void SyriaScenario::run(const LogCallback& sink) {
   const std::size_t n_components = components_.size();
   const std::size_t n_proxies = farm_.proxy_count();
 
+  // Observability instruments, all nullptr when detached. Stage timers run
+  // at shard/batch granularity (never per request) so the < 2% overhead
+  // budget of DESIGN.md §4.7 holds; counters are relaxed atomics that no
+  // simulated decision reads, so the emitted log is identical either way.
+  obs::StageStats* const gen_stage =
+      obs::stage(obs_, "scenario.generate_shard");
+  obs::StageStats* const proc_stage =
+      obs::stage(obs_, "scenario.process_proxy_batch");
+  obs::StageStats* const merge_stage = obs::stage(obs_, "scenario.merge");
+  obs::Counter* const generated = obs::counter(obs_, "scenario.generated");
+  obs::Counter* const emitted = obs::counter(obs_, "scenario.emitted");
+  if (obs_ != nullptr) {
+    obs_->registry().gauge("scenario.threads").set(
+        static_cast<double>(threads));
+  }
+
   // Shards are produced and consumed in fixed-size batches so peak memory
   // stays bounded by the batch, not the whole observation window. Batch
   // boundaries cannot affect results: RNG streams derive from the shard
@@ -198,6 +215,7 @@ void SyriaScenario::run(const LogCallback& sink) {
     // (shard, component) pair owns an independent child RNG, so shards
     // never contend and the draw sequence is execution-order-free.
     util::parallel_for(n_shards, threads, [&](std::size_t i) {
+      const obs::StageTimer timer{gen_stage};
       const std::size_t ordinal = batch_start + i;
       const SlotPlan& sp = plan[ordinal];
       Shard& shard = batch[i];
@@ -220,6 +238,7 @@ void SyriaScenario::run(const LogCallback& sink) {
           shard.requests.push_back(std::move(request));
         }
       }
+      obs::add(generated, shard.requests.size());
     });
 
     // Phase 2 — per-proxy processing. Each SgProxy owns an LRU cache and
@@ -228,6 +247,7 @@ void SyriaScenario::run(const LogCallback& sink) {
     // worker. Requests on filtered days still pass through the proxy —
     // the leak drops the *records*, not the traffic that warmed caches.
     util::parallel_for(n_proxies, threads, [&](std::size_t p) {
+      const obs::StageTimer timer{proc_stage};
       std::vector<Processed>& out = per_proxy[p];
       out.clear();
       proxy::SgProxy& appliance = farm_.proxy(p);
@@ -250,6 +270,8 @@ void SyriaScenario::run(const LogCallback& sink) {
     // sorted by key, so a k-way merge restores global generation order
     // (day, slot, component, sequence) — exactly the order the old
     // single-threaded loop emitted — before the records reach the sink.
+    const obs::StageTimer merge_timer{merge_stage};
+    std::uint64_t merged = 0;
     std::vector<std::size_t> head(n_proxies, 0);
     for (;;) {
       std::size_t best = n_proxies;
@@ -264,7 +286,9 @@ void SyriaScenario::run(const LogCallback& sink) {
       if (best == n_proxies) break;
       sink(per_proxy[best][head[best]].record);
       ++head[best];
+      ++merged;
     }
+    obs::add(emitted, merged);
   }
 }
 

@@ -10,6 +10,7 @@
 #include "category/categorizer.h"
 #include "fault/schedule.h"
 #include "geo/geoip.h"
+#include "obs/context.h"
 #include "geo/world.h"
 #include "policy/syria.h"
 #include "proxy/farm.h"
@@ -88,6 +89,18 @@ class SyriaScenario {
   /// the thread count.
   void run(const LogCallback& sink);
 
+  /// Attaches the observability layer to the pipeline and the farm: stage
+  /// timers for the generate / process / merge phases and event counters
+  /// throughout. A null context (the default) keeps run() on the exact
+  /// pre-obs code path; an attached registry never touches an RNG stream,
+  /// so the emitted log is byte-identical either way (DESIGN.md §4.7).
+  /// Attach before run(); the context must outlive the scenario.
+  void set_obs(obs::Context* ctx) {
+    obs_ = ctx;
+    farm_.set_obs(ctx);
+  }
+  obs::Context* obs_context() const noexcept { return obs_; }
+
   const ScenarioConfig& config() const noexcept { return config_; }
   const UserModel& users() const noexcept { return users_; }
   const DomainCatalog& catalog() const noexcept { return catalog_; }
@@ -122,6 +135,7 @@ class SyriaScenario {
   fault::FaultSchedule faults_;
   DiurnalModel diurnal_;
   std::vector<std::unique_ptr<Component>> components_;
+  obs::Context* obs_ = nullptr;
   /// Root of the per-(day, slot, component) RNG streams. Never advanced:
   /// run() only derives children via Rng::split, so generation shards are
   /// independent of each other and of execution order.

@@ -67,7 +67,8 @@ TEST(TopDomains, RanksByCountAndAggregatesSubdomains) {
   dataset.add(rec("http://x.com/", proxy::ExceptionId::kPolicyDenied));
   dataset.finalize();
 
-  const auto top = top_domains(dataset, proxy::TrafficClass::kAllowed, 10);
+  const auto top =
+      top_domains(dataset, TopDomainsOptions{proxy::TrafficClass::kAllowed});
   ASSERT_EQ(top.size(), 2u);
   EXPECT_EQ(top[0].domain, "a.com");
   EXPECT_EQ(top[0].count, 8u);
@@ -75,7 +76,7 @@ TEST(TopDomains, RanksByCountAndAggregatesSubdomains) {
   EXPECT_EQ(top[1].domain, "b.com");
 
   const auto censored =
-      top_domains(dataset, proxy::TrafficClass::kCensored, 10);
+      top_domains(dataset, TopDomainsOptions{proxy::TrafficClass::kCensored});
   ASSERT_EQ(censored.size(), 1u);
   EXPECT_EQ(censored[0].domain, "x.com");
 }
@@ -87,8 +88,9 @@ TEST(TopDomains, WindowRestricts) {
   dataset.add(rec("http://late.com/", proxy::ExceptionId::kNone,
                   proxy::FilterResult::kObserved, 1, kT0 + 7200));
   dataset.finalize();
-  const auto top = top_domains(dataset, proxy::TrafficClass::kAllowed, 10,
-                               TimeWindow{kT0, kT0 + 3600});
+  const auto top = top_domains(
+      dataset, TopDomainsOptions{proxy::TrafficClass::kAllowed, 10,
+                                 TimeRange{kT0, kT0 + 3600}});
   ASSERT_EQ(top.size(), 1u);
   EXPECT_EQ(top[0].domain, "early.com");
 }
@@ -98,8 +100,10 @@ TEST(TopDomains, KLimitsOutput) {
   for (int i = 0; i < 30; ++i)
     dataset.add(rec(("http://d" + std::to_string(i) + ".com/").c_str()));
   dataset.finalize();
-  EXPECT_EQ(top_domains(dataset, proxy::TrafficClass::kAllowed, 10).size(),
-            10u);
+  EXPECT_EQ(
+      top_domains(dataset, TopDomainsOptions{proxy::TrafficClass::kAllowed})
+          .size(),
+      10u);
 }
 
 TEST(DomainClassCounts, SuffixMatchingIncludesTld) {

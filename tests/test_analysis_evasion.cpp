@@ -229,7 +229,8 @@ TEST_F(TorAnalysisTest, HourlySeriesCountsTorOnly) {
   dataset.add(rec("http://facebook.com/", proxy::ExceptionId::kNone, 0,
                   kT0 + 120));
   dataset.finalize();
-  const auto series = tor_hourly_series(dataset, relays_, kT0, kT0 + 7200);
+  const auto series =
+      tor_hourly_series(dataset, relays_, TorHourlyOptions{{kT0, kT0 + 7200}});
   ASSERT_EQ(series.bin_count(), 2u);
   EXPECT_EQ(series.at(0), 1u);
   EXPECT_EQ(series.at(1), 1u);

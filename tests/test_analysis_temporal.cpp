@@ -41,7 +41,8 @@ TEST(TimeSeries, BinsAndNormalizes) {
   dataset.add(rec("http://e.com/", kT0 + 50, proxy::ExceptionId::kTcpError));
   dataset.finalize();
 
-  const auto series = traffic_time_series(dataset, kT0, kT0 + 900, 300);
+  const auto series =
+      traffic_time_series(dataset, TrafficSeriesOptions{{kT0, kT0 + 900}});
   ASSERT_EQ(series.allowed.bin_count(), 3u);
   EXPECT_EQ(series.allowed.at(0), 2u);   // errors excluded
   EXPECT_EQ(series.allowed.at(2), 1u);
@@ -53,8 +54,9 @@ TEST(TimeSeries, BinsAndNormalizes) {
 
 TEST(TimeSeries, RejectsBadWindow) {
   Dataset dataset;
-  EXPECT_THROW(traffic_time_series(dataset, 100, 100, 300),
-               std::invalid_argument);
+  EXPECT_THROW(
+      traffic_time_series(dataset, TrafficSeriesOptions{{100, 100}, {300}}),
+      std::invalid_argument);
 }
 
 TEST(Rcv, PerBinCensoredFraction) {
@@ -69,7 +71,7 @@ TEST(Rcv, PerBinCensoredFraction) {
                   proxy::ExceptionId::kPolicyDenied));
   dataset.finalize();
 
-  const auto series = rcv_series(dataset, kT0, kT0 + 900, 300);
+  const auto series = rcv_series(dataset, RcvOptions{{kT0, kT0 + 900}});
   ASSERT_EQ(series.rcv.size(), 3u);
   EXPECT_NEAR(series.rcv[0], 0.25, 1e-12);
   EXPECT_EQ(series.rcv[1], 0.0);
@@ -90,11 +92,13 @@ TEST(WindowedTop, Table5Shape) {
                     proxy::ExceptionId::kPolicyDenied));
   dataset.finalize();
 
-  const std::vector<TimeWindow> windows{
-      {kT0 + 6 * 3600, kT0 + 8 * 3600},
-      {kT0 + 10 * 3600, kT0 + 12 * 3600},
-  };
-  const auto result = windowed_top_censored(dataset, windows, 3);
+  const WindowedTopOptions options{
+      {
+          {kT0 + 6 * 3600, kT0 + 8 * 3600},
+          {kT0 + 10 * 3600, kT0 + 12 * 3600},
+      },
+      3};
+  const auto result = windowed_top_censored(dataset, options);
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0].top[0].domain, "skype.com");
   EXPECT_NEAR(result[0].top[0].share, 5.0 / 6.0, 1e-12);

@@ -1,0 +1,241 @@
+// The normalized CLI/API surface: the shared flag parser used by every
+// syrwatchctl subcommand, and the deprecated forwarding overloads of the
+// analysis layer — each must stay an exact alias for its options-struct
+// replacement until removal.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/temporal.h"
+#include "analysis/top_domains.h"
+#include "analysis/tor_analysis.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace syrwatch;
+
+// --- util::CliFlags --------------------------------------------------------
+
+std::vector<char*> argv_of(std::vector<std::string>& tokens) {
+  std::vector<char*> argv;
+  for (auto& token : tokens) argv.push_back(token.data());
+  return argv;
+}
+
+TEST(CliFlags, ParsesDeclaredFlagsAndPositionals) {
+  util::CliFlags cli;
+  cli.value_flag("--out");
+  cli.value_flag("--requests");
+  cli.bool_flag("--no-leak-filter");
+  std::vector<std::string> tokens{"syrwatchctl", "generate",
+                                  "--out",       "sg.log",
+                                  "first.log",   "--no-leak-filter",
+                                  "--requests",  "5000",
+                                  "second.log"};
+  auto argv = argv_of(tokens);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.error().empty());
+  EXPECT_TRUE(cli.has("--out"));
+  EXPECT_TRUE(cli.has("--no-leak-filter"));
+  EXPECT_EQ(cli.get("--out"), "sg.log");
+  EXPECT_EQ(cli.get_u64("--requests", 0), 5000u);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "first.log");
+  EXPECT_EQ(cli.positional()[1], "second.log");
+}
+
+TEST(CliFlags, AbsentFlagsFallBack) {
+  util::CliFlags cli;
+  cli.value_flag("--requests");
+  cli.bool_flag("--metrics");
+  std::vector<std::string> tokens{"syrwatchctl", "stats", "input.log"};
+  auto argv = argv_of(tokens);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.has("--metrics"));
+  EXPECT_EQ(cli.get("--requests"), std::nullopt);
+  EXPECT_EQ(cli.get_u64("--requests", 42), 42u);
+  EXPECT_EQ(cli.get_i64("--requests", -7), -7);
+}
+
+TEST(CliFlags, RejectsUnknownFlagByName) {
+  util::CliFlags cli;
+  cli.value_flag("--out");
+  std::vector<std::string> tokens{"syrwatchctl", "generate", "--typo", "x"};
+  auto argv = argv_of(tokens);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("unknown flag"), std::string::npos);
+  EXPECT_NE(cli.error().find("--typo"), std::string::npos);
+}
+
+TEST(CliFlags, RejectsValueFlagWithoutValue) {
+  util::CliFlags cli;
+  cli.value_flag("--out");
+  std::vector<std::string> tokens{"syrwatchctl", "generate", "--out"};
+  auto argv = argv_of(tokens);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("expects a value"), std::string::npos);
+  EXPECT_NE(cli.error().find("--out"), std::string::npos);
+}
+
+TEST(CliFlags, RejectsDuplicateFlag) {
+  util::CliFlags cli;
+  cli.value_flag("--seed");
+  std::vector<std::string> tokens{"syrwatchctl", "generate", "--seed", "1",
+                                  "--seed", "2"};
+  auto argv = argv_of(tokens);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(cli.error().find("duplicate flag"), std::string::npos);
+  EXPECT_NE(cli.error().find("--seed"), std::string::npos);
+}
+
+TEST(CliFlags, ValueFlagConsumesNegativeNumbersVerbatim) {
+  util::CliFlags cli;
+  cli.value_flag("--offset");
+  std::vector<std::string> tokens{"syrwatchctl", "stats", "--offset", "-300"};
+  auto argv = argv_of(tokens);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_i64("--offset", 0), -300);
+}
+
+TEST(CliFlags, NumericAccessorsNameTheFlagOnBadInput) {
+  util::CliFlags cli;
+  cli.value_flag("--requests");
+  std::vector<std::string> tokens{"syrwatchctl", "profile", "--requests",
+                                  "lots"};
+  auto argv = argv_of(tokens);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  try {
+    cli.get_u64("--requests", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--requests"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("lots"), std::string::npos);
+  }
+}
+
+// --- Deprecated analysis overloads ----------------------------------------
+//
+// The forwarding overloads exist so downstream code migrates on its own
+// schedule; until removed, each must return bit-identical results to the
+// options-struct API. The pragmas silence the warning the overloads are
+// designed to emit everywhere else.
+
+constexpr std::int64_t kT0 = 1312329600;  // 2011-08-03 00:00
+
+proxy::LogRecord rec(const char* url_text, std::int64_t time,
+                     proxy::ExceptionId exception = proxy::ExceptionId::kNone) {
+  proxy::LogRecord record;
+  record.time = time;
+  record.user_hash = 1;
+  record.url = *net::Url::parse(url_text);
+  record.filter_result = exception == proxy::ExceptionId::kNone
+                             ? proxy::FilterResult::kObserved
+                             : proxy::FilterResult::kDenied;
+  record.exception = exception;
+  return record;
+}
+
+analysis::Dataset small_dataset() {
+  analysis::Dataset dataset;
+  dataset.add(rec("http://a.com/", kT0 + 10));
+  dataset.add(rec("http://a.com/", kT0 + 20));
+  dataset.add(rec("http://b.com/", kT0 + 350));
+  dataset.add(rec("http://x.com/", kT0 + 400,
+                  proxy::ExceptionId::kPolicyDenied));
+  dataset.add(rec("http://y.com/", kT0 + 700,
+                  proxy::ExceptionId::kPolicyRedirect));
+  dataset.add(rec("http://a.com/", kT0 + 710));
+  dataset.finalize();
+  return dataset;
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedOverloads, TopDomainsForwards) {
+  const auto dataset = small_dataset();
+  const auto modern = analysis::top_domains(
+      dataset, analysis::TopDomainsOptions{
+                   proxy::TrafficClass::kAllowed, 5,
+                   analysis::TimeRange{kT0, kT0 + 600}});
+  const auto legacy =
+      analysis::top_domains(dataset, proxy::TrafficClass::kAllowed, 5,
+                            analysis::TimeWindow{kT0, kT0 + 600});
+  ASSERT_EQ(legacy.size(), modern.size());
+  for (std::size_t i = 0; i < modern.size(); ++i) {
+    EXPECT_EQ(legacy[i].domain, modern[i].domain);
+    EXPECT_EQ(legacy[i].count, modern[i].count);
+    EXPECT_EQ(legacy[i].share, modern[i].share);
+  }
+}
+
+TEST(DeprecatedOverloads, TrafficTimeSeriesForwards) {
+  const auto dataset = small_dataset();
+  const auto modern = analysis::traffic_time_series(
+      dataset, analysis::TrafficSeriesOptions{{kT0, kT0 + 900}, {300}});
+  const auto legacy =
+      analysis::traffic_time_series(dataset, kT0, kT0 + 900, 300);
+  EXPECT_EQ(legacy.allowed.counts(), modern.allowed.counts());
+  EXPECT_EQ(legacy.censored.counts(), modern.censored.counts());
+}
+
+TEST(DeprecatedOverloads, RcvSeriesForwards) {
+  const auto dataset = small_dataset();
+  const auto modern = analysis::rcv_series(
+      dataset, analysis::RcvOptions{{kT0, kT0 + 900}, {300}});
+  const auto legacy = analysis::rcv_series(dataset, kT0, kT0 + 900, 300);
+  EXPECT_EQ(legacy.origin, modern.origin);
+  EXPECT_EQ(legacy.bin_seconds, modern.bin_seconds);
+  EXPECT_EQ(legacy.rcv, modern.rcv);
+}
+
+TEST(DeprecatedOverloads, WindowedTopCensoredForwards) {
+  const auto dataset = small_dataset();
+  const std::vector<analysis::TimeRange> windows{{kT0, kT0 + 450},
+                                                 {kT0 + 450, kT0 + 900}};
+  const auto modern = analysis::windowed_top_censored(
+      dataset, analysis::WindowedTopOptions{windows, 3});
+  const auto legacy = analysis::windowed_top_censored(
+      dataset, std::span<const analysis::TimeWindow>{windows}, 3);
+  ASSERT_EQ(legacy.size(), modern.size());
+  for (std::size_t w = 0; w < modern.size(); ++w) {
+    ASSERT_EQ(legacy[w].top.size(), modern[w].top.size());
+    for (std::size_t i = 0; i < modern[w].top.size(); ++i) {
+      EXPECT_EQ(legacy[w].top[i].domain, modern[w].top[i].domain);
+      EXPECT_EQ(legacy[w].top[i].count, modern[w].top[i].count);
+    }
+  }
+}
+
+TEST(DeprecatedOverloads, TorHourlySeriesForwards) {
+  const auto relays = tor::RelayDirectory::synthesize(10, 3);
+  analysis::Dataset dataset;
+  const auto& relay = relays.relays()[0];
+  const std::string url = "http://" + relay.address.to_string() + ":" +
+                          std::to_string(relay.or_port);
+  auto record = rec(url.c_str(), kT0 + 120);
+  record.dest_ip = relay.address;
+  record.url.scheme = net::Scheme::kTcp;
+  dataset.add(record);
+  record.time = kT0 + 3700;
+  dataset.add(record);
+  dataset.finalize();
+
+  const auto modern = analysis::tor_hourly_series(
+      dataset, relays, analysis::TorHourlyOptions{{kT0, kT0 + 7200}});
+  const auto legacy =
+      analysis::tor_hourly_series(dataset, relays, kT0, kT0 + 7200);
+  EXPECT_EQ(legacy.counts(), modern.counts());
+  EXPECT_EQ(legacy.origin(), modern.origin());
+  EXPECT_EQ(legacy.bin_width(), modern.bin_width());
+  EXPECT_EQ(modern.total(), 2u);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace

@@ -50,6 +50,38 @@ TEST(Study, RerunIsDeterministic) {
   EXPECT_EQ(study.datasets().full.size(), size_first);
 }
 
+TEST(Study, BuildDatasetsRequiresSimulate) {
+  core::Study study{tiny_config()};
+  EXPECT_THROW(study.build_datasets(), std::logic_error);
+  study.simulate();
+  EXPECT_FALSE(study.has_run());  // derivation has not happened yet
+  study.build_datasets();
+  EXPECT_TRUE(study.has_run());
+  // The pending log was consumed; deriving again needs a new simulate().
+  EXPECT_THROW(study.build_datasets(), std::logic_error);
+}
+
+TEST(Study, PhasedRunMatchesWrapperAndRecordsMetrics) {
+  core::Study phased{tiny_config()};
+  phased.simulate();
+  const auto result = phased.build_datasets();
+  EXPECT_EQ(&result.datasets, &phased.datasets());
+  EXPECT_EQ(result.metrics.log_records, result.datasets.full.size());
+
+  ASSERT_EQ(result.metrics.phases.size(), 2u);
+  EXPECT_EQ(result.metrics.phases[0].name, "simulate");
+  EXPECT_EQ(result.metrics.phases[1].name, "build_datasets");
+  EXPECT_GT(result.metrics.phases[0].seconds, 0.0);
+  EXPECT_GE(result.metrics.total_seconds(),
+            result.metrics.phases[0].seconds);
+  EXPECT_EQ(result.metrics.phases[0].items, result.metrics.log_records);
+
+  core::Study wrapped{tiny_config()};
+  const auto wrapped_result = wrapped.run();
+  EXPECT_EQ(wrapped_result.datasets.full.size(), result.datasets.full.size());
+  EXPECT_EQ(wrapped.metrics().phases.size(), 2u);
+}
+
 TEST(Report, OverviewContainsHeadlineSections) {
   core::Study study{tiny_config()};
   study.run();

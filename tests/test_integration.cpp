@@ -99,12 +99,13 @@ TEST_F(StudyTest, Table3TrafficSplit) {
 }
 
 TEST_F(StudyTest, Table4TopDomains) {
-  const auto allowed = top_domains(full(), proxy::TrafficClass::kAllowed, 10);
+  const auto allowed =
+      top_domains(full(), TopDomainsOptions{proxy::TrafficClass::kAllowed});
   ASSERT_EQ(allowed.size(), 10u);
   EXPECT_EQ(allowed[0].domain, "google.com");
 
   const auto censored =
-      top_domains(full(), proxy::TrafficClass::kCensored, 10);
+      top_domains(full(), TopDomainsOptions{proxy::TrafficClass::kCensored});
   ASSERT_EQ(censored.size(), 10u);
   // The paper's headline: facebook and metacafe lead the censored side
   // while facebook also ranks high on the allowed side.
@@ -181,8 +182,8 @@ TEST_F(StudyTest, Fig4CensoredUsersMoreActive) {
 TEST_F(StudyTest, Fig6RcvPeaksOnAug3Morning) {
   // Hourly bins: 5-minute bins are too noisy at this scale for peak
   // detection (the paper has ~500x our volume per bin).
-  const auto series = rcv_series(full(), workload::at(8, 3),
-                                 workload::at(8, 4), 3600);
+  const auto series = rcv_series(
+      full(), RcvOptions{{workload::at(8, 3), workload::at(8, 4)}, {3600}});
   const auto peak = series.peak_bin();
   const double peak_hour = peak * 3600 / 3600.0;
   // The Aug-3 IM surge puts the RCV peak in the morning or the smaller

@@ -51,7 +51,9 @@ TEST_F(EmptyDatasetTest, TrafficStats) {
 }
 
 TEST_F(EmptyDatasetTest, TopDomainsAndClassCounts) {
-  EXPECT_TRUE(top_domains(empty_, proxy::TrafficClass::kCensored, 10).empty());
+  EXPECT_TRUE(
+      top_domains(empty_, TopDomainsOptions{proxy::TrafficClass::kCensored})
+          .empty());
   const std::vector<std::string> domains{"facebook.com"};
   const auto counts = domain_class_counts(empty_, domains);
   ASSERT_EQ(counts.size(), 1u);
@@ -73,11 +75,12 @@ TEST_F(EmptyDatasetTest, UsersAndTemporal) {
   EXPECT_EQ(users.total_users, 0u);
   EXPECT_EQ(users.active_share_censored(100.0), 0.0);
 
-  const auto series = traffic_time_series(empty_, 0, 3600, 300);
+  const auto series =
+      traffic_time_series(empty_, TrafficSeriesOptions{{0, 3600}, {300}});
   EXPECT_EQ(series.allowed.total(), 0u);
   EXPECT_TRUE(series.normalized_allowed().size() == 12);
 
-  const auto rcv = rcv_series(empty_, 0, 3600, 300);
+  const auto rcv = rcv_series(empty_, RcvOptions{{0, 3600}, {300}});
   for (const double value : rcv.rcv) EXPECT_EQ(value, 0.0);
   EXPECT_EQ(rcv.peak_bin(), 0u);
 }
@@ -167,10 +170,12 @@ TEST(DegenerateDataset, SingleRecordEverywhere) {
   dataset.finalize();
 
   EXPECT_EQ(traffic_stats(dataset).censored(), 1u);
-  const auto top = top_domains(dataset, proxy::TrafficClass::kCensored, 10);
+  const auto top =
+      top_domains(dataset, TopDomainsOptions{proxy::TrafficClass::kCensored});
   ASSERT_EQ(top.size(), 1u);
   EXPECT_NEAR(top[0].share, 1.0, 1e-12);
-  const auto rcv = rcv_series(dataset, 1312329600, 1312329600 + 300, 300);
+  const auto rcv =
+      rcv_series(dataset, RcvOptions{{1312329600, 1312329600 + 300}, {300}});
   EXPECT_NEAR(rcv.rcv[0], 1.0, 1e-12);
 }
 

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# ci-metrics-smoke.sh — end-to-end check of the observability surface:
+# runs syrwatchctl with --metrics and validates the emitted
+# syrwatch.metrics.v1 JSON (schema tag, required keys, non-negative
+# counts, pipeline counter identities, phases summing to roughly the
+# total). Exercises both a full simulate→analyze run (profile) and the
+# generate→stats log round trip.
+#
+# Usage:
+#   tools/ci-metrics-smoke.sh [build-dir]   # default: build/
+#
+# Needs a built tree (cmake --build build) and python3 for the JSON
+# validation.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+ctl="${build_dir}/tools/syrwatchctl"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+[[ -x "${ctl}" ]] || { echo "error: ${ctl} not built" >&2; exit 1; }
+command -v python3 >/dev/null || { echo "error: python3 required" >&2; exit 1; }
+
+validate() {
+  local file="$1" command="$2" mode="$3"
+  python3 - "$file" "$command" "$mode" <<'PY'
+import json, sys
+
+path, command, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(path) as handle:
+    doc = json.load(handle)
+
+def die(message):
+    sys.exit(f"{path}: {message}")
+
+for key in ("schema", "command", "counters", "gauges", "stages", "phases",
+            "total_seconds"):
+    if key not in doc:
+        die(f"missing key {key!r}")
+if doc["schema"] != "syrwatch.metrics.v1":
+    die(f"unexpected schema {doc['schema']!r}")
+if doc["command"] != command:
+    die(f"command is {doc['command']!r}, expected {command!r}")
+
+counters = doc["counters"]
+for name, value in counters.items():
+    if not isinstance(value, int) or value < 0:
+        die(f"counter {name!r} is not a non-negative integer: {value!r}")
+for name, stage in doc["stages"].items():
+    if stage["count"] <= 0:
+        die(f"stage {name!r} recorded no calls")
+    if not (0 <= stage["min_seconds"] <= stage["max_seconds"]):
+        die(f"stage {name!r} has inverted extrema")
+    if stage["total_seconds"] < stage["max_seconds"]:
+        die(f"stage {name!r} total below max")
+
+total = doc["total_seconds"]
+phase_sum = sum(p["seconds"] for p in doc["phases"])
+if total <= 0:
+    die("total_seconds not positive")
+if not doc["phases"]:
+    die("no phases recorded")
+if phase_sum > total * 1.001:
+    die(f"phases sum {phase_sum:.3f}s exceeds total {total:.3f}s")
+# Phases cover the bulk of the run; the remainder is I/O + process setup.
+if phase_sum < total * 0.25:
+    die(f"phases sum {phase_sum:.3f}s is <25% of total {total:.3f}s")
+
+if mode == "pipeline":
+    c = lambda name: counters.get(name, 0)
+    requests = c("proxy.requests")
+    if requests <= 0:
+        die("pipeline run saw no proxy requests")
+    if c("farm.route.calls") != requests:
+        die("farm.route.calls != proxy.requests")
+    if c("proxy.cache.hit") + c("proxy.cache.miss") != requests:
+        die("cache hit+miss != requests")
+    if c("proxy.cache.miss") != (c("proxy.policy.denied") +
+                                 c("proxy.policy.redirect") +
+                                 c("proxy.error.dest_unreachable") +
+                                 c("proxy.error.draws")):
+        die("cache misses do not decompose into outcomes")
+    if c("proxy.error.draws") != c("proxy.error.failures") + c("proxy.served"):
+        die("error draws != failures + served")
+    rule_hits = sum(v for k, v in counters.items()
+                    if k.startswith("policy.rule_hit."))
+    if rule_hits != c("proxy.policy.denied") + c("proxy.policy.redirect"):
+        die("per-kind rule hits do not sum to policy verdicts")
+elif mode == "reader":
+    if c := counters.get("cli.rows_loaded", 0):
+        pass
+    else:
+        die("reader run loaded no rows")
+
+print(f"ok: {path} ({command}, {len(counters)} counters, "
+      f"{len(doc['stages'])} stages, {phase_sum:.2f}/{total:.2f}s in phases)")
+PY
+}
+
+echo "==> profile --metrics (full simulate -> analyze pipeline)"
+"${ctl}" profile --requests 60000 --metrics "${workdir}/profile.json" \
+    >/dev/null
+validate "${workdir}/profile.json" profile pipeline
+
+echo "==> generate --metrics (simulate -> log)"
+"${ctl}" generate --out "${workdir}/leak.csv" --requests 60000 \
+    --metrics "${workdir}/generate.json" >/dev/null
+validate "${workdir}/generate.json" generate pipeline
+
+echo "==> stats --metrics (log reader path)"
+"${ctl}" stats "${workdir}/leak.csv" --metrics "${workdir}/stats.json" \
+    >/dev/null
+validate "${workdir}/stats.json" stats reader
+
+echo "==> metrics smoke green"

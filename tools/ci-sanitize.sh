@@ -15,6 +15,12 @@
 #
 #   tools/ci-sanitize.sh 'fault|log_io|parallel'
 #
+# The observability layer is concurrency-sensitive by construction (relaxed
+# atomics on every hot path) — the TSan pass over 'obs|parallel|scenario'
+# is the race check for it:
+#
+#   tools/ci-sanitize.sh 'obs|cli|parallel|scenario'
+#
 # Build trees live in build-tsan/ and build-asan/ next to the source tree,
 # so a regular build/ directory is left untouched.
 

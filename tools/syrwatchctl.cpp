@@ -26,14 +26,26 @@
 //   syrwatchctl redirects <log.csv>
 //       policy_redirect hosts (Table 7 style).
 //
+//   syrwatchctl weather <log.csv> --keyword WORD [--bin-hours H]
+//       Per-window enforcement intensity for one keyword.
+//
+//   syrwatchctl profile [--requests N] [--seed S] [--threads T]
+//                       [--fault-profile NAME]
+//       Run a reduced study end to end with the observability layer
+//       attached and print where the time went: run phases, per-stage
+//       wall-time breakdown, and the pipeline event counters.
+//
+// Every subcommand also accepts `--metrics FILE`, which writes the run's
+// counters, stage timings, and phase breakdown as a syrwatch.metrics.v1
+// JSON document (see src/obs/export.h for the schema).
+//
 // All analysis subcommands accept any csv produced by `generate` (or by
 // proxy::write_log), so pipelines can be scripted without recompiling.
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/coverage.h"
@@ -43,9 +55,16 @@
 #include "analysis/traffic_stats.h"
 #include "analysis/user_stats.h"
 #include "analysis/weather.h"
+#include "core/report.h"
+#include "core/study.h"
 #include "fault/profiles.h"
+#include "obs/context.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "policy/syria.h"
 #include "proxy/log_io.h"
+#include "util/cli.h"
 #include "util/simtime.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -67,67 +86,142 @@ int usage() {
       "  syrwatchctl discover FILE [--min-count N]\n"
       "  syrwatchctl users FILE\n"
       "  syrwatchctl redirects FILE\n"
-      "  syrwatchctl weather FILE --keyword WORD [--bin-hours H]\n");
+      "  syrwatchctl weather FILE --keyword WORD [--bin-hours H]\n"
+      "  syrwatchctl profile [--requests N] [--seed S] [--threads T]"
+      " [--fault-profile NAME]\n"
+      "every subcommand also accepts: --metrics FILE (write"
+      " syrwatch.metrics.v1 JSON)\n");
   return 2;
 }
 
-/// Minimal flag scanner: returns the value after `name`, or nullptr.
-const char* flag_value(int argc, char** argv, const char* name) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return nullptr;
+int flag_error(const char* command, const util::CliFlags& flags) {
+  std::fprintf(stderr, "syrwatchctl %s: %s\n", command, flags.error().c_str());
+  return usage();
 }
 
-bool has_flag(int argc, char** argv, const char* name) {
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
+double seconds_since(std::uint64_t start_nanos) {
+  return static_cast<double>(obs::monotonic_nanos() - start_nanos) * 1e-9;
 }
 
-analysis::Dataset load(const char* path) {
+/// The --metrics plumbing every subcommand funnels through: one registry
+/// plus the coarse phase list, flushed as syrwatch.metrics.v1 JSON when the
+/// user asked for a file (and kept entirely in memory otherwise).
+class MetricsOutput {
+ public:
+  explicit MetricsOutput(const util::CliFlags& flags)
+      : path_(flags.get("--metrics").value_or("")),
+        start_(obs::monotonic_nanos()) {}
+
+  obs::Context* context() noexcept { return &context_; }
+  obs::MetricsRegistry& registry() noexcept { return registry_; }
+  std::vector<obs::PhaseTiming>& phases() noexcept { return phases_; }
+
+  void add_phase(std::string name, double seconds, std::uint64_t items) {
+    phases_.push_back({std::move(name), seconds, items});
+  }
+
+  double total_seconds() const { return seconds_since(start_); }
+
+  /// Writes the document when --metrics was given. Returns false on I/O
+  /// failure (the subcommand should exit non-zero).
+  bool write(const char* command) {
+    if (path_.empty()) return true;
+    std::ofstream out{path_};
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    out << obs::to_json(registry_.snapshot(), command, phases_,
+                        total_seconds());
+    return out.good();
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  obs::Context context_{&registry_};
+  std::vector<obs::PhaseTiming> phases_;
+  std::string path_;
+  std::uint64_t start_;
+};
+
+analysis::Dataset load(const std::string& path) {
   std::ifstream in{path};
-  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  if (!in) throw std::runtime_error("cannot open " + path);
   analysis::Dataset dataset;
   for (const auto& record : proxy::read_log(in)) dataset.add(record);
   dataset.finalize();
   return dataset;
 }
 
+/// load() plus the shared "load" phase record and row counter.
+analysis::Dataset load_phase(const std::string& path, MetricsOutput& metrics) {
+  const std::uint64_t start = obs::monotonic_nanos();
+  auto dataset = load(path);
+  obs::add(obs::counter(metrics.context(), "cli.rows_loaded"),
+           dataset.size());
+  metrics.add_phase("load", seconds_since(start), dataset.size());
+  return dataset;
+}
+
+/// Parses the shared shape `subcommand FILE [flags]`: one positional
+/// argument, or a usage error naming what went wrong.
+bool single_input(const char* command, const util::CliFlags& flags,
+                  std::string& path) {
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "syrwatchctl %s: expected exactly one input file\n",
+                 command);
+    return false;
+  }
+  path = flags.positional().front();
+  return true;
+}
+
 int cmd_generate(int argc, char** argv) {
-  const char* out_path = flag_value(argc, argv, "--out");
-  if (out_path == nullptr) return usage();
+  util::CliFlags flags;
+  flags.value_flag("--out");
+  flags.value_flag("--requests");
+  flags.value_flag("--seed");
+  flags.value_flag("--threads");
+  flags.value_flag("--fault-profile");
+  flags.value_flag("--metrics");
+  flags.bool_flag("--no-leak-filter");
+  if (!flags.parse(argc, argv)) return flag_error("generate", flags);
+  const auto out_path = flags.get("--out");
+  if (!out_path) {
+    std::fprintf(stderr, "syrwatchctl generate: --out FILE is required\n");
+    return usage();
+  }
 
   workload::ScenarioConfig config;
-  config.total_requests = 500'000;
-  if (const char* requests = flag_value(argc, argv, "--requests"))
-    config.total_requests = std::strtoull(requests, nullptr, 10);
-  if (const char* seed = flag_value(argc, argv, "--seed"))
-    config.seed = std::strtoull(seed, nullptr, 10);
+  config.total_requests = flags.get_u64("--requests", 500'000);
+  config.seed = flags.get_u64("--seed", config.seed);
   // Worker count for the pipeline; the emitted log is identical for any
   // value (0 = one per hardware thread).
-  if (const char* threads = flag_value(argc, argv, "--threads"))
-    config.threads = std::strtoull(threads, nullptr, 10);
-  if (has_flag(argc, argv, "--no-leak-filter"))
-    config.apply_leak_filter = false;
-  if (const char* profile = flag_value(argc, argv, "--fault-profile"))
-    config.fault_profile = profile;  // make_profile rejects unknown names
+  config.threads = flags.get_u64("--threads", 0);
+  if (flags.has("--no-leak-filter")) config.apply_leak_filter = false;
+  if (const auto profile = flags.get("--fault-profile"))
+    config.fault_profile = *profile;  // make_profile rejects unknown names
 
-  std::ofstream out{out_path};
+  std::ofstream out{std::string(*out_path)};
   if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 std::string(*out_path).c_str());
     return 1;
   }
+  MetricsOutput metrics{flags};
   out << proxy::log_csv_header() << '\n';
   std::uint64_t written = 0;
   workload::SyriaScenario scenario{config};
+  scenario.set_obs(metrics.context());
+  const std::uint64_t start = obs::monotonic_nanos();
   scenario.run([&](const proxy::LogRecord& record) {
     out << proxy::to_csv(record) << '\n';
     ++written;
   });
+  metrics.add_phase("generate", seconds_since(start), written);
   std::printf("wrote %s records to %s (seed %llu)\n",
-              util::with_commas(written).c_str(), out_path,
+              util::with_commas(written).c_str(),
+              std::string(*out_path).c_str(),
               static_cast<unsigned long long>(config.seed));
   if (!scenario.faults().empty()) {
     std::printf("fault profile %s: %s\n", config.fault_profile.c_str(),
@@ -135,21 +229,31 @@ int cmd_generate(int argc, char** argv) {
     std::printf("failovers: %s requests diverted off their home proxy\n",
                 util::with_commas(scenario.farm().failover_total()).c_str());
   }
-  return 0;
+  return metrics.write("generate") ? 0 : 1;
 }
 
 int cmd_inspect(int argc, char** argv) {
-  if (argc < 3) return usage();
-  std::int64_t bin = 3600;
-  if (const char* hours = flag_value(argc, argv, "--bin-hours"))
-    bin = 3600 * std::strtoll(hours, nullptr, 10);
+  util::CliFlags flags;
+  flags.value_flag("--bin-hours");
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("inspect", flags);
+  std::string path;
+  if (!single_input("inspect", flags, path)) return usage();
+  const std::int64_t bin = 3600 * flags.get_i64("--bin-hours", 1);
 
-  std::ifstream in{argv[2]};
+  MetricsOutput metrics{flags};
+  std::ifstream in{path};
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
   }
+  const std::uint64_t load_start = obs::monotonic_nanos();
   const auto log = proxy::read_log_lenient(in);
+  metrics.add_phase("load", seconds_since(load_start), log.records.size());
+  obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
+           log.records.size());
+  obs::add(obs::counter(metrics.context(), "inspect.lines_skipped"),
+           log.stats.skipped_total());
   std::fputs(log.stats.summary().c_str(), stdout);
 
   analysis::Dataset dataset;
@@ -157,10 +261,13 @@ int cmd_inspect(int argc, char** argv) {
   dataset.finalize();
   if (dataset.size() == 0) {
     std::printf("no usable records — nothing to inspect\n");
+    if (!metrics.write("inspect")) return 1;
     return log.stats.skipped_total() > 0 ? 1 : 0;
   }
 
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
   const auto coverage = analysis::request_coverage(dataset, bin);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   util::TextTable days{[&] {
     std::vector<std::string> header{"Day"};
     for (std::size_t p = 0; p < policy::kProxyCount; ++p)
@@ -197,13 +304,21 @@ int cmd_inspect(int argc, char** argv) {
     std::printf("no coverage gaps at %lld-second bins\n",
                 static_cast<long long>(bin));
   }
-  return 0;
+  return metrics.write("inspect") ? 0 : 1;
 }
 
 int cmd_stats(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto dataset = load(argv[2]);
+  util::CliFlags flags;
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("stats", flags);
+  std::string path;
+  if (!single_input("stats", flags, path)) return usage();
+
+  MetricsOutput metrics{flags};
+  const auto dataset = load_phase(path, metrics);
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
   const auto stats = analysis::traffic_stats(dataset);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   util::TextTable table{{"Class", "# Requests", "%"}};
   table.add_row({"allowed", util::with_commas(stats.observed),
                  util::percent(stats.share(stats.observed))});
@@ -222,33 +337,45 @@ int cmd_stats(int argc, char** argv) {
                    util::with_commas(stats.at(id)),
                    util::percent(stats.share(stats.at(id)))});
   }
-  std::fputs(util::titled_block(std::string("Traffic breakdown — ") +
-                                    argv[2] + " (" +
+  std::fputs(util::titled_block("Traffic breakdown — " + path + " (" +
                                     util::with_commas(stats.total) +
                                     " records)",
                                 table)
                  .c_str(),
              stdout);
-  return 0;
+  return metrics.write("stats") ? 0 : 1;
 }
 
 int cmd_top(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto dataset = load(argv[2]);
-  proxy::TrafficClass cls = proxy::TrafficClass::kCensored;
-  if (const char* klass = flag_value(argc, argv, "--class")) {
-    if (std::strcmp(klass, "allowed") == 0)
-      cls = proxy::TrafficClass::kAllowed;
-    else if (std::strcmp(klass, "error") == 0)
-      cls = proxy::TrafficClass::kError;
-    else if (std::strcmp(klass, "censored") != 0)
-      return usage();
-  }
-  std::size_t k = 10;
-  if (const char* k_text = flag_value(argc, argv, "--k"))
-    k = std::strtoull(k_text, nullptr, 10);
+  util::CliFlags flags;
+  flags.value_flag("--class");
+  flags.value_flag("--k");
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("top", flags);
+  std::string path;
+  if (!single_input("top", flags, path)) return usage();
 
-  const auto top = analysis::top_domains(dataset, cls, k);
+  analysis::TopDomainsOptions options{proxy::TrafficClass::kCensored};
+  if (const auto klass = flags.get("--class")) {
+    if (*klass == "allowed")
+      options.cls = proxy::TrafficClass::kAllowed;
+    else if (*klass == "error")
+      options.cls = proxy::TrafficClass::kError;
+    else if (*klass != "censored") {
+      std::fprintf(stderr,
+                   "syrwatchctl top: --class must be censored, allowed, or "
+                   "error (got \"%s\")\n",
+                   std::string(*klass).c_str());
+      return usage();
+    }
+  }
+  options.k = flags.get_u64("--k", 10);
+
+  MetricsOutput metrics{flags};
+  const auto dataset = load_phase(path, metrics);
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
+  const auto top = analysis::top_domains(dataset, options);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   util::TextTable table{{"#", "Domain", "# Requests", "%"}};
   for (std::size_t i = 0; i < top.size(); ++i) {
     table.add_row({std::to_string(i + 1), top[i].domain,
@@ -256,22 +383,30 @@ int cmd_top(int argc, char** argv) {
                    util::percent(top[i].share)});
   }
   std::fputs(util::titled_block(std::string("Top ") +
-                                    std::string(proxy::to_string(cls)) +
+                                    std::string(proxy::to_string(options.cls)) +
                                     " domains",
                                 table)
                  .c_str(),
              stdout);
-  return 0;
+  return metrics.write("top") ? 0 : 1;
 }
 
 int cmd_discover(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto dataset = load(argv[2]);
-  analysis::DiscoveryOptions options;
-  if (const char* min_count = flag_value(argc, argv, "--min-count"))
-    options.min_count = std::strtoull(min_count, nullptr, 10);
+  util::CliFlags flags;
+  flags.value_flag("--min-count");
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("discover", flags);
+  std::string path;
+  if (!single_input("discover", flags, path)) return usage();
 
+  MetricsOutput metrics{flags};
+  const auto dataset = load_phase(path, metrics);
+  analysis::DiscoveryOptions options;
+  options.min_count = flags.get_u64("--min-count", options.min_count);
+
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
   const auto result = analysis::discover_censored_strings(dataset, options);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   util::TextTable keywords{{"Keyword", "Censored", "Proxied"}};
   for (const auto& kw : result.keywords) {
     keywords.add_row({kw.text, util::with_commas(kw.censored),
@@ -289,17 +424,25 @@ int cmd_discover(int argc, char** argv) {
   std::printf("explained %s of %s censored requests\n",
               util::with_commas(result.censored_requests_explained).c_str(),
               util::with_commas(result.censored_requests_total).c_str());
-  return 0;
+  return metrics.write("discover") ? 0 : 1;
 }
 
 int cmd_users(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto dataset = load(argv[2]);
+  util::CliFlags flags;
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("users", flags);
+  std::string path;
+  if (!single_input("users", flags, path)) return usage();
+
+  MetricsOutput metrics{flags};
+  const auto dataset = load_phase(path, metrics);
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
   const auto stats = analysis::user_stats(dataset);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   if (stats.total_users == 0) {
     std::printf("no attributable users (client hashes suppressed in this "
                 "log slice; Duser covers July 22-23 only)\n");
-    return 0;
+    return metrics.write("users") ? 0 : 1;
   }
   util::TextTable table{{"Metric", "Value"}};
   table.add_row({"users", util::with_commas(stats.total_users)});
@@ -312,13 +455,21 @@ int cmd_users(int argc, char** argv) {
   table.add_row({"clean users with >100 requests",
                  util::percent(stats.active_share_clean(100.0))});
   std::fputs(util::titled_block("User analysis", table).c_str(), stdout);
-  return 0;
+  return metrics.write("users") ? 0 : 1;
 }
 
 int cmd_redirects(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto dataset = load(argv[2]);
+  util::CliFlags flags;
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("redirects", flags);
+  std::string path;
+  if (!single_input("redirects", flags, path)) return usage();
+
+  MetricsOutput metrics{flags};
+  const auto dataset = load_phase(path, metrics);
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
   const auto hosts = analysis::redirect_hosts(dataset);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   util::TextTable table{{"Host", "# Redirects", "%"}};
   for (const auto& host : hosts) {
     table.add_row({host.host, util::with_commas(host.requests),
@@ -326,27 +477,37 @@ int cmd_redirects(int argc, char** argv) {
   }
   std::fputs(util::titled_block("policy_redirect hosts", table).c_str(),
              stdout);
-  return 0;
+  return metrics.write("redirects") ? 0 : 1;
 }
 
 int cmd_weather(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const char* keyword = flag_value(argc, argv, "--keyword");
-  if (keyword == nullptr) return usage();
-  std::int64_t bin = 3600;
-  if (const char* hours = flag_value(argc, argv, "--bin-hours"))
-    bin = 3600 * std::strtoll(hours, nullptr, 10);
+  util::CliFlags flags;
+  flags.value_flag("--keyword");
+  flags.value_flag("--bin-hours");
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("weather", flags);
+  std::string path;
+  if (!single_input("weather", flags, path)) return usage();
+  const auto keyword = flags.get("--keyword");
+  if (!keyword) {
+    std::fprintf(stderr, "syrwatchctl weather: --keyword WORD is required\n");
+    return usage();
+  }
+  const std::int64_t bin = 3600 * flags.get_i64("--bin-hours", 1);
 
-  const auto dataset = load(argv[2]);
+  MetricsOutput metrics{flags};
+  const auto dataset = load_phase(path, metrics);
   if (dataset.size() == 0) {
     std::printf("empty log\n");
-    return 0;
+    return metrics.write("weather") ? 0 : 1;
   }
   const std::int64_t start = dataset.rows().front().time;
   const std::int64_t end = dataset.rows().back().time + 1;
-  const std::vector<std::string> keywords{keyword};
+  const std::vector<std::string> keywords{std::string(*keyword)};
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
   const auto reports =
       analysis::keyword_weather(dataset, keywords, start, end, bin);
+  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   const auto& report = reports.front();
 
   util::TextTable table{{"Window start", "Matched", "Censored", "Intensity"}};
@@ -358,8 +519,8 @@ int cmd_weather(int argc, char** argv) {
                    util::with_commas(report.censored[b]),
                    util::percent(report.intensity(b))});
   }
-  std::fputs(util::titled_block(std::string("Censorship weather — \"") +
-                                    keyword + "\" (" +
+  std::fputs(util::titled_block("Censorship weather — \"" +
+                                    std::string(*keyword) + "\" (" +
                                     std::to_string(report.active_bins()) +
                                     " active windows, " +
                                     std::to_string(
@@ -368,27 +529,76 @@ int cmd_weather(int argc, char** argv) {
                                 table)
                  .c_str(),
              stdout);
-  return 0;
+  return metrics.write("weather") ? 0 : 1;
+}
+
+int cmd_profile(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.value_flag("--requests");
+  flags.value_flag("--seed");
+  flags.value_flag("--threads");
+  flags.value_flag("--fault-profile");
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("profile", flags);
+  if (!flags.positional().empty()) {
+    std::fprintf(stderr, "syrwatchctl profile: unexpected argument \"%s\"\n",
+                 flags.positional().front().c_str());
+    return usage();
+  }
+
+  workload::ScenarioConfig config;
+  config.total_requests = flags.get_u64("--requests", 200'000);
+  config.seed = flags.get_u64("--seed", config.seed);
+  config.threads = flags.get_u64("--threads", 0);
+  if (const auto profile = flags.get("--fault-profile"))
+    config.fault_profile = *profile;
+
+  MetricsOutput metrics{flags};
+  core::Study study{config};
+  study.set_obs(metrics.context());
+  const auto result = study.run();
+  // Drive every analyzer once so the analysis.* stages have samples; the
+  // report text itself is `syrwatchctl` territory already covered by the
+  // other subcommands, so profile only keeps the timings.
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
+  const std::string report = core::render_full_report(study);
+  metrics.phases() = result.metrics.phases;
+  metrics.add_phase("analyze", seconds_since(analyze_start),
+                    result.metrics.log_records);
+  std::printf("profiled %s requests (seed %llu, %s)\n",
+              util::with_commas(result.metrics.log_records).c_str(),
+              static_cast<unsigned long long>(config.seed),
+              config.fault_profile == "none"
+                  ? "no faults"
+                  : ("fault profile " + config.fault_profile).c_str());
+  std::fputs(obs::render_text(metrics.registry().snapshot(),
+                              metrics.phases(), metrics.total_seconds())
+                 .c_str(),
+             stdout);
+  std::printf("report bytes rendered: %s\n",
+              util::with_commas(report.size()).c_str());
+  return metrics.write("profile") ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  const std::string_view command{argv[1]};
   try {
-    if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
-    if (std::strcmp(argv[1], "inspect") == 0) return cmd_inspect(argc, argv);
-    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(argc, argv);
-    if (std::strcmp(argv[1], "top") == 0) return cmd_top(argc, argv);
-    if (std::strcmp(argv[1], "discover") == 0)
-      return cmd_discover(argc, argv);
-    if (std::strcmp(argv[1], "users") == 0) return cmd_users(argc, argv);
-    if (std::strcmp(argv[1], "redirects") == 0)
-      return cmd_redirects(argc, argv);
-    if (std::strcmp(argv[1], "weather") == 0) return cmd_weather(argc, argv);
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "inspect") return cmd_inspect(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
+    if (command == "top") return cmd_top(argc, argv);
+    if (command == "discover") return cmd_discover(argc, argv);
+    if (command == "users") return cmd_users(argc, argv);
+    if (command == "redirects") return cmd_redirects(argc, argv);
+    if (command == "weather") return cmd_weather(argc, argv);
+    if (command == "profile") return cmd_profile(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "syrwatchctl: %s\n", error.what());
     return 1;
   }
+  std::fprintf(stderr, "syrwatchctl: unknown subcommand \"%s\"\n", argv[1]);
   return usage();
 }
