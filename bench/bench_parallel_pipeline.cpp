@@ -4,13 +4,18 @@
 // invariance contract of DESIGN.md §4.5). Not a paper experiment — this
 // bench tracks the scaling refactor every future growth PR builds on.
 
+#include <filesystem>
+#include <string>
 #include <string_view>
 
 #include "bench_common.h"
 #include "core/report.h"
+#include "durable/checkpoint.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "policy/rule.h"
+#include "proxy/log_io.h"
+#include "util/atomic_io.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -133,6 +138,63 @@ void BM_StudyPipelineMetrics(benchmark::State& state) {
 BENCHMARK(BM_StudyPipelineMetrics)
     ->Arg(1)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Checkpoint overhead, measured at the operation the durability layer
+// protects: a long `generate` that writes its log to disk. The baseline
+// streams every record through to_csv into one atomic file; the
+// checkpointed run appends the same records (serialized once) to the
+// spool, commits farm state + manifest every `interval` batches, and
+// promotes the spool to --out by rename. EXPERIMENTS.md budgets the
+// delta at the CLI-default interval under 3%.
+void BM_GenerateToDisk(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const auto config = scaling_config(static_cast<std::size_t>(state.range(0)));
+  const fs::path out = fs::temp_directory_path() / "syrbench_gen.csv";
+  for (auto _ : state) {
+    workload::SyriaScenario scenario{config};
+    util::AtomicFileWriter writer{out.string()};
+    writer.write(proxy::log_csv_header());
+    writer.write("\n");
+    scenario.run([&](const proxy::LogRecord& record) {
+      writer.write(proxy::to_csv(record));
+      writer.write("\n");
+    });
+    benchmark::DoNotOptimize(writer.commit().bytes);
+  }
+  fs::remove(out);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_requests));
+}
+BENCHMARK(BM_GenerateToDisk)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_GenerateToDiskCheckpointed(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const auto config = scaling_config(static_cast<std::size_t>(state.range(0)));
+  const fs::path dir = fs::temp_directory_path() / "syrbench_gen_ckpt";
+  const fs::path out = fs::temp_directory_path() / "syrbench_gen_ckpt.csv";
+  for (auto _ : state) {
+    fs::remove_all(dir);
+    fs::remove(out);
+    workload::SyriaScenario scenario{config};
+    durable::CheckpointOptions options;
+    options.directory = dir.string();
+    options.commit_interval = static_cast<std::size_t>(state.range(1));
+    durable::CheckpointedRun run = durable::run_checkpointed(
+        scenario, options, [](const proxy::LogRecord&) {});
+    benchmark::DoNotOptimize(
+        durable::finalize_output(dir.string(), run.manifest, out.string())
+            .bytes);
+  }
+  fs::remove_all(dir);
+  fs::remove(out);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_requests));
+}
+BENCHMARK(BM_GenerateToDiskCheckpointed)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({8, 8})
     ->Unit(benchmark::kMillisecond);
 
 // The analysis fan-out alone (full paper-style report over a prebuilt

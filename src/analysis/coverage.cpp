@@ -8,9 +8,11 @@ namespace syrwatch::analysis {
 
 CoverageReport request_coverage(const Dataset& dataset,
                                 std::int64_t bin_seconds,
-                                std::uint64_t min_farm_bin_requests) {
+                                std::uint64_t min_farm_bin_requests,
+                                const proxy::LogReadStats* read_stats) {
   CoverageReport report;
   report.bin_seconds = bin_seconds;
+  if (read_stats != nullptr) report.truncated_tail = read_stats->truncated_tail;
   if (dataset.size() == 0) return report;
 
   // Rows are time-sorted (Dataset::finalize), so the observation window is

@@ -7,6 +7,7 @@
 
 #include "analysis/dataset.h"
 #include "policy/syria.h"
+#include "proxy/log_io.h"
 
 namespace syrwatch::analysis {
 
@@ -39,7 +40,13 @@ struct CoverageReport {
   std::uint64_t total_requests = 0;
   std::vector<CoverageGap> gaps;  // ascending by (proxy, start)
 
-  bool degraded() const noexcept { return !gaps.empty(); }
+  /// The source log ended mid-record (LogReadStats::truncated_tail): the
+  /// observation window's trailing edge is an artifact boundary, not a
+  /// traffic boundary, so end-of-window analyses undercount. Set when the
+  /// caller forwards its read stats to request_coverage.
+  bool truncated_tail = false;
+
+  bool degraded() const noexcept { return !gaps.empty() || truncated_tail; }
 
   /// Fraction of farm-active bins in which the proxy logged traffic.
   double coverage_share(std::size_t proxy_index) const noexcept {
@@ -56,9 +63,14 @@ struct CoverageReport {
 /// counts as farm-active when the whole farm logged at least
 /// `min_farm_bin_requests` in it (the floor suppresses phantom gaps in
 /// near-idle windows); a proxy silent through one or more consecutive
-/// active bins contributes a CoverageGap.
+/// active bins contributes a CoverageGap. Pass the LogReadStats of the
+/// lenient read that produced the dataset (when there was one) so a torn
+/// final record — a partially written artifact — is surfaced as a
+/// coverage degradation rather than silently shortening the window.
 CoverageReport request_coverage(const Dataset& dataset,
                                 std::int64_t bin_seconds = 3600,
-                                std::uint64_t min_farm_bin_requests = 25);
+                                std::uint64_t min_farm_bin_requests = 25,
+                                const proxy::LogReadStats* read_stats =
+                                    nullptr);
 
 }  // namespace syrwatch::analysis

@@ -1,10 +1,11 @@
 #include "analysis/export.h"
 
 #include <algorithm>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "policy/syria.h"
+#include "util/atomic_io.h"
 #include "util/stats.h"
 #include "workload/diurnal.h"
 
@@ -105,80 +106,82 @@ std::size_t export_all_figures(const std::string& directory,
                                const category::Categorizer& categorizer,
                                const tor::RelayDirectory& relays) {
   std::size_t written = 0;
-  auto open = [&](const char* name) {
-    return std::ofstream{directory + "/" + name};
-  };
-  auto count_if_good = [&](std::ofstream& out) {
-    if (out.good()) ++written;
+  // Each figure renders into memory and lands on disk via temp + rename:
+  // a crash or full disk can never leave a torn half-figure behind, and a
+  // write failure aborts the export with the failing path in the message
+  // rather than silently shrinking the figure count.
+  auto commit = [&](const char* name, const std::ostringstream& body) {
+    util::atomic_write_file(directory + "/" + name, body.str());
+    ++written;
   };
 
   {
-    auto out = open("fig1_ports.tsv");
+    std::ostringstream out;
     export_port_distribution(out, port_distribution(full));
-    count_if_good(out);
+    commit("fig1_ports.tsv", out);
   }
   for (const auto& [name, cls] :
        {std::pair{"fig2_allowed.tsv", proxy::TrafficClass::kAllowed},
         std::pair{"fig2_censored.tsv", proxy::TrafficClass::kCensored},
         std::pair{"fig2_denied.tsv", proxy::TrafficClass::kError}}) {
-    auto out = open(name);
+    std::ostringstream out;
     export_domain_distribution(out, domain_distribution(full, cls));
-    count_if_good(out);
+    commit(name, out);
   }
   {
-    auto out = open("fig4b_user_activity.tsv");
+    std::ostringstream out;
     export_user_activity_cdf(out, user_stats(user));
-    count_if_good(out);
+    commit("fig4b_user_activity.tsv", out);
   }
   {
-    auto out = open("fig5_timeseries.tsv");
+    std::ostringstream out;
     export_time_series(
         out, traffic_time_series(
                  full, TrafficSeriesOptions{
                            {workload::at(8, 1), workload::at(8, 7)}, {300}}));
-    count_if_good(out);
+    commit("fig5_timeseries.tsv", out);
   }
   {
-    auto out = open("fig6_rcv.tsv");
+    std::ostringstream out;
     export_rcv(out,
                rcv_series(full, RcvOptions{
                                     {workload::at(8, 3), workload::at(8, 4)},
                                     {300}}));
-    count_if_good(out);
+    commit("fig6_rcv.tsv", out);
   }
   {
     const auto load = proxy_load_series(full, workload::at(8, 3),
                                         workload::at(8, 5), 3600);
-    auto out_total = open("fig7_load_total.tsv");
+    std::ostringstream out_total;
     export_proxy_load(out_total, load, /*censored=*/false);
-    count_if_good(out_total);
-    auto out_censored = open("fig7_load_censored.tsv");
+    commit("fig7_load_total.tsv", out_total);
+    std::ostringstream out_censored;
     export_proxy_load(out_censored, load, /*censored=*/true);
-    count_if_good(out_censored);
+    commit("fig7_load_censored.tsv", out_censored);
   }
   {
-    auto out = open("fig8a_tor_hourly.tsv");
+    std::ostringstream out;
     export_hourly(
         out, tor_hourly_series(full, relays,
                                TorHourlyOptions{
                                    {workload::at(8, 1), workload::at(8, 7)}}));
-    count_if_good(out);
+    commit("fig8a_tor_hourly.tsv", out);
   }
   {
-    auto out = open("fig9_rfilter.tsv");
+    std::ostringstream out;
     export_rfilter(out, rfilter_series(full, relays, policy::kTorCensorProxy,
                                        workload::at(8, 1), workload::at(8, 7),
                                        3600));
-    count_if_good(out);
+    commit("fig9_rfilter.tsv", out);
   }
   {
     const auto anon = anonymizer_stats(full, categorizer);
-    auto out_a = open("fig10a_clean_host_requests.tsv");
+    std::ostringstream out_a;
     export_cdf(out_a, anon.requests_per_clean_host);
-    count_if_good(out_a);
-    auto out_b = open("fig10b_allowed_censored_ratio.tsv");
+    commit("fig10a_clean_host_requests.tsv", out_a);
+    std::ostringstream out_b;
     export_cdf(out_b, anon.allowed_censored_ratio);
-    count_if_good(out_b);
+    commit("fig10b_allowed_censored_ratio.tsv", out_b);
   }
   return written;
 }

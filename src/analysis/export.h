@@ -51,9 +51,12 @@ void export_rfilter(std::ostream& out, const RfilterSeries& series);
 void export_cdf(std::ostream& out, std::vector<double> samples);
 
 /// Writes every figure's data file (fig1.tsv, fig2_allowed.tsv, ...,
-/// fig10b.tsv) into `directory` (created by the caller). Returns the
-/// number of files written. Time windows follow the paper (Aug 1-6 for
-/// the series figures, Aug 3 for RCV).
+/// fig10b.tsv) into `directory` (created by the caller), each atomically
+/// (temp + rename — a crash never leaves a torn figure). Returns the
+/// number of files written; throws std::runtime_error naming the failing
+/// path on any write error instead of silently dropping figures. Time
+/// windows follow the paper (Aug 1-6 for the series figures, Aug 3 for
+/// RCV).
 std::size_t export_all_figures(const std::string& directory,
                                const Dataset& full, const Dataset& user,
                                const category::Categorizer& categorizer,

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "durable/checkpoint.h"
 #include "obs/trace.h"
 #include "util/parallel.h"
 
@@ -23,22 +24,48 @@ void Study::set_obs(obs::Context* ctx) {
   if (scenario_) scenario_->set_obs(ctx);
 }
 
-void Study::simulate() {
+void Study::simulate() { simulate(SimulateOptions{}); }
+
+SimulateStatus Study::simulate(const SimulateOptions& options) {
   scenario_ = std::make_unique<workload::SyriaScenario>(config_);
   scenario_->set_obs(obs_);
   metrics_ = RunMetrics{};
   datasets_.reset();
+  pending_.reset();
 
   auto full = std::make_unique<analysis::Dataset>();
+  const auto sink = [&full](const proxy::LogRecord& record) {
+    full->add(record);
+  };
   const std::uint64_t start = obs::monotonic_nanos();
-  scenario_->run(
-      [&full](const proxy::LogRecord& record) { full->add(record); });
-  full->finalize();
+  bool completed = false;
+  if (options.checkpoint_dir.empty()) {
+    workload::RunControl control;
+    control.cancel = options.cancel;
+    completed = scenario_->run(sink, control);
+  } else {
+    durable::CheckpointOptions checkpoint;
+    checkpoint.directory = options.checkpoint_dir;
+    checkpoint.resume = options.resume;
+    checkpoint.cancel = options.cancel;
+    checkpoint.commit_interval = options.commit_interval;
+    checkpoint.after_commit = options.after_commit;
+    completed = durable::run_checkpointed(*scenario_, checkpoint, sink)
+                    .completed;
+  }
   const double seconds =
       static_cast<double>(obs::monotonic_nanos() - start) * 1e-9;
+  if (!completed) {
+    // An interrupted window is a prefix, not a dataset — never arm
+    // build_datasets() with it. The checkpoint (if any) holds the bytes.
+    metrics_.phases.push_back({"simulate", seconds, full->size()});
+    return SimulateStatus::kInterrupted;
+  }
+  full->finalize();
   metrics_.log_records = full->size();
   metrics_.phases.push_back({"simulate", seconds, metrics_.log_records});
   pending_ = std::move(full);
+  return SimulateStatus::kComplete;
 }
 
 StudyResult Study::build_datasets() {

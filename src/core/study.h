@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/dataset.h"
 #include "obs/context.h"
 #include "obs/export.h"
+#include "util/cancel.h"
 #include "workload/scenario.h"
 
 namespace syrwatch::core {
@@ -27,6 +30,38 @@ struct RunMetrics {
 struct StudyResult {
   const analysis::DatasetBundle& datasets;
   RunMetrics metrics;
+};
+
+/// Durability/cancellation knobs for Study::simulate. The defaults
+/// reproduce the plain uncheckpointed run exactly.
+struct SimulateOptions {
+  /// Cooperative cancellation (SIGINT handler, --deadline): polled by the
+  /// generation parallel_for and at batch boundaries of the processing
+  /// phase. Cancellation never truncates a batch — the log seen so far is
+  /// always a whole number of batches.
+  const util::CancelToken* cancel = nullptr;
+  /// Non-empty enables batch-granular checkpointing (durable::
+  /// run_checkpointed) under this directory.
+  std::string checkpoint_dir;
+  /// Resume the checkpoint in checkpoint_dir: verify its manifest, replay
+  /// the committed spool prefix, regenerate only the missing batches. The
+  /// final log is bit-identical to an uninterrupted run (any thread
+  /// count).
+  bool resume = false;
+  /// Durable-commit cadence forwarded to the checkpointer (see
+  /// durable::CheckpointOptions::commit_interval).
+  std::size_t commit_interval = 1;
+  /// Test hook forwarded to the checkpointer: runs after each batch's
+  /// checkpoint is durable; throwing simulates a crash at that boundary.
+  std::function<void(std::size_t committed_batch)> after_commit;
+};
+
+enum class SimulateStatus {
+  kComplete,
+  /// Cancellation stopped the run early. The partial log never becomes a
+  /// pending dataset (build_datasets would silently analyze a truncated
+  /// window); with a checkpoint_dir the progress is on disk and resumable.
+  kInterrupted,
 };
 
 /// End-to-end study driver: simulate the censorship ecosystem, capture the
@@ -56,6 +91,10 @@ class Study {
   /// and streams the "leaked" log into a pending dataset. Invalidates any
   /// previously derived bundle.
   void simulate();
+
+  /// Controlled phase 1: cancellation, checkpointing, and resume per
+  /// `options`. Only a kComplete run arms build_datasets().
+  SimulateStatus simulate(const SimulateOptions& options);
 
   /// Phase 2: derives the four datasets from the pending log. Throws
   /// std::logic_error unless simulate() ran since the last derivation.

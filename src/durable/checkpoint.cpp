@@ -1,0 +1,456 @@
+#include "durable/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/context.h"
+#include "obs/trace.h"
+#include "proxy/log_io.h"
+#include "util/checksum.h"
+
+namespace syrwatch::durable {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kStateFile = "farm_state.bin";
+constexpr std::string_view kSpoolFile = "log_spool.csv";
+
+void append_u64(std::string& out, std::string_view key, std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  out += key;
+  out += '=';
+  out += buffer;
+  out += '\n';
+}
+
+void append_double(std::string& out, std::string_view key, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += key;
+  out += '=';
+  out += buffer;
+  out += '\n';
+}
+
+void append_bool(std::string& out, std::string_view key, bool value) {
+  out += key;
+  out += value ? "=1\n" : "=0\n";
+}
+
+/// Streams the committed prefix of a spool file (header line + record
+/// lines) back through the sink, strictly: a checkpointed record that
+/// fails to parse means the artifact was damaged after its CRC check,
+/// which is never recoverable. Returns the record count.
+std::uint64_t replay_spool(const std::string& path, std::uint64_t limit,
+                           const workload::LogCallback& sink) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("checkpoint: cannot open spool " + path);
+  std::string line;
+  std::uint64_t consumed = 0;
+  std::uint64_t line_number = 0;
+  std::uint64_t replayed = 0;
+  while (consumed < limit && std::getline(in, line)) {
+    ++line_number;
+    consumed += line.size() + 1;  // getline consumed the '\n' too
+    if (consumed > limit)
+      throw std::runtime_error(
+          "checkpoint: " + path +
+          ": committed prefix does not end on a record boundary");
+    if (line_number == 1) continue;  // csv header
+    if (line.empty()) continue;
+    const auto record = proxy::from_csv(line);
+    if (!record)
+      throw std::runtime_error("checkpoint: " + path + ": line " +
+                               std::to_string(line_number) +
+                               ": unparseable checkpointed record");
+    sink(*record);
+    ++replayed;
+  }
+  if (in.bad())
+    throw std::runtime_error("checkpoint: read error on spool " + path);
+  if (consumed != limit)
+    throw std::runtime_error("checkpoint: " + path +
+                             " is shorter than its manifest digest");
+  return replayed;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad())
+    throw std::runtime_error("checkpoint: read error on " + path);
+  return std::move(buffer).str();
+}
+
+[[noreturn]] void refuse(const std::string& path, std::string_view why) {
+  throw std::runtime_error("checkpoint: refusing to resume — " + path +
+                           ": " + std::string(why));
+}
+
+/// Where a resume replays the log from: the spool while the checkpoint
+/// still owns it, or the promoted output file after finalize_output.
+struct ReplaySource {
+  std::string path;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc32 = 0;
+};
+
+ReplaySource resolve_replay_source(const RunManifest& manifest,
+                                   const fs::path& dir) {
+  if (const ManifestArtifact* spool = manifest.find_artifact(kSpoolFile))
+    return {(dir / kSpoolFile).string(), spool->bytes, spool->crc32};
+  for (const ManifestArtifact& artifact : manifest.artifacts) {
+    if (artifact.role != "output") continue;
+    // Promoted output: recorded as the operator passed it; try as given,
+    // then relative to the checkpoint directory (mirrors verify).
+    std::error_code ec;
+    if (fs::exists(artifact.path, ec) && !ec)
+      return {artifact.path, artifact.bytes, artifact.crc32};
+    return {(dir / artifact.path).string(), artifact.bytes, artifact.crc32};
+  }
+  throw std::runtime_error(
+      "checkpoint: manifest lists neither a spool nor an output artifact — "
+      "nothing to replay");
+}
+
+}  // namespace
+
+std::string config_fingerprint(const workload::ScenarioConfig& config) {
+  // Canonical key=value rendering, one semantic field per line, fixed
+  // order. `threads` is excluded on purpose: the log is thread-count
+  // invariant, so resume at a different worker count must fingerprint
+  // identically. Extending ScenarioConfig means extending this list —
+  // tests/test_durable.cpp pins the fingerprint of the default config.
+  std::string canon = "syrwatch.scenario.v1\n";
+  append_u64(canon, "seed", config.seed);
+  append_u64(canon, "total_requests", config.total_requests);
+  append_u64(canon, "user_population", config.user_population);
+  append_u64(canon, "catalog_tail", config.catalog_tail);
+  append_double(canon, "catalog_tail_weight", config.catalog_tail_weight);
+  append_u64(canon, "relay_count", config.relay_count);
+  append_u64(canon, "torrent_contents", config.torrent_contents);
+  const proxy::SgProxyConfig& proxy = config.proxy_config;
+  append_u64(canon, "proxy.cache_capacity", proxy.cache_capacity);
+  append_u64(canon, "proxy.cache_ttl_seconds",
+             static_cast<std::uint64_t>(proxy.cache_ttl_seconds));
+  append_double(canon, "proxy.observed_admit_prob",
+                proxy.observed_admit_prob);
+  append_double(canon, "proxy.policy_admit_prob", proxy.policy_admit_prob);
+  append_double(canon, "proxy.not_modified_prob", proxy.not_modified_prob);
+  append_bool(canon, "proxy.intercept_https", proxy.intercept_https);
+  const proxy::ErrorRates& rates = proxy.error_rates;
+  append_double(canon, "proxy.err.tcp_error", rates.tcp_error);
+  append_double(canon, "proxy.err.internal_error", rates.internal_error);
+  append_double(canon, "proxy.err.invalid_request", rates.invalid_request);
+  append_double(canon, "proxy.err.unsupported_protocol",
+                rates.unsupported_protocol);
+  append_double(canon, "proxy.err.dns_unresolved_hostname",
+                rates.dns_unresolved_hostname);
+  append_double(canon, "proxy.err.dns_server_failure",
+                rates.dns_server_failure);
+  append_double(canon, "proxy.err.unsupported_encoding",
+                rates.unsupported_encoding);
+  append_double(canon, "proxy.err.invalid_response", rates.invalid_response);
+  append_bool(canon, "apply_leak_filter", config.apply_leak_filter);
+  append_u64(canon, "slot_seconds",
+             static_cast<std::uint64_t>(config.slot_seconds));
+  append_bool(canon, "enable_affinity", config.enable_affinity);
+  for (const auto& [name, boost] : config.share_boosts)  // map: sorted
+    append_double(canon, "boost." + name, boost);
+  canon += "fault_profile=" + config.fault_profile + "\n";
+  return util::to_hex64(util::fnv1a64(canon));
+}
+
+CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
+                                 const CheckpointOptions& options,
+                                 const workload::LogCallback& sink) {
+  if (options.directory.empty())
+    throw std::runtime_error("checkpoint: directory must not be empty");
+  if (options.commit_interval == 0)
+    throw std::runtime_error("checkpoint: commit_interval must be >= 1");
+  const fs::path dir{options.directory};
+  const std::string manifest_path = (dir / RunManifest::kFileName).string();
+  const std::string spool_path = (dir / kSpoolFile).string();
+  const std::string state_path = (dir / kStateFile).string();
+  const std::string fingerprint = config_fingerprint(scenario.config());
+  const std::size_t total_batches = scenario.batch_count();
+
+  obs::Context* const ctx = scenario.obs_context();
+  obs::Counter* const obs_commits =
+      obs::counter(ctx, "checkpoint.commits");
+  obs::Counter* const obs_replayed =
+      obs::counter(ctx, "checkpoint.records_replayed");
+  obs::StageStats* const spool_stage =
+      obs::stage(ctx, "checkpoint.append_spool");
+  obs::StageStats* const state_stage =
+      obs::stage(ctx, "checkpoint.write_state");
+
+  CheckpointedRun result;
+  RunManifest& manifest = result.manifest;
+
+  std::error_code ec;
+  const bool have_manifest = fs::exists(manifest_path, ec) && !ec;
+  ReplaySource replay_from;
+  if (options.resume) {
+    if (!have_manifest)
+      throw std::runtime_error("checkpoint: nothing to resume — no " +
+                               std::string(RunManifest::kFileName) + " in " +
+                               options.directory);
+    manifest = RunManifest::load(manifest_path);
+    if (manifest.command != options.command)
+      throw std::runtime_error(
+          "checkpoint: manifest records command \"" + manifest.command +
+          "\", cannot resume it as \"" + options.command + "\"");
+    if (manifest.config_fingerprint != fingerprint)
+      throw std::runtime_error(
+          "checkpoint: config fingerprint mismatch (manifest " +
+          manifest.config_fingerprint + ", current " + fingerprint +
+          ") — the checkpoint was written by a different configuration");
+    if (manifest.total_batches != total_batches)
+      throw std::runtime_error(
+          "checkpoint: batch-count mismatch (manifest " +
+          std::to_string(manifest.total_batches) + ", current " +
+          std::to_string(total_batches) + ")");
+
+    if (manifest.next_batch > 0 || manifest.complete()) {
+      // Verify the log bytes we are about to trust: committed spool
+      // prefix (a torn tail beyond it is legal — truncated below) and the
+      // farm state snapshot.
+      replay_from = resolve_replay_source(manifest, dir);
+      std::error_code exists_ec;
+      if (!fs::exists(replay_from.path, exists_ec) || exists_ec)
+        refuse(replay_from.path, "MISSING");
+      const util::FileDigest digest =
+          util::crc32_file_prefix(replay_from.path, replay_from.bytes);
+      if (digest.bytes != replay_from.bytes)
+        refuse(replay_from.path, "SIZE MISMATCH (shorter than manifest)");
+      if (digest.crc32 != replay_from.crc32)
+        refuse(replay_from.path, "CRC MISMATCH");
+      if (const ManifestArtifact* state = manifest.find_artifact(kStateFile);
+          state != nullptr && !manifest.complete()) {
+        std::error_code state_ec;
+        if (!fs::exists(state_path, state_ec) || state_ec)
+          refuse(state_path, "MISSING");
+        const util::FileDigest state_digest = util::crc32_file(state_path);
+        if (state_digest.bytes != state->bytes ||
+            state_digest.crc32 != state->crc32)
+          refuse(state_path, "CRC MISMATCH");
+      }
+      // Drop any torn tail a crashed append left beyond the committed
+      // prefix, so the re-executed batches append onto clean bytes.
+      if (manifest.find_artifact(kSpoolFile) != nullptr) {
+        std::error_code size_ec;
+        const std::uintmax_t on_disk =
+            fs::file_size(replay_from.path, size_ec);
+        if (!size_ec && on_disk > replay_from.bytes)
+          fs::resize_file(replay_from.path, replay_from.bytes);
+      }
+    }
+  } else {
+    if (have_manifest)
+      throw std::runtime_error(
+          "checkpoint: " + options.directory + " already holds a " +
+          std::string(RunManifest::kFileName) +
+          " — pass --resume to continue it, or point --checkpoint-dir at "
+          "an empty directory");
+    const workload::ScenarioConfig& config = scenario.config();
+    manifest.command = options.command;
+    manifest.seed = config.seed;
+    manifest.total_requests = config.total_requests;
+    manifest.fault_profile = config.fault_profile;
+    manifest.apply_leak_filter = config.apply_leak_filter;
+    manifest.config_fingerprint = fingerprint;
+    manifest.total_batches = total_batches;
+  }
+
+  fs::create_directories(dir, ec);
+  if (ec)
+    throw std::runtime_error("checkpoint: cannot create " + dir.string() +
+                             ": " + ec.message());
+
+  // Replay the committed prefix (also the whole run when the manifest is
+  // already complete — re-running a finished checkpoint is idempotent).
+  if (manifest.next_batch > 0 || manifest.complete())
+    result.records_replayed =
+        replay_spool(replay_from.path, replay_from.bytes, sink);
+  result.batches_replayed = manifest.next_batch;
+  obs::add(obs_replayed, result.records_replayed);
+
+  if (manifest.complete()) {
+    result.completed = true;
+    return result;
+  }
+
+  if (manifest.next_batch > 0)
+    scenario.farm().restore_state(read_file(state_path));
+
+  // Open the spool for appending and seat the running CRC where the
+  // committed prefix left it. A fresh run starts the spool with the csv
+  // header line, so on completion the spool is the finished log verbatim.
+  util::Crc32 spool_crc;
+  std::uint64_t spool_bytes = 0;
+  std::ofstream spool;
+  if (manifest.next_batch > 0) {
+    const ManifestArtifact* artifact = manifest.find_artifact(kSpoolFile);
+    spool.open(spool_path, std::ios::binary | std::ios::app);
+    if (!spool)
+      throw std::runtime_error("checkpoint: cannot append to " + spool_path);
+    spool_crc.resume(artifact->crc32);
+    spool_bytes = artifact->bytes;
+  } else {
+    spool.open(spool_path, std::ios::binary | std::ios::trunc);
+    if (!spool)
+      throw std::runtime_error("checkpoint: cannot create " + spool_path);
+    std::string header{proxy::log_csv_header()};
+    header += '\n';
+    spool.write(header.data(),
+                static_cast<std::streamsize>(header.size()));
+    spool.flush();
+    if (!spool)
+      throw std::runtime_error("checkpoint: write error on " + spool_path);
+    spool_crc.update(header);
+    spool_bytes = header.size();
+    manifest.upsert_artifact({std::string(kSpoolFile), "spool",
+                              spool_bytes, spool_crc.value(), -1});
+  }
+
+  manifest.state = "in_progress";
+  manifest.threads = scenario.config().threads;
+  manifest.save(manifest_path);
+
+  // Records serialize exactly once, straight into the pending append.
+  std::string batch_text;
+  std::size_t batches_done = manifest.next_batch;
+  std::size_t uncommitted = 0;
+
+  const auto commit = [&]() {
+    util::ArtifactInfo state_info;
+    {
+      const obs::StageTimer timer{state_stage};
+      state_info =
+          util::atomic_write_file(state_path, scenario.farm().save_state());
+    }
+    manifest.upsert_artifact({std::string(kSpoolFile), "spool", spool_bytes,
+                              spool_crc.value(),
+                              static_cast<std::int64_t>(batches_done) - 1});
+    manifest.upsert_artifact({std::string(kStateFile), "state",
+                              state_info.bytes, state_info.crc32, -1});
+    manifest.next_batch = batches_done;
+    manifest.save(manifest_path);
+    uncommitted = 0;
+    obs::add(obs_commits);
+  };
+
+  workload::RunControl control;
+  control.cancel = options.cancel;
+  control.start_batch = manifest.next_batch;
+  control.on_batch = [&](std::size_t batch) {
+    {
+      const obs::StageTimer timer{spool_stage};
+      spool.write(batch_text.data(),
+                  static_cast<std::streamsize>(batch_text.size()));
+      spool.flush();
+      if (!spool)
+        throw std::runtime_error("checkpoint: write error on " + spool_path);
+    }
+    spool_crc.update(batch_text);
+    spool_bytes += batch_text.size();
+    batch_text.clear();
+    batches_done = batch + 1;
+    ++uncommitted;
+    ++result.batches_executed;
+    if (uncommitted >= options.commit_interval ||
+        batches_done == total_batches) {
+      commit();
+      if (options.after_commit) options.after_commit(batch);
+    }
+  };
+
+  const workload::LogCallback buffering_sink =
+      [&](const proxy::LogRecord& record) {
+        batch_text += proxy::to_csv(record);
+        batch_text += '\n';
+        sink(record);
+      };
+
+  const bool finished = scenario.run(buffering_sink, control);
+  // A cancellation between commit boundaries still has durable spool
+  // bytes — capture them so the resume re-executes nothing it has.
+  if (!finished && uncommitted > 0) commit();
+  manifest.state = finished ? "complete" : "interrupted";
+  manifest.save(manifest_path);
+  result.completed = finished;
+  return result;
+}
+
+util::ArtifactInfo finalize_output(const std::string& directory,
+                                   RunManifest& manifest,
+                                   const std::string& out_path) {
+  if (!manifest.complete())
+    throw std::runtime_error(
+        "checkpoint: cannot finalize output from an incomplete checkpoint "
+        "(state \"" +
+        manifest.state + "\")");
+  const fs::path dir{directory};
+  const std::string manifest_path = (dir / RunManifest::kFileName).string();
+  const ManifestArtifact* spool = manifest.find_artifact(kSpoolFile);
+  if (spool == nullptr) {
+    // Already promoted on an earlier run: re-verify the recorded output.
+    const ManifestArtifact* output = manifest.find_artifact(out_path);
+    if (output == nullptr || output->role != "output")
+      throw std::runtime_error(
+          "checkpoint: manifest records no spool and no output at " +
+          out_path);
+    const util::FileDigest digest = util::crc32_file(out_path);
+    if (digest.bytes != output->bytes || digest.crc32 != output->crc32)
+      throw std::runtime_error("checkpoint: existing output " + out_path +
+                               " does not match its manifest digest");
+    return {output->bytes, output->crc32};
+  }
+
+  const util::ArtifactInfo info{spool->bytes, spool->crc32};
+  const std::string spool_path = (dir / kSpoolFile).string();
+  std::error_code ec;
+  fs::rename(spool_path, out_path, ec);
+  if (ec) {
+    // Different filesystem (or an unwritable target dir entry): fall back
+    // to a CRC-verified streaming copy, then drop the spool.
+    std::ifstream in{spool_path, std::ios::binary};
+    if (!in)
+      throw std::runtime_error("checkpoint: cannot open " + spool_path);
+    util::AtomicFileWriter writer{out_path};
+    char buffer[1 << 16];
+    while (in) {
+      in.read(buffer, sizeof buffer);
+      const std::streamsize got = in.gcount();
+      if (got <= 0) break;
+      writer.write(std::string_view{buffer,
+                                    static_cast<std::size_t>(got)});
+    }
+    if (in.bad())
+      throw std::runtime_error("checkpoint: read error on " + spool_path);
+    const util::ArtifactInfo copied = writer.commit();
+    if (copied.bytes != info.bytes || copied.crc32 != info.crc32)
+      throw std::runtime_error(
+          "checkpoint: spool changed while being promoted to " + out_path);
+    fs::remove(spool_path, ec);
+  }
+
+  std::erase_if(manifest.artifacts, [](const ManifestArtifact& artifact) {
+    return artifact.role == "spool";
+  });
+  manifest.upsert_artifact({out_path, "output", info.bytes, info.crc32, -1});
+  manifest.save(manifest_path);
+  return info;
+}
+
+}  // namespace syrwatch::durable

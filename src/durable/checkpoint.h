@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "durable/manifest.h"
+#include "util/atomic_io.h"
+#include "util/cancel.h"
+#include "workload/scenario.h"
+
+namespace syrwatch::durable {
+
+/// Batch-granular crash safety for a SyriaScenario run.
+///
+/// The checkpoint directory holds:
+///   manifest.json   — syrwatch.manifest.v1 (state, progress, digests)
+///   log_spool.csv   — header + record lines, append-only (the log itself)
+///   farm_state.bin  — proxy-farm mutable state at the last commit boundary
+///
+/// The spool is the write-ahead log of the run: each batch's records are
+/// appended (serialized exactly once) and flushed, and every
+/// `commit_interval` batches the farm state is written atomically followed
+/// by the manifest, which records the spool's committed prefix (byte count
+/// + running CRC32). A crash at any instant leaves a manifest describing
+/// only fully durable state — a torn spool tail beyond the committed
+/// prefix is truncated away on resume, and at most `commit_interval - 1`
+/// batches of work are re-executed (deterministically, to identical
+/// bytes). A resumed run replays the verified spool prefix through the
+/// sink, restores the farm, and continues at next_batch — producing a
+/// final log bit-identical to an uninterrupted run at any thread count
+/// (generation shards are pure in their ordinal; proxy state advances in
+/// fixed batch order). On completion the spool *is* the finished log:
+/// `finalize_output` promotes it to the operator's --out path by rename
+/// (same filesystem — zero copy) or verified streaming copy.
+
+/// 16-hex fnv1a64 over the canonical rendering of every semantic
+/// ScenarioConfig field. `threads` is deliberately excluded (resume at a
+/// different thread count is supported and bit-identical); everything that
+/// can change the emitted log is included, so a fingerprint match means the
+/// reconstructed scenario will regenerate exactly the checkpointed run.
+std::string config_fingerprint(const workload::ScenarioConfig& config);
+
+struct CheckpointOptions {
+  /// Checkpoint directory (created if absent on a fresh run). Required.
+  std::string directory;
+  /// Continue a previous run: load + verify the manifest, replay the
+  /// committed spool prefix, restore farm state, execute only the
+  /// remaining batches. Without this flag a directory that already holds a
+  /// manifest is refused (never silently clobber a resumable run).
+  bool resume = false;
+  /// Cooperative cancellation (SIGINT, --deadline). A cancelled run
+  /// commits its progress, marks the manifest "interrupted", and is
+  /// resumable.
+  const util::CancelToken* cancel = nullptr;
+  /// Recorded in the manifest; resume refuses a command mismatch.
+  std::string command = "generate";
+  /// Durable-commit cadence: farm state + manifest are written every this
+  /// many batches (and always when the run ends, completes, or is
+  /// cancelled). 1 = maximum durability; larger values amortize the
+  /// fixed per-commit cost (the farm state alone is megabytes) at the
+  /// price of re-executing up to interval-1 batches after a crash.
+  std::size_t commit_interval = 1;
+  /// Test hook: invoked after each durable commit (spool prefix + state +
+  /// manifest on disk) with the index of the newest committed batch. May
+  /// throw — the exception propagates out of run_checkpointed exactly like
+  /// a crash between commits, which is how the crash-injection tests abort
+  /// mid-run.
+  std::function<void(std::size_t committed_batch)> after_commit;
+};
+
+struct CheckpointedRun {
+  /// True when the full observation window reached the sink (manifest
+  /// state "complete"); false when cancellation stopped the run early
+  /// (state "interrupted", resumable).
+  bool completed = false;
+  std::size_t batches_replayed = 0;
+  std::uint64_t records_replayed = 0;
+  std::size_t batches_executed = 0;
+  /// Final manifest as saved to disk.
+  RunManifest manifest;
+};
+
+/// Runs `scenario` under checkpoint protection, streaming the (replayed +
+/// freshly generated) log to `sink` in deterministic order. The scenario
+/// must be freshly constructed (farm in its initial state) — resumption
+/// restores the farm itself. Throws std::runtime_error on a refused
+/// resume (fingerprint/command mismatch, failed artifact verification,
+/// missing manifest) or on checkpoint I/O failure.
+CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
+                                 const CheckpointOptions& options,
+                                 const workload::LogCallback& sink);
+
+/// Promotes a *complete* checkpoint's spool into the output file the
+/// operator asked for: rename when out_path is on the same filesystem
+/// (zero copy), else a CRC-verified streaming copy; then swaps the
+/// manifest's spool artifact for an "output" artifact at out_path, so
+/// `syrwatchctl verify` covers the delivered file. Idempotent: if the
+/// spool was already promoted to out_path on an earlier run, the recorded
+/// output is re-verified and its digest returned. Throws
+/// std::runtime_error if the manifest is not complete or the artifact
+/// fails verification.
+util::ArtifactInfo finalize_output(const std::string& directory,
+                                   RunManifest& manifest,
+                                   const std::string& out_path);
+
+}  // namespace syrwatch::durable

@@ -1,5 +1,6 @@
 #include "proxy/cache.h"
 
+#include <iterator>
 #include <stdexcept>
 
 namespace syrwatch::proxy {
@@ -46,6 +47,33 @@ void ResponseCache::admit(const std::string& url_key, Entry entry,
   }
   lru_.push_front(Node{url_key, entry});
   map_.emplace(lru_.front().key, lru_.begin());
+}
+
+std::vector<ResponseCache::SnapshotEntry> ResponseCache::snapshot() const {
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(lru_.size());
+  for (const Node& node : lru_) entries.push_back({node.key, node.entry});
+  return entries;
+}
+
+void ResponseCache::restore(const std::vector<SnapshotEntry>& entries,
+                            std::uint64_t hits, std::uint64_t misses) {
+  if (entries.size() > capacity_)
+    throw std::invalid_argument("ResponseCache::restore: snapshot larger "
+                                "than capacity");
+  lru_.clear();
+  map_.clear();
+  for (const SnapshotEntry& entry : entries) {
+    lru_.push_back(Node{entry.key, entry.entry});
+    const auto [it, inserted] =
+        map_.emplace(lru_.back().key, std::prev(lru_.end()));
+    (void)it;
+    if (!inserted)
+      throw std::invalid_argument("ResponseCache::restore: duplicate key " +
+                                  entry.key);
+  }
+  hits_ = hits;
+  misses_ = misses;
 }
 
 }  // namespace syrwatch::proxy

@@ -4,6 +4,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "proxy/exception.h"
 
@@ -40,6 +41,22 @@ class ResponseCache {
   std::size_t capacity() const noexcept { return capacity_; }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+
+  /// Checkpoint support: the full cache content in recency order
+  /// (most-recent first) plus the hit/miss tallies. restore(snapshot())
+  /// reproduces byte-identical future behaviour — recency order decides
+  /// evictions, so the order is part of the state.
+  struct SnapshotEntry {
+    std::string key;
+    Entry entry;
+  };
+  std::vector<SnapshotEntry> snapshot() const;
+
+  /// Replaces the cache content with a snapshot (most-recent first).
+  /// Throws std::invalid_argument when the snapshot exceeds capacity or
+  /// repeats a key.
+  void restore(const std::vector<SnapshotEntry>& entries, std::uint64_t hits,
+               std::uint64_t misses);
 
  private:
   struct Node {

@@ -140,4 +140,38 @@ LogRecord ProxyFarm::process(const Request& request) {
   return proxies_[route(request)].process(request);
 }
 
+namespace {
+constexpr std::string_view kFarmStateMagic = "SYRFARM1";
+}
+
+std::string ProxyFarm::save_state() const {
+  std::string out;
+  out += kFarmStateMagic;
+  util::put_u64(out, proxies_.size());
+  for (const SgProxy& proxy : proxies_) proxy.append_state(out);
+  util::put_u64(out, failover_total_.load(std::memory_order_relaxed));
+  for (const auto& count : failovers_to_)
+    util::put_u64(out, count.load(std::memory_order_relaxed));
+  return out;
+}
+
+void ProxyFarm::restore_state(std::string_view bytes) {
+  if (bytes.substr(0, kFarmStateMagic.size()) != kFarmStateMagic)
+    throw std::runtime_error("ProxyFarm::restore_state: bad magic (not a "
+                             "farm state blob)");
+  util::ByteReader reader{bytes.substr(kFarmStateMagic.size()),
+                          "ProxyFarm::restore_state"};
+  const std::uint64_t count = reader.get_u64();
+  if (count != proxies_.size())
+    throw std::runtime_error(
+        "ProxyFarm::restore_state: proxy count mismatch (blob has " +
+        std::to_string(count) + ", farm has " +
+        std::to_string(proxies_.size()) + ")");
+  for (SgProxy& proxy : proxies_) proxy.restore_state(reader);
+  failover_total_.store(reader.get_u64(), std::memory_order_relaxed);
+  for (auto& counter : failovers_to_)
+    counter.store(reader.get_u64(), std::memory_order_relaxed);
+  reader.expect_end();
+}
+
 }  // namespace syrwatch::proxy

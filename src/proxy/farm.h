@@ -86,6 +86,20 @@ class ProxyFarm {
     return failovers_to_.at(index).load(std::memory_order_relaxed);
   }
 
+  /// Checkpoint support: serializes every proxy's mutable state (RNGs,
+  /// caches, counters) plus the farm's failover tallies into an opaque
+  /// blob. Routing configuration (policy, affinities, fault schedule) is
+  /// NOT included — a restoring caller must rebuild the farm from the same
+  /// ScenarioConfig first; the run manifest's config fingerprint guards
+  /// that invariant. Not safe to call concurrently with process().
+  std::string save_state() const;
+
+  /// Restores a blob produced by save_state() on an identically
+  /// configured farm. Throws std::runtime_error on truncation, damage, or
+  /// a proxy-count mismatch; the farm is then unusable for resumption
+  /// (rebuild it) but safe to destroy.
+  void restore_state(std::string_view bytes);
+
  private:
   struct AffinityTarget {
     std::size_t proxy_index;

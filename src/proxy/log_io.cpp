@@ -218,7 +218,24 @@ std::optional<LogRecord> from_csv(const std::string& line,
 
 void write_log(std::ostream& out, const std::vector<LogRecord>& records) {
   out << log_csv_header() << '\n';
-  for (const LogRecord& record : records) out << to_csv(record) << '\n';
+  for (const LogRecord& record : records) {
+    out << to_csv(record) << '\n';
+    if (!out) throw std::runtime_error("write_log: stream write failed");
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("write_log: stream flush failed");
+}
+
+util::ArtifactInfo write_log_file(const std::string& path,
+                                  const std::vector<LogRecord>& records) {
+  util::AtomicFileWriter writer{path};
+  writer.write(log_csv_header());
+  writer.write("\n");
+  for (const LogRecord& record : records) {
+    writer.write(to_csv(record));
+    writer.write("\n");
+  }
+  return writer.commit();
 }
 
 std::vector<LogRecord> read_log(std::istream& in) {
@@ -261,6 +278,8 @@ std::string LogReadStats::summary() const {
            "): " + std::to_string(skipped[i]) + ", first at line " +
            std::to_string(first_error_line[i]) + "\n";
   }
+  if (truncated_tail)
+    out += "tail: TRUNCATED (torn final record — partial artifact?)\n";
   return out;
 }
 
@@ -271,8 +290,14 @@ LenientLog read_log_lenient(std::istream& in) {
 
   std::string line;
   bool first = true;
+  bool final_line_unterminated = false;
+  ParseError last_data_error = ParseError::kNone;
+  std::uint64_t last_data_error_line = 0;
   while (std::getline(in, line)) {
     ++stats.lines;
+    // getline hitting EOF before the delimiter means this (final) line was
+    // never newline-terminated — the signature of a torn write.
+    final_line_unterminated = in.eof() && !line.empty();
     if (first) {
       first = false;
       if (line == header) {
@@ -291,13 +316,20 @@ LenientLog read_log_lenient(std::istream& in) {
     if (auto record = from_csv(line, &diagnosis)) {
       ++stats.recovered;
       result.records.push_back(std::move(*record));
+      last_data_error = ParseError::kNone;
     } else {
       const auto reason = static_cast<std::size_t>(diagnosis.error);
       ++stats.skipped[reason];
       if (stats.first_error_line[reason] == 0)
         stats.first_error_line[reason] = stats.lines;
+      last_data_error = diagnosis.error;
+      last_data_error_line = stats.lines;
     }
   }
+  stats.truncated_tail =
+      final_line_unterminated ||
+      (last_data_error == ParseError::kColumnCount &&
+       last_data_error_line == stats.lines);
   return result;
 }
 

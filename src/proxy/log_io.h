@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "proxy/log_record.h"
+#include "util/atomic_io.h"
 
 namespace syrwatch::proxy {
 
@@ -50,8 +51,17 @@ struct ParseDiagnosis {
 std::optional<LogRecord> from_csv(const std::string& line,
                                   ParseDiagnosis* diagnosis = nullptr);
 
-/// Writes header + all records.
+/// Writes header + all records, then flushes. Throws std::runtime_error
+/// when the stream reports a write/flush failure — a full disk must not
+/// yield a silently truncated, parseable-looking log.
 void write_log(std::ostream& out, const std::vector<LogRecord>& records);
+
+/// write_log to `path` through util::atomic_write_file: the file appears
+/// complete or not at all (temp → flush → rename). Returns the committed
+/// artifact's size + CRC32 for manifest bookkeeping; throws on any I/O
+/// failure.
+util::ArtifactInfo write_log_file(const std::string& path,
+                                  const std::vector<LogRecord>& records);
 
 /// Reads a stream written by write_log. Throws std::runtime_error on a
 /// malformed header or row; the message names the 1-based line number, the
@@ -66,6 +76,12 @@ struct LogReadStats {
   std::uint64_t recovered = 0;   // data lines that parsed
   std::uint64_t empty_lines = 0;
   bool header_present = false;  // first line matched log_csv_header()
+  /// The file looks torn at the end: its final line lacks a newline, or
+  /// the last data line was skipped for a short column count. Writers in
+  /// this codebase always end with a newline, so either is the signature
+  /// of a crash- or disk-full-truncated artifact; analyses consuming this
+  /// log should surface the flag (analysis::request_coverage does).
+  bool truncated_tail = false;
   /// Skip counts indexed by ParseError (slot 0, kNone, stays zero).
   std::array<std::uint64_t, kParseErrorCount> skipped{};
   /// 1-based stream line number of the first skip per reason; 0 = never.

@@ -37,6 +37,58 @@ void SgProxy::set_obs(obs::Context* ctx) {
   }
 }
 
+void SgProxy::append_state(std::string& out) const {
+  for (const std::uint64_t word : rng_.save_state()) util::put_u64(out, word);
+  util::put_u64(out, processed_);
+  util::put_u64(out, cache_.hits());
+  util::put_u64(out, cache_.misses());
+  const auto entries = cache_.snapshot();
+  util::put_u64(out, entries.size());
+  for (const auto& entry : entries) {
+    util::put_bytes(out, entry.key);
+    util::put_u64(out, static_cast<std::uint64_t>(entry.entry.exception));
+    util::put_u64(out, entry.entry.status);
+    util::put_i64(out, entry.entry.expires_at);
+  }
+}
+
+void SgProxy::restore_state(util::ByteReader& reader) {
+  std::array<std::uint64_t, 4> words;
+  for (std::uint64_t& word : words) word = reader.get_u64();
+  try {
+    rng_.restore_state(words);
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error(std::string("SgProxy::restore_state: ") +
+                             error.what());
+  }
+  processed_ = reader.get_u64();
+  const std::uint64_t hits = reader.get_u64();
+  const std::uint64_t misses = reader.get_u64();
+  const std::uint64_t entry_count = reader.get_u64();
+  std::vector<ResponseCache::SnapshotEntry> entries;
+  entries.reserve(entry_count);
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    ResponseCache::SnapshotEntry entry;
+    entry.key = std::string(reader.get_bytes());
+    const std::uint64_t exception = reader.get_u64();
+    if (exception >= kExceptionCount)
+      throw std::runtime_error("SgProxy::restore_state: bad exception id");
+    entry.entry.exception = static_cast<ExceptionId>(exception);
+    const std::uint64_t status = reader.get_u64();
+    if (status > 999)
+      throw std::runtime_error("SgProxy::restore_state: bad status");
+    entry.entry.status = static_cast<std::uint16_t>(status);
+    entry.entry.expires_at = reader.get_i64();
+    entries.push_back(std::move(entry));
+  }
+  try {
+    cache_.restore(entries, hits, misses);
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error(std::string("SgProxy::restore_state: ") +
+                             error.what());
+  }
+}
+
 LogRecord SgProxy::process(const Request& request) {
   ++processed_;
   obs::add(obs_.requests);

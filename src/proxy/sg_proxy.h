@@ -11,6 +11,7 @@
 #include "proxy/cache.h"
 #include "proxy/error_model.h"
 #include "proxy/log_record.h"
+#include "util/byte_io.h"
 #include "util/rng.h"
 
 namespace syrwatch::proxy {
@@ -76,6 +77,17 @@ class SgProxy {
 
   std::uint64_t processed() const noexcept { return processed_; }
   const ResponseCache& cache() const noexcept { return cache_; }
+
+  /// Checkpoint support: appends this appliance's mutable state (RNG
+  /// words, processed count, cache content + tallies) to `out` in the
+  /// length-prefixed binary layout of util/byte_io.h. Configuration is
+  /// NOT serialized — a restored proxy must be constructed with the same
+  /// policy/config, which the run manifest's config fingerprint enforces.
+  void append_state(std::string& out) const;
+
+  /// Restores state previously written by append_state, reading from the
+  /// cursor. Throws std::runtime_error on truncated or invalid bytes.
+  void restore_state(util::ByteReader& reader);
 
  private:
   /// Pre-resolved instruments, all nullptr when detached. Shared across

@@ -1,0 +1,97 @@
+#include "util/atomic_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace syrwatch::util {
+
+namespace {
+
+/// rename() is atomic on POSIX when source and target share a filesystem —
+/// the temp file lives next to the target, so that always holds here.
+void rename_into_place(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(from, ignored);
+    throw std::runtime_error("atomic write: rename " + from + " -> " + to +
+                             " failed: " + ec.message());
+  }
+}
+
+}  // namespace
+
+ArtifactInfo atomic_write_file(const std::string& path,
+                               std::string_view contents) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
+    if (!out)
+      throw std::runtime_error("atomic write: cannot open " + temp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(temp, ignored);
+      throw std::runtime_error("atomic write: write/flush to " + temp +
+                               " failed (disk full?)");
+    }
+  }
+  rename_into_place(temp, path);
+  return ArtifactInfo{contents.size(), crc32_of(contents)};
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+  if (!out_)
+    throw std::runtime_error("atomic write: cannot open " + temp_path_);
+  open_ = true;
+}
+
+AtomicFileWriter::~AtomicFileWriter() { abandon(); }
+
+void AtomicFileWriter::write(std::string_view bytes) {
+  if (!open_)
+    throw std::logic_error("AtomicFileWriter: write after commit/abandon");
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out_) {
+    abandon();
+    throw std::runtime_error("atomic write: write to " + temp_path_ +
+                             " failed (disk full?)");
+  }
+  crc_.update(bytes);
+  bytes_ += bytes.size();
+}
+
+ArtifactInfo AtomicFileWriter::commit() {
+  if (!open_)
+    throw std::logic_error("AtomicFileWriter: commit after commit/abandon");
+  out_.flush();
+  const bool good = static_cast<bool>(out_);
+  out_.close();
+  open_ = false;
+  if (!good) {
+    std::error_code ignored;
+    std::filesystem::remove(temp_path_, ignored);
+    throw std::runtime_error("atomic write: flush of " + temp_path_ +
+                             " failed (disk full?)");
+  }
+  rename_into_place(temp_path_, path_);
+  return ArtifactInfo{bytes_, crc_.value()};
+}
+
+void AtomicFileWriter::abandon() noexcept {
+  if (!open_) return;
+  open_ = false;
+  out_.close();
+  std::error_code ignored;
+  std::filesystem::remove(temp_path_, ignored);
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "util/checksum.h"
+
+namespace syrwatch::util {
+
+/// Crash-safe artifact writing: every durable artifact is written to a
+/// sibling temp file, flushed, and renamed into place, so a reader can
+/// never observe a half-written file at the final path — it sees either
+/// the old content or the new content, nothing in between. Every write and
+/// flush is error-checked; disk-full fails loudly instead of leaving a
+/// silently truncated, parseable-looking artifact behind.
+
+/// What a committed artifact looked like as it went to disk; recorded into
+/// run manifests so `syrwatchctl verify` can re-check integrity later.
+struct ArtifactInfo {
+  std::uint64_t bytes = 0;
+  std::uint32_t crc32 = 0;
+};
+
+/// Writes `contents` to `path` atomically (temp → flush → rename). Throws
+/// std::runtime_error naming the path on any open/write/flush/rename
+/// failure; the temp file is removed on the error paths that can reach it.
+ArtifactInfo atomic_write_file(const std::string& path,
+                               std::string_view contents);
+
+/// Streaming variant for artifacts too large to assemble in memory (log
+/// files): write() appends and folds the bytes into a running CRC32;
+/// commit() flushes, renames the temp file onto the target, and returns
+/// the artifact digest. A writer destroyed without commit() discards the
+/// temp file, leaving any previous file at `path` untouched — exactly what
+/// an interrupted run should do.
+class AtomicFileWriter {
+ public:
+  /// Opens `path + ".tmp"` for writing; throws on failure.
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends bytes; throws std::runtime_error on a write error.
+  void write(std::string_view bytes);
+
+  /// Flush + rename onto the final path; throws on failure. At most once.
+  ArtifactInfo commit();
+
+  /// Drops the temp file without touching the final path (also what the
+  /// destructor does when commit() never ran).
+  void abandon() noexcept;
+
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+ private:
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  Crc32 crc_;
+  std::uint64_t bytes_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace syrwatch::util

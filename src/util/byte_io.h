@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace syrwatch::util {
+
+/// Minimal length-checked binary (de)serialization for checkpoint state
+/// blobs. Fixed little-endian-as-stored layout (state files are consumed
+/// on the machine that wrote them; the CRC in the manifest catches any
+/// cross-machine mixups along with ordinary corruption).
+
+inline void put_u64(std::string& out, std::uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  out.append(bytes, 8);
+}
+
+inline void put_i64(std::string& out, std::int64_t value) {
+  put_u64(out, static_cast<std::uint64_t>(value));
+}
+
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u64(out, bytes.size());
+  out.append(bytes.data(), bytes.size());
+}
+
+/// Cursor over a serialized blob; every read is bounds-checked and throws
+/// std::runtime_error (with the given context tag) on truncation.
+class ByteReader {
+ public:
+  ByteReader(std::string_view bytes, std::string context)
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  std::uint64_t get_u64() {
+    require(8);
+    std::uint64_t value = 0;
+    std::memcpy(&value, bytes_.data() + cursor_, 8);
+    cursor_ += 8;
+    return value;
+  }
+
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+
+  std::string_view get_bytes() {
+    const std::uint64_t size = get_u64();
+    require(size);
+    const std::string_view view = bytes_.substr(cursor_, size);
+    cursor_ += size;
+    return view;
+  }
+
+  bool exhausted() const noexcept { return cursor_ == bytes_.size(); }
+  std::size_t cursor() const noexcept { return cursor_; }
+
+  /// Call when the blob should have been fully consumed.
+  void expect_end() const {
+    if (!exhausted())
+      throw std::runtime_error(context_ + ": trailing bytes in state blob");
+  }
+
+ private:
+  void require(std::uint64_t size) const {
+    if (size > bytes_.size() - cursor_)
+      throw std::runtime_error(context_ + ": truncated state blob");
+  }
+
+  std::string_view bytes_;
+  std::string context_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace syrwatch::util

@@ -1,0 +1,41 @@
+#include "util/cancel.h"
+
+#include <chrono>
+
+namespace syrwatch::util {
+
+namespace {
+
+std::uint64_t steady_nanos() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void CancelToken::set_deadline_after(double seconds) noexcept {
+  if (seconds <= 0.0) {
+    cancelled_.store(true, std::memory_order_relaxed);
+    // A sentinel in the past so deadline_expired() reports true.
+    deadline_nanos_.store(1, std::memory_order_relaxed);
+    return;
+  }
+  deadline_nanos_.store(steady_nanos() +
+                            static_cast<std::uint64_t>(seconds * 1e9),
+                        std::memory_order_relaxed);
+}
+
+bool CancelToken::cancelled() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) return true;
+  return deadline_expired();
+}
+
+bool CancelToken::deadline_expired() const noexcept {
+  const std::uint64_t deadline =
+      deadline_nanos_.load(std::memory_order_relaxed);
+  return deadline != 0 && steady_nanos() >= deadline;
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace syrwatch::util {
+
+/// Artifact integrity primitives for the durability layer: CRC32 (IEEE,
+/// reflected — the zlib/PNG polynomial) for on-disk artifact checksums and
+/// FNV-1a 64 for cheap fingerprints of in-memory canonical strings. Both
+/// are deterministic across platforms; neither is cryptographic — they
+/// detect corruption and accidental edits, not adversaries.
+
+/// Incremental CRC32 so large artifacts can be checksummed while they
+/// stream through a writer instead of re-reading the file afterwards.
+class Crc32 {
+ public:
+  /// Folds `bytes` into the running checksum.
+  void update(std::string_view bytes) noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// The checksum of everything updated so far.
+  std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+  /// Continues from a previously finalized value(): afterwards the running
+  /// checksum behaves as if every byte behind that value had been
+  /// update()d here. (CRC32 finalization is an XOR, so the register is
+  /// recoverable.) Used to extend the checkpoint spool across process
+  /// restarts without re-reading the committed prefix.
+  void resume(std::uint32_t value) noexcept { state_ = value ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC32 of a byte string. crc32_of("123456789") == 0xCBF43926.
+std::uint32_t crc32_of(std::string_view bytes) noexcept;
+
+/// CRC32 + size of a file, streamed in chunks. Throws std::runtime_error
+/// (naming the path) when the file cannot be opened or read.
+struct FileDigest {
+  std::uint64_t bytes = 0;
+  std::uint32_t crc32 = 0;
+};
+FileDigest crc32_file(const std::string& path);
+/// Digest of only the first `limit` bytes (fewer if the file is shorter —
+/// compare .bytes). Used for the checkpoint spool, whose manifest records
+/// a committed prefix that a crashed append may have outgrown.
+FileDigest crc32_file_prefix(const std::string& path, std::uint64_t limit);
+
+/// FNV-1a 64-bit hash; used for config fingerprints in run manifests.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Fixed-width lowercase hex renderings used by the manifest schema
+/// ("crc32": "cbf43926", "config_fingerprint": 16 hex digits) and their
+/// strict inverse parsers (full-width, lowercase-or-uppercase hex only).
+std::string to_hex32(std::uint32_t value);
+std::string to_hex64(std::uint64_t value);
+bool parse_hex32(std::string_view text, std::uint32_t& value) noexcept;
+bool parse_hex64(std::string_view text, std::uint64_t& value) noexcept;
+
+}  // namespace syrwatch::util

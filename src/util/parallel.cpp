@@ -14,20 +14,30 @@ std::size_t resolve_threads(std::size_t requested) noexcept {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn) {
-  if (count == 0) return;
+bool parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn,
+                  const CancelToken* cancel) {
+  if (count == 0) return true;
   if (threads <= 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return false;
+      fn(i);
+    }
+    return true;
   }
 
   std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> stopped{false};
   std::mutex error_mutex;
   std::exception_ptr error;
 
   const auto worker = [&]() noexcept {
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        stopped.store(true, std::memory_order_relaxed);
+        cursor.store(count, std::memory_order_relaxed);
+        return;
+      }
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
@@ -51,6 +61,7 @@ void parallel_for(std::size_t count, std::size_t threads,
   worker();
   for (std::thread& thread : pool) thread.join();
   if (error) std::rethrow_exception(error);
+  return !stopped.load(std::memory_order_relaxed);
 }
 
 }  // namespace syrwatch::util

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/cancel.h"
+
 namespace syrwatch::util {
 
 /// Resolves a thread-count knob: 0 selects the hardware concurrency (never
@@ -18,7 +20,13 @@ std::size_t resolve_threads(std::size_t requested) noexcept;
 /// further claims and is rethrown on the caller once every worker drains.
 /// With threads <= 1 or count <= 1 everything runs inline on the calling
 /// thread, which is the reference execution the parallel runs must match.
-void parallel_for(std::size_t count, std::size_t threads,
-                  const std::function<void(std::size_t)>& fn);
+///
+/// A non-null `cancel` token is polled before each item is claimed; once
+/// it fires no further items start (items already running finish), and
+/// the call returns false. Returns true when every item ran. Cancellation
+/// cannot change what any completed fn(i) computed — only which i ran.
+bool parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn,
+                  const CancelToken* cancel = nullptr);
 
 }  // namespace syrwatch::util

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace syrwatch::util {
 
@@ -39,6 +40,16 @@ Rng::result_type Rng::operator()() noexcept {
   state_[2] ^= t;
   state_[3] = rotl(state_[3], 45);
   return result;
+}
+
+std::array<std::uint64_t, 4> Rng::save_state() const noexcept {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::restore_state(const std::array<std::uint64_t, 4>& words) {
+  if ((words[0] | words[1] | words[2] | words[3]) == 0)
+    throw std::invalid_argument("Rng::restore_state: all-zero state");
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = words[i];
 }
 
 Rng Rng::split(std::uint64_t stream_id) const noexcept {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -70,6 +71,15 @@ class Rng {
   /// Exactly one draw is consumed for any non-empty span. O(n); use
   /// util::AliasSampler for repeated draws.
   std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  /// The generator's four xoshiro256++ state words, for checkpointing.
+  /// restore_state(save_state()) reproduces the exact draw sequence.
+  std::array<std::uint64_t, 4> save_state() const noexcept;
+
+  /// Restores a previously saved state. Throws std::invalid_argument on
+  /// the all-zero state (a fixed point xoshiro can never leave — a saved
+  /// state can only be all-zero through corruption).
+  void restore_state(const std::array<std::uint64_t, 4>& words);
 
   /// In-place Fisher–Yates shuffle.
   template <typename T>

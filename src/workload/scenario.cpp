@@ -135,7 +135,16 @@ struct Processed {
 
 }  // namespace
 
-void SyriaScenario::run(const LogCallback& sink) {
+std::size_t SyriaScenario::batch_count() const noexcept {
+  const auto slots_per_day = static_cast<std::size_t>(
+      util::kSecondsPerDay / config_.slot_seconds);
+  const std::size_t shards = observation_days().size() * slots_per_day;
+  return (shards + kShardsPerBatch - 1) / kShardsPerBatch;
+}
+
+void SyriaScenario::run(const LogCallback& sink) { run(sink, RunControl{}); }
+
+bool SyriaScenario::run(const LogCallback& sink, const RunControl& control) {
   const auto& days = observation_days();
   const std::int64_t slot = config_.slot_seconds;
   const auto slots_per_day =
@@ -201,20 +210,26 @@ void SyriaScenario::run(const LogCallback& sink) {
   // Shards are produced and consumed in fixed-size batches so peak memory
   // stays bounded by the batch, not the whole observation window. Batch
   // boundaries cannot affect results: RNG streams derive from the shard
-  // ordinal and per-proxy processing order follows the merge key.
-  constexpr std::size_t kBatchShards = 128;
-  std::vector<Shard> batch(std::min(kBatchShards, plan.size()));
+  // ordinal and per-proxy processing order follows the merge key. The
+  // batch is also the durability unit — control.start_batch skips whole
+  // batches on resume, and cancellation never emits a partial one.
+  std::vector<Shard> batch(std::min(kShardsPerBatch, plan.size()));
   std::vector<std::vector<Processed>> per_proxy(n_proxies);
 
   for (std::size_t batch_start = 0; batch_start < plan.size();
-       batch_start += kBatchShards) {
+       batch_start += kShardsPerBatch) {
+    const std::size_t batch_index = batch_start / kShardsPerBatch;
+    if (batch_index < control.start_batch) continue;
+    if (control.cancel != nullptr && control.cancel->cancelled())
+      return false;
     const std::size_t n_shards =
-        std::min(kBatchShards, plan.size() - batch_start);
+        std::min(kShardsPerBatch, plan.size() - batch_start);
 
     // Phase 1 — generate + route, one shard per work item. Each
     // (shard, component) pair owns an independent child RNG, so shards
     // never contend and the draw sequence is execution-order-free.
-    util::parallel_for(n_shards, threads, [&](std::size_t i) {
+    const bool generated_all =
+        util::parallel_for(n_shards, threads, [&](std::size_t i) {
       const obs::StageTimer timer{gen_stage};
       const std::size_t ordinal = batch_start + i;
       const SlotPlan& sp = plan[ordinal];
@@ -239,13 +254,18 @@ void SyriaScenario::run(const LogCallback& sink) {
         }
       }
       obs::add(generated, shard.requests.size());
-    });
+        }, control.cancel);
+    if (!generated_all) return false;
 
     // Phase 2 — per-proxy processing. Each SgProxy owns an LRU cache and
     // an RNG that must advance sequentially, so each proxy walks its own
     // time-ordered queue (shard-major, generation-order minor) on its own
     // worker. Requests on filtered days still pass through the proxy —
     // the leak drops the *records*, not the traffic that warmed caches.
+    // NOTE: phase 2 is never handed the cancel token — a proxy that has
+    // started consuming a batch must finish it, or its sequential RNG and
+    // cache would be left mid-batch and the in-memory state could not be
+    // discarded cleanly at a batch boundary.
     util::parallel_for(n_proxies, threads, [&](std::size_t p) {
       const obs::StageTimer timer{proc_stage};
       std::vector<Processed>& out = per_proxy[p];
@@ -266,30 +286,40 @@ void SyriaScenario::run(const LogCallback& sink) {
       }
     });
 
+    // A cancellation landing between phases discards the whole in-flight
+    // batch: the sink must only ever observe complete batches, so a
+    // checkpoint taken at the last boundary stays the source of truth.
+    if (control.cancel != nullptr && control.cancel->cancelled())
+      return false;
+
     // Phase 3 — deterministic merge: each per-proxy buffer is already
     // sorted by key, so a k-way merge restores global generation order
     // (day, slot, component, sequence) — exactly the order the old
     // single-threaded loop emitted — before the records reach the sink.
-    const obs::StageTimer merge_timer{merge_stage};
-    std::uint64_t merged = 0;
-    std::vector<std::size_t> head(n_proxies, 0);
-    for (;;) {
-      std::size_t best = n_proxies;
-      std::uint64_t best_key = ~std::uint64_t{0};
-      for (std::size_t p = 0; p < n_proxies; ++p) {
-        if (head[p] < per_proxy[p].size() &&
-            per_proxy[p][head[p]].key <= best_key) {
-          best = p;
-          best_key = per_proxy[p][head[p]].key;
+    {
+      const obs::StageTimer merge_timer{merge_stage};
+      std::uint64_t merged = 0;
+      std::vector<std::size_t> head(n_proxies, 0);
+      for (;;) {
+        std::size_t best = n_proxies;
+        std::uint64_t best_key = ~std::uint64_t{0};
+        for (std::size_t p = 0; p < n_proxies; ++p) {
+          if (head[p] < per_proxy[p].size() &&
+              per_proxy[p][head[p]].key <= best_key) {
+            best = p;
+            best_key = per_proxy[p][head[p]].key;
+          }
         }
+        if (best == n_proxies) break;
+        sink(per_proxy[best][head[best]].record);
+        ++head[best];
+        ++merged;
       }
-      if (best == n_proxies) break;
-      sink(per_proxy[best][head[best]].record);
-      ++head[best];
-      ++merged;
+      obs::add(emitted, merged);
     }
-    obs::add(emitted, merged);
+    if (control.on_batch) control.on_batch(batch_index);
   }
+  return true;
 }
 
 }  // namespace syrwatch::workload

@@ -15,6 +15,7 @@
 #include "policy/syria.h"
 #include "proxy/farm.h"
 #include "tor/relay_directory.h"
+#include "util/cancel.h"
 #include "workload/catalog.h"
 #include "workload/components.h"
 #include "workload/diurnal.h"
@@ -75,6 +76,27 @@ struct ScenarioConfig {
 
 using LogCallback = std::function<void(const proxy::LogRecord&)>;
 
+/// Knobs for a controlled run: cooperative cancellation, batch-granular
+/// resumption, and a per-batch completion hook — the surface the durable
+/// checkpoint layer drives. None of these can change *what* a batch emits
+/// (generation is a pure function of the shard ordinal; proxy state
+/// advances in fixed batch order), only which batches execute.
+struct RunControl {
+  /// Polled at batch boundaries and inside the parallel phases; when it
+  /// fires, run() returns false without emitting the in-flight batch.
+  const util::CancelToken* cancel = nullptr;
+  /// First batch to execute; earlier batches are skipped entirely. The
+  /// caller owns restoring the farm's mutable state to the value it held
+  /// at this boundary (proxy::ProxyFarm::restore_state) — generation
+  /// shards need no restoration, their RNG streams derive from ordinals.
+  std::size_t start_batch = 0;
+  /// Invoked on the calling thread after each batch's records reached the
+  /// sink, with the index of the completed batch; a checkpointer commits
+  /// its batch here. May throw — the exception propagates out of run()
+  /// (that is exactly what a mid-run crash looks like to a resumer).
+  std::function<void(std::size_t completed_batch)> on_batch;
+};
+
 /// The complete simulated ecosystem: users, sites, relays, torrents, the
 /// inferred censorship policy, the seven-proxy farm with its domain
 /// affinities, and the traffic components. `run()` streams the "leaked"
@@ -83,11 +105,27 @@ class SyriaScenario {
  public:
   explicit SyriaScenario(ScenarioConfig config = {});
 
+  /// Generation shards are committed in fixed-size batches of this many
+  /// (day, slot) shards: the unit of peak-memory bounding, of the
+  /// checkpoint layer's durability, and of resumption granularity.
+  static constexpr std::size_t kShardsPerBatch = 128;
+
+  /// Batches a full run executes — ceil(shards / kShardsPerBatch), a pure
+  /// function of the config (observation days × slots per day).
+  std::size_t batch_count() const noexcept;
+
   /// Generates the whole observation window. Uses config().threads
   /// workers; the sink is always invoked from the calling thread, in
   /// deterministic (day, slot, component, sequence) order, regardless of
   /// the thread count.
   void run(const LogCallback& sink);
+
+  /// Controlled variant: honors control.cancel, starts at
+  /// control.start_batch, and reports batch completions via
+  /// control.on_batch. Returns true when the window completed, false when
+  /// cancellation stopped it early (the sink then saw a whole number of
+  /// batches — never a partial one).
+  bool run(const LogCallback& sink, const RunControl& control);
 
   /// Attaches the observability layer to the pipeline and the farm: stage
   /// timers for the generate / process / merge phases and event counters

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "proxy/log_io.h"
@@ -113,6 +115,24 @@ TEST(LogIo, StreamRoundTrip) {
     EXPECT_EQ(parsed[i].time, records[i].time);
     EXPECT_EQ(parsed[i].proxy_index, records[i].proxy_index);
   }
+}
+
+TEST(LogIo, FileRoundTripIsAtomicAndDigested) {
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 5; ++i) {
+    LogRecord record = sample_record();
+    record.time += i * 60;
+    records.push_back(record);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/syrwatch_log_io_roundtrip.csv";
+  const auto info = write_log_file(path, records);
+  EXPECT_GT(info.bytes, 0u);
+  std::ifstream in{path};
+  const auto parsed = read_log(in);
+  EXPECT_EQ(parsed.size(), records.size());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 TEST(LogIo, ReadRejectsBadHeader) {
@@ -228,6 +248,54 @@ TEST(LogIo, LenientReaderWithoutHeaderStillParses) {
   EXPECT_FALSE(log.stats.header_present);
   EXPECT_EQ(log.records.size(), 1u);
   EXPECT_TRUE(log.stats.consistent());
+}
+
+// --- truncated-tail detection (torn final record = partial artifact) ------
+
+TEST(LogIo, CleanLogHasNoTruncatedTail) {
+  std::stringstream stream;
+  stream << log_csv_header() << "\n";
+  stream << to_csv(sample_record()) << "\n";
+  const auto log = read_log_lenient(stream);
+  EXPECT_FALSE(log.stats.truncated_tail);
+  EXPECT_EQ(log.stats.summary().find("TRUNCATED"), std::string::npos);
+}
+
+TEST(LogIo, MissingFinalNewlineFlagsTruncatedTail) {
+  // A parseable final line without its newline: the classic signature of
+  // a write cut off between record body and terminator.
+  std::stringstream stream;
+  stream << log_csv_header() << "\n";
+  stream << to_csv(sample_record()) << "\n";
+  stream << to_csv(sample_record());  // no trailing '\n'
+  const auto log = read_log_lenient(stream);
+  EXPECT_EQ(log.records.size(), 2u);
+  EXPECT_TRUE(log.stats.truncated_tail);
+  EXPECT_NE(log.stats.summary().find("TRUNCATED"), std::string::npos);
+}
+
+TEST(LogIo, ShortFinalRecordFlagsTruncatedTail) {
+  // Newline-terminated but column-short final line — a torn write that
+  // happened to end on a '\n' inside the record.
+  std::stringstream stream;
+  stream << log_csv_header() << "\n";
+  stream << to_csv(sample_record()) << "\n";
+  stream << to_csv(sample_record()).substr(0, 30) << "\n";
+  const auto log = read_log_lenient(stream);
+  EXPECT_EQ(log.records.size(), 1u);
+  EXPECT_TRUE(log.stats.truncated_tail);
+}
+
+TEST(LogIo, MidFileDamageIsNotATruncatedTail) {
+  // Damage followed by healthy records is corruption, not truncation.
+  std::stringstream stream;
+  stream << log_csv_header() << "\n";
+  stream << to_csv(sample_record()).substr(0, 30) << "\n";
+  stream << to_csv(sample_record()) << "\n";
+  const auto log = read_log_lenient(stream);
+  EXPECT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.stats.skipped_total(), 1u);
+  EXPECT_FALSE(log.stats.truncated_tail);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "core/report.h"
 #include "core/study.h"
 #include "proxy/log_io.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 #include "workload/scenario.h"
@@ -55,6 +56,43 @@ TEST(ParallelFor, PropagatesTheFirstException) {
                              if (i == 17) throw std::runtime_error("boom");
                            }),
         std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, ReturnsTrueWithoutCancellation) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_TRUE(util::parallel_for(100, threads, [](std::size_t) {}));
+    util::CancelToken idle;
+    EXPECT_TRUE(
+        util::parallel_for(100, threads, [](std::size_t) {}, &idle));
+  }
+}
+
+TEST(ParallelFor, PreCancelledTokenRunsNothing) {
+  util::CancelToken token;
+  token.request_cancel();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::atomic<int> calls{0};
+    EXPECT_FALSE(util::parallel_for(
+        1000, threads, [&](std::size_t) { calls.fetch_add(1); }, &token));
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST(ParallelFor, MidRunCancellationStopsEarly) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::CancelToken token;
+    std::atomic<int> calls{0};
+    const bool finished = util::parallel_for(
+        100'000, threads,
+        [&](std::size_t) {
+          if (calls.fetch_add(1) == 50) token.request_cancel();
+        },
+        &token);
+    EXPECT_FALSE(finished) << threads << " threads";
+    // Every started item ran to completion; far fewer than all started.
+    EXPECT_GE(calls.load(), 51);
+    EXPECT_LT(calls.load(), 100'000);
   }
 }
 

@@ -49,4 +49,9 @@ run_config() {
 run_config tsan thread
 run_config asan address,undefined
 
+# The durability layer's crash/resume path under ASan+UBSan: forced
+# mid-run abort, manifest verification, resume, byte-identity diff.
+echo "==> [asan] crash/resume smoke"
+"${repo_root}/tools/ci-crash-resume.sh" "${repo_root}/build-asan"
+
 echo "==> all sanitizer configurations green"

@@ -2,9 +2,22 @@
 //
 //   syrwatchctl generate --out leak.csv [--requests N] [--seed S]
 //                        [--no-leak-filter] [--fault-profile NAME]
-//       Simulate the deployment and write the log in Blue Coat csv form.
-//       --fault-profile injects proxy outages/brownouts/flapping (see
-//       fault::make_profile for the named profiles).
+//                        [--checkpoint-dir DIR [--resume]]
+//                        [--checkpoint-interval K] [--deadline SECONDS]
+//       Simulate the deployment and write the log in Blue Coat csv form
+//       (atomically: temp + rename, never a torn csv). --fault-profile
+//       injects proxy outages/brownouts/flapping (see fault::make_profile
+//       for the named profiles). With --checkpoint-dir the run appends
+//       each batch to a crash-safe spool and commits a durable manifest
+//       every K batches (default 8): SIGINT or an expired --deadline
+//       flushes the last complete batch and exits 0 with a resume hint,
+//       and --resume continues the run to a log bit-identical to an
+//       uninterrupted one (any --threads value).
+//
+//   syrwatchctl verify DIR|MANIFEST
+//       Integrity-check every artifact a run manifest lists (size +
+//       CRC32) — detects a single flipped byte in the committed spool,
+//       farm state blob, or recorded output file.
 //
 //   syrwatchctl inspect <log.csv> [--bin-hours H]
 //       Damage-tolerant triage of an on-disk log: parse statistics
@@ -42,8 +55,12 @@
 // All analysis subcommands accept any csv produced by `generate` (or by
 // proxy::write_log), so pipelines can be scripted without recompiling.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,6 +74,8 @@
 #include "analysis/weather.h"
 #include "core/report.h"
 #include "core/study.h"
+#include "durable/checkpoint.h"
+#include "durable/manifest.h"
 #include "fault/profiles.h"
 #include "obs/context.h"
 #include "obs/export.h"
@@ -64,6 +83,9 @@
 #include "obs/trace.h"
 #include "policy/syria.h"
 #include "proxy/log_io.h"
+#include "util/atomic_io.h"
+#include "util/cancel.h"
+#include "util/checksum.h"
 #include "util/cli.h"
 #include "util/simtime.h"
 #include "util/strings.h"
@@ -79,7 +101,9 @@ int usage() {
       stderr,
       "usage:\n"
       "  syrwatchctl generate --out FILE [--requests N] [--seed S]"
-      " [--threads T] [--no-leak-filter] [--fault-profile NAME]\n"
+      " [--threads T] [--no-leak-filter] [--fault-profile NAME]"
+      " [--checkpoint-dir DIR [--resume]] [--deadline SECONDS]\n"
+      "  syrwatchctl verify DIR|MANIFEST\n"
       "  syrwatchctl inspect FILE [--bin-hours H]\n"
       "  syrwatchctl stats FILE\n"
       "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]\n"
@@ -122,18 +146,22 @@ class MetricsOutput {
 
   double total_seconds() const { return seconds_since(start_); }
 
-  /// Writes the document when --metrics was given. Returns false on I/O
-  /// failure (the subcommand should exit non-zero).
+  /// Writes the document when --metrics was given — atomically, so a
+  /// crash or full disk never leaves a torn half-document that downstream
+  /// dashboards would misparse. Returns false on I/O failure (the
+  /// subcommand should exit non-zero).
   bool write(const char* command) {
     if (path_.empty()) return true;
-    std::ofstream out{path_};
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+    try {
+      util::atomic_write_file(path_,
+                              obs::to_json(registry_.snapshot(), command,
+                                           phases_, total_seconds()));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path_.c_str(),
+                   error.what());
       return false;
     }
-    out << obs::to_json(registry_.snapshot(), command, phases_,
-                        total_seconds());
-    return out.good();
+    return true;
   }
 
  private:
@@ -176,6 +204,12 @@ bool single_input(const char* command, const util::CliFlags& flags,
   return true;
 }
 
+/// Process-wide cancellation token the SIGINT/SIGTERM handler flips.
+/// request_cancel() is a relaxed atomic store — async-signal-safe.
+util::CancelToken g_cancel;
+
+void handle_stop_signal(int) { g_cancel.request_cancel(); }
+
 int cmd_generate(int argc, char** argv) {
   util::CliFlags flags;
   flags.value_flag("--out");
@@ -184,11 +218,24 @@ int cmd_generate(int argc, char** argv) {
   flags.value_flag("--threads");
   flags.value_flag("--fault-profile");
   flags.value_flag("--metrics");
+  flags.value_flag("--checkpoint-dir");
+  flags.value_flag("--checkpoint-interval");
+  flags.value_flag("--deadline");
+  flags.value_flag("--abort-after-batches");
   flags.bool_flag("--no-leak-filter");
+  flags.bool_flag("--resume");
   if (!flags.parse(argc, argv)) return flag_error("generate", flags);
-  const auto out_path = flags.get("--out");
-  if (!out_path) {
+  const auto out_flag = flags.get("--out");
+  if (!out_flag) {
     std::fprintf(stderr, "syrwatchctl generate: --out FILE is required\n");
+    return usage();
+  }
+  const std::string out_path{*out_flag};
+  const std::string checkpoint_dir{
+      flags.get("--checkpoint-dir").value_or("")};
+  if (flags.has("--resume") && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "syrwatchctl generate: --resume requires --checkpoint-dir\n");
     return usage();
   }
 
@@ -196,33 +243,122 @@ int cmd_generate(int argc, char** argv) {
   config.total_requests = flags.get_u64("--requests", 500'000);
   config.seed = flags.get_u64("--seed", config.seed);
   // Worker count for the pipeline; the emitted log is identical for any
-  // value (0 = one per hardware thread).
+  // value (0 = one per hardware thread) — including across an
+  // interrupt/resume pair that changes it.
   config.threads = flags.get_u64("--threads", 0);
   if (flags.has("--no-leak-filter")) config.apply_leak_filter = false;
   if (const auto profile = flags.get("--fault-profile"))
     config.fault_profile = *profile;  // make_profile rejects unknown names
 
-  std::ofstream out{std::string(*out_path)};
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n",
-                 std::string(*out_path).c_str());
-    return 1;
+  const util::CancelToken* cancel = nullptr;
+  if (const auto deadline = flags.get("--deadline")) {
+    g_cancel.set_deadline_after(std::stod(std::string(*deadline)));
+    cancel = &g_cancel;
   }
+  if (!checkpoint_dir.empty()) {
+    // Graceful stop: first ^C flushes the last complete batch and exits
+    // cleanly with a resume hint (a second ^C during the flush still
+    // kills the process the hard way — the checkpoint stays consistent,
+    // that is the whole point of the commit ordering).
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    cancel = &g_cancel;
+  }
+
   MetricsOutput metrics{flags};
-  out << proxy::log_csv_header() << '\n';
-  std::uint64_t written = 0;
   workload::SyriaScenario scenario{config};
   scenario.set_obs(metrics.context());
-  const std::uint64_t start = obs::monotonic_nanos();
-  scenario.run([&](const proxy::LogRecord& record) {
-    out << proxy::to_csv(record) << '\n';
+
+  // The output csv lands via temp + rename: readers never see a torn
+  // file, and an interrupted run leaves no half-written artifact behind.
+  // With a checkpoint the records are already serialized into the spool,
+  // so the run streams nothing per record and --out is the spool itself,
+  // promoted by rename once the run completes.
+  std::unique_ptr<util::AtomicFileWriter> out;
+  if (checkpoint_dir.empty()) {
+    out = std::make_unique<util::AtomicFileWriter>(out_path);
+    out->write(proxy::log_csv_header());
+    out->write("\n");
+  }
+  std::uint64_t written = 0;
+  const auto sink = [&](const proxy::LogRecord& record) {
+    if (out) {
+      out->write(proxy::to_csv(record));
+      out->write("\n");
+    }
     ++written;
-  });
+  };
+
+  const std::uint64_t start = obs::monotonic_nanos();
+  bool completed;
+  durable::RunManifest manifest;
+  if (checkpoint_dir.empty()) {
+    workload::RunControl control;
+    control.cancel = cancel;
+    completed = scenario.run(sink, control);
+  } else {
+    durable::CheckpointOptions checkpoint;
+    checkpoint.directory = checkpoint_dir;
+    checkpoint.resume = flags.has("--resume");
+    checkpoint.cancel = cancel;
+    checkpoint.commit_interval =
+        static_cast<std::size_t>(flags.get_u64("--checkpoint-interval", 8));
+    if (checkpoint.commit_interval == 0) {
+      std::fprintf(stderr,
+                   "syrwatchctl generate: --checkpoint-interval must be "
+                   ">= 1\n");
+      return usage();
+    }
+    if (const std::uint64_t abort_after =
+            flags.get_u64("--abort-after-batches", 0);
+        abort_after > 0) {
+      // Crash-injection hook for tools/ci-crash-resume.sh: die without
+      // unwinding once N batches are durable, like a kill -9 would.
+      checkpoint.after_commit = [abort_after,
+                                 count = std::uint64_t{0}](std::size_t) mutable {
+        if (++count >= abort_after) {
+          std::fprintf(stderr,
+                       "aborting after %llu committed batches (test hook)\n",
+                       static_cast<unsigned long long>(count));
+          std::_Exit(3);
+        }
+      };
+    }
+    durable::CheckpointedRun run =
+        durable::run_checkpointed(scenario, checkpoint, sink);
+    completed = run.completed;
+    manifest = std::move(run.manifest);
+  }
   metrics.add_phase("generate", seconds_since(start), written);
-  std::printf("wrote %s records to %s (seed %llu)\n",
-              util::with_commas(written).c_str(),
-              std::string(*out_path).c_str(),
-              static_cast<unsigned long long>(config.seed));
+
+  if (!completed) {
+    if (out) out->abandon();  // no torn csv — the checkpoint owns progress
+    if (checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "interrupted after %s records — no --checkpoint-dir, "
+                   "progress discarded\n",
+                   util::with_commas(written).c_str());
+      return 1;
+    }
+    std::printf(
+        "interrupted after %s records — checkpoint flushed to %s\n"
+        "resume with: syrwatchctl generate --out %s --checkpoint-dir %s "
+        "--resume\n",
+        util::with_commas(written).c_str(), checkpoint_dir.c_str(),
+        out_path.c_str(), checkpoint_dir.c_str());
+    return metrics.write("generate") ? 0 : 1;
+  }
+
+  util::ArtifactInfo info;
+  if (checkpoint_dir.empty()) {
+    info = out->commit();
+  } else {
+    info = durable::finalize_output(checkpoint_dir, manifest, out_path);
+  }
+  std::printf("wrote %s records to %s (seed %llu, crc32 %s)\n",
+              util::with_commas(written).c_str(), out_path.c_str(),
+              static_cast<unsigned long long>(config.seed),
+              util::to_hex32(info.crc32).c_str());
   if (!scenario.faults().empty()) {
     std::printf("fault profile %s: %s\n", config.fault_profile.c_str(),
                 scenario.faults().describe().c_str());
@@ -230,6 +366,55 @@ int cmd_generate(int argc, char** argv) {
                 util::with_commas(scenario.farm().failover_total()).c_str());
   }
   return metrics.write("generate") ? 0 : 1;
+}
+
+int cmd_verify(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.value_flag("--metrics");
+  if (!flags.parse(argc, argv)) return flag_error("verify", flags);
+  std::string path;
+  if (!single_input("verify", flags, path)) return usage();
+  MetricsOutput metrics{flags};
+
+  // Accept either the checkpoint directory or the manifest file itself.
+  namespace fs = std::filesystem;
+  fs::path manifest_path{path};
+  std::error_code ec;
+  if (fs::is_directory(manifest_path, ec))
+    manifest_path /= durable::RunManifest::kFileName;
+  const std::string base_dir = manifest_path.parent_path().string();
+
+  const auto manifest = durable::RunManifest::load(manifest_path.string());
+  std::printf("%s: %s run, seed %llu, %s/%s batches, fingerprint %s\n",
+              manifest_path.string().c_str(), manifest.state.c_str(),
+              static_cast<unsigned long long>(manifest.seed),
+              util::with_commas(manifest.next_batch).c_str(),
+              util::with_commas(manifest.total_batches).c_str(),
+              manifest.config_fingerprint.c_str());
+
+  const auto report =
+      durable::verify_artifacts(manifest, base_dir.empty() ? "." : base_dir);
+  util::TextTable table{{"Artifact", "Role", "Bytes", "CRC32", "Status"}};
+  std::size_t failures = 0;
+  for (const auto& check : report.checks) {
+    if (!check.ok()) ++failures;
+    table.add_row({check.expected.path, check.expected.role,
+                   util::with_commas(check.expected.bytes),
+                   util::to_hex32(check.expected.crc32),
+                   std::string(check.status())});
+  }
+  std::fputs(util::titled_block("Artifact integrity", table).c_str(), stdout);
+  obs::add(obs::counter(metrics.context(), "verify.artifacts_checked"),
+           report.checks.size());
+  obs::add(obs::counter(metrics.context(), "verify.failures"), failures);
+  const bool metrics_ok = metrics.write("verify");
+  if (failures > 0) {
+    std::fprintf(stderr, "%zu of %zu artifacts failed verification\n",
+                 failures, report.checks.size());
+    return 1;
+  }
+  std::printf("all %zu artifacts verified\n", report.checks.size());
+  return metrics_ok ? 0 : 1;
 }
 
 int cmd_inspect(int argc, char** argv) {
@@ -266,7 +451,8 @@ int cmd_inspect(int argc, char** argv) {
   }
 
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto coverage = analysis::request_coverage(dataset, bin);
+  const auto coverage =
+      analysis::request_coverage(dataset, bin, 25, &log.stats);
   metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
   util::TextTable days{[&] {
     std::vector<std::string> header{"Day"};
@@ -288,7 +474,12 @@ int cmd_inspect(int argc, char** argv) {
   std::fputs(util::titled_block("Per-proxy daily coverage", days).c_str(),
              stdout);
 
-  if (coverage.degraded()) {
+  if (coverage.truncated_tail) {
+    std::printf(
+        "WARNING: log ends mid-record — the trailing edge of the window is "
+        "an artifact boundary (torn write?), not a traffic boundary\n");
+  }
+  if (!coverage.gaps.empty()) {
     util::TextTable gaps{{"Proxy", "Gap start", "Gap end", "Farm reqs"}};
     for (const auto& gap : coverage.gaps) {
       gaps.add_row({std::string(policy::proxy_name(gap.proxy_index)),
@@ -587,6 +778,7 @@ int main(int argc, char** argv) {
   const std::string_view command{argv[1]};
   try {
     if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "verify") return cmd_verify(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "top") return cmd_top(argc, argv);
