@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace syrwatch::colfmt {
+
+/// LEB128 varints + zigzag — the integer encodings of the columnar pages.
+/// Small values (dictionary ids, one-second timestamp deltas, status
+/// codes, the all-zero user-hash column outside Duser days) take one byte;
+/// nothing in the log schema needs more than ten.
+
+inline void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Maps signed to unsigned so small negative deltas stay small: 0, -1, 1,
+/// -2, ... → 0, 1, 2, 3, ...
+inline std::uint64_t zigzag(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+inline std::int64_t unzigzag(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+inline void put_varint_signed(std::string& out, std::int64_t value) {
+  put_varint(out, zigzag(value));
+}
+
+/// Bounds-checked varint cursor over one page payload. Throws
+/// std::runtime_error on overrun or a varint longer than 10 bytes — both
+/// mean the page is damaged in a way its CRC did not cover (i.e. a logic
+/// error or an adversarial file), so failing loudly is correct.
+class VarintReader {
+ public:
+  VarintReader(std::string_view bytes, const char* context)
+      : cursor_(bytes.data()),
+        end_(bytes.data() + bytes.size()),
+        context_(context) {}
+
+  std::uint64_t get() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (cursor_ == end_)
+        throw std::runtime_error(std::string(context_) +
+                                 ": truncated varint in page");
+      const auto byte = static_cast<std::uint8_t>(*cursor_++);
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+    throw std::runtime_error(std::string(context_) + ": varint overflow");
+  }
+
+  std::int64_t get_signed() { return unzigzag(get()); }
+
+  bool exhausted() const noexcept { return cursor_ == end_; }
+
+  /// Call when the page should have been fully consumed.
+  void expect_end() const {
+    if (!exhausted())
+      throw std::runtime_error(std::string(context_) +
+                               ": trailing bytes in page");
+  }
+
+ private:
+  const char* cursor_;
+  const char* end_;
+  const char* context_;
+};
+
+}  // namespace syrwatch::colfmt

@@ -104,6 +104,12 @@ std::optional<Url> Url::parse(std::string_view text) {
   } else {
     url.path = std::string(rest.substr(0, query_start));
     url.query = std::string(rest.substr(query_start + 1));
+    // "host?a=b": the query follows the authority with no path. HTTP has
+    // no pathless request-target, so normalize to "/" — otherwise
+    // filter_text() and path-anchored rules would see "hosta=b"-style text
+    // with no separator. A bare "host" (no '?') keeps its empty path:
+    // that is the CONNECT/tcp shape the log renders as '-'.
+    if (url.path.empty()) url.path = "/";
   }
   return url;
 }

@@ -81,8 +81,10 @@ std::optional<LogRecord> from_csv_impl(const std::string& line,
   std::vector<std::string> f;
   try {
     f = util::csv_parse(line);
-  } catch (const std::invalid_argument&) {
-    diagnosis.error = ParseError::kUnbalancedQuote;
+  } catch (const util::CsvParseError& error) {
+    diagnosis.error = error.kind() == util::CsvError::kMalformedQuote
+                          ? ParseError::kMalformedQuote
+                          : ParseError::kUnbalancedQuote;
     return std::nullopt;
   }
   diagnosis.columns = f.size();
@@ -147,6 +149,13 @@ std::optional<LogRecord> from_csv_impl(const std::string& line,
   return record;
 }
 
+/// CRLF tolerance for the line-oriented readers: std::getline strips the
+/// '\n' but leaves the '\r', which would fail the header comparison and
+/// misclassify "\r\n" blank lines. Field-level CRs are csv_parse's job.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 /// "wrong column count (got 4, expected 17)"-style reason for messages.
 std::string describe_failure(const ParseDiagnosis& diagnosis) {
   if (diagnosis.error == ParseError::kColumnCount) {
@@ -166,6 +175,7 @@ std::string_view to_string(ParseError error) noexcept {
     case ParseError::kBadTimestamp: return "bad timestamp";
     case ParseError::kBadAddress: return "bad proxy address";
     case ParseError::kBadField: return "bad field";
+    case ParseError::kMalformedQuote: return "malformed quote";
   }
   return "?";
 }
@@ -240,12 +250,16 @@ util::ArtifactInfo write_log_file(const std::string& path,
 
 std::vector<LogRecord> read_log(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != log_csv_header())
+  if (!std::getline(in, line))
+    throw std::runtime_error("read_log: missing or unexpected header");
+  strip_cr(line);
+  if (line != log_csv_header())
     throw std::runtime_error("read_log: missing or unexpected header");
   std::vector<LogRecord> records;
   std::uint64_t line_number = 1;  // header was line 1
   while (std::getline(in, line)) {
     ++line_number;
+    strip_cr(line);
     if (line.empty()) continue;
     ParseDiagnosis diagnosis;
     auto record = from_csv(line, &diagnosis);
@@ -295,6 +309,7 @@ LenientLog read_log_lenient(std::istream& in) {
   std::uint64_t last_data_error_line = 0;
   while (std::getline(in, line)) {
     ++stats.lines;
+    strip_cr(line);
     // getline hitting EOF before the delimiter means this (final) line was
     // never newline-terminated — the signature of a torn write.
     final_line_unterminated = in.eof() && !line.empty();

@@ -31,9 +31,10 @@ enum class ParseError : std::uint8_t {
   kBadTimestamp,     // date/time malformed or out of civil range
   kBadAddress,       // s-ip not one of the seven proxy addresses
   kBadField,         // any other field failed validation
+  kMalformedQuote,   // CSV-level damage: broken quoting ("ab"x, a"b)
 };
 
-inline constexpr std::size_t kParseErrorCount = 6;
+inline constexpr std::size_t kParseErrorCount = 7;
 
 std::string_view to_string(ParseError error) noexcept;
 

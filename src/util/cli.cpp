@@ -34,9 +34,16 @@ bool CliFlags::parse(int argc, char** argv, int first) {
       positional_.emplace_back(token);
       continue;
     }
-    Flag* flag = find(token);
+    // Both standard spellings work: `--flag value` and `--flag=value`.
+    // Splitting on the first '=' keeps values containing '=' intact
+    // (--keyword a=b). The flag is looked up by its bare name, so the two
+    // spellings share one `seen` slot and `--x v --x=w` is a duplicate.
+    const auto equals = token.find('=');
+    const std::string_view name =
+        equals == std::string_view::npos ? token : token.substr(0, equals);
+    Flag* flag = find(name);
     if (flag == nullptr) {
-      error_ = "unknown flag " + std::string(token);
+      error_ = "unknown flag " + std::string(name);
       return false;
     }
     if (flag->seen) {
@@ -44,7 +51,16 @@ bool CliFlags::parse(int argc, char** argv, int first) {
       return false;
     }
     flag->seen = true;
-    if (flag->takes_value) {
+    if (!flag->takes_value) {
+      if (equals != std::string_view::npos) {
+        error_ = "flag " + flag->name + " does not take a value";
+        return false;
+      }
+      continue;
+    }
+    if (equals != std::string_view::npos) {
+      flag->value = std::string(token.substr(equals + 1));
+    } else {
       if (i + 1 >= argc) {
         error_ = "flag " + flag->name + " expects a value";
         return false;

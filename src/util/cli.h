@@ -14,9 +14,12 @@ namespace syrwatch::util {
 /// flag given twice — fails with a message naming the offender instead of
 /// being silently ignored.
 ///
-/// Grammar: tokens starting with "--" are flags; a value flag consumes the
-/// following token verbatim (so negative numbers and paths work); every
-/// other token is positional, in order.
+/// Grammar: tokens starting with "--" are flags; a value flag either
+/// consumes the following token verbatim (so negative numbers and paths
+/// work) or takes everything after the first '=' in its own token
+/// (`--out=FILE`, values containing '=' stay intact). Both spellings are
+/// the same flag — `--x v --x=w` is a duplicate. Every other token is
+/// positional, in order.
 class CliFlags {
  public:
   /// Declares a flag that takes one value, e.g. `--out FILE`.

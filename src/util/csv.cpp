@@ -1,7 +1,5 @@
 #include "util/csv.h"
 
-#include <stdexcept>
-
 namespace syrwatch::util {
 
 std::string csv_escape(std::string_view field) {
@@ -27,9 +25,17 @@ std::string csv_join(const std::vector<std::string>& fields) {
 }
 
 std::vector<std::string> csv_parse(std::string_view line) {
+  // CRLF tail: std::getline strips the '\n' but leaves the '\r'. A carriage
+  // return that is genuinely field data always arrives quoted (csv_escape
+  // quotes it, so the line would end with '"'), which makes a bare trailing
+  // '\r' unambiguously a line-terminator artifact — drop it.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  // Set once a quoted field closes; only ',' or end-of-line may follow.
+  bool quote_closed = false;
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
     if (in_quotes) {
@@ -39,22 +45,30 @@ std::vector<std::string> csv_parse(std::string_view line) {
           ++i;
         } else {
           in_quotes = false;
+          quote_closed = true;
         }
       } else {
         current.push_back(c);
       }
-    } else if (c == '"') {
-      if (!current.empty())
-        throw std::invalid_argument("csv_parse: quote inside unquoted field");
-      in_quotes = true;
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
+      quote_closed = false;
+    } else if (quote_closed) {
+      throw CsvParseError(CsvError::kMalformedQuote,
+                          "csv_parse: garbage after closing quote");
+    } else if (c == '"') {
+      if (!current.empty())
+        throw CsvParseError(CsvError::kMalformedQuote,
+                            "csv_parse: quote inside unquoted field");
+      in_quotes = true;
     } else {
       current.push_back(c);
     }
   }
-  if (in_quotes) throw std::invalid_argument("csv_parse: unbalanced quote");
+  if (in_quotes)
+    throw CsvParseError(CsvError::kUnbalancedQuote,
+                        "csv_parse: unbalanced quote");
   fields.push_back(std::move(current));
   return fields;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,9 +18,38 @@ std::string csv_escape(std::string_view field);
 /// Joins fields into one CSV line (no trailing newline).
 std::string csv_join(const std::vector<std::string>& fields);
 
+/// Why csv_parse rejected a line.
+enum class CsvError : std::uint8_t {
+  /// A quoted field was never closed ("truncated) — the signature of a
+  /// line cut mid-field.
+  kUnbalancedQuote,
+  /// Structurally broken quoting on an otherwise complete line: bytes
+  /// after a closing quote ("ab"x) or a bare quote inside an unquoted
+  /// field (a"b). RFC 4180 forbids both; silently gluing the pieces
+  /// together ("ab"x → abx) would let damaged fields masquerade as clean
+  /// data.
+  kMalformedQuote,
+};
+
+/// csv_parse's failure exception: still an std::invalid_argument (existing
+/// catch sites keep working) but carrying the CsvError so callers can tally
+/// damage by kind (proxy::read_log_lenient does).
+class CsvParseError : public std::invalid_argument {
+ public:
+  CsvParseError(CsvError kind, const std::string& what)
+      : std::invalid_argument(what), kind_(kind) {}
+  CsvError kind() const noexcept { return kind_; }
+
+ private:
+  CsvError kind_;
+};
+
 /// Parses one CSV line into fields. Handles quoted fields with embedded
-/// commas and doubled quotes. Throws std::invalid_argument on an unbalanced
-/// quote.
+/// commas and doubled quotes, and strips one trailing '\r' (externally
+/// produced logs are routinely CRLF-terminated and std::getline only
+/// removes the '\n'). Throws CsvParseError on an unbalanced quote or on
+/// malformed quoting (trailing garbage after a closing quote, a bare quote
+/// inside an unquoted field).
 std::vector<std::string> csv_parse(std::string_view line);
 
 }  // namespace syrwatch::util

@@ -92,6 +92,42 @@ TEST(CliFlags, RejectsDuplicateFlag) {
   EXPECT_NE(cli.error().find("--seed"), std::string::npos);
 }
 
+TEST(CliFlags, AcceptsEqualsSpelling) {
+  util::CliFlags cli;
+  cli.value_flag("--out");
+  cli.value_flag("--keyword");
+  cli.value_flag("--requests");
+  std::vector<std::string> tokens{"syrwatchctl", "generate",
+                                  "--out=sg.log", "--keyword=a=b",
+                                  "--requests", "5000"};
+  auto argv = argv_of(tokens);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()))
+      << cli.error();
+  EXPECT_EQ(cli.get("--out"), "sg.log");
+  // Only the first '=' splits: values containing '=' stay intact.
+  EXPECT_EQ(cli.get("--keyword"), "a=b");
+  EXPECT_EQ(cli.get_u64("--requests", 0), 5000u);
+}
+
+TEST(CliFlags, EqualsAndSpacedSpellingAreTheSameFlag) {
+  util::CliFlags cli;
+  cli.value_flag("--out");
+  std::vector<std::string> tokens{"syrwatchctl", "generate", "--out", "a",
+                                  "--out=b"};
+  auto argv = argv_of(tokens);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.error(), "duplicate flag --out");
+}
+
+TEST(CliFlags, BoolFlagRejectsValue) {
+  util::CliFlags cli;
+  cli.bool_flag("--resume");
+  std::vector<std::string> tokens{"syrwatchctl", "generate", "--resume=yes"};
+  auto argv = argv_of(tokens);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.error(), "flag --resume does not take a value");
+}
+
 TEST(CliFlags, ValueFlagConsumesNegativeNumbersVerbatim) {
   util::CliFlags cli;
   cli.value_flag("--offset");

@@ -250,6 +250,37 @@ TEST(LogIo, LenientReaderWithoutHeaderStillParses) {
   EXPECT_TRUE(log.stats.consistent());
 }
 
+TEST(LogIo, LenientReaderCountsMalformedQuoteSkips) {
+  // "ab"x-style damage: a closing quote followed by garbage. The line must
+  // be skipped (not glued back together) and tallied under its own reason.
+  std::stringstream stream;
+  stream << log_csv_header() << "\n";
+  const std::string good = to_csv(sample_record());
+  stream << good << "\n";
+  stream << "\"2011-08-03\"x" << good.substr(10) << "\n";
+  stream << good << "\n";
+  const auto log = read_log_lenient(stream);
+  EXPECT_EQ(log.records.size(), 2u);
+  const auto reason = static_cast<std::size_t>(ParseError::kMalformedQuote);
+  EXPECT_EQ(log.stats.skipped[reason], 1u);
+  EXPECT_EQ(log.stats.first_error_line[reason], 3u);
+  EXPECT_TRUE(log.stats.consistent());
+  EXPECT_NE(log.stats.summary().find("malformed quote"), std::string::npos);
+}
+
+TEST(LogIo, CrlfTerminatedLogParses) {
+  // Externally produced logs are routinely CRLF-terminated; the trailing
+  // '\r' must not corrupt the last field (r-ip).
+  const auto record = sample_record();
+  std::stringstream stream;
+  stream << log_csv_header() << "\r\n" << to_csv(record) << "\r\n";
+  const auto log = read_log_lenient(stream);
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.records.front().time, record.time);
+  EXPECT_EQ(log.records.front().url, record.url);
+  EXPECT_EQ(log.stats.skipped_total(), 0u);
+}
+
 // --- truncated-tail detection (torn final record = partial artifact) ------
 
 TEST(LogIo, CleanLogHasNoTruncatedTail) {

@@ -171,6 +171,30 @@ TEST(Url, FilterTextConcatenation) {
   EXPECT_EQ(url.filter_text(), "google.com/tbproxy/af/query");
 }
 
+TEST(Url, QueryWithoutPathGetsRootPath) {
+  // "host?a=b": HTTP has no pathless request-target, so the path
+  // normalizes to "/" — path-anchored rules and filter_text() need the
+  // separator.
+  const auto url = Url::parse("http://example.com?a=b");
+  ASSERT_TRUE(url);
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->query, "a=b");
+  EXPECT_EQ(url->filter_text(), "example.com/?a=b");
+
+  const auto with_port = Url::parse("example.com:81?a=b");
+  ASSERT_TRUE(with_port);
+  EXPECT_EQ(with_port->port, 81);
+  EXPECT_EQ(with_port->path, "/");
+  EXPECT_EQ(with_port->query, "a=b");
+
+  // A bare host keeps its empty path (the CONNECT/tcp shape the log
+  // renders as '-').
+  const auto bare = Url::parse("https://example.com");
+  ASSERT_TRUE(bare);
+  EXPECT_EQ(bare->path, "");
+  EXPECT_EQ(bare->query, "");
+}
+
 TEST(Url, ParseRejectsBadInput) {
   EXPECT_FALSE(Url::parse(""));
   EXPECT_FALSE(Url::parse("http:///path"));

@@ -40,6 +40,9 @@ TEST_P(UrlFuzz, ParseRenderRoundTrip) {
       url.path = "/" + workload::token(rng, int(rng.uniform(20)));
     if (rng.bernoulli(0.5))
       url.query = "a=" + workload::token(rng, int(rng.uniform(15)));
+    // Parse normalizes a query-without-path to "/" (HTTP has no pathless
+    // request-target), so only normalized values round-trip.
+    if (url.path.empty() && !url.query.empty()) url.path = "/";
     const auto reparsed = net::Url::parse(url.to_string());
     ASSERT_TRUE(reparsed) << url.to_string();
     EXPECT_EQ(*reparsed, url) << url.to_string();

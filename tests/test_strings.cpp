@@ -4,11 +4,55 @@
 
 #include <gtest/gtest.h>
 
+#include "util/csv.h"
 #include "util/strings.h"
 
 namespace {
 
 using namespace syrwatch::util;
+
+// --- csv_parse correctness on externally produced lines --------------------
+
+TEST(CsvParse, StripsCrlfTailFromLastField) {
+  // std::getline leaves the '\r' of a CRLF-terminated line in place; the
+  // parser must not hand it to the last field.
+  EXPECT_EQ(csv_parse("a,b,c\r"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv_parse("a\r"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(csv_parse("\r"), (std::vector<std::string>{""}));
+  // A quoted carriage return is field data, not a terminator.
+  EXPECT_EQ(csv_parse("a,\"b\r\""), (std::vector<std::string>{"a", "b\r"}));
+  // Only one terminator CR is stripped; an inner bare CR stays.
+  EXPECT_EQ(csv_parse("a\rb,c\r"), (std::vector<std::string>{"a\rb", "c"}));
+}
+
+TEST(CsvParse, RejectsGarbageAfterClosingQuote) {
+  EXPECT_THROW(csv_parse("\"ab\"x"), CsvParseError);
+  EXPECT_THROW(csv_parse("a,\"b\"c,d"), CsvParseError);
+  try {
+    csv_parse("\"ab\"x");
+    FAIL() << "expected CsvParseError";
+  } catch (const CsvParseError& error) {
+    EXPECT_EQ(error.kind(), CsvError::kMalformedQuote);
+  }
+  // The well-formed spellings around it keep parsing.
+  EXPECT_EQ(csv_parse("\"ab\",x"), (std::vector<std::string>{"ab", "x"}));
+  EXPECT_EQ(csv_parse("\"a\"\"b\""), (std::vector<std::string>{"a\"b"}));
+}
+
+TEST(CsvParse, ClassifiesQuoteDamage) {
+  try {
+    csv_parse("\"never closed");
+    FAIL() << "expected CsvParseError";
+  } catch (const CsvParseError& error) {
+    EXPECT_EQ(error.kind(), CsvError::kUnbalancedQuote);
+  }
+  try {
+    csv_parse("a\"b");
+    FAIL() << "expected CsvParseError";
+  } catch (const CsvParseError& error) {
+    EXPECT_EQ(error.kind(), CsvError::kMalformedQuote);
+  }
+}
 
 TEST(ToLower, AsciiOnly) {
   EXPECT_EQ(to_lower("FaceBook.COM"), "facebook.com");

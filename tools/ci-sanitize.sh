@@ -11,9 +11,11 @@
 #   tools/ci-sanitize.sh [ctest -R filter]
 #
 # With no argument the full ctest suite runs in each configuration. Pass a
-# regex to narrow it, e.g. the fault-injection and log-parsing tests only:
+# regex to narrow it, e.g. the fault-injection, log-parsing, and columnar
+# container tests only (colfmt exercises mmap reads, checksum failure
+# paths, and the parallel block scanners under both sanitizers):
 #
-#   tools/ci-sanitize.sh 'fault|log_io|parallel'
+#   tools/ci-sanitize.sh 'fault|log_io|colfmt|parallel'
 #
 # The observability layer is concurrency-sensitive by construction (relaxed
 # atomics on every hot path) — the TSan pass over 'obs|parallel|scenario'

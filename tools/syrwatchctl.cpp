@@ -1,11 +1,14 @@
 // syrwatchctl — command-line front end for the syrwatch library.
 //
 //   syrwatchctl generate --out leak.csv [--requests N] [--seed S]
-//                        [--no-leak-filter] [--fault-profile NAME]
+//                        [--format csv|col|both] [--no-leak-filter]
+//                        [--fault-profile NAME]
 //                        [--checkpoint-dir DIR [--resume]]
 //                        [--checkpoint-interval K] [--deadline SECONDS]
 //       Simulate the deployment and write the log in Blue Coat csv form
-//       (atomically: temp + rename, never a torn csv). --fault-profile
+//       (atomically: temp + rename, never a torn csv). --format=col writes
+//       the checksummed columnar container (SYRCOL1) instead; both writes
+//       the csv at --out plus the container next to it (.col). --fault-profile
 //       injects proxy outages/brownouts/flapping (see fault::make_profile
 //       for the named profiles). With --checkpoint-dir the run appends
 //       each batch to a crash-safe spool and commits a durable manifest
@@ -14,21 +17,32 @@
 //       and --resume continues the run to a log bit-identical to an
 //       uninterrupted one (any --threads value).
 //
-//   syrwatchctl verify DIR|MANIFEST
+//   syrwatchctl verify DIR|MANIFEST|CONTAINER
 //       Integrity-check every artifact a run manifest lists (size +
 //       CRC32) — detects a single flipped byte in the committed spool,
-//       farm state blob, or recorded output file.
+//       farm state blob, or recorded output file. Given a columnar
+//       container instead, re-checks its footer, index, and every page
+//       checksum.
 //
-//   syrwatchctl inspect <log.csv> [--bin-hours H]
+//   syrwatchctl convert IN OUT
+//       Convert between the csv log and the columnar container (the
+//       direction is inferred from IN's bytes). csv -> col -> csv
+//       round-trips byte-identically.
+//
+//   syrwatchctl inspect <log.csv|log.col> [--bin-hours H]
 //       Damage-tolerant triage of an on-disk log: parse statistics
-//       (lines recovered/skipped by reason) plus the per-proxy/per-day
-//       coverage table and gap windows.
+//       (lines recovered/skipped by reason — or blocks/rows recovered for
+//       a columnar container) plus the per-proxy/per-day coverage table
+//       and gap windows.
 //
 //   syrwatchctl stats <log.csv>
 //       Table 3-style traffic breakdown.
 //
-//   syrwatchctl top <log.csv> [--class censored|allowed|error] [--k N]
-//       Top domains per traffic class (Table 4/5 style).
+//   syrwatchctl top <log.csv|log.col> [--class censored|allowed|error]
+//                   [--k N] [--threads T]
+//       Top domains per traffic class (Table 4/5 style). On a columnar
+//       container the ranking runs as a parallel mmap block scan
+//       (--threads workers, identical output for any value).
 //
 //   syrwatchctl discover <log.csv> [--min-count N]
 //       Run the §5.4 iterative censored-string discovery.
@@ -53,7 +67,9 @@
 // JSON document (see src/obs/export.h for the schema).
 //
 // All analysis subcommands accept any csv produced by `generate` (or by
-// proxy::write_log), so pipelines can be scripted without recompiling.
+// proxy::write_log) as well as any columnar container produced by
+// `generate --format=col` or `convert` — the format is sniffed from the
+// file's first bytes, so pipelines can be scripted without recompiling.
 
 #include <csignal>
 #include <cstdio>
@@ -65,6 +81,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/columnar.h"
 #include "analysis/coverage.h"
 #include "analysis/redirects.h"
 #include "analysis/string_discovery.h"
@@ -72,6 +89,7 @@
 #include "analysis/traffic_stats.h"
 #include "analysis/user_stats.h"
 #include "analysis/weather.h"
+#include "colfmt/container.h"
 #include "core/report.h"
 #include "core/study.h"
 #include "durable/checkpoint.h"
@@ -101,12 +119,15 @@ int usage() {
       stderr,
       "usage:\n"
       "  syrwatchctl generate --out FILE [--requests N] [--seed S]"
-      " [--threads T] [--no-leak-filter] [--fault-profile NAME]"
+      " [--threads T] [--format csv|col|both] [--no-leak-filter]"
+      " [--fault-profile NAME]"
       " [--checkpoint-dir DIR [--resume]] [--deadline SECONDS]\n"
-      "  syrwatchctl verify DIR|MANIFEST\n"
-      "  syrwatchctl inspect FILE [--bin-hours H]\n"
+      "  syrwatchctl verify DIR|MANIFEST|CONTAINER\n"
+      "  syrwatchctl convert IN OUT\n"
+      "  syrwatchctl inspect FILE [--bin-hours H] [--threads T]\n"
       "  syrwatchctl stats FILE\n"
-      "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]\n"
+      "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]"
+      " [--threads T]\n"
       "  syrwatchctl discover FILE [--min-count N]\n"
       "  syrwatchctl users FILE\n"
       "  syrwatchctl redirects FILE\n"
@@ -173,12 +194,25 @@ class MetricsOutput {
 };
 
 analysis::Dataset load(const std::string& path) {
+  // A columnar container materializes to the same Dataset its csv twin
+  // would, so every row analyzer accepts either format transparently.
+  if (colfmt::file_looks_like_container(path))
+    return analysis::to_dataset(colfmt::Reader::open(path));
   std::ifstream in{path};
   if (!in) throw std::runtime_error("cannot open " + path);
   analysis::Dataset dataset;
   for (const auto& record : proxy::read_log(in)) dataset.add(record);
   dataset.finalize();
   return dataset;
+}
+
+/// --out sibling for the container when --format=both: leak.csv ->
+/// leak.col, anything else gets .col appended.
+std::string sibling_col_path(const std::string& out_path) {
+  if (out_path.size() > 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".csv") == 0)
+    return out_path.substr(0, out_path.size() - 4) + ".col";
+  return out_path + ".col";
 }
 
 /// load() plus the shared "load" phase record and row counter.
@@ -222,6 +256,7 @@ int cmd_generate(int argc, char** argv) {
   flags.value_flag("--checkpoint-interval");
   flags.value_flag("--deadline");
   flags.value_flag("--abort-after-batches");
+  flags.value_flag("--format");
   flags.bool_flag("--no-leak-filter");
   flags.bool_flag("--resume");
   if (!flags.parse(argc, argv)) return flag_error("generate", flags);
@@ -231,6 +266,18 @@ int cmd_generate(int argc, char** argv) {
     return usage();
   }
   const std::string out_path{*out_flag};
+  const std::string format{flags.get("--format").value_or("csv")};
+  if (format != "csv" && format != "col" && format != "both") {
+    std::fprintf(stderr,
+                 "syrwatchctl generate: --format must be csv, col, or both "
+                 "(got \"%s\")\n",
+                 format.c_str());
+    return usage();
+  }
+  const bool want_csv = format != "col";
+  const bool want_col = format != "csv";
+  const std::string col_path =
+      format == "col" ? out_path : sibling_col_path(out_path);
   const std::string checkpoint_dir{
       flags.get("--checkpoint-dir").value_or("")};
   if (flags.has("--resume") && checkpoint_dir.empty()) {
@@ -275,17 +322,23 @@ int cmd_generate(int argc, char** argv) {
   // so the run streams nothing per record and --out is the spool itself,
   // promoted by rename once the run completes.
   std::unique_ptr<util::AtomicFileWriter> out;
-  if (checkpoint_dir.empty()) {
+  if (want_csv && checkpoint_dir.empty()) {
     out = std::make_unique<util::AtomicFileWriter>(out_path);
     out->write(proxy::log_csv_header());
     out->write("\n");
   }
+  // The columnar container is fed straight from the sink — under a
+  // checkpoint the sink sees replayed + fresh records in deterministic
+  // order, so a resumed run still produces a complete container.
+  std::unique_ptr<colfmt::Writer> col;
+  if (want_col) col = std::make_unique<colfmt::Writer>(col_path);
   std::uint64_t written = 0;
   const auto sink = [&](const proxy::LogRecord& record) {
     if (out) {
       out->write(proxy::to_csv(record));
       out->write("\n");
     }
+    if (col) col->add(record);
     ++written;
   };
 
@@ -333,6 +386,7 @@ int cmd_generate(int argc, char** argv) {
 
   if (!completed) {
     if (out) out->abandon();  // no torn csv — the checkpoint owns progress
+    if (col) col->abandon();  // ditto: a resumed run rewrites the container
     if (checkpoint_dir.empty()) {
       std::fprintf(stderr,
                    "interrupted after %s records — no --checkpoint-dir, "
@@ -349,16 +403,31 @@ int cmd_generate(int argc, char** argv) {
     return metrics.write("generate") ? 0 : 1;
   }
 
-  util::ArtifactInfo info;
+  util::ArtifactInfo info{};
+  util::ArtifactInfo col_info{};
+  if (col) col_info = col->finish();
   if (checkpoint_dir.empty()) {
-    info = out->commit();
-  } else {
+    if (out) info = out->commit();
+  } else if (want_csv) {
     info = durable::finalize_output(checkpoint_dir, manifest, out_path);
   }
+  if (!checkpoint_dir.empty() && want_col) {
+    // Record the container in the manifest so `syrwatchctl verify` covers
+    // it like any other output artifact.
+    manifest.upsert_artifact(
+        {col_path, "output", col_info.bytes, col_info.crc32, -1});
+    manifest.save(checkpoint_dir + "/" +
+                  std::string(durable::RunManifest::kFileName));
+  }
+  if (format == "col") info = col_info;
   std::printf("wrote %s records to %s (seed %llu, crc32 %s)\n",
               util::with_commas(written).c_str(), out_path.c_str(),
               static_cast<unsigned long long>(config.seed),
               util::to_hex32(info.crc32).c_str());
+  if (format == "both")
+    std::printf("wrote columnar container %s (%s bytes, crc32 %s)\n",
+                col_path.c_str(), util::with_commas(col_info.bytes).c_str(),
+                util::to_hex32(col_info.crc32).c_str());
   if (!scenario.faults().empty()) {
     std::printf("fault profile %s: %s\n", config.fault_profile.c_str(),
                 scenario.faults().describe().c_str());
@@ -375,6 +444,31 @@ int cmd_verify(int argc, char** argv) {
   std::string path;
   if (!single_input("verify", flags, path)) return usage();
   MetricsOutput metrics{flags};
+
+  // A columnar container verifies against its own framing: footer, index
+  // CRC, and every page checksum in every block.
+  if (colfmt::file_looks_like_container(path)) {
+    const std::uint64_t start = obs::monotonic_nanos();
+    const auto report = colfmt::verify_file(path);
+    metrics.add_phase("verify", seconds_since(start), report.rows);
+    obs::add(obs::counter(metrics.context(), "verify.pages_checked"),
+             report.pages_checked);
+    obs::add(obs::counter(metrics.context(), "verify.failures"),
+             report.bad_pages);
+    std::printf("%s: columnar container, %s blocks, %s rows, %s pages\n",
+                path.c_str(), util::with_commas(report.blocks).c_str(),
+                util::with_commas(report.rows).c_str(),
+                util::with_commas(report.pages_checked).c_str());
+    const bool metrics_ok = metrics.write("verify");
+    if (!report.ok) {
+      std::fprintf(stderr, "container verification FAILED: %s\n",
+                   report.first_error.c_str());
+      return 1;
+    }
+    std::printf("container verified: footer, index, and all page "
+                "checksums intact\n");
+    return metrics_ok ? 0 : 1;
+  }
 
   // Accept either the checkpoint directory or the manifest file itself.
   namespace fs = std::filesystem;
@@ -417,43 +511,167 @@ int cmd_verify(int argc, char** argv) {
   return metrics_ok ? 0 : 1;
 }
 
+int cmd_convert(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.value_flag("--metrics");
+  flags.value_flag("--block-rows");
+  if (!flags.parse(argc, argv)) return flag_error("convert", flags);
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr, "syrwatchctl convert: expected IN OUT\n");
+    return usage();
+  }
+  const std::string in_path = flags.positional()[0];
+  const std::string out_path = flags.positional()[1];
+
+  MetricsOutput metrics{flags};
+  const std::uint64_t start = obs::monotonic_nanos();
+  std::uint64_t rows = 0;
+  util::ArtifactInfo info;
+  const char* direction;
+  if (colfmt::file_looks_like_container(in_path)) {
+    direction = "col -> csv";
+    const auto reader = colfmt::Reader::open(in_path);
+    util::AtomicFileWriter out{out_path};
+    out.write(proxy::log_csv_header());
+    out.write("\n");
+    for (std::size_t b = 0; b < reader.block_count(); ++b) {
+      const auto block = reader.decode(b);
+      for (std::size_t r = 0; r < block.rows; ++r) {
+        out.write(proxy::to_csv(reader.record(block, r)));
+        out.write("\n");
+        ++rows;
+      }
+    }
+    info = out.commit();
+  } else {
+    direction = "csv -> col";
+    std::ifstream in{in_path};
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+      std::fprintf(stderr, "syrwatchctl convert: %s is empty\n",
+                   in_path.c_str());
+      return 1;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line != proxy::log_csv_header()) {
+      std::fprintf(stderr, "syrwatchctl convert: %s: not a syrwatch log "
+                           "(bad csv header)\n",
+                   in_path.c_str());
+      return 1;
+    }
+    colfmt::WriterOptions options;
+    options.block_rows = static_cast<std::size_t>(
+        flags.get_u64("--block-rows", options.block_rows));
+    colfmt::Writer writer{out_path, options};
+    std::uint64_t line_no = 1;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      proxy::ParseDiagnosis diagnosis;
+      const auto record = proxy::from_csv(line, &diagnosis);
+      if (!record) {
+        writer.abandon();
+        std::fprintf(stderr,
+                     "syrwatchctl convert: %s line %llu: %s — conversion "
+                     "must be lossless, refusing to drop the row\n",
+                     in_path.c_str(),
+                     static_cast<unsigned long long>(line_no),
+                     std::string(proxy::to_string(diagnosis.error)).c_str());
+        return 1;
+      }
+      writer.add(*record);
+      ++rows;
+    }
+    info = writer.finish();
+  }
+  metrics.add_phase("convert", seconds_since(start), rows);
+  obs::add(obs::counter(metrics.context(), "convert.rows"), rows);
+  std::printf("converted %s records (%s) into %s (%s bytes, crc32 %s)\n",
+              util::with_commas(rows).c_str(), direction, out_path.c_str(),
+              util::with_commas(info.bytes).c_str(),
+              util::to_hex32(info.crc32).c_str());
+  return metrics.write("convert") ? 0 : 1;
+}
+
 int cmd_inspect(int argc, char** argv) {
   util::CliFlags flags;
   flags.value_flag("--bin-hours");
+  flags.value_flag("--threads");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("inspect", flags);
   std::string path;
   if (!single_input("inspect", flags, path)) return usage();
   const std::int64_t bin = 3600 * flags.get_i64("--bin-hours", 1);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  std::ifstream in{path};
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
-  const std::uint64_t load_start = obs::monotonic_nanos();
-  const auto log = proxy::read_log_lenient(in);
-  metrics.add_phase("load", seconds_since(load_start), log.records.size());
-  obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
-           log.records.size());
-  obs::add(obs::counter(metrics.context(), "inspect.lines_skipped"),
-           log.stats.skipped_total());
-  std::fputs(log.stats.summary().c_str(), stdout);
+  analysis::CoverageReport coverage;
+  std::uint64_t record_count = 0;
+  if (colfmt::file_looks_like_container(path)) {
+    const std::uint64_t load_start = obs::monotonic_nanos();
+    colfmt::RecoveryStats rstats;
+    analysis::ColumnarLog log{colfmt::Reader::open_lenient(path, &rstats),
+                              threads};
+    record_count = log.rows();
+    metrics.add_phase("load", seconds_since(load_start), record_count);
+    obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
+             record_count);
+    std::printf("columnar container: %s blocks, %s rows, %s dictionary "
+                "strings\n",
+                util::with_commas(log.block_count()).c_str(),
+                util::with_commas(log.rows()).c_str(),
+                util::with_commas(log.reader().dict_size()).c_str());
+    if (rstats.truncated_tail) {
+      std::printf("recovered %s of %s bytes (%s intact blocks); damage: "
+                  "%s\n",
+                  util::with_commas(rstats.bytes_recovered).c_str(),
+                  util::with_commas(rstats.file_bytes).c_str(),
+                  util::with_commas(rstats.blocks_recovered).c_str(),
+                  rstats.damage.c_str());
+    }
+    if (record_count == 0) {
+      std::printf("no usable records — nothing to inspect\n");
+      if (!metrics.write("inspect")) return 1;
+      return rstats.truncated_tail ? 1 : 0;
+    }
+    const std::uint64_t analyze_start = obs::monotonic_nanos();
+    coverage = analysis::request_coverage(log, bin, 25, &rstats, threads);
+    metrics.add_phase("analyze", seconds_since(analyze_start), record_count);
+  } else {
+    std::ifstream in{path};
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    const std::uint64_t load_start = obs::monotonic_nanos();
+    const auto log = proxy::read_log_lenient(in);
+    metrics.add_phase("load", seconds_since(load_start), log.records.size());
+    obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
+             log.records.size());
+    obs::add(obs::counter(metrics.context(), "inspect.lines_skipped"),
+             log.stats.skipped_total());
+    std::fputs(log.stats.summary().c_str(), stdout);
 
-  analysis::Dataset dataset;
-  for (const auto& record : log.records) dataset.add(record);
-  dataset.finalize();
-  if (dataset.size() == 0) {
-    std::printf("no usable records — nothing to inspect\n");
-    if (!metrics.write("inspect")) return 1;
-    return log.stats.skipped_total() > 0 ? 1 : 0;
-  }
+    analysis::Dataset dataset;
+    for (const auto& record : log.records) dataset.add(record);
+    dataset.finalize();
+    record_count = dataset.size();
+    if (record_count == 0) {
+      std::printf("no usable records — nothing to inspect\n");
+      if (!metrics.write("inspect")) return 1;
+      return log.stats.skipped_total() > 0 ? 1 : 0;
+    }
 
-  const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto coverage =
-      analysis::request_coverage(dataset, bin, 25, &log.stats);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+    const std::uint64_t analyze_start = obs::monotonic_nanos();
+    coverage = analysis::request_coverage(dataset, bin, 25, &log.stats);
+    metrics.add_phase("analyze", seconds_since(analyze_start), record_count);
+  }
   util::TextTable days{[&] {
     std::vector<std::string> header{"Day"};
     for (std::size_t p = 0; p < policy::kProxyCount; ++p)
@@ -541,10 +759,13 @@ int cmd_top(int argc, char** argv) {
   util::CliFlags flags;
   flags.value_flag("--class");
   flags.value_flag("--k");
+  flags.value_flag("--threads");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("top", flags);
   std::string path;
   if (!single_input("top", flags, path)) return usage();
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   analysis::TopDomainsOptions options{proxy::TrafficClass::kCensored};
   if (const auto klass = flags.get("--class")) {
@@ -563,10 +784,21 @@ int cmd_top(int argc, char** argv) {
   options.k = flags.get_u64("--k", 10);
 
   MetricsOutput metrics{flags};
-  const auto dataset = load_phase(path, metrics);
-  const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto top = analysis::top_domains(dataset, options);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+  std::vector<analysis::DomainCount> top;
+  if (colfmt::file_looks_like_container(path)) {
+    const std::uint64_t load_start = obs::monotonic_nanos();
+    analysis::ColumnarLog log{colfmt::Reader::open(path), threads};
+    metrics.add_phase("load", seconds_since(load_start), log.rows());
+    const std::uint64_t analyze_start = obs::monotonic_nanos();
+    top = analysis::top_domains(log, options, threads);
+    metrics.add_phase("analyze", seconds_since(analyze_start), log.rows());
+  } else {
+    const auto dataset = load_phase(path, metrics);
+    const std::uint64_t analyze_start = obs::monotonic_nanos();
+    top = analysis::top_domains(dataset, options);
+    metrics.add_phase("analyze", seconds_since(analyze_start),
+                      dataset.size());
+  }
   util::TextTable table{{"#", "Domain", "# Requests", "%"}};
   for (std::size_t i = 0; i < top.size(); ++i) {
     table.add_row({std::to_string(i + 1), top[i].domain,
@@ -779,6 +1011,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "generate") return cmd_generate(argc, argv);
     if (command == "verify") return cmd_verify(argc, argv);
+    if (command == "convert") return cmd_convert(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "top") return cmd_top(argc, argv);
