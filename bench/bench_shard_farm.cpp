@@ -1,0 +1,147 @@
+// Multi-process sharded farm: wall-clock scaling of `generate --workers N`
+// against the single-process run, and the recovery overhead of surviving
+// real worker deaths (worker-chaos SIGKILLs + backoff restarts). Not a
+// paper experiment — this bench tracks the robustness layer of DESIGN.md
+// §4.10: the merged log must stay byte-identical while the farm's real
+// processes die and resume underneath it.
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.h"
+#include "shard/coordinator.h"
+#include "util/checksum.h"
+
+namespace {
+
+using namespace syrwatch;
+using namespace syrbench;
+
+namespace fs = std::filesystem;
+
+workload::ScenarioConfig farm_config(std::uint64_t requests) {
+  auto config = default_config();
+  config.total_requests = requests;
+  config.threads = 1;  // per-worker; the processes are the parallelism here
+  return config;
+}
+
+/// Fresh scratch directory per run — run_sharded refuses an occupied
+/// checkpoint directory without --resume, by design.
+struct Scratch {
+  fs::path dir;
+  explicit Scratch(const std::string& tag) {
+    dir = fs::temp_directory_path() /
+          ("syrwatch_bench_shard_" + tag + "_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~Scratch() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+};
+
+shard::ShardedRun timed_run(const workload::ScenarioConfig& config,
+                            std::size_t workers, const std::string& chaos,
+                            std::size_t restart_budget, double& seconds) {
+  Scratch scratch{std::to_string(workers) + "_" + chaos};
+  shard::CoordinatorOptions options;
+  options.config = config;
+  options.directory = (scratch.dir / "ck").string();
+  options.out_path = (scratch.dir / "merged.csv").string();
+  options.workers = workers;
+  options.worker_chaos = chaos;
+  options.restart_budget = restart_budget;
+  options.restart_backoff_ms = 20;
+  const auto start = std::chrono::steady_clock::now();
+  auto run = shard::run_sharded(options);
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+  return run;
+}
+
+void print_reproduction() {
+  print_banner("Sharded farm — multi-process scaling and recovery overhead",
+               "the --workers farm must emit the single-process bytes while "
+               "its real worker processes are killed and restarted "
+               "(DESIGN.md §4.10)");
+  const auto config = farm_config(300'000);
+
+  double base_seconds = 0;
+  const auto base =
+      timed_run(config, 1, "none", 3, base_seconds);
+  char buffer[64];
+  TextTable table{{"Workers", "Wall clock", "Speedup", "Output matches"}};
+  std::snprintf(buffer, sizeof buffer, "%.2fs", base_seconds);
+  table.add_row({"1", buffer, "1.00x", "-"});
+  for (const std::size_t workers : {2, 4, 7}) {
+    double seconds = 0;
+    const auto run = timed_run(config, workers, "none", 3, seconds);
+    std::snprintf(buffer, sizeof buffer, "%.2fs", seconds);
+    std::string speedup;
+    {
+      char s[32];
+      std::snprintf(s, sizeof s, "%.2fx", base_seconds / seconds);
+      speedup = s;
+    }
+    table.add_row({std::to_string(workers), buffer, speedup,
+                   run.output.crc32 == base.output.crc32 ? "yes" : "NO"});
+  }
+  print_block("Wall clock vs --workers (300k requests)", table);
+
+  // Recovery overhead: same run with ceil(N/2) SIGKILLs injected at batch
+  // boundaries; every death costs a backoff plus the replay of at most
+  // commit_interval-1 batches.
+  TextTable recovery{{"Scenario", "Wall clock", "Kills", "Restarts",
+                      "Output matches"}};
+  for (const char* chaos : {"none", "worker-chaos"}) {
+    double seconds = 0;
+    const auto run = timed_run(config, 4, chaos, 3, seconds);
+    std::snprintf(buffer, sizeof buffer, "%.2fs", seconds);
+    recovery.add_row({std::string("--workers 4 --worker-chaos ") + chaos,
+                      buffer, std::to_string(run.kills_injected),
+                      std::to_string(run.restarts),
+                      run.output.crc32 == base.output.crc32 ? "yes" : "NO"});
+  }
+  print_block("Recovery overhead under injected worker death", recovery);
+}
+
+// Fork + supervise + k-way merge at a given worker count.
+void BM_ShardedGenerate(benchmark::State& state) {
+  const auto config = farm_config(120'000);
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    double seconds = 0;
+    const auto run = timed_run(config, workers, "none", 3, seconds);
+    benchmark::DoNotOptimize(run.records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_requests));
+}
+BENCHMARK(BM_ShardedGenerate)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The same worker count with chaos kills: the delta against
+// BM_ShardedGenerate/4 is the price of dying and resuming.
+void BM_ShardedGenerateChaos(benchmark::State& state) {
+  const auto config = farm_config(120'000);
+  for (auto _ : state) {
+    double seconds = 0;
+    const auto run = timed_run(config, 4, "worker-chaos", 3, seconds);
+    benchmark::DoNotOptimize(run.restarts);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.total_requests));
+}
+BENCHMARK(BM_ShardedGenerateChaos)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SYRBENCH_MAIN(print_reproduction)

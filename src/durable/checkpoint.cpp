@@ -20,6 +20,12 @@ namespace fs = std::filesystem;
 
 constexpr std::string_view kStateFile = "farm_state.bin";
 constexpr std::string_view kSpoolFile = "log_spool.csv";
+constexpr std::string_view kKeysFile = "merge_keys.bin";
+
+void append_key_le(std::string& out, std::uint64_t key) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out += static_cast<char>((key >> shift) & 0xFF);
+}
 
 void append_u64(std::string& out, std::string_view key, std::uint64_t value) {
   char buffer[32];
@@ -181,6 +187,7 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   const std::string manifest_path = (dir / RunManifest::kFileName).string();
   const std::string spool_path = (dir / kSpoolFile).string();
   const std::string state_path = (dir / kStateFile).string();
+  const std::string keys_path = (dir / kKeysFile).string();
   const std::string fingerprint = config_fingerprint(scenario.config());
   const std::size_t total_batches = scenario.batch_count();
 
@@ -254,6 +261,28 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
         if (!size_ec && on_disk > replay_from.bytes)
           fs::resize_file(replay_from.path, replay_from.bytes);
       }
+      if (options.record_keys) {
+        // The merge-key sidecar carries the same committed-prefix
+        // semantics as the spool: verify, then truncate any torn tail.
+        const ManifestArtifact* keys = manifest.find_artifact(kKeysFile);
+        if (keys == nullptr)
+          refuse(keys_path,
+                 "manifest records no merge-key sidecar — the checkpoint "
+                 "was not written by a shard worker");
+        std::error_code keys_ec;
+        if (!fs::exists(keys_path, keys_ec) || keys_ec)
+          refuse(keys_path, "MISSING");
+        const util::FileDigest keys_digest =
+            util::crc32_file_prefix(keys_path, keys->bytes);
+        if (keys_digest.bytes != keys->bytes)
+          refuse(keys_path, "SIZE MISMATCH (shorter than manifest)");
+        if (keys_digest.crc32 != keys->crc32)
+          refuse(keys_path, "CRC MISMATCH");
+        std::error_code size_ec;
+        const std::uintmax_t on_disk = fs::file_size(keys_path, size_ec);
+        if (!size_ec && on_disk > keys->bytes)
+          fs::resize_file(keys_path, keys->bytes);
+      }
     }
   } else {
     if (have_manifest)
@@ -323,12 +352,33 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
                               spool_bytes, spool_crc.value(), -1});
   }
 
+  // The merge-key sidecar mirrors the spool's open/append/resume dance.
+  util::Crc32 keys_crc;
+  std::uint64_t keys_bytes = 0;
+  std::ofstream keys;
+  if (options.record_keys) {
+    if (manifest.next_batch > 0) {
+      const ManifestArtifact* artifact = manifest.find_artifact(kKeysFile);
+      keys.open(keys_path, std::ios::binary | std::ios::app);
+      if (!keys)
+        throw std::runtime_error("checkpoint: cannot append to " + keys_path);
+      keys_crc.resume(artifact->crc32);
+      keys_bytes = artifact->bytes;
+    } else {
+      keys.open(keys_path, std::ios::binary | std::ios::trunc);
+      if (!keys)
+        throw std::runtime_error("checkpoint: cannot create " + keys_path);
+      manifest.upsert_artifact({std::string(kKeysFile), "keys", 0, 0, -1});
+    }
+  }
+
   manifest.state = "in_progress";
   manifest.threads = scenario.config().threads;
   manifest.save(manifest_path);
 
   // Records serialize exactly once, straight into the pending append.
   std::string batch_text;
+  std::string batch_keys;
   std::size_t batches_done = manifest.next_batch;
   std::size_t uncommitted = 0;
 
@@ -342,6 +392,10 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
     manifest.upsert_artifact({std::string(kSpoolFile), "spool", spool_bytes,
                               spool_crc.value(),
                               static_cast<std::int64_t>(batches_done) - 1});
+    if (options.record_keys)
+      manifest.upsert_artifact({std::string(kKeysFile), "keys", keys_bytes,
+                                keys_crc.value(),
+                                static_cast<std::int64_t>(batches_done) - 1});
     manifest.upsert_artifact({std::string(kStateFile), "state",
                               state_info.bytes, state_info.crc32, -1});
     manifest.next_batch = batches_done;
@@ -353,6 +407,11 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   workload::RunControl control;
   control.cancel = options.cancel;
   control.start_batch = manifest.next_batch;
+  control.proxy_mask = options.proxy_mask;
+  if (options.record_keys)
+    control.keyed_sink = [&](std::uint64_t key, const proxy::LogRecord&) {
+      append_key_le(batch_keys, key);
+    };
   control.on_batch = [&](std::size_t batch) {
     {
       const obs::StageTimer timer{spool_stage};
@@ -361,10 +420,26 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
       spool.flush();
       if (!spool)
         throw std::runtime_error("checkpoint: write error on " + spool_path);
+      if (options.record_keys) {
+        // Keys flush after the spool: a crash between the two leaves more
+        // spool than keys on disk, and both beyond the committed prefix —
+        // resume truncates each back to its manifest digest, restoring
+        // the one-key-per-record invariant.
+        keys.write(batch_keys.data(),
+                   static_cast<std::streamsize>(batch_keys.size()));
+        keys.flush();
+        if (!keys)
+          throw std::runtime_error("checkpoint: write error on " + keys_path);
+      }
     }
     spool_crc.update(batch_text);
     spool_bytes += batch_text.size();
     batch_text.clear();
+    if (options.record_keys) {
+      keys_crc.update(batch_keys);
+      keys_bytes += batch_keys.size();
+      batch_keys.clear();
+    }
     batches_done = batch + 1;
     ++uncommitted;
     ++result.batches_executed;
@@ -373,6 +448,7 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
       commit();
       if (options.after_commit) options.after_commit(batch);
     }
+    if (options.on_progress) options.on_progress(batch);
   };
 
   const workload::LogCallback buffering_sink =

@@ -17,6 +17,8 @@ namespace syrwatch::durable {
 ///   manifest.json   — syrwatch.manifest.v1 (state, progress, digests)
 ///   log_spool.csv   — header + record lines, append-only (the log itself)
 ///   farm_state.bin  — proxy-farm mutable state at the last commit boundary
+///   merge_keys.bin  — only with record_keys: one u64 LE merge key per
+///                     spool record, same append/commit rhythm as the spool
 ///
 /// The spool is the write-ahead log of the run: each batch's records are
 /// appended (serialized exactly once) and flushed, and every
@@ -67,6 +69,20 @@ struct CheckpointOptions {
   /// a crash between commits, which is how the crash-injection tests abort
   /// mid-run.
   std::function<void(std::size_t committed_batch)> after_commit;
+  /// Farm proxies this run owns (workload::RunControl::proxy_mask). The
+  /// multi-process shard worker's knob: all-ones (the default) is the
+  /// ordinary whole-farm run.
+  std::uint64_t proxy_mask = ~std::uint64_t{0};
+  /// Also maintain merge_keys.bin — the spool's 8-byte-LE-per-record merge
+  /// key sidecar, committed in the same batch rhythm (a manifest always
+  /// describes exactly as many keys as committed spool records). Shard
+  /// workers set this so the coordinator can k-way merge their spools back
+  /// into generation order; the spool itself stays plain CSV.
+  bool record_keys = false;
+  /// Invoked on the calling thread after each batch's bytes are durably
+  /// appended (spool + keys flushed), whether or not that batch committed
+  /// a manifest — the liveness hook a shard worker's heartbeat rides on.
+  std::function<void(std::size_t batch)> on_progress;
 };
 
 struct CheckpointedRun {

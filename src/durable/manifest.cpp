@@ -323,6 +323,17 @@ std::string RunManifest::to_json() const {
          "\",\n";
   out += "  \"next_batch\": " + u64_text(next_batch) + ",\n";
   out += "  \"total_batches\": " + u64_text(total_batches) + ",\n";
+  // Optional sharding fields: emitted only when set, so a single-process
+  // manifest's JSON is byte-identical to what pre-shard builds wrote.
+  if (workers != 0) out += "  \"workers\": " + u64_text(workers) + ",\n";
+  if (!degraded_shards.empty()) {
+    out += "  \"degraded_shards\": [";
+    for (std::size_t i = 0; i < degraded_shards.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "\"" + json_escape(degraded_shards[i]) + "\"";
+    }
+    out += "],\n";
+  }
   out += "  \"artifacts\": [";
   for (std::size_t i = 0; i < artifacts.size(); ++i) {
     const ManifestArtifact& artifact = artifacts[i];
@@ -362,6 +373,18 @@ RunManifest RunManifest::parse(std::string_view json) {
   manifest.config_fingerprint = get_string(root, "config_fingerprint");
   manifest.next_batch = get_u64(root, "next_batch");
   manifest.total_batches = get_u64(root, "total_batches");
+  if (root.object.count("workers")) manifest.workers = get_u64(root, "workers");
+  if (const auto it = root.object.find("degraded_shards");
+      it != root.object.end()) {
+    if (it->second.kind != JsonValue::Kind::kArray)
+      throw std::runtime_error("manifest: \"degraded_shards\" is not an array");
+    for (const JsonValue& entry : it->second.array) {
+      if (entry.kind != JsonValue::Kind::kString)
+        throw std::runtime_error(
+            "manifest: \"degraded_shards\" entry is not a string");
+      manifest.degraded_shards.push_back(entry.string);
+    }
+  }
 
   const JsonValue& artifacts = field(root, "artifacts");
   if (artifacts.kind != JsonValue::Kind::kArray)
@@ -442,10 +465,10 @@ VerifyReport verify_artifacts(const RunManifest& manifest,
       report.checks.push_back(std::move(check));
       continue;
     }
-    if (artifact.role == "spool") {
-      // The spool's digest describes its committed prefix; a crashed
-      // append may have left a longer file (resume truncates the tail),
-      // which still verifies.
+    if (artifact.role == "spool" || artifact.role == "keys") {
+      // The spool's (and its merge-key sidecar's) digest describes the
+      // committed prefix; a crashed append may have left a longer file
+      // (resume truncates the tail), which still verifies.
       const util::FileDigest digest =
           util::crc32_file_prefix(check.resolved_path, artifact.bytes);
       check.actual = util::ArtifactInfo{digest.bytes, digest.crc32};

@@ -24,10 +24,13 @@ struct ManifestArtifact {
   /// the operator passed (verify also tries it as given when the
   /// manifest-relative resolution misses).
   std::string path;
-  /// "spool" | "state" | "output" (extensible). Verify digests roles
-  /// alike, except "spool": its bytes/crc32 describe the *committed
-  /// prefix*, so a longer file (torn tail from a crashed append — resume
-  /// truncates it) still verifies; only the prefix is checksummed.
+  /// "spool" | "state" | "output" | "keys" | "shard" (extensible). Verify
+  /// digests roles alike, except "spool" and "keys": their bytes/crc32
+  /// describe the *committed prefix*, so a longer file (torn tail from a
+  /// crashed append — resume truncates it) still verifies; only the
+  /// prefix is checksummed. "keys" is the spool's 8-byte-per-record merge
+  /// key sidecar (sharded runs); "shard" points a coordinator manifest at
+  /// one worker's own manifest file.
   std::string role;
   std::uint64_t bytes = 0;
   std::uint32_t crc32 = 0;
@@ -58,6 +61,18 @@ struct RunManifest {
   std::string config_fingerprint;
   std::uint64_t next_batch = 0;
   std::uint64_t total_batches = 0;
+  /// Worker-process count of a sharded coordinator run (syrwatchctl
+  /// generate --workers N). 0 — and absent from the JSON — for ordinary
+  /// single-process manifests; resume refuses a worker-count mismatch
+  /// because the proxy→shard assignment depends on it.
+  std::uint64_t workers = 0;
+  /// Shards abandoned after their restart budget ("shard-02", ...): their
+  /// contribution to the merged output is only the prefix their last
+  /// durable commit covered. Non-empty means the output carries
+  /// [DEGRADED DATA] — complete for every surviving shard, truncated for
+  /// these. Serialized only when non-empty, so pre-shard manifests parse
+  /// unchanged.
+  std::vector<std::string> degraded_shards;
   std::vector<ManifestArtifact> artifacts;
 
   bool complete() const noexcept { return state == "complete"; }

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proxy/log_io.h"
+#include "util/atomic_io.h"
+
+namespace syrwatch::shard {
+
+/// K-way merge of worker shard spools back into one log, in the exact
+/// order the unsharded run would have emitted — the inverse of the
+/// proxy_mask split. Each spool line pairs positionally with an 8-byte LE
+/// key in the shard's merge_keys.bin sidecar; keys are globally unique and
+/// ascending within a shard, so a streaming smallest-key-first merge
+/// reconstructs generation order, byte-identical to the single-process
+/// spool when every shard completed.
+
+struct ShardInput {
+  std::string name;       ///< "shard-NN" (for reports and errors)
+  std::string directory;  ///< the worker's checkpoint directory
+  std::uint64_t proxy_mask = 0;
+  /// The coordinator abandoned this shard (restart budget exhausted): only
+  /// its committed prefix merges, and the manifest may be missing entirely
+  /// (death before the first commit) — then the lenient reader recovers
+  /// what it can.
+  bool degraded = false;
+};
+
+struct ShardContribution {
+  std::string name;
+  std::uint64_t proxy_mask = 0;
+  std::uint64_t records = 0;
+  std::uint64_t committed_batches = 0;
+  bool degraded = false;
+  /// Records were recovered via proxy::read_log_lenient (manifest missing
+  /// or unusable) instead of the CRC-verified committed prefix.
+  bool lenient = false;
+  /// What reading this shard's spool saw. Strict reads synthesize clean
+  /// stats; lenient reads carry the real damage tally.
+  proxy::LogReadStats read_stats;
+};
+
+struct MergeResult {
+  util::ArtifactInfo output;  ///< merged file's size + CRC32
+  std::uint64_t records = 0;
+  std::vector<ShardContribution> shards;
+  /// Shard stats folded into one (sums; header_present = all,
+  /// truncated_tail = any) — what a coverage report over the merged log
+  /// should be handed, since the merged file itself is always clean.
+  proxy::LogReadStats combined;
+};
+
+/// Merges `shards` into `out_path` (written atomically: header + records).
+/// Surviving shards must verify — a CRC or size failure in a
+/// non-degraded shard throws std::runtime_error naming it. Degraded
+/// shards degrade further gracefully: unusable manifest → lenient
+/// recovery, no spool at all → zero contribution.
+MergeResult merge_shards(const std::vector<ShardInput>& shards,
+                         const std::string& out_path);
+
+/// Folds `stats` into `total` (the MergeResult::combined rule).
+void fold_read_stats(proxy::LogReadStats& total,
+                     const proxy::LogReadStats& stats);
+
+}  // namespace syrwatch::shard

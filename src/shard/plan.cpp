@@ -1,0 +1,61 @@
+#include "shard/plan.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace syrwatch::shard {
+
+std::size_t owner_of_proxy(std::uint64_t seed, std::size_t proxy,
+                           std::size_t workers) {
+  if (workers == 0)
+    throw std::invalid_argument("owner_of_proxy: workers must be >= 1");
+  std::size_t best = 0;
+  std::uint64_t best_weight = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::uint64_t weight = util::mix64(
+        seed ^ util::mix64(0x5AA2'D000 + proxy) ^ util::mix64(w + 1));
+    if (w == 0 || weight > best_weight) {
+      best = w;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+std::uint64_t proxy_mask_for(std::uint64_t seed, std::size_t worker,
+                             std::size_t workers, std::size_t proxy_count) {
+  if (proxy_count > 64)
+    throw std::invalid_argument("proxy_mask_for: more than 64 proxies");
+  std::uint64_t mask = 0;
+  for (std::size_t p = 0; p < proxy_count; ++p)
+    if (owner_of_proxy(seed, p, workers) == worker)
+      mask |= std::uint64_t{1} << p;
+  return mask;
+}
+
+std::vector<std::size_t> proxies_in_mask(std::uint64_t mask) {
+  std::vector<std::size_t> proxies;
+  for (std::size_t p = 0; p < 64; ++p)
+    if ((mask >> p) & 1) proxies.push_back(p);
+  return proxies;
+}
+
+std::string shard_dir_name(std::size_t worker) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "shard-%02zu", worker);
+  return buffer;
+}
+
+std::string worker_command(std::size_t worker, std::size_t workers,
+                           std::uint64_t proxy_mask) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer,
+                "generate-shard:%zu/%zu:mask=0x%" PRIx64, worker, workers,
+                proxy_mask);
+  return buffer;
+}
+
+}  // namespace syrwatch::shard

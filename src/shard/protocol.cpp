@@ -1,0 +1,49 @@
+#include "shard/protocol.h"
+
+namespace syrwatch::shard {
+
+namespace {
+
+constexpr std::size_t kFrameBytes = 1 + 3 * 8;
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out += static_cast<char>((value >> shift) & 0xFF);
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t offset) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i)
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[offset + i]))
+             << (8 * i);
+  return value;
+}
+
+}  // namespace
+
+std::string encode(const Message& message) {
+  std::string out;
+  out.reserve(kFrameBytes);
+  out += static_cast<char>(message.type);
+  put_u64(out, message.worker);
+  put_u64(out, message.batch);
+  put_u64(out, message.status);
+  return out;
+}
+
+std::optional<Message> decode(const std::string& payload) {
+  if (payload.size() != kFrameBytes) return std::nullopt;
+  const auto type = static_cast<std::uint8_t>(payload[0]);
+  if (type < static_cast<std::uint8_t>(MessageType::kHello) ||
+      type > static_cast<std::uint8_t>(MessageType::kShutdown))
+    return std::nullopt;
+  Message message;
+  message.type = static_cast<MessageType>(type);
+  message.worker = get_u64(payload, 1);
+  message.batch = get_u64(payload, 9);
+  message.status = get_u64(payload, 17);
+  return message;
+}
+
+}  // namespace syrwatch::shard

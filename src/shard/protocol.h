@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace syrwatch::shard {
+
+/// The worker→coordinator status protocol, carried as util::write_frame
+/// payloads over each worker's private pipe. Strictly advisory: the
+/// durable record of a shard's progress is its checkpoint directory, and
+/// the coordinator treats the pipe as a liveness/progress signal only —
+/// losing every message (dead coordinator, full pipe) costs nothing but
+/// supervision fidelity.
+///
+/// Encoding is a fixed-width little-endian struct (type byte + three u64),
+/// trivially versioned by frame length; HELLO carries the protocol's shape
+/// implicitly since a mismatched build fails to decode it.
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,      ///< First frame after fork: worker is alive, resumed or
+                   ///< fresh (status = first batch it will execute).
+  kBatchDone = 2,  ///< A durable commit landed (batch = newest committed,
+                   ///< records = cumulative records this attempt).
+  kHeartbeat = 3,  ///< A batch's bytes hit the spool (liveness tick).
+  kShutdown = 4,   ///< Clean exit imminent (status = 0 completed,
+                   ///< 1 interrupted by cancellation).
+};
+
+struct Message {
+  MessageType type = MessageType::kHello;
+  std::uint64_t worker = 0;
+  std::uint64_t batch = 0;
+  /// kBatchDone: cumulative records emitted; kHello/kShutdown: status.
+  std::uint64_t status = 0;
+};
+
+/// Fixed 25-byte frame payload (1 + 3×8, little-endian).
+std::string encode(const Message& message);
+
+/// Inverse of encode; nullopt on a wrong-sized or unknown-type payload.
+std::optional<Message> decode(const std::string& payload);
+
+}  // namespace syrwatch::shard

@@ -1,0 +1,106 @@
+#include "shard/worker.h"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <thread>
+
+#include "durable/checkpoint.h"
+#include "shard/plan.h"
+#include "shard/protocol.h"
+#include "util/cancel.h"
+#include "util/subprocess.h"
+
+namespace syrwatch::shard {
+
+namespace {
+
+void send(int fd, const Message& message) {
+  // Best-effort by design: the checkpoint directory is the durable record,
+  // the pipe only feeds supervision. A vanished coordinator (EPIPE) must
+  // not take the worker down with it.
+  util::write_frame(fd, encode(message));
+}
+
+}  // namespace
+
+int run_worker(const WorkerSpec& spec, int pipe_fd) noexcept {
+  try {
+    // The parent's CancelToken (and its signal bindings) died with the
+    // fork; give this process its own so the coordinator's SIGTERM
+    // fan-out lands as a cooperative cancel, not default termination.
+    static util::CancelToken cancel;
+    cancel.reset();
+    util::install_stop_signals(cancel);
+    util::ignore_sigpipe();
+
+    workload::SyriaScenario scenario{spec.config};
+
+    durable::CheckpointOptions options;
+    options.directory = spec.directory;
+    // Uniform for coordinator --resume and crash-restart alike: our own
+    // manifest's existence is the resume signal. A fresh coordinator run
+    // starts with empty shard dirs, so this never mistakes one for the
+    // other.
+    options.resume = std::filesystem::exists(
+        std::filesystem::path{spec.directory} /
+        durable::RunManifest::kFileName);
+    options.cancel = &cancel;
+    options.command = worker_command(spec.worker, spec.workers,
+                                     spec.proxy_mask);
+    options.commit_interval = spec.commit_interval;
+    options.proxy_mask = spec.proxy_mask;
+    options.record_keys = true;
+
+    std::uint64_t records = 0;
+    const bool fresh_attempt = !options.resume;
+    options.on_progress = [&](std::size_t batch) {
+      Message beat;
+      beat.type = MessageType::kHeartbeat;
+      beat.worker = spec.worker;
+      beat.batch = batch;
+      send(pipe_fd, beat);
+      if (fresh_attempt && batch == spec.stall_after_batch &&
+          spec.stall_seconds > 0)
+        std::this_thread::sleep_for(
+            std::chrono::seconds(spec.stall_seconds));
+    };
+    options.after_commit = [&](std::size_t batch) {
+      Message done;
+      done.type = MessageType::kBatchDone;
+      done.worker = spec.worker;
+      done.batch = batch;
+      done.status = records;
+      send(pipe_fd, done);
+    };
+
+    Message hello;
+    hello.type = MessageType::kHello;
+    hello.worker = spec.worker;
+    hello.status = options.resume ? 1 : 0;
+    send(pipe_fd, hello);
+
+    const durable::CheckpointedRun run = durable::run_checkpointed(
+        scenario, options,
+        [&](const proxy::LogRecord&) { ++records; });
+
+    Message bye;
+    bye.type = MessageType::kShutdown;
+    bye.worker = spec.worker;
+    bye.batch = run.manifest.next_batch;
+    bye.status = run.completed ? 0 : 1;
+    send(pipe_fd, bye);
+    return run.completed ? kWorkerCompleted : kWorkerInterrupted;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "shard worker %zu: %s\n", spec.worker,
+                 error.what());
+    return kWorkerError;
+  } catch (...) {
+    std::fprintf(stderr, "shard worker %zu: unknown exception\n",
+                 spec.worker);
+    return kWorkerError;
+  }
+}
+
+}  // namespace syrwatch::shard

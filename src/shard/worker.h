@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/scenario.h"
+
+namespace syrwatch::shard {
+
+/// The body of one shard worker process. The coordinator forks (no exec —
+/// the child shares the binary) and the child calls run_worker(), then
+/// std::_Exit()s with its return value: no destructors, no atexit, no
+/// flushing of streams it shares with the parent.
+
+/// Exit codes run_worker returns (and the coordinator interprets).
+inline constexpr int kWorkerCompleted = 0;    ///< shard fully generated
+inline constexpr int kWorkerInterrupted = 3;  ///< cancelled; resumable
+inline constexpr int kWorkerError = 1;        ///< exception; message on stderr
+
+struct WorkerSpec {
+  workload::ScenarioConfig config;
+  std::size_t worker = 0;
+  std::size_t workers = 1;
+  std::uint64_t proxy_mask = 0;
+  /// This worker's private checkpoint directory (…/shard-NN).
+  std::string directory;
+  std::size_t commit_interval = 1;
+  /// worker-stall injection: sleep stall_seconds after this batch's bytes
+  /// land, but only on a fresh (non-resumed) attempt — a restarted worker
+  /// must run clean or the run never finishes. SIZE_MAX = no stall.
+  std::size_t stall_after_batch = static_cast<std::size_t>(-1);
+  unsigned stall_seconds = 0;
+};
+
+/// Runs the shard to completion (or cancellation) inside the current
+/// process: reinstalls SIGINT/SIGTERM onto a fresh post-fork CancelToken,
+/// ignores SIGPIPE (an orphaned worker keeps spooling durably), decides
+/// fresh-vs-resume by the presence of its own manifest, and streams
+/// HELLO / HEARTBEAT / BATCH_DONE / SHUTDOWN over `pipe_fd`. Never throws:
+/// an exception is reported on stderr and becomes kWorkerError.
+int run_worker(const WorkerSpec& spec, int pipe_fd) noexcept;
+
+}  // namespace syrwatch::shard

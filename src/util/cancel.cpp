@@ -1,10 +1,23 @@
 #include "util/cancel.h"
 
+#include <csignal>
+
 #include <chrono>
 
 namespace syrwatch::util {
 
 namespace {
+
+/// Target of the process-wide stop handler. A plain atomic pointer store:
+/// install_stop_signals may be called again after fork() to rebind the
+/// handler to the child's own token.
+std::atomic<CancelToken*> g_stop_token{nullptr};
+
+void handle_stop_signal(int) {
+  // request_cancel() is a relaxed atomic store — async-signal-safe.
+  if (CancelToken* token = g_stop_token.load(std::memory_order_relaxed))
+    token->request_cancel();
+}
 
 std::uint64_t steady_nanos() noexcept {
   return static_cast<std::uint64_t>(
@@ -36,6 +49,25 @@ bool CancelToken::deadline_expired() const noexcept {
   const std::uint64_t deadline =
       deadline_nanos_.load(std::memory_order_relaxed);
   return deadline != 0 && steady_nanos() >= deadline;
+}
+
+void install_stop_signals(CancelToken& token) noexcept {
+  g_stop_token.store(&token, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  // Deliberately no SA_RESTART: a supervisor parked in poll()/waitpid()
+  // must return with EINTR and notice the token promptly.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+void ignore_sigpipe() noexcept {
+  struct sigaction action {};
+  action.sa_handler = SIG_IGN;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGPIPE, &action, nullptr);
 }
 
 }  // namespace syrwatch::util

@@ -44,4 +44,24 @@ class CancelToken {
   std::atomic<std::uint64_t> deadline_nanos_{0};
 };
 
+/// Routes SIGINT and SIGTERM to `token.request_cancel()` via sigaction
+/// (no SA_RESTART, so a coordinator blocked in poll() wakes immediately).
+/// The token must outlive the handlers.
+///
+/// Multi-process contract: a fork() child inherits the handler but the
+/// handler's target pointer then refers to the *child's copy* of whatever
+/// token the parent armed — including any deadline the parent had already
+/// set. A forked worker must therefore call install_stop_signals again on
+/// its own freshly reset() token before doing any work, so Ctrl-C
+/// delivered to the foreground process group stops every process
+/// gracefully (each flushing its own checkpoint) instead of mixing parent
+/// and child cancellation state.
+void install_stop_signals(CancelToken& token) noexcept;
+
+/// SIG_IGNs SIGPIPE in the calling process. A worker whose coordinator
+/// died mid-run keeps generating into its durable spool (the work is
+/// recoverable) instead of being killed by the next status write into the
+/// broken pipe.
+void ignore_sigpipe() noexcept;
+
 }  // namespace syrwatch::util

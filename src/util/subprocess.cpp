@@ -1,0 +1,91 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace syrwatch::util {
+
+Pipe make_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0)
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  // Close-on-exec so an unrelated exec in either process cannot leak the
+  // farm's status channel into a stranger.
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  return {fds[0], fds[1]};
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    throw std::runtime_error(std::string("fcntl(O_NONBLOCK): ") +
+                             std::strerror(errno));
+}
+
+void close_fd(int fd) noexcept {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR; retrying close on
+  // Linux is harmless (the fd is gone either way) and we never reuse it.
+  ::close(fd);
+}
+
+bool write_frame(int fd, std::string_view payload) noexcept {
+  if (fd < 0 || payload.size() > kMaxFramePayload) return false;
+  char frame[4 + kMaxFramePayload];
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  frame[0] = static_cast<char>(size & 0xFF);
+  frame[1] = static_cast<char>((size >> 8) & 0xFF);
+  frame[2] = static_cast<char>((size >> 16) & 0xFF);
+  frame[3] = static_cast<char>((size >> 24) & 0xFF);
+  std::memcpy(frame + 4, payload.data(), payload.size());
+  const std::size_t total = 4 + payload.size();
+  for (;;) {
+    const ssize_t wrote = ::write(fd, frame, total);
+    if (wrote == static_cast<ssize_t>(total)) return true;
+    if (wrote < 0 && errno == EINTR) continue;
+    // Short write cannot happen for <= PIPE_BUF on a pipe; anything else
+    // (EPIPE, EBADF) means the coordinator is gone — carry on without it.
+    return false;
+  }
+}
+
+bool FrameReader::pump(int fd) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) return false;  // EOF: writer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    throw std::runtime_error(std::string("pipe read: ") +
+                             std::strerror(errno));
+  }
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t size =
+      byte(0) | (byte(1) << 8) | (byte(2) << 16) | (byte(3) << 24);
+  if (size > kMaxFramePayload)
+    throw std::runtime_error("pipe frame: oversized length prefix (" +
+                             std::to_string(size) + " bytes)");
+  if (buffer_.size() < 4 + static_cast<std::size_t>(size))
+    return std::nullopt;
+  std::string payload = buffer_.substr(4, size);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(size));
+  return payload;
+}
+
+}  // namespace syrwatch::util

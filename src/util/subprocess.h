@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace syrwatch::util {
+
+/// Minimal POSIX plumbing for the multi-process sharded farm (src/shard):
+/// a pipe pair, non-blocking fds, and a length-prefixed frame codec for
+/// the worker→coordinator status channel. Frames are `u32 length (LE) +
+/// payload`; every worker message is far below PIPE_BUF, so a single
+/// write() is atomic and concurrent writers (there are none today, but a
+/// heartbeat thread would be one) could share the fd without interleaving.
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+};
+
+/// Creates a unidirectional pipe with both ends close-on-exec. Throws
+/// std::runtime_error on failure (fd exhaustion).
+Pipe make_pipe();
+
+/// O_NONBLOCK on `fd`; throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+/// Closes `fd` if it is valid; EINTR-safe, never throws.
+void close_fd(int fd) noexcept;
+
+/// Frames `payload` (u32 LE length prefix) and writes it with one
+/// write(). Returns false — without raising — when the read end is gone
+/// (EPIPE) or any other error occurs: a worker whose coordinator died
+/// keeps running, its spool is the durable record. Payloads longer than
+/// kMaxFramePayload are refused (returns false).
+bool write_frame(int fd, std::string_view payload) noexcept;
+
+inline constexpr std::size_t kMaxFramePayload = 4096;
+
+/// Incremental frame decoder over a non-blocking read fd: pump() slurps
+/// whatever the pipe currently holds, next() yields complete payloads.
+class FrameReader {
+ public:
+  /// Reads until the fd would block. Returns false on EOF (writer closed —
+  /// for a worker pipe, the process exited); true while the stream is
+  /// still open. Throws std::runtime_error on a read error.
+  bool pump(int fd);
+
+  /// The next complete frame payload, or nullopt when more bytes are
+  /// needed. Drain after every pump(): several frames may arrive at once.
+  /// Throws std::runtime_error on a malformed frame (length prefix beyond
+  /// kMaxFramePayload — a corrupt or foreign writer).
+  std::optional<std::string> next();
+
+  /// Bytes buffered but not yet consumed by next() — nonzero after EOF
+  /// means the writer died mid-frame.
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace syrwatch::util

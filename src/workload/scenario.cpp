@@ -257,6 +257,17 @@ bool SyriaScenario::run(const LogCallback& sink, const RunControl& control) {
         }, control.cancel);
     if (!generated_all) return false;
 
+    // A cancellation must land here, before phase 2 touches any proxy:
+    // phase 1 is pure (RNG streams derive from shard ordinals), so its
+    // output can be discarded freely — but once a proxy consumes a
+    // request its sequential RNG and cache have advanced, and a batch
+    // abandoned after that would leave the farm state one batch ahead of
+    // the records a checkpoint saw (a resumed run would then process the
+    // batch twice and diverge). From this point the batch runs to the
+    // sink unconditionally.
+    if (control.cancel != nullptr && control.cancel->cancelled())
+      return false;
+
     // Phase 2 — per-proxy processing. Each SgProxy owns an LRU cache and
     // an RNG that must advance sequentially, so each proxy walks its own
     // time-ordered queue (shard-major, generation-order minor) on its own
@@ -270,6 +281,10 @@ bool SyriaScenario::run(const LogCallback& sink, const RunControl& control) {
       const obs::StageTimer timer{proc_stage};
       std::vector<Processed>& out = per_proxy[p];
       out.clear();
+      // Sharded runs own a subset of the farm: an unowned proxy's queue is
+      // dropped whole, leaving its sequential state untouched (some other
+      // process owns and advances it).
+      if (((control.proxy_mask >> p) & 1) == 0) return;
       proxy::SgProxy& appliance = farm_.proxy(p);
       for (std::size_t i = 0; i < n_shards; ++i) {
         const Shard& shard = batch[i];
@@ -285,12 +300,6 @@ bool SyriaScenario::run(const LogCallback& sink, const RunControl& control) {
         }
       }
     });
-
-    // A cancellation landing between phases discards the whole in-flight
-    // batch: the sink must only ever observe complete batches, so a
-    // checkpoint taken at the last boundary stays the source of truth.
-    if (control.cancel != nullptr && control.cancel->cancelled())
-      return false;
 
     // Phase 3 — deterministic merge: each per-proxy buffer is already
     // sorted by key, so a k-way merge restores global generation order
@@ -311,7 +320,9 @@ bool SyriaScenario::run(const LogCallback& sink, const RunControl& control) {
           }
         }
         if (best == n_proxies) break;
-        sink(per_proxy[best][head[best]].record);
+        const Processed& item = per_proxy[best][head[best]];
+        if (control.keyed_sink) control.keyed_sink(item.key, item.record);
+        sink(item.record);
         ++head[best];
         ++merged;
       }

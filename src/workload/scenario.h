@@ -95,6 +95,22 @@ struct RunControl {
   /// its batch here. May throw — the exception propagates out of run()
   /// (that is exactly what a mid-run crash looks like to a resumer).
   std::function<void(std::size_t completed_batch)> on_batch;
+  /// Bitmask of farm proxies this run owns (bit p = proxy index p). The
+  /// unit of multi-process sharding (src/shard): generation and routing
+  /// are untouched — they are pure functions shared by every shard — but
+  /// requests routed to an unowned proxy are never processed, so that
+  /// proxy's sequential state (cache, RNG) never advances here and the
+  /// emitted log is exactly the owned proxies' sub-log of the full run,
+  /// in the full run's order. All-ones (the default) is the whole farm.
+  std::uint64_t proxy_mask = ~std::uint64_t{0};
+  /// Optional keyed tap, invoked immediately before `sink` for every
+  /// emitted record with the record's deterministic merge key
+  /// ((shard ordinal << 32) | generation sequence). Keys are what the
+  /// multi-process k-way merge sorts by: they total-order the records of
+  /// any proxy_mask sub-log exactly as the unsharded run would have
+  /// emitted them.
+  std::function<void(std::uint64_t key, const proxy::LogRecord& record)>
+      keyed_sink;
 };
 
 /// The complete simulated ecosystem: users, sites, relays, torrents, the

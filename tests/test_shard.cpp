@@ -1,0 +1,536 @@
+// Multi-process sharded farm: deterministic proxy assignment, the
+// worker→coordinator frame protocol, worker-chaos plans, the supervising
+// coordinator (real fork/SIGKILL/restart/resume), graceful degradation
+// after an exhausted restart budget, and the k-way spool merge — including
+// the headline contract that `--workers N` emits a log byte-identical to
+// the single-process run, even across injected worker deaths.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "durable/manifest.h"
+#include "fault/worker_chaos.h"
+#include "policy/syria.h"
+#include "proxy/log_io.h"
+#include "shard/coordinator.h"
+#include "shard/merge.h"
+#include "shard/plan.h"
+#include "shard/protocol.h"
+#include "util/cancel.h"
+#include "util/subprocess.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using namespace syrwatch;
+namespace fs = std::filesystem;
+
+// --- fixtures --------------------------------------------------------------
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::path(::testing::TempDir()) /
+           ("syrwatch_" + tag + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+workload::ScenarioConfig small_config(std::uint64_t total,
+                                      std::size_t threads) {
+  workload::ScenarioConfig config;
+  config.total_requests = total;
+  config.user_population = 4'000;
+  config.catalog_tail = 3'000;
+  config.torrent_contents = 500;
+  config.threads = threads;
+  return config;
+}
+
+/// The single-process ground truth: header + every record, exactly the
+/// bytes the merged shard output must reproduce.
+std::string reference_log(const workload::ScenarioConfig& config) {
+  workload::SyriaScenario scenario{config};
+  std::string out{proxy::log_csv_header()};
+  out += '\n';
+  scenario.run([&](const proxy::LogRecord& record) {
+    out += proxy::to_csv(record);
+    out += '\n';
+  });
+  return out;
+}
+
+shard::CoordinatorOptions sharded_options(const workload::ScenarioConfig& cfg,
+                                          const TempDir& dir,
+                                          std::size_t workers) {
+  shard::CoordinatorOptions options;
+  options.config = cfg;
+  options.directory = (dir.path / "ck").string();
+  options.out_path = (dir.path / "merged.csv").string();
+  options.workers = workers;
+  options.restart_backoff_ms = 10;  // keep chaos tests fast
+  return options;
+}
+
+// --- plan ------------------------------------------------------------------
+
+TEST(ShardPlan, MasksPartitionTheFarm) {
+  for (const std::size_t workers : {1, 2, 3, 4, 7, 9}) {
+    std::uint64_t seen = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::uint64_t mask =
+          shard::proxy_mask_for(42, w, workers, policy::kProxyCount);
+      EXPECT_EQ(seen & mask, 0u)
+          << "overlap at worker " << w << "/" << workers;
+      seen |= mask;
+    }
+    EXPECT_EQ(seen, (std::uint64_t{1} << policy::kProxyCount) - 1)
+        << workers << " workers do not cover the farm";
+  }
+}
+
+TEST(ShardPlan, OwnerMatchesMaskAndIsDeterministic) {
+  const std::size_t workers = 3;
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
+    const std::size_t owner = shard::owner_of_proxy(7, p, workers);
+    EXPECT_LT(owner, workers);
+    EXPECT_EQ(owner, shard::owner_of_proxy(7, p, workers));
+    const std::uint64_t mask =
+        shard::proxy_mask_for(7, owner, workers, policy::kProxyCount);
+    EXPECT_NE(mask & (std::uint64_t{1} << p), 0u);
+  }
+  // A different seed reshuffles at least one proxy.
+  bool any_moved = false;
+  for (std::size_t p = 0; p < policy::kProxyCount; ++p)
+    any_moved |= shard::owner_of_proxy(7, p, workers) !=
+                 shard::owner_of_proxy(1234567, p, workers);
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(ShardPlan, MaskHelpersAndNames) {
+  EXPECT_EQ(shard::proxies_in_mask(0b101001),
+            (std::vector<std::size_t>{0, 3, 5}));
+  EXPECT_TRUE(shard::proxies_in_mask(0).empty());
+  EXPECT_EQ(shard::shard_dir_name(0), "shard-00");
+  EXPECT_EQ(shard::shard_dir_name(11), "shard-11");
+  EXPECT_EQ(shard::worker_command(2, 4, 0x12), "generate-shard:2/4:mask=0x12");
+}
+
+// --- protocol --------------------------------------------------------------
+
+TEST(ShardProtocol, EncodeDecodeRoundTrip) {
+  for (const auto type :
+       {shard::MessageType::kHello, shard::MessageType::kBatchDone,
+        shard::MessageType::kHeartbeat, shard::MessageType::kShutdown}) {
+    shard::Message message{type, 3, 0x1122334455667788ull, 42};
+    const std::string payload = shard::encode(message);
+    EXPECT_EQ(payload.size(), 25u);
+    const auto decoded = shard::decode(payload);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, message.type);
+    EXPECT_EQ(decoded->worker, message.worker);
+    EXPECT_EQ(decoded->batch, message.batch);
+    EXPECT_EQ(decoded->status, message.status);
+  }
+}
+
+TEST(ShardProtocol, DecodeRejectsMalformedPayloads) {
+  EXPECT_FALSE(shard::decode("").has_value());
+  EXPECT_FALSE(shard::decode("short").has_value());
+  std::string payload = shard::encode({shard::MessageType::kHello, 0, 0, 0});
+  payload += 'x';
+  EXPECT_FALSE(shard::decode(payload).has_value());
+  std::string bad_type(25, '\0');
+  bad_type[0] = static_cast<char>(99);
+  EXPECT_FALSE(shard::decode(bad_type).has_value());
+}
+
+TEST(ShardProtocol, FrameReaderReassemblesBackToBackFrames) {
+  util::Pipe pipe = util::make_pipe();
+  util::set_nonblocking(pipe.read_fd);
+  const std::string a = shard::encode({shard::MessageType::kHello, 1, 0, 0});
+  const std::string b =
+      shard::encode({shard::MessageType::kBatchDone, 1, 5, 999});
+  // Two frames written back to back arrive as one readable blob...
+  ASSERT_TRUE(util::write_frame(pipe.write_fd, a));
+  ASSERT_TRUE(util::write_frame(pipe.write_fd, b));
+  util::FrameReader reader;
+  ASSERT_TRUE(reader.pump(pipe.read_fd));
+  const auto first = reader.next();
+  const auto second = reader.next();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(shard::decode(*first)->type, shard::MessageType::kHello);
+  EXPECT_EQ(shard::decode(*second)->batch, 5u);
+  EXPECT_FALSE(reader.next().has_value());
+  // ...and EOF after the writer closes reports cleanly, nothing pending.
+  util::close_fd(pipe.write_fd);
+  EXPECT_FALSE(reader.pump(pipe.read_fd));
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+  util::close_fd(pipe.read_fd);
+}
+
+TEST(ShardProtocol, FrameReaderRejectsOversizedPrefix) {
+  util::Pipe pipe = util::make_pipe();
+  util::set_nonblocking(pipe.read_fd);
+  // A foreign/corrupt writer: length prefix far beyond kMaxFramePayload.
+  const unsigned char garbage[4] = {0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::write(pipe.write_fd, garbage, sizeof garbage),
+            static_cast<ssize_t>(sizeof garbage));
+  util::FrameReader reader;
+  ASSERT_TRUE(reader.pump(pipe.read_fd));
+  EXPECT_THROW(reader.next(), std::runtime_error);
+  util::close_fd(pipe.read_fd);
+  util::close_fd(pipe.write_fd);
+}
+
+// --- worker chaos plans ----------------------------------------------------
+
+TEST(WorkerChaos, NamedPlansAreDeterministicAndBounded) {
+  EXPECT_TRUE(fault::make_worker_chaos("none", 1, 4, 21).empty());
+  EXPECT_THROW(fault::make_worker_chaos("nope", 1, 4, 21),
+               std::invalid_argument);
+
+  const auto plan = fault::make_worker_chaos("worker-chaos", 9, 4, 21);
+  const auto again = fault::make_worker_chaos("worker-chaos", 9, 4, 21);
+  ASSERT_EQ(plan.events.size(), 2u);  // ceil(4/2) victims, one kill each
+  std::set<std::size_t> victims;
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const auto& event = plan.events[i];
+    EXPECT_EQ(event.kind, fault::WorkerChaosEvent::Kind::kKill);
+    EXPECT_LT(event.worker, 4u);
+    EXPECT_GE(event.after_batch, 1u);
+    EXPECT_LE(event.after_batch, 19u);  // within [1, total-2]
+    EXPECT_EQ(event.worker, again.events[i].worker);
+    EXPECT_EQ(event.after_batch, again.events[i].after_batch);
+    victims.insert(event.worker);
+  }
+  EXPECT_EQ(victims.size(), plan.events.size()) << "victims must be distinct";
+  EXPECT_FALSE(plan.describe().empty());
+
+  const auto stall = fault::make_worker_chaos("worker-stall", 9, 4, 21);
+  ASSERT_EQ(stall.events.size(), 1u);
+  EXPECT_EQ(stall.events[0].kind, fault::WorkerChaosEvent::Kind::kStall);
+}
+
+// --- coordinator: byte-identity --------------------------------------------
+
+TEST(ShardFarm, MergedOutputMatchesSingleProcessForAnyWorkerCount) {
+  const auto config = small_config(20'000, 2);
+  const std::string expected = reference_log(config);
+  for (const std::size_t workers : {1, 2, 4, 7, 9}) {
+    TempDir dir{"farm_w" + std::to_string(workers)};
+    auto options = sharded_options(config, dir, workers);
+    const auto run = shard::run_sharded(options);
+    ASSERT_TRUE(run.completed);
+    EXPECT_TRUE(run.degraded_shards.empty());
+    EXPECT_EQ(run.restarts, 0u);
+    EXPECT_EQ(slurp(options.out_path), expected)
+        << "--workers " << workers << " diverged from single-process";
+    EXPECT_EQ(run.manifest.workers, workers);
+    EXPECT_EQ(run.manifest.state, "complete");
+    // The coordinator manifest verifies as a unit: merged output plus one
+    // "shard" artifact per spawned worker.
+    const auto report =
+        durable::verify_artifacts(run.manifest, options.directory);
+    for (const auto& check : report.checks) EXPECT_TRUE(check.ok());
+  }
+}
+
+TEST(ShardFarm, ThreadCountDoesNotLeakIntoShardedOutput) {
+  auto config = small_config(12'000, 1);
+  const std::string expected = reference_log(config);
+  config.threads = 3;
+  TempDir dir{"farm_threads"};
+  auto options = sharded_options(config, dir, 2);
+  const auto run = shard::run_sharded(options);
+  ASSERT_TRUE(run.completed);
+  EXPECT_EQ(slurp(options.out_path), expected);
+}
+
+// --- coordinator: supervision under real process death ---------------------
+
+TEST(ShardFarm, SurvivesInjectedWorkerDeathBitIdentically) {
+  const auto config = small_config(20'000, 2);
+  const std::string expected = reference_log(config);
+  TempDir dir{"farm_chaos"};
+  auto options = sharded_options(config, dir, 4);
+  options.worker_chaos = "worker-chaos";
+  options.commit_interval = 2;
+  // Only workers that own at least one proxy spawn at all.
+  std::uint64_t live_workers = 0;
+  for (std::size_t w = 0; w < options.workers; ++w)
+    if (shard::proxy_mask_for(config.seed, w, options.workers,
+                              policy::kProxyCount) != 0)
+      ++live_workers;
+  const auto run = shard::run_sharded(options);
+  ASSERT_TRUE(run.completed);
+  EXPECT_GE(run.kills_injected, 1u);
+  EXPECT_GE(run.restarts, 1u);
+  EXPECT_EQ(run.spawns, run.restarts + live_workers);
+  EXPECT_TRUE(run.degraded_shards.empty());
+  EXPECT_EQ(slurp(options.out_path), expected)
+      << "restart-and-resume diverged from single-process";
+}
+
+TEST(ShardFarm, HeartbeatTimeoutDetectsAStalledWorker) {
+  const auto config = small_config(12'000, 1);
+  const std::string expected = reference_log(config);
+  TempDir dir{"farm_stall"};
+  auto options = sharded_options(config, dir, 2);
+  options.worker_chaos = "worker-stall";
+  // The stall sleeps 4x this window, so detection stays reliable; the
+  // window itself must exceed the slowest per-batch time (heartbeats are
+  // per-batch) or sanitizer slowdown turns healthy workers into false
+  // positives and exhausts the restart budget.
+  options.heartbeat_ms = 2500;
+  const auto run = shard::run_sharded(options);
+  ASSERT_TRUE(run.completed);
+  EXPECT_GE(run.heartbeat_misses, 1u);
+  EXPECT_GE(run.restarts, 1u);
+  EXPECT_TRUE(run.degraded_shards.empty());
+  EXPECT_EQ(slurp(options.out_path), expected);
+}
+
+TEST(ShardFarm, ExhaustedRestartBudgetDegradesGracefully) {
+  const auto config = small_config(20'000, 2);
+  const std::string expected = reference_log(config);
+  TempDir dir{"farm_degraded"};
+  auto options = sharded_options(config, dir, 4);
+  options.worker_chaos = "worker-chaos";
+  options.restart_budget = 0;   // first death abandons the shard
+  options.commit_interval = 1;  // every batch durable; loss is the tail
+  const auto run = shard::run_sharded(options);
+  // Degradation is not failure: the run completes with what survived.
+  ASSERT_TRUE(run.completed);
+  EXPECT_GE(run.shards_abandoned, 1u);
+  EXPECT_EQ(run.restarts, 0u);
+  ASSERT_FALSE(run.degraded_shards.empty());
+  EXPECT_EQ(run.manifest.degraded_shards, run.degraded_shards);
+  EXPECT_EQ(run.manifest.state, "complete");
+  EXPECT_FALSE(shard::describe_degraded(run.shards).empty());
+  // The merged log is the single-process log minus the abandoned shards'
+  // uncommitted tails: never larger, and a subset of its lines.
+  const std::string merged = slurp(options.out_path);
+  EXPECT_LE(merged.size(), expected.size());
+  std::set<std::string> expected_lines;
+  {
+    std::istringstream ref{expected};
+    for (std::string line; std::getline(ref, line);)
+      expected_lines.insert(line);
+  }
+  std::istringstream in{merged};
+  for (std::string line; std::getline(in, line);)
+    EXPECT_TRUE(expected_lines.count(line))
+        << "merged line absent from reference: " << line;
+  // The manifest round-trips the degradation marker.
+  const auto reloaded = durable::RunManifest::load(
+      options.directory + "/" + std::string(durable::RunManifest::kFileName));
+  EXPECT_EQ(reloaded.degraded_shards, run.degraded_shards);
+}
+
+TEST(ShardFarm, CancellationInterruptsAndResumesBitIdentically) {
+  const auto config = small_config(60'000, 2);
+  const std::string expected = reference_log(config);
+  TempDir dir{"farm_cancel"};
+  auto options = sharded_options(config, dir, 2);
+  options.commit_interval = 1;
+  util::CancelToken cancel;
+  cancel.set_deadline_after(0.08);
+  options.cancel = &cancel;
+  const auto first = shard::run_sharded(options);
+  if (first.completed)
+    GTEST_SKIP() << "run outpaced the deadline on this machine";
+  EXPECT_EQ(first.manifest.state, "interrupted");
+
+  cancel.reset();
+  options.resume = true;
+  const auto second = shard::run_sharded(options);
+  ASSERT_TRUE(second.completed);
+  EXPECT_EQ(slurp(options.out_path), expected);
+}
+
+TEST(ShardFarm, ResumeRefusesTopologyAndOccupiedDirMismatches) {
+  const auto config = small_config(12'000, 1);
+  TempDir dir{"farm_refuse"};
+  auto options = sharded_options(config, dir, 2);
+  ASSERT_TRUE(shard::run_sharded(options).completed);
+  // Same directory without --resume: refused, nothing clobbered.
+  EXPECT_THROW(shard::run_sharded(options), std::runtime_error);
+  // Resume under a different worker count: the proxy assignment would
+  // change, so the coordinator refuses up front.
+  options.resume = true;
+  options.workers = 3;
+  EXPECT_THROW(shard::run_sharded(options), std::runtime_error);
+  // Rerun of the completed run with the original topology is idempotent —
+  // a pure re-merge, no worker respawned.
+  options.workers = 2;
+  const auto rerun = shard::run_sharded(options);
+  ASSERT_TRUE(rerun.completed);
+  EXPECT_EQ(rerun.spawns, 0u);
+}
+
+// --- merge edge cases -------------------------------------------------------
+
+/// Runs a real 2-worker sharded generation and returns its options (the
+/// shard directories under options.directory are then tampered with).
+shard::CoordinatorOptions completed_two_shard_run(const TempDir& dir,
+                                                  std::uint64_t requests) {
+  auto options = sharded_options(small_config(requests, 1), dir, 2);
+  const auto run = shard::run_sharded(options);
+  EXPECT_TRUE(run.completed);
+  return options;
+}
+
+std::vector<shard::ShardInput> strict_inputs(
+    const shard::CoordinatorOptions& options) {
+  std::vector<shard::ShardInput> inputs;
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    const std::uint64_t mask = shard::proxy_mask_for(
+        options.config.seed, w, options.workers, policy::kProxyCount);
+    if (mask == 0) continue;  // never spawned, no directory to read
+    const std::string name = shard::shard_dir_name(w);
+    inputs.push_back({name, options.directory + "/" + name, mask, false});
+  }
+  return inputs;
+}
+
+TEST(ShardMerge, EmptyShardSpoolContributesNothing) {
+  TempDir dir{"merge_empty"};
+  const auto options = completed_two_shard_run(dir, 8'000);
+  const std::string expected = slurp(options.out_path);
+
+  auto inputs = strict_inputs(options);
+  // A degraded shard that died before writing anything: bare directory,
+  // no manifest, no spool.
+  const std::string ghost_dir = options.directory + "/shard-99";
+  fs::create_directories(ghost_dir);
+  inputs.push_back({"shard-99", ghost_dir, 0, true});
+  // And one that managed only the csv header (empty spool, zero keys).
+  const std::string header_dir = options.directory + "/shard-98";
+  fs::create_directories(header_dir);
+  {
+    std::ofstream spool{header_dir + "/log_spool.csv"};
+    spool << proxy::log_csv_header() << "\n";
+  }
+  inputs.push_back({"shard-98", header_dir, 0, true});
+
+  const std::string out = (dir.path / "remerged.csv").string();
+  const auto result = shard::merge_shards(inputs, out);
+  EXPECT_EQ(slurp(out), expected);
+  ASSERT_EQ(result.shards.size(), 4u);
+  EXPECT_EQ(result.shards[2].records, 0u);
+  EXPECT_EQ(result.shards[3].records, 0u);
+  EXPECT_TRUE(result.shards[2].lenient);
+}
+
+TEST(ShardMerge, TornTailRecoveredLeniently) {
+  TempDir dir{"merge_torn"};
+  const auto options = completed_two_shard_run(dir, 8'000);
+  const std::string expected = slurp(options.out_path);
+
+  // Crash-wound shard-01: manifest gone, spool torn mid-record (no
+  // trailing newline). The committed lines and their keys survive, so a
+  // lenient merge still reconstructs the exact original interleaving.
+  const std::string wounded = options.directory + "/shard-01";
+  fs::remove(wounded + "/manifest.json");
+  {
+    std::ofstream spool{wounded + "/log_spool.csv",
+                        std::ios::app | std::ios::binary};
+    spool << "2011-07-2";  // torn final record
+  }
+  auto inputs = strict_inputs(options);
+  inputs[1].degraded = true;
+
+  const std::string out = (dir.path / "remerged.csv").string();
+  const auto result = shard::merge_shards(inputs, out);
+  EXPECT_EQ(slurp(out), expected);
+  EXPECT_TRUE(result.shards[1].lenient);
+  EXPECT_TRUE(result.shards[1].read_stats.truncated_tail);
+  // The fold propagates the damage to the combined stats the coverage
+  // report consumes.
+  EXPECT_TRUE(result.combined.truncated_tail);
+  EXPECT_TRUE(result.combined.header_present);
+  EXPECT_EQ(result.combined.recovered, result.records);
+}
+
+TEST(ShardMerge, SurvivingShardMustVerify) {
+  TempDir dir{"merge_strict"};
+  const auto options = completed_two_shard_run(dir, 8'000);
+  // Flip one byte inside shard-00's committed spool. As a *surviving*
+  // shard it must verify, and the merge must say which shard failed.
+  {
+    std::fstream spool{options.directory + "/shard-00/log_spool.csv",
+                       std::ios::in | std::ios::out | std::ios::binary};
+    ASSERT_TRUE(spool.good());
+    spool.seekp(64);
+    spool.put('~');
+  }
+  const auto inputs = strict_inputs(options);
+  try {
+    shard::merge_shards(inputs, (dir.path / "out.csv").string());
+    FAIL() << "corrupt surviving shard merged silently";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("shard-00"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ShardMerge, FoldReadStatsAggregates) {
+  proxy::LogReadStats total;
+  total.header_present = true;
+  proxy::LogReadStats a;
+  a.lines = 10;
+  a.data_lines = 9;
+  a.recovered = 8;
+  a.empty_lines = 1;
+  a.header_present = true;
+  a.skipped[1] = 1;
+  a.first_error_line[1] = 7;
+  proxy::LogReadStats b;
+  b.lines = 5;
+  b.data_lines = 4;
+  b.recovered = 4;
+  b.header_present = true;
+  b.truncated_tail = true;
+  shard::fold_read_stats(total, a);
+  shard::fold_read_stats(total, b);
+  EXPECT_EQ(total.lines, 15u);
+  EXPECT_EQ(total.data_lines, 13u);
+  EXPECT_EQ(total.recovered, 12u);
+  EXPECT_EQ(total.empty_lines, 1u);
+  EXPECT_TRUE(total.header_present);
+  EXPECT_TRUE(total.truncated_tail);
+  EXPECT_EQ(total.skipped[1], 1u);
+  EXPECT_EQ(total.first_error_line[1], 7u);
+  EXPECT_TRUE(total.consistent());
+  // header_present is an AND: one headerless shard taints the fold.
+  proxy::LogReadStats c;
+  shard::fold_read_stats(total, c);
+  EXPECT_FALSE(total.header_present);
+}
+
+}  // namespace

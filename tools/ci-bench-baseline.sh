@@ -4,6 +4,7 @@
 #
 #   bench_parallel_pipeline  -> BENCH_pipeline.json
 #   bench_colfmt_scan        -> BENCH_colfmt.json
+#   bench_shard_farm         -> BENCH_shard.json
 #
 # Each JSON file is google-benchmark's machine-readable output; the colfmt
 # baseline carries the CSV-vs-SYRCOL1 scan timings behind the size and
@@ -31,7 +32,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> [bench] build"
 cmake --build "${build_dir}" -j "${jobs}" \
-      --target bench_parallel_pipeline bench_colfmt_scan
+      --target bench_parallel_pipeline bench_colfmt_scan bench_shard_farm
 
 run_bench() {
   local name="$1" json="$2"
@@ -44,5 +45,6 @@ run_bench() {
 
 run_bench bench_parallel_pipeline BENCH_pipeline.json
 run_bench bench_colfmt_scan BENCH_colfmt.json
+run_bench bench_shard_farm BENCH_shard.json
 
 echo "==> benchmark baselines written to ${out_dir}"

@@ -8,6 +8,12 @@
 # byte in a manifest-listed artifact, and that cancellation (SIGTERM)
 # exits 0 with a resumable checkpoint.
 #
+# The sharded legs exercise the multi-process farm (--workers): real
+# SIGKILLed workers (--worker-chaos) must restart and merge byte-identical
+# to the single-process run; an exhausted restart budget must complete
+# degraded (exit 0, explicit [DEGRADED DATA]); and SIGTERM must stop the
+# whole farm gracefully into a resumable set of per-shard checkpoints.
+#
 # Usage:
 #   tools/ci-crash-resume.sh [build-dir]   # default: build/
 #
@@ -106,5 +112,63 @@ grep -q -- "--resume" "${stop_dir}/log" || {
     --threads 2 --checkpoint-dir "${stop_dir}/ckpt" --resume >/dev/null
 [[ -s "${stop_dir}/out.csv" ]] || {
   echo "error: resumed run produced no output" >&2; exit 1; }
+
+echo "==> sharded farm: worker-chaos kills workers, merge stays identical"
+shard_dir="${workdir}/sharded"
+mkdir -p "${shard_dir}"
+"${ctl}" generate --out "${shard_dir}/single.csv" --requests "${requests}" \
+    --threads 1 >/dev/null
+"${ctl}" generate --out "${shard_dir}/merged.csv" --requests "${requests}" \
+    --workers 4 --checkpoint-dir "${shard_dir}/ckpt" \
+    --worker-chaos worker-chaos --restart-budget 3 --backoff-ms 20 \
+    >"${shard_dir}/log"
+grep -qE " [1-9][0-9]* restarts" "${shard_dir}/log" || {
+  echo "error: worker-chaos run reported no restarts" >&2; exit 1; }
+cmp "${shard_dir}/single.csv" "${shard_dir}/merged.csv" || {
+  echo "error: sharded merge differs from single-process run" >&2; exit 1; }
+echo "==> sharded verify: one invocation covers every per-worker checkpoint"
+"${ctl}" verify "${shard_dir}/ckpt" | grep -q "sharded run: 4 workers" || {
+  echo "error: verify did not recurse into the sharded run" >&2; exit 1; }
+
+echo "==> degraded farm: exhausted restart budget still completes (exit 0)"
+deg_dir="${workdir}/degraded"
+mkdir -p "${deg_dir}"
+"${ctl}" generate --out "${deg_dir}/merged.csv" --requests "${requests}" \
+    --workers 4 --checkpoint-dir "${deg_dir}/ckpt" \
+    --worker-chaos worker-chaos --restart-budget 0 --backoff-ms 20 \
+    --checkpoint-interval 1 >"${deg_dir}/log"
+grep -q "DEGRADED DATA" "${deg_dir}/log" || {
+  echo "error: degraded run printed no [DEGRADED DATA] annotation" >&2
+  exit 1
+}
+"${ctl}" verify "${deg_dir}/ckpt" | grep -q "degraded shard:" || {
+  echo "error: verify did not surface the degraded shard" >&2; exit 1; }
+
+echo "==> sharded graceful stop: SIGTERM fans out, farm resumes identically"
+sstop_dir="${workdir}/sharded_sigterm"
+mkdir -p "${sstop_dir}"
+"${ctl}" generate --out "${sstop_dir}/merged.csv" --requests 400000 \
+    --workers 2 --checkpoint-dir "${sstop_dir}/ckpt" \
+    >"${sstop_dir}/log" &
+pid=$!
+while kill -0 "${pid}" 2>/dev/null &&
+      [[ ! -e "${sstop_dir}/ckpt/shard-00/farm_state.bin" ]]; do
+  sleep 0.05
+done
+kill -TERM "${pid}" 2>/dev/null || true
+status=0
+wait "${pid}" || status=$?
+[[ "${status}" -eq 0 ]] || {
+  echo "error: interrupted sharded generate exited ${status}, expected 0" >&2
+  exit 1
+}
+if grep -q -- "--resume" "${sstop_dir}/log"; then
+  "${ctl}" generate --out "${sstop_dir}/merged.csv" --requests 400000 \
+      --workers 2 --checkpoint-dir "${sstop_dir}/ckpt" --resume >/dev/null
+fi
+cmp "${stop_dir}/out.csv" "${sstop_dir}/merged.csv" || {
+  echo "error: resumed sharded run differs from single-process run" >&2
+  exit 1
+}
 
 echo "==> crash/resume green"

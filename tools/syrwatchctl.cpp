@@ -5,6 +5,9 @@
 //                        [--fault-profile NAME]
 //                        [--checkpoint-dir DIR [--resume]]
 //                        [--checkpoint-interval K] [--deadline SECONDS]
+//                        [--workers N [--restart-budget K]
+//                         [--heartbeat-ms T] [--backoff-ms B]
+//                         [--worker-chaos NAME]]
 //       Simulate the deployment and write the log in Blue Coat csv form
 //       (atomically: temp + rename, never a torn csv). --format=col writes
 //       the checksummed columnar container (SYRCOL1) instead; both writes
@@ -16,13 +19,27 @@
 //       flushes the last complete batch and exits 0 with a resume hint,
 //       and --resume continues the run to a log bit-identical to an
 //       uninterrupted one (any --threads value).
+//       --workers N shards the farm across N supervised worker processes
+//       (requires --checkpoint-dir, csv format): each worker owns a
+//       deterministic subset of the proxies with its own durable
+//       checkpoint, a dead worker is restarted with capped exponential
+//       backoff and resumes from its own manifest, and the surviving
+//       spools k-way merge into --out — byte-identical to --workers 1 and
+//       to the single-process path when every shard survives. A shard
+//       that exhausts --restart-budget (default 3) is abandoned: the run
+//       still completes (exit 0) with its committed prefix merged and
+//       explicit [DEGRADED DATA] annotations. --heartbeat-ms T also
+//       SIGKILLs+restarts a worker silent for T ms; --worker-chaos
+//       injects real process faults (fault::make_worker_chaos) for drills.
 //
 //   syrwatchctl verify DIR|MANIFEST|CONTAINER
 //       Integrity-check every artifact a run manifest lists (size +
 //       CRC32) — detects a single flipped byte in the committed spool,
-//       farm state blob, or recorded output file. Given a columnar
-//       container instead, re-checks its footer, index, and every page
-//       checksum.
+//       farm state blob, or recorded output file. A sharded run's
+//       manifest recurses into every per-worker checkpoint in the same
+//       invocation, naming the failing shard on mismatch. Given a
+//       columnar container instead, re-checks its footer, index, and
+//       every page checksum.
 //
 //   syrwatchctl convert IN OUT
 //       Convert between the csv log and the columnar container (the
@@ -71,7 +88,6 @@
 // `generate --format=col` or `convert` — the format is sniffed from the
 // file's first bytes, so pipelines can be scripted without recompiling.
 
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -101,6 +117,7 @@
 #include "obs/trace.h"
 #include "policy/syria.h"
 #include "proxy/log_io.h"
+#include "shard/coordinator.h"
 #include "util/atomic_io.h"
 #include "util/cancel.h"
 #include "util/checksum.h"
@@ -121,7 +138,9 @@ int usage() {
       "  syrwatchctl generate --out FILE [--requests N] [--seed S]"
       " [--threads T] [--format csv|col|both] [--no-leak-filter]"
       " [--fault-profile NAME]"
-      " [--checkpoint-dir DIR [--resume]] [--deadline SECONDS]\n"
+      " [--checkpoint-dir DIR [--resume]] [--deadline SECONDS]"
+      " [--workers N [--restart-budget K] [--heartbeat-ms T]"
+      " [--backoff-ms B] [--worker-chaos NAME]]\n"
       "  syrwatchctl verify DIR|MANIFEST|CONTAINER\n"
       "  syrwatchctl convert IN OUT\n"
       "  syrwatchctl inspect FILE [--bin-hours H] [--threads T]\n"
@@ -238,11 +257,111 @@ bool single_input(const char* command, const util::CliFlags& flags,
   return true;
 }
 
-/// Process-wide cancellation token the SIGINT/SIGTERM handler flips.
-/// request_cancel() is a relaxed atomic store — async-signal-safe.
+/// Process-wide cancellation token SIGINT/SIGTERM flip (via
+/// util::install_stop_signals — sigaction without SA_RESTART, so a
+/// coordinator blocked in poll() wakes immediately; forked shard workers
+/// reinstall onto their own token).
 util::CancelToken g_cancel;
 
-void handle_stop_signal(int) { g_cancel.request_cancel(); }
+/// The --workers path of `generate`: instead of running the scenario
+/// in-process, forks the shard farm under the supervising coordinator
+/// (src/shard). Shares the single-process resume contract — an interrupt
+/// leaves every shard checkpointed and exits 0 with a hint — and renders
+/// the [DEGRADED DATA] block plus coverage gaps when a shard exhausted its
+/// restart budget and was abandoned.
+int cmd_generate_sharded(const util::CliFlags& flags,
+                         const workload::ScenarioConfig& config,
+                         const std::string& out_path,
+                         const std::string& checkpoint_dir,
+                         std::size_t workers) {
+  shard::CoordinatorOptions options;
+  options.config = config;
+  options.directory = checkpoint_dir;
+  options.out_path = out_path;
+  options.workers = workers;
+  options.resume = flags.has("--resume");
+  options.commit_interval =
+      static_cast<std::size_t>(flags.get_u64("--checkpoint-interval", 8));
+  if (options.commit_interval == 0) {
+    std::fprintf(stderr,
+                 "syrwatchctl generate: --checkpoint-interval must be "
+                 ">= 1\n");
+    return usage();
+  }
+  options.restart_budget =
+      static_cast<std::size_t>(flags.get_u64("--restart-budget", 3));
+  options.heartbeat_ms = flags.get_u64("--heartbeat-ms", 0);
+  options.restart_backoff_ms = flags.get_u64("--backoff-ms", 200);
+  options.worker_chaos =
+      std::string(flags.get("--worker-chaos").value_or("none"));
+  if (const auto deadline = flags.get("--deadline"))
+    g_cancel.set_deadline_after(std::stod(std::string(*deadline)));
+  // ^C, SIGTERM, or the deadline stop the whole farm gracefully: the
+  // coordinator fans SIGTERM out to every worker, each shard flushes its
+  // last complete batch, and the run resumes bit-identically later.
+  util::install_stop_signals(g_cancel);
+  options.cancel = &g_cancel;
+
+  MetricsOutput metrics{flags};
+  options.obs = metrics.context();
+
+  const std::uint64_t start = obs::monotonic_nanos();
+  const shard::ShardedRun result = shard::run_sharded(options);
+  metrics.add_phase("generate", seconds_since(start), result.records);
+
+  if (!result.completed) {
+    std::printf(
+        "interrupted — every shard checkpointed under %s\n"
+        "resume with: syrwatchctl generate --out %s --checkpoint-dir %s "
+        "--workers %zu --resume\n",
+        checkpoint_dir.c_str(), out_path.c_str(), checkpoint_dir.c_str(),
+        workers);
+    return metrics.write("generate") ? 0 : 1;
+  }
+
+  std::printf("wrote %s records to %s (seed %llu, crc32 %s)\n",
+              util::with_commas(result.records).c_str(), out_path.c_str(),
+              static_cast<unsigned long long>(config.seed),
+              util::to_hex32(result.output.crc32).c_str());
+  std::printf("sharded across %zu workers: %s spawns, %s restarts, "
+              "%s heartbeat misses, %s chaos kills\n",
+              workers, util::with_commas(result.spawns).c_str(),
+              util::with_commas(result.restarts).c_str(),
+              util::with_commas(result.heartbeat_misses).c_str(),
+              util::with_commas(result.kills_injected).c_str());
+
+  if (!result.degraded_shards.empty()) {
+    std::printf(
+        "[DEGRADED DATA] %zu shard(s) abandoned after exhausting the "
+        "restart budget: %s — the merge holds their committed prefixes "
+        "only\n",
+        result.degraded_shards.size(),
+        shard::describe_degraded(result.shards).c_str());
+    // The coverage view of the damage, in the same shape the study report
+    // uses: re-read the merged log and bin it so the abandoned shard's
+    // missing tail surfaces as per-proxy gaps, with the folded read stats
+    // marking any torn tail the lenient merge recovered over.
+    const auto dataset = load(out_path);
+    const auto coverage =
+        analysis::request_coverage(dataset, 3600, 25, &result.read_stats);
+    util::TextTable gaps{{"Proxy", "Gap start", "Gap end",
+                          "Farm reqs in gap"}};
+    for (const auto& gap : coverage.gaps)
+      gaps.add_row({policy::proxy_name(gap.proxy_index),
+                    util::format_datetime(gap.start),
+                    util::format_datetime(gap.end),
+                    util::with_commas(gap.farm_requests)});
+    if (!coverage.gaps.empty())
+      std::fputs(
+          util::titled_block("DEGRADED DATA — coverage gaps", gaps).c_str(),
+          stdout);
+    if (coverage.truncated_tail)
+      std::printf(
+          "[DEGRADED DATA] torn spool tail recovered leniently in an "
+          "abandoned shard\n");
+  }
+  return metrics.write("generate") ? 0 : 1;
+}
 
 int cmd_generate(int argc, char** argv) {
   util::CliFlags flags;
@@ -257,6 +376,11 @@ int cmd_generate(int argc, char** argv) {
   flags.value_flag("--deadline");
   flags.value_flag("--abort-after-batches");
   flags.value_flag("--format");
+  flags.value_flag("--workers");
+  flags.value_flag("--restart-budget");
+  flags.value_flag("--heartbeat-ms");
+  flags.value_flag("--backoff-ms");
+  flags.value_flag("--worker-chaos");
   flags.bool_flag("--no-leak-filter");
   flags.bool_flag("--resume");
   if (!flags.parse(argc, argv)) return flag_error("generate", flags);
@@ -297,6 +421,37 @@ int cmd_generate(int argc, char** argv) {
   if (const auto profile = flags.get("--fault-profile"))
     config.fault_profile = *profile;  // make_profile rejects unknown names
 
+  if (flags.get("--workers")) {
+    const std::size_t workers =
+        static_cast<std::size_t>(flags.get_u64("--workers", 2));
+    if (workers == 0) {
+      std::fprintf(stderr, "syrwatchctl generate: --workers must be >= 1\n");
+      return usage();
+    }
+    if (checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "syrwatchctl generate: --workers requires "
+                   "--checkpoint-dir (each shard checkpoints there)\n");
+      return usage();
+    }
+    if (format != "csv") {
+      std::fprintf(stderr,
+                   "syrwatchctl generate: --workers writes csv only (the "
+                   "shard merge is byte-level); drop --format %s\n",
+                   format.c_str());
+      return usage();
+    }
+    if (flags.get("--abort-after-batches")) {
+      std::fprintf(stderr,
+                   "syrwatchctl generate: --abort-after-batches is a "
+                   "single-process crash hook; use --worker-chaos to kill "
+                   "real workers\n");
+      return usage();
+    }
+    return cmd_generate_sharded(flags, config, out_path, checkpoint_dir,
+                                workers);
+  }
+
   const util::CancelToken* cancel = nullptr;
   if (const auto deadline = flags.get("--deadline")) {
     g_cancel.set_deadline_after(std::stod(std::string(*deadline)));
@@ -307,8 +462,7 @@ int cmd_generate(int argc, char** argv) {
     // cleanly with a resume hint (a second ^C during the flush still
     // kills the process the hard way — the checkpoint stays consistent,
     // that is the whole point of the commit ordering).
-    std::signal(SIGINT, handle_stop_signal);
-    std::signal(SIGTERM, handle_stop_signal);
+    util::install_stop_signals(g_cancel);
     cancel = &g_cancel;
   }
 
@@ -498,16 +652,62 @@ int cmd_verify(int argc, char** argv) {
                    std::string(check.status())});
   }
   std::fputs(util::titled_block("Artifact integrity", table).c_str(), stdout);
+
+  // A sharded run's coordinator manifest lists each per-worker checkpoint
+  // as a "shard" artifact; recurse into every one so a single `verify` of
+  // the top-level directory covers the whole farm — and names the failing
+  // shard rather than a bare count.
+  std::size_t checked = report.checks.size();
+  std::string failing_shard;
+  if (manifest.workers > 0) {
+    std::printf("sharded run: %llu workers%s\n",
+                static_cast<unsigned long long>(manifest.workers),
+                manifest.degraded_shards.empty() ? "" : ", [DEGRADED DATA]");
+    for (const auto& degraded : manifest.degraded_shards)
+      std::printf("  degraded shard: %s (abandoned — committed prefix "
+                  "only)\n",
+                  degraded.c_str());
+    for (const auto& artifact : manifest.artifacts) {
+      if (artifact.role != "shard") continue;
+      const fs::path shard_manifest_path =
+          fs::path(base_dir.empty() ? "." : base_dir) / artifact.path;
+      const std::string shard_name =
+          shard_manifest_path.parent_path().filename().string();
+      std::size_t shard_failures = 0;
+      try {
+        const auto shard_manifest =
+            durable::RunManifest::load(shard_manifest_path.string());
+        const auto shard_report = durable::verify_artifacts(
+            shard_manifest, shard_manifest_path.parent_path().string());
+        checked += shard_report.checks.size();
+        for (const auto& check : shard_report.checks)
+          if (!check.ok()) ++shard_failures;
+        std::printf("  %s: %s run, %zu artifacts, %zu failed\n",
+                    shard_name.c_str(), shard_manifest.state.c_str(),
+                    shard_report.checks.size(), shard_failures);
+      } catch (const std::exception& error) {
+        std::printf("  %s: unreadable manifest (%s)\n", shard_name.c_str(),
+                    error.what());
+        shard_failures = 1;
+      }
+      if (shard_failures > 0 && failing_shard.empty())
+        failing_shard = shard_name;
+      failures += shard_failures;
+    }
+  }
+
   obs::add(obs::counter(metrics.context(), "verify.artifacts_checked"),
-           report.checks.size());
+           checked);
   obs::add(obs::counter(metrics.context(), "verify.failures"), failures);
   const bool metrics_ok = metrics.write("verify");
   if (failures > 0) {
-    std::fprintf(stderr, "%zu of %zu artifacts failed verification\n",
-                 failures, report.checks.size());
+    std::fprintf(stderr, "%zu of %zu artifacts failed verification%s%s\n",
+                 failures, checked,
+                 failing_shard.empty() ? "" : " — first failing shard: ",
+                 failing_shard.c_str());
     return 1;
   }
-  std::printf("all %zu artifacts verified\n", report.checks.size());
+  std::printf("all %zu artifacts verified\n", checked);
   return metrics_ok ? 0 : 1;
 }
 
