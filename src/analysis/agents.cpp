@@ -1,29 +1,42 @@
 #include "analysis/agents.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
 namespace syrwatch::analysis {
 
-std::vector<AgentStats> agent_stats(const Dataset& dataset,
-                                    std::uint64_t min_requests) {
+std::vector<AgentStats> agent_stats(const LogSource& source,
+                                    std::uint64_t min_requests,
+                                    std::size_t threads) {
   struct Acc {
     std::uint64_t requests = 0;
     std::uint64_t censored = 0;
   };
-  std::unordered_map<util::StringPool::Id, Acc> by_agent;
-  for (const Row& row : dataset.rows()) {
-    Acc& acc = by_agent[row.agent];
-    ++acc.requests;
-    if (dataset.cls(row) == proxy::TrafficClass::kCensored) ++acc.censored;
+  // Keyed by agent text so partials merge across backends; the ranking is a
+  // total order, so map iteration order never shows through.
+  using Partial = std::unordered_map<std::string_view, Acc>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [](Partial& p, const Record& r) {
+        Acc& acc = p[r.agent];
+        ++acc.requests;
+        if (r.cls == proxy::TrafficClass::kCensored) ++acc.censored;
+      });
+
+  std::unordered_map<std::string_view, Acc> by_agent;
+  for (const Partial& p : partials) {
+    for (const auto& [agent, acc] : p) {
+      Acc& merged = by_agent[agent];
+      merged.requests += acc.requests;
+      merged.censored += acc.censored;
+    }
   }
 
   std::vector<AgentStats> out;
   out.reserve(by_agent.size());
-  for (const auto& [agent_id, acc] : by_agent) {
+  for (const auto& [agent, acc] : by_agent) {
     if (acc.requests < min_requests) continue;
-    out.push_back({std::string(dataset.view(agent_id)), acc.requests,
-                   acc.censored});
+    out.push_back({std::string(agent), acc.requests, acc.censored});
   }
   std::sort(out.begin(), out.end(),
             [](const AgentStats& a, const AgentStats& b) {

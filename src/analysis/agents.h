@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -26,7 +26,8 @@ struct AgentStats {
 /// Agents ranked by censored count (descending); `min_requests` drops
 /// one-off agents. Software agents (Skype/5.3, GoogleToolbarBB, ...) stand
 /// out with censored shares near 100%.
-std::vector<AgentStats> agent_stats(const Dataset& dataset,
-                                    std::uint64_t min_requests = 10);
+std::vector<AgentStats> agent_stats(const LogSource& source,
+                                    std::uint64_t min_requests = 10,
+                                    std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -1,6 +1,7 @@
 #include "analysis/anonymizer.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
 namespace syrwatch::analysis {
@@ -15,29 +16,42 @@ double AnonymizerStats::mostly_allowed_share() const {
          static_cast<double>(allowed_censored_ratio.size());
 }
 
-AnonymizerStats anonymizer_stats(const Dataset& dataset,
-                                 const category::Categorizer& categorizer) {
+AnonymizerStats anonymizer_stats(const LogSource& source,
+                                 const category::Categorizer& categorizer,
+                                 std::size_t threads) {
   struct PerHost {
     std::uint64_t allowed = 0;
     std::uint64_t censored = 0;
     std::uint64_t other = 0;
   };
+  struct Partial {
+    std::unordered_map<std::string_view, PerHost> hosts;
+    std::unordered_map<std::uint32_t, bool> is_anon_cache;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        auto cached = p.is_anon_cache.find(r.host_id);
+        if (cached == p.is_anon_cache.end()) {
+          cached = p.is_anon_cache
+                       .emplace(r.host_id, categorizer.is_anonymizer(r.host))
+                       .first;
+        }
+        if (!cached->second) return;
+        PerHost& host = p.hosts[r.host];
+        switch (r.cls) {
+          case proxy::TrafficClass::kAllowed: ++host.allowed; break;
+          case proxy::TrafficClass::kCensored: ++host.censored; break;
+          default: ++host.other; break;
+        }
+      });
+
   std::unordered_map<std::string_view, PerHost> hosts;
-  std::unordered_map<util::StringPool::Id, bool> is_anon_cache;
-  for (const Row& row : dataset.rows()) {
-    auto cached = is_anon_cache.find(row.host);
-    if (cached == is_anon_cache.end()) {
-      cached = is_anon_cache
-                   .emplace(row.host,
-                            categorizer.is_anonymizer(dataset.host(row)))
-                   .first;
-    }
-    if (!cached->second) continue;
-    PerHost& host = hosts[dataset.host(row)];
-    switch (dataset.cls(row)) {
-      case proxy::TrafficClass::kAllowed: ++host.allowed; break;
-      case proxy::TrafficClass::kCensored: ++host.censored; break;
-      default: ++host.other; break;
+  for (const Partial& p : partials) {
+    for (const auto& [name, host] : p.hosts) {
+      PerHost& merged = hosts[name];
+      merged.allowed += host.allowed;
+      merged.censored += host.censored;
+      merged.other += host.other;
     }
   }
 

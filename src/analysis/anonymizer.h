@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "category/categorizer.h"
 #include "util/stats.h"
 
@@ -39,7 +39,8 @@ struct AnonymizerStats {
   double mostly_allowed_share() const;
 };
 
-AnonymizerStats anonymizer_stats(const Dataset& dataset,
-                                 const category::Categorizer& categorizer);
+AnonymizerStats anonymizer_stats(const LogSource& source,
+                                 const category::Categorizer& categorizer,
+                                 std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

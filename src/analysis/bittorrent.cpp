@@ -1,6 +1,8 @@
 #include "analysis/bittorrent.h"
 
 #include <algorithm>
+#include <array>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -41,47 +43,60 @@ constexpr Tool kTools[] = {
     {"MSN Messenger", "msn messenger"},
     {"Yahoo Messenger", "yahoo messenger"},
 };
+constexpr std::size_t kToolCount = std::size(kTools);
 
 }  // namespace
 
-BitTorrentStats bittorrent_stats(const Dataset& dataset,
-                                 const workload::TorrentRegistry& registry) {
+BitTorrentStats bittorrent_stats(const LogSource& source,
+                                 const workload::TorrentRegistry& registry,
+                                 std::size_t threads) {
+  struct Partial {
+    std::uint64_t announces = 0, allowed = 0, censored = 0;
+    std::unordered_set<std::string_view> peers;
+    std::unordered_set<std::string_view> contents;
+    std::array<std::uint64_t, kToolCount> tool_counts{};
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.path != "/announce") return;
+        const auto info_hash = query_param(r.query, "info_hash");
+        if (info_hash.empty()) return;
+        ++p.announces;
+        if (r.cls == proxy::TrafficClass::kCensored) ++p.censored;
+        else if (r.cls == proxy::TrafficClass::kAllowed) ++p.allowed;
+        const auto peer_id = query_param(r.query, "peer_id");
+        if (!peer_id.empty()) p.peers.insert(peer_id);
+        p.contents.insert(info_hash);
+
+        if (const auto title = registry.resolve(info_hash)) {
+          const std::string lowered = util::to_lower(*title);
+          for (std::size_t t = 0; t < kToolCount; ++t) {
+            if (lowered.find(kTools[t].needle) != std::string::npos)
+              p.tool_counts[t] += 1;
+          }
+        }
+      });
+
   BitTorrentStats stats;
   std::unordered_set<std::string_view> peers;
   std::unordered_set<std::string_view> contents;
-  std::unordered_map<std::string, std::uint64_t> tool_counts;
-
-  for (const Row& row : dataset.rows()) {
-    if (dataset.path(row) != "/announce") continue;
-    const auto query = dataset.query(row);
-    const auto info_hash = query_param(query, "info_hash");
-    if (info_hash.empty()) continue;
-    ++stats.announces;
-    const auto cls = dataset.cls(row);
-    if (cls == proxy::TrafficClass::kCensored) ++stats.censored;
-    else if (cls == proxy::TrafficClass::kAllowed) ++stats.allowed;
-    const auto peer_id = query_param(query, "peer_id");
-    if (!peer_id.empty()) peers.insert(peer_id);
-    contents.insert(info_hash);
-
-    if (const auto title = registry.resolve(info_hash)) {
-      const std::string lowered = util::to_lower(*title);
-      for (const Tool& tool : kTools) {
-        if (lowered.find(tool.needle) != std::string::npos)
-          tool_counts[tool.label] += 1;
-      }
-    }
+  std::array<std::uint64_t, kToolCount> tool_counts{};
+  for (const Partial& p : partials) {
+    stats.announces += p.announces;
+    stats.allowed += p.allowed;
+    stats.censored += p.censored;
+    peers.insert(p.peers.begin(), p.peers.end());
+    contents.insert(p.contents.begin(), p.contents.end());
+    for (std::size_t t = 0; t < kToolCount; ++t)
+      tool_counts[t] += p.tool_counts[t];
   }
   stats.unique_peers = peers.size();
   stats.unique_contents = contents.size();
   for (const auto hash : contents) {
     if (registry.resolve(hash)) ++stats.resolved_contents;
   }
-  for (const Tool& tool : kTools) {
-    const auto it = tool_counts.find(tool.label);
-    stats.tool_announces.push_back(
-        {tool.label, it == tool_counts.end() ? 0 : it->second});
-  }
+  for (std::size_t t = 0; t < kToolCount; ++t)
+    stats.tool_announces.push_back({kTools[t].label, tool_counts[t]});
   std::sort(stats.tool_announces.begin(), stats.tool_announces.end(),
             [](const auto& a, const auto& b) {
               return a.announces > b.announces;

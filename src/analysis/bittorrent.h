@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "workload/torrents.h"
 
 namespace syrwatch::analysis {
@@ -37,7 +37,8 @@ struct BitTorrentStats {
   std::vector<ToolCount> tool_announces;
 };
 
-BitTorrentStats bittorrent_stats(const Dataset& dataset,
-                                 const workload::TorrentRegistry& registry);
+BitTorrentStats bittorrent_stats(const LogSource& source,
+                                 const workload::TorrentRegistry& registry,
+                                 std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -8,21 +8,30 @@
 namespace syrwatch::analysis {
 
 std::vector<CategoryCount> category_distribution(
-    const Dataset& dataset, const category::Categorizer& categorizer,
-    proxy::TrafficClass cls) {
+    const LogSource& source, const category::Categorizer& categorizer,
+    proxy::TrafficClass cls, std::size_t threads) {
+  struct Partial {
+    std::array<std::uint64_t, category::kCategoryCount> counts{};
+    std::uint64_t total = 0;
+    // Categorizer lookups lower-case and walk suffixes; cache per host id
+    // (backend-local, but only used as a cache key within the partial).
+    std::unordered_map<std::uint32_t, category::Category> cache;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.cls != cls) return;
+        ++p.total;
+        auto it = p.cache.find(r.host_id);
+        if (it == p.cache.end())
+          it = p.cache.emplace(r.host_id, categorizer.classify(r.host)).first;
+        ++p.counts[static_cast<std::size_t>(it->second)];
+      });
+
   std::array<std::uint64_t, category::kCategoryCount> counts{};
   std::uint64_t total = 0;
-  // Categorizer lookups lower-case and walk suffixes; cache per host id.
-  std::unordered_map<util::StringPool::Id, category::Category> cache;
-  for (const Row& row : dataset.rows()) {
-    if (dataset.cls(row) != cls) continue;
-    ++total;
-    auto it = cache.find(row.host);
-    if (it == cache.end()) {
-      it = cache.emplace(row.host, categorizer.classify(dataset.host(row)))
-               .first;
-    }
-    ++counts[static_cast<std::size_t>(it->second)];
+  for (const Partial& p : partials) {
+    total += p.total;
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += p.counts[i];
   }
   std::vector<CategoryCount> out;
   for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -40,28 +49,33 @@ std::vector<CategoryCount> category_distribution(
 }
 
 std::vector<DomainCategoryCount> categorize_domains(
-    const Dataset& dataset, const category::Categorizer& categorizer,
-    std::span<const std::string> domains) {
+    const LogSource& source, const category::Categorizer& categorizer,
+    std::span<const std::string> domains, std::size_t threads) {
   std::array<DomainCategoryCount, category::kCategoryCount> acc{};
   for (std::size_t i = 0; i < acc.size(); ++i)
     acc[i].category = static_cast<category::Category>(i);
-
-  // Count censored requests per listed domain, then fold into categories.
   for (const std::string& domain : domains) {
     const category::Category cat = categorizer.classify(domain);
     ++acc[static_cast<std::size_t>(cat)].domains;
   }
-  for (const Row& row : dataset.rows()) {
-    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
-    const auto host = dataset.host(row);
-    for (const std::string& domain : domains) {
-      if (util::host_matches_domain(host, domain)) {
-        const category::Category cat = categorizer.classify(domain);
-        ++acc[static_cast<std::size_t>(cat)].censored_requests;
-        break;
-      }
-    }
-  }
+
+  // Count censored requests per listed domain; the dense per-category array
+  // folds by addition.
+  using Partial = std::array<std::uint64_t, category::kCategoryCount>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.cls != proxy::TrafficClass::kCensored) return;
+        for (const std::string& domain : domains) {
+          if (util::host_matches_domain(r.host, domain)) {
+            const category::Category cat = categorizer.classify(domain);
+            ++p[static_cast<std::size_t>(cat)];
+            break;
+          }
+        }
+      });
+  for (const Partial& p : partials)
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc[i].censored_requests += p[i];
 
   std::vector<DomainCategoryCount> out;
   for (const DomainCategoryCount& entry : acc) {

@@ -6,7 +6,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "category/categorizer.h"
 
 namespace syrwatch::analysis {
@@ -22,8 +22,8 @@ struct CategoryCount {
 
 /// Per-category request counts for one traffic class, ranked descending.
 std::vector<CategoryCount> category_distribution(
-    const Dataset& dataset, const category::Categorizer& categorizer,
-    proxy::TrafficClass cls);
+    const LogSource& source, const category::Categorizer& categorizer,
+    proxy::TrafficClass cls, std::size_t threads = 1);
 
 /// Table 9: the categories of an explicit domain list, with the number of
 /// domains and of censored requests per category.
@@ -34,7 +34,7 @@ struct DomainCategoryCount {
 };
 
 std::vector<DomainCategoryCount> categorize_domains(
-    const Dataset& dataset, const category::Categorizer& categorizer,
-    std::span<const std::string> domains);
+    const LogSource& source, const category::Categorizer& categorizer,
+    std::span<const std::string> domains, std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

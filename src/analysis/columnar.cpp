@@ -1,39 +1,12 @@
 #include "analysis/columnar.h"
 
-#include <algorithm>
-#include <array>
-#include <map>
-#include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "net/domain.h"
 #include "net/ipv4.h"
 #include "util/parallel.h"
-#include "util/simtime.h"
-#include "util/stats.h"
 
 namespace syrwatch::analysis {
-
-namespace {
-
-using colfmt::DecodedBlock;
-
-/// Scans every block into its own slot of a pre-sized partial vector, then
-/// hands the partials back for an in-order merge. The scan function sees
-/// (partial, decoded block) and must not touch anything shared.
-template <typename Partial, typename Scan>
-std::vector<Partial> scan_blocks(const ColumnarLog& log, std::size_t threads,
-                                 const Scan& scan) {
-  std::vector<Partial> partials(log.block_count());
-  util::parallel_for(log.block_count(), threads, [&](std::size_t i) {
-    const DecodedBlock block = log.reader().decode(i);
-    scan(partials[i], block);
-  });
-  return partials;
-}
-
-}  // namespace
 
 ColumnarLog::ColumnarLog(colfmt::Reader reader, std::size_t threads)
     : reader_(std::move(reader)) {
@@ -41,409 +14,29 @@ ColumnarLog::ColumnarLog(colfmt::Reader reader, std::size_t threads)
   domain_by_id_.resize(ids);
   ip_by_id_.assign(ids, 0);
   is_ip_.assign(ids, 0);
-  util::parallel_for(ids, threads, [&](std::size_t id) {
-    const auto text = reader_.view(static_cast<std::uint32_t>(id));
-    domain_by_id_[id] = net::registrable_domain(text);
-    if (const auto ip = net::Ipv4Addr::parse(text)) {
-      ip_by_id_[id] = ip->value();
-      is_ip_[id] = 1;
+  // Id 0 ("") is implicit in the format and belongs to no block's delta.
+  if (ids > 0) domain_by_id_[0] = net::registrable_domain("");
+  // One grain per block's dictionary delta (colfmt::Reader::dict_entries):
+  // each worker resolves exactly the strings born in its block, so the
+  // precompute parallelizes along the same block axis the scans use.
+  util::parallel_for(reader_.block_count(), threads, [&](std::size_t b) {
+    const colfmt::DictDelta delta = reader_.dict_entries(b);
+    for (std::uint32_t i = 0; i < delta.count; ++i) {
+      const auto id = static_cast<std::size_t>(delta.base + i);
+      const std::string_view text = delta.entries[i];
+      domain_by_id_[id] = net::registrable_domain(text);
+      if (const auto ip = net::Ipv4Addr::parse(text)) {
+        ip_by_id_[id] = ip->value();
+        is_ip_[id] = 1;
+      }
     }
   });
 }
 
-std::vector<DomainCount> top_domains(const ColumnarLog& log,
-                                     const TopDomainsOptions& options,
-                                     std::size_t threads) {
-  struct Partial {
-    std::uint64_t class_total = 0;
-    std::unordered_map<std::uint32_t, std::uint64_t> host_counts;
-  };
-  const auto partials = scan_blocks<Partial>(
-      log, threads, [&](Partial& p, const DecodedBlock& b) {
-        for (std::size_t r = 0; r < b.rows; ++r) {
-          if (options.window && !options.window->contains(b.time[r]))
-            continue;
-          if (ColumnarLog::cls(b.filter_result[r], b.exception[r]) !=
-              options.cls)
-            continue;
-          ++p.class_total;
-          ++p.host_counts[b.host[r]];
-        }
-      });
-
-  // Host-id counts fold into domain counts here (several hosts can share a
-  // registrable domain); ranking below is a total order on (count, domain),
-  // so the map iteration order cannot show through.
-  std::unordered_map<std::string_view, std::uint64_t> counts;
-  std::uint64_t class_total = 0;
-  for (const Partial& p : partials) {
-    class_total += p.class_total;
-    for (const auto& [host_id, count] : p.host_counts)
-      counts[log.domain(host_id)] += count;
-  }
-  std::vector<DomainCount> ranked;
-  ranked.reserve(counts.size());
-  for (const auto& [domain, count] : counts)
-    ranked.push_back({std::string(domain), count,
-                      class_total == 0
-                          ? 0.0
-                          : static_cast<double>(count) /
-                                static_cast<double>(class_total)});
-  std::sort(ranked.begin(), ranked.end(),
-            [](const DomainCount& a, const DomainCount& b) {
-              if (a.count != b.count) return a.count > b.count;
-              return a.domain < b.domain;
-            });
-  if (ranked.size() > options.k) ranked.resize(options.k);
-  return ranked;
-}
-
-TrafficTimeSeries traffic_time_series(const ColumnarLog& log,
-                                      const TrafficSeriesOptions& options,
-                                      std::size_t threads) {
-  const std::size_t bins = options.bin.bins_over(options.range);
-  struct Partial {
-    std::vector<std::uint64_t> censored, allowed;
-    std::uint64_t censored_overflow = 0, allowed_overflow = 0;
-  };
-  const auto partials = scan_blocks<Partial>(
-      log, threads, [&](Partial& p, const DecodedBlock& b) {
-        p.censored.assign(bins, 0);
-        p.allowed.assign(bins, 0);
-        for (std::size_t r = 0; r < b.rows; ++r) {
-          const auto cls =
-              ColumnarLog::cls(b.filter_result[r], b.exception[r]);
-          std::vector<std::uint64_t>* series = nullptr;
-          std::uint64_t* overflow = nullptr;
-          if (cls == proxy::TrafficClass::kCensored) {
-            series = &p.censored;
-            overflow = &p.censored_overflow;
-          } else if (cls == proxy::TrafficClass::kAllowed) {
-            series = &p.allowed;
-            overflow = &p.allowed_overflow;
-          } else {
-            continue;
-          }
-          const std::int64_t t = b.time[r];
-          if (t < options.range.start) {
-            ++*overflow;
-            continue;
-          }
-          const auto bin = static_cast<std::uint64_t>(
-              (t - options.range.start) / options.bin.seconds);
-          if (bin >= bins)
-            ++*overflow;
-          else
-            ++(*series)[static_cast<std::size_t>(bin)];
-        }
-      });
-
-  TrafficTimeSeries series{
-      util::BinnedCounter{options.range.start, options.bin.seconds, bins},
-      util::BinnedCounter{options.range.start, options.bin.seconds, bins},
-  };
-  for (const Partial& p : partials) {
-    for (std::size_t b = 0; b < bins; ++b) {
-      if (!p.censored.empty() && p.censored[b] != 0)
-        series.censored.add(series.censored.bin_start(b), p.censored[b]);
-      if (!p.allowed.empty() && p.allowed[b] != 0)
-        series.allowed.add(series.allowed.bin_start(b), p.allowed[b]);
-    }
-    if (p.censored_overflow != 0)
-      series.censored.add(options.range.start - 1, p.censored_overflow);
-    if (p.allowed_overflow != 0)
-      series.allowed.add(options.range.start - 1, p.allowed_overflow);
-  }
-  return series;
-}
-
-RcvSeries rcv_series(const ColumnarLog& log, const RcvOptions& options,
-                     std::size_t threads) {
-  const std::size_t bins = options.bin.bins_over(options.range);
-  struct Partial {
-    std::vector<std::uint64_t> censored, total;
-  };
-  const auto partials = scan_blocks<Partial>(
-      log, threads, [&](Partial& p, const DecodedBlock& b) {
-        p.censored.assign(bins, 0);
-        p.total.assign(bins, 0);
-        for (std::size_t r = 0; r < b.rows; ++r) {
-          const std::int64_t t = b.time[r];
-          if (t < options.range.start) continue;
-          const auto bin = static_cast<std::uint64_t>(
-              (t - options.range.start) / options.bin.seconds);
-          if (bin >= bins) continue;
-          ++p.total[static_cast<std::size_t>(bin)];
-          if (ColumnarLog::cls(b.filter_result[r], b.exception[r]) ==
-              proxy::TrafficClass::kCensored)
-            ++p.censored[static_cast<std::size_t>(bin)];
-        }
-      });
-
-  std::vector<std::uint64_t> censored(bins, 0), total(bins, 0);
-  for (const Partial& p : partials) {
-    if (p.total.empty()) continue;
-    for (std::size_t b = 0; b < bins; ++b) {
-      censored[b] += p.censored[b];
-      total[b] += p.total[b];
-    }
-  }
-  RcvSeries series{options.range.start, options.bin.seconds,
-                   std::vector<double>(bins, 0.0)};
-  for (std::size_t i = 0; i < bins; ++i) {
-    if (total[i] != 0)
-      series.rcv[i] = static_cast<double>(censored[i]) /
-                      static_cast<double>(total[i]);
-  }
-  return series;
-}
-
-CoverageReport request_coverage(const ColumnarLog& log,
-                                std::int64_t bin_seconds,
-                                std::uint64_t min_farm_bin_requests,
-                                const colfmt::RecoveryStats* recovery,
-                                std::size_t threads) {
-  CoverageReport report;
-  report.bin_seconds = bin_seconds;
-  if (recovery != nullptr) report.truncated_tail = recovery->truncated_tail;
-  if (log.rows() == 0) return report;
-
-  // The container is required to be time-ordered (same order Dataset's
-  // finalize establishes), so the observation window is the first row of
-  // the first block and the last row of the last block.
-  const std::int64_t first =
-      log.reader().decode(0).time.front();
-  const std::int64_t last =
-      log.reader().decode(log.block_count() - 1).time.back();
-  const std::int64_t origin = first - (first % util::kSecondsPerDay);
-  if (last < first)
-    throw std::runtime_error(
-        "columnar request_coverage: container rows are not time-ordered");
-  const auto bin_count =
-      static_cast<std::size_t>((last - origin) / bin_seconds + 1);
-
-  struct Partial {
-    std::map<std::size_t, std::array<std::uint64_t, policy::kProxyCount>>
-        bins;
-    std::map<std::int64_t, std::array<std::uint64_t, policy::kProxyCount>>
-        days;
-    std::array<std::uint64_t, policy::kProxyCount> totals{};
-    std::uint64_t total = 0;
-  };
-  const auto partials = scan_blocks<Partial>(
-      log, threads, [&](Partial& p, const DecodedBlock& b) {
-        for (std::size_t r = 0; r < b.rows; ++r) {
-          const std::int64_t t = b.time[r];
-          if (t < origin)
-            throw std::runtime_error(
-                "columnar request_coverage: container rows are not "
-                "time-ordered");
-          const auto bin = static_cast<std::size_t>((t - origin) /
-                                                    bin_seconds);
-          if (bin >= bin_count)
-            throw std::runtime_error(
-                "columnar request_coverage: container rows are not "
-                "time-ordered");
-          ++p.bins[bin][b.proxy_index[r]];
-          const std::int64_t day_start = t - (t % util::kSecondsPerDay);
-          ++p.days[day_start][b.proxy_index[r]];
-          ++p.totals[b.proxy_index[r]];
-          ++p.total;
-        }
-      });
-
-  std::vector<std::array<std::uint64_t, policy::kProxyCount>> bins(
-      bin_count, std::array<std::uint64_t, policy::kProxyCount>{});
-  std::map<std::int64_t, std::array<std::uint64_t, policy::kProxyCount>>
-      day_counts;
-  for (const Partial& p : partials) {
-    for (const auto& [bin, counts] : p.bins)
-      for (std::size_t i = 0; i < policy::kProxyCount; ++i)
-        bins[bin][i] += counts[i];
-    for (const auto& [day, counts] : p.days)
-      for (std::size_t i = 0; i < policy::kProxyCount; ++i)
-        day_counts[day][i] += counts[i];
-    for (std::size_t i = 0; i < policy::kProxyCount; ++i)
-      report.totals[i] += p.totals[i];
-    report.total_requests += p.total;
-  }
-  report.days.reserve(day_counts.size());
-  for (const auto& [day_start, requests] : day_counts)
-    report.days.push_back({day_start, requests});
-
-  // Gap scan — the same merge of consecutive farm-active holes the row
-  // path performs (coverage.cpp); the merged bins are identical, so the
-  // resulting gaps are too.
-  std::array<bool, policy::kProxyCount> in_gap{};
-  std::array<CoverageGap, policy::kProxyCount> open{};
-  for (std::size_t b = 0; b < bin_count; ++b) {
-    std::uint64_t farm_total = 0;
-    for (const std::uint64_t count : bins[b]) farm_total += count;
-    const bool active = farm_total >= min_farm_bin_requests;
-    if (active) ++report.active_bins;
-    const std::int64_t bin_start =
-        origin + static_cast<std::int64_t>(b) * bin_seconds;
-    for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
-      if (active && bins[b][p] > 0) ++report.covered_bins[p];
-      const bool hole = active && bins[b][p] == 0;
-      if (hole) {
-        if (!in_gap[p]) {
-          in_gap[p] = true;
-          open[p] = {static_cast<std::uint8_t>(p), bin_start, 0, 0};
-        }
-        open[p].end = bin_start + bin_seconds;
-        open[p].farm_requests += farm_total;
-      } else if (in_gap[p] && active) {
-        in_gap[p] = false;
-        report.gaps.push_back(open[p]);
-      }
-    }
-  }
-  for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
-    if (in_gap[p]) report.gaps.push_back(open[p]);
-  }
-  std::sort(report.gaps.begin(), report.gaps.end(),
-            [](const CoverageGap& a, const CoverageGap& b) {
-              if (a.proxy_index != b.proxy_index)
-                return a.proxy_index < b.proxy_index;
-              return a.start < b.start;
-            });
-  return report;
-}
-
-ProxySimilarity censored_domain_similarity(const ColumnarLog& log,
-                                           std::int64_t start,
-                                           std::int64_t end,
-                                           std::size_t threads) {
-  struct Partial {
-    // Domains in first-appearance order within the block, with per-proxy
-    // counts per local index.
-    std::vector<std::string_view> order;
-    std::unordered_map<std::string_view, std::size_t> local_index;
-    std::vector<std::array<std::uint64_t, policy::kProxyCount>> counts;
-  };
-  const auto partials = scan_blocks<Partial>(
-      log, threads, [&](Partial& p, const DecodedBlock& b) {
-        for (std::size_t r = 0; r < b.rows; ++r) {
-          if (b.time[r] < start || b.time[r] >= end) continue;
-          if (ColumnarLog::cls(b.filter_result[r], b.exception[r]) !=
-              proxy::TrafficClass::kCensored)
-            continue;
-          const auto domain = log.domain(b.host[r]);
-          const auto [it, inserted] =
-              p.local_index.emplace(domain, p.order.size());
-          if (inserted) {
-            p.order.push_back(domain);
-            p.counts.emplace_back();
-          }
-          ++p.counts[it->second][b.proxy_index[r]];
-        }
-      });
-
-  // Merging in block order reproduces the sequential scan's first-seen
-  // domain index assignment, so the cosine sums below run over the same
-  // vectors in the same slot order — bit-identical doubles.
-  std::unordered_map<std::string_view, std::size_t> domain_index;
-  std::array<std::vector<double>, policy::kProxyCount> vectors;
-  for (const Partial& p : partials) {
-    for (std::size_t local = 0; local < p.order.size(); ++local) {
-      const auto [it, inserted] =
-          domain_index.emplace(p.order[local], domain_index.size());
-      const std::size_t idx = it->second;
-      for (auto& vec : vectors) {
-        if (vec.size() <= idx) vec.resize(domain_index.size(), 0.0);
-      }
-      for (std::size_t proxy = 0; proxy < policy::kProxyCount; ++proxy) {
-        if (p.counts[local][proxy] != 0)
-          vectors[proxy][idx] +=
-              static_cast<double>(p.counts[local][proxy]);
-      }
-    }
-  }
-  for (auto& vec : vectors) vec.resize(domain_index.size(), 0.0);
-
-  ProxySimilarity similarity;
-  for (std::size_t a = 0; a < policy::kProxyCount; ++a) {
-    for (std::size_t b = 0; b < policy::kProxyCount; ++b) {
-      similarity.matrix[a][b] =
-          a == b ? 1.0 : util::cosine_similarity(vectors[a], vectors[b]);
-    }
-  }
-  return similarity;
-}
-
-RfilterSeries rfilter_series(const ColumnarLog& log,
-                             const tor::RelayDirectory& relays,
-                             std::size_t proxy_index, std::int64_t start,
-                             std::int64_t end, std::int64_t bin_seconds,
-                             std::size_t threads) {
-  const auto bins = static_cast<std::size_t>(
-      (end - start + bin_seconds - 1) / bin_seconds);
-
-  struct Partial {
-    std::unordered_set<std::uint32_t> censored_ips;
-    std::vector<std::unordered_set<std::uint32_t>> allowed;
-    std::vector<std::uint8_t> traffic;
-  };
-  const auto partials = scan_blocks<Partial>(
-      log, threads, [&](Partial& p, const DecodedBlock& b) {
-        p.allowed.resize(bins);
-        p.traffic.assign(bins, 0);
-        for (std::size_t r = 0; r < b.rows; ++r) {
-          if (b.proxy_index[r] != proxy_index) continue;
-          if (!log.host_is_ip(b.host[r])) continue;
-          if (!relays.contains(net::Ipv4Addr{log.host_ip(b.host[r])},
-                               b.port[r]))
-            continue;
-          const auto cls =
-              ColumnarLog::cls(b.filter_result[r], b.exception[r]);
-          // Pass 1 of the row path: censored relay IPs, no time window.
-          if (cls == proxy::TrafficClass::kCensored)
-            p.censored_ips.insert(log.host_ip(b.host[r]));
-          // Pass 2: per-bin allowed relay IPs inside the window.
-          if (b.time[r] < start || b.time[r] >= end) continue;
-          const auto bin =
-              static_cast<std::size_t>((b.time[r] - start) / bin_seconds);
-          p.traffic[bin] = 1;
-          if (cls == proxy::TrafficClass::kAllowed)
-            p.allowed[bin].insert(log.host_ip(b.host[r]));
-        }
-      });
-
-  std::unordered_set<std::uint32_t> censored_ips;
-  std::vector<std::unordered_set<std::uint32_t>> allowed_per_bin(bins);
-  std::vector<bool> has_traffic(bins, false);
-  for (const Partial& p : partials) {
-    censored_ips.insert(p.censored_ips.begin(), p.censored_ips.end());
-    if (p.allowed.empty()) continue;
-    for (std::size_t b = 0; b < bins; ++b) {
-      if (p.traffic[b] != 0) has_traffic[b] = true;
-      allowed_per_bin[b].insert(p.allowed[b].begin(), p.allowed[b].end());
-    }
-  }
-
-  RfilterSeries series;
-  series.origin = start;
-  series.bin_seconds = bin_seconds;
-  series.rfilter.assign(bins, 0.0);
-  series.has_traffic = std::move(has_traffic);
-  series.censored_relay_count = censored_ips.size();
-  if (censored_ips.empty()) return series;
-  for (std::size_t k = 0; k < bins; ++k) {
-    std::size_t overlap = 0;
-    for (const std::uint32_t ip : allowed_per_bin[k]) {
-      if (censored_ips.count(ip) != 0) ++overlap;
-    }
-    series.rfilter[k] = 1.0 - static_cast<double>(overlap) /
-                                  static_cast<double>(censored_ips.size());
-  }
-  return series;
-}
-
-Dataset to_dataset(const colfmt::Reader& reader) {
+Dataset to_dataset_compat(const colfmt::Reader& reader) {
   Dataset dataset;
   for (std::size_t i = 0; i < reader.block_count(); ++i) {
-    const DecodedBlock block = reader.decode(i);
+    const colfmt::DecodedBlock block = reader.decode(i);
     for (std::size_t r = 0; r < block.rows; ++r)
       dataset.add(reader.record(block, r));
   }

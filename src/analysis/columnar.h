@@ -5,38 +5,22 @@
 #include <string_view>
 #include <vector>
 
-#include "analysis/coverage.h"
 #include "analysis/dataset.h"
-#include "analysis/proxy_compare.h"
-#include "analysis/temporal.h"
-#include "analysis/top_domains.h"
-#include "analysis/tor_analysis.h"
 #include "colfmt/container.h"
-#include "tor/relay_directory.h"
 
 namespace syrwatch::analysis {
-
-/// Columnar analysis: the row analyzers re-expressed as block scans over a
-/// colfmt container, so a 10M-request log is analyzed straight out of the
-/// mmap without ever materializing LogRecord rows. Every function here is
-/// the exact computation of its Dataset counterpart — for a container whose
-/// rows are time-ordered (which `generate` and `convert` produce), output
-/// is byte-identical to loading the CSV into a Dataset and running the row
-/// analyzer, at any thread count. Parallelism is per block: each worker
-/// decodes and scans whole blocks into its own slot of a partial vector,
-/// and the partials are merged sequentially in block order, so
-/// order-sensitive state (first-seen domain indices, day append order)
-/// reproduces the sequential row scan.
 
 /// A colfmt::Reader plus the per-dictionary-id derived values the
 /// analyzers need: registrable domain of every string and its IPv4 parse.
 /// Both are resolved once per *dictionary entry* instead of once per row —
 /// the columnar counterpart of Dataset's domain cache, but immutable after
-/// construction and therefore freely shared across scan threads.
+/// construction and therefore freely shared across scan threads. This is
+/// the columnar backend of analysis::LogSource (scan.h); the analyzers
+/// themselves are written once against the LogSource cursor.
 class ColumnarLog {
  public:
-  /// `threads` parallelizes the dictionary precomputation (the result is
-  /// identical for any value).
+  /// `threads` parallelizes the dictionary precomputation, one grain per
+  /// block's dictionary delta (the result is identical for any value).
   explicit ColumnarLog(colfmt::Reader reader, std::size_t threads = 1);
 
   const colfmt::Reader& reader() const noexcept { return reader_; }
@@ -75,52 +59,12 @@ class ColumnarLog {
   std::vector<std::uint8_t> is_ip_;
 };
 
-/// Table 4/5 ranking over column pages.
-std::vector<DomainCount> top_domains(const ColumnarLog& log,
-                                     const TopDomainsOptions& options,
-                                     std::size_t threads = 1);
-
-/// Fig. 5 series over column pages.
-TrafficTimeSeries traffic_time_series(const ColumnarLog& log,
-                                      const TrafficSeriesOptions& options,
-                                      std::size_t threads = 1);
-
-/// Fig. 6 RCV over column pages.
-RcvSeries rcv_series(const ColumnarLog& log, const RcvOptions& options,
-                     std::size_t threads = 1);
-
-/// Per-proxy/per-day coverage over column pages. Requires a time-ordered
-/// container (throws std::runtime_error otherwise — the Dataset path
-/// sorts, so an unordered container cannot reproduce it block-wise). Pass
-/// the RecoveryStats of a lenient open so a truncated container surfaces
-/// as a coverage degradation, mirroring the CSV reader's torn-tail signal.
-CoverageReport request_coverage(const ColumnarLog& log,
-                                std::int64_t bin_seconds = 3600,
-                                std::uint64_t min_farm_bin_requests = 25,
-                                const colfmt::RecoveryStats* recovery =
-                                    nullptr,
-                                std::size_t threads = 1);
-
-/// Table 6 cosine similarity over column pages. The shared domain index is
-/// assigned in first-seen order across blocks in block order — the same
-/// order the sequential row scan produces — so the floating-point cosine
-/// sums are bit-identical.
-ProxySimilarity censored_domain_similarity(const ColumnarLog& log,
-                                           std::int64_t start,
-                                           std::int64_t end,
-                                           std::size_t threads = 1);
-
-/// Fig. 9 Rfilter over column pages.
-RfilterSeries rfilter_series(const ColumnarLog& log,
-                             const tor::RelayDirectory& relays,
-                             std::size_t proxy_index, std::int64_t start,
-                             std::int64_t end,
-                             std::int64_t bin_seconds = 3600,
-                             std::size_t threads = 1);
-
 /// Materializes the container into a row Dataset (decode → LogRecord →
-/// add, then finalize) — the bridge for analyses that have no columnar
-/// port yet. Produces exactly the Dataset the same log's CSV would.
-Dataset to_dataset(const colfmt::Reader& reader);
+/// add, then finalize), producing exactly the Dataset the same log's CSV
+/// would. Compatibility shim only: every analyzer now runs natively on the
+/// container through analysis::LogSource, so nothing on the report or CLI
+/// hot path should call this — it survives for differential tests and for
+/// external code that genuinely needs a row Dataset.
+Dataset to_dataset_compat(const colfmt::Reader& reader);
 
 }  // namespace syrwatch::analysis

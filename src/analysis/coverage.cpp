@@ -1,49 +1,76 @@
 #include "analysis/coverage.h"
 
 #include <algorithm>
+#include <map>
 
 #include "util/simtime.h"
 
 namespace syrwatch::analysis {
 
-CoverageReport request_coverage(const Dataset& dataset,
-                                std::int64_t bin_seconds,
-                                std::uint64_t min_farm_bin_requests,
-                                const proxy::LogReadStats* read_stats) {
+namespace {
+
+CoverageReport coverage_core(const LogSource& source, std::int64_t bin_seconds,
+                             std::uint64_t min_farm_bin_requests,
+                             bool truncated_tail, std::size_t threads) {
   CoverageReport report;
   report.bin_seconds = bin_seconds;
-  if (read_stats != nullptr) report.truncated_tail = read_stats->truncated_tail;
-  if (dataset.size() == 0) return report;
+  report.truncated_tail = truncated_tail;
+  if (source.rows() == 0) return report;
 
-  // Rows are time-sorted (Dataset::finalize), so the observation window is
-  // the first/last row. Bins are anchored at the first row's midnight so
-  // bin and day boundaries line up.
-  const std::int64_t origin =
-      dataset.rows().front().time -
-      (dataset.rows().front().time % util::kSecondsPerDay);
-  const std::int64_t last = dataset.rows().back().time;
-  const auto bin_count = static_cast<std::size_t>(
-      (last - origin) / bin_seconds + 1);
+  // The observation window is the source's true time bounds (the scan
+  // layer computes them even for emission-order containers, which are
+  // only approximately time-sorted). Bins are anchored at the earliest
+  // record's midnight so bin and day boundaries line up; every tally
+  // below is order-independent, so any row order bins identically.
+  const auto [first, last] = source.time_bounds(threads);
+  const std::int64_t origin = first - (first % util::kSecondsPerDay);
+  const auto bin_count =
+      static_cast<std::size_t>((last - origin) / bin_seconds + 1);
 
-  // (bin, proxy) counts in one pass; per-day counts fold whole days.
+  struct Partial {
+    std::vector<std::array<std::uint64_t, policy::kProxyCount>> bins;
+    std::map<std::int64_t, std::array<std::uint64_t, policy::kProxyCount>>
+        days;
+    std::array<std::uint64_t, policy::kProxyCount> totals{};
+    std::uint64_t total_requests = 0;
+    bool has_rows = false;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (!p.has_rows) {
+          p.has_rows = true;
+          p.bins.resize(bin_count);
+        }
+        const auto bin =
+            static_cast<std::size_t>((r.time - origin) / bin_seconds);
+        ++p.bins[bin][r.proxy_index];
+        const std::int64_t day_start =
+            r.time - (r.time % util::kSecondsPerDay);
+        ++p.days[day_start][r.proxy_index];
+        ++p.totals[r.proxy_index];
+        ++p.total_requests;
+      });
+
   std::vector<std::array<std::uint64_t, policy::kProxyCount>> bins(
       bin_count, std::array<std::uint64_t, policy::kProxyCount>{});
-  std::vector<DayCoverage> days;
-  for (const Row& row : dataset.rows()) {
-    const auto bin = static_cast<std::size_t>((row.time - origin) /
-                                              bin_seconds);
-    ++bins[bin][row.proxy_index];
-    const std::int64_t day_start =
-        row.time - (row.time % util::kSecondsPerDay);
-    if (days.empty() || days.back().day_start != day_start) {
-      // Rows are time-sorted, so new days only ever append.
-      days.push_back({day_start, {}});
+  std::map<std::int64_t, std::array<std::uint64_t, policy::kProxyCount>> days;
+  for (const Partial& p : partials) {
+    if (!p.has_rows) continue;
+    for (std::size_t b = 0; b < bin_count; ++b)
+      for (std::size_t proxy = 0; proxy < policy::kProxyCount; ++proxy)
+        bins[b][proxy] += p.bins[b][proxy];
+    for (const auto& [day_start, counts] : p.days) {
+      auto& merged = days[day_start];
+      for (std::size_t proxy = 0; proxy < policy::kProxyCount; ++proxy)
+        merged[proxy] += counts[proxy];
     }
-    ++days.back().requests[row.proxy_index];
-    ++report.totals[row.proxy_index];
-    ++report.total_requests;
+    for (std::size_t proxy = 0; proxy < policy::kProxyCount; ++proxy)
+      report.totals[proxy] += p.totals[proxy];
+    report.total_requests += p.total_requests;
   }
-  report.days = std::move(days);
+  report.days.reserve(days.size());
+  for (const auto& [day_start, counts] : days)
+    report.days.push_back({day_start, counts});
 
   // Gap scan: per proxy, merge consecutive farm-active bins it missed.
   std::array<bool, policy::kProxyCount> in_gap{};
@@ -83,6 +110,28 @@ CoverageReport request_coverage(const Dataset& dataset,
               return a.start < b.start;
             });
   return report;
+}
+
+}  // namespace
+
+CoverageReport request_coverage(const LogSource& source,
+                                std::int64_t bin_seconds,
+                                std::uint64_t min_farm_bin_requests,
+                                const proxy::LogReadStats* read_stats,
+                                std::size_t threads) {
+  return coverage_core(source, bin_seconds, min_farm_bin_requests,
+                       read_stats != nullptr && read_stats->truncated_tail,
+                       threads);
+}
+
+CoverageReport request_coverage(const LogSource& source,
+                                std::int64_t bin_seconds,
+                                std::uint64_t min_farm_bin_requests,
+                                const colfmt::RecoveryStats* recovery_stats,
+                                std::size_t threads) {
+  return coverage_core(
+      source, bin_seconds, min_farm_bin_requests,
+      recovery_stats != nullptr && recovery_stats->truncated_tail, threads);
 }
 
 }  // namespace syrwatch::analysis

@@ -5,7 +5,8 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
+#include "colfmt/container.h"
 #include "policy/syria.h"
 #include "proxy/log_io.h"
 
@@ -67,10 +68,23 @@ struct CoverageReport {
 /// lenient read that produced the dataset (when there was one) so a torn
 /// final record — a partially written artifact — is surfaced as a
 /// coverage degradation rather than silently shortening the window.
-CoverageReport request_coverage(const Dataset& dataset,
+/// Row order is irrelevant: the window is the source's true time bounds
+/// and every tally is order-independent, so emission-order containers
+/// bin identically to the time-sorted row path.
+CoverageReport request_coverage(const LogSource& source,
                                 std::int64_t bin_seconds = 3600,
                                 std::uint64_t min_farm_bin_requests = 25,
                                 const proxy::LogReadStats* read_stats =
-                                    nullptr);
+                                    nullptr,
+                                std::size_t threads = 1);
+
+/// Same, taking the RecoveryStats of the lenient container open: a torn
+/// final block surfaces as coverage degradation exactly like a torn CSV
+/// tail.
+CoverageReport request_coverage(const LogSource& source,
+                                std::int64_t bin_seconds,
+                                std::uint64_t min_farm_bin_requests,
+                                const colfmt::RecoveryStats* recovery_stats,
+                                std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

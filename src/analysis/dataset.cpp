@@ -52,8 +52,42 @@ std::string_view Dataset::domain(const Row& row) const {
   return pool_->view(cached);
 }
 
+namespace {
+
+/// The ip_state_ codes of the lazy per-host IPv4 cache.
+constexpr std::uint8_t kIpUnknown = 0;
+constexpr std::uint8_t kIpNo = 1;
+constexpr std::uint8_t kIpYes = 2;
+
+}  // namespace
+
+bool Dataset::host_is_ip(const Row& row) const {
+  if (row.host >= ip_state_.size()) {
+    ip_state_.resize(pool_->size(), kIpUnknown);
+    ip_cache_.resize(pool_->size(), 0);
+  }
+  std::uint8_t& state = ip_state_[row.host];
+  if (state == kIpUnknown) {
+    if (const auto ip = net::Ipv4Addr::parse(pool_->view(row.host))) {
+      state = kIpYes;
+      ip_cache_[row.host] = ip->value();
+    } else {
+      state = kIpNo;
+    }
+  }
+  return state == kIpYes;
+}
+
+std::uint32_t Dataset::host_ip(const Row& row) const {
+  return host_is_ip(row) ? ip_cache_[row.host] : 0;
+}
+
 void Dataset::warm_domain_cache() const {
-  for (const Row& row : rows_) (void)domain(row);
+  for (const Row& row : rows_) {
+    (void)domain(row);
+    (void)host_is_ip(row);
+  }
+  warmed_ = true;
 }
 
 std::string Dataset::filter_text(const Row& row) const {

@@ -68,10 +68,19 @@ class Dataset {
   /// readers (DatasetBundle::derive does this for all four datasets).
   std::string_view domain(const Row& row) const;
 
-  /// Pre-resolves the registrable domain of every row so that subsequent
-  /// domain() calls are pure reads, making the dataset safe to share
-  /// across analyzer threads.
+  /// Dotted-quad parse of the row's host (cached per host id, same lazy
+  /// contract as domain()). The columnar backend precomputes the identical
+  /// values per dictionary id, so the scan layer sees one surface.
+  bool host_is_ip(const Row& row) const;
+  std::uint32_t host_ip(const Row& row) const;
+
+  /// Pre-resolves the registrable domain and IPv4 parse of every row so
+  /// that subsequent domain()/host_is_ip()/host_ip() calls are pure reads,
+  /// making the dataset safe to share across analyzer threads. Idempotent;
+  /// warmed() reports whether it already ran (the scan layer checks it
+  /// before fanning a parallel scan out over the rows).
   void warm_domain_cache() const;
+  bool warmed() const noexcept { return warmed_; }
 
   /// §3.3 class of the row.
   proxy::TrafficClass cls(const Row& row) const noexcept {
@@ -91,6 +100,11 @@ class Dataset {
   std::vector<Row> rows_;
   // host pool id -> registrable-domain pool id, filled lazily.
   mutable std::vector<util::StringPool::Id> domain_cache_;
+  // host pool id -> IPv4 parse, filled lazily (0 = unknown, 1 = not an
+  // ip, 2 = ip with the value in ip_cache_).
+  mutable std::vector<std::uint8_t> ip_state_;
+  mutable std::vector<std::uint32_t> ip_cache_;
+  mutable bool warmed_ = false;
 };
 
 /// The paper's four datasets (Table 1), derived from one generated log.

@@ -8,13 +8,21 @@
 
 namespace syrwatch::analysis {
 
-DomainDistribution domain_distribution(const Dataset& dataset,
-                                       proxy::TrafficClass cls) {
+DomainDistribution domain_distribution(const LogSource& source,
+                                       proxy::TrafficClass cls,
+                                       std::size_t threads) {
+  using Partial = std::unordered_map<std::string_view, std::uint64_t>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.cls != cls) return;
+        ++p[r.domain];
+      });
+
+  // Everything downstream (frequency-of-frequencies, the regression) only
+  // sees the per-domain totals, never the map order.
   std::unordered_map<std::string_view, std::uint64_t> per_domain;
-  for (const Row& row : dataset.rows()) {
-    if (dataset.cls(row) != cls) continue;
-    ++per_domain[dataset.domain(row)];
-  }
+  for (const Partial& p : partials)
+    for (const auto& [domain, count] : p) per_domain[domain] += count;
 
   std::vector<std::uint64_t> counts;
   counts.reserve(per_domain.size());

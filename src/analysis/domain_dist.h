@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <map>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -18,7 +18,8 @@ struct DomainDistribution {
   double loglog_slope = 0.0;
 };
 
-DomainDistribution domain_distribution(const Dataset& dataset,
-                                       proxy::TrafficClass cls);
+DomainDistribution domain_distribution(const LogSource& source,
+                                       proxy::TrafficClass cls,
+                                       std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

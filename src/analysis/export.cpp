@@ -102,9 +102,10 @@ void export_cdf(std::ostream& out, std::vector<double> samples) {
 }
 
 std::size_t export_all_figures(const std::string& directory,
-                               const Dataset& full, const Dataset& user,
+                               const LogSource& full, const LogSource& user,
                                const category::Categorizer& categorizer,
-                               const tor::RelayDirectory& relays) {
+                               const tor::RelayDirectory& relays,
+                               std::size_t threads) {
   std::size_t written = 0;
   // Each figure renders into memory and lands on disk via temp + rename:
   // a crash or full disk can never leave a torn half-figure behind, and a
@@ -117,7 +118,7 @@ std::size_t export_all_figures(const std::string& directory,
 
   {
     std::ostringstream out;
-    export_port_distribution(out, port_distribution(full));
+    export_port_distribution(out, port_distribution(full, 0, threads));
     commit("fig1_ports.tsv", out);
   }
   for (const auto& [name, cls] :
@@ -125,33 +126,37 @@ std::size_t export_all_figures(const std::string& directory,
         std::pair{"fig2_censored.tsv", proxy::TrafficClass::kCensored},
         std::pair{"fig2_denied.tsv", proxy::TrafficClass::kError}}) {
     std::ostringstream out;
-    export_domain_distribution(out, domain_distribution(full, cls));
+    export_domain_distribution(out, domain_distribution(full, cls, threads));
     commit(name, out);
   }
   {
     std::ostringstream out;
-    export_user_activity_cdf(out, user_stats(user));
+    export_user_activity_cdf(out, user_stats(user, threads));
     commit("fig4b_user_activity.tsv", out);
   }
   {
     std::ostringstream out;
     export_time_series(
         out, traffic_time_series(
-                 full, TrafficSeriesOptions{
-                           {workload::at(8, 1), workload::at(8, 7)}, {300}}));
+                 full,
+                 TrafficSeriesOptions{
+                     {workload::at(8, 1), workload::at(8, 7)}, {300}},
+                 threads));
     commit("fig5_timeseries.tsv", out);
   }
   {
     std::ostringstream out;
     export_rcv(out,
-               rcv_series(full, RcvOptions{
-                                    {workload::at(8, 3), workload::at(8, 4)},
-                                    {300}}));
+               rcv_series(full,
+                          RcvOptions{
+                              {workload::at(8, 3), workload::at(8, 4)},
+                              {300}},
+                          threads));
     commit("fig6_rcv.tsv", out);
   }
   {
     const auto load = proxy_load_series(full, workload::at(8, 3),
-                                        workload::at(8, 5), 3600);
+                                        workload::at(8, 5), 3600, threads);
     std::ostringstream out_total;
     export_proxy_load(out_total, load, /*censored=*/false);
     commit("fig7_load_total.tsv", out_total);
@@ -162,20 +167,21 @@ std::size_t export_all_figures(const std::string& directory,
   {
     std::ostringstream out;
     export_hourly(
-        out, tor_hourly_series(full, relays,
-                               TorHourlyOptions{
-                                   {workload::at(8, 1), workload::at(8, 7)}}));
+        out, tor_hourly_series(
+                 full, relays,
+                 TorHourlyOptions{{workload::at(8, 1), workload::at(8, 7)}},
+                 threads));
     commit("fig8a_tor_hourly.tsv", out);
   }
   {
     std::ostringstream out;
     export_rfilter(out, rfilter_series(full, relays, policy::kTorCensorProxy,
                                        workload::at(8, 1), workload::at(8, 7),
-                                       3600));
+                                       3600, threads));
     commit("fig9_rfilter.tsv", out);
   }
   {
-    const auto anon = anonymizer_stats(full, categorizer);
+    const auto anon = anonymizer_stats(full, categorizer, threads);
     std::ostringstream out_a;
     export_cdf(out_a, anon.requests_per_clean_host);
     commit("fig10a_clean_host_requests.tsv", out_a);

@@ -56,10 +56,13 @@ void export_cdf(std::ostream& out, std::vector<double> samples);
 /// number of files written; throws std::runtime_error naming the failing
 /// path on any write error instead of silently dropping figures. Time
 /// windows follow the paper (Aug 1-6 for the series figures, Aug 3 for
-/// RCV).
+/// RCV). `full`/`user` are scan-layer sources (row Dataset or SYRCOL1
+/// container); `threads` fans each figure's analyzer out, with identical
+/// bytes for any value.
 std::size_t export_all_figures(const std::string& directory,
-                               const Dataset& full, const Dataset& user,
+                               const LogSource& full, const LogSource& user,
                                const category::Categorizer& categorizer,
-                               const tor::RelayDirectory& relays);
+                               const tor::RelayDirectory& relays,
+                               std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

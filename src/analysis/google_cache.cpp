@@ -23,28 +23,40 @@ std::string_view cached_target(std::string_view query) {
 }  // namespace
 
 GoogleCacheStats google_cache_stats(
-    const Dataset& dataset,
-    std::span<const std::string> censored_site_suffixes) {
+    const LogSource& source,
+    std::span<const std::string> censored_site_suffixes,
+    std::size_t threads) {
+  struct Partial {
+    std::uint64_t requests = 0, allowed = 0, censored = 0;
+    std::map<std::string, std::uint64_t> served;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.host != "webcache.googleusercontent.com") return;
+        ++p.requests;
+        if (r.cls == proxy::TrafficClass::kCensored) {
+          ++p.censored;
+          return;
+        }
+        if (r.cls != proxy::TrafficClass::kAllowed) return;
+        ++p.allowed;
+        const auto target = cached_target(r.query);
+        if (target.empty()) return;
+        for (const std::string& suffix : censored_site_suffixes) {
+          if (util::host_matches_domain(target, suffix)) {
+            ++p.served[std::string(target)];
+            break;
+          }
+        }
+      });
+
   GoogleCacheStats stats;
   std::map<std::string, std::uint64_t> served;
-  for (const Row& row : dataset.rows()) {
-    if (dataset.host(row) != "webcache.googleusercontent.com") continue;
-    ++stats.requests;
-    const auto cls = dataset.cls(row);
-    if (cls == proxy::TrafficClass::kCensored) {
-      ++stats.censored;
-      continue;
-    }
-    if (cls != proxy::TrafficClass::kAllowed) continue;
-    ++stats.allowed;
-    const auto target = cached_target(dataset.query(row));
-    if (target.empty()) continue;
-    for (const std::string& suffix : censored_site_suffixes) {
-      if (util::host_matches_domain(target, suffix)) {
-        ++served[std::string(target)];
-        break;
-      }
-    }
+  for (const Partial& p : partials) {
+    stats.requests += p.requests;
+    stats.allowed += p.allowed;
+    stats.censored += p.censored;
+    for (const auto& [site, count] : p.served) served[site] += count;
   }
   for (auto& [site, count] : served)
     stats.censored_sites_served.push_back({site, count});

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -29,7 +29,8 @@ struct GoogleCacheStats {
 /// `censored_site_suffixes`: host suffixes known to be censored directly
 /// (e.g. from string discovery) to check against cached targets.
 GoogleCacheStats google_cache_stats(
-    const Dataset& dataset,
-    std::span<const std::string> censored_site_suffixes);
+    const LogSource& source,
+    std::span<const std::string> censored_site_suffixes,
+    std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -4,17 +4,23 @@
 
 namespace syrwatch::analysis {
 
-HttpsStats https_stats(const Dataset& dataset) {
+HttpsStats https_stats(const LogSource& source, std::size_t threads) {
+  const auto partials = scan_partials<HttpsStats>(
+      source, threads, [](HttpsStats& p, const Record& r) {
+        if (r.scheme != net::Scheme::kHttps) return;
+        ++p.total;
+        if (!r.path.empty() || !r.query.empty()) ++p.with_uri_fields;
+        if (r.cls != proxy::TrafficClass::kCensored) return;
+        ++p.censored;
+        if (net::looks_like_ipv4(r.host)) ++p.censored_ip_dest;
+      });
   HttpsStats stats;
-  stats.all_records = dataset.size();
-  for (const Row& row : dataset.rows()) {
-    if (row.scheme != net::Scheme::kHttps) continue;
-    ++stats.total;
-    if (!dataset.path(row).empty() || !dataset.query(row).empty())
-      ++stats.with_uri_fields;
-    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
-    ++stats.censored;
-    if (net::looks_like_ipv4(dataset.host(row))) ++stats.censored_ip_dest;
+  stats.all_records = source.rows();
+  for (const HttpsStats& p : partials) {
+    stats.total += p.total;
+    stats.censored += p.censored;
+    stats.censored_ip_dest += p.censored_ip_dest;
+    stats.with_uri_fields += p.with_uri_fields;
   }
   return stats;
 }

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -15,7 +15,7 @@ struct HttpsStats {
   std::uint64_t censored = 0;
   std::uint64_t censored_ip_dest = 0; // censored with an IP-literal host
   std::uint64_t with_uri_fields = 0;  // records exposing path or query
-  std::uint64_t all_records = 0;      // dataset size, for the share
+  std::uint64_t all_records = 0;      // source size, for the share
 
   double share_of_traffic() const noexcept {
     return all_records == 0 ? 0.0
@@ -36,6 +36,6 @@ struct HttpsStats {
   bool interception_evidence() const noexcept { return with_uri_fields > 0; }
 };
 
-HttpsStats https_stats(const Dataset& dataset);
+HttpsStats https_stats(const LogSource& source, std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

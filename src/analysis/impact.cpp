@@ -1,49 +1,88 @@
 #include "analysis/impact.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
 #include "net/ipv4.h"
 
 namespace syrwatch::analysis {
 
-PolicyImpact policy_impact(const Dataset& dataset,
+PolicyImpact policy_impact(const LogSource& source,
                            const policy::PolicyEngine& engine,
                            const policy::CustomCategoryList& custom_categories,
-                           std::size_t top_k) {
+                           std::size_t top_k, std::size_t threads) {
+  // The engine's generator feeds scheduled rules, and draws must happen in
+  // row order for determinism. The parallel phase therefore only collects
+  // candidates (plus the RNG-free custom-category classification); the
+  // evaluation loop itself runs sequentially over the partitions in order.
+  struct Candidate {
+    std::int64_t time = 0;
+    std::string_view host, path, query, domain;
+    std::uint32_t dest_ip = 0;
+    std::uint16_t port = 0;
+    net::Scheme scheme;
+    std::string_view custom_category;  // view into the list's storage
+    bool has_dest_ip = false;
+    bool was_censored = false;
+  };
+  using Partial = std::vector<Candidate>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.cls != proxy::TrafficClass::kAllowed &&
+            r.cls != proxy::TrafficClass::kCensored)
+          return;
+        Candidate candidate;
+        candidate.time = r.time;
+        candidate.host = r.host;
+        candidate.path = r.path;
+        candidate.query = r.query;
+        candidate.domain = r.domain;
+        candidate.dest_ip = r.dest_ip;
+        candidate.port = r.port;
+        candidate.scheme = r.scheme;
+        candidate.has_dest_ip = r.has_dest_ip;
+        candidate.was_censored = r.cls == proxy::TrafficClass::kCensored;
+        net::Url url;
+        url.scheme = r.scheme;
+        url.host = std::string(r.host);
+        url.port = r.port;
+        url.path = std::string(r.path);
+        url.query = std::string(r.query);
+        candidate.custom_category = custom_categories.classify(url);
+        p.push_back(candidate);
+      });
+
   PolicyImpact impact;
   util::Rng rng{0x1A7AC7 ^ 0x5EED};
   std::unordered_map<std::string_view, std::uint64_t> newly_censored;
+  for (const Partial& p : partials) {
+    for (const Candidate& candidate : p) {
+      ++impact.evaluated;
+      if (candidate.was_censored) ++impact.censored_observed;
 
-  for (const Row& row : dataset.rows()) {
-    const auto cls = dataset.cls(row);
-    if (cls != proxy::TrafficClass::kAllowed &&
-        cls != proxy::TrafficClass::kCensored)
-      continue;
-    ++impact.evaluated;
-    const bool was_censored = cls == proxy::TrafficClass::kCensored;
-    if (was_censored) ++impact.censored_observed;
+      net::Url url;
+      url.scheme = candidate.scheme;
+      url.host = std::string(candidate.host);
+      url.port = candidate.port;
+      url.path = std::string(candidate.path);
+      url.query = std::string(candidate.query);
 
-    net::Url url;
-    url.scheme = row.scheme;
-    url.host = std::string(dataset.host(row));
-    url.port = row.port;
-    url.path = std::string(dataset.path(row));
-    url.query = std::string(dataset.query(row));
+      policy::FilterRequest request;
+      request.url = &url;
+      request.time = candidate.time;
+      if (candidate.has_dest_ip)
+        request.dest_ip = net::Ipv4Addr{candidate.dest_ip};
+      request.custom_category = candidate.custom_category;
 
-    policy::FilterRequest request;
-    request.url = &url;
-    request.time = row.time;
-    if (row.has_dest_ip) request.dest_ip = net::Ipv4Addr{row.dest_ip};
-    request.custom_category = custom_categories.classify(url);
-
-    const bool now_censored = engine.evaluate(request, rng).censored();
-    if (now_censored) ++impact.censored_hypothetical;
-    if (now_censored && !was_censored) {
-      ++impact.newly_censored;
-      ++newly_censored[dataset.domain(row)];
-    } else if (!now_censored && was_censored) {
-      ++impact.newly_allowed;
+      const bool now_censored = engine.evaluate(request, rng).censored();
+      if (now_censored) ++impact.censored_hypothetical;
+      if (now_censored && !candidate.was_censored) {
+        ++impact.newly_censored;
+        ++newly_censored[candidate.domain];
+      } else if (!now_censored && candidate.was_censored) {
+        ++impact.newly_allowed;
+      }
     }
   }
 

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "analysis/top_domains.h"
 #include "policy/custom_category.h"
 #include "policy/engine.h"
@@ -36,13 +36,15 @@ struct PolicyImpact {
   }
 };
 
-/// Re-screens the dataset's allowed/censored rows (errors and proxied rows
+/// Re-screens the source's allowed/censored rows (errors and proxied rows
 /// are skipped: their outcomes were not policy decisions). Scheduled rules
-/// evaluate at each row's own timestamp with a fixed-seed generator, so
-/// the result is deterministic.
-PolicyImpact policy_impact(const Dataset& dataset,
+/// evaluate at each row's own timestamp with a fixed-seed generator that
+/// consumes draws in row order, so the result is deterministic at any
+/// thread count.
+PolicyImpact policy_impact(const LogSource& source,
                            const policy::PolicyEngine& engine,
                            const policy::CustomCategoryList& custom_categories,
-                           std::size_t top_k = 10);
+                           std::size_t top_k = 10,
+                           std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -8,31 +8,34 @@
 
 namespace syrwatch::analysis {
 
-namespace {
+std::vector<CountryCensorship> country_censorship(const LogSource& source,
+                                                  const geo::GeoIpDb& geoip,
+                                                  std::size_t threads) {
+  // std::map keyed by country name: identical partial order per backend,
+  // additive fold.
+  using Partial = std::map<std::string, CountryCensorship>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (!r.host_is_ip) return;
+        const auto country = geoip.lookup(net::Ipv4Addr{r.host_ip});
+        if (!country) return;
+        if (r.cls != proxy::TrafficClass::kCensored &&
+            r.cls != proxy::TrafficClass::kAllowed)
+          return;
+        CountryCensorship& entry = p[std::string(*country)];
+        entry.country = *country;
+        if (r.cls == proxy::TrafficClass::kCensored) ++entry.censored;
+        else ++entry.allowed;
+      });
 
-std::optional<net::Ipv4Addr> row_ip(const Dataset& dataset, const Row& row) {
-  // DIPv4 keys on the cs-host field being an IP literal.
-  return net::Ipv4Addr::parse(dataset.host(row));
-}
-
-}  // namespace
-
-std::vector<CountryCensorship> country_censorship(const Dataset& dataset,
-                                                  const geo::GeoIpDb& geoip) {
   std::map<std::string, CountryCensorship> by_country;
-  for (const Row& row : dataset.rows()) {
-    const auto ip = row_ip(dataset, row);
-    if (!ip) continue;
-    const auto country = geoip.lookup(*ip);
-    if (!country) continue;
-    const auto cls = dataset.cls(row);
-    if (cls != proxy::TrafficClass::kCensored &&
-        cls != proxy::TrafficClass::kAllowed)
-      continue;
-    CountryCensorship& entry = by_country[std::string(*country)];
-    entry.country = *country;
-    if (cls == proxy::TrafficClass::kCensored) ++entry.censored;
-    else ++entry.allowed;
+  for (const Partial& p : partials) {
+    for (const auto& [name, entry] : p) {
+      CountryCensorship& merged = by_country[name];
+      merged.country = name;
+      merged.censored += entry.censored;
+      merged.allowed += entry.allowed;
+    }
   }
   std::vector<CountryCensorship> out;
   out.reserve(by_country.size());
@@ -45,34 +48,59 @@ std::vector<CountryCensorship> country_censorship(const Dataset& dataset,
 }
 
 std::vector<SubnetCensorship> subnet_censorship(
-    const Dataset& dataset, std::span<const net::Ipv4Subnet> subnets) {
+    const LogSource& source, std::span<const net::Ipv4Subnet> subnets,
+    std::size_t threads) {
+  struct Partial {
+    std::vector<SubnetCensorship> out;
+    std::vector<std::unordered_set<std::uint32_t>> censored_ips, allowed_ips,
+        proxied_ips;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.out.empty()) {
+          p.out.reserve(subnets.size());
+          for (const auto& subnet : subnets) p.out.push_back({subnet});
+          p.censored_ips.resize(subnets.size());
+          p.allowed_ips.resize(subnets.size());
+          p.proxied_ips.resize(subnets.size());
+        }
+        if (!r.host_is_ip) return;
+        const net::Ipv4Addr ip{r.host_ip};
+        for (std::size_t i = 0; i < p.out.size(); ++i) {
+          if (!p.out[i].subnet.contains(ip)) continue;
+          switch (r.cls) {
+            case proxy::TrafficClass::kCensored:
+              ++p.out[i].censored_requests;
+              p.censored_ips[i].insert(ip.value());
+              break;
+            case proxy::TrafficClass::kAllowed:
+              ++p.out[i].allowed_requests;
+              p.allowed_ips[i].insert(ip.value());
+              break;
+            case proxy::TrafficClass::kProxied:
+              ++p.out[i].proxied_requests;
+              p.proxied_ips[i].insert(ip.value());
+              break;
+            case proxy::TrafficClass::kError:
+              break;
+          }
+        }
+      });
+
   std::vector<SubnetCensorship> out;
   out.reserve(subnets.size());
+  for (const auto& subnet : subnets) out.push_back({subnet});
   std::vector<std::unordered_set<std::uint32_t>> censored_ips(subnets.size()),
       allowed_ips(subnets.size()), proxied_ips(subnets.size());
-  for (const auto& subnet : subnets) out.push_back({subnet});
-
-  for (const Row& row : dataset.rows()) {
-    const auto ip = row_ip(dataset, row);
-    if (!ip) continue;
+  for (const Partial& p : partials) {
+    if (p.out.empty()) continue;
     for (std::size_t i = 0; i < out.size(); ++i) {
-      if (!out[i].subnet.contains(*ip)) continue;
-      switch (dataset.cls(row)) {
-        case proxy::TrafficClass::kCensored:
-          ++out[i].censored_requests;
-          censored_ips[i].insert(ip->value());
-          break;
-        case proxy::TrafficClass::kAllowed:
-          ++out[i].allowed_requests;
-          allowed_ips[i].insert(ip->value());
-          break;
-        case proxy::TrafficClass::kProxied:
-          ++out[i].proxied_requests;
-          proxied_ips[i].insert(ip->value());
-          break;
-        case proxy::TrafficClass::kError:
-          break;
-      }
+      out[i].censored_requests += p.out[i].censored_requests;
+      out[i].allowed_requests += p.out[i].allowed_requests;
+      out[i].proxied_requests += p.out[i].proxied_requests;
+      censored_ips[i].insert(p.censored_ips[i].begin(), p.censored_ips[i].end());
+      allowed_ips[i].insert(p.allowed_ips[i].begin(), p.allowed_ips[i].end());
+      proxied_ips[i].insert(p.proxied_ips[i].begin(), p.proxied_ips[i].end());
     }
   }
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -83,11 +111,14 @@ std::vector<SubnetCensorship> subnet_censorship(
   return out;
 }
 
-std::uint64_t direct_ip_requests(const Dataset& dataset) {
+std::uint64_t direct_ip_requests(const LogSource& source,
+                                 std::size_t threads) {
+  const auto partials = scan_partials<std::uint64_t>(
+      source, threads, [](std::uint64_t& p, const Record& r) {
+        if (r.host_is_ip) ++p;
+      });
   std::uint64_t count = 0;
-  for (const Row& row : dataset.rows()) {
-    if (row_ip(dataset, row)) ++count;
-  }
+  for (const std::uint64_t p : partials) count += p;
   return count;
 }
 

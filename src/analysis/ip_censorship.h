@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "geo/geoip.h"
 #include "net/subnet.h"
 
@@ -26,8 +26,9 @@ struct CountryCensorship {
 
 /// Countries ranked by censorship ratio (descending). Unlocatable IPs are
 /// dropped, as with the paper's GeoIP lookups.
-std::vector<CountryCensorship> country_censorship(const Dataset& dataset,
-                                                  const geo::GeoIpDb& geoip);
+std::vector<CountryCensorship> country_censorship(const LogSource& source,
+                                                  const geo::GeoIpDb& geoip,
+                                                  std::size_t threads = 1);
 
 /// Table 12: per-subnet request and distinct-IP counts by traffic class.
 struct SubnetCensorship {
@@ -41,9 +42,11 @@ struct SubnetCensorship {
 };
 
 std::vector<SubnetCensorship> subnet_censorship(
-    const Dataset& dataset, std::span<const net::Ipv4Subnet> subnets);
+    const LogSource& source, std::span<const net::Ipv4Subnet> subnets,
+    std::size_t threads = 1);
 
 /// Number of direct-IP requests (the DIPv4 dataset size).
-std::uint64_t direct_ip_requests(const Dataset& dataset);
+std::uint64_t direct_ip_requests(const LogSource& source,
+                                 std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "util/strings.h"
 
@@ -19,8 +20,9 @@ const std::vector<std::string>& studied_social_networks() {
   return networks;
 }
 
-std::vector<DomainClassCounts> osn_censorship(const Dataset& dataset) {
-  auto counts = domain_class_counts(dataset, studied_social_networks());
+std::vector<DomainClassCounts> osn_censorship(const LogSource& source,
+                                              std::size_t threads) {
+  auto counts = domain_class_counts(source, studied_social_networks(), threads);
   std::sort(counts.begin(), counts.end(),
             [](const DomainClassCounts& a, const DomainClassCounts& b) {
               return a.censored > b.censored;
@@ -28,36 +30,59 @@ std::vector<DomainClassCounts> osn_censorship(const Dataset& dataset) {
   return counts;
 }
 
-std::vector<FacebookPage> blocked_facebook_pages(const Dataset& dataset) {
-  // First pass: paths that ever carried the custom category label.
-  std::map<std::string, FacebookPage> pages;
-  for (const Row& row : dataset.rows()) {
-    if (!util::host_matches_domain(dataset.host(row), "facebook.com"))
-      continue;
-    if (!util::contains(dataset.view(row.categories), "Blocked sites"))
-      continue;
-    const auto path = dataset.path(row);
-    if (path.size() < 2 || path[0] != '/') continue;
-    pages[std::string(path.substr(1))].page = std::string(path.substr(1));
-  }
-  // Second pass: class counts for every request to those paths.
-  for (const Row& row : dataset.rows()) {
-    if (!util::host_matches_domain(dataset.host(row), "facebook.com"))
-      continue;
-    const auto path = dataset.path(row);
-    if (path.size() < 2) continue;
-    const auto it = pages.find(std::string(path.substr(1)));
-    if (it == pages.end()) continue;
-    switch (dataset.cls(row)) {
-      case proxy::TrafficClass::kCensored: ++it->second.censored; break;
-      case proxy::TrafficClass::kAllowed: ++it->second.allowed; break;
-      case proxy::TrafficClass::kProxied: ++it->second.proxied; break;
-      case proxy::TrafficClass::kError: break;
+std::vector<FacebookPage> blocked_facebook_pages(const LogSource& source,
+                                                 std::size_t threads) {
+  // The sequential version is two passes: label pages carrying the custom
+  // category, then count every request to a labelled page. One scan collects
+  // both (labels and counts for *all* candidate paths); the fold intersects.
+  struct Counts {
+    std::uint64_t censored = 0, allowed = 0, proxied = 0;
+  };
+  struct Partial {
+    std::set<std::string> labeled;
+    std::map<std::string, Counts> by_path;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [](Partial& p, const Record& r) {
+        if (!util::host_matches_domain(r.host, "facebook.com")) return;
+        if (r.path.size() >= 2 && r.path[0] == '/' &&
+            util::contains(r.categories, "Blocked sites"))
+          p.labeled.insert(std::string(r.path.substr(1)));
+        if (r.path.size() < 2) return;
+        Counts& counts = p.by_path[std::string(r.path.substr(1))];
+        switch (r.cls) {
+          case proxy::TrafficClass::kCensored: ++counts.censored; break;
+          case proxy::TrafficClass::kAllowed: ++counts.allowed; break;
+          case proxy::TrafficClass::kProxied: ++counts.proxied; break;
+          case proxy::TrafficClass::kError: break;
+        }
+      });
+
+  std::set<std::string> labeled;
+  std::map<std::string, Counts> by_path;
+  for (const Partial& p : partials) {
+    labeled.insert(p.labeled.begin(), p.labeled.end());
+    for (const auto& [path, counts] : p.by_path) {
+      Counts& merged = by_path[path];
+      merged.censored += counts.censored;
+      merged.allowed += counts.allowed;
+      merged.proxied += counts.proxied;
     }
   }
+
   std::vector<FacebookPage> out;
-  out.reserve(pages.size());
-  for (auto& [name, page] : pages) out.push_back(std::move(page));
+  out.reserve(labeled.size());
+  for (const std::string& page : labeled) {
+    FacebookPage entry;
+    entry.page = page;
+    const auto it = by_path.find(page);
+    if (it != by_path.end()) {
+      entry.censored = it->second.censored;
+      entry.allowed = it->second.allowed;
+      entry.proxied = it->second.proxied;
+    }
+    out.push_back(std::move(entry));
+  }
   std::sort(out.begin(), out.end(),
             [](const FacebookPage& a, const FacebookPage& b) {
               if (a.censored != b.censored) return a.censored > b.censored;

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "analysis/top_domains.h"
 
 namespace syrwatch::analysis {
@@ -16,7 +16,8 @@ namespace syrwatch::analysis {
 const std::vector<std::string>& studied_social_networks();
 
 /// Table 13: per-OSN censored/allowed/proxied counts, ranked by censored.
-std::vector<DomainClassCounts> osn_censorship(const Dataset& dataset);
+std::vector<DomainClassCounts> osn_censorship(const LogSource& source,
+                                              std::size_t threads = 1);
 
 /// Table 14: Facebook pages touched by the "Blocked sites" custom
 /// category, with per-page censored/allowed/proxied counts. A page is
@@ -30,6 +31,7 @@ struct FacebookPage {
   std::uint64_t proxied = 0;
 };
 
-std::vector<FacebookPage> blocked_facebook_pages(const Dataset& dataset);
+std::vector<FacebookPage> blocked_facebook_pages(const LogSource& source,
+                                                 std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

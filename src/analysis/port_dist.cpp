@@ -5,18 +5,30 @@
 
 namespace syrwatch::analysis {
 
-std::vector<PortCount> port_distribution(const Dataset& dataset,
-                                         std::size_t k) {
+std::vector<PortCount> port_distribution(const LogSource& source,
+                                         std::size_t k, std::size_t threads) {
+  // std::map keys by port, so partial iteration order is the same on every
+  // backend and the fold is plain addition.
+  using Partial = std::map<std::uint16_t, PortCount>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [](Partial& p, const Record& r) {
+        if (r.cls != proxy::TrafficClass::kAllowed &&
+            r.cls != proxy::TrafficClass::kCensored)
+          return;
+        PortCount& entry = p[r.port];
+        entry.port = r.port;
+        if (r.cls == proxy::TrafficClass::kAllowed) ++entry.allowed;
+        else ++entry.censored;
+      });
+
   std::map<std::uint16_t, PortCount> by_port;
-  for (const Row& row : dataset.rows()) {
-    const auto cls = dataset.cls(row);
-    if (cls != proxy::TrafficClass::kAllowed &&
-        cls != proxy::TrafficClass::kCensored)
-      continue;
-    PortCount& entry = by_port[row.port];
-    entry.port = row.port;
-    if (cls == proxy::TrafficClass::kAllowed) ++entry.allowed;
-    else ++entry.censored;
+  for (const Partial& p : partials) {
+    for (const auto& [port, entry] : p) {
+      PortCount& merged = by_port[port];
+      merged.port = port;
+      merged.allowed += entry.allowed;
+      merged.censored += entry.censored;
+    }
   }
   std::vector<PortCount> out;
   out.reserve(by_port.size());

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -16,7 +16,8 @@ struct PortCount {
 
 /// Ports ranked by censored count (descending), ties by port number.
 /// `k` bounds the result; pass 0 for all ports.
-std::vector<PortCount> port_distribution(const Dataset& dataset,
-                                         std::size_t k = 0);
+std::vector<PortCount> port_distribution(const LogSource& source,
+                                         std::size_t k = 0,
+                                         std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
 #include "util/stats.h"
@@ -26,13 +27,34 @@ double ProxyLoadSeries::censored_share(std::size_t proxy,
                         static_cast<double>(sum);
 }
 
-ProxyLoadSeries proxy_load_series(const Dataset& dataset, std::int64_t start,
-                                  std::int64_t end,
-                                  std::int64_t bin_seconds) {
+ProxyLoadSeries proxy_load_series(const LogSource& source, std::int64_t start,
+                                  std::int64_t end, std::int64_t bin_seconds,
+                                  std::size_t threads) {
   if (end <= start || bin_seconds <= 0)
     throw std::invalid_argument("proxy_load_series: bad window");
   const auto bins = static_cast<std::size_t>(
       (end - start + bin_seconds - 1) / bin_seconds);
+
+  struct Partial {
+    std::array<std::vector<std::uint64_t>, policy::kProxyCount> total;
+    std::array<std::vector<std::uint64_t>, policy::kProxyCount> censored;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.total[0].empty()) {
+          for (std::size_t i = 0; i < policy::kProxyCount; ++i) {
+            p.total[i].assign(bins, 0);
+            p.censored[i].assign(bins, 0);
+          }
+        }
+        if (r.time < start || r.time >= end) return;
+        const auto bin =
+            static_cast<std::size_t>((r.time - start) / bin_seconds);
+        ++p.total[r.proxy_index][bin];
+        if (r.cls == proxy::TrafficClass::kCensored)
+          ++p.censored[r.proxy_index][bin];
+      });
+
   ProxyLoadSeries series;
   series.origin = start;
   series.bin_seconds = bin_seconds;
@@ -40,34 +62,58 @@ ProxyLoadSeries proxy_load_series(const Dataset& dataset, std::int64_t start,
     series.total[p].assign(bins, 0);
     series.censored[p].assign(bins, 0);
   }
-  for (const Row& row : dataset.rows()) {
-    if (row.time < start || row.time >= end) continue;
-    const auto bin =
-        static_cast<std::size_t>((row.time - start) / bin_seconds);
-    ++series.total[row.proxy_index][bin];
-    if (dataset.cls(row) == proxy::TrafficClass::kCensored)
-      ++series.censored[row.proxy_index][bin];
+  for (const Partial& p : partials) {
+    if (p.total[0].empty()) continue;
+    for (std::size_t i = 0; i < policy::kProxyCount; ++i) {
+      for (std::size_t bin = 0; bin < bins; ++bin) {
+        series.total[i][bin] += p.total[i][bin];
+        series.censored[i][bin] += p.censored[i][bin];
+      }
+    }
   }
   return series;
 }
 
-ProxySimilarity censored_domain_similarity(const Dataset& dataset,
+ProxySimilarity censored_domain_similarity(const LogSource& source,
                                            std::int64_t start,
-                                           std::int64_t end) {
-  // Per-proxy censored-request counts over a shared domain index.
+                                           std::int64_t end,
+                                           std::size_t threads) {
+  // The cosine sums run in domain-index order, so the global index must be
+  // the row-order first-seen order to keep the floating-point result
+  // bit-identical. Each partial records its local first-seen sequence;
+  // folding them in partition order rebuilds the global sequence.
+  struct Partial {
+    std::vector<std::string_view> order;  // local first-seen sequence
+    std::unordered_map<std::string_view, std::size_t> index;
+    std::array<std::vector<double>, policy::kProxyCount> vectors;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.time < start || r.time >= end) return;
+        if (r.cls != proxy::TrafficClass::kCensored) return;
+        const auto [it, inserted] = p.index.emplace(r.domain, p.order.size());
+        if (inserted) p.order.push_back(r.domain);
+        const std::size_t idx = it->second;
+        for (auto& vec : p.vectors) {
+          if (vec.size() <= idx) vec.resize(p.order.size(), 0.0);
+        }
+        p.vectors[r.proxy_index][idx] += 1.0;
+      });
+
   std::unordered_map<std::string_view, std::size_t> domain_index;
   std::array<std::vector<double>, policy::kProxyCount> vectors;
-  for (const Row& row : dataset.rows()) {
-    if (row.time < start || row.time >= end) continue;
-    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
-    const auto domain = dataset.domain(row);
-    const auto [it, inserted] =
-        domain_index.emplace(domain, domain_index.size());
-    const std::size_t idx = it->second;
-    for (auto& vec : vectors) {
-      if (vec.size() <= idx) vec.resize(domain_index.size(), 0.0);
+  for (const Partial& p : partials) {
+    for (std::size_t local = 0; local < p.order.size(); ++local) {
+      const auto [it, inserted] =
+          domain_index.emplace(p.order[local], domain_index.size());
+      const std::size_t idx = it->second;
+      for (std::size_t proxy = 0; proxy < policy::kProxyCount; ++proxy) {
+        auto& vec = vectors[proxy];
+        if (vec.size() <= idx) vec.resize(domain_index.size(), 0.0);
+        if (local < p.vectors[proxy].size())
+          vec[idx] += p.vectors[proxy][local];
+      }
     }
-    vectors[row.proxy_index][idx] += 1.0;
   }
   for (auto& vec : vectors) vec.resize(domain_index.size(), 0.0);
 
@@ -81,16 +127,33 @@ ProxySimilarity censored_domain_similarity(const Dataset& dataset,
   return similarity;
 }
 
-ProxyCategoryLabels proxy_category_labels(const Dataset& dataset) {
-  std::array<std::unordered_map<std::string_view, std::uint64_t>,
-             policy::kProxyCount>
-      counts;
-  for (const Row& row : dataset.rows())
-    ++counts[row.proxy_index][dataset.view(row.categories)];
+ProxyCategoryLabels proxy_category_labels(const LogSource& source,
+                                          std::size_t threads) {
+  // The final ranking sorts on count only, so ties surface the hash map's
+  // iteration order — which tracks insertion order. Partials record their
+  // first-seen label sequence and the fold re-inserts in global first-seen
+  // order, reproducing the sequential map's layout exactly.
+  struct PerProxy {
+    std::vector<std::string_view> order;
+    std::unordered_map<std::string_view, std::uint64_t> counts;
+  };
+  using Partial = std::array<PerProxy, policy::kProxyCount>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [](Partial& p, const Record& r) {
+        PerProxy& proxy = p[r.proxy_index];
+        auto [it, inserted] = proxy.counts.emplace(r.categories, 0);
+        if (inserted) proxy.order.push_back(r.categories);
+        ++it->second;
+      });
 
   ProxyCategoryLabels labels;
   for (std::size_t p = 0; p < policy::kProxyCount; ++p) {
-    for (const auto& [label, count] : counts[p])
+    std::unordered_map<std::string_view, std::uint64_t> counts;
+    for (const Partial& partial : partials) {
+      for (const auto label : partial[p].order)
+        counts[label] += partial[p].counts.at(label);
+    }
+    for (const auto& [label, count] : counts)
       labels.labels[p].push_back({std::string(label), count});
     std::sort(labels.labels[p].begin(), labels.labels[p].end(),
               [](const auto& a, const auto& b) { return a.count > b.count; });

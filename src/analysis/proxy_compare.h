@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "policy/syria.h"
 #include "util/histogram.h"
 
@@ -26,9 +26,10 @@ struct ProxyLoadSeries {
   std::size_t bin_count() const noexcept { return total[0].size(); }
 };
 
-ProxyLoadSeries proxy_load_series(const Dataset& dataset, std::int64_t start,
+ProxyLoadSeries proxy_load_series(const LogSource& source, std::int64_t start,
                                   std::int64_t end,
-                                  std::int64_t bin_seconds = 3600);
+                                  std::int64_t bin_seconds = 3600,
+                                  std::size_t threads = 1);
 
 /// Table 6: cosine similarity of the per-domain censored-request vectors
 /// of each proxy pair, restricted to a time window (the paper uses
@@ -38,9 +39,10 @@ struct ProxySimilarity {
       matrix{};
 };
 
-ProxySimilarity censored_domain_similarity(const Dataset& dataset,
+ProxySimilarity censored_domain_similarity(const LogSource& source,
                                            std::int64_t start,
-                                           std::int64_t end);
+                                           std::int64_t end,
+                                           std::size_t threads = 1);
 
 /// §5.2's category-label observation: which cs-categories strings each
 /// proxy logs, and how often ("none" appears only on SG-43/SG-48).
@@ -52,6 +54,7 @@ struct ProxyCategoryLabels {
   std::array<std::vector<LabelCount>, policy::kProxyCount> labels;
 };
 
-ProxyCategoryLabels proxy_category_labels(const Dataset& dataset);
+ProxyCategoryLabels proxy_category_labels(const LogSource& source,
+                                          std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -1,18 +1,29 @@
 #include "analysis/redirects.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_map>
 
 namespace syrwatch::analysis {
 
-std::vector<RedirectHost> redirect_hosts(const Dataset& dataset,
-                                         std::size_t k) {
+std::vector<RedirectHost> redirect_hosts(const LogSource& source,
+                                         std::size_t k, std::size_t threads) {
+  struct Partial {
+    std::uint64_t total = 0;
+    std::unordered_map<std::string_view, std::uint64_t> counts;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [](Partial& p, const Record& r) {
+        if (r.exception != proxy::ExceptionId::kPolicyRedirect) return;
+        ++p.total;
+        ++p.counts[r.host];
+      });
+
   std::unordered_map<std::string_view, std::uint64_t> counts;
   std::uint64_t total = 0;
-  for (const Row& row : dataset.rows()) {
-    if (row.exception != proxy::ExceptionId::kPolicyRedirect) continue;
-    ++total;
-    ++counts[dataset.host(row)];
+  for (const Partial& p : partials) {
+    total += p.total;
+    for (const auto& [host, count] : p.counts) counts[host] += count;
   }
   std::vector<RedirectHost> out;
   out.reserve(counts.size());
@@ -30,25 +41,89 @@ std::vector<RedirectHost> redirect_hosts(const Dataset& dataset,
   return out;
 }
 
-std::uint64_t redirect_followups(const Dataset& dataset,
-                                 std::int64_t window_seconds) {
-  // Rows are time-sorted after finalize(); scan forward from each redirect
-  // looking for any same-user request inside the window.
-  const auto& rows = dataset.rows();
-  std::uint64_t followups = 0;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    if (row.exception != proxy::ExceptionId::kPolicyRedirect) continue;
-    if (row.user_hash == 0) continue;  // unattributable
-    for (std::size_t j = i + 1; j < rows.size(); ++j) {
-      if (rows[j].time > row.time + window_seconds) break;
-      if (rows[j].user_hash == row.user_hash && rows[j].host != row.host) {
-        ++followups;
-        break;
+namespace {
+
+struct PendingRedirect {
+  std::int64_t deadline = 0;  // last timestamp that can still resolve it
+  std::uint64_t user = 0;
+  std::string_view host;
+};
+
+struct HeadRow {
+  std::int64_t time = 0;
+  std::uint64_t user = 0;
+  std::string_view host;
+};
+
+}  // namespace
+
+std::uint64_t redirect_followups(const LogSource& source,
+                                 std::int64_t window_seconds,
+                                 std::size_t threads) {
+  // Records are time-sorted, so "a same-user request to a different host
+  // within the window" is a forward scan. Each partition resolves what it
+  // can locally; redirects whose window crosses the partition end become
+  // pendings, and each partition also keeps its head rows (time within
+  // window_seconds of its first row) — since times are non-decreasing, any
+  // row that can resolve an earlier partition's pending lies in that head.
+  struct Partial {
+    std::uint64_t resolved = 0;
+    std::vector<PendingRedirect> pendings;
+    std::vector<HeadRow> heads;
+    std::int64_t first_time = 0;
+    std::int64_t last_time = 0;
+    bool has_rows = false;
+  };
+  auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (!p.has_rows) {
+          p.has_rows = true;
+          p.first_time = r.time;
+        }
+        p.last_time = r.time;
+        if (r.time <= p.first_time + window_seconds)
+          p.heads.push_back({r.time, r.user_hash, r.host});
+        // A row past a pending's deadline expires it; a matching row within
+        // the deadline resolves it. Order against step below keeps the
+        // original i+1 semantics: a redirect never resolves itself.
+        std::erase_if(p.pendings, [&](const PendingRedirect& pending) {
+          if (r.time > pending.deadline) return true;  // unresolved
+          if (r.user_hash == pending.user && r.host != pending.host) {
+            ++p.resolved;
+            return true;
+          }
+          return false;
+        });
+        if (r.exception == proxy::ExceptionId::kPolicyRedirect &&
+            r.user_hash != 0)
+          p.pendings.push_back(
+              {r.time + window_seconds, r.user_hash, r.host});
+      });
+
+  std::uint64_t resolved = 0;
+  std::vector<PendingRedirect> carry;
+  for (Partial& p : partials) {
+    resolved += p.resolved;
+    if (p.has_rows) {
+      for (const HeadRow& row : p.heads) {
+        std::erase_if(carry, [&](const PendingRedirect& pending) {
+          if (row.time > pending.deadline) return true;  // unresolved
+          if (row.user == pending.user && row.host != pending.host) {
+            ++resolved;
+            return true;
+          }
+          return false;
+        });
       }
+      // Rows beyond the head all sit past any carried deadline; a pending
+      // that this partition's tail outruns can never resolve later either.
+      std::erase_if(carry, [&](const PendingRedirect& pending) {
+        return pending.deadline < p.last_time;
+      });
     }
+    carry.insert(carry.end(), p.pendings.begin(), p.pendings.end());
   }
-  return followups;
+  return resolved;
 }
 
 }  // namespace syrwatch::analysis

@@ -4,11 +4,11 @@
 
 namespace syrwatch::analysis {
 
-std::vector<SamplingCheck> sampling_audit(const Dataset& full,
-                                          const Dataset& sample,
-                                          double alpha) {
-  const TrafficStats full_stats = traffic_stats(full);
-  const TrafficStats sample_stats = traffic_stats(sample);
+std::vector<SamplingCheck> sampling_audit(const LogSource& full,
+                                          const LogSource& sample,
+                                          double alpha, std::size_t threads) {
+  const TrafficStats full_stats = traffic_stats(full, threads);
+  const TrafficStats sample_stats = traffic_stats(sample, threads);
 
   struct Metric {
     const char* name;

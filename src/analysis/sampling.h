@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "util/stats.h"
 
 namespace syrwatch::analysis {
@@ -22,8 +22,9 @@ struct SamplingCheck {
 
 /// Checks the allowed / proxied / denied / censored / error proportions at
 /// confidence 1 - alpha (the paper uses alpha = 0.05).
-std::vector<SamplingCheck> sampling_audit(const Dataset& full,
-                                          const Dataset& sample,
-                                          double alpha = 0.05);
+std::vector<SamplingCheck> sampling_audit(const LogSource& full,
+                                          const LogSource& sample,
+                                          double alpha = 0.05,
+                                          std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -1,0 +1,126 @@
+#include "analysis/scan.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace syrwatch::analysis {
+
+LogSource::TimeBounds LogSource::time_bounds(std::size_t threads) const {
+  if (mask_) return {first_time_, last_time_};
+  if (columnar_ == nullptr)
+    return {dataset_->rows().front().time, dataset_->rows().back().time};
+  struct Bounds {
+    std::int64_t first = 0, last = 0;
+    bool any = false;
+  };
+  std::vector<Bounds> partials(partitions());
+  util::parallel_for(partitions(), threads, [&](std::size_t p) {
+    scan_partition(p, [&](const Record& r) {
+      Bounds& b = partials[p];
+      if (!b.any) {
+        b.first = b.last = r.time;
+        b.any = true;
+        return;
+      }
+      if (r.time < b.first) b.first = r.time;
+      if (r.time > b.last) b.last = r.time;
+    });
+  });
+  TimeBounds bounds;
+  bool seen = false;
+  for (const Bounds& b : partials) {
+    if (!b.any) continue;
+    if (!seen) {
+      bounds = {b.first, b.last};
+      seen = true;
+      continue;
+    }
+    bounds.first = std::min(bounds.first, b.first);
+    bounds.last = std::max(bounds.last, b.last);
+  }
+  return bounds;
+}
+
+namespace {
+
+/// Row count and time bounds of a freshly masked view, resolved with one
+/// parallel scan (per-partition partials folded in order, like any other
+/// analyzer — identical for any thread count).
+struct ViewStats {
+  std::uint64_t count = 0;
+  std::int64_t first = 0;
+  std::int64_t last = 0;
+  bool any = false;
+};
+
+}  // namespace
+
+LogSource LogSource::masked(
+    std::shared_ptr<const std::vector<std::uint8_t>> mask,
+    std::size_t threads) const {
+  LogSource out = *this;
+  if (mask_) {
+    // Compose with the existing selection: a view of a view keeps the
+    // base's ordinal space, so the masks simply AND together.
+    auto combined = std::make_shared<std::vector<std::uint8_t>>(*mask_);
+    for (std::size_t i = 0; i < combined->size(); ++i)
+      (*combined)[i] = static_cast<std::uint8_t>((*combined)[i] != 0 &&
+                                                 (*mask)[i] != 0);
+    out.mask_ = std::move(combined);
+  } else {
+    out.mask_ = std::move(mask);
+  }
+
+  prepare(threads);
+  std::vector<ViewStats> partials(out.partitions());
+  util::parallel_for(out.partitions(), threads, [&](std::size_t p) {
+    out.scan_partition(p, [&](const Record& r) {
+      ViewStats& s = partials[p];
+      ++s.count;
+      if (!s.any) {
+        s.first = s.last = r.time;
+        s.any = true;
+        return;
+      }
+      s.first = std::min(s.first, r.time);
+      s.last = std::max(s.last, r.time);
+    });
+  });
+  out.rows_ = 0;
+  out.first_time_ = 0;
+  out.last_time_ = 0;
+  bool seen = false;
+  for (const ViewStats& s : partials) {
+    if (!s.any) continue;
+    out.rows_ += s.count;
+    if (!seen) {
+      out.first_time_ = s.first;
+      out.last_time_ = s.last;
+      seen = true;
+      continue;
+    }
+    out.first_time_ = std::min(out.first_time_, s.first);
+    out.last_time_ = std::max(out.last_time_, s.last);
+  }
+  return out;
+}
+
+LogSource LogSource::filtered(const std::function<bool(const Record&)>& keep,
+                              std::size_t threads) const {
+  const std::uint64_t base_rows =
+      columnar_ != nullptr ? columnar_->rows() : dataset_->size();
+  auto mask = std::make_shared<std::vector<std::uint8_t>>(
+      static_cast<std::size_t>(base_rows), std::uint8_t{0});
+  prepare(threads);
+  // Each worker sets bits only at its own partition's ordinals, so the
+  // writes never alias and the resulting mask is thread-count invariant.
+  util::parallel_for(partitions(), threads, [&](std::size_t p) {
+    scan_partition(p, [&](const Record& r) {
+      if (keep(r))
+        (*mask)[static_cast<std::size_t>(r.ordinal)] = 1;
+    });
+  });
+  return masked(std::move(mask), threads);
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,256 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/columnar.h"
+#include "analysis/dataset.h"
+#include "util/parallel.h"
+
+namespace syrwatch::analysis {
+
+/// The unified scan layer (DESIGN.md §4.11). Every analyzer is written
+/// once against LogSource — a record cursor with two backends, the row
+/// Dataset and the mmap'd SYRCOL1 container (ColumnarLog) — and runs as a
+/// partitioned parallel scan: each worker fills a private Partial from one
+/// partition's records in row order, and the analyzer's fold merges the
+/// partials in partition order. Because folds are required to be
+/// partition-layout independent (columnar partitions are container blocks,
+/// dataset partitions are fixed row ranges) and to reproduce the
+/// sequential row scan's observable state, every analyzer's output is
+/// byte-identical across backends and thread counts.
+
+/// One log record as the scan layer presents it: scalar columns plus
+/// zero-copy views into the backend's string storage (the Dataset's pool
+/// or the container's mapping — both outlive any scan). `host_id` and
+/// `agent_id` are backend-local interned ids: equal ids ⇔ equal strings
+/// within one source, so analyzers may group by them but must never let
+/// the id *values* reach their output.
+struct Record {
+  std::uint64_t ordinal = 0;  ///< global row index in the base source
+  std::int64_t time = 0;
+  std::uint64_t user_hash = 0;
+  std::string_view method, host, path, query, agent, categories;
+  std::string_view domain;  ///< registrable domain of host (eTLD+1)
+  std::uint32_t host_id = 0;
+  std::uint32_t agent_id = 0;
+  std::uint32_t dest_ip = 0;
+  std::uint32_t host_ip = 0;  ///< dotted-quad parse, valid when host_is_ip
+  std::uint16_t port = 0;
+  std::uint16_t status = 0;
+  std::uint8_t proxy_index = 0;
+  net::Scheme scheme = net::Scheme::kHttp;
+  proxy::FilterResult result = proxy::FilterResult::kObserved;
+  proxy::ExceptionId exception = proxy::ExceptionId::kNone;
+  proxy::TrafficClass cls = proxy::TrafficClass::kAllowed;
+  bool has_dest_ip = false;
+  bool host_is_ip = false;
+
+  /// host + path + "?query" — the text the keyword filter scanned
+  /// (Dataset::filter_text).
+  std::string filter_text() const {
+    std::string text{host};
+    text += path;
+    if (!query.empty()) {
+      text += '?';
+      text += query;
+    }
+    return text;
+  }
+};
+
+/// A source of records: a cheap, copyable view over one backend, plus an
+/// optional row mask for derived datasets (Dsample/Duser/Ddenied carved
+/// out of a file-backed Dfull without materializing rows). Constructed
+/// implicitly from either backend, so one analyzer signature
+/// `f(const LogSource&, …, threads)` serves both call styles.
+class LogSource {
+ public:
+  /// Rows per dataset partition. Fixed — never derived from the thread
+  /// count — so the partial sequence an analyzer folds is the same for
+  /// every `threads` value. (Columnar partitions are container blocks,
+  /// whose size the writer fixed; folds must not assume the two layouts
+  /// align.)
+  static constexpr std::size_t kRowsPerPartition = 64 * 1024;
+
+  LogSource(const Dataset& dataset)  // NOLINT(google-explicit-constructor)
+      : dataset_(&dataset), rows_(dataset.size()) {}
+  LogSource(const ColumnarLog& log)  // NOLINT(google-explicit-constructor)
+      : columnar_(&log), rows_(log.rows()) {}
+
+  /// Records this source yields (after any mask).
+  std::uint64_t rows() const noexcept { return rows_; }
+
+  /// Scan partitions. Contiguous, in row order; a masked source keeps its
+  /// base's partition layout and simply yields fewer records.
+  std::size_t partitions() const noexcept {
+    if (columnar_ != nullptr) return columnar_->block_count();
+    return (dataset_->size() + kRowsPerPartition - 1) / kRowsPerPartition;
+  }
+
+  /// True min/max record timestamps. Precondition: rows() > 0. The
+  /// Dataset backend answers from its sorted rows; containers preserve
+  /// emission order — which is only approximately time-sorted — so the
+  /// columnar backend computes the bounds with one parallel scan
+  /// (identical result for any `threads`); masked views resolved theirs
+  /// at construction.
+  struct TimeBounds {
+    std::int64_t first = 0;
+    std::int64_t last = 0;
+  };
+  TimeBounds time_bounds(std::size_t threads = 1) const;
+
+  /// Derived source yielding only the records `keep` accepts — the scan
+  /// layer's replacement for materializing Dataset::filter copies. The
+  /// mask is resolved eagerly (deterministically, for any `threads`), so
+  /// scanning the view afterwards is pure reads.
+  LogSource filtered(const std::function<bool(const Record&)>& keep,
+                     std::size_t threads = 1) const;
+
+  /// Derived source selecting records by base ordinal (mask[ordinal] != 0)
+  /// — the hook for selections that are not per-record predicates, e.g.
+  /// Dsample's sequential Bernoulli draw. `threads` parallelizes the
+  /// view's row-count/time-bounds resolution (identical for any value).
+  LogSource masked(std::shared_ptr<const std::vector<std::uint8_t>> mask,
+                   std::size_t threads = 1) const;
+
+  /// Makes a subsequent multi-threaded scan safe: warms the Dataset
+  /// backend's lazy caches (no-op when already warm, or columnar — its
+  /// per-dictionary tables are immutable after construction).
+  void prepare(std::size_t threads) const {
+    if (threads > 1 && dataset_ != nullptr && !dataset_->warmed())
+      dataset_->warm_domain_cache();
+  }
+
+  /// Invokes `fn(const Record&)` for every record of partition `p`, in row
+  /// order. Thread-safe after prepare() (or single-threaded anyway: the
+  /// Dataset backend's lazy caches then fill exactly as the old row
+  /// analyzers did).
+  template <typename Fn>
+  void scan_partition(std::size_t p, Fn&& fn) const {
+    if (columnar_ != nullptr) {
+      const colfmt::DecodedBlock block = columnar_->reader().decode(p);
+      const std::uint64_t base = columnar_->reader().blocks()[p].row_base;
+      for (std::size_t r = 0; r < block.rows; ++r) {
+        const std::uint64_t ordinal = base + r;
+        if (mask_ && (*mask_)[static_cast<std::size_t>(ordinal)] == 0)
+          continue;
+        fn(from_block(block, r, ordinal));
+      }
+      return;
+    }
+    const auto& rows = dataset_->rows();
+    const std::size_t begin = p * kRowsPerPartition;
+    const std::size_t end = std::min(rows.size(), begin + kRowsPerPartition);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (mask_ && (*mask_)[i] == 0) continue;
+      fn(from_row(rows[i], i));
+    }
+  }
+
+ private:
+  Record from_row(const Row& row, std::uint64_t ordinal) const {
+    const Dataset& d = *dataset_;
+    Record r;
+    r.ordinal = ordinal;
+    r.time = row.time;
+    r.user_hash = row.user_hash;
+    r.method = d.view(row.method);
+    r.host = d.view(row.host);
+    r.path = d.view(row.path);
+    r.query = d.view(row.query);
+    r.agent = d.view(row.agent);
+    r.categories = d.view(row.categories);
+    r.domain = d.domain(row);
+    r.host_id = row.host;
+    r.agent_id = row.agent;
+    r.dest_ip = row.dest_ip;
+    r.host_is_ip = d.host_is_ip(row);
+    r.host_ip = r.host_is_ip ? d.host_ip(row) : 0;
+    r.port = row.port;
+    r.status = row.status;
+    r.proxy_index = row.proxy_index;
+    r.scheme = row.scheme;
+    r.result = row.result;
+    r.exception = row.exception;
+    r.cls = d.cls(row);
+    r.has_dest_ip = row.has_dest_ip;
+    return r;
+  }
+
+  Record from_block(const colfmt::DecodedBlock& b, std::size_t i,
+                    std::uint64_t ordinal) const {
+    const ColumnarLog& log = *columnar_;
+    const colfmt::Reader& reader = log.reader();
+    Record r;
+    r.ordinal = ordinal;
+    r.time = b.time[i];
+    r.user_hash = b.user_hash[i];
+    r.method = reader.view(b.method[i]);
+    r.host = reader.view(b.host[i]);
+    r.path = reader.view(b.path[i]);
+    r.query = reader.view(b.query[i]);
+    r.agent = reader.view(b.agent[i]);
+    r.categories = reader.view(b.categories[i]);
+    r.domain = log.domain(b.host[i]);
+    r.host_id = b.host[i];
+    r.agent_id = b.agent[i];
+    r.dest_ip = b.has_dest[i] != 0 ? b.dest_ip[i] : 0;
+    r.host_is_ip = log.host_is_ip(b.host[i]);
+    r.host_ip = r.host_is_ip ? log.host_ip(b.host[i]) : 0;
+    r.port = b.port[i];
+    r.status = b.status[i];
+    r.proxy_index = b.proxy_index[i];
+    r.scheme = static_cast<net::Scheme>(b.scheme[i]);
+    r.result = static_cast<proxy::FilterResult>(b.filter_result[i]);
+    r.exception = static_cast<proxy::ExceptionId>(b.exception[i]);
+    r.cls = ColumnarLog::cls(b.filter_result[i], b.exception[i]);
+    r.has_dest_ip = b.has_dest[i] != 0;
+    return r;
+  }
+
+  const Dataset* dataset_ = nullptr;
+  const ColumnarLog* columnar_ = nullptr;
+  /// Base-ordinal keep mask of a derived view; null = all records.
+  std::shared_ptr<const std::vector<std::uint8_t>> mask_;
+  std::uint64_t rows_ = 0;
+  /// Cached time bounds of a masked view (the base backends answer from
+  /// their own storage).
+  std::int64_t first_time_ = 0;
+  std::int64_t last_time_ = 0;
+};
+
+/// The scan driver: fills one default-constructed Partial per partition —
+/// each from its partition's records, in row order, on whichever worker
+/// claims it — and returns the partials in partition order for the
+/// analyzer's fold. `scan(Partial&, const Record&)` must touch nothing
+/// shared. threads <= 1 runs inline and is the reference execution.
+template <typename Partial, typename Scan>
+std::vector<Partial> scan_partials(const LogSource& source,
+                                   std::size_t threads, const Scan& scan) {
+  source.prepare(threads);
+  std::vector<Partial> partials(source.partitions());
+  util::parallel_for(source.partitions(), threads, [&](std::size_t p) {
+    source.scan_partition(p,
+                          [&](const Record& r) { scan(partials[p], r); });
+  });
+  return partials;
+}
+
+/// scan_partials + fold in one call: `fold(std::vector<Partial>&&)`
+/// produces the analyzer's result. The fold runs sequentially over the
+/// partials in partition order; to be backend- and thread-count-invariant
+/// it must depend only on the concatenated record sequence (see DESIGN.md
+/// §4.11 for the determinism rules).
+template <typename Partial, typename Scan, typename Fold>
+auto parallel_scan(const LogSource& source, std::size_t threads,
+                   const Scan& scan, Fold&& fold) {
+  return fold(scan_partials<Partial>(source, threads, scan));
+}
+
+}  // namespace syrwatch::analysis

@@ -17,30 +17,50 @@ const std::vector<std::string>& social_plugin_paths() {
   return paths;
 }
 
-SocialPluginStats social_plugin_stats(const Dataset& dataset) {
-  SocialPluginStats stats;
+SocialPluginStats social_plugin_stats(const LogSource& source,
+                                      std::size_t threads) {
   const auto& paths = social_plugin_paths();
+
+  // Dense per-path counters in the fixed endpoint order: addition folds.
+  struct Partial {
+    std::vector<SocialPluginStats::Element> elements;
+    std::uint64_t facebook_censored = 0;
+    std::uint64_t plugin_censored = 0;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.elements.empty()) {
+          p.elements.reserve(paths.size());
+          for (const std::string& path : paths) p.elements.push_back({path});
+        }
+        if (!util::host_matches_domain(r.host, "facebook.com")) return;
+        if (r.cls == proxy::TrafficClass::kCensored) ++p.facebook_censored;
+        for (auto& element : p.elements) {
+          if (r.path != element.path) continue;
+          switch (r.cls) {
+            case proxy::TrafficClass::kCensored:
+              ++element.censored;
+              ++p.plugin_censored;
+              break;
+            case proxy::TrafficClass::kAllowed: ++element.allowed; break;
+            case proxy::TrafficClass::kProxied: ++element.proxied; break;
+            case proxy::TrafficClass::kError: break;
+          }
+          break;
+        }
+      });
+
+  SocialPluginStats stats;
   stats.elements.reserve(paths.size());
   for (const std::string& path : paths) stats.elements.push_back({path});
-
-  for (const Row& row : dataset.rows()) {
-    if (!util::host_matches_domain(dataset.host(row), "facebook.com"))
-      continue;
-    const auto cls = dataset.cls(row);
-    if (cls == proxy::TrafficClass::kCensored) ++stats.facebook_censored;
-    const auto path = dataset.path(row);
-    for (auto& element : stats.elements) {
-      if (path != element.path) continue;
-      switch (cls) {
-        case proxy::TrafficClass::kCensored:
-          ++element.censored;
-          ++stats.plugin_censored;
-          break;
-        case proxy::TrafficClass::kAllowed: ++element.allowed; break;
-        case proxy::TrafficClass::kProxied: ++element.proxied; break;
-        case proxy::TrafficClass::kError: break;
-      }
-      break;
+  for (const Partial& p : partials) {
+    stats.facebook_censored += p.facebook_censored;
+    stats.plugin_censored += p.plugin_censored;
+    if (p.elements.empty()) continue;
+    for (std::size_t i = 0; i < stats.elements.size(); ++i) {
+      stats.elements[i].censored += p.elements[i].censored;
+      stats.elements[i].allowed += p.elements[i].allowed;
+      stats.elements[i].proxied += p.elements[i].proxied;
     }
   }
   for (auto& element : stats.elements) {

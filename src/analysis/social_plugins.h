@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -28,6 +28,7 @@ struct SocialPluginStats {
 /// The plugin endpoints of Table 15.
 const std::vector<std::string>& social_plugin_paths();
 
-SocialPluginStats social_plugin_stats(const Dataset& dataset);
+SocialPluginStats social_plugin_stats(const LogSource& source,
+                                      std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

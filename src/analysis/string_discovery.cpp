@@ -56,47 +56,73 @@ std::vector<std::string> DiscoveryResult::domain_names() const {
   return names;
 }
 
-DiscoveryResult discover_censored_strings(const Dataset& dataset,
-                                          const DiscoveryOptions& options) {
+DiscoveryResult discover_censored_strings(const LogSource& source,
+                                          const DiscoveryOptions& options,
+                                          std::size_t threads) {
   DiscoveryResult result;
 
   // ---- Materialize the censored set C and the allowed reference A -------
+  // This is the hot phase. Candidate maps downstream iterate in insertion
+  // order, so the fold concatenates censored rows in partition order to
+  // keep the global row order; the allowed sets/corpus are only ever
+  // membership-tested, so union order is free.
+  struct Partial {
+    std::vector<CensoredRow> censored;
+    std::unordered_set<std::string> allowed_domains;
+    std::unordered_set<std::string> allowed_hosts;
+    std::unordered_set<std::string> allowed_tokens;
+    std::string allowed_corpus;  // '\n'-joined, for exact substring checks
+    std::vector<std::string> proxied_texts;
+  };
+  auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.cls == proxy::TrafficClass::kCensored) {
+          CensoredRow cr;
+          cr.host = util::to_lower(r.host);
+          if (net::looks_like_ipv4(cr.host)) return;  // IP filtering: §5.4's
+                                                      // separate analysis
+          cr.domain = net::registrable_domain(cr.host);
+          const std::string path = util::to_lower(r.path);
+          const std::string query = util::to_lower(r.query);
+          cr.path_query = path + (query.empty() ? "" : "?" + query);
+          cr.filter_text = cr.host + cr.path_query;
+          cr.anchor = query.empty() && (path.empty() || path == "/");
+          p.censored.push_back(std::move(cr));
+        } else if (r.cls == proxy::TrafficClass::kAllowed) {
+          const std::string text = util::to_lower(r.filter_text());
+          const std::string host = util::to_lower(r.host);
+          p.allowed_hosts.insert(host);
+          p.allowed_domains.insert(net::registrable_domain(host));
+          for_each_token(text, [&](std::string_view token) {
+            if (token.size() >= kMinTokenLength && !all_digits(token))
+              p.allowed_tokens.emplace(token);
+          });
+          p.allowed_corpus += text;
+          p.allowed_corpus += '\n';
+        } else if (r.cls == proxy::TrafficClass::kProxied) {
+          p.proxied_texts.push_back(util::to_lower(r.filter_text()));
+        }
+      });
+
   std::vector<CensoredRow> censored;
   std::unordered_set<std::string> allowed_domains;
   std::unordered_set<std::string> allowed_hosts;
   std::unordered_set<std::string> allowed_tokens;
-  std::string allowed_corpus;  // '\n'-joined, for exact substring checks
+  std::string allowed_corpus;
   std::vector<std::string> proxied_texts;
-
-  for (const Row& row : dataset.rows()) {
-    const auto cls = dataset.cls(row);
-    if (cls == proxy::TrafficClass::kCensored) {
-      CensoredRow cr;
-      cr.host = util::to_lower(dataset.host(row));
-      if (net::looks_like_ipv4(cr.host)) continue;  // IP filtering: §5.4's
-                                                    // separate analysis
-      cr.domain = net::registrable_domain(cr.host);
-      const std::string path = util::to_lower(dataset.path(row));
-      const std::string query = util::to_lower(dataset.query(row));
-      cr.path_query = path + (query.empty() ? "" : "?" + query);
-      cr.filter_text = cr.host + cr.path_query;
-      cr.anchor = query.empty() && (path.empty() || path == "/");
-      censored.push_back(std::move(cr));
-    } else if (cls == proxy::TrafficClass::kAllowed) {
-      const std::string text = util::to_lower(dataset.filter_text(row));
-      const std::string host = util::to_lower(dataset.host(row));
-      allowed_hosts.insert(host);
-      allowed_domains.insert(net::registrable_domain(host));
-      for_each_token(text, [&](std::string_view token) {
-        if (token.size() >= kMinTokenLength && !all_digits(token))
-          allowed_tokens.emplace(token);
-      });
-      allowed_corpus += text;
-      allowed_corpus += '\n';
-    } else if (cls == proxy::TrafficClass::kProxied) {
-      proxied_texts.push_back(util::to_lower(dataset.filter_text(row)));
-    }
+  for (Partial& p : partials) {
+    censored.insert(censored.end(),
+                    std::make_move_iterator(p.censored.begin()),
+                    std::make_move_iterator(p.censored.end()));
+    allowed_domains.merge(p.allowed_domains);
+    allowed_hosts.merge(p.allowed_hosts);
+    allowed_tokens.merge(p.allowed_tokens);
+    allowed_corpus += p.allowed_corpus;
+    proxied_texts.insert(proxied_texts.end(),
+                         std::make_move_iterator(p.proxied_texts.begin()),
+                         std::make_move_iterator(p.proxied_texts.end()));
   }
+  partials.clear();
 
   result.censored_requests_total = censored.size();
   const std::uint64_t threshold = std::max<std::uint64_t>(

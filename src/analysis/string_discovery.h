@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 #include "analysis/top_domains.h"
 
 namespace syrwatch::analysis {
@@ -49,7 +49,12 @@ struct DiscoveryResult {
   std::vector<std::string> domain_names() const;
 };
 
-DiscoveryResult discover_censored_strings(const Dataset& dataset,
-                                          const DiscoveryOptions& options = {});
+/// The §5.4 loop itself is inherently sequential (each accepted string
+/// reshapes the live set), but the expensive part — lower-casing and
+/// tokenizing every record into the C/A/PROXIED working sets — scans in
+/// parallel; `threads` governs that phase only.
+DiscoveryResult discover_censored_strings(const LogSource& source,
+                                          const DiscoveryOptions& options = {},
+                                          std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -1,7 +1,6 @@
 #include "analysis/temporal.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace syrwatch::analysis {
 
@@ -26,19 +25,60 @@ std::vector<double> TrafficTimeSeries::normalized_allowed() const {
   return normalize(allowed);
 }
 
-TrafficTimeSeries traffic_time_series(const Dataset& dataset,
-                                      const TrafficSeriesOptions& options) {
+TrafficTimeSeries traffic_time_series(const LogSource& source,
+                                      const TrafficSeriesOptions& options,
+                                      std::size_t threads) {
   const std::size_t bins = options.bin.bins_over(options.range);
+  struct Partial {
+    std::vector<std::uint64_t> censored, allowed;
+    std::uint64_t censored_overflow = 0, allowed_overflow = 0;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.censored.empty()) {
+          p.censored.assign(bins, 0);
+          p.allowed.assign(bins, 0);
+        }
+        std::vector<std::uint64_t>* series = nullptr;
+        std::uint64_t* overflow = nullptr;
+        if (r.cls == proxy::TrafficClass::kCensored) {
+          series = &p.censored;
+          overflow = &p.censored_overflow;
+        } else if (r.cls == proxy::TrafficClass::kAllowed) {
+          series = &p.allowed;
+          overflow = &p.allowed_overflow;
+        } else {
+          return;
+        }
+        if (r.time < options.range.start) {
+          ++*overflow;
+          return;
+        }
+        const auto bin = static_cast<std::uint64_t>(
+            (r.time - options.range.start) / options.bin.seconds);
+        if (bin >= bins)
+          ++*overflow;
+        else
+          ++(*series)[static_cast<std::size_t>(bin)];
+      });
+
   TrafficTimeSeries series{
       util::BinnedCounter{options.range.start, options.bin.seconds, bins},
       util::BinnedCounter{options.range.start, options.bin.seconds, bins},
   };
-  for (const Row& row : dataset.rows()) {
-    const auto cls = dataset.cls(row);
-    if (cls == proxy::TrafficClass::kCensored)
-      series.censored.add(row.time);
-    else if (cls == proxy::TrafficClass::kAllowed)
-      series.allowed.add(row.time);
+  for (const Partial& p : partials) {
+    for (std::size_t b = 0; b < p.censored.size(); ++b) {
+      if (p.censored[b] != 0)
+        series.censored.add(series.censored.bin_start(b), p.censored[b]);
+      if (p.allowed[b] != 0)
+        series.allowed.add(series.allowed.bin_start(b), p.allowed[b]);
+    }
+    // Out-of-range adds land in the counters' overflow, exactly as the
+    // sequential row scan's add(time) calls would have.
+    if (p.censored_overflow != 0)
+      series.censored.add(options.range.start - 1, p.censored_overflow);
+    if (p.allowed_overflow != 0)
+      series.allowed.add(options.range.start - 1, p.allowed_overflow);
   }
   return series;
 }
@@ -49,35 +89,56 @@ std::size_t RcvSeries::peak_bin() const {
       std::max_element(rcv.begin(), rcv.end()) - rcv.begin());
 }
 
-RcvSeries rcv_series(const Dataset& dataset, const RcvOptions& options) {
+RcvSeries rcv_series(const LogSource& source, const RcvOptions& options,
+                     std::size_t threads) {
   const std::size_t bins = options.bin.bins_over(options.range);
-  util::BinnedCounter censored{options.range.start, options.bin.seconds, bins};
-  util::BinnedCounter total{options.range.start, options.bin.seconds, bins};
-  for (const Row& row : dataset.rows()) {
-    total.add(row.time);
-    if (dataset.cls(row) == proxy::TrafficClass::kCensored)
-      censored.add(row.time);
+  struct Partial {
+    std::vector<std::uint64_t> censored, total;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.total.empty()) {
+          p.censored.assign(bins, 0);
+          p.total.assign(bins, 0);
+        }
+        if (r.time < options.range.start) return;
+        const auto bin = static_cast<std::uint64_t>(
+            (r.time - options.range.start) / options.bin.seconds);
+        if (bin >= bins) return;
+        ++p.total[static_cast<std::size_t>(bin)];
+        if (r.cls == proxy::TrafficClass::kCensored)
+          ++p.censored[static_cast<std::size_t>(bin)];
+      });
+
+  std::vector<std::uint64_t> censored(bins, 0), total(bins, 0);
+  for (const Partial& p : partials) {
+    for (std::size_t b = 0; b < p.total.size(); ++b) {
+      censored[b] += p.censored[b];
+      total[b] += p.total[b];
+    }
   }
   RcvSeries series{options.range.start, options.bin.seconds,
                    std::vector<double>(bins, 0.0)};
   for (std::size_t i = 0; i < bins; ++i) {
-    if (total.at(i) != 0)
-      series.rcv[i] = static_cast<double>(censored.at(i)) /
-                      static_cast<double>(total.at(i));
+    if (total[i] != 0)
+      series.rcv[i] = static_cast<double>(censored[i]) /
+                      static_cast<double>(total[i]);
   }
   return series;
 }
 
 std::vector<WindowedTopDomains> windowed_top_censored(
-    const Dataset& dataset, const WindowedTopOptions& options) {
+    const LogSource& source, const WindowedTopOptions& options,
+    std::size_t threads) {
   std::vector<WindowedTopDomains> out;
   out.reserve(options.windows.size());
   for (const TimeRange& window : options.windows) {
     out.push_back(
         {window,
-         top_domains(dataset, TopDomainsOptions{
-                                  proxy::TrafficClass::kCensored, options.k,
-                                  window})});
+         top_domains(source,
+                     TopDomainsOptions{proxy::TrafficClass::kCensored,
+                                       options.k, window},
+                     threads)});
   }
   return out;
 }

@@ -3,8 +3,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "analysis/dataset.h"
 #include "analysis/options.h"
+#include "analysis/scan.h"
 #include "analysis/top_domains.h"
 #include "util/histogram.h"
 
@@ -26,17 +26,9 @@ struct TrafficSeriesOptions {
   BinSpec bin{300};
 };
 
-TrafficTimeSeries traffic_time_series(const Dataset& dataset,
-                                      const TrafficSeriesOptions& options);
-
-[[deprecated("use traffic_time_series(dataset, TrafficSeriesOptions{...})")]]
-inline TrafficTimeSeries traffic_time_series(const Dataset& dataset,
-                                             std::int64_t start,
-                                             std::int64_t end,
-                                             std::int64_t bin_seconds = 300) {
-  return traffic_time_series(
-      dataset, TrafficSeriesOptions{{start, end}, {bin_seconds}});
-}
+TrafficTimeSeries traffic_time_series(const LogSource& source,
+                                      const TrafficSeriesOptions& options,
+                                      std::size_t threads = 1);
 
 /// Fig. 6: Relative Censored traffic Volume — per time bin, the censored
 /// fraction of all requests in that bin. Bins with no traffic report 0.
@@ -54,13 +46,8 @@ struct RcvOptions {
   BinSpec bin{300};
 };
 
-RcvSeries rcv_series(const Dataset& dataset, const RcvOptions& options);
-
-[[deprecated("use rcv_series(dataset, RcvOptions{...})")]]
-inline RcvSeries rcv_series(const Dataset& dataset, std::int64_t start,
-                            std::int64_t end, std::int64_t bin_seconds = 300) {
-  return rcv_series(dataset, RcvOptions{{start, end}, {bin_seconds}});
-}
+RcvSeries rcv_series(const LogSource& source, const RcvOptions& options,
+                     std::size_t threads = 1);
 
 /// Table 5: top censored domains inside adjacent windows of one day.
 struct WindowedTopDomains {
@@ -74,15 +61,7 @@ struct WindowedTopOptions {
 };
 
 std::vector<WindowedTopDomains> windowed_top_censored(
-    const Dataset& dataset, const WindowedTopOptions& options);
-
-[[deprecated(
-    "use windowed_top_censored(dataset, WindowedTopOptions{...})")]]
-inline std::vector<WindowedTopDomains> windowed_top_censored(
-    const Dataset& dataset, std::span<const TimeWindow> windows,
-    std::size_t k) {
-  return windowed_top_censored(
-      dataset, WindowedTopOptions{{windows.begin(), windows.end()}, k});
-}
+    const LogSource& source, const WindowedTopOptions& options,
+    std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -7,16 +7,29 @@
 
 namespace syrwatch::analysis {
 
-std::vector<DomainCount> top_domains(const Dataset& dataset,
-                                     const TopDomainsOptions& options) {
+std::vector<DomainCount> top_domains(const LogSource& source,
+                                     const TopDomainsOptions& options,
+                                     std::size_t threads) {
+  struct Partial {
+    std::uint64_t class_total = 0;
+    std::unordered_map<std::string_view, std::uint64_t> counts;
+  };
   const auto& window = options.window;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (window && !window->contains(r.time)) return;
+        if (r.cls != options.cls) return;
+        ++p.class_total;
+        ++p.counts[r.domain];
+      });
+
+  // Ranking below is a total order on (count, domain), so the map
+  // iteration order cannot show through the fold.
   std::unordered_map<std::string_view, std::uint64_t> counts;
   std::uint64_t class_total = 0;
-  for (const Row& row : dataset.rows()) {
-    if (window && !window->contains(row.time)) continue;
-    if (dataset.cls(row) != options.cls) continue;
-    ++class_total;
-    ++counts[dataset.domain(row)];
+  for (const Partial& p : partials) {
+    class_total += p.class_total;
+    for (const auto& [domain, count] : p.counts) counts[domain] += count;
   }
   std::vector<DomainCount> ranked;
   ranked.reserve(counts.size());
@@ -36,21 +49,34 @@ std::vector<DomainCount> top_domains(const Dataset& dataset,
 }
 
 std::vector<DomainClassCounts> domain_class_counts(
-    const Dataset& dataset, std::span<const std::string> domains) {
+    const LogSource& source, std::span<const std::string> domains,
+    std::size_t threads) {
   std::vector<DomainClassCounts> out;
   out.reserve(domains.size());
   for (const std::string& domain : domains) out.push_back({domain, 0, 0, 0});
 
-  for (const Row& row : dataset.rows()) {
-    const auto host = dataset.host(row);
-    for (DomainClassCounts& entry : out) {
-      if (!util::host_matches_domain(host, entry.domain)) continue;
-      switch (dataset.cls(row)) {
-        case proxy::TrafficClass::kCensored: ++entry.censored; break;
-        case proxy::TrafficClass::kAllowed: ++entry.allowed; break;
-        case proxy::TrafficClass::kProxied: ++entry.proxied; break;
-        case proxy::TrafficClass::kError: break;
-      }
+  // Fixed input order in, fixed order out: each partial is the same dense
+  // array, and addition folds it.
+  using Partial = std::vector<DomainClassCounts>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.empty()) p = out;
+        for (DomainClassCounts& entry : p) {
+          if (!util::host_matches_domain(r.host, entry.domain)) continue;
+          switch (r.cls) {
+            case proxy::TrafficClass::kCensored: ++entry.censored; break;
+            case proxy::TrafficClass::kAllowed: ++entry.allowed; break;
+            case proxy::TrafficClass::kProxied: ++entry.proxied; break;
+            case proxy::TrafficClass::kError: break;
+          }
+        }
+      });
+  for (const Partial& p : partials) {
+    if (p.empty()) continue;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].censored += p[i].censored;
+      out[i].allowed += p[i].allowed;
+      out[i].proxied += p[i].proxied;
     }
   }
   return out;

@@ -6,8 +6,8 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
 #include "analysis/options.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -32,15 +32,9 @@ struct TopDomainsOptions {
 
 /// Top-k registrable domains among records of the selected class — Table 4
 /// (allowed/censored) and, with a window, Table 5's peak analysis.
-std::vector<DomainCount> top_domains(const Dataset& dataset,
-                                     const TopDomainsOptions& options);
-
-[[deprecated("use top_domains(dataset, TopDomainsOptions{...})")]]
-inline std::vector<DomainCount> top_domains(
-    const Dataset& dataset, proxy::TrafficClass cls, std::size_t k,
-    std::optional<TimeWindow> window = std::nullopt) {
-  return top_domains(dataset, TopDomainsOptions{cls, k, window});
-}
+std::vector<DomainCount> top_domains(const LogSource& source,
+                                     const TopDomainsOptions& options,
+                                     std::size_t threads = 1);
 
 /// Per-domain counts split into the three classes the paper tabulates
 /// next to each other (Tables 8/10/13).
@@ -54,6 +48,7 @@ struct DomainClassCounts {
 /// Counts for an explicit list of domains (suffix matching, so ".il"
 /// aggregates the whole TLD). Order of the result follows the input.
 std::vector<DomainClassCounts> domain_class_counts(
-    const Dataset& dataset, std::span<const std::string> domains);
+    const LogSource& source, std::span<const std::string> domains,
+    std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -9,83 +9,135 @@ namespace syrwatch::analysis {
 
 namespace {
 
-/// A row is Tor traffic when its destination <IP, port> is a known relay
+/// A record is Tor traffic when its destination <IP, port> is a known relay
 /// endpoint. The IP comes from the host literal (the proxies log tunnelled
-/// connections by address).
-std::optional<net::Ipv4Addr> tor_endpoint(const Dataset& dataset,
-                                          const Row& row,
-                                          const tor::RelayDirectory& relays) {
-  const auto ip = net::Ipv4Addr::parse(dataset.host(row));
-  if (!ip || !relays.contains(*ip, row.port)) return std::nullopt;
-  return ip;
+/// connections by address); the scan layer pre-parses it.
+bool tor_endpoint(const Record& r, const tor::RelayDirectory& relays) {
+  return r.host_is_ip && relays.contains(net::Ipv4Addr{r.host_ip}, r.port);
 }
 
-bool is_torhttp(const Dataset& dataset, const Row& row) {
-  return tor::is_directory_path(dataset.path(row));
-}
+bool is_torhttp(const Record& r) { return tor::is_directory_path(r.path); }
 
 }  // namespace
 
-TorStats tor_stats(const Dataset& dataset,
-                   const tor::RelayDirectory& relays) {
+TorStats tor_stats(const LogSource& source, const tor::RelayDirectory& relays,
+                   std::size_t threads) {
+  struct Partial {
+    TorStats stats;
+    std::unordered_set<std::uint32_t> relay_ips;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (!tor_endpoint(r, relays)) return;
+        ++p.stats.requests;
+        ++p.stats.requests_by_proxy[r.proxy_index];
+        p.relay_ips.insert(r.host_ip);
+        const bool http = is_torhttp(r);
+        if (http) ++p.stats.http_requests;
+        else ++p.stats.onion_requests;
+        if (r.cls == proxy::TrafficClass::kCensored) {
+          ++p.stats.censored;
+          ++p.stats.censored_by_proxy[r.proxy_index];
+          if (http) ++p.stats.censored_http;
+          else ++p.stats.censored_onion;
+        }
+        if (r.exception == proxy::ExceptionId::kTcpError) ++p.stats.tcp_errors;
+      });
+
   TorStats stats;
   std::unordered_set<std::uint32_t> relay_ips;
-  for (const Row& row : dataset.rows()) {
-    const auto ip = tor_endpoint(dataset, row, relays);
-    if (!ip) continue;
-    ++stats.requests;
-    ++stats.requests_by_proxy[row.proxy_index];
-    relay_ips.insert(ip->value());
-    const bool http = is_torhttp(dataset, row);
-    if (http) ++stats.http_requests;
-    else ++stats.onion_requests;
-    if (dataset.cls(row) == proxy::TrafficClass::kCensored) {
-      ++stats.censored;
-      ++stats.censored_by_proxy[row.proxy_index];
-      if (http) ++stats.censored_http;
-      else ++stats.censored_onion;
+  for (const Partial& p : partials) {
+    stats.requests += p.stats.requests;
+    stats.http_requests += p.stats.http_requests;
+    stats.onion_requests += p.stats.onion_requests;
+    stats.censored += p.stats.censored;
+    stats.tcp_errors += p.stats.tcp_errors;
+    stats.censored_http += p.stats.censored_http;
+    stats.censored_onion += p.stats.censored_onion;
+    for (std::size_t i = 0; i < policy::kProxyCount; ++i) {
+      stats.censored_by_proxy[i] += p.stats.censored_by_proxy[i];
+      stats.requests_by_proxy[i] += p.stats.requests_by_proxy[i];
     }
-    if (row.exception == proxy::ExceptionId::kTcpError) ++stats.tcp_errors;
+    relay_ips.insert(p.relay_ips.begin(), p.relay_ips.end());
   }
   stats.unique_relays = relay_ips.size();
   return stats;
 }
 
-util::BinnedCounter tor_hourly_series(const Dataset& dataset,
+util::BinnedCounter tor_hourly_series(const LogSource& source,
                                       const tor::RelayDirectory& relays,
-                                      const TorHourlyOptions& options) {
+                                      const TorHourlyOptions& options,
+                                      std::size_t threads) {
   const std::size_t bins = options.bin.bins_over(options.range);
+  struct Partial {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t overflow = 0;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.counts.empty()) p.counts.assign(bins, 0);
+        if (!tor_endpoint(r, relays)) return;
+        if (r.time < options.range.start) {
+          ++p.overflow;
+          return;
+        }
+        const auto bin = static_cast<std::uint64_t>(
+            (r.time - options.range.start) / options.bin.seconds);
+        if (bin >= bins) ++p.overflow;
+        else ++p.counts[static_cast<std::size_t>(bin)];
+      });
+
   util::BinnedCounter series{options.range.start, options.bin.seconds, bins};
-  for (const Row& row : dataset.rows()) {
-    if (tor_endpoint(dataset, row, relays)) series.add(row.time);
+  for (const Partial& p : partials) {
+    for (std::size_t b = 0; b < p.counts.size(); ++b) {
+      if (p.counts[b] != 0) series.add(series.bin_start(b), p.counts[b]);
+    }
+    if (p.overflow != 0) series.add(options.range.start - 1, p.overflow);
   }
   return series;
 }
 
-ProxyCensoredSeries proxy_censored_series(const Dataset& dataset,
+ProxyCensoredSeries proxy_censored_series(const LogSource& source,
                                           const tor::RelayDirectory& relays,
                                           std::size_t proxy_index,
                                           std::int64_t start,
                                           std::int64_t end,
-                                          std::int64_t bin_seconds) {
+                                          std::int64_t bin_seconds,
+                                          std::size_t threads) {
   const auto bins = static_cast<std::size_t>(
       (end - start + bin_seconds - 1) / bin_seconds);
+  struct Partial {
+    std::vector<std::uint64_t> censored_all, censored_here, tor_censored;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.censored_all.empty()) {
+          p.censored_all.assign(bins, 0);
+          p.censored_here.assign(bins, 0);
+          p.tor_censored.assign(bins, 0);
+        }
+        if (r.time < start || r.time >= end) return;
+        if (r.cls != proxy::TrafficClass::kCensored) return;
+        const auto bin = static_cast<std::size_t>((r.time - start) / bin_seconds);
+        ++p.censored_all[bin];
+        if (r.proxy_index != proxy_index) return;
+        ++p.censored_here[bin];
+        if (tor_endpoint(r, relays)) ++p.tor_censored[bin];
+      });
+
   std::vector<std::uint64_t> censored_all(bins, 0), censored_here(bins, 0);
   ProxyCensoredSeries series;
   series.origin = start;
   series.bin_seconds = bin_seconds;
   series.censored_share.assign(bins, 0.0);
   series.tor_censored.assign(bins, 0);
-
-  for (const Row& row : dataset.rows()) {
-    if (row.time < start || row.time >= end) continue;
-    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
-    const auto bin =
-        static_cast<std::size_t>((row.time - start) / bin_seconds);
-    ++censored_all[bin];
-    if (row.proxy_index != proxy_index) continue;
-    ++censored_here[bin];
-    if (tor_endpoint(dataset, row, relays)) ++series.tor_censored[bin];
+  for (const Partial& p : partials) {
+    if (p.censored_all.empty()) continue;
+    for (std::size_t b = 0; b < bins; ++b) {
+      censored_all[b] += p.censored_all[b];
+      censored_here[b] += p.censored_here[b];
+      series.tor_censored[b] += p.tor_censored[b];
+    }
   }
   for (std::size_t bin = 0; bin < bins; ++bin) {
     if (censored_all[bin] != 0) {
@@ -97,35 +149,50 @@ ProxyCensoredSeries proxy_censored_series(const Dataset& dataset,
   return series;
 }
 
-RfilterSeries rfilter_series(const Dataset& dataset,
+RfilterSeries rfilter_series(const LogSource& source,
                              const tor::RelayDirectory& relays,
                              std::size_t proxy_index, std::int64_t start,
-                             std::int64_t end, std::int64_t bin_seconds) {
+                             std::int64_t end, std::int64_t bin_seconds,
+                             std::size_t threads) {
   const auto bins = static_cast<std::size_t>(
       (end - start + bin_seconds - 1) / bin_seconds);
 
-  // Pass 1: the set of relay IPs the proxy ever censored.
-  std::unordered_set<std::uint32_t> censored_ips;
-  for (const Row& row : dataset.rows()) {
-    if (row.proxy_index != proxy_index) continue;
-    if (dataset.cls(row) != proxy::TrafficClass::kCensored) continue;
-    const auto ip = tor_endpoint(dataset, row, relays);
-    if (ip) censored_ips.insert(ip->value());
-  }
+  // One scan collects both passes of the sequential version: the unwindowed
+  // censored-relay set and the windowed per-bin allowed sets. Set unions
+  // fold in any order.
+  struct Partial {
+    std::unordered_set<std::uint32_t> censored_ips;
+    std::vector<std::unordered_set<std::uint32_t>> allowed_per_bin;
+    std::vector<std::uint8_t> has_traffic;
+  };
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (r.proxy_index != proxy_index) return;
+        if (!tor_endpoint(r, relays)) return;
+        if (r.cls == proxy::TrafficClass::kCensored)
+          p.censored_ips.insert(r.host_ip);
+        if (r.time < start || r.time >= end) return;
+        if (p.allowed_per_bin.empty()) {
+          p.allowed_per_bin.resize(bins);
+          p.has_traffic.assign(bins, 0);
+        }
+        const auto bin = static_cast<std::size_t>((r.time - start) / bin_seconds);
+        p.has_traffic[bin] = 1;
+        if (r.cls == proxy::TrafficClass::kAllowed)
+          p.allowed_per_bin[bin].insert(r.host_ip);
+      });
 
-  // Pass 2: per-bin allowed relay IPs on the proxy.
+  std::unordered_set<std::uint32_t> censored_ips;
   std::vector<std::unordered_set<std::uint32_t>> allowed_per_bin(bins);
   std::vector<bool> has_traffic(bins, false);
-  for (const Row& row : dataset.rows()) {
-    if (row.proxy_index != proxy_index) continue;
-    if (row.time < start || row.time >= end) continue;
-    const auto ip = tor_endpoint(dataset, row, relays);
-    if (!ip) continue;
-    const auto bin =
-        static_cast<std::size_t>((row.time - start) / bin_seconds);
-    has_traffic[bin] = true;
-    if (dataset.cls(row) == proxy::TrafficClass::kAllowed)
-      allowed_per_bin[bin].insert(ip->value());
+  for (const Partial& p : partials) {
+    censored_ips.insert(p.censored_ips.begin(), p.censored_ips.end());
+    if (p.allowed_per_bin.empty()) continue;
+    for (std::size_t b = 0; b < bins; ++b) {
+      allowed_per_bin[b].insert(p.allowed_per_bin[b].begin(),
+                                p.allowed_per_bin[b].end());
+      if (p.has_traffic[b] != 0) has_traffic[b] = true;
+    }
   }
 
   RfilterSeries series;

@@ -4,8 +4,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "analysis/dataset.h"
 #include "analysis/options.h"
+#include "analysis/scan.h"
 #include "policy/syria.h"
 #include "tor/relay_directory.h"
 #include "util/histogram.h"
@@ -29,7 +29,8 @@ struct TorStats {
   std::array<std::uint64_t, policy::kProxyCount> requests_by_proxy{};
 };
 
-TorStats tor_stats(const Dataset& dataset, const tor::RelayDirectory& relays);
+TorStats tor_stats(const LogSource& source, const tor::RelayDirectory& relays,
+                   std::size_t threads = 1);
 
 /// Fig. 8a's binning: hourly by default, adjustable for finer views.
 struct TorHourlyOptions {
@@ -38,19 +39,10 @@ struct TorHourlyOptions {
 };
 
 /// Fig. 8a: Tor requests per bin over a window.
-util::BinnedCounter tor_hourly_series(const Dataset& dataset,
+util::BinnedCounter tor_hourly_series(const LogSource& source,
                                       const tor::RelayDirectory& relays,
-                                      const TorHourlyOptions& options);
-
-[[deprecated(
-    "use tor_hourly_series(dataset, relays, TorHourlyOptions{...})")]]
-inline util::BinnedCounter tor_hourly_series(const Dataset& dataset,
-                                             const tor::RelayDirectory& relays,
-                                             std::int64_t start,
-                                             std::int64_t end) {
-  return tor_hourly_series(dataset, relays,
-                           TorHourlyOptions{{start, end}, {3600}});
-}
+                                      const TorHourlyOptions& options,
+                                      std::size_t threads = 1);
 
 /// Fig. 9: Rfilter(k) — per time bin, 1 - |Censored ∩ Allowed(k)| /
 /// |Censored|, where Censored is the set of relay IPs ever censored by the
@@ -65,11 +57,12 @@ struct RfilterSeries {
   std::uint64_t censored_relay_count = 0;
 };
 
-RfilterSeries rfilter_series(const Dataset& dataset,
+RfilterSeries rfilter_series(const LogSource& source,
                              const tor::RelayDirectory& relays,
                              std::size_t proxy_index, std::int64_t start,
                              std::int64_t end,
-                             std::int64_t bin_seconds = 3600);
+                             std::int64_t bin_seconds = 3600,
+                             std::size_t threads = 1);
 
 /// Fig. 8b: one proxy's share of *all* censored traffic per bin, next to
 /// its censored-Tor request count — the view showing SG-44's Tor blocking
@@ -81,11 +74,12 @@ struct ProxyCensoredSeries {
   std::vector<std::uint64_t> tor_censored;   // censored Tor requests
 };
 
-ProxyCensoredSeries proxy_censored_series(const Dataset& dataset,
+ProxyCensoredSeries proxy_censored_series(const LogSource& source,
                                           const tor::RelayDirectory& relays,
                                           std::size_t proxy_index,
                                           std::int64_t start,
                                           std::int64_t end,
-                                          std::int64_t bin_seconds = 3600);
+                                          std::int64_t bin_seconds = 3600,
+                                          std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

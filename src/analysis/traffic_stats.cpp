@@ -2,22 +2,31 @@
 
 namespace syrwatch::analysis {
 
-TrafficStats traffic_stats(const Dataset& dataset) {
+TrafficStats traffic_stats(const LogSource& source, std::size_t threads) {
+  // Pure counters: the fold is addition, so any partition order works.
+  const auto partials = scan_partials<TrafficStats>(
+      source, threads, [](TrafficStats& p, const Record& r) {
+        switch (r.result) {
+          case proxy::FilterResult::kObserved:
+            ++p.observed;
+            break;
+          case proxy::FilterResult::kProxied:
+            ++p.proxied;
+            break;
+          case proxy::FilterResult::kDenied:
+            ++p.denied;
+            ++p.denied_by_exception[static_cast<std::size_t>(r.exception)];
+            break;
+        }
+      });
   TrafficStats stats;
-  stats.total = dataset.size();
-  for (const Row& row : dataset.rows()) {
-    switch (row.result) {
-      case proxy::FilterResult::kObserved:
-        ++stats.observed;
-        break;
-      case proxy::FilterResult::kProxied:
-        ++stats.proxied;
-        break;
-      case proxy::FilterResult::kDenied:
-        ++stats.denied;
-        ++stats.denied_by_exception[static_cast<std::size_t>(row.exception)];
-        break;
-    }
+  stats.total = source.rows();
+  for (const TrafficStats& p : partials) {
+    stats.observed += p.observed;
+    stats.proxied += p.proxied;
+    stats.denied += p.denied;
+    for (std::size_t i = 0; i < stats.denied_by_exception.size(); ++i)
+      stats.denied_by_exception[i] += p.denied_by_exception[i];
   }
   return stats;
 }

@@ -3,7 +3,7 @@
 #include <array>
 #include <cstdint>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -31,7 +31,8 @@ struct TrafficStats {
   }
 };
 
-/// Computes the Table 3 column for a dataset.
-TrafficStats traffic_stats(const Dataset& dataset);
+/// Computes the Table 3 column for a source (either backend, any thread
+/// count — identical output).
+TrafficStats traffic_stats(const LogSource& source, std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

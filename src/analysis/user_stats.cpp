@@ -25,20 +25,32 @@ double UserStats::active_share_clean(double threshold) const {
   return share_above(requests_per_clean_user, threshold);
 }
 
-UserStats user_stats(const Dataset& duser) {
+UserStats user_stats(const LogSource& duser, std::size_t threads) {
   struct PerUser {
     std::uint64_t requests = 0;
     std::uint64_t censored = 0;
   };
-  // The paper's user key is (c-ip, cs-user-agent).
+  // The paper's user key is (c-ip, cs-user-agent). agent_id is backend-local
+  // but bijective with the agent string, and every output below is either a
+  // sorted vector, a std::map, or a count — grouping is all that matters.
+  using Partial = std::unordered_map<std::uint64_t, PerUser>;
+  const auto partials = scan_partials<Partial>(
+      duser, threads, [](Partial& p, const Record& r) {
+        if (r.user_hash == 0) return;  // suppressed ids can't be attributed
+        const std::uint64_t key =
+            r.user_hash ^ (0x9E3779B97F4A7C15ULL * (r.agent_id + 1));
+        PerUser& user = p[key];
+        ++user.requests;
+        if (r.cls == proxy::TrafficClass::kCensored) ++user.censored;
+      });
+
   std::unordered_map<std::uint64_t, PerUser> users;
-  for (const Row& row : duser.rows()) {
-    if (row.user_hash == 0) continue;  // suppressed ids can't be attributed
-    const std::uint64_t key =
-        row.user_hash ^ (0x9E3779B97F4A7C15ULL * (row.agent + 1));
-    PerUser& user = users[key];
-    ++user.requests;
-    if (duser.cls(row) == proxy::TrafficClass::kCensored) ++user.censored;
+  for (const Partial& p : partials) {
+    for (const auto& [key, partial_user] : p) {
+      PerUser& user = users[key];
+      user.requests += partial_user.requests;
+      user.censored += partial_user.censored;
+    }
   }
 
   UserStats stats;

@@ -4,7 +4,7 @@
 #include <map>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -30,6 +30,6 @@ struct UserStats {
   double active_share_clean(double threshold) const;
 };
 
-UserStats user_stats(const Dataset& duser);
+UserStats user_stats(const LogSource& duser, std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

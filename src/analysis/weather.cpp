@@ -26,8 +26,9 @@ std::size_t KeywordWeather::fully_enforced_bins() const {
 }
 
 std::vector<KeywordWeather> keyword_weather(
-    const Dataset& dataset, std::span<const std::string> keywords,
-    std::int64_t start, std::int64_t end, std::int64_t bin_seconds) {
+    const LogSource& source, std::span<const std::string> keywords,
+    std::int64_t start, std::int64_t end, std::int64_t bin_seconds,
+    std::size_t threads) {
   if (end <= start || bin_seconds <= 0)
     throw std::invalid_argument("keyword_weather: bad window");
   const auto bins = static_cast<std::size_t>(
@@ -45,19 +46,41 @@ std::vector<KeywordWeather> keyword_weather(
     reports.push_back(std::move(report));
   }
 
-  for (const Row& row : dataset.rows()) {
-    if (row.time < start || row.time >= end) continue;
-    const auto cls = dataset.cls(row);
-    if (cls != proxy::TrafficClass::kCensored &&
-        cls != proxy::TrafficClass::kAllowed)
-      continue;
-    const std::string text = util::to_lower(dataset.filter_text(row));
-    const auto bin =
-        static_cast<std::size_t>((row.time - start) / bin_seconds);
-    for (auto& report : reports) {
-      if (text.find(report.keyword) == std::string::npos) continue;
-      ++report.matched[bin];
-      if (cls == proxy::TrafficClass::kCensored) ++report.censored[bin];
+  // Dense per-keyword/per-bin counters; addition folds.
+  struct KeywordBins {
+    std::vector<std::uint64_t> censored, matched;
+  };
+  using Partial = std::vector<KeywordBins>;
+  const auto partials = scan_partials<Partial>(
+      source, threads, [&](Partial& p, const Record& r) {
+        if (p.empty()) {
+          p.resize(reports.size());
+          for (auto& kb : p) {
+            kb.censored.assign(bins, 0);
+            kb.matched.assign(bins, 0);
+          }
+        }
+        if (r.time < start || r.time >= end) return;
+        if (r.cls != proxy::TrafficClass::kCensored &&
+            r.cls != proxy::TrafficClass::kAllowed)
+          return;
+        const std::string text = util::to_lower(r.filter_text());
+        const auto bin =
+            static_cast<std::size_t>((r.time - start) / bin_seconds);
+        for (std::size_t k = 0; k < reports.size(); ++k) {
+          if (text.find(reports[k].keyword) == std::string::npos) continue;
+          ++p[k].matched[bin];
+          if (r.cls == proxy::TrafficClass::kCensored) ++p[k].censored[bin];
+        }
+      });
+
+  for (const Partial& p : partials) {
+    if (p.empty()) continue;
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+      for (std::size_t bin = 0; bin < bins; ++bin) {
+        reports[k].censored[bin] += p[k].censored[bin];
+        reports[k].matched[bin] += p[k].matched[bin];
+      }
     }
   }
   return reports;

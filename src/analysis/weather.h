@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/dataset.h"
+#include "analysis/scan.h"
 
 namespace syrwatch::analysis {
 
@@ -36,7 +36,8 @@ struct KeywordWeather {
 /// Matching is case-insensitive substring over host+path+query, like the
 /// filter itself.
 std::vector<KeywordWeather> keyword_weather(
-    const Dataset& dataset, std::span<const std::string> keywords,
-    std::int64_t start, std::int64_t end, std::int64_t bin_seconds = 3600);
+    const LogSource& source, std::span<const std::string> keywords,
+    std::int64_t start, std::int64_t end, std::int64_t bin_seconds = 3600,
+    std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

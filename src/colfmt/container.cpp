@@ -489,6 +489,18 @@ Reader Reader::open_lenient(const std::string& path, RecoveryStats* stats) {
   return reader;
 }
 
+DictDelta Reader::dict_entries(std::size_t block_index) const {
+  const BlockInfo& info = blocks_.at(block_index);
+  DictDelta delta;
+  delta.base = info.dict_base;
+  delta.count = info.dict_new;
+  delta.entries =
+      info.dict_new == 0
+          ? nullptr
+          : dict_.data() + static_cast<std::size_t>(info.dict_base);
+  return delta;
+}
+
 DecodedBlock Reader::decode(std::size_t block_index) const {
   const BlockInfo& info = blocks_.at(block_index);
   const auto file = map_.bytes();

@@ -160,6 +160,16 @@ struct BlockInfo {
   std::uint64_t row_base = 0;   // global ordinal of the block's first row
 };
 
+/// One block's contribution to the file-global dictionary: the entries for
+/// ids [base, base + count), resolved as zero-copy views into the mapping.
+/// This is the per-block resolution surface the analysis scan layer
+/// partitions dictionary-derived work by (Reader::dict_entries).
+struct DictDelta {
+  std::uint64_t base = 0;  // first id born in the block
+  const std::string_view* entries = nullptr;
+  std::uint32_t count = 0;
+};
+
 /// What a lenient open saw — the columnar mirror of proxy::LogReadStats.
 struct RecoveryStats {
   /// Footer + index parsed and their CRCs matched; blocks came from the
@@ -198,6 +208,12 @@ class Reader {
   /// The dictionary string behind an id — a zero-copy view into the
   /// mapping. Throws std::out_of_range on an id the file never defined.
   std::string_view view(std::uint32_t id) const { return dict_.at(id); }
+
+  /// The dictionary delta block `block_index` contributed — the strings
+  /// first seen in that block, already materialized by open(). Lets a
+  /// parallel scan resolve per-dictionary-id derived values block by
+  /// block instead of over the whole file dictionary at once.
+  DictDelta dict_entries(std::size_t block_index) const;
 
   /// Decodes (and CRC-verifies) one block. Throws std::runtime_error on a
   /// corrupt page or out-of-range column value. Safe to call from many

@@ -43,19 +43,18 @@ std::string degraded_mark(bool degraded) {
   return degraded ? " [DEGRADED DATA — see coverage]" : "";
 }
 
-std::string dataset_sizes(const analysis::DatasetBundle& bundle,
-                          bool degraded = false) {
+std::string dataset_sizes(const ReportSources& s, bool degraded) {
   TextTable table{{"Dataset", "# Requests"}};
-  table.add_row({"Full", with_commas(bundle.full.size())});
-  table.add_row({"Sample (4%)", with_commas(bundle.sample.size())});
-  table.add_row({"User", with_commas(bundle.user.size())});
-  table.add_row({"Denied", with_commas(bundle.denied.size())});
+  table.add_row({"Full", with_commas(s.full.rows())});
+  table.add_row({"Sample (4%)", with_commas(s.sample.rows())});
+  table.add_row({"User", with_commas(s.user.rows())});
+  table.add_row({"Denied", with_commas(s.denied.rows())});
   return titled_block("Datasets (Table 1)" + degraded_mark(degraded), table);
 }
 
-std::string traffic_breakdown(const analysis::DatasetBundle& bundle,
-                              bool degraded = false) {
-  const auto stats = analysis::traffic_stats(bundle.full);
+std::string traffic_breakdown(const analysis::LogSource& full,
+                              std::size_t threads, bool degraded) {
+  const auto stats = analysis::traffic_stats(full, threads);
   TextTable table{{"Class", "# Requests", "%"}};
   table.add_row({"Allowed (OBSERVED)", with_commas(stats.observed),
                  percent(stats.share(stats.observed))});
@@ -75,13 +74,13 @@ std::string traffic_breakdown(const analysis::DatasetBundle& bundle,
                       table);
 }
 
-std::string top_domain_tables(const analysis::DatasetBundle& bundle,
-                              bool degraded = false) {
+std::string top_domain_tables(const analysis::LogSource& full,
+                              std::size_t threads, bool degraded) {
   std::string out;
   for (const auto cls :
        {proxy::TrafficClass::kAllowed, proxy::TrafficClass::kCensored}) {
-    const auto top =
-        analysis::top_domains(bundle.full, analysis::TopDomainsOptions{cls});
+    const auto top = analysis::top_domains(
+        full, analysis::TopDomainsOptions{cls}, threads);
     TextTable table{{"Domain", "# Requests", "%"}};
     for (const auto& entry : top)
       table.add_row({entry.domain, with_commas(entry.count),
@@ -138,8 +137,9 @@ std::string coverage_block(const Study& study,
   return out;
 }
 
-std::string ports_block(const analysis::DatasetBundle& bundle) {
-  const auto ports = analysis::port_distribution(bundle.full, 8);
+std::string ports_block(const analysis::LogSource& full,
+                        std::size_t threads) {
+  const auto ports = analysis::port_distribution(full, 8, threads);
   TextTable table{{"Port", "Allowed", "Censored"}};
   for (const auto& entry : ports)
     table.add_row({std::to_string(entry.port), with_commas(entry.allowed),
@@ -166,10 +166,9 @@ std::string discovery_block(const analysis::DiscoveryResult& discovery) {
   return out;
 }
 
-std::string countries_block(const Study& study,
-                            const analysis::DatasetBundle& bundle) {
-  const auto countries =
-      analysis::country_censorship(bundle.full, study.scenario().geoip());
+std::string countries_block(const analysis::LogSource& full,
+                            const geo::GeoIpDb& geoip, std::size_t threads) {
+  const auto countries = analysis::country_censorship(full, geoip, threads);
   TextTable table{{"Country", "Ratio (%)", "# Censored", "# Allowed"}};
   for (const auto& entry : countries)
     table.add_row({entry.country, percent(entry.ratio()),
@@ -177,8 +176,8 @@ std::string countries_block(const Study& study,
   return titled_block("Censorship ratio by country (Table 11)", table);
 }
 
-std::string osn_block(const analysis::DatasetBundle& bundle) {
-  const auto osns = analysis::osn_censorship(bundle.full);
+std::string osn_block(const analysis::LogSource& full, std::size_t threads) {
+  const auto osns = analysis::osn_censorship(full, threads);
   TextTable table{{"OSN", "Censored", "Allowed", "Proxied"}};
   for (std::size_t i = 0; i < osns.size() && i < 10; ++i)
     table.add_row({osns[i].domain, with_commas(osns[i].censored),
@@ -186,7 +185,7 @@ std::string osn_block(const analysis::DatasetBundle& bundle) {
                    with_commas(osns[i].proxied)});
   std::string out = titled_block("Social networks (Table 13)", table);
 
-  const auto pages = analysis::blocked_facebook_pages(bundle.full);
+  const auto pages = analysis::blocked_facebook_pages(full, threads);
   TextTable pages_table{{"Facebook page", "Censored", "Allowed", "Proxied"}};
   for (const auto& page : pages)
     pages_table.add_row({page.page, with_commas(page.censored),
@@ -196,9 +195,10 @@ std::string osn_block(const analysis::DatasetBundle& bundle) {
   return out;
 }
 
-std::string tor_block(const Study& study,
-                      const analysis::DatasetBundle& bundle) {
-  const auto tor = analysis::tor_stats(bundle.full, study.scenario().relays());
+std::string tor_block(const analysis::LogSource& full,
+                      const tor::RelayDirectory& relays,
+                      std::size_t threads) {
+  const auto tor = analysis::tor_stats(full, relays, threads);
   TextTable table{{"Metric", "Value"}};
   table.add_row({"Tor requests", with_commas(tor.requests)});
   table.add_row({"Unique relays", with_commas(tor.unique_relays)});
@@ -220,10 +220,10 @@ std::string tor_block(const Study& study,
   return titled_block("Tor traffic (Sec. 7.1)", table);
 }
 
-std::string bittorrent_block(const Study& study,
-                             const analysis::DatasetBundle& bundle) {
-  const auto bt =
-      analysis::bittorrent_stats(bundle.full, study.scenario().torrents());
+std::string bittorrent_block(const analysis::LogSource& full,
+                             const workload::TorrentRegistry& torrents,
+                             std::size_t threads) {
+  const auto bt = analysis::bittorrent_stats(full, torrents, threads);
   TextTable table{{"Metric", "Value"}};
   table.add_row({"Announces", with_commas(bt.announces)});
   table.add_row({"Unique peers", with_commas(bt.unique_peers)});
@@ -236,10 +236,11 @@ std::string bittorrent_block(const Study& study,
   return titled_block("BitTorrent (Sec. 7.3)", table);
 }
 
-std::string google_cache_block(const analysis::DatasetBundle& bundle,
-                               const analysis::DiscoveryResult& discovery) {
+std::string google_cache_block(const analysis::LogSource& full,
+                               const analysis::DiscoveryResult& discovery,
+                               std::size_t threads) {
   const auto cache =
-      analysis::google_cache_stats(bundle.full, discovery.domain_names());
+      analysis::google_cache_stats(full, discovery.domain_names(), threads);
   TextTable table{{"Metric", "Value"}};
   table.add_row({"Cache requests", with_commas(cache.requests)});
   table.add_row({"Censored", with_commas(cache.censored)});
@@ -248,8 +249,9 @@ std::string google_cache_block(const analysis::DatasetBundle& bundle,
   return titled_block("Google cache (Sec. 7.4)", table);
 }
 
-std::string https_block(const analysis::DatasetBundle& bundle) {
-  const auto https = analysis::https_stats(bundle.full);
+std::string https_block(const analysis::LogSource& full,
+                        std::size_t threads) {
+  const auto https = analysis::https_stats(full, threads);
   TextTable table{{"Metric", "Value"}};
   table.add_row({"HTTPS share of traffic",
                  percent(https.share_of_traffic())});
@@ -261,8 +263,10 @@ std::string https_block(const analysis::DatasetBundle& bundle) {
   return titled_block("HTTPS traffic (Sec. 4)", table);
 }
 
-std::string sampling_block(const analysis::DatasetBundle& bundle) {
-  const auto checks = analysis::sampling_audit(bundle.full, bundle.sample);
+std::string sampling_block(const analysis::LogSource& full,
+                           const analysis::LogSource& sample,
+                           std::size_t threads) {
+  const auto checks = analysis::sampling_audit(full, sample, 0.05, threads);
   TextTable table{{"Metric", "Dfull", "Dsample", "95% CI covers Dfull"}};
   for (const auto& check : checks) {
     table.add_row({check.metric, percent(check.full_proportion),
@@ -273,16 +277,112 @@ std::string sampling_block(const analysis::DatasetBundle& bundle) {
 }
 
 /// One report block with the stage name its wall time is recorded under
-/// (when the study carries an obs::Context).
+/// (when the sources carry an obs::Context).
 struct NamedBlock {
   std::string_view stage;
   std::function<std::string()> render;
 };
 
+/// The overview's three blocks. `block_threads` parallelizes across the
+/// blocks themselves (the Study path — analyzers then scan at s.threads
+/// each); the rendered bytes are the same for any combination.
+std::string overview_blocks(const ReportSources& s, bool degraded,
+                            std::size_t block_threads) {
+  std::array<std::string, 3> blocks;
+  const std::array<NamedBlock, 3> tasks{{
+      {"analysis.dataset_sizes", [&] { return dataset_sizes(s, degraded); }},
+      {"analysis.traffic_stats",
+       [&] { return traffic_breakdown(s.full, s.threads, degraded); }},
+      {"analysis.top_domains",
+       [&] { return top_domain_tables(s.full, s.threads, degraded); }},
+  }};
+  util::parallel_for(tasks.size(), block_threads, [&](std::size_t i) {
+    const obs::Span span{s.obs, tasks[i].stage};
+    blocks[i] = tasks[i].render();
+  });
+  std::string out;
+  for (const std::string& block : blocks) out += block;
+  return out;
+}
+
+/// The full report's block set, in paper order. Requires s.geoip,
+/// s.relays, and s.torrents.
+std::string full_report_blocks(const ReportSources& s, bool degraded,
+                               std::size_t block_threads) {
+  // Every analyzer below only reads the (prepared) sources, so they fan
+  // out on the pool; the one data dependency — Google cache consumes the
+  // discovered-domain list — runs after the fan-out. Output order stays
+  // the paper's order regardless of completion order.
+  analysis::DiscoveryResult discovery;
+  std::array<std::string, 11> blocks;
+  const std::array<NamedBlock, 11> tasks{{
+      {"analysis.dataset_sizes", [&] { return dataset_sizes(s, degraded); }},
+      {"analysis.traffic_stats",
+       [&] { return traffic_breakdown(s.full, s.threads, degraded); }},
+      {"analysis.top_domains",
+       [&] { return top_domain_tables(s.full, s.threads, degraded); }},
+      {"analysis.ports", [&] { return ports_block(s.full, s.threads); }},
+      {"analysis.string_discovery",
+       [&] {
+         discovery =
+             analysis::discover_censored_strings(s.full, {}, s.threads);
+         return discovery_block(discovery);
+       }},
+      {"analysis.countries",
+       [&] { return countries_block(s.full, *s.geoip, s.threads); }},
+      {"analysis.osn", [&] { return osn_block(s.full, s.threads); }},
+      {"analysis.tor",
+       [&] { return tor_block(s.full, *s.relays, s.threads); }},
+      {"analysis.bittorrent",
+       [&] { return bittorrent_block(s.full, *s.torrents, s.threads); }},
+      {"analysis.https", [&] { return https_block(s.full, s.threads); }},
+      {"analysis.sampling_audit",
+       [&] { return sampling_block(s.full, s.sample, s.threads); }},
+  }};
+  util::parallel_for(tasks.size(), block_threads, [&](std::size_t i) {
+    const obs::Span span{s.obs, tasks[i].stage};
+    blocks[i] = tasks[i].render();
+  });
+
+  std::string out;
+  for (std::size_t i = 0; i < 9; ++i) out += blocks[i];
+  {
+    const obs::Span span{s.obs, "analysis.google_cache"};
+    out += google_cache_block(s.full, discovery, s.threads);
+  }
+  out += blocks[9];   // HTTPS (§4)
+  out += blocks[10];  // sampling audit (§3.3)
+  return out;
+}
+
+/// The Study wrappers' sources: Dataset-backed views of the bundle plus
+/// the scenario's resources, analyzers single-threaded (the wrappers
+/// parallelize across blocks instead, as the pre-scan-layer report did).
+ReportSources study_sources(const Study& study) {
+  const auto& bundle = study.datasets();
+  return ReportSources{bundle.full,
+                       bundle.sample,
+                       bundle.user,
+                       bundle.denied,
+                       &study.scenario().geoip(),
+                       &study.scenario().relays(),
+                       &study.scenario().torrents(),
+                       /*threads=*/1,
+                       study.obs_context()};
+}
+
 }  // namespace
 
+std::string render_overview(const ReportSources& sources) {
+  return overview_blocks(sources, /*degraded=*/false, /*block_threads=*/1);
+}
+
+std::string render_full_report(const ReportSources& sources) {
+  return full_report_blocks(sources, /*degraded=*/false,
+                            /*block_threads=*/1);
+}
+
 std::string render_overview(const Study& study) {
-  const auto& bundle = study.datasets();
   obs::Context* ctx = study.obs_context();
   const std::size_t threads =
       util::resolve_threads(study.scenario().config().threads);
@@ -290,82 +390,28 @@ std::string render_overview(const Study& study) {
   analysis::CoverageReport coverage;
   if (faulted) {
     const obs::Span span{ctx, "analysis.coverage"};
-    coverage = analysis::request_coverage(bundle.full);
+    coverage = analysis::request_coverage(study.datasets().full);
   }
   const bool degraded = faulted && coverage.degraded();
-  std::array<std::string, 3> blocks;
-  const std::array<NamedBlock, 3> tasks{{
-      {"analysis.dataset_sizes",
-       [&] { return dataset_sizes(bundle, degraded); }},
-      {"analysis.traffic_stats",
-       [&] { return traffic_breakdown(bundle, degraded); }},
-      {"analysis.top_domains",
-       [&] { return top_domain_tables(bundle, degraded); }},
-  }};
-  util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
-    const obs::Span span{ctx, tasks[i].stage};
-    blocks[i] = tasks[i].render();
-  });
-  std::string out;
-  for (const std::string& block : blocks) out += block;
+  std::string out = overview_blocks(study_sources(study), degraded, threads);
   if (faulted) out += coverage_block(study, coverage);
   return out;
 }
 
 std::string render_full_report(const Study& study) {
-  const auto& bundle = study.datasets();
   obs::Context* ctx = study.obs_context();
   const std::size_t threads =
       util::resolve_threads(study.scenario().config().threads);
-
-  // Every analyzer below only reads the (pre-warmed) bundle, so they fan
-  // out on the pool; the one data dependency — Google cache consumes the
-  // discovered-domain list — runs after the fan-out. Output order stays
-  // the paper's order regardless of completion order.
   const bool faulted = !study.scenario().faults().empty();
   analysis::CoverageReport coverage;
   if (faulted) {
     const obs::Span span{ctx, "analysis.coverage"};
-    coverage = analysis::request_coverage(bundle.full);
+    coverage = analysis::request_coverage(study.datasets().full);
   }
   const bool degraded = faulted && coverage.degraded();
-
-  analysis::DiscoveryResult discovery;
-  std::array<std::string, 11> blocks;
-  const std::array<NamedBlock, 11> tasks{{
-      {"analysis.dataset_sizes",
-       [&] { return dataset_sizes(bundle, degraded); }},
-      {"analysis.traffic_stats",
-       [&] { return traffic_breakdown(bundle, degraded); }},
-      {"analysis.top_domains",
-       [&] { return top_domain_tables(bundle, degraded); }},
-      {"analysis.ports", [&] { return ports_block(bundle); }},
-      {"analysis.string_discovery",
-       [&] {
-         discovery = analysis::discover_censored_strings(bundle.full);
-         return discovery_block(discovery);
-       }},
-      {"analysis.countries", [&] { return countries_block(study, bundle); }},
-      {"analysis.osn", [&] { return osn_block(bundle); }},
-      {"analysis.tor", [&] { return tor_block(study, bundle); }},
-      {"analysis.bittorrent", [&] { return bittorrent_block(study, bundle); }},
-      {"analysis.https", [&] { return https_block(bundle); }},
-      {"analysis.sampling_audit", [&] { return sampling_block(bundle); }},
-  }};
-  util::parallel_for(tasks.size(), threads, [&](std::size_t i) {
-    const obs::Span span{ctx, tasks[i].stage};
-    blocks[i] = tasks[i].render();
-  });
-
   std::string out;
   if (faulted) out += coverage_block(study, coverage);
-  for (std::size_t i = 0; i < 9; ++i) out += blocks[i];
-  {
-    const obs::Span span{ctx, "analysis.google_cache"};
-    out += google_cache_block(bundle, discovery);
-  }
-  out += blocks[9];   // HTTPS (§4)
-  out += blocks[10];  // sampling audit (§3.3)
+  out += full_report_blocks(study_sources(study), degraded, threads);
   return out;
 }
 

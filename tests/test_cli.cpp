@@ -1,7 +1,5 @@
-// The normalized CLI/API surface: the shared flag parser used by every
-// syrwatchctl subcommand, and the deprecated forwarding overloads of the
-// analysis layer — each must stay an exact alias for its options-struct
-// replacement until removal.
+// The normalized CLI surface: the shared flag parser used by every
+// syrwatchctl subcommand.
 
 #include <gtest/gtest.h>
 
@@ -9,9 +7,6 @@
 #include <string>
 #include <vector>
 
-#include "analysis/temporal.h"
-#include "analysis/top_domains.h"
-#include "analysis/tor_analysis.h"
 #include "util/cli.h"
 
 namespace {
@@ -154,124 +149,5 @@ TEST(CliFlags, NumericAccessorsNameTheFlagOnBadInput) {
   }
 }
 
-// --- Deprecated analysis overloads ----------------------------------------
-//
-// The forwarding overloads exist so downstream code migrates on its own
-// schedule; until removed, each must return bit-identical results to the
-// options-struct API. The pragmas silence the warning the overloads are
-// designed to emit everywhere else.
-
-constexpr std::int64_t kT0 = 1312329600;  // 2011-08-03 00:00
-
-proxy::LogRecord rec(const char* url_text, std::int64_t time,
-                     proxy::ExceptionId exception = proxy::ExceptionId::kNone) {
-  proxy::LogRecord record;
-  record.time = time;
-  record.user_hash = 1;
-  record.url = *net::Url::parse(url_text);
-  record.filter_result = exception == proxy::ExceptionId::kNone
-                             ? proxy::FilterResult::kObserved
-                             : proxy::FilterResult::kDenied;
-  record.exception = exception;
-  return record;
-}
-
-analysis::Dataset small_dataset() {
-  analysis::Dataset dataset;
-  dataset.add(rec("http://a.com/", kT0 + 10));
-  dataset.add(rec("http://a.com/", kT0 + 20));
-  dataset.add(rec("http://b.com/", kT0 + 350));
-  dataset.add(rec("http://x.com/", kT0 + 400,
-                  proxy::ExceptionId::kPolicyDenied));
-  dataset.add(rec("http://y.com/", kT0 + 700,
-                  proxy::ExceptionId::kPolicyRedirect));
-  dataset.add(rec("http://a.com/", kT0 + 710));
-  dataset.finalize();
-  return dataset;
-}
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedOverloads, TopDomainsForwards) {
-  const auto dataset = small_dataset();
-  const auto modern = analysis::top_domains(
-      dataset, analysis::TopDomainsOptions{
-                   proxy::TrafficClass::kAllowed, 5,
-                   analysis::TimeRange{kT0, kT0 + 600}});
-  const auto legacy =
-      analysis::top_domains(dataset, proxy::TrafficClass::kAllowed, 5,
-                            analysis::TimeWindow{kT0, kT0 + 600});
-  ASSERT_EQ(legacy.size(), modern.size());
-  for (std::size_t i = 0; i < modern.size(); ++i) {
-    EXPECT_EQ(legacy[i].domain, modern[i].domain);
-    EXPECT_EQ(legacy[i].count, modern[i].count);
-    EXPECT_EQ(legacy[i].share, modern[i].share);
-  }
-}
-
-TEST(DeprecatedOverloads, TrafficTimeSeriesForwards) {
-  const auto dataset = small_dataset();
-  const auto modern = analysis::traffic_time_series(
-      dataset, analysis::TrafficSeriesOptions{{kT0, kT0 + 900}, {300}});
-  const auto legacy =
-      analysis::traffic_time_series(dataset, kT0, kT0 + 900, 300);
-  EXPECT_EQ(legacy.allowed.counts(), modern.allowed.counts());
-  EXPECT_EQ(legacy.censored.counts(), modern.censored.counts());
-}
-
-TEST(DeprecatedOverloads, RcvSeriesForwards) {
-  const auto dataset = small_dataset();
-  const auto modern = analysis::rcv_series(
-      dataset, analysis::RcvOptions{{kT0, kT0 + 900}, {300}});
-  const auto legacy = analysis::rcv_series(dataset, kT0, kT0 + 900, 300);
-  EXPECT_EQ(legacy.origin, modern.origin);
-  EXPECT_EQ(legacy.bin_seconds, modern.bin_seconds);
-  EXPECT_EQ(legacy.rcv, modern.rcv);
-}
-
-TEST(DeprecatedOverloads, WindowedTopCensoredForwards) {
-  const auto dataset = small_dataset();
-  const std::vector<analysis::TimeRange> windows{{kT0, kT0 + 450},
-                                                 {kT0 + 450, kT0 + 900}};
-  const auto modern = analysis::windowed_top_censored(
-      dataset, analysis::WindowedTopOptions{windows, 3});
-  const auto legacy = analysis::windowed_top_censored(
-      dataset, std::span<const analysis::TimeWindow>{windows}, 3);
-  ASSERT_EQ(legacy.size(), modern.size());
-  for (std::size_t w = 0; w < modern.size(); ++w) {
-    ASSERT_EQ(legacy[w].top.size(), modern[w].top.size());
-    for (std::size_t i = 0; i < modern[w].top.size(); ++i) {
-      EXPECT_EQ(legacy[w].top[i].domain, modern[w].top[i].domain);
-      EXPECT_EQ(legacy[w].top[i].count, modern[w].top[i].count);
-    }
-  }
-}
-
-TEST(DeprecatedOverloads, TorHourlySeriesForwards) {
-  const auto relays = tor::RelayDirectory::synthesize(10, 3);
-  analysis::Dataset dataset;
-  const auto& relay = relays.relays()[0];
-  const std::string url = "http://" + relay.address.to_string() + ":" +
-                          std::to_string(relay.or_port);
-  auto record = rec(url.c_str(), kT0 + 120);
-  record.dest_ip = relay.address;
-  record.url.scheme = net::Scheme::kTcp;
-  dataset.add(record);
-  record.time = kT0 + 3700;
-  dataset.add(record);
-  dataset.finalize();
-
-  const auto modern = analysis::tor_hourly_series(
-      dataset, relays, analysis::TorHourlyOptions{{kT0, kT0 + 7200}});
-  const auto legacy =
-      analysis::tor_hourly_series(dataset, relays, kT0, kT0 + 7200);
-  EXPECT_EQ(legacy.counts(), modern.counts());
-  EXPECT_EQ(legacy.origin(), modern.origin());
-  EXPECT_EQ(legacy.bin_width(), modern.bin_width());
-  EXPECT_EQ(modern.total(), 2u);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace

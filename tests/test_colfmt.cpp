@@ -480,8 +480,10 @@ TEST(ColumnarAnalysis, ThreadCountIsInvisible) {
   EXPECT_EQ(analysis::rcv_series(log1, rcv_options, 1).rcv,
             analysis::rcv_series(log8, rcv_options, 8).rcv);
 
-  const auto cov1 = analysis::request_coverage(log1, 3600, 2, nullptr, 1);
-  const auto cov8 = analysis::request_coverage(log8, 3600, 2, nullptr, 8);
+  const auto cov1 = analysis::request_coverage(
+      log1, 3600, 2, static_cast<const proxy::LogReadStats*>(nullptr), 1);
+  const auto cov8 = analysis::request_coverage(
+      log8, 3600, 2, static_cast<const proxy::LogReadStats*>(nullptr), 8);
   EXPECT_EQ(cov1.totals, cov8.totals);
   ASSERT_EQ(cov1.gaps.size(), cov8.gaps.size());
 
@@ -493,11 +495,11 @@ TEST(ColumnarAnalysis, ThreadCountIsInvisible) {
                 .matrix);
 }
 
-TEST(ColumnarAnalysis, ToDatasetMatchesDirectDataset) {
+TEST(ColumnarAnalysis, ToDatasetCompatMatchesDirectDataset) {
   TempDir dir{"todataset"};
   AnalysisFixture fx{dir, 1000};
   const auto dataset =
-      analysis::to_dataset(colfmt::Reader::open(dir.file("log.col")));
+      analysis::to_dataset_compat(colfmt::Reader::open(dir.file("log.col")));
   ASSERT_EQ(dataset.size(), fx.dataset.size());
   const analysis::TopDomainsOptions options{proxy::TrafficClass::kCensored,
                                             50, std::nullopt};
@@ -505,7 +507,11 @@ TEST(ColumnarAnalysis, ToDatasetMatchesDirectDataset) {
                   analysis::top_domains(dataset, options));
 }
 
-TEST(ColumnarAnalysis, CoverageRequiresTimeOrderedContainer) {
+TEST(ColumnarAnalysis, CoverageToleratesEmissionOrderContainer) {
+  // Containers preserve emission order, which is only approximately
+  // time-sorted; coverage computes true time bounds and bins
+  // order-independently, so an out-of-order container matches the sorted
+  // row path exactly.
   TempDir dir{"unordered"};
   std::vector<proxy::LogRecord> records;
   const std::int64_t base = util::to_unix_seconds({2011, 8, 1, 0, 0, 0});
@@ -517,7 +523,21 @@ TEST(ColumnarAnalysis, CoverageRequiresTimeOrderedContainer) {
                               proxy::ExceptionId::kNone));
   write_container(dir.file("log.col"), records);
   analysis::ColumnarLog log{colfmt::Reader::open(dir.file("log.col"))};
-  EXPECT_THROW(analysis::request_coverage(log), std::runtime_error);
+
+  analysis::Dataset dataset;
+  for (const auto& record : records) dataset.add(record);
+  dataset.finalize();
+
+  const auto from_col = analysis::request_coverage(log);
+  const auto from_rows = analysis::request_coverage(dataset);
+  EXPECT_EQ(from_rows.total_requests, from_col.total_requests);
+  EXPECT_EQ(from_rows.active_bins, from_col.active_bins);
+  EXPECT_EQ(from_rows.totals, from_col.totals);
+  ASSERT_EQ(from_rows.days.size(), from_col.days.size());
+  for (std::size_t i = 0; i < from_rows.days.size(); ++i) {
+    EXPECT_EQ(from_rows.days[i].day_start, from_col.days[i].day_start);
+    EXPECT_EQ(from_rows.days[i].requests, from_col.days[i].requests);
+  }
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 #
 #   bench_parallel_pipeline  -> BENCH_pipeline.json
 #   bench_colfmt_scan        -> BENCH_colfmt.json
+#   bench_analyzer_matrix    -> BENCH_analysis.json
 #   bench_shard_farm         -> BENCH_shard.json
 #
 # Each JSON file is google-benchmark's machine-readable output; the colfmt
 # baseline carries the CSV-vs-SYRCOL1 scan timings behind the size and
-# speedup budgets in EXPERIMENTS.md. The human-readable reproduction
+# speedup budgets in EXPERIMENTS.md, and the analysis baseline the
+# analyzer-matrix (backend x threads vs bridge) timings behind the scan
+# layer's speedup table. The human-readable reproduction
 # tables (size ratio, byte-identity cross-check) print to stdout and the
 # run fails if either bench binary fails.
 #
@@ -32,7 +35,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> [bench] build"
 cmake --build "${build_dir}" -j "${jobs}" \
-      --target bench_parallel_pipeline bench_colfmt_scan bench_shard_farm
+      --target bench_parallel_pipeline bench_colfmt_scan \
+               bench_analyzer_matrix bench_shard_farm
 
 run_bench() {
   local name="$1" json="$2"
@@ -45,6 +49,7 @@ run_bench() {
 
 run_bench bench_parallel_pipeline BENCH_pipeline.json
 run_bench bench_colfmt_scan BENCH_colfmt.json
+run_bench bench_analyzer_matrix BENCH_analysis.json
 run_bench bench_shard_farm BENCH_shard.json
 
 echo "==> benchmark baselines written to ${out_dir}"

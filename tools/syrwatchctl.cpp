@@ -46,31 +46,36 @@
 //       direction is inferred from IN's bytes). csv -> col -> csv
 //       round-trips byte-identically.
 //
-//   syrwatchctl inspect <log.csv|log.col> [--bin-hours H]
+//   syrwatchctl inspect FILE [--bin-hours H]
 //       Damage-tolerant triage of an on-disk log: parse statistics
 //       (lines recovered/skipped by reason — or blocks/rows recovered for
 //       a columnar container) plus the per-proxy/per-day coverage table
 //       and gap windows.
 //
-//   syrwatchctl stats <log.csv>
+//   syrwatchctl report FILE [--overview] [--seed S]
+//       Render the paper-order report (or just the headline overview with
+//       --overview) straight from a log file. The Dsample/Duser/Ddenied
+//       views are carved out of the file-backed Dfull as scan-layer
+//       masks — no row materialization — and the GeoIP/relay/torrent
+//       lookups come from a fresh scenario environment built at --seed
+//       (pass the log's generate seed so they match the traffic).
+//
+//   syrwatchctl stats FILE
 //       Table 3-style traffic breakdown.
 //
-//   syrwatchctl top <log.csv|log.col> [--class censored|allowed|error]
-//                   [--k N] [--threads T]
-//       Top domains per traffic class (Table 4/5 style). On a columnar
-//       container the ranking runs as a parallel mmap block scan
-//       (--threads workers, identical output for any value).
+//   syrwatchctl top FILE [--class censored|allowed|error] [--k N]
+//       Top domains per traffic class (Table 4/5 style).
 //
-//   syrwatchctl discover <log.csv> [--min-count N]
+//   syrwatchctl discover FILE [--min-count N]
 //       Run the §5.4 iterative censored-string discovery.
 //
-//   syrwatchctl users <log.csv>
+//   syrwatchctl users FILE
 //       User-based analysis (Fig. 4 style; needs hashed client ids).
 //
-//   syrwatchctl redirects <log.csv>
+//   syrwatchctl redirects FILE
 //       policy_redirect hosts (Table 7 style).
 //
-//   syrwatchctl weather <log.csv> --keyword WORD [--bin-hours H]
+//   syrwatchctl weather FILE --keyword WORD [--bin-hours H]
 //       Per-window enforcement intensity for one keyword.
 //
 //   syrwatchctl profile [--requests N] [--seed S] [--threads T]
@@ -85,14 +90,19 @@
 //
 // All analysis subcommands accept any csv produced by `generate` (or by
 // proxy::write_log) as well as any columnar container produced by
-// `generate --format=col` or `convert` — the format is sniffed from the
-// file's first bytes, so pipelines can be scripted without recompiling.
+// `generate --format=col` or `convert`: one shared loader sniffs the
+// format from the file's first bytes (pin it with `--format csv|col`),
+// and every analyzer runs as the same partitioned parallel scan on either
+// backend, so `--threads T` is accepted uniformly and yields identical
+// output at any value.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
@@ -100,6 +110,7 @@
 #include "analysis/columnar.h"
 #include "analysis/coverage.h"
 #include "analysis/redirects.h"
+#include "analysis/scan.h"
 #include "analysis/string_discovery.h"
 #include "analysis/top_domains.h"
 #include "analysis/traffic_stats.h"
@@ -122,6 +133,8 @@
 #include "util/cancel.h"
 #include "util/checksum.h"
 #include "util/cli.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 #include "util/simtime.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -143,10 +156,10 @@ int usage() {
       " [--backoff-ms B] [--worker-chaos NAME]]\n"
       "  syrwatchctl verify DIR|MANIFEST|CONTAINER\n"
       "  syrwatchctl convert IN OUT\n"
-      "  syrwatchctl inspect FILE [--bin-hours H] [--threads T]\n"
+      "  syrwatchctl inspect FILE [--bin-hours H]\n"
+      "  syrwatchctl report FILE [--overview] [--seed S]\n"
       "  syrwatchctl stats FILE\n"
-      "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]"
-      " [--threads T]\n"
+      "  syrwatchctl top FILE [--class censored|allowed|error] [--k N]\n"
       "  syrwatchctl discover FILE [--min-count N]\n"
       "  syrwatchctl users FILE\n"
       "  syrwatchctl redirects FILE\n"
@@ -154,7 +167,8 @@ int usage() {
       "  syrwatchctl profile [--requests N] [--seed S] [--threads T]"
       " [--fault-profile NAME]\n"
       "every subcommand also accepts: --metrics FILE (write"
-      " syrwatch.metrics.v1 JSON)\n");
+      " syrwatch.metrics.v1 JSON); every analysis subcommand also accepts"
+      " --threads T and --format auto|csv|col\n");
   return 2;
 }
 
@@ -212,17 +226,58 @@ class MetricsOutput {
   std::uint64_t start_;
 };
 
-analysis::Dataset load(const std::string& path) {
-  // A columnar container materializes to the same Dataset its csv twin
-  // would, so every row analyzer accepts either format transparently.
-  if (colfmt::file_looks_like_container(path))
-    return analysis::to_dataset(colfmt::Reader::open(path));
+/// An on-disk log loaded for analysis: whichever backend the bytes called
+/// for (row Dataset for csv, mmap'd ColumnarLog for a SYRCOL1 container),
+/// plus the recovery stats a lenient load produced. The LogSource views
+/// handed to analyzers stay valid as long as this object lives.
+struct LoadedSource {
+  std::unique_ptr<analysis::Dataset> dataset;
+  std::unique_ptr<analysis::ColumnarLog> columnar;
+  proxy::LogReadStats read_stats;     // csv lenient parse stats
+  colfmt::RecoveryStats recovery{};   // container lenient recovery stats
+
+  bool is_columnar() const noexcept { return columnar != nullptr; }
+  analysis::LogSource source() const {
+    return columnar ? analysis::LogSource{*columnar}
+                    : analysis::LogSource{*dataset};
+  }
+  std::uint64_t rows() const { return source().rows(); }
+};
+
+/// The one format-sniffing load path every analysis subcommand shares.
+/// `format` is "auto" (sniff the first bytes), "csv", or "col"; `lenient`
+/// recovers damaged inputs instead of failing (the `inspect` contract).
+/// Throws std::runtime_error naming the path on any failure.
+LoadedSource load_source(const std::string& path,
+                         const std::string& format = "auto",
+                         std::size_t threads = 1, bool lenient = false) {
+  if (format != "auto" && format != "csv" && format != "col")
+    throw std::runtime_error("--format must be auto, csv, or col (got \"" +
+                             format + "\")");
+  LoadedSource loaded;
+  const bool is_col =
+      format == "col" ||
+      (format == "auto" && colfmt::file_looks_like_container(path));
+  if (is_col) {
+    loaded.columnar = std::make_unique<analysis::ColumnarLog>(
+        lenient ? colfmt::Reader::open_lenient(path, &loaded.recovery)
+                : colfmt::Reader::open(path),
+        threads);
+    return loaded;
+  }
   std::ifstream in{path};
   if (!in) throw std::runtime_error("cannot open " + path);
-  analysis::Dataset dataset;
-  for (const auto& record : proxy::read_log(in)) dataset.add(record);
-  dataset.finalize();
-  return dataset;
+  loaded.dataset = std::make_unique<analysis::Dataset>();
+  if (lenient) {
+    auto log = proxy::read_log_lenient(in);
+    loaded.read_stats = log.stats;
+    for (const auto& record : log.records) loaded.dataset->add(record);
+  } else {
+    for (const auto& record : proxy::read_log(in))
+      loaded.dataset->add(record);
+  }
+  loaded.dataset->finalize();
+  return loaded;
 }
 
 /// --out sibling for the container when --format=both: leak.csv ->
@@ -234,14 +289,19 @@ std::string sibling_col_path(const std::string& out_path) {
   return out_path + ".col";
 }
 
-/// load() plus the shared "load" phase record and row counter.
-analysis::Dataset load_phase(const std::string& path, MetricsOutput& metrics) {
+/// load_source() plus the shared "load" phase record and row counter; the
+/// format override comes from the subcommand's --format flag.
+LoadedSource load_source_phase(const std::string& path,
+                               const util::CliFlags& flags,
+                               MetricsOutput& metrics, std::size_t threads,
+                               bool lenient = false) {
+  const std::string format{flags.get("--format").value_or("auto")};
   const std::uint64_t start = obs::monotonic_nanos();
-  auto dataset = load(path);
+  auto loaded = load_source(path, format, threads, lenient);
   obs::add(obs::counter(metrics.context(), "cli.rows_loaded"),
-           dataset.size());
-  metrics.add_phase("load", seconds_since(start), dataset.size());
-  return dataset;
+           loaded.rows());
+  metrics.add_phase("load", seconds_since(start), loaded.rows());
+  return loaded;
 }
 
 /// Parses the shared shape `subcommand FILE [flags]`: one positional
@@ -341,9 +401,9 @@ int cmd_generate_sharded(const util::CliFlags& flags,
     // uses: re-read the merged log and bin it so the abandoned shard's
     // missing tail surfaces as per-proxy gaps, with the folded read stats
     // marking any torn tail the lenient merge recovered over.
-    const auto dataset = load(out_path);
-    const auto coverage =
-        analysis::request_coverage(dataset, 3600, 25, &result.read_stats);
+    const auto merged = load_source(out_path);
+    const auto coverage = analysis::request_coverage(merged.source(), 3600,
+                                                     25, &result.read_stats);
     util::TextTable gaps{{"Proxy", "Gap start", "Gap end",
                           "Farm reqs in gap"}};
     for (const auto& gap : coverage.gaps)
@@ -802,6 +862,7 @@ int cmd_inspect(int argc, char** argv) {
   util::CliFlags flags;
   flags.value_flag("--bin-hours");
   flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("inspect", flags);
   std::string path;
@@ -811,67 +872,49 @@ int cmd_inspect(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  analysis::CoverageReport coverage;
-  std::uint64_t record_count = 0;
-  if (colfmt::file_looks_like_container(path)) {
-    const std::uint64_t load_start = obs::monotonic_nanos();
-    colfmt::RecoveryStats rstats;
-    analysis::ColumnarLog log{colfmt::Reader::open_lenient(path, &rstats),
-                              threads};
-    record_count = log.rows();
-    metrics.add_phase("load", seconds_since(load_start), record_count);
-    obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
-             record_count);
+  const auto loaded =
+      load_source_phase(path, flags, metrics, threads, /*lenient=*/true);
+  const std::uint64_t record_count = loaded.rows();
+  obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
+           record_count);
+  bool damaged = false;
+  if (loaded.is_columnar()) {
     std::printf("columnar container: %s blocks, %s rows, %s dictionary "
                 "strings\n",
-                util::with_commas(log.block_count()).c_str(),
-                util::with_commas(log.rows()).c_str(),
-                util::with_commas(log.reader().dict_size()).c_str());
-    if (rstats.truncated_tail) {
+                util::with_commas(loaded.columnar->block_count()).c_str(),
+                util::with_commas(loaded.columnar->rows()).c_str(),
+                util::with_commas(loaded.columnar->reader().dict_size())
+                    .c_str());
+    if (loaded.recovery.truncated_tail) {
+      damaged = true;
       std::printf("recovered %s of %s bytes (%s intact blocks); damage: "
                   "%s\n",
-                  util::with_commas(rstats.bytes_recovered).c_str(),
-                  util::with_commas(rstats.file_bytes).c_str(),
-                  util::with_commas(rstats.blocks_recovered).c_str(),
-                  rstats.damage.c_str());
+                  util::with_commas(loaded.recovery.bytes_recovered).c_str(),
+                  util::with_commas(loaded.recovery.file_bytes).c_str(),
+                  util::with_commas(loaded.recovery.blocks_recovered)
+                      .c_str(),
+                  loaded.recovery.damage.c_str());
     }
-    if (record_count == 0) {
-      std::printf("no usable records — nothing to inspect\n");
-      if (!metrics.write("inspect")) return 1;
-      return rstats.truncated_tail ? 1 : 0;
-    }
-    const std::uint64_t analyze_start = obs::monotonic_nanos();
-    coverage = analysis::request_coverage(log, bin, 25, &rstats, threads);
-    metrics.add_phase("analyze", seconds_since(analyze_start), record_count);
   } else {
-    std::ifstream in{path};
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", path.c_str());
-      return 1;
-    }
-    const std::uint64_t load_start = obs::monotonic_nanos();
-    const auto log = proxy::read_log_lenient(in);
-    metrics.add_phase("load", seconds_since(load_start), log.records.size());
-    obs::add(obs::counter(metrics.context(), "inspect.records_recovered"),
-             log.records.size());
     obs::add(obs::counter(metrics.context(), "inspect.lines_skipped"),
-             log.stats.skipped_total());
-    std::fputs(log.stats.summary().c_str(), stdout);
-
-    analysis::Dataset dataset;
-    for (const auto& record : log.records) dataset.add(record);
-    dataset.finalize();
-    record_count = dataset.size();
-    if (record_count == 0) {
-      std::printf("no usable records — nothing to inspect\n");
-      if (!metrics.write("inspect")) return 1;
-      return log.stats.skipped_total() > 0 ? 1 : 0;
-    }
-
-    const std::uint64_t analyze_start = obs::monotonic_nanos();
-    coverage = analysis::request_coverage(dataset, bin, 25, &log.stats);
-    metrics.add_phase("analyze", seconds_since(analyze_start), record_count);
+             loaded.read_stats.skipped_total());
+    std::fputs(loaded.read_stats.summary().c_str(), stdout);
+    damaged = loaded.read_stats.skipped_total() > 0;
   }
+  if (record_count == 0) {
+    std::printf("no usable records — nothing to inspect\n");
+    if (!metrics.write("inspect")) return 1;
+    return damaged ? 1 : 0;
+  }
+
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
+  const analysis::CoverageReport coverage =
+      loaded.is_columnar()
+          ? analysis::request_coverage(loaded.source(), bin, 25,
+                                       &loaded.recovery, threads)
+          : analysis::request_coverage(loaded.source(), bin, 25,
+                                       &loaded.read_stats, threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), record_count);
   util::TextTable days{[&] {
     std::vector<std::string> header{"Day"};
     for (std::size_t p = 0; p < policy::kProxyCount; ++p)
@@ -918,16 +961,20 @@ int cmd_inspect(int argc, char** argv) {
 
 int cmd_stats(int argc, char** argv) {
   util::CliFlags flags;
+  flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("stats", flags);
   std::string path;
   if (!single_input("stats", flags, path)) return usage();
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  const auto dataset = load_phase(path, metrics);
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto stats = analysis::traffic_stats(dataset);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+  const auto stats = analysis::traffic_stats(loaded.source(), threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), loaded.rows());
   util::TextTable table{{"Class", "# Requests", "%"}};
   table.add_row({"allowed", util::with_commas(stats.observed),
                  util::percent(stats.share(stats.observed))});
@@ -960,6 +1007,7 @@ int cmd_top(int argc, char** argv) {
   flags.value_flag("--class");
   flags.value_flag("--k");
   flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("top", flags);
   std::string path;
@@ -967,7 +1015,8 @@ int cmd_top(int argc, char** argv) {
   const auto threads =
       static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
-  analysis::TopDomainsOptions options{proxy::TrafficClass::kCensored};
+  analysis::TopDomainsOptions options{proxy::TrafficClass::kCensored, 10,
+                                      std::nullopt};
   if (const auto klass = flags.get("--class")) {
     if (*klass == "allowed")
       options.cls = proxy::TrafficClass::kAllowed;
@@ -984,21 +1033,10 @@ int cmd_top(int argc, char** argv) {
   options.k = flags.get_u64("--k", 10);
 
   MetricsOutput metrics{flags};
-  std::vector<analysis::DomainCount> top;
-  if (colfmt::file_looks_like_container(path)) {
-    const std::uint64_t load_start = obs::monotonic_nanos();
-    analysis::ColumnarLog log{colfmt::Reader::open(path), threads};
-    metrics.add_phase("load", seconds_since(load_start), log.rows());
-    const std::uint64_t analyze_start = obs::monotonic_nanos();
-    top = analysis::top_domains(log, options, threads);
-    metrics.add_phase("analyze", seconds_since(analyze_start), log.rows());
-  } else {
-    const auto dataset = load_phase(path, metrics);
-    const std::uint64_t analyze_start = obs::monotonic_nanos();
-    top = analysis::top_domains(dataset, options);
-    metrics.add_phase("analyze", seconds_since(analyze_start),
-                      dataset.size());
-  }
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
+  const auto top = analysis::top_domains(loaded.source(), options, threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), loaded.rows());
   util::TextTable table{{"#", "Domain", "# Requests", "%"}};
   for (std::size_t i = 0; i < top.size(); ++i) {
     table.add_row({std::to_string(i + 1), top[i].domain,
@@ -1017,19 +1055,24 @@ int cmd_top(int argc, char** argv) {
 int cmd_discover(int argc, char** argv) {
   util::CliFlags flags;
   flags.value_flag("--min-count");
+  flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("discover", flags);
   std::string path;
   if (!single_input("discover", flags, path)) return usage();
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  const auto dataset = load_phase(path, metrics);
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
   analysis::DiscoveryOptions options;
   options.min_count = flags.get_u64("--min-count", options.min_count);
 
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto result = analysis::discover_censored_strings(dataset, options);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+  const auto result = analysis::discover_censored_strings(loaded.source(),
+                                                          options, threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), loaded.rows());
   util::TextTable keywords{{"Keyword", "Censored", "Proxied"}};
   for (const auto& kw : result.keywords) {
     keywords.add_row({kw.text, util::with_commas(kw.censored),
@@ -1052,16 +1095,20 @@ int cmd_discover(int argc, char** argv) {
 
 int cmd_users(int argc, char** argv) {
   util::CliFlags flags;
+  flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("users", flags);
   std::string path;
   if (!single_input("users", flags, path)) return usage();
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  const auto dataset = load_phase(path, metrics);
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto stats = analysis::user_stats(dataset);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+  const auto stats = analysis::user_stats(loaded.source(), threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), loaded.rows());
   if (stats.total_users == 0) {
     std::printf("no attributable users (client hashes suppressed in this "
                 "log slice; Duser covers July 22-23 only)\n");
@@ -1083,16 +1130,20 @@ int cmd_users(int argc, char** argv) {
 
 int cmd_redirects(int argc, char** argv) {
   util::CliFlags flags;
+  flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("redirects", flags);
   std::string path;
   if (!single_input("redirects", flags, path)) return usage();
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  const auto dataset = load_phase(path, metrics);
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto hosts = analysis::redirect_hosts(dataset);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+  const auto hosts = analysis::redirect_hosts(loaded.source(), 0, threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), loaded.rows());
   util::TextTable table{{"Host", "# Redirects", "%"}};
   for (const auto& host : hosts) {
     table.add_row({host.host, util::with_commas(host.requests),
@@ -1107,6 +1158,8 @@ int cmd_weather(int argc, char** argv) {
   util::CliFlags flags;
   flags.value_flag("--keyword");
   flags.value_flag("--bin-hours");
+  flags.value_flag("--threads");
+  flags.value_flag("--format");
   flags.value_flag("--metrics");
   if (!flags.parse(argc, argv)) return flag_error("weather", flags);
   std::string path;
@@ -1117,20 +1170,24 @@ int cmd_weather(int argc, char** argv) {
     return usage();
   }
   const std::int64_t bin = 3600 * flags.get_i64("--bin-hours", 1);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
 
   MetricsOutput metrics{flags};
-  const auto dataset = load_phase(path, metrics);
-  if (dataset.size() == 0) {
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
+  const analysis::LogSource source = loaded.source();
+  if (source.rows() == 0) {
     std::printf("empty log\n");
     return metrics.write("weather") ? 0 : 1;
   }
-  const std::int64_t start = dataset.rows().front().time;
-  const std::int64_t end = dataset.rows().back().time + 1;
+  const auto bounds = source.time_bounds(threads);
+  const std::int64_t start = bounds.first;
+  const std::int64_t end = bounds.last + 1;
   const std::vector<std::string> keywords{std::string(*keyword)};
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto reports =
-      analysis::keyword_weather(dataset, keywords, start, end, bin);
-  metrics.add_phase("analyze", seconds_since(analyze_start), dataset.size());
+  const auto reports = analysis::keyword_weather(source, keywords, start,
+                                                 end, bin, threads);
+  metrics.add_phase("analyze", seconds_since(analyze_start), source.rows());
   const auto& report = reports.front();
 
   util::TextTable table{{"Window start", "Matched", "Censored", "Intensity"}};
@@ -1153,6 +1210,101 @@ int cmd_weather(int argc, char** argv) {
                  .c_str(),
              stdout);
   return metrics.write("weather") ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.value_flag("--seed");
+  flags.value_flag("--threads");
+  flags.value_flag("--format");
+  flags.value_flag("--metrics");
+  flags.bool_flag("--overview");
+  if (!flags.parse(argc, argv)) return flag_error("report", flags);
+  std::string path;
+  if (!single_input("report", flags, path)) return usage();
+  const auto threads =
+      static_cast<std::size_t>(flags.get_u64("--threads", 1));
+
+  MetricsOutput metrics{flags};
+  const auto loaded = load_source_phase(path, flags, metrics, threads);
+  const analysis::LogSource full = loaded.source();
+  if (full.rows() == 0) {
+    std::printf("empty log\n");
+    return metrics.write("report") ? 0 : 1;
+  }
+
+  // The report's analyzers consult scenario resources (GeoIP ranges, the
+  // Tor relay directory, the torrent registry) that are deterministic in
+  // the seed — build a fresh environment at --seed, which must match the
+  // log's generate seed for the lookups to line up with the traffic.
+  workload::ScenarioConfig config;
+  config.seed = flags.get_u64("--seed", config.seed);
+  const std::uint64_t env_start = obs::monotonic_nanos();
+  const workload::SyriaScenario scenario{config};
+  metrics.add_phase("environment", seconds_since(env_start), 0);
+
+  // Carve the paper's derived datasets out of the file-backed Dfull as
+  // scan-layer views — the same selections DatasetBundle::derive
+  // materializes (including the sequential Bernoulli draw for Dsample),
+  // without copying a single row.
+  const std::uint64_t derive_start = obs::monotonic_nanos();
+  auto sample_mask =
+      std::make_shared<std::vector<std::uint8_t>>(full.rows(), 0);
+  {
+    // DatasetBundle::derive draws one Bernoulli per row of the
+    // *time-sorted* full dataset (Dataset::finalize stable-sorts), while
+    // SYRCOL1 containers preserve emission order. Apply the draw through a
+    // stable time-sorted permutation of base ordinals so `report log.csv`
+    // and `report log.col` of the same log select the same records.
+    std::vector<std::int64_t> times(sample_mask->size());
+    full.prepare(threads);
+    util::parallel_for(full.partitions(), threads, [&](std::size_t p) {
+      full.scan_partition(p, [&](const analysis::Record& r) {
+        times[static_cast<std::size_t>(r.ordinal)] = r.time;
+      });
+    });
+    std::vector<std::uint64_t> order(times.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint64_t a, std::uint64_t b) {
+                       return times[a] < times[b];
+                     });
+    util::Rng rng{util::mix64(config.seed ^ 0x5A3D1E)};
+    for (const auto ordinal : order)
+      (*sample_mask)[ordinal] = rng.bernoulli(0.04) ? 1 : 0;
+  }
+  const analysis::LogSource sample =
+      full.masked(std::move(sample_mask), threads);
+  const analysis::LogSource user = full.filtered(
+      [](const analysis::Record& r) {
+        if (r.proxy_index != 0 || r.user_hash == 0) return false;
+        const auto c = util::to_civil(r.time);
+        return c.month == 7 && (c.day == 22 || c.day == 23);
+      },
+      threads);
+  const analysis::LogSource denied = full.filtered(
+      [](const analysis::Record& r) {
+        return r.exception != proxy::ExceptionId::kNone;
+      },
+      threads);
+  metrics.add_phase("derive", seconds_since(derive_start), full.rows());
+
+  const core::ReportSources sources{full,
+                                    sample,
+                                    user,
+                                    denied,
+                                    &scenario.geoip(),
+                                    &scenario.relays(),
+                                    &scenario.torrents(),
+                                    threads,
+                                    metrics.context()};
+  const std::uint64_t analyze_start = obs::monotonic_nanos();
+  const std::string report = flags.has("--overview")
+                                 ? core::render_overview(sources)
+                                 : core::render_full_report(sources);
+  metrics.add_phase("analyze", seconds_since(analyze_start), full.rows());
+  std::fputs(report.c_str(), stdout);
+  return metrics.write("report") ? 0 : 1;
 }
 
 int cmd_profile(int argc, char** argv) {
@@ -1213,6 +1365,7 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(argc, argv);
     if (command == "convert") return cmd_convert(argc, argv);
     if (command == "inspect") return cmd_inspect(argc, argv);
+    if (command == "report") return cmd_report(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "top") return cmd_top(argc, argv);
     if (command == "discover") return cmd_discover(argc, argv);
