@@ -38,7 +38,7 @@ double metacafe_share_on_sg48(const analysis::Dataset& full) {
 
 void print_matrix(const char* title, const analysis::Dataset& full) {
   const auto sim = analysis::censored_domain_similarity(
-      full, workload::at(8, 1), workload::at(8, 7));
+      full, {{workload::at(8, 1), workload::at(8, 7)}});
   TextTable table{{"", "SG-42", "SG-43", "SG-44", "SG-45", "SG-46", "SG-47",
                    "SG-48"}};
   for (std::size_t a = 0; a < policy::kProxyCount; ++a) {
@@ -81,7 +81,7 @@ void BM_SimilarityNoAffinity(benchmark::State& state) {
   const auto& full = study_for(no_affinity_config()).datasets().full;
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::censored_domain_similarity(
-        full, workload::at(8, 1), workload::at(8, 7)));
+        full, {{workload::at(8, 1), workload::at(8, 7)}}));
   }
 }
 BENCHMARK(BM_SimilarityNoAffinity)->Unit(benchmark::kMillisecond);

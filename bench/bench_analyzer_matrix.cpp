@@ -15,6 +15,7 @@
 
 #include "analysis/agents.h"
 #include "analysis/columnar.h"
+#include "analysis/testing/compat.h"
 #include "analysis/dataset.h"
 #include "analysis/https_audit.h"
 #include "analysis/port_dist.h"
@@ -173,7 +174,7 @@ MATRIX_BENCH(BM_HttpsStats);
 
 void BM_RedirectHosts(benchmark::State& state) {
   run_matrix(state, [](const analysis::LogSource& src, std::size_t threads) {
-    benchmark::DoNotOptimize(analysis::redirect_hosts(src, 0, threads)
+    benchmark::DoNotOptimize(analysis::redirect_hosts(src, {.k = 0}, threads)
                                  .size());
   });
 }
@@ -184,8 +185,9 @@ void BM_KeywordWeather(benchmark::State& state) {
                                                   "facebook"};
   run_matrix(state, [](const analysis::LogSource& src, std::size_t threads) {
     benchmark::DoNotOptimize(
-        analysis::keyword_weather(src, kKeywords, fixture().start,
-                                  fixture().end, 3600, threads)
+        analysis::keyword_weather(
+            src, kKeywords, {{fixture().start, fixture().end}, {3600}},
+            threads)
             .size());
   });
 }

@@ -102,7 +102,7 @@ void BM_EscalatedRescreen(benchmark::State& state) {
   const auto impact = [&] {
     return analysis::policy_impact(study.datasets().full,
                                    escalated.proxies[0].engine,
-                                   escalated.custom_categories, 5);
+                                   escalated.custom_categories, {.top_k = 5});
   };
   for (auto _ : state) {
     benchmark::DoNotOptimize(impact());

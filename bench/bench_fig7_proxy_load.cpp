@@ -17,8 +17,8 @@ void print_reproduction() {
                "times (domain-affinity redirection)");
 
   const auto series = analysis::proxy_load_series(
-      default_study().datasets().full, workload::at(8, 3),
-      workload::at(8, 5), 6 * 3600);
+      default_study().datasets().full,
+      {{workload::at(8, 3), workload::at(8, 5)}, {6 * 3600}});
 
   TextTable total{{"Window", "SG-42", "SG-43", "SG-44", "SG-45", "SG-46",
                    "SG-47", "SG-48"}};
@@ -49,7 +49,7 @@ void BM_ProxyLoadSeries(benchmark::State& state) {
   const auto& full = default_study().datasets().full;
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::proxy_load_series(
-        full, workload::at(8, 3), workload::at(8, 5), 3600));
+        full, {{workload::at(8, 3), workload::at(8, 5)}, {3600}}));
   }
 }
 BENCHMARK(BM_ProxyLoadSeries)->Unit(benchmark::kMillisecond);

@@ -23,7 +23,7 @@ void print_reproduction() {
         std::tuple{"2011-08-01 .. 08-06", workload::at(8, 1),
                    workload::at(8, 7)}}) {
     const auto sim = analysis::censored_domain_similarity(
-        default_study().datasets().full, start, end);
+        default_study().datasets().full, {{start, end}});
     TextTable table{{"", "SG-42", "SG-43", "SG-44", "SG-45", "SG-46",
                      "SG-47", "SG-48"}};
     for (std::size_t a = 0; a < policy::kProxyCount; ++a) {
@@ -58,7 +58,7 @@ void BM_CosineSimilarity(benchmark::State& state) {
   const auto& full = default_study().datasets().full;
   for (auto _ : state) {
     benchmark::DoNotOptimize(analysis::censored_domain_similarity(
-        full, workload::at(8, 1), workload::at(8, 7)));
+        full, {{workload::at(8, 1), workload::at(8, 7)}}));
   }
 }
 BENCHMARK(BM_CosineSimilarity)->Unit(benchmark::kMillisecond);

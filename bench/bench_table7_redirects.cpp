@@ -22,7 +22,7 @@ void print_reproduction() {
                /*boosted=*/true);
 
   const auto& full = boosted_study().datasets().full;
-  const auto hosts = analysis::redirect_hosts(full, 5);
+  const auto hosts = analysis::redirect_hosts(full, {.k = 5});
   TextTable table{{"#", "Measured host", "Measured %", "Paper host",
                    "Paper %"}};
   for (std::size_t i = 0; i < 5; ++i) {
@@ -35,7 +35,8 @@ void print_reproduction() {
 
   // §5.3: no secondary request follows a redirect through these proxies.
   const auto followups =
-      analysis::redirect_followups(boosted_study().datasets().user, 2);
+      analysis::redirect_followups(boosted_study().datasets().user,
+                                   {.window_seconds = 2});
   TextTable follow{{"Metric", "Measured", "Paper"}};
   follow.add_row({"Redirects with follow-up within 2s",
                   with_commas(followups), "0 (none found)"});
@@ -45,7 +46,7 @@ void print_reproduction() {
 void BM_RedirectHosts(benchmark::State& state) {
   const auto& full = boosted_study().datasets().full;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::redirect_hosts(full, 5));
+    benchmark::DoNotOptimize(analysis::redirect_hosts(full, {.k = 5}));
   }
 }
 BENCHMARK(BM_RedirectHosts)->Unit(benchmark::kMillisecond);
@@ -53,7 +54,7 @@ BENCHMARK(BM_RedirectHosts)->Unit(benchmark::kMillisecond);
 void BM_RedirectFollowups(benchmark::State& state) {
   const auto& user = boosted_study().datasets().user;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::redirect_followups(user, 2));
+    benchmark::DoNotOptimize(analysis::redirect_followups(user, {.window_seconds = 2}));
   }
 }
 BENCHMARK(BM_RedirectFollowups)->Unit(benchmark::kMillisecond);

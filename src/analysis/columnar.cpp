@@ -1,5 +1,7 @@
 #include "analysis/columnar.h"
 
+#include "analysis/testing/compat.h"
+
 #include <utility>
 
 #include "net/domain.h"

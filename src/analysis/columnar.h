@@ -59,12 +59,4 @@ class ColumnarLog {
   std::vector<std::uint8_t> is_ip_;
 };
 
-/// Materializes the container into a row Dataset (decode → LogRecord →
-/// add, then finalize), producing exactly the Dataset the same log's CSV
-/// would. Compatibility shim only: every analyzer now runs natively on the
-/// container through analysis::LogSource, so nothing on the report or CLI
-/// hot path should call this — it survives for differential tests and for
-/// external code that genuinely needs a row Dataset.
-Dataset to_dataset_compat(const colfmt::Reader& reader);
-
 }  // namespace syrwatch::analysis

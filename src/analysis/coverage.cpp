@@ -115,23 +115,13 @@ CoverageReport coverage_core(const LogSource& source, std::int64_t bin_seconds,
 }  // namespace
 
 CoverageReport request_coverage(const LogSource& source,
-                                std::int64_t bin_seconds,
-                                std::uint64_t min_farm_bin_requests,
-                                const proxy::LogReadStats* read_stats,
+                                const CoverageOptions& options,
                                 std::size_t threads) {
-  return coverage_core(source, bin_seconds, min_farm_bin_requests,
-                       read_stats != nullptr && read_stats->truncated_tail,
-                       threads);
-}
-
-CoverageReport request_coverage(const LogSource& source,
-                                std::int64_t bin_seconds,
-                                std::uint64_t min_farm_bin_requests,
-                                const colfmt::RecoveryStats* recovery_stats,
-                                std::size_t threads) {
-  return coverage_core(
-      source, bin_seconds, min_farm_bin_requests,
-      recovery_stats != nullptr && recovery_stats->truncated_tail, threads);
+  const bool torn =
+      (options.read_stats != nullptr && options.read_stats->truncated_tail) ||
+      (options.recovery != nullptr && options.recovery->truncated_tail);
+  return coverage_core(source, options.bin.seconds,
+                       options.min_farm_bin_requests, torn, threads);
 }
 
 }  // namespace syrwatch::analysis

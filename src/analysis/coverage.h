@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/options.h"
 #include "analysis/scan.h"
 #include "colfmt/container.h"
 #include "policy/syria.h"
@@ -60,31 +61,19 @@ struct CoverageReport {
   std::array<std::uint64_t, policy::kProxyCount> covered_bins{};
 };
 
-/// Computes coverage by binning requests into `bin_seconds` windows. A bin
-/// counts as farm-active when the whole farm logged at least
-/// `min_farm_bin_requests` in it (the floor suppresses phantom gaps in
-/// near-idle windows); a proxy silent through one or more consecutive
-/// active bins contributes a CoverageGap. Pass the LogReadStats of the
-/// lenient read that produced the dataset (when there was one) so a torn
-/// final record — a partially written artifact — is surfaced as a
-/// coverage degradation rather than silently shortening the window.
-/// Row order is irrelevant: the window is the source's true time bounds
-/// and every tally is order-independent, so emission-order containers
-/// bin identically to the time-sorted row path.
+/// Computes coverage by binning requests into CoverageOptions::bin
+/// windows. A bin counts as farm-active when the whole farm logged at
+/// least `min_farm_bin_requests` in it (the floor suppresses phantom gaps
+/// in near-idle windows); a proxy silent through one or more consecutive
+/// active bins contributes a CoverageGap. Pass the LogReadStats /
+/// RecoveryStats of the lenient load that produced the source (when there
+/// was one) so a torn final record — a partially written artifact — is
+/// surfaced as a coverage degradation rather than silently shortening the
+/// window. Row order is irrelevant: the window is the source's true time
+/// bounds and every tally is order-independent, so emission-order
+/// containers bin identically to the time-sorted row path.
 CoverageReport request_coverage(const LogSource& source,
-                                std::int64_t bin_seconds = 3600,
-                                std::uint64_t min_farm_bin_requests = 25,
-                                const proxy::LogReadStats* read_stats =
-                                    nullptr,
-                                std::size_t threads = 1);
-
-/// Same, taking the RecoveryStats of the lenient container open: a torn
-/// final block surfaces as coverage degradation exactly like a torn CSV
-/// tail.
-CoverageReport request_coverage(const LogSource& source,
-                                std::int64_t bin_seconds,
-                                std::uint64_t min_farm_bin_requests,
-                                const colfmt::RecoveryStats* recovery_stats,
+                                const CoverageOptions& options = {},
                                 std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

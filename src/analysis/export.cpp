@@ -155,8 +155,8 @@ std::size_t export_all_figures(const std::string& directory,
     commit("fig6_rcv.tsv", out);
   }
   {
-    const auto load = proxy_load_series(full, workload::at(8, 3),
-                                        workload::at(8, 5), 3600, threads);
+    const auto load = proxy_load_series(
+        full, {{workload::at(8, 3), workload::at(8, 5)}, {3600}}, threads);
     std::ostringstream out_total;
     export_proxy_load(out_total, load, /*censored=*/false);
     commit("fig7_load_total.tsv", out_total);

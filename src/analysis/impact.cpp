@@ -11,7 +11,8 @@ namespace syrwatch::analysis {
 PolicyImpact policy_impact(const LogSource& source,
                            const policy::PolicyEngine& engine,
                            const policy::CustomCategoryList& custom_categories,
-                           std::size_t top_k, std::size_t threads) {
+                           const PolicyImpactOptions& options,
+                           std::size_t threads) {
   // The engine's generator feeds scheduled rules, and draws must happen in
   // row order for determinism. The parallel phase therefore only collects
   // candidates (plus the RNG-free custom-category classification); the
@@ -100,7 +101,7 @@ PolicyImpact policy_impact(const LogSource& source,
               if (a.count != b.count) return a.count > b.count;
               return a.domain < b.domain;
             });
-  if (ranked.size() > top_k) ranked.resize(top_k);
+  if (ranked.size() > options.top_k) ranked.resize(options.top_k);
   impact.top_newly_censored = std::move(ranked);
   return impact;
 }

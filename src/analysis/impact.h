@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/options.h"
 #include "analysis/scan.h"
 #include "analysis/top_domains.h"
 #include "policy/custom_category.h"
@@ -44,7 +45,7 @@ struct PolicyImpact {
 PolicyImpact policy_impact(const LogSource& source,
                            const policy::PolicyEngine& engine,
                            const policy::CustomCategoryList& custom_categories,
-                           std::size_t top_k = 10,
+                           const PolicyImpactOptions& options = {},
                            std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -1,7 +1,15 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+
+namespace syrwatch::proxy {
+struct LogReadStats;
+}
+namespace syrwatch::colfmt {
+struct RecoveryStats;
+}
 
 namespace syrwatch::analysis {
 
@@ -32,6 +40,53 @@ struct BinSpec {
     return static_cast<std::size_t>(
         (range.end - range.start + seconds - 1) / seconds);
   }
+};
+
+/// request_coverage (Table: per-proxy request coverage + gap scan). The
+/// two stats pointers replace the old per-reader overload pair: pass
+/// whichever the load produced (both null = assume an intact file); the
+/// report's truncated_tail flag is the OR of their flags.
+struct CoverageOptions {
+  BinSpec bin{3600};
+  /// A bin counts as farm-active (so a silent proxy is a *gap*, not an
+  /// idle period) only at this many farm-wide requests.
+  std::uint64_t min_farm_bin_requests = 25;
+  const proxy::LogReadStats* read_stats = nullptr;
+  const colfmt::RecoveryStats* recovery = nullptr;
+};
+
+/// policy_impact (§8 what-if re-screening).
+struct PolicyImpactOptions {
+  /// Entries in top_newly_censored.
+  std::size_t top_k = 10;
+};
+
+/// proxy_load_series (Fig. 7).
+struct ProxyLoadOptions {
+  TimeRange range;
+  BinSpec bin{3600};
+};
+
+/// censored_domain_similarity (Table 6).
+struct SimilarityOptions {
+  TimeRange range;
+};
+
+/// keyword_weather (the ConceptDoppler-style longitudinal view).
+struct WeatherOptions {
+  TimeRange range;
+  BinSpec bin{3600};
+};
+
+/// redirect_hosts (Table 7).
+struct RedirectHostsOptions {
+  /// Hosts to keep; 0 = all.
+  std::size_t k = 0;
+};
+
+/// redirect_followups (§5.3's negative finding).
+struct RedirectFollowupOptions {
+  std::int64_t window_seconds = 2;
 };
 
 }  // namespace syrwatch::analysis

@@ -27,9 +27,12 @@ double ProxyLoadSeries::censored_share(std::size_t proxy,
                         static_cast<double>(sum);
 }
 
-ProxyLoadSeries proxy_load_series(const LogSource& source, std::int64_t start,
-                                  std::int64_t end, std::int64_t bin_seconds,
+ProxyLoadSeries proxy_load_series(const LogSource& source,
+                                  const ProxyLoadOptions& options,
                                   std::size_t threads) {
+  const std::int64_t start = options.range.start;
+  const std::int64_t end = options.range.end;
+  const std::int64_t bin_seconds = options.bin.seconds;
   if (end <= start || bin_seconds <= 0)
     throw std::invalid_argument("proxy_load_series: bad window");
   const auto bins = static_cast<std::size_t>(
@@ -75,9 +78,10 @@ ProxyLoadSeries proxy_load_series(const LogSource& source, std::int64_t start,
 }
 
 ProxySimilarity censored_domain_similarity(const LogSource& source,
-                                           std::int64_t start,
-                                           std::int64_t end,
+                                           const SimilarityOptions& options,
                                            std::size_t threads) {
+  const std::int64_t start = options.range.start;
+  const std::int64_t end = options.range.end;
   // The cosine sums run in domain-index order, so the global index must be
   // the row-order first-seen order to keep the floating-point result
   // bit-identical. Each partial records its local first-seen sequence;

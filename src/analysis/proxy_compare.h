@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/options.h"
 #include "analysis/scan.h"
 #include "policy/syria.h"
 #include "util/histogram.h"
@@ -26,9 +27,8 @@ struct ProxyLoadSeries {
   std::size_t bin_count() const noexcept { return total[0].size(); }
 };
 
-ProxyLoadSeries proxy_load_series(const LogSource& source, std::int64_t start,
-                                  std::int64_t end,
-                                  std::int64_t bin_seconds = 3600,
+ProxyLoadSeries proxy_load_series(const LogSource& source,
+                                  const ProxyLoadOptions& options,
                                   std::size_t threads = 1);
 
 /// Table 6: cosine similarity of the per-domain censored-request vectors
@@ -40,8 +40,7 @@ struct ProxySimilarity {
 };
 
 ProxySimilarity censored_domain_similarity(const LogSource& source,
-                                           std::int64_t start,
-                                           std::int64_t end,
+                                           const SimilarityOptions& options,
                                            std::size_t threads = 1);
 
 /// §5.2's category-label observation: which cs-categories strings each

@@ -7,7 +7,9 @@
 namespace syrwatch::analysis {
 
 std::vector<RedirectHost> redirect_hosts(const LogSource& source,
-                                         std::size_t k, std::size_t threads) {
+                                         const RedirectHostsOptions& options,
+                                         std::size_t threads) {
+  const std::size_t k = options.k;
   struct Partial {
     std::uint64_t total = 0;
     std::unordered_map<std::string_view, std::uint64_t> counts;
@@ -58,8 +60,9 @@ struct HeadRow {
 }  // namespace
 
 std::uint64_t redirect_followups(const LogSource& source,
-                                 std::int64_t window_seconds,
+                                 const RedirectFollowupOptions& options,
                                  std::size_t threads) {
+  const std::int64_t window_seconds = options.window_seconds;
   // Records are time-sorted, so "a same-user request to a different host
   // within the window" is a forward scan. Each partition resolves what it
   // can locally; redirects whose window crosses the partition end become

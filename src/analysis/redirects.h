@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/options.h"
 #include "analysis/scan.h"
 
 namespace syrwatch::analysis {
@@ -18,16 +19,16 @@ struct RedirectHost {
   double share = 0.0;
 };
 
-std::vector<RedirectHost> redirect_hosts(const LogSource& source,
-                                         std::size_t k = 0,
-                                         std::size_t threads = 1);
+std::vector<RedirectHost> redirect_hosts(
+    const LogSource& source, const RedirectHostsOptions& options = {},
+    std::size_t threads = 1);
 
 /// §5.3's negative finding: redirected clients never re-appear with a
 /// follow-up request within `window_seconds`, implying the redirect target
 /// bypasses the logged proxies. Returns the number of redirects for which
 /// a same-user request to a *different* host follows within the window.
-std::uint64_t redirect_followups(const LogSource& source,
-                                 std::int64_t window_seconds = 2,
-                                 std::size_t threads = 1);
+std::uint64_t redirect_followups(
+    const LogSource& source, const RedirectFollowupOptions& options = {},
+    std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -1,12 +1,16 @@
 #include "analysis/scan.h"
 
 #include <algorithm>
+#include <fstream>
+#include <optional>
 #include <utility>
 
 namespace syrwatch::analysis {
 
 LogSource::TimeBounds LogSource::time_bounds(std::size_t threads) const {
   if (mask_) return {first_time_, last_time_};
+  if (stream_ != nullptr)
+    return {stream_->first_time(), stream_->last_time()};
   if (columnar_ == nullptr)
     return {dataset_->rows().front().time, dataset_->rows().back().time};
   struct Bounds {
@@ -107,10 +111,8 @@ LogSource LogSource::masked(
 
 LogSource LogSource::filtered(const std::function<bool(const Record&)>& keep,
                               std::size_t threads) const {
-  const std::uint64_t base_rows =
-      columnar_ != nullptr ? columnar_->rows() : dataset_->size();
   auto mask = std::make_shared<std::vector<std::uint8_t>>(
-      static_cast<std::size_t>(base_rows), std::uint8_t{0});
+      static_cast<std::size_t>(base_rows()), std::uint8_t{0});
   prepare(threads);
   // Each worker sets bits only at its own partition's ordinals, so the
   // writes never alias and the resulting mask is thread-count invariant.
@@ -121,6 +123,170 @@ LogSource LogSource::filtered(const std::function<bool(const Record&)>& keep,
     });
   });
   return masked(std::move(mask), threads);
+}
+
+std::string_view to_string(SourceOpenErrorCode code) noexcept {
+  switch (code) {
+    case SourceOpenErrorCode::kNotFound:
+      return "not found";
+    case SourceOpenErrorCode::kBadMagic:
+      return "bad magic";
+    case SourceOpenErrorCode::kUnsupportedVersion:
+      return "unsupported version";
+    case SourceOpenErrorCode::kTornTail:
+      return "torn tail";
+    case SourceOpenErrorCode::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void refuse(SourceOpenErrorCode code, const std::string& path,
+                         const std::string& detail) {
+  throw SourceOpenError(code, path + ": " + detail + " (" +
+                                   std::string{to_string(code)} + ")");
+}
+
+/// Last byte of the file, or nullopt for an empty/unreadable one.
+std::optional<char> last_byte(const std::string& path) {
+  std::ifstream in{path, std::ios::binary | std::ios::ate};
+  if (!in) return std::nullopt;
+  const std::streamoff size = in.tellg();
+  if (size <= 0) return std::nullopt;
+  in.seekg(size - 1);
+  char c = 0;
+  if (!in.get(c)) return std::nullopt;
+  return c;
+}
+
+void open_columnar(const std::string& path, const SourceOptions& options,
+                   OpenedSource& out, std::unique_ptr<ColumnarLog>& columnar,
+                   colfmt::RecoveryStats& recovery) {
+  // Classify the version before the strict open so an operator-facing
+  // "from a newer writer" refusal never reads as generic corruption. The
+  // version lives in the footer; a file too short for one (or with a
+  // damaged footer) falls through to the torn-tail/recovery logic below.
+  {
+    std::ifstream in{path, std::ios::binary | std::ios::ate};
+    const std::streamoff size = in ? static_cast<std::streamoff>(in.tellg())
+                                   : std::streamoff{0};
+    const auto footer_span =
+        static_cast<std::streamoff>(colfmt::kFooterBytes);
+    if (in && size >= footer_span + 8) {
+      char footer[colfmt::kFooterBytes];
+      in.seekg(size - footer_span);
+      if (in.read(footer, footer_span) &&
+          std::string_view(footer + 52, 8) == colfmt::kMagic) {
+        std::uint64_t version = 0;
+        for (int i = 7; i >= 0; --i)
+          version = (version << 8) |
+                    static_cast<unsigned char>(footer[40 + i]);
+        if (version != colfmt::kVersion)
+          refuse(SourceOpenErrorCode::kUnsupportedVersion, path,
+                 "container version " + std::to_string(version) +
+                     " (this build reads version " +
+                     std::to_string(colfmt::kVersion) + ")");
+      }
+    }
+  }
+  if (options.lenient) {
+    columnar = std::make_unique<ColumnarLog>(
+        colfmt::Reader::open_lenient(path, &recovery), options.threads);
+    return;
+  }
+  try {
+    columnar = std::make_unique<ColumnarLog>(colfmt::Reader::open(path),
+                                             options.threads);
+  } catch (const SourceOpenError&) {
+    throw;
+  } catch (const std::exception& error) {
+    // Distinguish a torn tail (recoverable: the damage is at the end,
+    // intact leading blocks survive a lenient probe) from deeper damage.
+    colfmt::RecoveryStats probe;
+    try {
+      (void)colfmt::Reader::open_lenient(path, &probe);
+    } catch (const std::exception&) {
+      refuse(SourceOpenErrorCode::kMalformed, path, error.what());
+    }
+    refuse(probe.truncated_tail ? SourceOpenErrorCode::kTornTail
+                                : SourceOpenErrorCode::kMalformed,
+           path, error.what());
+  }
+  (void)out;
+}
+
+void open_csv(const std::string& path, const SourceOptions& options,
+              std::unique_ptr<Dataset>& dataset,
+              proxy::LogReadStats& read_stats) {
+  std::ifstream in{path};
+  if (!in) refuse(SourceOpenErrorCode::kNotFound, path, "cannot open");
+  dataset = std::make_unique<Dataset>();
+  if (options.lenient) {
+    auto log = proxy::read_log_lenient(in);
+    read_stats = log.stats;
+    for (const auto& record : log.records) dataset->add(record);
+    dataset->finalize();
+    return;
+  }
+  // Strict: typed refusals instead of read_log's untyped throw. Writers
+  // in this codebase always end logs with a newline, so a missing one is
+  // the signature of a crash-truncated artifact — refuse it as a torn
+  // tail *before* parsing, pointing the operator at --lenient.
+  const auto tail = last_byte(path);
+  if (!tail.has_value())
+    refuse(SourceOpenErrorCode::kBadMagic, path, "empty file, no header");
+  if (*tail != '\n')
+    refuse(SourceOpenErrorCode::kTornTail, path,
+           "final line lacks a newline (truncated write?)");
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1) {
+      if (line != proxy::log_csv_header())
+        refuse(SourceOpenErrorCode::kBadMagic, path,
+               "first line is not the log CSV header");
+      continue;
+    }
+    proxy::ParseDiagnosis diagnosis;
+    const auto record = proxy::from_csv(line, &diagnosis);
+    if (!record.has_value())
+      refuse(SourceOpenErrorCode::kMalformed, path,
+             "line " + std::to_string(line_no) + ": " +
+                 std::string{proxy::to_string(diagnosis.error)});
+    dataset->add(*record);
+  }
+  if (line_no == 0)
+    refuse(SourceOpenErrorCode::kBadMagic, path, "empty file, no header");
+  dataset->finalize();
+}
+
+}  // namespace
+
+OpenedSource open_source(const std::string& path,
+                         const SourceOptions& options) {
+  if (options.format != "auto" && options.format != "csv" &&
+      options.format != "col")
+    throw std::invalid_argument(
+        "open_source: format must be auto, csv, or col (got \"" +
+        options.format + "\")");
+  OpenedSource out;
+  const bool exists = static_cast<bool>(std::ifstream{path});
+  if (!exists) refuse(SourceOpenErrorCode::kNotFound, path, "cannot open");
+  const bool is_col =
+      options.format == "col" ||
+      (options.format == "auto" && colfmt::file_looks_like_container(path));
+  if (is_col) {
+    if (options.format == "col" && !colfmt::file_looks_like_container(path))
+      refuse(SourceOpenErrorCode::kBadMagic, path,
+             "not a SYRCOL1 container");
+    open_columnar(path, options, out, out.columnar_, out.recovery_);
+    return out;
+  }
+  open_csv(path, options, out.dataset_, out.read_stats_);
+  return out;
 }
 
 }  // namespace syrwatch::analysis

@@ -4,26 +4,30 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "analysis/columnar.h"
 #include "analysis/dataset.h"
+#include "analysis/stream_buffer.h"
+#include "proxy/log_io.h"
 #include "util/parallel.h"
 
 namespace syrwatch::analysis {
 
 /// The unified scan layer (DESIGN.md §4.11). Every analyzer is written
-/// once against LogSource — a record cursor with two backends, the row
-/// Dataset and the mmap'd SYRCOL1 container (ColumnarLog) — and runs as a
-/// partitioned parallel scan: each worker fills a private Partial from one
-/// partition's records in row order, and the analyzer's fold merges the
-/// partials in partition order. Because folds are required to be
-/// partition-layout independent (columnar partitions are container blocks,
-/// dataset partitions are fixed row ranges) and to reproduce the
-/// sequential row scan's observable state, every analyzer's output is
-/// byte-identical across backends and thread counts.
+/// once against LogSource — a record cursor with three backends, the row
+/// Dataset, the mmap'd SYRCOL1 container (ColumnarLog), and the streaming
+/// StreamBuffer (§4.12) — and runs as a partitioned parallel scan: each
+/// worker fills a private Partial from one partition's records in row
+/// order, and the analyzer's fold merges the partials in partition order.
+/// Because folds are required to be partition-layout independent
+/// (columnar partitions are container blocks, dataset and stream
+/// partitions are fixed row ranges) and to reproduce the sequential row
+/// scan's observable state, every analyzer's output is byte-identical
+/// across backends and thread counts.
 
 /// One log record as the scan layer presents it: scalar columns plus
 /// zero-copy views into the backend's string storage (the Dataset's pool
@@ -82,15 +86,40 @@ class LogSource {
       : dataset_(&dataset), rows_(dataset.size()) {}
   LogSource(const ColumnarLog& log)  // NOLINT(google-explicit-constructor)
       : columnar_(&log), rows_(log.rows()) {}
+  LogSource(const StreamBuffer& buf)  // NOLINT(google-explicit-constructor)
+      : stream_(&buf), rows_(buf.size()) {}
 
   /// Records this source yields (after any mask).
   std::uint64_t rows() const noexcept { return rows_; }
+
+  /// Records of the *underlying backend*, before any mask — the ordinal
+  /// space Record::ordinal and masks index, and scan_increment's
+  /// high-water domain. For the streaming backend this is live (the
+  /// buffer may have grown since this view was constructed).
+  std::uint64_t base_rows() const noexcept {
+    if (columnar_ != nullptr) return columnar_->rows();
+    if (stream_ != nullptr) return stream_->size();
+    return dataset_->size();
+  }
 
   /// Scan partitions. Contiguous, in row order; a masked source keeps its
   /// base's partition layout and simply yields fewer records.
   std::size_t partitions() const noexcept {
     if (columnar_ != nullptr) return columnar_->block_count();
-    return (dataset_->size() + kRowsPerPartition - 1) / kRowsPerPartition;
+    const std::size_t n =
+        stream_ != nullptr ? stream_->size() : dataset_->size();
+    return (n + kRowsPerPartition - 1) / kRowsPerPartition;
+  }
+
+  /// One past the last base ordinal partition `p` covers — the bound
+  /// scan_increment uses to skip fully-consumed partitions.
+  std::uint64_t partition_base_end(std::size_t p) const noexcept {
+    if (columnar_ != nullptr) {
+      const colfmt::BlockInfo& b = columnar_->reader().blocks()[p];
+      return b.row_base + b.rows;
+    }
+    const std::uint64_t end = (p + 1) * kRowsPerPartition;
+    return std::min<std::uint64_t>(end, base_rows());
   }
 
   /// True min/max record timestamps. Precondition: rows() > 0. The
@@ -120,8 +149,8 @@ class LogSource {
                    std::size_t threads = 1) const;
 
   /// Makes a subsequent multi-threaded scan safe: warms the Dataset
-  /// backend's lazy caches (no-op when already warm, or columnar — its
-  /// per-dictionary tables are immutable after construction).
+  /// backend's lazy caches (no-op when already warm, or columnar /
+  /// stream — their per-id tables are resolved eagerly).
   void prepare(std::size_t threads) const {
     if (threads > 1 && dataset_ != nullptr && !dataset_->warmed())
       dataset_->warm_domain_cache();
@@ -141,6 +170,17 @@ class LogSource {
         if (mask_ && (*mask_)[static_cast<std::size_t>(ordinal)] == 0)
           continue;
         fn(from_block(block, r, ordinal));
+      }
+      return;
+    }
+    if (stream_ != nullptr) {
+      const auto& rows = stream_->rows();
+      const std::size_t begin = p * kRowsPerPartition;
+      const std::size_t end =
+          std::min(rows.size(), begin + kRowsPerPartition);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (mask_ && (*mask_)[i] == 0) continue;
+        fn(from_stream_row(rows[i], i));
       }
       return;
     }
@@ -214,8 +254,38 @@ class LogSource {
     return r;
   }
 
+  Record from_stream_row(const Row& row, std::uint64_t ordinal) const {
+    const StreamBuffer& s = *stream_;
+    Record r;
+    r.ordinal = ordinal;
+    r.time = row.time;
+    r.user_hash = row.user_hash;
+    r.method = s.view(row.method);
+    r.host = s.view(row.host);
+    r.path = s.view(row.path);
+    r.query = s.view(row.query);
+    r.agent = s.view(row.agent);
+    r.categories = s.view(row.categories);
+    r.domain = s.domain(row);
+    r.host_id = row.host;
+    r.agent_id = row.agent;
+    r.dest_ip = row.dest_ip;
+    r.host_is_ip = s.host_is_ip(row);
+    r.host_ip = r.host_is_ip ? s.host_ip(row) : 0;
+    r.port = row.port;
+    r.status = row.status;
+    r.proxy_index = row.proxy_index;
+    r.scheme = row.scheme;
+    r.result = row.result;
+    r.exception = row.exception;
+    r.cls = s.cls(row);
+    r.has_dest_ip = row.has_dest_ip;
+    return r;
+  }
+
   const Dataset* dataset_ = nullptr;
   const ColumnarLog* columnar_ = nullptr;
+  const StreamBuffer* stream_ = nullptr;
   /// Base-ordinal keep mask of a derived view; null = all records.
   std::shared_ptr<const std::vector<std::uint8_t>> mask_;
   std::uint64_t rows_ = 0;
@@ -252,5 +322,104 @@ auto parallel_scan(const LogSource& source, std::size_t threads,
                    const Scan& scan, Fold&& fold) {
   return fold(scan_partials<Partial>(source, threads, scan));
 }
+
+/// The incremental-emission API beside scan_partials (DESIGN.md §4.12):
+/// invokes `fn(const Record&)` for every record whose *base ordinal* is
+/// in [from, base_rows()), in row order, and returns the new high-water
+/// mark. Feeding a growing source (the streaming backend between polls,
+/// or any backend being replayed into a streaming analyzer) is then
+///
+///   hw = scan_increment(source, hw, [&](const Record& r) { ... });
+///
+/// Emission is sequential by design — streaming consumers are
+/// order-dependent (reservoirs, saturated sketches) — and visits masked
+/// sources' surviving records only, though the returned mark always
+/// advances over the full base ordinal space.
+template <typename Fn>
+std::uint64_t scan_increment(const LogSource& source, std::uint64_t from,
+                             Fn&& fn) {
+  const std::uint64_t end = source.base_rows();
+  if (from >= end) return end;
+  const std::size_t parts = source.partitions();
+  for (std::size_t p = 0; p < parts; ++p) {
+    if (source.partition_base_end(p) <= from) continue;
+    source.scan_partition(p, [&](const Record& r) {
+      if (r.ordinal >= from) fn(r);
+    });
+  }
+  return end;
+}
+
+/// Why open_source refused an input.
+enum class SourceOpenErrorCode : std::uint8_t {
+  kNotFound,            ///< path missing or unreadable
+  kBadMagic,            ///< neither a SYRCOL1 container nor a CSV log
+  kUnsupportedVersion,  ///< container magic with an unknown version
+  kTornTail,            ///< file ends mid-record (strict mode refuses)
+  kMalformed,           ///< a record failed validation (strict mode)
+};
+
+std::string_view to_string(SourceOpenErrorCode code) noexcept;
+
+/// Typed failure from open_source: what() carries the path and detail,
+/// code() the machine-readable reason (the CLI maps kTornTail to "re-run
+/// with --lenient", tests assert on it).
+class SourceOpenError : public std::runtime_error {
+ public:
+  SourceOpenError(SourceOpenErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  SourceOpenErrorCode code() const noexcept { return code_; }
+
+ private:
+  SourceOpenErrorCode code_;
+};
+
+struct SourceOptions {
+  /// "auto" (sniff the first bytes), "csv", or "col".
+  std::string format = "auto";
+  /// Recover damaged inputs (torn tails truncated, malformed rows
+  /// skipped and tallied) instead of throwing.
+  bool lenient = false;
+  /// Parallelizes the columnar dictionary precomputation (identical
+  /// result for any value).
+  std::size_t threads = 1;
+};
+
+/// An on-disk log opened for analysis: whichever backend the bytes
+/// called for (row Dataset for CSV, mmap'd ColumnarLog for SYRCOL1),
+/// plus the recovery stats a lenient open produced. LogSource views
+/// handed to analyzers stay valid as long as this object lives.
+class OpenedSource {
+ public:
+  LogSource source() const {
+    return columnar_ ? LogSource{*columnar_} : LogSource{*dataset_};
+  }
+  std::uint64_t rows() const { return source().rows(); }
+  bool is_columnar() const noexcept { return columnar_ != nullptr; }
+  /// The container backend; only valid when is_columnar().
+  const ColumnarLog& columnar() const { return *columnar_; }
+  /// CSV lenient-parse stats (zeroed for containers / strict opens).
+  const proxy::LogReadStats& read_stats() const noexcept {
+    return read_stats_;
+  }
+  /// Container lenient-recovery stats (zeroed for CSV / strict opens).
+  const colfmt::RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+
+ private:
+  friend OpenedSource open_source(const std::string&, const SourceOptions&);
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<ColumnarLog> columnar_;
+  proxy::LogReadStats read_stats_;
+  colfmt::RecoveryStats recovery_{};
+};
+
+/// The one format-sniffing open path every consumer shares — promoted
+/// from syrwatchctl's tool-local loader. Throws SourceOpenError with a
+/// typed code on refusal (std::invalid_argument for a bad
+/// SourceOptions::format value).
+OpenedSource open_source(const std::string& path,
+                         const SourceOptions& options = {});
 
 }  // namespace syrwatch::analysis

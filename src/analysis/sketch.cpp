@@ -1,0 +1,158 @@
+#include "analysis/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/checksum.h"
+
+namespace syrwatch::analysis {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument("SpaceSaving: capacity must be positive");
+  // Reserving up front keeps Entry::key storage stable, so the
+  // string_view keys in index_ never dangle.
+  entries_.reserve(capacity_);
+  heap_.reserve(capacity_);
+  pos_.reserve(capacity_);
+  index_.reserve(capacity_ * 2);
+}
+
+bool SpaceSaving::less(std::uint32_t a, std::uint32_t b) const noexcept {
+  const Entry& ea = entries_[a];
+  const Entry& eb = entries_[b];
+  if (ea.count != eb.count) return ea.count < eb.count;
+  return ea.tick < eb.tick;  // ticks are unique: a strict total order
+}
+
+void SpaceSaving::sift_up(std::size_t slot) {
+  while (slot > 0) {
+    const std::size_t parent = (slot - 1) / 2;
+    if (!less(heap_[slot], heap_[parent])) break;
+    std::swap(heap_[slot], heap_[parent]);
+    pos_[heap_[slot]] = static_cast<std::uint32_t>(slot);
+    pos_[heap_[parent]] = static_cast<std::uint32_t>(parent);
+    slot = parent;
+  }
+}
+
+void SpaceSaving::sift_down(std::size_t slot) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = slot;
+    const std::size_t left = 2 * slot + 1;
+    const std::size_t right = left + 1;
+    if (left < n && less(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && less(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == slot) break;
+    std::swap(heap_[slot], heap_[smallest]);
+    pos_[heap_[slot]] = static_cast<std::uint32_t>(slot);
+    pos_[heap_[smallest]] = static_cast<std::uint32_t>(smallest);
+    slot = smallest;
+  }
+}
+
+void SpaceSaving::update(std::string_view key, std::uint64_t weight) {
+  total_ += weight;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    e.count += weight;
+    e.tick = ++tick_;
+    sift_down(pos_[it->second]);  // count only grows
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    const auto idx = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back(Entry{std::string{key}, weight, 0, ++tick_});
+    pos_.push_back(static_cast<std::uint32_t>(heap_.size()));
+    heap_.push_back(idx);
+    index_.emplace(entries_[idx].key, idx);
+    sift_up(pos_[idx]);
+    return;
+  }
+  // Saturated: the deterministic minimum inherits its count as the new
+  // key's error bound.
+  evicted_ = true;
+  const std::uint32_t victim = heap_[0];
+  Entry& e = entries_[victim];
+  index_.erase(e.key);
+  const std::uint64_t inherited = e.count;
+  e.key.assign(key);
+  e.count = inherited + weight;
+  e.error = inherited;
+  e.tick = ++tick_;
+  index_.emplace(e.key, victim);
+  sift_down(0);
+}
+
+std::vector<SpaceSaving::Item> SpaceSaving::top(std::size_t k) const {
+  std::vector<Item> items;
+  items.reserve(entries_.size());
+  for (const Entry& e : entries_)
+    items.push_back(Item{e.key, e.count, e.error});
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;  // the exact analyzers' tie-break
+  });
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+std::uint64_t SpaceSaving::min_count() const noexcept {
+  if (!evicted_) return 0;  // exact regime: untracked keys never occurred
+  return heap_.empty() ? 0 : entries_[heap_[0]].count;
+}
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth) {
+  if (width_ == 0 || depth_ == 0)
+    throw std::invalid_argument("CountMinSketch: width/depth must be positive");
+  rows_.assign(width_ * depth_, 0);
+  seeds_.reserve(depth_);
+  for (std::size_t i = 0; i < depth_; ++i)
+    seeds_.push_back(util::mix64(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
+}
+
+std::size_t CountMinSketch::bucket(std::size_t row,
+                                   std::string_view key) const noexcept {
+  const std::uint64_t h = util::mix64(util::fnv1a64(key) ^ seeds_[row]);
+  return static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::update(std::string_view key, std::uint64_t weight) {
+  total_ += weight;
+  for (std::size_t row = 0; row < depth_; ++row)
+    rows_[row * width_ + bucket(row, key)] += weight;
+}
+
+std::uint64_t CountMinSketch::estimate(std::string_view key) const {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t row = 0; row < depth_; ++row)
+    best = std::min(best, rows_[row * width_ + bucket(row, key)]);
+  return best;
+}
+
+double CountMinSketch::epsilon() const noexcept {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+double CountMinSketch::delta() const noexcept {
+  return std::exp(-static_cast<double>(depth_));
+}
+
+double CountMinSketch::error_bound() const noexcept {
+  return epsilon() * static_cast<double>(total_);
+}
+
+double CountMinSketch::fill() const noexcept {
+  std::size_t nonzero = 0;
+  for (const std::uint64_t c : rows_) nonzero += c != 0 ? 1 : 0;
+  return rows_.empty() ? 0.0
+                       : static_cast<double>(nonzero) /
+                             static_cast<double>(rows_.size());
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,90 @@
+#include "analysis/stream.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace syrwatch::analysis {
+
+namespace {
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+}  // namespace
+
+void SpoolTail::resume_at(std::uint64_t offset) {
+  if (polled_)
+    throw std::logic_error("SpoolTail::resume_at after the first poll");
+  consumed_ = offset;
+  // The header is the first line of the file; a resumed tail positioned
+  // past byte 0 will only ever see record lines.
+  expect_header_ = offset == 0;
+}
+
+void SpoolTail::consume_line(
+    std::string&& line,
+    const std::function<void(const proxy::LogRecord&)>& sink,
+    std::size_t& delivered) {
+  ++stats_.lines;
+  strip_cr(line);
+  if (expect_header_) {
+    expect_header_ = false;
+    if (line == proxy::log_csv_header()) {
+      stats_.header_present = true;
+      return;
+    }
+    // Headerless spool: fall through and try the line as data, exactly
+    // like read_log_lenient.
+  }
+  if (line.empty()) {
+    ++stats_.empty_lines;
+    return;
+  }
+  ++stats_.data_lines;
+  proxy::ParseDiagnosis diagnosis;
+  if (auto record = proxy::from_csv(line, &diagnosis)) {
+    ++stats_.recovered;
+    sink(*record);
+    ++delivered;
+    return;
+  }
+  const auto reason = static_cast<std::size_t>(diagnosis.error);
+  ++stats_.skipped[reason];
+  if (stats_.first_error_line[reason] == 0)
+    stats_.first_error_line[reason] = stats_.lines;
+}
+
+std::size_t SpoolTail::poll(
+    const std::function<void(const proxy::LogRecord&)>& sink) {
+  polled_ = true;
+  std::ifstream in{path_, std::ios::binary};
+  if (!in) return 0;  // spool not created yet
+  in.seekg(static_cast<std::streamoff>(consumed_));
+  if (!in) return 0;
+
+  std::size_t delivered = 0;
+  char chunk[64 * 1024];
+  for (;;) {
+    in.read(chunk, sizeof(chunk));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    consumed_ += got;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      if (chunk[i] != '\n') continue;
+      pending_.append(chunk + start, i - start);
+      consume_line(std::move(pending_), sink, delivered);
+      pending_.clear();
+      start = i + 1;
+    }
+    pending_.append(chunk + start, got - start);
+    if (!in) break;  // EOF mid-chunk
+  }
+  // Whatever is left in pending_ is the torn-tail candidate: it stays
+  // buffered until a later append completes the line.
+  return delivered;
+}
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "analysis/scan.h"
+#include "analysis/stream_buffer.h"
+#include "proxy/log_io.h"
+
+namespace syrwatch::analysis {
+
+/// Incremental consumption of the durable layer's CSV spool (DESIGN.md
+/// §4.8): the spool is the run's write-ahead log — header + record lines,
+/// append-only, flushed per batch — so tailing it is how the online mode
+/// observes a run in flight (§4.12).
+///
+/// The tailing contract:
+///  - poll() reads bytes appended since the last poll and parses every
+///    *complete* line (ending in '\n'). Bytes after the last newline are
+///    the torn-tail candidate — a write may land mid-line between polls —
+///    and are buffered, never parsed, until a later poll completes them.
+///    A crash that leaves the tail torn forever simply leaves those bytes
+///    pending; everything durable before them was already delivered.
+///  - offset() is always a line boundary: the byte offset of the first
+///    unconsumed complete line (equivalently, the start of the pending
+///    partial line). Construct-and-resume_at(offset()) on a fresh tail
+///    replays nothing and misses nothing — byte-identical to having
+///    cold-tailed the whole file (the resume contract tests assert).
+///  - Malformed lines are skipped and tallied exactly like
+///    proxy::read_log_lenient tallies them (stats()), so a damaged spool
+///    degrades identically online and offline.
+class SpoolTail {
+ public:
+  explicit SpoolTail(std::string path) : path_(std::move(path)) {}
+
+  /// Drains newly appended complete lines into `sink`. Returns the
+  /// record count delivered. A missing file is not an error (the run may
+  /// not have created the spool yet): the poll simply delivers nothing.
+  std::size_t poll(const std::function<void(const proxy::LogRecord&)>& sink);
+
+  /// Resume point: consumed bytes up to the last complete line.
+  std::uint64_t offset() const noexcept {
+    return consumed_ - pending_.size();
+  }
+  /// Bytes consumed including the pending partial line.
+  std::uint64_t consumed_bytes() const noexcept { return consumed_; }
+  /// Size of the pending (torn-tail candidate) fragment.
+  std::size_t pending_bytes() const noexcept { return pending_.size(); }
+
+  /// Starts tailing at `offset` — which must be a line boundary offset a
+  /// previous tail's offset() reported (0 = the file start). Only valid
+  /// before the first poll().
+  void resume_at(std::uint64_t offset);
+
+  const proxy::LogReadStats& stats() const noexcept { return stats_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void consume_line(std::string&& line,
+                    const std::function<void(const proxy::LogRecord&)>& sink,
+                    std::size_t& delivered);
+
+  std::string path_;
+  std::uint64_t consumed_ = 0;  // bytes read from the file so far
+  std::string pending_;         // bytes after the last '\n'
+  proxy::LogReadStats stats_;
+  bool polled_ = false;
+  bool expect_header_ = true;  // next complete line may be the header
+};
+
+/// SpoolTail + StreamBuffer glued together: the streaming LogSource
+/// backend. Each poll() drains newly committed spool records into the
+/// buffer; source() is a fresh LogSource view over everything ingested so
+/// far, and scan_increment(source(), hw, fn) feeds analyzers only the
+/// records new since their last high-water mark.
+class StreamSource {
+ public:
+  explicit StreamSource(std::string spool_path)
+      : tail_(std::move(spool_path)) {}
+
+  /// Drains the tail. Returns records appended to the buffer.
+  std::size_t poll() {
+    return tail_.poll(
+        [this](const proxy::LogRecord& record) { buffer_.add(record); });
+  }
+
+  LogSource source() const { return LogSource{buffer_}; }
+  const StreamBuffer& buffer() const noexcept { return buffer_; }
+  SpoolTail& tail() noexcept { return tail_; }
+  const SpoolTail& tail() const noexcept { return tail_; }
+
+ private:
+  SpoolTail tail_;
+  StreamBuffer buffer_;
+};
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "net/domain.h"
+#include "net/ipv4.h"
+#include "proxy/log_record.h"
+#include "util/string_pool.h"
+
+namespace syrwatch::analysis {
+
+/// The streaming backend's row store (DESIGN.md §4.12): an append-only,
+/// *arrival-order* Row vector over a shared StringPool — the in-memory
+/// shape a spool tail accumulates into. Unlike Dataset it never sorts
+/// (the stream is consumed in WAL order, and incremental ordinals must be
+/// stable), and unlike Dataset's lazy caches its per-host derived values
+/// (registrable domain, IPv4 parse) resolve *eagerly at add()*, so scans
+/// of already-ingested rows are pure reads at any thread count with no
+/// warm-up step.
+///
+/// Concurrency contract: add() and scans must not overlap. The intended
+/// driver is a single poll loop — drain the tail, then scan; analyzers
+/// may parallelize each scan freely (reads only).
+class StreamBuffer {
+ public:
+  StreamBuffer() : pool_(std::make_shared<util::StringPool>()) {
+    // Id 0 = "" is pre-interned by the pool.
+    domain_by_host_.push_back(util::StringPool::kEmpty);
+    ip_state_.push_back(1);  // "" is not an IP
+    ip_by_host_.push_back(0);
+  }
+
+  void add(const proxy::LogRecord& record) {
+    Row row;
+    row.time = record.time;
+    row.user_hash = record.user_hash;
+    row.host = pool_->intern(record.url.host);
+    row.path = pool_->intern(record.url.path);
+    row.query = pool_->intern(record.url.query);
+    row.agent = pool_->intern(record.user_agent);
+    row.categories = pool_->intern(record.categories);
+    row.method = pool_->intern(record.method);
+    if (record.dest_ip) {
+      row.dest_ip = record.dest_ip->value();
+      row.has_dest_ip = true;
+    }
+    row.port = record.url.port;
+    row.status = record.status;
+    row.proxy_index = record.proxy_index;
+    row.scheme = record.url.scheme;
+    row.result = record.filter_result;
+    row.exception = record.exception;
+    resolve_host(row.host);
+    if (rows_.empty() || row.time < first_time_) first_time_ = row.time;
+    if (rows_.empty() || row.time > last_time_) last_time_ = row.time;
+    rows_.push_back(row);
+  }
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  const std::vector<Row>& rows() const noexcept { return rows_; }
+  const std::shared_ptr<util::StringPool>& pool() const noexcept {
+    return pool_;
+  }
+
+  std::string_view view(util::StringPool::Id id) const {
+    return pool_->view(id);
+  }
+  std::string_view domain(const Row& row) const {
+    return pool_->view(domain_by_host_[row.host]);
+  }
+  bool host_is_ip(const Row& row) const noexcept {
+    return ip_state_[row.host] == 2;
+  }
+  std::uint32_t host_ip(const Row& row) const noexcept {
+    return ip_by_host_[row.host];
+  }
+
+  /// §3.3 class of the row — Dataset::cls.
+  proxy::TrafficClass cls(const Row& row) const noexcept {
+    if (row.result == proxy::FilterResult::kProxied)
+      return proxy::TrafficClass::kProxied;
+    return proxy::classify_by_exception(row.result, row.exception);
+  }
+
+  /// Min/max timestamps over everything ingested so far, tracked at
+  /// add() — the stream is only approximately time-ordered (WAL order),
+  /// so first_time() can move backwards across polls. Meaningless while
+  /// empty.
+  std::int64_t first_time() const noexcept { return first_time_; }
+  std::int64_t last_time() const noexcept { return last_time_; }
+
+ private:
+  void resolve_host(util::StringPool::Id host) {
+    if (host < domain_by_host_.size()) return;  // seen before
+    // Pool ids are dense and issued in order, so at most one new host
+    // per add() — but interning path/query/etc. may have minted ids
+    // between hosts; fill every gap so indexing stays O(1).
+    while (domain_by_host_.size() < pool_->size()) {
+      const auto id =
+          static_cast<util::StringPool::Id>(domain_by_host_.size());
+      const std::string_view s = pool_->view(id);
+      domain_by_host_.push_back(pool_->intern(net::registrable_domain(s)));
+      if (const auto ip = net::Ipv4Addr::parse(s)) {
+        ip_state_.push_back(2);
+        ip_by_host_.push_back(ip->value());
+      } else {
+        ip_state_.push_back(1);
+        ip_by_host_.push_back(0);
+      }
+    }
+  }
+
+  std::shared_ptr<util::StringPool> pool_;
+  std::vector<Row> rows_;
+  // pool id -> derived values, resolved eagerly (indexed by *any* pool
+  // id; only host ids are ever queried).
+  std::vector<util::StringPool::Id> domain_by_host_;
+  std::vector<std::uint8_t> ip_state_;  // 1 = not an ip, 2 = ip
+  std::vector<std::uint32_t> ip_by_host_;
+  std::int64_t first_time_ = 0;
+  std::int64_t last_time_ = 0;
+};
+
+}  // namespace syrwatch::analysis

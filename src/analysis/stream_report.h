@@ -1,0 +1,217 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/coverage.h"
+#include "analysis/options.h"
+#include "analysis/scan.h"
+#include "analysis/sketch.h"
+#include "obs/context.h"
+#include "policy/syria.h"
+#include "tor/relay_directory.h"
+#include "util/stats.h"
+
+namespace syrwatch::analysis {
+
+/// The online analysis mode's driver (DESIGN.md §4.12): one StreamAnalyzer
+/// ingests records incrementally (fed through scan_increment) and can
+/// render a rolling report at any moment. Every analyzer family the
+/// offline report computes exactly has a bounded-memory streaming
+/// counterpart here, each annotated [APPROX] with its stated error bound:
+///
+///   top censored domains    SpaceSaving    count ≤ truth + item.error
+///   censored keyword table  SpaceSaving    over censored URL tokens
+///   per-category counts     Count-Min      ≤ truth + ε·N, P ≥ 1 − δ
+///   Dsample                 Reservoir      exact uniform k-of-n
+///   traffic / RCV series    WindowRing     exact within the window
+///   request coverage        WindowRing     exact within the window
+///   Rfilter                 WindowRing     exact within the window
+///
+/// Whole-log-window exactness: when the window spans the entire log and
+/// no sketch saturated, every figure equals the exact analyzer's output
+/// byte for byte (the replay tests assert this).
+struct StreamReportOptions {
+  /// SpaceSaving counters per table. While distinct keys fit, the tables
+  /// are exact.
+  std::size_t top_capacity = 1024;
+  std::size_t top_k = 10;
+  /// Count-Min geometry: ε = e/width, δ = e^-depth.
+  std::size_t cm_width = 2048;
+  std::size_t cm_depth = 4;
+  std::uint64_t cm_seed = 0;
+  /// Reservoir (streaming Dsample) size and draw seed.
+  std::size_t reservoir_k = 1024;
+  std::uint64_t sample_seed = 42;
+  /// Sliding-window geometry shared by the series/coverage/Rfilter rings.
+  BinSpec bin{300};
+  std::size_t window_bins = 288;  // 24 h of 5-minute bins
+  /// Coverage gap gate, as in CoverageOptions.
+  std::uint64_t min_farm_bin_requests = 25;
+  /// Rfilter scope: the Tor-censoring proxy, restricted to relay
+  /// endpoints when a directory is supplied (tor_endpoint matching);
+  /// without one, all direct-to-IP requests on the proxy count.
+  std::size_t rfilter_proxy = policy::kTorCensorProxy;
+  const tor::RelayDirectory* relays = nullptr;
+  /// Censored-URL keyword tokens shorter than this are noise.
+  std::size_t min_token_length = 4;
+};
+
+/// One point-in-time rendering of the stream's state. Everything needed
+/// to print or serialize the report (including each sketch's error
+/// regime) is materialized here, so render/serialization are pure.
+struct RollingReport {
+  std::uint64_t records = 0;
+  std::int64_t first_time = 0;
+  std::int64_t last_time = 0;
+  /// §3.3 class totals over everything ingested (exact).
+  std::array<std::uint64_t, 4> class_totals{};
+
+  struct TopEntry {
+    std::string key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;  // 0 in the exact regime
+  };
+  std::vector<TopEntry> top_censored_domains;
+  bool domains_exact = true;
+  std::uint64_t domains_error_bound = 0;  // max over-estimate of any entry
+  std::vector<TopEntry> censored_keywords;
+  bool keywords_exact = true;
+  std::uint64_t keywords_error_bound = 0;
+
+  struct CategoryEstimate {
+    std::string label;  // cs-categories as the proxies log it
+    std::uint64_t estimate = 0;
+  };
+  /// Censored requests per proxy-logged category label (ranked estimate
+  /// desc, label asc). Estimates over-count by at most category_error
+  /// with probability ≥ 1 − category_delta.
+  std::vector<CategoryEstimate> categories;
+  std::uint64_t category_total = 0;
+  double category_epsilon = 0.0;
+  double category_delta = 0.0;
+  double category_error = 0.0;  // ε·N in requests
+
+  /// Streaming Dsample: k-of-n uniform reservoir.
+  std::uint64_t sample_seen = 0;
+  std::uint64_t sample_size = 0;
+  std::uint64_t sample_censored = 0;
+  /// Wilson 95% interval for the censored share, estimated from the
+  /// sample — the streaming stand-in for Dsample's table row.
+  util::ProportionInterval sample_censored_share{};
+
+  /// Sliding-window series (exact within the window). origin = start of
+  /// the oldest retained bin; vectors run oldest → newest.
+  std::int64_t window_origin = 0;
+  std::int64_t bin_seconds = 0;
+  std::size_t window_capacity_bins = 0;
+  std::uint64_t window_evicted_bins = 0;
+  std::uint64_t window_late_drops = 0;
+  std::vector<std::uint64_t> censored_series;
+  std::vector<std::uint64_t> allowed_series;
+  std::vector<std::uint64_t> total_series;
+  std::vector<double> rcv;  // censored/total per bin, 0 for empty bins
+
+  /// Windowed request coverage (same gap semantics as request_coverage).
+  std::uint64_t coverage_active_bins = 0;
+  std::array<std::uint64_t, policy::kProxyCount> covered_bins{};
+  std::vector<CoverageGap> gaps;
+
+  /// Windowed Rfilter over the scoped proxy (see
+  /// StreamReportOptions::rfilter_proxy/relays). The censored set is
+  /// everything censored *so far* — at whole-log replay it equals the
+  /// exact analyzer's unwindowed set.
+  std::vector<double> rfilter;
+  std::vector<std::uint8_t> rfilter_has_traffic;
+  std::uint64_t censored_relay_count = 0;
+
+  /// Spool-tail health, filled in by the watch driver (0/false when the
+  /// report is driven from a complete file).
+  std::uint64_t spool_offset = 0;
+  std::uint64_t spool_pending_bytes = 0;
+  std::uint64_t spool_skipped_lines = 0;
+};
+
+/// The incremental analyzer. Feed it records in stream order:
+///
+///   hw = scan_increment(stream.source(), hw,
+///                       [&](const Record& r) { analyzer.ingest(r); });
+///
+/// then snapshot() at every reporting interval. Deterministic: identical
+/// record sequences produce identical reports, so a replayed complete log
+/// reproduces a live tail bit-for-bit.
+class StreamAnalyzer {
+ public:
+  explicit StreamAnalyzer(const StreamReportOptions& options = {},
+                          obs::Context* obs = nullptr);
+
+  void ingest(const Record& r);
+  std::uint64_t records() const noexcept { return records_; }
+
+  /// Assembles the rolling report and refreshes the obs gauges
+  /// (stream.* fill/evicted levels).
+  RollingReport snapshot();
+
+  const StreamReportOptions& options() const noexcept { return options_; }
+
+ private:
+  struct TrafficBin {
+    std::uint64_t censored = 0;
+    std::uint64_t allowed = 0;
+    std::uint64_t total = 0;
+  };
+  struct CoverageBin {
+    std::array<std::uint64_t, policy::kProxyCount> by_proxy{};
+    std::uint64_t total = 0;
+  };
+  struct RfilterBin {
+    std::unordered_set<std::uint32_t> allowed_ips;
+    bool has_traffic = false;
+  };
+  struct SampleItem {
+    std::uint64_t ordinal = 0;
+    proxy::TrafficClass cls = proxy::TrafficClass::kAllowed;
+  };
+
+  bool rfilter_scoped(const Record& r) const;
+
+  StreamReportOptions options_;
+  std::uint64_t records_ = 0;
+  std::int64_t first_time_ = 0;
+  std::int64_t last_time_ = 0;
+  std::array<std::uint64_t, 4> class_totals_{};
+
+  SpaceSaving top_domains_;
+  SpaceSaving keywords_;
+  CountMinSketch categories_;
+  /// The proxies log a fixed label vocabulary (§5.2), so tracking the
+  /// observed labels exactly is bounded; Count-Min carries the counts.
+  std::vector<std::string> category_labels_;   // first-sight order
+  std::unordered_set<std::string> label_seen_;
+  Reservoir<SampleItem> sample_;
+  WindowRing<TrafficBin> traffic_;
+  WindowRing<CoverageBin> coverage_;
+  WindowRing<RfilterBin> rfilter_;
+  std::unordered_set<std::uint32_t> censored_relay_ips_;
+
+  obs::Counter* records_counter_ = nullptr;
+  obs::Counter* late_counter_ = nullptr;
+  obs::Gauge* domains_fill_ = nullptr;
+  obs::Gauge* keywords_fill_ = nullptr;
+  obs::Gauge* cm_fill_ = nullptr;
+  obs::Gauge* window_fill_ = nullptr;
+  obs::Gauge* window_evicted_ = nullptr;
+  obs::Gauge* reservoir_seen_ = nullptr;
+};
+
+/// Text rendering with [APPROX] annotations and the stated bounds.
+std::string render_stream_report(const RollingReport& report);
+
+/// JSON document ("syrwatch.stream.v1") for dashboards / the CI smoke
+/// leg. Deterministic key order.
+std::string stream_report_json(const RollingReport& report);
+
+}  // namespace syrwatch::analysis

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "analysis/columnar.h"
+#include "analysis/dataset.h"
+#include "colfmt/container.h"
+
+namespace syrwatch::analysis {
+
+/// Materializes a container into a row Dataset (decode -> LogRecord ->
+/// add, then finalize), producing exactly the Dataset the same log's CSV
+/// would. Test-only bridge: every analyzer runs natively on the container
+/// through analysis::LogSource, so nothing on the report or CLI hot path
+/// may call this — it lives under testing/ for differential tests and the
+/// bridge benchmarks, and is deliberately absent from the public
+/// columnar.h surface.
+Dataset to_dataset_compat(const colfmt::Reader& reader);
+
+}  // namespace syrwatch::analysis

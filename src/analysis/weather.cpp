@@ -27,8 +27,10 @@ std::size_t KeywordWeather::fully_enforced_bins() const {
 
 std::vector<KeywordWeather> keyword_weather(
     const LogSource& source, std::span<const std::string> keywords,
-    std::int64_t start, std::int64_t end, std::int64_t bin_seconds,
-    std::size_t threads) {
+    const WeatherOptions& options, std::size_t threads) {
+  const std::int64_t start = options.range.start;
+  const std::int64_t end = options.range.end;
+  const std::int64_t bin_seconds = options.bin.seconds;
   if (end <= start || bin_seconds <= 0)
     throw std::invalid_argument("keyword_weather: bad window");
   const auto bins = static_cast<std::size_t>(

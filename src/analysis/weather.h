@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/options.h"
 #include "analysis/scan.h"
 
 namespace syrwatch::analysis {
@@ -37,7 +38,6 @@ struct KeywordWeather {
 /// filter itself.
 std::vector<KeywordWeather> keyword_weather(
     const LogSource& source, std::span<const std::string> keywords,
-    std::int64_t start, std::int64_t end, std::int64_t bin_seconds = 3600,
-    std::size_t threads = 1);
+    const WeatherOptions& options, std::size_t threads = 1);
 
 }  // namespace syrwatch::analysis

@@ -19,7 +19,6 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::string_view kStateFile = "farm_state.bin";
-constexpr std::string_view kSpoolFile = "log_spool.csv";
 constexpr std::string_view kKeysFile = "merge_keys.bin";
 
 void append_key_le(std::string& out, std::uint64_t key) {

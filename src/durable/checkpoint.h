@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "durable/manifest.h"
 #include "util/atomic_io.h"
@@ -35,6 +36,11 @@ namespace syrwatch::durable {
 /// fixed batch order). On completion the spool *is* the finished log:
 /// `finalize_output` promotes it to the operator's --out path by rename
 /// (same filesystem — zero copy) or verified streaming copy.
+
+/// Spool file name inside a checkpoint directory. Public so tail
+/// consumers (`syrwatchctl watch DIR`) can resolve DIR -> DIR/log_spool.csv
+/// without duplicating the literal.
+inline constexpr std::string_view kSpoolFile = "log_spool.csv";
 
 /// 16-hex fnv1a64 over the canonical rendering of every semantic
 /// ScenarioConfig field. `threads` is deliberately excluded (resume at a

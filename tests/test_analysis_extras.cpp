@@ -399,7 +399,7 @@ TEST(Weather, TracksPerBinIntensity) {
 
   const std::vector<std::string> keywords{"proxy"};
   const auto reports =
-      analysis::keyword_weather(dataset, keywords, kT0, kT0 + 3 * 3600);
+      analysis::keyword_weather(dataset, keywords, {{kT0, kT0 + 3 * 3600}});
   ASSERT_EQ(reports.size(), 1u);
   const auto& report = reports[0];
   EXPECT_EQ(report.matched[0], 2u);
@@ -423,14 +423,14 @@ TEST(Weather, ErrorsAndProxiedExcluded) {
   dataset.finalize();
   const std::vector<std::string> keywords{"proxy"};
   const auto reports =
-      analysis::keyword_weather(dataset, keywords, kT0, kT0 + 3600);
+      analysis::keyword_weather(dataset, keywords, {{kT0, kT0 + 3600}});
   EXPECT_EQ(reports[0].matched[0], 0u);
 }
 
 TEST(Weather, RejectsBadWindow) {
   Dataset dataset;
   const std::vector<std::string> keywords{"proxy"};
-  EXPECT_THROW(analysis::keyword_weather(dataset, keywords, 10, 10),
+  EXPECT_THROW(analysis::keyword_weather(dataset, keywords, {{10, 10}}),
                std::invalid_argument);
 }
 

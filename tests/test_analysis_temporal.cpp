@@ -115,7 +115,7 @@ TEST(ProxyLoad, SharesSumToOne) {
                   proxy::ExceptionId::kPolicyDenied, 6));
   dataset.finalize();
 
-  const auto series = proxy_load_series(dataset, kT0, kT0 + 3600, 3600);
+  const auto series = proxy_load_series(dataset, ProxyLoadOptions{{kT0, kT0 + 3600}, {3600}});
   ASSERT_EQ(series.bin_count(), 1u);
   double sum = 0.0;
   for (std::size_t p = 0; p < 7; ++p) sum += series.total_share(p, 0);
@@ -143,7 +143,7 @@ TEST(ProxySimilarity, IdentProfilesSimilarDisjointNot) {
   dataset.finalize();
 
   const auto similarity =
-      censored_domain_similarity(dataset, kT0, kT0 + 3600);
+      censored_domain_similarity(dataset, SimilarityOptions{{kT0, kT0 + 3600}});
   EXPECT_NEAR(similarity.matrix[0][1], 1.0, 1e-9);
   EXPECT_NEAR(similarity.matrix[0][6], 0.0, 1e-9);
   EXPECT_EQ(similarity.matrix[3][3], 1.0);
@@ -202,7 +202,7 @@ TEST(Redirects, NoFollowupsWhenTargetBypassesProxies) {
   // Same user's next request is 10 seconds later: outside the window.
   dataset.add(rec("http://other.com/", kT0 + 10, {}, 0, 5));
   dataset.finalize();
-  EXPECT_EQ(redirect_followups(dataset, 2), 0u);
+  EXPECT_EQ(redirect_followups(dataset, {.window_seconds = 2}), 0u);
 }
 
 TEST(Redirects, DetectsFollowupInsideWindow) {
@@ -211,7 +211,7 @@ TEST(Redirects, DetectsFollowupInsideWindow) {
                   proxy::ExceptionId::kPolicyRedirect, 0, 5));
   dataset.add(rec("http://landing.sy/", kT0 + 1, {}, 0, 5));
   dataset.finalize();
-  EXPECT_EQ(redirect_followups(dataset, 2), 1u);
+  EXPECT_EQ(redirect_followups(dataset, {.window_seconds = 2}), 1u);
 }
 
 }  // namespace

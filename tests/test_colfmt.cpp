@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/columnar.h"
+#include "analysis/testing/compat.h"
 #include "analysis/coverage.h"
 #include "analysis/dataset.h"
 #include "analysis/proxy_compare.h"
@@ -429,8 +430,10 @@ TEST(ColumnarAnalysis, MatchesRowAnalyzers) {
   const auto col_rcv = analysis::rcv_series(log, rcv_options);
   EXPECT_EQ(row_rcv.rcv, col_rcv.rcv);
 
-  const auto row_cov = analysis::request_coverage(fx.dataset, 3600, 2);
-  const auto col_cov = analysis::request_coverage(log, 3600, 2);
+  const auto row_cov = analysis::request_coverage(
+      fx.dataset, {.bin = {3600}, .min_farm_bin_requests = 2});
+  const auto col_cov = analysis::request_coverage(
+      log, {.bin = {3600}, .min_farm_bin_requests = 2});
   ASSERT_EQ(row_cov.days.size(), col_cov.days.size());
   for (std::size_t d = 0; d < row_cov.days.size(); ++d) {
     EXPECT_EQ(row_cov.days[d].day_start, col_cov.days[d].day_start);
@@ -449,9 +452,9 @@ TEST(ColumnarAnalysis, MatchesRowAnalyzers) {
   }
 
   const auto row_sim =
-      analysis::censored_domain_similarity(fx.dataset, fx.start, fx.end);
+      analysis::censored_domain_similarity(fx.dataset, {{fx.start, fx.end}});
   const auto col_sim =
-      analysis::censored_domain_similarity(log, fx.start, fx.end);
+      analysis::censored_domain_similarity(log, {{fx.start, fx.end}});
   EXPECT_EQ(row_sim.matrix, col_sim.matrix);  // bit-exact doubles
 
   for (const std::size_t proxy : {std::size_t{0}, std::size_t{3}}) {
@@ -481,17 +484,17 @@ TEST(ColumnarAnalysis, ThreadCountIsInvisible) {
             analysis::rcv_series(log8, rcv_options, 8).rcv);
 
   const auto cov1 = analysis::request_coverage(
-      log1, 3600, 2, static_cast<const proxy::LogReadStats*>(nullptr), 1);
+      log1, {.bin = {3600}, .min_farm_bin_requests = 2}, 1);
   const auto cov8 = analysis::request_coverage(
-      log8, 3600, 2, static_cast<const proxy::LogReadStats*>(nullptr), 8);
+      log8, {.bin = {3600}, .min_farm_bin_requests = 2}, 8);
   EXPECT_EQ(cov1.totals, cov8.totals);
   ASSERT_EQ(cov1.gaps.size(), cov8.gaps.size());
 
   // Cosine similarity is the float-sensitive one: the shared domain index
   // must come out in the same order at any thread count.
-  EXPECT_EQ(analysis::censored_domain_similarity(log1, fx.start, fx.end, 1)
+  EXPECT_EQ(analysis::censored_domain_similarity(log1, {{fx.start, fx.end}}, 1)
                 .matrix,
-            analysis::censored_domain_similarity(log8, fx.start, fx.end, 8)
+            analysis::censored_domain_similarity(log8, {{fx.start, fx.end}}, 8)
                 .matrix);
 }
 

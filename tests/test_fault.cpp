@@ -406,7 +406,8 @@ TEST(Coverage, FindsTheSilentProxyWhileTheFarmIsActive) {
   }
   dataset.finalize();
 
-  const auto report = analysis::request_coverage(dataset, 3600, 5);
+  const auto report = analysis::request_coverage(dataset,
+                                {.bin = {3600}, .min_farm_bin_requests = 5});
   EXPECT_TRUE(report.degraded());
   // Proxies 2-6 never log at all, so each carries one full-window gap;
   // proxy 1's is the hour-1 hole we planted.
@@ -440,7 +441,8 @@ TEST(Coverage, QuietFarmProducesNoPhantomGaps) {
     dataset.add(record);  // one request per hour: below the floor
   }
   dataset.finalize();
-  const auto report = analysis::request_coverage(dataset, 3600, 25);
+  const auto report = analysis::request_coverage(dataset,
+                                {.bin = {3600}, .min_farm_bin_requests = 25});
   EXPECT_FALSE(report.degraded());
   EXPECT_EQ(report.active_bins, 0u);
   EXPECT_DOUBLE_EQ(report.coverage_share(3), 1.0);

@@ -211,7 +211,7 @@ TEST_F(StudyTest, Table6Sg48Specialized) {
   // (SG-48 an outlier, SG-45 its closest peer, a mutually similar generic
   // trio) is the same.
   const auto similarity = censored_domain_similarity(
-      full(), workload::at(8, 1), workload::at(8, 7));
+      full(), {{workload::at(8, 1), workload::at(8, 7)}});
   const auto& m = similarity.matrix;
   for (const std::size_t p : {1u, 2u, 4u}) {
     EXPECT_LT(m[6][p], 0.5) << "SG-48 vs " << policy::proxy_name(p);
@@ -409,7 +409,7 @@ TEST_F(StudyTest, Sec74GoogleCacheServesCensoredContent) {
 }
 
 TEST_F(StudyTest, RedirectsHaveNoFollowups) {
-  EXPECT_EQ(redirect_followups(study_->datasets().user, 2), 0u);
+  EXPECT_EQ(redirect_followups(study_->datasets().user, {.window_seconds = 2}), 0u);
 }
 
 TEST_F(StudyTest, SelfRescreenReproducesObservedCensorship) {

@@ -86,9 +86,9 @@ TEST_F(EmptyDatasetTest, UsersAndTemporal) {
 }
 
 TEST_F(EmptyDatasetTest, ProxyComparison) {
-  const auto load = proxy_load_series(empty_, 0, 7200, 3600);
+  const auto load = proxy_load_series(empty_, ProxyLoadOptions{{0, 7200}, {3600}});
   EXPECT_EQ(load.total_share(0, 0), 0.0);
-  const auto sim = censored_domain_similarity(empty_, 0, 3600);
+  const auto sim = censored_domain_similarity(empty_, SimilarityOptions{{0, 3600}});
   EXPECT_EQ(sim.matrix[0][0], 1.0);
   EXPECT_EQ(sim.matrix[0][1], 0.0);  // all-zero vectors
   const auto labels = proxy_category_labels(empty_);
@@ -149,7 +149,7 @@ TEST_F(EmptyDatasetTest, ExtensionAnalyzers) {
   EXPECT_TRUE(agents.empty());
 
   const std::vector<std::string> keywords{"proxy"};
-  const auto weather = keyword_weather(empty_, keywords, 0, 3600);
+  const auto weather = keyword_weather(empty_, keywords, WeatherOptions{{0, 3600}});
   EXPECT_EQ(weather[0].active_bins(), 0u);
 }
 

@@ -604,7 +604,7 @@ TEST(ScanIdentity, KeywordWeather) {
     const std::vector<std::string> keywords{"israel", "proxy", "revolution"};
     auto out = make_out();
     for (const auto& weather : analysis::keyword_weather(
-             src, keywords, fx().start, fx().end, 3600, threads)) {
+             src, keywords, {{fx().start, fx().end}, {3600}}, threads)) {
       out << weather.keyword << ':' << weather.origin << '/'
           << weather.bin_seconds;
       for (std::size_t i = 0; i < weather.censored.size(); ++i)
@@ -619,9 +619,9 @@ TEST(ScanIdentity, Redirects) {
   expect_identity("redirects", [](const analysis::LogSource& src,
                                   std::size_t threads) {
     auto out = make_out();
-    for (const auto& host : analysis::redirect_hosts(src, 0, threads))
+    for (const auto& host : analysis::redirect_hosts(src, {.k = 0}, threads))
       out << host.host << ':' << host.requests << ':' << host.share << ';';
-    out << '\n' << analysis::redirect_followups(src, 2, threads);
+    out << '\n' << analysis::redirect_followups(src, {.window_seconds = 2}, threads);
     return out.str();
   });
 }
@@ -630,8 +630,8 @@ TEST(ScanIdentity, ProxyComparisons) {
   expect_identity("proxy_compare", [](const analysis::LogSource& src,
                                       std::size_t threads) {
     auto out = make_out();
-    const auto load = analysis::proxy_load_series(src, fx().start, fx().end,
-                                                  3600, threads);
+    const auto load = analysis::proxy_load_series(
+        src, {{fx().start, fx().end}, {3600}}, threads);
     out << load.origin << '/' << load.bin_seconds << ';';
     for (const auto& series : load.total)
       for (const auto count : series) out << count << ',';
@@ -639,7 +639,7 @@ TEST(ScanIdentity, ProxyComparisons) {
       for (const auto count : series) out << count << ',';
     out << '\n';
     const auto similarity = analysis::censored_domain_similarity(
-        src, fx().start, fx().end, threads);
+        src, {{fx().start, fx().end}}, threads);
     for (const auto& row : similarity.matrix)
       for (const auto value : row) out << value << ',';
     out << '\n';
@@ -657,8 +657,7 @@ TEST(ScanIdentity, Coverage) {
   expect_identity("request_coverage", [](const analysis::LogSource& src,
                                          std::size_t threads) {
     const auto coverage = analysis::request_coverage(
-        src, 3600, 2, static_cast<const proxy::LogReadStats*>(nullptr),
-        threads);
+        src, {.bin = {3600}, .min_farm_bin_requests = 2}, threads);
     auto out = make_out();
     out << coverage.bin_seconds << '/' << coverage.total_requests << '/'
         << coverage.active_bins << ';';
@@ -702,7 +701,7 @@ TEST(ScanIdentity, PolicyImpact) {
                 policy::PolicyAction::kDeny, "s"});
     policy::CustomCategoryList custom;
     const auto impact =
-        analysis::policy_impact(src, engine, custom, 10, threads);
+        analysis::policy_impact(src, engine, custom, {.top_k = 10}, threads);
     auto out = make_out();
     out << impact.evaluated << '/' << impact.censored_observed << '/'
         << impact.censored_hypothetical << '/' << impact.newly_censored << '/'
@@ -770,8 +769,7 @@ TEST(ScanIdentity, EmissionOrderContainer) {
   const Render coverage = [](const analysis::LogSource& src,
                              std::size_t threads) {
     const auto report = analysis::request_coverage(
-        src, 3600, 2, static_cast<const proxy::LogReadStats*>(nullptr),
-        threads);
+        src, {.bin = {3600}, .min_farm_bin_requests = 2}, threads);
     auto out = make_out();
     out << report.total_requests << '/' << report.active_bins << ';';
     for (const auto& day : report.days) {

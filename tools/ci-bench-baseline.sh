@@ -6,6 +6,7 @@
 #   bench_colfmt_scan        -> BENCH_colfmt.json
 #   bench_analyzer_matrix    -> BENCH_analysis.json
 #   bench_shard_farm         -> BENCH_shard.json
+#   bench_stream_sketch      -> BENCH_stream.json
 #
 # Each JSON file is google-benchmark's machine-readable output; the colfmt
 # baseline carries the CSV-vs-SYRCOL1 scan timings behind the size and
@@ -36,7 +37,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
 echo "==> [bench] build"
 cmake --build "${build_dir}" -j "${jobs}" \
       --target bench_parallel_pipeline bench_colfmt_scan \
-               bench_analyzer_matrix bench_shard_farm
+               bench_analyzer_matrix bench_shard_farm bench_stream_sketch
 
 run_bench() {
   local name="$1" json="$2"
@@ -51,5 +52,6 @@ run_bench bench_parallel_pipeline BENCH_pipeline.json
 run_bench bench_colfmt_scan BENCH_colfmt.json
 run_bench bench_analyzer_matrix BENCH_analysis.json
 run_bench bench_shard_farm BENCH_shard.json
+run_bench bench_stream_sketch BENCH_stream.json
 
 echo "==> benchmark baselines written to ${out_dir}"

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# ci-stream-smoke.sh — end-to-end check of the online analysis mode
+# (DESIGN.md §4.12): start a checkpointed generate run, tail its WAL spool
+# live with `syrwatchctl watch`, and validate the rolling
+# syrwatch.stream.v1 JSON (schema tag, class totals summing to the record
+# count, consistent window series, spool-tail health). A second `watch
+# --once` replay over the finished spool must then reproduce the live
+# tail's final report byte for byte — the incremental-vs-one-shot identity
+# the stream tests assert, exercised through the real CLI.
+#
+# Usage:
+#   tools/ci-stream-smoke.sh [build-dir]   # default: build/
+#
+# Needs a built tree (cmake --build build) and python3 for the JSON
+# validation.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+ctl="${build_dir}/tools/syrwatchctl"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+[[ -x "${ctl}" ]] || { echo "error: ${ctl} not built" >&2; exit 1; }
+command -v python3 >/dev/null || { echo "error: python3 required" >&2; exit 1; }
+
+validate() {
+  local file="$1"
+  python3 - "$file" <<'PY'
+import json, sys
+
+path = sys.argv[1]
+with open(path) as handle:
+    doc = json.load(handle)
+
+def die(message):
+    sys.exit(f"{path}: {message}")
+
+if doc.get("schema") != "syrwatch.stream.v1":
+    die(f"unexpected schema {doc.get('schema')!r}")
+for key in ("records", "classes", "top_censored_domains",
+            "censored_keywords", "categories", "sample", "window",
+            "coverage", "rfilter", "spool"):
+    if key not in doc:
+        die(f"missing key {key!r}")
+
+records = doc["records"]
+if records <= 0:
+    die("no records ingested")
+if sum(doc["classes"].values()) != records:
+    die("class totals do not sum to the record count")
+
+window = doc["window"]
+lengths = {len(window[k]) for k in ("censored", "allowed", "total", "rcv")}
+if len(lengths) != 1:
+    die(f"window series lengths disagree: {lengths}")
+if window["bin_seconds"] <= 0:
+    die("window bin_seconds not positive")
+if sum(window["total"]) < max(sum(window["censored"]), sum(window["allowed"])):
+    die("total series below its components")
+for v in window["rcv"]:
+    if not 0.0 <= v <= 1.0:
+        die(f"rcv value {v} outside [0, 1]")
+
+for table in ("top_censored_domains", "censored_keywords"):
+    entries = doc[table]["entries"]
+    counts = [e["count"] for e in entries]
+    if counts != sorted(counts, reverse=True):
+        die(f"{table} not ranked by count")
+    if doc[table]["exact"] and any(e["error"] != 0 for e in entries):
+        die(f"{table} claims exact but carries nonzero errors")
+if not doc["top_censored_domains"]["entries"]:
+    die("no censored domains surfaced")
+
+sample = doc["sample"]
+if sample["seen"] != records:
+    die("sample did not see every record")
+if sample["size"] > sample["seen"]:
+    die("sample larger than population")
+if not 0.0 <= sample["censored_share_lo"] <= sample["censored_share_hi"] <= 1.0:
+    die("censored-share interval malformed")
+
+if doc["categories"]["total"] != doc["classes"]["censored"]:
+    die("category total != censored class total")
+
+spool = doc["spool"]
+if spool["offset"] <= 0:
+    die("spool offset not positive (tail consumed nothing)")
+if spool["pending_bytes"] < 0 or spool["skipped_lines"] != 0:
+    die("spool health fields unexpected")
+
+print(f"ok: {path} ({records} records, "
+      f"{len(window['total'])} window bins, "
+      f"{len(doc['top_censored_domains']['entries'])} top domains)")
+PY
+}
+
+requests=60000
+ckpt="${workdir}/ckpt"
+mkdir -p "${ckpt}"
+
+echo "==> generate --checkpoint-dir (background) + watch (live tail)"
+"${ctl}" generate --out "${workdir}/leak.csv" --requests "${requests}" \
+    --checkpoint-dir "${ckpt}" >/dev/null &
+gen_pid=$!
+"${ctl}" watch "${ckpt}" --interval 1 --json "${workdir}/live.json" \
+    --deadline 300 > "${workdir}/watch.out"
+wait "${gen_pid}"
+validate "${workdir}/live.json"
+grep -q "APPROX" "${workdir}/watch.out" || {
+  echo "error: rolling report carries no [APPROX] annotations" >&2; exit 1; }
+
+echo "==> watch --once (replay of the finished spool)"
+"${ctl}" watch "${ckpt}" --once --json "${workdir}/replay.json" >/dev/null
+validate "${workdir}/replay.json"
+
+echo "==> live-vs-replay identity"
+cmp -s "${workdir}/live.json" "${workdir}/replay.json" || {
+  echo "error: live tail and replay reports differ" >&2
+  diff <(python3 -m json.tool "${workdir}/live.json") \
+       <(python3 -m json.tool "${workdir}/replay.json") | head -40 >&2
+  exit 1
+}
+
+echo "==> stream smoke green"

@@ -97,6 +97,7 @@
 // output at any value.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -104,6 +105,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -111,6 +113,8 @@
 #include "analysis/coverage.h"
 #include "analysis/redirects.h"
 #include "analysis/scan.h"
+#include "analysis/stream.h"
+#include "analysis/stream_report.h"
 #include "analysis/string_discovery.h"
 #include "analysis/top_domains.h"
 #include "analysis/traffic_stats.h"
@@ -164,6 +168,9 @@ int usage() {
       "  syrwatchctl users FILE\n"
       "  syrwatchctl redirects FILE\n"
       "  syrwatchctl weather FILE --keyword WORD [--bin-hours H]\n"
+      "  syrwatchctl watch DIR|SPOOL [--interval S] [--bin S]"
+      " [--window-bins N] [--top K] [--json FILE] [--once] [--follow]"
+      " [--deadline SECONDS]\n"
       "  syrwatchctl profile [--requests N] [--seed S] [--threads T]"
       " [--fault-profile NAME]\n"
       "every subcommand also accepts: --metrics FILE (write"
@@ -226,60 +233,6 @@ class MetricsOutput {
   std::uint64_t start_;
 };
 
-/// An on-disk log loaded for analysis: whichever backend the bytes called
-/// for (row Dataset for csv, mmap'd ColumnarLog for a SYRCOL1 container),
-/// plus the recovery stats a lenient load produced. The LogSource views
-/// handed to analyzers stay valid as long as this object lives.
-struct LoadedSource {
-  std::unique_ptr<analysis::Dataset> dataset;
-  std::unique_ptr<analysis::ColumnarLog> columnar;
-  proxy::LogReadStats read_stats;     // csv lenient parse stats
-  colfmt::RecoveryStats recovery{};   // container lenient recovery stats
-
-  bool is_columnar() const noexcept { return columnar != nullptr; }
-  analysis::LogSource source() const {
-    return columnar ? analysis::LogSource{*columnar}
-                    : analysis::LogSource{*dataset};
-  }
-  std::uint64_t rows() const { return source().rows(); }
-};
-
-/// The one format-sniffing load path every analysis subcommand shares.
-/// `format` is "auto" (sniff the first bytes), "csv", or "col"; `lenient`
-/// recovers damaged inputs instead of failing (the `inspect` contract).
-/// Throws std::runtime_error naming the path on any failure.
-LoadedSource load_source(const std::string& path,
-                         const std::string& format = "auto",
-                         std::size_t threads = 1, bool lenient = false) {
-  if (format != "auto" && format != "csv" && format != "col")
-    throw std::runtime_error("--format must be auto, csv, or col (got \"" +
-                             format + "\")");
-  LoadedSource loaded;
-  const bool is_col =
-      format == "col" ||
-      (format == "auto" && colfmt::file_looks_like_container(path));
-  if (is_col) {
-    loaded.columnar = std::make_unique<analysis::ColumnarLog>(
-        lenient ? colfmt::Reader::open_lenient(path, &loaded.recovery)
-                : colfmt::Reader::open(path),
-        threads);
-    return loaded;
-  }
-  std::ifstream in{path};
-  if (!in) throw std::runtime_error("cannot open " + path);
-  loaded.dataset = std::make_unique<analysis::Dataset>();
-  if (lenient) {
-    auto log = proxy::read_log_lenient(in);
-    loaded.read_stats = log.stats;
-    for (const auto& record : log.records) loaded.dataset->add(record);
-  } else {
-    for (const auto& record : proxy::read_log(in))
-      loaded.dataset->add(record);
-  }
-  loaded.dataset->finalize();
-  return loaded;
-}
-
 /// --out sibling for the container when --format=both: leak.csv ->
 /// leak.col, anything else gets .col appended.
 std::string sibling_col_path(const std::string& out_path) {
@@ -289,15 +242,30 @@ std::string sibling_col_path(const std::string& out_path) {
   return out_path + ".col";
 }
 
-/// load_source() plus the shared "load" phase record and row counter; the
-/// format override comes from the subcommand's --format flag.
-LoadedSource load_source_phase(const std::string& path,
-                               const util::CliFlags& flags,
-                               MetricsOutput& metrics, std::size_t threads,
-                               bool lenient = false) {
+/// analysis::open_source() plus the shared "load" phase record and row
+/// counter; the format override comes from the subcommand's --format
+/// flag. A strict open refused only for a torn tail gets actionable
+/// advice appended: the typed error code is what lets us say that
+/// `inspect` (a lenient load) would recover the intact prefix.
+analysis::OpenedSource load_source_phase(const std::string& path,
+                                         const util::CliFlags& flags,
+                                         MetricsOutput& metrics,
+                                         std::size_t threads,
+                                         bool lenient = false) {
   const std::string format{flags.get("--format").value_or("auto")};
   const std::uint64_t start = obs::monotonic_nanos();
-  auto loaded = load_source(path, format, threads, lenient);
+  auto loaded = [&] {
+    try {
+      return analysis::open_source(
+          path, {.format = format, .lenient = lenient, .threads = threads});
+    } catch (const analysis::SourceOpenError& err) {
+      if (err.code() == analysis::SourceOpenErrorCode::kTornTail)
+        throw std::runtime_error(std::string(err.what()) +
+                                 " — `syrwatchctl inspect` recovers the "
+                                 "intact prefix");
+      throw;
+    }
+  }();
   obs::add(obs::counter(metrics.context(), "cli.rows_loaded"),
            loaded.rows());
   metrics.add_phase("load", seconds_since(start), loaded.rows());
@@ -401,9 +369,11 @@ int cmd_generate_sharded(const util::CliFlags& flags,
     // uses: re-read the merged log and bin it so the abandoned shard's
     // missing tail surfaces as per-proxy gaps, with the folded read stats
     // marking any torn tail the lenient merge recovered over.
-    const auto merged = load_source(out_path);
-    const auto coverage = analysis::request_coverage(merged.source(), 3600,
-                                                     25, &result.read_stats);
+    const auto merged = analysis::open_source(out_path);
+    const auto coverage = analysis::request_coverage(
+        merged.source(),
+        {.bin = {3600}, .min_farm_bin_requests = 25,
+         .read_stats = &result.read_stats});
     util::TextTable gaps{{"Proxy", "Gap start", "Gap end",
                           "Farm reqs in gap"}};
     for (const auto& gap : coverage.gaps)
@@ -881,25 +851,25 @@ int cmd_inspect(int argc, char** argv) {
   if (loaded.is_columnar()) {
     std::printf("columnar container: %s blocks, %s rows, %s dictionary "
                 "strings\n",
-                util::with_commas(loaded.columnar->block_count()).c_str(),
-                util::with_commas(loaded.columnar->rows()).c_str(),
-                util::with_commas(loaded.columnar->reader().dict_size())
+                util::with_commas(loaded.columnar().block_count()).c_str(),
+                util::with_commas(loaded.columnar().rows()).c_str(),
+                util::with_commas(loaded.columnar().reader().dict_size())
                     .c_str());
-    if (loaded.recovery.truncated_tail) {
+    if (loaded.recovery().truncated_tail) {
       damaged = true;
       std::printf("recovered %s of %s bytes (%s intact blocks); damage: "
                   "%s\n",
-                  util::with_commas(loaded.recovery.bytes_recovered).c_str(),
-                  util::with_commas(loaded.recovery.file_bytes).c_str(),
-                  util::with_commas(loaded.recovery.blocks_recovered)
+                  util::with_commas(loaded.recovery().bytes_recovered).c_str(),
+                  util::with_commas(loaded.recovery().file_bytes).c_str(),
+                  util::with_commas(loaded.recovery().blocks_recovered)
                       .c_str(),
-                  loaded.recovery.damage.c_str());
+                  loaded.recovery().damage.c_str());
     }
   } else {
     obs::add(obs::counter(metrics.context(), "inspect.lines_skipped"),
-             loaded.read_stats.skipped_total());
-    std::fputs(loaded.read_stats.summary().c_str(), stdout);
-    damaged = loaded.read_stats.skipped_total() > 0;
+             loaded.read_stats().skipped_total());
+    std::fputs(loaded.read_stats().summary().c_str(), stdout);
+    damaged = loaded.read_stats().skipped_total() > 0;
   }
   if (record_count == 0) {
     std::printf("no usable records — nothing to inspect\n");
@@ -908,12 +878,14 @@ int cmd_inspect(int argc, char** argv) {
   }
 
   const std::uint64_t analyze_start = obs::monotonic_nanos();
+  analysis::CoverageOptions cov_options{.bin = {bin},
+                                        .min_farm_bin_requests = 25};
+  if (loaded.is_columnar())
+    cov_options.recovery = &loaded.recovery();
+  else
+    cov_options.read_stats = &loaded.read_stats();
   const analysis::CoverageReport coverage =
-      loaded.is_columnar()
-          ? analysis::request_coverage(loaded.source(), bin, 25,
-                                       &loaded.recovery, threads)
-          : analysis::request_coverage(loaded.source(), bin, 25,
-                                       &loaded.read_stats, threads);
+      analysis::request_coverage(loaded.source(), cov_options, threads);
   metrics.add_phase("analyze", seconds_since(analyze_start), record_count);
   util::TextTable days{[&] {
     std::vector<std::string> header{"Day"};
@@ -1142,7 +1114,7 @@ int cmd_redirects(int argc, char** argv) {
   MetricsOutput metrics{flags};
   const auto loaded = load_source_phase(path, flags, metrics, threads);
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto hosts = analysis::redirect_hosts(loaded.source(), 0, threads);
+  const auto hosts = analysis::redirect_hosts(loaded.source(), {.k = 0}, threads);
   metrics.add_phase("analyze", seconds_since(analyze_start), loaded.rows());
   util::TextTable table{{"Host", "# Redirects", "%"}};
   for (const auto& host : hosts) {
@@ -1185,8 +1157,8 @@ int cmd_weather(int argc, char** argv) {
   const std::int64_t end = bounds.last + 1;
   const std::vector<std::string> keywords{std::string(*keyword)};
   const std::uint64_t analyze_start = obs::monotonic_nanos();
-  const auto reports = analysis::keyword_weather(source, keywords, start,
-                                                 end, bin, threads);
+  const auto reports = analysis::keyword_weather(
+      source, keywords, {{start, end}, {bin}}, threads);
   metrics.add_phase("analyze", seconds_since(analyze_start), source.rows());
   const auto& report = reports.front();
 
@@ -1210,6 +1182,97 @@ int cmd_weather(int argc, char** argv) {
                  .c_str(),
              stdout);
   return metrics.write("weather") ? 0 : 1;
+}
+
+/// Online mode (DESIGN.md §4.12): tail a run's WAL spool — or any CSV
+/// log being appended to — and print a rolling sketch report every
+/// --interval seconds. Given a checkpoint directory the manifest doubles
+/// as the stop signal: once the run leaves "in_progress" the watcher
+/// drains whatever the final commit appended and exits (unless --follow
+/// keeps it tailing, e.g. across a resume).
+int cmd_watch(int argc, char** argv) {
+  util::CliFlags flags;
+  flags.value_flag("--interval");
+  flags.value_flag("--bin");
+  flags.value_flag("--window-bins");
+  flags.value_flag("--top");
+  flags.value_flag("--json");
+  flags.value_flag("--metrics");
+  flags.value_flag("--deadline");
+  flags.bool_flag("--once");
+  flags.bool_flag("--follow");
+  if (!flags.parse(argc, argv)) return flag_error("watch", flags);
+  std::string path;
+  if (!single_input("watch", flags, path)) return usage();
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::string spool_path = path;
+  std::string manifest_path;
+  if (fs::is_directory(fs::path{path}, ec)) {
+    spool_path = (fs::path{path} / durable::kSpoolFile).string();
+    manifest_path =
+        (fs::path{path} / durable::RunManifest::kFileName).string();
+  }
+
+  analysis::StreamReportOptions options;
+  options.bin = {flags.get_i64("--bin", 300)};
+  options.window_bins =
+      static_cast<std::size_t>(flags.get_u64("--window-bins", 288));
+  options.top_k = static_cast<std::size_t>(flags.get_u64("--top", 10));
+  const std::int64_t interval = flags.get_i64("--interval", 5);
+  const std::string json_path{flags.get("--json").value_or("")};
+
+  if (const auto deadline = flags.get("--deadline"))
+    g_cancel.set_deadline_after(std::stod(std::string(*deadline)));
+  util::install_stop_signals(g_cancel);
+
+  MetricsOutput metrics{flags};
+  analysis::StreamSource stream{spool_path};
+  analysis::StreamAnalyzer analyzer{options, metrics.context()};
+
+  const std::uint64_t watch_start = obs::monotonic_nanos();
+  std::uint64_t high_water = 0;
+  bool finishing = flags.has("--once");
+  while (true) {
+    stream.poll();
+    high_water = analysis::scan_increment(
+        stream.source(), high_water,
+        [&](const analysis::Record& r) { analyzer.ingest(r); });
+    auto report = analyzer.snapshot();
+    report.spool_offset = stream.tail().offset();
+    report.spool_pending_bytes = stream.tail().pending_bytes();
+    report.spool_skipped_lines = stream.tail().stats().skipped_total();
+    std::fputs(analysis::render_stream_report(report).c_str(), stdout);
+    std::fflush(stdout);
+    if (!json_path.empty())
+      util::atomic_write_file(json_path,
+                              analysis::stream_report_json(report));
+
+    if (finishing || g_cancel.cancelled()) break;
+    if (!manifest_path.empty() && !flags.has("--follow") &&
+        fs::exists(manifest_path, ec)) {
+      // The run appends spool bytes *before* it commits the manifest, so
+      // a terminal state can postdate our poll: drain once more, report,
+      // then exit. A torn manifest mid-write just means "try next tick".
+      try {
+        if (durable::RunManifest::load(manifest_path).state !=
+            "in_progress") {
+          finishing = true;
+          continue;
+        }
+      } catch (const std::exception&) {
+      }
+    }
+    // Sleep in short slices so SIGINT/--deadline interrupts promptly.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(interval);
+    while (std::chrono::steady_clock::now() < until &&
+           !g_cancel.cancelled())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  metrics.add_phase("watch", seconds_since(watch_start), analyzer.records());
+  return metrics.write("watch") ? 0 : 1;
 }
 
 int cmd_report(int argc, char** argv) {
@@ -1372,6 +1435,7 @@ int main(int argc, char** argv) {
     if (command == "users") return cmd_users(argc, argv);
     if (command == "redirects") return cmd_redirects(argc, argv);
     if (command == "weather") return cmd_weather(argc, argv);
+    if (command == "watch") return cmd_watch(argc, argv);
     if (command == "profile") return cmd_profile(argc, argv);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "syrwatchctl: %s\n", error.what());
