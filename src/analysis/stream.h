@@ -7,6 +7,7 @@
 #include "analysis/scan.h"
 #include "analysis/stream_buffer.h"
 #include "proxy/log_io.h"
+#include "util/vfs.h"
 
 namespace syrwatch::analysis {
 
@@ -30,9 +31,15 @@ namespace syrwatch::analysis {
 ///  - Malformed lines are skipped and tallied exactly like
 ///    proxy::read_log_lenient tallies them (stats()), so a damaged spool
 ///    degrades identically online and offline.
+///  - A spool rotated (replaced: inode change) or truncated underneath
+///    the tail does not wedge the watch loop: the tail reopens by path,
+///    restarts from byte 0 of the new file, and counts a gap (gaps()) —
+///    records written between the last poll and the rotation are gone,
+///    which the watch report surfaces as [DEGRADED DATA].
 class SpoolTail {
  public:
-  explicit SpoolTail(std::string path) : path_(std::move(path)) {}
+  explicit SpoolTail(std::string path, util::Vfs* vfs = nullptr)
+      : vfs_(&util::vfs_or_default(vfs)), path_(std::move(path)) {}
 
   /// Drains newly appended complete lines into `sink`. Returns the
   /// record count delivered. A missing file is not an error (the run may
@@ -55,14 +62,20 @@ class SpoolTail {
 
   const proxy::LogReadStats& stats() const noexcept { return stats_; }
   const std::string& path() const noexcept { return path_; }
+  /// Times the tailed file was rotated/truncated underneath us; each one
+  /// is a window of records this tail can never deliver.
+  std::uint64_t gaps() const noexcept { return gaps_; }
 
  private:
   void consume_line(std::string&& line,
                     const std::function<void(const proxy::LogRecord&)>& sink,
                     std::size_t& delivered);
 
+  util::Vfs* vfs_;
   std::string path_;
   std::uint64_t consumed_ = 0;  // bytes read from the file so far
+  std::uint64_t inode_ = 0;     // of the file last polled (0 = none yet)
+  std::uint64_t gaps_ = 0;      // rotations/truncations survived
   std::string pending_;         // bytes after the last '\n'
   proxy::LogReadStats stats_;
   bool polled_ = false;
@@ -76,8 +89,8 @@ class SpoolTail {
 /// records new since their last high-water mark.
 class StreamSource {
  public:
-  explicit StreamSource(std::string spool_path)
-      : tail_(std::move(spool_path)) {}
+  explicit StreamSource(std::string spool_path, util::Vfs* vfs = nullptr)
+      : tail_(std::move(spool_path), vfs) {}
 
   /// Drains the tail. Returns records appended to the buffer.
   std::size_t poll() {

@@ -309,6 +309,10 @@ std::string render_stream_report(const RollingReport& report) {
       out << "  skipped " << report.spool_skipped_lines << " lines";
     out << "\n";
   }
+  if (report.spool_gaps > 0)
+    out << "[DEGRADED DATA] spool rotated/truncated " << report.spool_gaps
+        << " time(s) under the watch — records between rotations were "
+           "never observed\n";
 
   render_top_table(out, "top censored domains", report.top_censored_domains,
                    report.domains_exact, report.domains_error_bound);
@@ -498,7 +502,8 @@ std::string stream_report_json(const RollingReport& report) {
 
   out << ",\"spool\":{\"offset\":" << report.spool_offset
       << ",\"pending_bytes\":" << report.spool_pending_bytes
-      << ",\"skipped_lines\":" << report.spool_skipped_lines << "}";
+      << ",\"skipped_lines\":" << report.spool_skipped_lines
+      << ",\"gaps\":" << report.spool_gaps << "}";
   out << "}";
   return out.str();
 }

@@ -133,6 +133,9 @@ struct RollingReport {
   std::uint64_t spool_offset = 0;
   std::uint64_t spool_pending_bytes = 0;
   std::uint64_t spool_skipped_lines = 0;
+  /// Times the tailed spool was rotated/truncated underneath the watch
+  /// (SpoolTail::gaps()); non-zero marks the report [DEGRADED DATA].
+  std::uint64_t spool_gaps = 0;
 };
 
 /// The incremental analyzer. Feed it records in stream order:

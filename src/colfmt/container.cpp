@@ -266,7 +266,8 @@ struct Writer::BlockBuilder {
 };
 
 Writer::Writer(std::string path, WriterOptions options)
-    : out_(std::make_unique<util::AtomicFileWriter>(std::move(path))),
+    : out_(std::make_unique<util::AtomicFileWriter>(std::move(path),
+                                                    options.vfs)),
       options_(options),
       dict_(std::make_unique<DictIndex>()) {
   if (options_.block_rows == 0)

@@ -91,6 +91,9 @@ struct WriterOptions {
   /// costs and give parallel scans more grains. 64K rows ≈ 1-2 MB of
   /// encoded pages on the Syria workload.
   std::size_t block_rows = 64 * 1024;
+  /// Storage layer for the container bytes (nullptr = process default);
+  /// tests inject a FaultyVfs to exercise storage-failure paths.
+  util::Vfs* vfs = nullptr;
 };
 
 /// Streaming writer: add() records in log order, finish() seals the file.

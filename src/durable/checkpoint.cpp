@@ -1,7 +1,9 @@
 #include "durable/checkpoint.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -11,6 +13,7 @@
 #include "obs/trace.h"
 #include "proxy/log_io.h"
 #include "util/checksum.h"
+#include "util/vfs.h"
 
 namespace syrwatch::durable {
 
@@ -19,7 +22,36 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::string_view kStateFile = "farm_state.bin";
+/// Second farm-state slot. Commits alternate between the two slots and the
+/// manifest names the live one, so the previous snapshot is never clobbered
+/// in place: a power cut between the state rename and the manifest rename
+/// leaves the old manifest still pointing at its own intact slot, instead
+/// of at a newer state file whose CRC it cannot match.
+constexpr std::string_view kStateAltFile = "farm_state.alt.bin";
 constexpr std::string_view kKeysFile = "merge_keys.bin";
+
+/// The manifest's live farm-state artifact (by role — its path alternates
+/// between the two slots), or nullptr before the first commit.
+const ManifestArtifact* find_state_artifact(const RunManifest& manifest) {
+  for (const ManifestArtifact& artifact : manifest.artifacts)
+    if (artifact.role == "state") return &artifact;
+  return nullptr;
+}
+
+[[noreturn]] void throw_io(const std::string& what) {
+  const int code = errno;
+  throw util::VfsError(what + ": " + std::strerror(code), code);
+}
+
+/// Closes a Vfs fd on scope exit; fds stay owned here for the whole run
+/// (error paths unwind through it).
+struct FdGuard {
+  util::Vfs& vfs;
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) vfs.close(fd);
+  }
+};
 
 void append_key_le(std::string& out, std::uint64_t key) {
   for (int shift = 0; shift < 64; shift += 8)
@@ -186,6 +218,10 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   const std::string manifest_path = (dir / RunManifest::kFileName).string();
   const std::string spool_path = (dir / kSpoolFile).string();
   const std::string state_path = (dir / kStateFile).string();
+  // Which slot holds the farm state this run resumes from / commits to
+  // next; tracked through the manifest's "state" artifact (see
+  // kStateAltFile).
+  std::string active_state_path = state_path;
   const std::string keys_path = (dir / kKeysFile).string();
   const std::string fingerprint = config_fingerprint(scenario.config());
   const std::size_t total_batches = scenario.batch_count();
@@ -241,15 +277,17 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
         refuse(replay_from.path, "SIZE MISMATCH (shorter than manifest)");
       if (digest.crc32 != replay_from.crc32)
         refuse(replay_from.path, "CRC MISMATCH");
-      if (const ManifestArtifact* state = manifest.find_artifact(kStateFile);
+      if (const ManifestArtifact* state = find_state_artifact(manifest);
           state != nullptr && !manifest.complete()) {
+        active_state_path = (dir / state->path).string();
         std::error_code state_ec;
-        if (!fs::exists(state_path, state_ec) || state_ec)
-          refuse(state_path, "MISSING");
-        const util::FileDigest state_digest = util::crc32_file(state_path);
+        if (!fs::exists(active_state_path, state_ec) || state_ec)
+          refuse(active_state_path, "MISSING");
+        const util::FileDigest state_digest =
+            util::crc32_file(active_state_path);
         if (state_digest.bytes != state->bytes ||
             state_digest.crc32 != state->crc32)
-          refuse(state_path, "CRC MISMATCH");
+          refuse(active_state_path, "CRC MISMATCH");
       }
       // Drop any torn tail a crashed append left beyond the committed
       // prefix, so the re-executed batches append onto clean bytes.
@@ -319,32 +357,38 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   }
 
   if (manifest.next_batch > 0)
-    scenario.farm().restore_state(read_file(state_path));
+    scenario.farm().restore_state(read_file(active_state_path));
 
   // Open the spool for appending and seat the running CRC where the
   // committed prefix left it. A fresh run starts the spool with the csv
   // header line, so on completion the spool is the finished log verbatim.
+  // All durable writes go through the injectable Vfs (DESIGN.md §4.13):
+  // batches append via write_fully (short writes advanced, EINTR retries
+  // capped) with no fsync — durability is bought only at commit
+  // boundaries, where spool and keys are fsynced before the state and
+  // manifest that describe them.
+  util::Vfs& vfs = util::vfs_or_default(options.vfs);
   util::Crc32 spool_crc;
   std::uint64_t spool_bytes = 0;
-  std::ofstream spool;
+  FdGuard spool{vfs};
   if (manifest.next_batch > 0) {
     const ManifestArtifact* artifact = manifest.find_artifact(kSpoolFile);
-    spool.open(spool_path, std::ios::binary | std::ios::app);
-    if (!spool)
-      throw std::runtime_error("checkpoint: cannot append to " + spool_path);
+    spool.fd = vfs.open(spool_path, util::OpenMode::kAppend);
+    if (spool.fd < 0)
+      throw_io("checkpoint: cannot append to " + spool_path);
     spool_crc.resume(artifact->crc32);
     spool_bytes = artifact->bytes;
   } else {
-    spool.open(spool_path, std::ios::binary | std::ios::trunc);
-    if (!spool)
-      throw std::runtime_error("checkpoint: cannot create " + spool_path);
+    spool.fd = vfs.open(spool_path, util::OpenMode::kTruncate);
+    if (spool.fd < 0) throw_io("checkpoint: cannot create " + spool_path);
     std::string header{proxy::log_csv_header()};
     header += '\n';
-    spool.write(header.data(),
-                static_cast<std::streamsize>(header.size()));
-    spool.flush();
-    if (!spool)
-      throw std::runtime_error("checkpoint: write error on " + spool_path);
+    // The header is fsynced immediately: the first manifest save below
+    // records it as the committed prefix, and a manifest must never
+    // describe bytes the disk could still lose.
+    if (!util::write_fully(vfs, spool.fd, header) ||
+        !util::fsync_fully(vfs, spool.fd))
+      throw_io("checkpoint: write error on " + spool_path);
     spool_crc.update(header);
     spool_bytes = header.size();
     manifest.upsert_artifact({std::string(kSpoolFile), "spool",
@@ -354,26 +398,25 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   // The merge-key sidecar mirrors the spool's open/append/resume dance.
   util::Crc32 keys_crc;
   std::uint64_t keys_bytes = 0;
-  std::ofstream keys;
+  FdGuard keys{vfs};
   if (options.record_keys) {
     if (manifest.next_batch > 0) {
       const ManifestArtifact* artifact = manifest.find_artifact(kKeysFile);
-      keys.open(keys_path, std::ios::binary | std::ios::app);
-      if (!keys)
-        throw std::runtime_error("checkpoint: cannot append to " + keys_path);
+      keys.fd = vfs.open(keys_path, util::OpenMode::kAppend);
+      if (keys.fd < 0)
+        throw_io("checkpoint: cannot append to " + keys_path);
       keys_crc.resume(artifact->crc32);
       keys_bytes = artifact->bytes;
     } else {
-      keys.open(keys_path, std::ios::binary | std::ios::trunc);
-      if (!keys)
-        throw std::runtime_error("checkpoint: cannot create " + keys_path);
+      keys.fd = vfs.open(keys_path, util::OpenMode::kTruncate);
+      if (keys.fd < 0) throw_io("checkpoint: cannot create " + keys_path);
       manifest.upsert_artifact({std::string(kKeysFile), "keys", 0, 0, -1});
     }
   }
 
   manifest.state = "in_progress";
   manifest.threads = scenario.config().threads;
-  manifest.save(manifest_path);
+  manifest.save(manifest_path, &vfs);
 
   // Records serialize exactly once, straight into the pending append.
   std::string batch_text;
@@ -382,11 +425,29 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   std::size_t uncommitted = 0;
 
   const auto commit = [&]() {
+    // Durability order: spool (and keys) bytes reach stable storage
+    // before the state snapshot and manifest that describe them.
+    if (!util::fsync_fully(vfs, spool.fd))
+      throw_io("checkpoint: fsync of " + spool_path + " failed");
+    if (options.record_keys && !util::fsync_fully(vfs, keys.fd))
+      throw_io("checkpoint: fsync of " + keys_path + " failed");
+    // The new snapshot goes to the slot the manifest does NOT currently
+    // reference — the live slot stays intact until the manifest save below
+    // durably switches over, so a power cut anywhere inside this commit
+    // leaves the on-disk manifest paired with an on-disk state it matches.
+    const ManifestArtifact* prev_state = find_state_artifact(manifest);
+    const std::string_view target_slot =
+        (prev_state != nullptr && prev_state->path == kStateFile)
+            ? kStateAltFile
+            : kStateFile;
+    const std::string_view stale_slot =
+        target_slot == kStateFile ? kStateAltFile : kStateFile;
+    active_state_path = (dir / target_slot).string();
     util::ArtifactInfo state_info;
     {
       const obs::StageTimer timer{state_stage};
-      state_info =
-          util::atomic_write_file(state_path, scenario.farm().save_state());
+      state_info = util::atomic_write_file(
+          active_state_path, scenario.farm().save_state(), &vfs);
     }
     manifest.upsert_artifact({std::string(kSpoolFile), "spool", spool_bytes,
                               spool_crc.value(),
@@ -395,10 +456,17 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
       manifest.upsert_artifact({std::string(kKeysFile), "keys", keys_bytes,
                                 keys_crc.value(),
                                 static_cast<std::int64_t>(batches_done) - 1});
-    manifest.upsert_artifact({std::string(kStateFile), "state",
+    std::erase_if(manifest.artifacts, [](const ManifestArtifact& artifact) {
+      return artifact.role == "state";
+    });
+    manifest.upsert_artifact({std::string(target_slot), "state",
                               state_info.bytes, state_info.crc32, -1});
     manifest.next_batch = batches_done;
-    manifest.save(manifest_path);
+    manifest.save(manifest_path, &vfs);
+    // The other slot is now one commit stale and unreferenced; drop it
+    // (best-effort — on a full disk this is also what frees room for the
+    // next snapshot).
+    vfs.unlink((dir / stale_slot).string());
     uncommitted = 0;
     obs::add(obs_commits);
   };
@@ -414,21 +482,15 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
   control.on_batch = [&](std::size_t batch) {
     {
       const obs::StageTimer timer{spool_stage};
-      spool.write(batch_text.data(),
-                  static_cast<std::streamsize>(batch_text.size()));
-      spool.flush();
-      if (!spool)
-        throw std::runtime_error("checkpoint: write error on " + spool_path);
+      if (!util::write_fully(vfs, spool.fd, batch_text))
+        throw_io("checkpoint: write error on " + spool_path);
       if (options.record_keys) {
-        // Keys flush after the spool: a crash between the two leaves more
-        // spool than keys on disk, and both beyond the committed prefix —
-        // resume truncates each back to its manifest digest, restoring
-        // the one-key-per-record invariant.
-        keys.write(batch_keys.data(),
-                   static_cast<std::streamsize>(batch_keys.size()));
-        keys.flush();
-        if (!keys)
-          throw std::runtime_error("checkpoint: write error on " + keys_path);
+        // Keys append after the spool: a crash between the two leaves
+        // more spool than keys on disk, and both beyond the committed
+        // prefix — resume truncates each back to its manifest digest,
+        // restoring the one-key-per-record invariant.
+        if (!util::write_fully(vfs, keys.fd, batch_keys))
+          throw_io("checkpoint: write error on " + keys_path);
       }
     }
     spool_crc.update(batch_text);
@@ -457,19 +519,43 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
         sink(record);
       };
 
-  const bool finished = scenario.run(buffering_sink, control);
-  // A cancellation between commit boundaries still has durable spool
-  // bytes — capture them so the resume re-executes nothing it has.
-  if (!finished && uncommitted > 0) commit();
+  bool finished = false;
+  try {
+    finished = scenario.run(buffering_sink, control);
+    // A cancellation between commit boundaries still has durable spool
+    // bytes — capture them so the resume re-executes nothing it has.
+    if (!finished && uncommitted > 0) commit();
+  } catch (const util::VfsError& error) {
+    if (!error.out_of_space()) throw;
+    // Graceful out-of-space degradation: truncate the uncommitted
+    // spool/keys tail away — reclaiming real space on the full disk,
+    // which is what lets the small "interrupted" manifest below land —
+    // and stop cleanly at the last durable commit.
+    result.stop_reason = std::string("disk full: ") + error.what();
+    if (const ManifestArtifact* artifact = manifest.find_artifact(kSpoolFile))
+      vfs.truncate(spool_path, artifact->bytes);
+    if (options.record_keys)
+      if (const ManifestArtifact* artifact = manifest.find_artifact(kKeysFile))
+        vfs.truncate(keys_path, artifact->bytes);
+  }
   manifest.state = finished ? "complete" : "interrupted";
-  manifest.save(manifest_path);
+  try {
+    manifest.save(manifest_path, &vfs);
+  } catch (const util::VfsError& error) {
+    // Tolerable only while already degrading on a full disk: the last
+    // committed manifest on disk still says "in_progress" and remains
+    // fully consistent and resumable — we just could not restamp it.
+    if (result.stop_reason.empty() || !error.out_of_space()) throw;
+  }
   result.completed = finished;
   return result;
 }
 
 util::ArtifactInfo finalize_output(const std::string& directory,
                                    RunManifest& manifest,
-                                   const std::string& out_path) {
+                                   const std::string& out_path,
+                                   util::Vfs* vfs_opt) {
+  util::Vfs& vfs = util::vfs_or_default(vfs_opt);
   if (!manifest.complete())
     throw std::runtime_error(
         "checkpoint: cannot finalize output from an incomplete checkpoint "
@@ -494,37 +580,58 @@ util::ArtifactInfo finalize_output(const std::string& directory,
 
   const util::ArtifactInfo info{spool->bytes, spool->crc32};
   const std::string spool_path = (dir / kSpoolFile).string();
-  std::error_code ec;
-  fs::rename(spool_path, out_path, ec);
-  if (ec) {
+  util::VfsStat spool_stat;
+  if (!vfs.stat(spool_path, spool_stat)) {
+    // Crash window: an earlier finalize renamed the spool onto out_path
+    // and died before rewriting the manifest. If out_path carries exactly
+    // the spool's digest, the promotion already happened — finish the
+    // manifest swap instead of refusing.
+    util::VfsStat out_stat;
+    if (!vfs.stat(out_path, out_stat))
+      throw std::runtime_error("checkpoint: spool " + spool_path +
+                               " is missing and no output exists at " +
+                               out_path);
+    const util::FileDigest digest = util::crc32_file(out_path);
+    if (digest.bytes != info.bytes || digest.crc32 != info.crc32)
+      throw std::runtime_error("checkpoint: spool " + spool_path +
+                               " is missing and " + out_path +
+                               " does not match its manifest digest");
+  } else if (vfs.rename(spool_path, out_path) == 0) {
+    // Same filesystem: zero-copy promote. fsync the directory entry so
+    // the rename itself survives power loss (best-effort; the data bytes
+    // were fsynced at the final checkpoint commit).
+    vfs.fsync_parent(out_path);
+  } else {
     // Different filesystem (or an unwritable target dir entry): fall back
     // to a CRC-verified streaming copy, then drop the spool.
-    std::ifstream in{spool_path, std::ios::binary};
-    if (!in)
-      throw std::runtime_error("checkpoint: cannot open " + spool_path);
-    util::AtomicFileWriter writer{out_path};
+    const int src = vfs.open(spool_path, util::OpenMode::kRead);
+    if (src < 0) throw_io("checkpoint: cannot open " + spool_path);
+    const FdGuard src_guard{vfs, src};
+    util::AtomicFileWriter writer{out_path, &vfs};
     char buffer[1 << 16];
-    while (in) {
-      in.read(buffer, sizeof buffer);
-      const std::streamsize got = in.gcount();
-      if (got <= 0) break;
-      writer.write(std::string_view{buffer,
-                                    static_cast<std::size_t>(got)});
+    std::uint64_t offset = 0;
+    for (;;) {
+      const long got = vfs.read(src, buffer, sizeof buffer, offset);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        throw_io("checkpoint: read error on " + spool_path);
+      }
+      if (got == 0) break;
+      writer.write(std::string_view{buffer, static_cast<std::size_t>(got)});
+      offset += static_cast<std::uint64_t>(got);
     }
-    if (in.bad())
-      throw std::runtime_error("checkpoint: read error on " + spool_path);
     const util::ArtifactInfo copied = writer.commit();
     if (copied.bytes != info.bytes || copied.crc32 != info.crc32)
       throw std::runtime_error(
           "checkpoint: spool changed while being promoted to " + out_path);
-    fs::remove(spool_path, ec);
+    vfs.unlink(spool_path);
   }
 
   std::erase_if(manifest.artifacts, [](const ManifestArtifact& artifact) {
     return artifact.role == "spool";
   });
   manifest.upsert_artifact({out_path, "output", info.bytes, info.crc32, -1});
-  manifest.save(manifest_path);
+  manifest.save(manifest_path, &vfs);
   return info;
 }
 

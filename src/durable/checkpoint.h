@@ -18,6 +18,10 @@ namespace syrwatch::durable {
 ///   manifest.json   — syrwatch.manifest.v1 (state, progress, digests)
 ///   log_spool.csv   — header + record lines, append-only (the log itself)
 ///   farm_state.bin  — proxy-farm mutable state at the last commit boundary
+///                     (alternates with farm_state.alt.bin: each commit
+///                     snapshots into the slot the manifest does *not*
+///                     reference, so a crash mid-commit never leaves the
+///                     manifest pointing at a state it cannot match)
 ///   merge_keys.bin  — only with record_keys: one u64 LE merge key per
 ///                     spool record, same append/commit rhythm as the spool
 ///
@@ -89,6 +93,10 @@ struct CheckpointOptions {
   /// appended (spool + keys flushed), whether or not that batch committed
   /// a manifest — the liveness hook a shard worker's heartbeat rides on.
   std::function<void(std::size_t batch)> on_progress;
+  /// Storage layer for every durable write (spool, keys, farm state,
+  /// manifest). nullptr = the process default Vfs. Tests inject a
+  /// FaultyVfs here to exercise ENOSPC/short-write/fsync-failure paths.
+  util::Vfs* vfs = nullptr;
 };
 
 struct CheckpointedRun {
@@ -99,6 +107,10 @@ struct CheckpointedRun {
   std::size_t batches_replayed = 0;
   std::uint64_t records_replayed = 0;
   std::size_t batches_executed = 0;
+  /// Why an incomplete run stopped, when the checkpoint layer knows:
+  /// non-empty after a graceful out-of-space degradation ("disk full: …").
+  /// Empty for ordinary cancellation. Completed runs never set it.
+  std::string stop_reason;
   /// Final manifest as saved to disk.
   RunManifest manifest;
 };
@@ -108,7 +120,12 @@ struct CheckpointedRun {
 /// must be freshly constructed (farm in its initial state) — resumption
 /// restores the farm itself. Throws std::runtime_error on a refused
 /// resume (fingerprint/command mismatch, failed artifact verification,
-/// missing manifest) or on checkpoint I/O failure.
+/// missing manifest) or on checkpoint I/O failure. Out-of-space is the
+/// exception to fail-loud: the run degrades gracefully — uncommitted
+/// spool/keys bytes are truncated away (reclaiming the space), the
+/// manifest is marked "interrupted", and the result carries
+/// completed=false with a stop_reason, so the operator can free disk and
+/// `--resume` from exactly the last durable commit.
 CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
                                  const CheckpointOptions& options,
                                  const workload::LogCallback& sink);
@@ -121,9 +138,12 @@ CheckpointedRun run_checkpointed(workload::SyriaScenario& scenario,
 /// spool was already promoted to out_path on an earlier run, the recorded
 /// output is re-verified and its digest returned. Throws
 /// std::runtime_error if the manifest is not complete or the artifact
-/// fails verification.
+/// fails verification. Crash-tolerant: a run that died between the
+/// promote rename and the manifest update is recognized (spool gone,
+/// out_path matching the spool digest) and finishes the manifest swap.
 util::ArtifactInfo finalize_output(const std::string& directory,
                                    RunManifest& manifest,
-                                   const std::string& out_path);
+                                   const std::string& out_path,
+                                   util::Vfs* vfs = nullptr);
 
 }  // namespace syrwatch::durable

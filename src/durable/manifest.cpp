@@ -421,8 +421,8 @@ RunManifest RunManifest::load(const std::string& path) {
   }
 }
 
-void RunManifest::save(const std::string& path) const {
-  util::atomic_write_file(path, to_json());
+void RunManifest::save(const std::string& path, util::Vfs* vfs) const {
+  util::atomic_write_file(path, to_json(), vfs);
 }
 
 std::string_view ArtifactCheck::status() const noexcept {

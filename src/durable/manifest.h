@@ -87,9 +87,10 @@ struct RunManifest {
   /// std::runtime_error naming the offending field on malformed input.
   static RunManifest parse(std::string_view json);
 
-  /// load/save at an explicit path; save writes atomically.
+  /// load/save at an explicit path; save writes atomically (temp → fsync
+  /// → rename → parent fsync) through the given Vfs (default process Vfs).
   static RunManifest load(const std::string& path);
-  void save(const std::string& path) const;
+  void save(const std::string& path, util::Vfs* vfs = nullptr) const;
 };
 
 /// Result of checking one manifest-listed artifact against disk.

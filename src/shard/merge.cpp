@@ -207,7 +207,7 @@ void fold_read_stats(proxy::LogReadStats& total,
 }
 
 MergeResult merge_shards(const std::vector<ShardInput>& shards,
-                         const std::string& out_path) {
+                         const std::string& out_path, util::Vfs* vfs) {
   MergeResult result;
   result.combined.header_present = true;
 
@@ -226,7 +226,7 @@ MergeResult merge_shards(const std::vector<ShardInput>& shards,
     advance(cursor);
   }
 
-  util::AtomicFileWriter writer{out_path};
+  util::AtomicFileWriter writer{out_path, vfs};
   std::string header{proxy::log_csv_header()};
   header += '\n';
   writer.write(header);

@@ -52,13 +52,15 @@ struct MergeResult {
   proxy::LogReadStats combined;
 };
 
-/// Merges `shards` into `out_path` (written atomically: header + records).
-/// Surviving shards must verify — a CRC or size failure in a
+/// Merges `shards` into `out_path` (written atomically through `vfs`,
+/// default process Vfs: header + records, fsynced before the commit
+/// rename). Surviving shards must verify — a CRC or size failure in a
 /// non-degraded shard throws std::runtime_error naming it. Degraded
 /// shards degrade further gracefully: unusable manifest → lenient
 /// recovery, no spool at all → zero contribution.
 MergeResult merge_shards(const std::vector<ShardInput>& shards,
-                         const std::string& out_path);
+                         const std::string& out_path,
+                         util::Vfs* vfs = nullptr);
 
 /// Folds `stats` into `total` (the MergeResult::combined rule).
 void fold_read_stats(proxy::LogReadStats& total,

@@ -1,7 +1,7 @@
 #include "util/atomic_io.h"
 
-#include <cstdio>
-#include <filesystem>
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
@@ -9,89 +9,211 @@ namespace syrwatch::util {
 
 namespace {
 
-/// rename() is atomic on POSIX when source and target share a filesystem —
-/// the temp file lives next to the target, so that always holds here.
-void rename_into_place(const std::string& from, const std::string& to) {
-  std::error_code ec;
-  std::filesystem::rename(from, to, ec);
-  if (ec) {
-    std::error_code ignored;
-    std::filesystem::remove(from, ignored);
-    throw std::runtime_error("atomic write: rename " + from + " -> " + to +
-                             " failed: " + ec.message());
+constexpr std::size_t kWriteBufferBytes = 64 * 1024;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  const int code = errno;
+  throw VfsError(what + ": " + std::strerror(code), code);
+}
+
+/// EXDEV fallback: stream `from` to a sibling of `to`, verify the copy
+/// byte-for-byte via CRC32 before promoting it, then drop the source.
+/// Mirrors the verified-copy promotion in durable::finalize_output.
+void copy_across_filesystems(Vfs& vfs, const std::string& from,
+                             const std::string& to) {
+  const std::string staging = to + ".xdev";
+  char chunk[64 * 1024];
+
+  const int src = vfs.open(from, OpenMode::kRead);
+  if (src < 0) throw_errno("atomic rename: cannot open " + from);
+  const int dst = vfs.open(staging, OpenMode::kTruncate);
+  if (dst < 0) {
+    vfs.close(src);
+    throw_errno("atomic rename: cannot open " + staging);
   }
+
+  Crc32 source_crc;
+  std::uint64_t copied = 0;
+  bool ok = true;
+  std::string error;
+  for (;;) {
+    const long got = vfs.read(src, chunk, sizeof chunk, copied);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      error = "atomic rename: read from " + from;
+      break;
+    }
+    if (got == 0) break;
+    const std::string_view view{chunk, static_cast<std::size_t>(got)};
+    if (!write_fully(vfs, dst, view)) {
+      ok = false;
+      error = "atomic rename: write to " + staging;
+      break;
+    }
+    source_crc.update(view);
+    copied += static_cast<std::uint64_t>(got);
+  }
+  if (ok && !fsync_fully(vfs, dst)) {
+    ok = false;
+    error = "atomic rename: fsync of " + staging;
+  }
+  vfs.close(src);
+  vfs.close(dst);
+  if (!ok) {
+    const int saved = errno;
+    vfs.unlink(staging);
+    errno = saved;
+    throw_errno(error);
+  }
+
+  // Re-read the copy: the CRC must match what left the source, or the
+  // copy is not trusted to replace it.
+  Crc32 copy_crc;
+  std::uint64_t verified = 0;
+  const int check = vfs.open(staging, OpenMode::kRead);
+  if (check < 0) throw_errno("atomic rename: cannot reopen " + staging);
+  for (;;) {
+    const long got = vfs.read(check, chunk, sizeof chunk, verified);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      vfs.close(check);
+      throw_errno("atomic rename: verify read of " + staging);
+    }
+    if (got == 0) break;
+    copy_crc.update({chunk, static_cast<std::size_t>(got)});
+    verified += static_cast<std::uint64_t>(got);
+  }
+  vfs.close(check);
+  if (verified != copied || copy_crc.value() != source_crc.value()) {
+    vfs.unlink(staging);
+    throw VfsError("atomic rename: cross-filesystem copy of " + from +
+                       " to " + staging + " failed verification (" +
+                       std::to_string(verified) + "/" +
+                       std::to_string(copied) + " bytes)",
+                   EIO);
+  }
+
+  if (vfs.rename(staging, to) != 0) {
+    const int saved = errno;
+    vfs.unlink(staging);
+    errno = saved;
+    throw_errno("atomic rename: rename " + staging + " -> " + to);
+  }
+  vfs.fsync_parent(to);  // best-effort; see rename_into_place
+  vfs.unlink(from);
 }
 
 }  // namespace
 
-ArtifactInfo atomic_write_file(const std::string& path,
-                               std::string_view contents) {
-  const std::string temp = path + ".tmp";
-  {
-    std::ofstream out{temp, std::ios::binary | std::ios::trunc};
-    if (!out)
-      throw std::runtime_error("atomic write: cannot open " + temp);
-    out.write(contents.data(),
-              static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      std::error_code ignored;
-      std::filesystem::remove(temp, ignored);
-      throw std::runtime_error("atomic write: write/flush to " + temp +
-                               " failed (disk full?)");
-    }
+void rename_into_place(const std::string& from, const std::string& to,
+                       Vfs* vfs_opt) {
+  Vfs& vfs = vfs_or_default(vfs_opt);
+  if (vfs.rename(from, to) == 0) {
+    // Directory-entry durability: without this a power cut can forget the
+    // rename entirely. Best-effort — some filesystems refuse directory
+    // fsync (EINVAL) and the rename itself is still atomic there.
+    vfs.fsync_parent(to);
+    return;
   }
-  rename_into_place(temp, path);
-  return ArtifactInfo{contents.size(), crc32_of(contents)};
+  if (errno == EXDEV) {
+    try {
+      copy_across_filesystems(vfs, from, to);
+    } catch (...) {
+      vfs.unlink(from);
+      throw;
+    }
+    return;
+  }
+  const int saved = errno;
+  vfs.unlink(from);
+  errno = saved;
+  throw_errno("atomic write: rename " + from + " -> " + to + " failed");
 }
 
-AtomicFileWriter::AtomicFileWriter(std::string path)
-    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
-  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
-  if (!out_)
-    throw std::runtime_error("atomic write: cannot open " + temp_path_);
+ArtifactInfo atomic_write_file(const std::string& path,
+                               std::string_view contents, Vfs* vfs) {
+  AtomicFileWriter writer{path, vfs};
+  writer.write(contents);
+  return writer.commit();
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path, Vfs* vfs)
+    : vfs_(&vfs_or_default(vfs)),
+      path_(std::move(path)),
+      temp_path_(path_ + ".tmp") {
+  fd_ = vfs_->open(temp_path_, OpenMode::kTruncate);
+  if (fd_ < 0) throw_errno("atomic write: cannot open " + temp_path_);
+  buffer_.reserve(kWriteBufferBytes);
   open_ = true;
 }
 
 AtomicFileWriter::~AtomicFileWriter() { abandon(); }
 
+void AtomicFileWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  if (!write_fully(*vfs_, fd_, buffer_)) {
+    const int saved = errno;
+    abandon();
+    errno = saved;
+    throw_errno("atomic write: write to " + temp_path_ + " failed");
+  }
+  buffer_.clear();
+}
+
 void AtomicFileWriter::write(std::string_view bytes) {
   if (!open_)
     throw std::logic_error("AtomicFileWriter: write after commit/abandon");
-  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out_) {
-    abandon();
-    throw std::runtime_error("atomic write: write to " + temp_path_ +
-                             " failed (disk full?)");
-  }
   crc_.update(bytes);
   bytes_ += bytes.size();
+  if (buffer_.size() + bytes.size() >= kWriteBufferBytes) {
+    flush_buffer();
+    if (bytes.size() >= kWriteBufferBytes) {
+      if (!write_fully(*vfs_, fd_, bytes)) {
+        const int saved = errno;
+        abandon();
+        errno = saved;
+        throw_errno("atomic write: write to " + temp_path_ + " failed");
+      }
+      return;
+    }
+  }
+  buffer_.append(bytes.data(), bytes.size());
 }
 
 ArtifactInfo AtomicFileWriter::commit() {
   if (!open_)
     throw std::logic_error("AtomicFileWriter: commit after commit/abandon");
-  out_.flush();
-  const bool good = static_cast<bool>(out_);
-  out_.close();
-  open_ = false;
-  if (!good) {
-    std::error_code ignored;
-    std::filesystem::remove(temp_path_, ignored);
-    throw std::runtime_error("atomic write: flush of " + temp_path_ +
-                             " failed (disk full?)");
+  flush_buffer();
+  // Data must be on stable storage *before* the rename publishes it:
+  // rename-then-crash must never promote an empty or truncated artifact.
+  if (!fsync_fully(*vfs_, fd_)) {
+    const int saved = errno;
+    abandon();
+    errno = saved;
+    throw_errno("atomic write: fsync of " + temp_path_ + " failed");
   }
-  rename_into_place(temp_path_, path_);
+  const int rc = vfs_->close(fd_);
+  fd_ = -1;
+  open_ = false;
+  if (rc != 0) {
+    const int saved = errno;
+    vfs_->unlink(temp_path_);
+    errno = saved;
+    throw_errno("atomic write: close of " + temp_path_ + " failed");
+  }
+  rename_into_place(temp_path_, path_, vfs_);
   return ArtifactInfo{bytes_, crc_.value()};
 }
 
 void AtomicFileWriter::abandon() noexcept {
   if (!open_) return;
   open_ = false;
-  out_.close();
-  std::error_code ignored;
-  std::filesystem::remove(temp_path_, ignored);
+  if (fd_ >= 0) {
+    vfs_->close(fd_);
+    fd_ = -1;
+  }
+  vfs_->unlink(temp_path_);
 }
 
 }  // namespace syrwatch::util

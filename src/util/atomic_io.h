@@ -1,20 +1,23 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <string_view>
 
 #include "util/checksum.h"
+#include "util/vfs.h"
 
 namespace syrwatch::util {
 
 /// Crash-safe artifact writing: every durable artifact is written to a
-/// sibling temp file, flushed, and renamed into place, so a reader can
-/// never observe a half-written file at the final path — it sees either
-/// the old content or the new content, nothing in between. Every write and
-/// flush is error-checked; disk-full fails loudly instead of leaving a
-/// silently truncated, parseable-looking artifact behind.
+/// sibling temp file, fsynced, and renamed into place (then the parent
+/// directory is fsynced), so a reader can never observe a half-written
+/// file at the final path — even across power loss it sees either the old
+/// content or the new content, nothing in between. Every write and flush
+/// is error-checked; disk-full fails loudly (VfsError with the errno)
+/// instead of leaving a silently truncated, parseable-looking artifact
+/// behind. All I/O goes through a `util::Vfs` so tests can inject storage
+/// faults (DESIGN.md §4.13).
 
 /// What a committed artifact looked like as it went to disk; recorded into
 /// run manifests so `syrwatchctl verify` can re-check integrity later.
@@ -23,31 +26,46 @@ struct ArtifactInfo {
   std::uint32_t crc32 = 0;
 };
 
-/// Writes `contents` to `path` atomically (temp → flush → rename). Throws
-/// std::runtime_error naming the path on any open/write/flush/rename
+/// Writes `contents` to `path` atomically (temp → fsync → rename → parent
+/// fsync). Throws VfsError naming the path on any open/write/fsync/rename
 /// failure; the temp file is removed on the error paths that can reach it.
 ArtifactInfo atomic_write_file(const std::string& path,
-                               std::string_view contents);
+                               std::string_view contents,
+                               Vfs* vfs = nullptr);
+
+/// Moves `from` onto `to` atomically. Same-filesystem renames are a single
+/// atomic rename followed by a parent-directory fsync. When the OS refuses
+/// with EXDEV (cross-filesystem), falls back to a CRC-verified streaming
+/// copy: `from` is copied to a sibling of `to`, the copy is re-read and
+/// its CRC32 checked against the source's before it is renamed into place,
+/// and only then is `from` unlinked. Throws VfsError on failure (removing
+/// `from` first, matching the temp-file cleanup contract of the atomic
+/// writers, whose commit path this serves).
+void rename_into_place(const std::string& from, const std::string& to,
+                       Vfs* vfs = nullptr);
 
 /// Streaming variant for artifacts too large to assemble in memory (log
 /// files): write() appends and folds the bytes into a running CRC32;
-/// commit() flushes, renames the temp file onto the target, and returns
-/// the artifact digest. A writer destroyed without commit() discards the
-/// temp file, leaving any previous file at `path` untouched — exactly what
-/// an interrupted run should do.
+/// commit() fsyncs, renames the temp file onto the target, fsyncs the
+/// parent directory, and returns the artifact digest. Writes are buffered
+/// (64 KiB) so record-at-a-time callers don't pay a syscall per record. A
+/// writer destroyed without commit() discards the temp file, leaving any
+/// previous file at `path` untouched — exactly what an interrupted run
+/// should do.
 class AtomicFileWriter {
  public:
   /// Opens `path + ".tmp"` for writing; throws on failure.
-  explicit AtomicFileWriter(std::string path);
+  explicit AtomicFileWriter(std::string path, Vfs* vfs = nullptr);
   ~AtomicFileWriter();
 
   AtomicFileWriter(const AtomicFileWriter&) = delete;
   AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
 
-  /// Appends bytes; throws std::runtime_error on a write error.
+  /// Appends bytes; throws VfsError on a write error.
   void write(std::string_view bytes);
 
-  /// Flush + rename onto the final path; throws on failure. At most once.
+  /// fsync + rename onto the final path + parent fsync; throws on
+  /// failure. At most once.
   ArtifactInfo commit();
 
   /// Drops the temp file without touching the final path (also what the
@@ -58,9 +76,13 @@ class AtomicFileWriter {
   std::uint64_t bytes_written() const noexcept { return bytes_; }
 
  private:
+  void flush_buffer();  // throws VfsError; leaves cleanup to the caller
+
+  Vfs* vfs_;
   std::string path_;
   std::string temp_path_;
-  std::ofstream out_;
+  int fd_ = -1;
+  std::string buffer_;
   Crc32 crc_;
   std::uint64_t bytes_ = 0;
   bool open_ = false;

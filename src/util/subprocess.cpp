@@ -44,14 +44,24 @@ bool write_frame(int fd, std::string_view payload) noexcept {
   frame[3] = static_cast<char>((size >> 24) & 0xFF);
   std::memcpy(frame + 4, payload.data(), payload.size());
   const std::size_t total = 4 + payload.size();
-  for (;;) {
-    const ssize_t wrote = ::write(fd, frame, total);
-    if (wrote == static_cast<ssize_t>(total)) return true;
-    if (wrote < 0 && errno == EINTR) continue;
-    // Short write cannot happen for <= PIPE_BUF on a pipe; anything else
-    // (EPIPE, EBADF) means the coordinator is gone — carry on without it.
+  // Frames can exceed PIPE_BUF, and even below it a signal-interrupted
+  // write may land partially — advance past whatever made it out instead
+  // of dropping the tail (the reader would desync on a torn frame).
+  std::size_t off = 0;
+  int retries = 0;
+  while (off < total) {
+    const ssize_t wrote = ::write(fd, frame + off, total - off);
+    if (wrote > 0) {
+      off += static_cast<std::size_t>(wrote);
+      retries = 0;
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR && ++retries <= 64) continue;
+    // Zero-progress or a real error (EPIPE, EBADF): the coordinator is
+    // gone — carry on without it.
     return false;
   }
+  return true;
 }
 
 bool FrameReader::pump(int fd) {

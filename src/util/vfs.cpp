@@ -1,0 +1,473 @@
+#include "util/vfs.h"
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace syrwatch::util {
+
+namespace {
+
+/// The real filesystem. Stateless: every call maps to one syscall (plus
+/// the parent-directory resolution for fsync_parent).
+class PosixVfs final : public Vfs {
+ public:
+  int open(const std::string& path, OpenMode mode) override {
+    switch (mode) {
+      case OpenMode::kRead:
+        return ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      case OpenMode::kTruncate:
+        return ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644);
+      case OpenMode::kAppend:
+        return ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                      0644);
+    }
+    errno = EINVAL;
+    return -1;
+  }
+
+  long write(int fd, const void* data, std::size_t size) override {
+    return static_cast<long>(::write(fd, data, size));
+  }
+
+  long read(int fd, void* data, std::size_t size,
+            std::uint64_t offset) override {
+    return static_cast<long>(
+        ::pread(fd, data, size, static_cast<off_t>(offset)));
+  }
+
+  int fsync(int fd) override { return ::fsync(fd); }
+
+  int fsync_parent(const std::string& path) override {
+    std::filesystem::path parent = std::filesystem::path{path}.parent_path();
+    if (parent.empty()) parent = ".";
+    const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return -1;
+    int rc;
+    do {
+      rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return rc;
+  }
+
+  int close(int fd) override { return ::close(fd); }
+
+  int rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str());
+  }
+
+  int truncate(const std::string& path, std::uint64_t size) override {
+    return ::truncate(path.c_str(), static_cast<off_t>(size));
+  }
+
+  int unlink(const std::string& path) override {
+    return ::unlink(path.c_str());
+  }
+
+  bool stat(const std::string& path, VfsStat& out) override {
+    struct ::stat st{};
+    if (::stat(path.c_str(), &st) != 0) return false;
+    out.size = static_cast<std::uint64_t>(st.st_size);
+    out.inode = static_cast<std::uint64_t>(st.st_ino);
+    return true;
+  }
+};
+
+std::atomic<Vfs*> g_default_vfs{nullptr};
+
+}  // namespace
+
+Vfs& system_vfs() {
+  static PosixVfs vfs;
+  return vfs;
+}
+
+Vfs& default_vfs() noexcept {
+  Vfs* vfs = g_default_vfs.load(std::memory_order_acquire);
+  return vfs != nullptr ? *vfs : system_vfs();
+}
+
+void set_default_vfs(Vfs* vfs) noexcept {
+  g_default_vfs.store(vfs, std::memory_order_release);
+}
+
+bool VfsError::out_of_space() const noexcept {
+  return code_ == ENOSPC || code_ == EDQUOT;
+}
+
+bool write_fully(Vfs& vfs, int fd, std::string_view bytes) noexcept {
+  std::size_t offset = 0;
+  int transient = 0;
+  int stalls = 0;
+  while (offset < bytes.size()) {
+    const long wrote =
+        vfs.write(fd, bytes.data() + offset, bytes.size() - offset);
+    if (wrote > 0) {
+      offset += static_cast<std::size_t>(wrote);
+      transient = 0;
+      stalls = 0;
+      continue;
+    }
+    if (wrote < 0) {
+      if (errno == EINTR && ++transient <= kMaxTransientRetries) continue;
+      return false;
+    }
+    // Zero bytes of progress with no error: a pathological short write.
+    // Retry capped — surfacing EIO beats spinning forever.
+    if (++stalls > kMaxTransientRetries) {
+      errno = EIO;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool fsync_fully(Vfs& vfs, int fd) noexcept {
+  int transient = 0;
+  for (;;) {
+    if (vfs.fsync(fd) == 0) return true;
+    if (errno == EINTR && ++transient <= kMaxTransientRetries) continue;
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StorageFaultSchedule
+
+StorageFaultSchedule StorageFaultSchedule::parse(std::string_view spec) {
+  std::string_view name = spec;
+  std::uint64_t param = 0;
+  bool have_param = false;
+  if (const auto colon = spec.find(':'); colon != std::string_view::npos) {
+    name = spec.substr(0, colon);
+    const std::string_view text = spec.substr(colon + 1);
+    const auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), param);
+    if (ec != std::errc{} || end != text.data() + text.size() || param == 0)
+      throw std::invalid_argument("storage-fault: malformed parameter in \"" +
+                                  std::string(spec) + "\"");
+    have_param = true;
+  }
+
+  StorageFaultSchedule schedule;
+  schedule.name = std::string(spec);
+  if (name == "none") {
+    if (have_param)
+      throw std::invalid_argument("storage-fault: \"none\" takes no parameter");
+  } else if (name == "enospc") {
+    schedule.capacity_bytes = have_param ? param : 256 * 1024;
+  } else if (name == "short-writes") {
+    schedule.short_write_cap = have_param ? param : 4096;
+  } else if (name == "eintr-storm") {
+    schedule.eintr_every = have_param ? static_cast<std::uint32_t>(param) : 3;
+  } else if (name == "fsync-fail") {
+    schedule.fail_fsync_number = have_param ? param : 2;
+  } else if (name == "power-cut") {
+    schedule.power_cut_at_rename = have_param ? param : 1;
+  } else if (name == "torn-tail") {
+    schedule.power_cut_at_rename = have_param ? param : 1;
+    schedule.torn_tail = true;
+  } else {
+    throw std::invalid_argument("storage-fault: unknown schedule \"" +
+                                std::string(spec) + "\"");
+  }
+  return schedule;
+}
+
+const std::vector<std::string>& StorageFaultSchedule::names() {
+  static const std::vector<std::string> kNames = {
+      "none",       "enospc",    "short-writes", "eintr-storm",
+      "fsync-fail", "power-cut", "torn-tail",
+  };
+  return kNames;
+}
+
+// ---------------------------------------------------------------------------
+// FaultyVfs
+
+namespace {
+
+/// splitmix64 — the same deterministic stream everywhere, independent of
+/// call interleaving by construction (the state only advances on draws).
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultyVfs::FaultyVfs(Vfs& inner, StorageFaultSchedule schedule)
+    : inner_(inner), schedule_(std::move(schedule)),
+      rng_state_(schedule_.seed) {}
+
+FaultyVfs::~FaultyVfs() = default;
+
+FaultyVfs::Stats FaultyVfs::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+bool FaultyVfs::poisoned() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return poisoned_;
+}
+
+int FaultyVfs::open(const std::string& path, OpenMode mode) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_ && mode != OpenMode::kRead) {
+    errno = EIO;
+    return -1;
+  }
+  const int fd = inner_.open(path, mode);
+  if (fd < 0 || mode == OpenMode::kRead) return fd;
+
+  FileState state;
+  state.path = path;
+  state.writable = true;
+  const auto prior = closed_dirty_.find(path);
+  if (mode == OpenMode::kTruncate) {
+    // Truncation frees whatever this vfs had accumulated at the path.
+    if (prior != closed_dirty_.end()) {
+      used_bytes_ -= std::min(used_bytes_, prior->second.size);
+      closed_dirty_.erase(prior);
+    }
+  } else {  // kAppend: inherit the file's durable/dirty split
+    if (prior != closed_dirty_.end()) {
+      state.size = prior->second.size;
+      state.synced = prior->second.synced;
+      closed_dirty_.erase(prior);
+    } else {
+      VfsStat st;
+      if (inner_.stat(path, st)) {
+        // Bytes written before this vfs existed are assumed durable.
+        state.size = st.size;
+        state.synced = st.size;
+      }
+    }
+  }
+  open_[fd] = std::move(state);
+  return fd;
+}
+
+long FaultyVfs::write(int fd, const void* data, std::size_t size) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_) {
+    errno = EIO;
+    return -1;
+  }
+  const auto it = open_.find(fd);
+  if (it == open_.end()) return inner_.write(fd, data, size);
+
+  ++write_calls_;
+  ++stats_.writes;
+  if (schedule_.eintr_every > 0 &&
+      write_calls_ % (schedule_.eintr_every + 1) != 0) {
+    ++stats_.eintr_injected;
+    errno = EINTR;
+    return -1;
+  }
+  std::size_t allowed = size;
+  if (schedule_.short_write_cap > 0)
+    allowed = std::min<std::size_t>(
+        allowed, 1 + static_cast<std::size_t>(splitmix64(rng_state_) %
+                                              schedule_.short_write_cap));
+  if (schedule_.capacity_bytes > 0) {
+    const std::uint64_t free =
+        schedule_.capacity_bytes -
+        std::min(schedule_.capacity_bytes, used_bytes_);
+    if (free == 0) {
+      ++stats_.enospc_injected;
+      errno = ENOSPC;
+      return -1;
+    }
+    allowed = std::min<std::size_t>(allowed, free);
+  }
+  const long wrote = inner_.write(fd, data, allowed);
+  if (wrote > 0) {
+    it->second.size += static_cast<std::uint64_t>(wrote);
+    used_bytes_ += static_cast<std::uint64_t>(wrote);
+    if (static_cast<std::size_t>(wrote) < size) ++stats_.short_writes;
+  }
+  return wrote;
+}
+
+long FaultyVfs::read(int fd, void* data, std::size_t size,
+                     std::uint64_t offset) {
+  return inner_.read(fd, data, size, offset);
+}
+
+int FaultyVfs::fsync(int fd) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_) {
+    errno = EIO;
+    return -1;
+  }
+  ++stats_.fsyncs;
+  if (schedule_.fail_fsync_number != 0 &&
+      stats_.fsyncs == schedule_.fail_fsync_number) {
+    ++stats_.fsync_failures;
+    errno = EIO;
+    return -1;
+  }
+  const int rc = inner_.fsync(fd);
+  if (rc == 0) {
+    const auto it = open_.find(fd);
+    if (it != open_.end()) it->second.synced = it->second.size;
+  }
+  return rc;
+}
+
+int FaultyVfs::fsync_parent(const std::string& path) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_) {
+    errno = EIO;
+    return -1;
+  }
+  ++stats_.parent_fsyncs;
+  return inner_.fsync_parent(path);
+}
+
+int FaultyVfs::close(int fd) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = open_.find(fd);
+  if (it != open_.end()) {
+    // close() is not fsync: carry un-durable bytes so a later power cut
+    // still reaches them.
+    if (it->second.synced < it->second.size)
+      closed_dirty_[it->second.path] = it->second;
+    open_.erase(it);
+  }
+  return inner_.close(fd);
+}
+
+int FaultyVfs::rename(const std::string& from, const std::string& to) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_) {
+    errno = EIO;
+    return -1;
+  }
+  const int rc = inner_.rename(from, to);
+  if (rc != 0) return rc;
+  ++stats_.renames;
+
+  // Re-key the tracking: the data (and its durability state) moved with
+  // the inode. An overwritten destination's bytes are freed.
+  if (const auto overwritten = closed_dirty_.find(to);
+      overwritten != closed_dirty_.end()) {
+    used_bytes_ -= std::min(used_bytes_, overwritten->second.size);
+    closed_dirty_.erase(overwritten);
+  }
+  if (const auto moved = closed_dirty_.find(from);
+      moved != closed_dirty_.end()) {
+    FileState state = std::move(moved->second);
+    closed_dirty_.erase(moved);
+    state.path = to;
+    closed_dirty_[to] = std::move(state);
+  }
+  for (auto& [open_fd, state] : open_)
+    if (state.path == from) state.path = to;
+
+  if (schedule_.power_cut_at_rename != 0 &&
+      stats_.renames == schedule_.power_cut_at_rename)
+    power_cut_locked("after rename " + from + " -> " + to);
+  return 0;
+}
+
+int FaultyVfs::truncate(const std::string& path, std::uint64_t size) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_) {
+    errno = EIO;
+    return -1;
+  }
+  const int rc = inner_.truncate(path, size);
+  if (rc != 0) return rc;
+  const auto shrink = [&](FileState& state) {
+    if (state.size > size) {
+      used_bytes_ -= std::min(used_bytes_, state.size - size);
+      state.size = size;
+    }
+    state.synced = std::min(state.synced, size);
+  };
+  if (const auto it = closed_dirty_.find(path); it != closed_dirty_.end())
+    shrink(it->second);
+  for (auto& [fd, state] : open_)
+    if (state.path == path) shrink(state);
+  return 0;
+}
+
+int FaultyVfs::unlink(const std::string& path) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (poisoned_) {
+    errno = EIO;
+    return -1;
+  }
+  const int rc = inner_.unlink(path);
+  if (rc != 0) return rc;
+  if (const auto it = closed_dirty_.find(path); it != closed_dirty_.end()) {
+    used_bytes_ -= std::min(used_bytes_, it->second.size);
+    closed_dirty_.erase(it);
+  }
+  return 0;
+}
+
+bool FaultyVfs::stat(const std::string& path, VfsStat& out) {
+  return inner_.stat(path, out);
+}
+
+void FaultyVfs::drop_unsynced_locked(const std::string& path,
+                                     FileState& state) {
+  if (state.synced >= state.size) return;
+  const std::uint64_t unsynced = state.size - state.synced;
+  std::uint64_t keep = 0;
+  std::uint64_t garbage = 0;
+  if (schedule_.torn_tail) {
+    // A real crash rarely loses the tail on a clean byte boundary: some
+    // fraction of the un-fsynced data made it out, and the final block is
+    // torn. Keep a seeded fraction and replace its last partial block
+    // with garbage of the same length.
+    keep = unsynced * (splitmix64(rng_state_) % 1000) / 1000;
+    garbage = std::min<std::uint64_t>(
+        keep, 1 + splitmix64(rng_state_) % 64);
+  }
+  const std::uint64_t survive = state.synced + keep;
+  inner_.truncate(path, survive - garbage);
+  if (garbage > 0) {
+    const int fd = inner_.open(path, OpenMode::kAppend);
+    if (fd >= 0) {
+      std::string junk(static_cast<std::size_t>(garbage), '\0');
+      for (auto& byte : junk)
+        byte = static_cast<char>(splitmix64(rng_state_) & 0xFF);
+      write_fully(inner_, fd, junk);
+      inner_.close(fd);
+    }
+  }
+  stats_.bytes_dropped += state.size - survive;
+  state.size = survive;
+  state.synced = std::min(state.synced, survive);
+}
+
+void FaultyVfs::power_cut_locked(const std::string& detail) {
+  ++stats_.power_cuts;
+  for (auto& [fd, state] : open_) drop_unsynced_locked(state.path, state);
+  for (auto& [path, state] : closed_dirty_) drop_unsynced_locked(path, state);
+  poisoned_ = true;
+  throw SimulatedPowerLoss("simulated power loss " + detail +
+                           " (un-fsynced bytes dropped: " +
+                           std::to_string(stats_.bytes_dropped) + ")");
+}
+
+}  // namespace syrwatch::util

@@ -1,0 +1,235 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace syrwatch::util {
+
+/// Injectable storage layer (DESIGN.md §4.13). Every durable write path —
+/// atomic artifact writes, the checkpoint spool, the columnar container,
+/// the shard merge, the spool tail — does its file I/O through a `Vfs`
+/// instead of calling the OS directly, so tests can interpose a seeded,
+/// deterministic fault model (`FaultyVfs`) and exercise the storage
+/// failures a production deployment will eventually meet: disk full,
+/// short writes, EINTR storms, fsync failure, and power loss that
+/// truncates un-fsynced data after a commit rename.
+///
+/// The interface is deliberately POSIX-shaped: operations return the
+/// syscall's convention (-1 / false on failure) and leave the reason in
+/// `errno`, so hardened callers keep ordinary retry loops (EINTR) and can
+/// classify ENOSPC without a parallel error enum. Handles are plain fds —
+/// the default implementation returns real ones.
+
+enum class OpenMode {
+  kRead,      // existing file, read-only
+  kTruncate,  // create or truncate, write-only
+  kAppend,    // create if absent, append, write-only
+};
+
+struct VfsStat {
+  std::uint64_t size = 0;
+  std::uint64_t inode = 0;  // distinguishes a rotated/replaced file
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Returns an fd (>= 0) or -1 with errno set.
+  virtual int open(const std::string& path, OpenMode mode) = 0;
+  /// Appends at the fd's write position. Returns bytes written (which may
+  /// be short) or -1 with errno set.
+  virtual long write(int fd, const void* data, std::size_t size) = 0;
+  /// Positional read (pread): never moves the write position. Returns
+  /// bytes read (0 at EOF) or -1 with errno set.
+  virtual long read(int fd, void* data, std::size_t size,
+                    std::uint64_t offset) = 0;
+  /// Flushes file *data* to stable storage. 0 or -1/errno.
+  virtual int fsync(int fd) = 0;
+  /// Flushes the *directory entry* of `path` (fsync of its parent
+  /// directory) — without this a crash can forget a committed rename.
+  virtual int fsync_parent(const std::string& path) = 0;
+  virtual int close(int fd) = 0;
+  virtual int rename(const std::string& from, const std::string& to) = 0;
+  virtual int truncate(const std::string& path, std::uint64_t size) = 0;
+  virtual int unlink(const std::string& path) = 0;
+  /// false with errno set when the path does not resolve.
+  virtual bool stat(const std::string& path, VfsStat& out) = 0;
+};
+
+/// The real filesystem: open/pread/write/fsync/rename as the OS provides
+/// them. Stateless and thread-safe.
+Vfs& system_vfs();
+
+/// Process-wide default used when a component is constructed without an
+/// explicit Vfs (never null; initially &system_vfs()). `set_default_vfs`
+/// installs a replacement for the whole process — the CLI chaos hook
+/// (`syrwatchctl generate --storage-fault`) uses it so every writer in
+/// the run is exercised; unit tests prefer passing a Vfs* explicitly.
+Vfs& default_vfs() noexcept;
+void set_default_vfs(Vfs* vfs) noexcept;  // nullptr restores system_vfs()
+
+/// Resolves an optional injection point: `vfs` if given, else the
+/// process default.
+inline Vfs& vfs_or_default(Vfs* vfs) noexcept {
+  return vfs != nullptr ? *vfs : default_vfs();
+}
+
+/// Thrown by the hardened writers on an unrecoverable I/O failure;
+/// carries the errno so callers can degrade gracefully on out-of-space
+/// instead of treating every storage error alike.
+class VfsError : public std::runtime_error {
+ public:
+  VfsError(const std::string& what, int code)
+      : std::runtime_error(what), code_(code) {}
+  int code() const noexcept { return code_; }
+  bool out_of_space() const noexcept;  // ENOSPC or EDQUOT
+ private:
+  int code_ = 0;
+};
+
+/// Thrown by FaultyVfs at a scheduled crash point *after* it has applied
+/// the power-loss damage model (un-fsynced bytes dropped). The process is
+/// expected to die here — catch it only at a top-level crash boundary.
+class SimulatedPowerLoss : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Transient-retry cap shared by the hardened write/fsync loops: EINTR is
+/// retried at most this many times before the error is surfaced — a
+/// storm is survivable, an infinite loop is not.
+inline constexpr int kMaxTransientRetries = 64;
+
+/// Writes all of `bytes`, advancing past short writes and retrying EINTR
+/// (capped). Returns true on success; false with errno set on failure —
+/// including a writer that keeps returning 0 bytes of progress.
+bool write_fully(Vfs& vfs, int fd, std::string_view bytes) noexcept;
+
+/// fsync with capped EINTR retry. True on success, false with errno set.
+bool fsync_fully(Vfs& vfs, int fd) noexcept;
+
+// ---------------------------------------------------------------------------
+// FaultyVfs — seeded deterministic storage chaos.
+
+/// One named fault schedule. The zero value (schedule "none") injects
+/// nothing. `parse()` accepts the canonical names, optionally
+/// parameterized with ":N":
+///
+///   none              pass-through
+///   enospc[:BYTES]    disk-capacity model: writes fail with ENOSPC once
+///                     BYTES new bytes live on disk (default 256 KiB).
+///                     truncate/unlink free capacity, exactly like a real
+///                     full disk — which is what lets the graceful
+///                     interrupted-manifest path reclaim space.
+///   short-writes[:CAP] every write lands at most 1..CAP bytes (seeded
+///                     draw, default CAP 4096) — exercises partial-write
+///                     handling everywhere.
+///   eintr-storm[:K]   of every K+1 write calls, K fail with EINTR
+///                     (default 3) — exercises capped retry loops.
+///   fsync-fail[:N]    the Nth data fsync fails with EIO (default 2) and
+///                     the bytes it covered stay un-durable.
+///   power-cut[:N]     simulated power loss immediately after the Nth
+///                     rename (default 1): every tracked file is truncated
+///                     back to its last-fsynced prefix, then
+///                     SimulatedPowerLoss is thrown and the Vfs is
+///                     poisoned (all later ops fail with EIO). A writer
+///                     that renames before fsyncing its data loses it —
+///                     the committed-but-empty-artifact bug this layer
+///                     exists to catch.
+///   torn-tail[:N]     power-cut that additionally leaves a torn final
+///                     block: a seeded fraction of the un-fsynced tail
+///                     survives, its last partial block overwritten with
+///                     garbage — the shape a crashed append really takes.
+struct StorageFaultSchedule {
+  std::string name = "none";
+  std::uint64_t seed = 0x5359524Cu;  // deterministic default
+  std::uint64_t capacity_bytes = 0;  // 0 = unlimited (no ENOSPC)
+  std::uint64_t short_write_cap = 0;
+  std::uint32_t eintr_every = 0;  // K of every K+1 write calls EINTR
+  std::uint64_t fail_fsync_number = 0;
+  std::uint64_t power_cut_at_rename = 0;
+  bool torn_tail = false;
+
+  /// Throws std::invalid_argument naming the spec on an unknown name or
+  /// malformed parameter.
+  static StorageFaultSchedule parse(std::string_view spec);
+  /// The canonical schedule names the CI sweep iterates.
+  static const std::vector<std::string>& names();
+};
+
+/// Deterministic chaos wrapper. Tracks, per file opened through it, the
+/// bytes that have reached "stable storage" (fsynced) versus merely
+/// written, and injects the schedule's faults at exact, seeded points —
+/// the same schedule against the same write sequence always fails at the
+/// same byte. Mutating operations on paths it has never seen still pass
+/// through, so a FaultyVfs can wrap a whole process safely.
+///
+/// Not a sandbox: writes really land in the underlying Vfs; the fault
+/// model only decides *when they fail* and *what survives a power cut*.
+class FaultyVfs : public Vfs {
+ public:
+  FaultyVfs(Vfs& inner, StorageFaultSchedule schedule);
+  ~FaultyVfs() override;
+
+  int open(const std::string& path, OpenMode mode) override;
+  long write(int fd, const void* data, std::size_t size) override;
+  long read(int fd, void* data, std::size_t size,
+            std::uint64_t offset) override;
+  int fsync(int fd) override;
+  int fsync_parent(const std::string& path) override;
+  int close(int fd) override;
+  int rename(const std::string& from, const std::string& to) override;
+  int truncate(const std::string& path, std::uint64_t size) override;
+  int unlink(const std::string& path) override;
+  bool stat(const std::string& path, VfsStat& out) override;
+
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t short_writes = 0;
+    std::uint64_t eintr_injected = 0;
+    std::uint64_t enospc_injected = 0;
+    std::uint64_t fsyncs = 0;
+    std::uint64_t fsync_failures = 0;
+    std::uint64_t parent_fsyncs = 0;
+    std::uint64_t renames = 0;
+    std::uint64_t power_cuts = 0;
+    std::uint64_t bytes_dropped = 0;  // un-fsynced bytes a power cut ate
+  };
+  Stats stats() const;
+  const StorageFaultSchedule& schedule() const noexcept { return schedule_; }
+  /// True once a power cut fired: all further mutations fail with EIO.
+  bool poisoned() const;
+
+ private:
+  struct FileState {
+    std::string path;
+    std::uint64_t size = 0;    // bytes written through this vfs
+    std::uint64_t synced = 0;  // prefix guaranteed durable
+    bool writable = false;
+  };
+
+  [[noreturn]] void power_cut_locked(const std::string& detail);
+  void drop_unsynced_locked(const std::string& path, FileState& state);
+
+  Vfs& inner_;
+  StorageFaultSchedule schedule_;
+  mutable std::mutex mutex_;
+  std::unordered_map<int, FileState> open_;
+  /// Closed-but-never-fsynced files, by path: close() does not make data
+  /// durable, so a power cut reaches back into these too.
+  std::unordered_map<std::string, FileState> closed_dirty_;
+  Stats stats_;
+  std::uint64_t used_bytes_ = 0;  // capacity model
+  std::uint64_t write_calls_ = 0;
+  std::uint64_t rng_state_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace syrwatch::util

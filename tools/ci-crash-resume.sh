@@ -91,11 +91,13 @@ mkdir -p "${stop_dir}"
     --threads 2 --checkpoint-dir "${stop_dir}/ckpt" \
     --checkpoint-interval 2 >"${stop_dir}/log" &
 pid=$!
-# Signal only once the run has demonstrably committed — the farm-state
-# blob appears at the first durable commit. A blind sleep races against
-# both fast and heavily loaded machines.
+# Signal only once the run has demonstrably committed — a farm-state
+# blob appears at the first durable commit (commits alternate between the
+# two state slots, so check both). A blind sleep races against both fast
+# and heavily loaded machines.
 while kill -0 "${pid}" 2>/dev/null &&
-      [[ ! -e "${stop_dir}/ckpt/farm_state.bin" ]]; do
+      [[ ! -e "${stop_dir}/ckpt/farm_state.bin" &&
+         ! -e "${stop_dir}/ckpt/farm_state.alt.bin" ]]; do
   sleep 0.05
 done
 kill -TERM "${pid}" 2>/dev/null || true
@@ -152,7 +154,8 @@ mkdir -p "${sstop_dir}"
     >"${sstop_dir}/log" &
 pid=$!
 while kill -0 "${pid}" 2>/dev/null &&
-      [[ ! -e "${sstop_dir}/ckpt/shard-00/farm_state.bin" ]]; do
+      [[ ! -e "${sstop_dir}/ckpt/shard-00/farm_state.bin" &&
+         ! -e "${sstop_dir}/ckpt/shard-00/farm_state.alt.bin" ]]; do
   sleep 0.05
 done
 kill -TERM "${pid}" 2>/dev/null || true

@@ -56,4 +56,10 @@ run_config asan address,undefined
 echo "==> [asan] crash/resume smoke"
 "${repo_root}/tools/ci-crash-resume.sh" "${repo_root}/build-asan"
 
+# The storage-fault schedule sweep (--storage-fault, DESIGN.md §4.13)
+# under ASan+UBSan: every named schedule through generate → crash →
+# verify → resume, asserting the durability contract end to end.
+echo "==> [asan] storage chaos sweep"
+"${repo_root}/tools/ci-storage-chaos.sh" "${repo_root}/build-asan"
+
 echo "==> all sanitizer configurations green"

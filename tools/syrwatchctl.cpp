@@ -31,6 +31,11 @@
 //       explicit [DEGRADED DATA] annotations. --heartbeat-ms T also
 //       SIGKILLs+restarts a worker silent for T ms; --worker-chaos
 //       injects real process faults (fault::make_worker_chaos) for drills.
+//       --storage-fault NAME[:N] routes every durable write through a
+//       seeded FaultyVfs (DESIGN.md §4.13): enospc, short-writes,
+//       eintr-storm, fsync-fail, power-cut, torn-tail. Out-of-space
+//       degrades to a resumable interrupted checkpoint (exit 0); a
+//       simulated power cut exits 9 after dropping un-fsynced bytes.
 //
 //   syrwatchctl verify DIR|MANIFEST|CONTAINER
 //       Integrity-check every artifact a run manifest lists (size +
@@ -142,6 +147,7 @@
 #include "util/simtime.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/vfs.h"
 #include "workload/scenario.h"
 
 namespace {
@@ -156,6 +162,7 @@ int usage() {
       " [--threads T] [--format csv|col|both] [--no-leak-filter]"
       " [--fault-profile NAME]"
       " [--checkpoint-dir DIR [--resume]] [--deadline SECONDS]"
+      " [--storage-fault SCHEDULE[:N]]"
       " [--workers N [--restart-budget K] [--heartbeat-ms T]"
       " [--backoff-ms B] [--worker-chaos NAME]]\n"
       "  syrwatchctl verify DIR|MANIFEST|CONTAINER\n"
@@ -411,6 +418,7 @@ int cmd_generate(int argc, char** argv) {
   flags.value_flag("--heartbeat-ms");
   flags.value_flag("--backoff-ms");
   flags.value_flag("--worker-chaos");
+  flags.value_flag("--storage-fault");
   flags.bool_flag("--no-leak-filter");
   flags.bool_flag("--resume");
   if (!flags.parse(argc, argv)) return flag_error("generate", flags);
@@ -438,6 +446,22 @@ int cmd_generate(int argc, char** argv) {
     std::fprintf(stderr,
                  "syrwatchctl generate: --resume requires --checkpoint-dir\n");
     return usage();
+  }
+
+  // Storage chaos hook (tools/ci-storage-chaos.sh): install a seeded
+  // FaultyVfs as the process default so every durable writer in the run —
+  // spool, farm state, manifest, csv/col artifacts — is exercised.
+  static std::unique_ptr<util::FaultyVfs> storage_chaos;
+  if (const auto fault_spec = flags.get("--storage-fault")) {
+    try {
+      storage_chaos = std::make_unique<util::FaultyVfs>(
+          util::system_vfs(),
+          util::StorageFaultSchedule::parse(*fault_spec));
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "syrwatchctl generate: %s\n", error.what());
+      return usage();
+    }
+    util::set_default_vfs(storage_chaos.get());
   }
 
   workload::ScenarioConfig config;
@@ -528,6 +552,7 @@ int cmd_generate(int argc, char** argv) {
 
   const std::uint64_t start = obs::monotonic_nanos();
   bool completed;
+  std::string stop_reason;
   durable::RunManifest manifest;
   if (checkpoint_dir.empty()) {
     workload::RunControl control;
@@ -564,6 +589,7 @@ int cmd_generate(int argc, char** argv) {
     durable::CheckpointedRun run =
         durable::run_checkpointed(scenario, checkpoint, sink);
     completed = run.completed;
+    stop_reason = std::move(run.stop_reason);
     manifest = std::move(run.manifest);
   }
   metrics.add_phase("generate", seconds_since(start), written);
@@ -578,6 +604,10 @@ int cmd_generate(int argc, char** argv) {
                    util::with_commas(written).c_str());
       return 1;
     }
+    if (!stop_reason.empty())
+      std::printf("storage degraded (%s) — stopped at the last durable "
+                  "commit\n",
+                  stop_reason.c_str());
     std::printf(
         "interrupted after %s records — checkpoint flushed to %s\n"
         "resume with: syrwatchctl generate --out %s --checkpoint-dir %s "
@@ -589,13 +619,30 @@ int cmd_generate(int argc, char** argv) {
 
   util::ArtifactInfo info{};
   util::ArtifactInfo col_info{};
-  if (col) col_info = col->finish();
+  bool col_written = false;
+  if (col) {
+    try {
+      col_info = col->finish();
+      col_written = true;
+    } catch (const util::VfsError& error) {
+      // The container is a derived artifact: when the disk fills while
+      // sealing it in a checkpointed csv run, the run itself is still
+      // complete (the spool is the log) — warn and skip the container
+      // rather than failing a finished run. A col-only run has nothing
+      // else to deliver, so there it stays fatal.
+      if (!error.out_of_space() || checkpoint_dir.empty() || !want_csv)
+        throw;
+      std::fprintf(stderr,
+                   "warning: columnar container %s skipped (%s)\n",
+                   col_path.c_str(), error.what());
+    }
+  }
   if (checkpoint_dir.empty()) {
     if (out) info = out->commit();
   } else if (want_csv) {
     info = durable::finalize_output(checkpoint_dir, manifest, out_path);
   }
-  if (!checkpoint_dir.empty() && want_col) {
+  if (!checkpoint_dir.empty() && col_written) {
     // Record the container in the manifest so `syrwatchctl verify` covers
     // it like any other output artifact.
     manifest.upsert_artifact(
@@ -608,7 +655,7 @@ int cmd_generate(int argc, char** argv) {
               util::with_commas(written).c_str(), out_path.c_str(),
               static_cast<unsigned long long>(config.seed),
               util::to_hex32(info.crc32).c_str());
-  if (format == "both")
+  if (format == "both" && col_written)
     std::printf("wrote columnar container %s (%s bytes, crc32 %s)\n",
                 col_path.c_str(), util::with_commas(col_info.bytes).c_str(),
                 util::to_hex32(col_info.crc32).c_str());
@@ -1243,6 +1290,7 @@ int cmd_watch(int argc, char** argv) {
     report.spool_offset = stream.tail().offset();
     report.spool_pending_bytes = stream.tail().pending_bytes();
     report.spool_skipped_lines = stream.tail().stats().skipped_total();
+    report.spool_gaps = stream.tail().gaps();
     std::fputs(analysis::render_stream_report(report).c_str(), stdout);
     std::fflush(stdout);
     if (!json_path.empty())
@@ -1437,6 +1485,12 @@ int main(int argc, char** argv) {
     if (command == "weather") return cmd_weather(argc, argv);
     if (command == "watch") return cmd_watch(argc, argv);
     if (command == "profile") return cmd_profile(argc, argv);
+  } catch (const util::SimulatedPowerLoss& loss) {
+    // --storage-fault power-cut/torn-tail: the FaultyVfs has already
+    // applied the damage model; die like the power did — no unwinding
+    // cleanup, distinct exit code for the chaos harness.
+    std::fprintf(stderr, "syrwatchctl: %s\n", loss.what());
+    std::_Exit(9);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "syrwatchctl: %s\n", error.what());
     return 1;
